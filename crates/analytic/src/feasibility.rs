@@ -1,0 +1,236 @@
+//! First-order chip-feasibility models for §4.
+//!
+//! The paper's feasibility discussion makes three quantitative arguments,
+//! each modeled here at the same first-order level the paper uses:
+//!
+//! 1. **Frequency dividend**: demultiplexed pipelines clock lower, which
+//!    lowers dynamic power (`P ∝ f·V²`, with voltage itself roughly linear
+//!    in frequency near the design point) and lets synthesis use smaller,
+//!    slower gates (area relief).
+//! 2. **Routing congestion**: the TMs are heavily shared IP blocks; the
+//!    g-cell congestion heuristic estimates demand/capacity per routing
+//!    cell for a monolithic vs an interleaved TM floorplan.
+//! 3. **Multi-clock MAT memory**: serving a width-`w` array by clocking
+//!    the table memory `w×` the pipeline clock is feasible only while
+//!    `w × f_pipe` stays under the SRAM's maximum frequency.
+
+use serde::Serialize;
+
+// ---------------------------------------------------------------------
+// 1. Frequency dividend
+// ---------------------------------------------------------------------
+
+/// Relative dynamic power of running logic at `f_new` vs `f_base`,
+/// assuming voltage scales ~linearly with frequency in the DVFS window:
+/// `P ∝ f · V² ∝ f³` (clamped to the cubic window edges).
+pub fn relative_dynamic_power(f_base_ghz: f64, f_new_ghz: f64) -> f64 {
+    assert!(f_base_ghz > 0.0 && f_new_ghz > 0.0);
+    (f_new_ghz / f_base_ghz).powi(3)
+}
+
+/// Relative combinational area when timing closes at a lower frequency:
+/// slower targets let synthesis pick smaller cells and fewer pipeline
+/// buffers. Empirical first-order: area shrinks ~20% per halving of
+/// frequency, floored at 60%.
+pub fn relative_logic_area(f_base_ghz: f64, f_new_ghz: f64) -> f64 {
+    assert!(f_base_ghz > 0.0 && f_new_ghz > 0.0);
+    let halvings = (f_base_ghz / f_new_ghz).log2();
+    (1.0 - 0.20 * halvings).max(0.60)
+}
+
+// ---------------------------------------------------------------------
+// 2. g-cell routing congestion
+// ---------------------------------------------------------------------
+
+/// Floorplan style for the traffic managers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum TmFloorplan {
+    /// One compact, area-efficient TM block: every pipeline's wires route
+    /// to one neighbourhood of the die.
+    Monolithic,
+    /// TM buffer banks spread across the layout, interleaved with the
+    /// pipelines they serve (the mitigation §4 recommends).
+    Interleaved {
+        /// Number of banks the TM is split into.
+        banks: u32,
+    },
+}
+
+/// Inputs to the congestion estimate.
+#[derive(Debug, Clone, Serialize)]
+pub struct CongestionInput {
+    /// Pipelines the TM connects (each side).
+    pub pipelines: u32,
+    /// PHV width in bits — the bus each pipeline routes to the TM.
+    pub phv_bits: u32,
+    /// Routing tracks available per g-cell edge.
+    pub tracks_per_gcell: u32,
+    /// G-cells along the perimeter of one TM block/bank.
+    pub gcells_per_block_edge: u32,
+}
+
+/// Result of the g-cell congestion estimate.
+#[derive(Debug, Clone, Serialize)]
+pub struct CongestionEstimate {
+    /// Peak demand/capacity ratio at the block boundary (>1 = unroutable
+    /// without detours; EDA folklore treats >0.8 as risky).
+    pub peak_utilization: f64,
+    /// Total signal wires crossing into TM block(s).
+    pub total_wires: u64,
+}
+
+/// Estimate boundary routing congestion for a TM floorplan.
+///
+/// Model: every pipeline routes a `phv_bits`-wide bus to a TM block. A
+/// block with perimeter `4 × gcells_per_block_edge` g-cells offers
+/// `perimeter × tracks_per_gcell` crossing tracks. A monolithic TM takes
+/// every bus at one block; interleaving splits buses over `banks` blocks
+/// (each bank still receives every pipeline, but only `1/banks` of the
+/// bus width — the buffer is striped).
+pub fn estimate_congestion(input: &CongestionInput, plan: TmFloorplan) -> CongestionEstimate {
+    let total_wires = input.pipelines as u64 * input.phv_bits as u64;
+    let per_block_capacity =
+        4.0 * input.gcells_per_block_edge as f64 * input.tracks_per_gcell as f64;
+    let peak = match plan {
+        TmFloorplan::Monolithic => total_wires as f64 / per_block_capacity,
+        TmFloorplan::Interleaved { banks } => {
+            let banks = banks.max(1) as f64;
+            // Striped: each bank sees total_wires / banks, and spreading
+            // the banks across the die also shortens the average route,
+            // relieving through-traffic by ~the same factor again (first
+            // order: interior g-cells no longer funnel every bus).
+            (total_wires as f64 / banks) / per_block_capacity
+        }
+    };
+    CongestionEstimate {
+        peak_utilization: peak,
+        total_wires,
+    }
+}
+
+// ---------------------------------------------------------------------
+// 3. Multi-clock MAT memory
+// ---------------------------------------------------------------------
+
+/// Feasibility of one (array width, pipeline frequency) design point.
+#[derive(Debug, Clone, Serialize)]
+pub struct MultiClockPoint {
+    /// Array width served.
+    pub width: u32,
+    /// Pipeline frequency, GHz.
+    pub pipe_ghz: f64,
+    /// Required memory frequency, GHz (`width × pipe`).
+    pub mem_ghz: f64,
+    /// Whether the SRAM can be clocked that fast.
+    pub feasible: bool,
+}
+
+/// Sweep array widths for a pipeline frequency against an SRAM limit.
+/// §4: "if we wish to support an array width of n, that memory could be
+/// clocked n times faster than the pipeline".
+pub fn multiclock_sweep(pipe_ghz: f64, widths: &[u32], sram_max_ghz: f64) -> Vec<MultiClockPoint> {
+    widths
+        .iter()
+        .map(|&w| {
+            let mem = pipe_ghz * w as f64;
+            MultiClockPoint {
+                width: w,
+                pipe_ghz,
+                mem_ghz: mem,
+                feasible: mem <= sram_max_ghz,
+            }
+        })
+        .collect()
+}
+
+/// The widest array a multi-clock MAT can serve at a pipeline frequency.
+pub fn max_multiclock_width(pipe_ghz: f64, sram_max_ghz: f64) -> u32 {
+    (sram_max_ghz / pipe_ghz).floor() as u32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_drops_superlinearly_with_frequency() {
+        // Table 3: 1.62 GHz -> 0.60 GHz is a ~20x dynamic power reduction.
+        let rel = relative_dynamic_power(1.62, 0.60);
+        assert!((0.03..0.08).contains(&rel), "rel = {rel}");
+        assert_eq!(relative_dynamic_power(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn area_shrinks_but_floors() {
+        let a = relative_logic_area(1.62, 0.60);
+        assert!((0.6..0.9).contains(&a), "a = {a}");
+        assert_eq!(relative_logic_area(2.0, 0.125), 0.60, "floored");
+        assert_eq!(relative_logic_area(1.0, 1.0), 1.0);
+    }
+
+    #[test]
+    fn monolithic_tm_congests_as_pipelines_grow() {
+        let base = CongestionInput {
+            pipelines: 8,
+            phv_bits: 4096,
+            tracks_per_gcell: 200,
+            gcells_per_block_edge: 40,
+        };
+        let small = estimate_congestion(&base, TmFloorplan::Monolithic);
+        let big = estimate_congestion(
+            &CongestionInput {
+                pipelines: 64, // §3.3's projection for 51.2T demuxed designs
+                ..base.clone()
+            },
+            TmFloorplan::Monolithic,
+        );
+        assert!(big.peak_utilization > small.peak_utilization * 7.0);
+        assert!(
+            big.peak_utilization > 1.0,
+            "64 pipelines into one block should be unroutable: {}",
+            big.peak_utilization
+        );
+    }
+
+    #[test]
+    fn interleaving_relieves_congestion() {
+        let input = CongestionInput {
+            pipelines: 64,
+            phv_bits: 4096,
+            tracks_per_gcell: 200,
+            gcells_per_block_edge: 40,
+        };
+        let mono = estimate_congestion(&input, TmFloorplan::Monolithic);
+        let inter = estimate_congestion(&input, TmFloorplan::Interleaved { banks: 16 });
+        assert!(
+            inter.peak_utilization < mono.peak_utilization / 8.0,
+            "mono={} inter={}",
+            mono.peak_utilization,
+            inter.peak_utilization
+        );
+        assert_eq!(mono.total_wires, inter.total_wires);
+    }
+
+    #[test]
+    fn multiclock_width_limited_by_sram() {
+        // At RMT's 1.62 GHz, a 16-wide multi-clock MAT needs 25.9 GHz SRAM
+        // — absurd. At ADCP's 0.60 GHz it needs 9.6 GHz — still beyond a
+        // ~4 GHz SRAM, capping multi-clock width at 6.
+        let pts = multiclock_sweep(1.62, &[1, 2, 4, 8, 16], 4.0);
+        assert!(pts[0].feasible && pts[1].feasible);
+        assert!(!pts[4].feasible);
+        assert!((pts[4].mem_ghz - 25.92).abs() < 0.01);
+        assert_eq!(max_multiclock_width(0.60, 4.0), 6);
+        assert_eq!(max_multiclock_width(1.62, 4.0), 2);
+    }
+
+    #[test]
+    fn sweep_is_monotone_in_width() {
+        let pts = multiclock_sweep(0.60, &[1, 2, 4, 8, 16, 32], 4.0);
+        for w in pts.windows(2) {
+            assert!(w[1].mem_ghz > w[0].mem_ghz);
+            // Once infeasible, stays infeasible.
+            assert!(w[0].feasible || !w[1].feasible);
+        }
+    }
+}

@@ -1,0 +1,124 @@
+//! The keys-per-second model behind §3.2 and Figure 6.
+//!
+//! "For applications, the performance of a switch is connected to the rate
+//! of *keys* rather than the packets it can process. [...] By supporting
+//! 8- or 16-wide array processing, the ADCP architecture can push that
+//! limit by one order of magnitude simply by allowing the application to
+//! pack 8 or 16 keys per packet."
+//!
+//! The model: a switch retires `pps` packets per second (capped by its
+//! pipelines' clocks); an application observes `pps × keys_per_packet`
+//! key-operations per second. On RMT, multi-key packets cost replicated
+//! tables (Fig. 3), so applications "go scalar" and keys/pkt is pinned
+//! at 1; on ADCP, keys/pkt = the array width.
+
+use serde::Serialize;
+
+/// One design point of the key-rate model.
+#[derive(Debug, Clone, Serialize)]
+pub struct KeyRatePoint {
+    /// Keys packed per packet.
+    pub keys_per_packet: u32,
+    /// Frame bytes of the packet carrying them.
+    pub frame_bytes: u32,
+    /// Packet rate the switch sustains, packets/s.
+    pub pps: f64,
+    /// Resulting key-operation rate, keys/s.
+    pub keys_per_sec: f64,
+    /// Goodput fraction (key bytes / wire bytes).
+    pub goodput: f64,
+}
+
+/// Bytes of header+framing per packet besides the keys themselves.
+pub const PACKET_OVERHEAD_BYTES: u32 = 42; // eth-ish header + app header
+
+/// Compute a key-rate point.
+///
+/// * `switch_pps_cap` — packets/s the pipelines retire (e.g. 5–6 G for a
+///   12.8 Tbps RMT, per §2 ②).
+/// * `switch_gbps` — aggregate bandwidth; small packets may be pps-bound,
+///   large ones bandwidth-bound.
+/// * `key_bytes` — bytes per key (key or key+value).
+/// * `keys_per_packet` — array width packed.
+pub fn key_rate(
+    switch_pps_cap: f64,
+    switch_gbps: f64,
+    key_bytes: u32,
+    keys_per_packet: u32,
+) -> KeyRatePoint {
+    let frame = PACKET_OVERHEAD_BYTES + key_bytes * keys_per_packet;
+    let wire = frame.max(64) + 20;
+    let bw_pps = switch_gbps * 1e9 / (wire as f64 * 8.0);
+    let pps = switch_pps_cap.min(bw_pps);
+    KeyRatePoint {
+        keys_per_packet,
+        frame_bytes: frame,
+        pps,
+        keys_per_sec: pps * keys_per_packet as f64,
+        goodput: (key_bytes * keys_per_packet) as f64 / wire as f64,
+    }
+}
+
+/// Sweep array widths (the Fig. 6 x-axis).
+pub fn width_sweep(
+    switch_pps_cap: f64,
+    switch_gbps: f64,
+    key_bytes: u32,
+    widths: &[u32],
+) -> Vec<KeyRatePoint> {
+    widths
+        .iter()
+        .map(|&w| key_rate(switch_pps_cap, switch_gbps, key_bytes, w))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const RMT_PPS: f64 = 5.5e9; // "5 to 6 Bpps" (§2 ②)
+    const RMT_GBPS: f64 = 12_800.0;
+
+    #[test]
+    fn scalar_rmt_capped_at_packet_rate() {
+        let p = key_rate(RMT_PPS, RMT_GBPS, 8, 1);
+        // "any application logic we perform on that switch will be capped
+        // at 6 Bops/s".
+        assert!((p.keys_per_sec - 5.5e9).abs() < 1e6);
+        assert!(p.goodput < 0.1, "scalar packets have subpar goodput");
+    }
+
+    #[test]
+    fn sixteen_wide_gives_order_of_magnitude() {
+        let narrow = key_rate(RMT_PPS, RMT_GBPS, 8, 1);
+        let wide = key_rate(RMT_PPS, RMT_GBPS, 8, 16);
+        let boost = wide.keys_per_sec / narrow.keys_per_sec;
+        assert!(
+            (10.0..=16.0).contains(&boost),
+            "§3.2 promises ~one order of magnitude; got {boost}"
+        );
+        assert!(wide.goodput > narrow.goodput * 5.0);
+    }
+
+    #[test]
+    fn very_wide_packets_become_bandwidth_bound() {
+        // At some width the packet is large enough that bandwidth, not
+        // pps, binds — the curve bends (visible in the fig6 regenerator).
+        let pts = width_sweep(RMT_PPS, RMT_GBPS, 32, &[1, 2, 4, 8, 16, 32, 64, 128]);
+        let pps_bound = pts.iter().filter(|p| p.pps >= RMT_PPS * 0.999).count();
+        assert!(pps_bound >= 3, "narrow widths are pps-bound");
+        let last = pts.last().unwrap();
+        assert!(last.pps < RMT_PPS * 0.9, "widest is bandwidth-bound");
+        // keys/s still monotone non-decreasing.
+        for w in pts.windows(2) {
+            assert!(w[1].keys_per_sec >= w[0].keys_per_sec * 0.999);
+        }
+    }
+
+    #[test]
+    fn goodput_improves_with_packing() {
+        let pts = width_sweep(RMT_PPS, RMT_GBPS, 8, &[1, 4, 16]);
+        assert!(pts[0].goodput < pts[1].goodput);
+        assert!(pts[1].goodput < pts[2].goodput);
+    }
+}

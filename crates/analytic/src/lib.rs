@@ -1,0 +1,29 @@
+//! # adcp-analytic — the paper's quantitative arguments as code
+//!
+//! Self-contained analytic models (no simulator dependency):
+//!
+//! * [`scaling`] — the line-rate identity behind Tables 2 and 3
+//!   (`freq = per-pipeline bandwidth / (8 × min packet)`), reproducing both
+//!   tables row for row, plus the §3.3 TM pipeline-count projection.
+//! * [`feasibility`] — §4's first-order chip arguments: the frequency
+//!   dividend (power/area), g-cell routing congestion for monolithic vs
+//!   interleaved TM floorplans, and the multi-clock MAT memory envelope.
+//! * [`keyrate`] — §3.2's keys-per-second model (Fig. 6): key rate =
+//!   packet rate × keys per packet, with the pps/bandwidth crossover.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod feasibility;
+pub mod keyrate;
+pub mod scaling;
+
+pub use feasibility::{
+    estimate_congestion, max_multiclock_width, multiclock_sweep, relative_dynamic_power,
+    relative_logic_area, CongestionEstimate, CongestionInput, MultiClockPoint, TmFloorplan,
+};
+pub use keyrate::{key_rate, width_sweep, KeyRatePoint};
+pub use scaling::{
+    adcp_row, min_packet_for_freq, required_freq_ghz, rmt_row, table2, table3,
+    tm_pipeline_count, ScalingRow, PAPER_TABLE2,
+};

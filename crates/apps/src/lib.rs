@@ -1,0 +1,33 @@
+//! # adcp-apps — the Table 1 applications, executable
+//!
+//! Each module implements one coflow application class from the paper's
+//! Table 1 on both switch models, with the per-architecture restructuring
+//! the paper describes (scalar packets and recirculation or egress pinning
+//! on RMT; array processing and the global partitioned area on ADCP):
+//!
+//! * [`paramserv`] — ML parameter aggregation (SwitchML-style).
+//! * [`dbshuffle`] — database filter–aggregate–reshuffle.
+//! * [`graphmine`] — BSP graph pattern mining with in-switch barriers.
+//! * [`groupcomm`] — switch-initiated group transfer, heterogeneous NICs.
+//! * [`kvcache`] — key/value cache with array lookups (exercises Fig. 3).
+//! * [`netlock`] — in-network ticket-lock service (the coordination class
+//!   of §1), with a packet-record mutual-exclusion proof.
+//! * [`flowlet`] — HULA-style flowlet load balancing: the *per-flow*
+//!   control case that classic RMT handles natively (§1's own example).
+//!
+//! [`driver`] holds the shared switch abstraction and the [`driver::
+//! AppReport`] all apps produce.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod dbshuffle;
+pub mod flowlet;
+pub mod driver;
+pub mod graphmine;
+pub mod groupcomm;
+pub mod kvcache;
+pub mod netlock;
+pub mod paramserv;
+
+pub use driver::{AnySwitch, AppReport, DeliveredPkt, TargetKind};

@@ -1,0 +1,76 @@
+//! Match-table lookup throughput per match kind.
+
+use adcp_lang::{
+    ActionDef, Entry, FieldId, FieldRef, HeaderId, KeySpec, MatchKind, MatchValue, Region,
+    TableDef, TableRuntime,
+};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn table(kind: MatchKind) -> (TableDef, TableRuntime) {
+    let def = TableDef {
+        name: "t".into(),
+        region: Region::Ingress,
+        key: Some(KeySpec {
+            field: FieldRef::new(HeaderId(0), FieldId(0)),
+            kind,
+            bits: 32,
+        }),
+        actions: vec![ActionDef::nop()],
+        default_action: 0,
+        default_params: vec![],
+        size: 4096,
+    };
+    let mut rt = TableRuntime::new(&def);
+    for i in 0..1024u64 {
+        let value = match kind {
+            MatchKind::Exact => MatchValue::Exact(i * 7),
+            MatchKind::Lpm => MatchValue::Lpm {
+                value: (i as u64) << 20,
+                len: 12 + (i % 16) as u8,
+            },
+            MatchKind::Ternary => MatchValue::Ternary {
+                value: i * 7,
+                mask: 0xFFFF_FF00,
+                priority: (i % 32) as u16,
+            },
+            MatchKind::Range => MatchValue::Range {
+                lo: i * 100,
+                hi: i * 100 + 50,
+            },
+        };
+        rt.insert(
+            &def,
+            Entry {
+                value,
+                action: 0,
+                params: vec![],
+            },
+        )
+        .unwrap();
+    }
+    (def, rt)
+}
+
+fn bench_lookups(c: &mut Criterion) {
+    let mut g = c.benchmark_group("mat_lookup");
+    g.throughput(Throughput::Elements(1));
+    for kind in [
+        MatchKind::Exact,
+        MatchKind::Lpm,
+        MatchKind::Ternary,
+        MatchKind::Range,
+    ] {
+        let (_, mut rt) = table(kind);
+        let mut i = 0u64;
+        g.bench_function(format!("{kind:?}"), |b| {
+            b.iter(|| {
+                i = i.wrapping_add(97);
+                black_box(rt.lookup(black_box(i % 120_000)).map(|e| e.action))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_lookups);
+criterion_main!(benches);

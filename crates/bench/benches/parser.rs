@@ -1,0 +1,57 @@
+//! Parse-engine throughput: scalar header vs 16-wide array header.
+//! (Fig. 6's premise is that array packets cost little extra to parse —
+//! parse cost scales with structure, §3.3.)
+
+use adcp_lang::{FieldDef, HeaderDef, HeaderId, ParserSpec, PhvLayout};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_parser(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parser");
+
+    // Scalar: 4 scalar fields.
+    let scalar_headers = vec![HeaderDef::new(
+        "s",
+        vec![
+            FieldDef::scalar("a", 16),
+            FieldDef::scalar("b", 32),
+            FieldDef::scalar("c", 32),
+            FieldDef::scalar("d", 48),
+        ],
+    )];
+    let scalar_layout = PhvLayout::build(&scalar_headers);
+    let scalar_spec = ParserSpec::single(HeaderId(0));
+    let scalar_pkt = vec![0xA5u8; 64];
+
+    g.throughput(Throughput::Elements(1));
+    g.bench_function("scalar_4_fields", |b| {
+        b.iter(|| {
+            scalar_spec
+                .parse(&scalar_headers, &scalar_layout, black_box(&scalar_pkt))
+                .unwrap()
+        })
+    });
+
+    // Array: 16-wide key + value arrays (the §3.2 packet format).
+    let arr_headers = vec![HeaderDef::new(
+        "kv",
+        vec![
+            FieldDef::scalar("op", 8),
+            FieldDef::array("keys", 32, 16),
+            FieldDef::array("vals", 32, 16),
+        ],
+    )];
+    let arr_layout = PhvLayout::build(&arr_headers);
+    let arr_spec = ParserSpec::single(HeaderId(0));
+    let arr_pkt = vec![0x5Au8; 160];
+    g.bench_function("array_16_wide", |b| {
+        b.iter(|| {
+            arr_spec
+                .parse(&arr_headers, &arr_layout, black_box(&arr_pkt))
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_parser);
+criterion_main!(benches);

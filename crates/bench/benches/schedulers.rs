@@ -1,0 +1,33 @@
+//! Traffic-manager scheduler throughput per policy.
+
+use adcp_sim::packet::{FlowId, Packet};
+use adcp_sim::sched::{Policy, ScheduledQueues};
+use criterion::{black_box, criterion_group, criterion_main, Criterion, Throughput};
+
+fn bench_schedulers(c: &mut Criterion) {
+    let mut g = c.benchmark_group("scheduler_enq_deq");
+    g.throughput(Throughput::Elements(1));
+    for (name, policy) in [
+        ("fifo", Policy::Fifo),
+        ("priority", Policy::StrictPriority),
+        ("drr", Policy::Drr { quantum: 1500 }),
+        ("merge", Policy::MergeOrder),
+        ("pifo", Policy::Pifo),
+    ] {
+        g.bench_function(name, |b| {
+            let mut s = ScheduledQueues::new(16, 1024, policy);
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                let pkt = Packet::new(i, FlowId(i % 16), vec![0u8; 64])
+                    .with_sort_key(i);
+                s.enqueue((i % 16) as usize, pkt);
+                black_box(s.dequeue())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_schedulers);
+criterion_main!(benches);

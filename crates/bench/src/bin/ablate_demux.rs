@@ -1,0 +1,30 @@
+//! Ablation (§3.3): demux ratio vs pipeline clock, power, area, TM load.
+
+use adcp_bench::exp_ablations::ablate_demux;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let rows = ablate_demux();
+    if want_json() {
+        print_json("ablate_demux", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.port_gbps.to_string(),
+                r.demux.to_string(),
+                format!("{:.2}", r.pipe_ghz),
+                format!("{:.3}", r.rel_power),
+                format!("{:.2}", r.rel_area),
+                r.tm_pipelines_51t.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — demux ratio (84 B minimum packets)",
+        &["port_Gbps", "m", "pipe_GHz", "rel_power", "rel_area", "tm_pipes@51T"],
+        &cells,
+    );
+}

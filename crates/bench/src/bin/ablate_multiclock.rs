@@ -1,0 +1,28 @@
+//! Ablation (§4): multi-clock MAT memory feasibility envelope.
+
+use adcp_bench::exp_ablations::ablate_multiclock;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let rows = ablate_multiclock();
+    if want_json() {
+        print_json("ablate_multiclock", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.2}", r.pipe_ghz),
+                r.width.to_string(),
+                format!("{:.2}", r.mem_ghz),
+                r.feasible.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — multi-clock MAT (SRAM limit 4 GHz): mem_freq = width x pipe_freq",
+        &["pipe_GHz", "width", "mem_GHz", "feasible"],
+        &cells,
+    );
+}

@@ -1,0 +1,35 @@
+//! §5 extension: programmable TM1 scheduling (PIFO, shortest-coflow-first)
+//! vs FIFO under short/long coflow contention.
+
+use adcp_bench::exp_sched::ablate_sched;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = ablate_sched(quick);
+    if want_json() {
+        print_json("ablate_sched", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                format!("{:.1}", r.short_cct_ns),
+                format!("{:.1}", r.long_cct_ns),
+                format!("{:.1}", r.makespan_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Extension (§5) — programmable TM1: shortest-coflow-first vs FIFO",
+        &["tm1_policy", "short_cct_ns", "long_cct_ns", "makespan_ns"],
+        &cells,
+    );
+    println!(
+        "\nreading: with the program computing each packet's rank (its coflow's\n\
+         size), the PIFO lets the latency-sensitive coflow overtake the bulk\n\
+         shuffle — its completion time collapses while the bulk's is unmoved."
+    );
+}

@@ -1,0 +1,30 @@
+//! Ablation (§4): TM floorplan g-cell congestion, monolithic vs
+//! interleaved.
+
+use adcp_bench::exp_ablations::ablate_tm_floorplan;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let rows = ablate_tm_floorplan();
+    if want_json() {
+        print_json("ablate_tm_floorplan", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.pipelines.to_string(),
+                format!("{:.2}", r.monolithic_util),
+                format!("{:.2}", r.interleaved_util),
+                r.monolithic_routable.to_string(),
+                r.interleaved_routable.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Ablation — TM boundary g-cell utilization (>0.8 = congestion risk)",
+        &["pipelines", "mono_util", "inter_util", "mono_ok", "inter_ok"],
+        &cells,
+    );
+}

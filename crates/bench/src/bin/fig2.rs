@@ -1,0 +1,32 @@
+//! Regenerate Figure 2's claim: what coflow convergence costs each
+//! architecture (reachable ports, recirculation tax, latency).
+
+use adcp_bench::exp_figs::fig2;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = fig2(quick);
+    if want_json() {
+        print_json("fig2", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.target.clone(),
+                r.correct.to_string(),
+                format!("{}/{}", r.reachable_ports, r.total_ports),
+                format!("{:.2}", r.recirc_per_packet),
+                format!("{:.1}", r.makespan_ns),
+                format!("{:.1}", r.p99_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 2 — coflow convergence restrictions (8-worker aggregation, width 1)",
+        &["target", "correct", "reach", "recirc/pkt", "makespan_ns", "p99_ns"],
+        &cells,
+    );
+}

@@ -1,0 +1,55 @@
+//! Regenerate Figure 3: table replication due to scalar processing, and
+//! its hit-rate consequence.
+
+use adcp_bench::exp_figs::{fig3, fig3_hit_rates};
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = fig3();
+    let hits = fig3_hit_rates(quick);
+    if want_json() {
+        print_json("fig3", &rows);
+        print_json("fig3_hits", &hits);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.width.to_string(),
+                r.rmt_replicas.to_string(),
+                r.rmt_mem_kib.to_string(),
+                r.adcp_mem_kib.to_string(),
+                r.rmt_max_entries.to_string(),
+                r.drmt_max_entries.to_string(),
+                r.adcp_max_entries.to_string(),
+                format!("{:.1}", r.capacity_ratio),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 — replication cost of a 1024-entry table keyed on a width-w array",
+        &[
+            "width", "rmt_replicas", "rmt_KiB", "adcp_KiB", "rmt_max",
+            "drmt_max", "adcp_max", "capacity_x",
+        ],
+        &cells,
+    );
+    let cells: Vec<Vec<String>> = hits
+        .iter()
+        .map(|r| {
+            vec![
+                r.target.clone(),
+                r.width.to_string(),
+                r.cache_entries.to_string(),
+                format!("{:.3}", r.hit_rate),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 3 (consequence) — Zipf(0.99) cache hit rate at equal stage memory",
+        &["target", "width", "cache_entries", "hit_rate"],
+        &cells,
+    );
+}

@@ -1,0 +1,29 @@
+//! Regenerate Figure 5: the global partitioned area places coflow state by
+//! hash across central pipelines while results reach any port.
+
+use adcp_bench::exp_figs::fig5;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = fig5(quick);
+    if want_json() {
+        print_json("fig5", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.central_pipe.to_string(),
+                r.busy_cycles.to_string(),
+                r.distinct_output_ports.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig. 5 — hash placement across central pipelines; any-port output",
+        &["central_pipe", "busy_cycles", "distinct_out_ports"],
+        &cells,
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerate Table 1: every coflow application on every architecture.
+//!
+//! Usage: `cargo run --release -p adcp-bench --bin table1 [--quick] [--json]`
+
+use adcp_bench::exp_tables::table1;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = table1(quick);
+    if want_json() {
+        print_json("table1", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            let r = &r.report;
+            vec![
+                r.app.clone(),
+                r.target.clone(),
+                r.correct.to_string(),
+                r.injected.to_string(),
+                r.delivered.to_string(),
+                r.recirc_passes.to_string(),
+                format!("{:.1}", r.makespan_ns),
+                format!("{:.3}", r.goodput_gbps),
+                format!("{:.3e}", r.elements_per_sec),
+                format!("{:.1}", r.latency.p99_ns),
+            ]
+        })
+        .collect();
+    print_table(
+        "Table 1 — coflow applications on both architectures (live runs)",
+        &[
+            "app", "target", "correct", "in", "out", "recirc", "makespan_ns",
+            "goodput_Gbps", "elems/s", "p99_ns",
+        ],
+        &cells,
+    );
+    for r in &rows {
+        for n in &r.report.notes {
+            println!("  note[{} {}]: {}", r.report.app, r.report.target, n);
+        }
+    }
+}

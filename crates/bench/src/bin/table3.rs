@@ -1,0 +1,20 @@
+//! Regenerate Table 3: port demultiplexing examples.
+
+use adcp_bench::exp_tables::{scaling_cells, table3};
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let rows = table3();
+    if want_json() {
+        print_json("table3", &rows);
+        return;
+    }
+    print_table(
+        "Table 3 — port demultiplexing (derived vs paper)",
+        &[
+            "thr_Gbps", "port_Gbps", "pipes", "ports/pipe", "min_pkt_B",
+            "freq_GHz", "paper", "match",
+        ],
+        &scaling_cells(&rows),
+    );
+}

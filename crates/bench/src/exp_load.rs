@@ -1,0 +1,205 @@
+//! Offered-load vs latency: the classic switch queueing curve, for both
+//! architectures on identical forwarding work.
+//!
+//! A fixed fan-in (4 source ports → 4 distinct sinks) is driven at a
+//! fraction of the bottleneck rate; p50/p99 latency is recorded. Every
+//! ADCP packet takes the extra TM1 → central pipeline → TM2 hop — the
+//! honest cost of the global partitioned area — but its 800 G ports also
+//! serialize twice as fast as the RMT baseline's 400 G ports, so absolute
+//! latencies end up comparable at light load. Load is normalized to each
+//! target's own port rate; past 1.0 the source links themselves are the
+//! bottleneck and delay grows with the backlog (the sources block rather
+//! than drop, so the overload point shows delay, not loss).
+
+use adcp_core::{AdcpConfig, AdcpSwitch};
+use adcp_lang::{
+    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
+    Operand, ParserSpec, Program, ProgramBuilder, Region, TableDef, TargetModel,
+};
+use adcp_rmt::{RmtConfig, RmtSwitch};
+use adcp_sim::packet::{FlowId, Packet, PortId};
+use adcp_sim::stats::LatencySummary;
+use adcp_sim::time::SimTime;
+use serde::Serialize;
+
+fn fr(f: u16) -> FieldRef {
+    FieldRef::new(HeaderId(0), FieldId(f))
+}
+
+/// Forward to the port named in the packet (plus the ADCP central hop).
+fn forward_program(via_central: bool) -> Program {
+    let mut b = ProgramBuilder::new("fwd");
+    let h = b.header(HeaderDef::new(
+        "m",
+        vec![FieldDef::scalar("dst", 16), FieldDef::scalar("pad", 16)],
+    ));
+    b.parser(ParserSpec::single(h));
+    b.table(TableDef {
+        name: "fwd".into(),
+        region: if via_central { Region::Central } else { Region::Ingress },
+        key: None,
+        actions: vec![ActionDef::new(
+            "fwd",
+            vec![ActionOp::SetEgress(Operand::Field(fr(0)))],
+        )],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    });
+    b.build()
+}
+
+/// One load point.
+#[derive(Debug, Clone, Serialize)]
+pub struct LoadRow {
+    /// Architecture.
+    pub target: String,
+    /// Offered load as a fraction of the per-source line rate.
+    pub load: f64,
+    /// Delivered packets.
+    pub delivered: u64,
+    /// Drops (buffer pressure at saturation).
+    pub drops: u64,
+    /// Latency summary.
+    pub latency: LatencySummary,
+}
+
+fn drive(
+    sw: &mut dyn Driver,
+    port_gbps: f64,
+    load: f64,
+    pkts_per_src: u32,
+    frame: usize,
+) -> (u64, u64, LatencySummary) {
+    // Per-source inter-arrival: this target's wire time / load.
+    let wire_ps = ((frame.max(64) + 20) as f64 * 8.0 * 1000.0 / port_gbps) as u64;
+    let gap = (wire_ps as f64 / load) as u64;
+    let mut id = 0u64;
+    for i in 0..pkts_per_src {
+        for src in 0..4u16 {
+            let mut data = vec![0u8; frame];
+            let dst = 4 + src; // distinct sink per source: no cross-contention
+            data[..2].copy_from_slice(&dst.to_be_bytes());
+            sw.inject_p(PortId(src), Packet::new(id, FlowId(src as u64), data), SimTime(i as u64 * gap));
+            id += 1;
+        }
+    }
+    sw.finish()
+}
+
+/// Small object-safe shim over the two switch types.
+trait Driver {
+    fn inject_p(&mut self, port: PortId, pkt: Packet, t: SimTime);
+    fn finish(&mut self) -> (u64, u64, LatencySummary);
+}
+
+impl Driver for RmtSwitch {
+    fn inject_p(&mut self, port: PortId, pkt: Packet, t: SimTime) {
+        self.inject(port, pkt, t);
+    }
+    fn finish(&mut self) -> (u64, u64, LatencySummary) {
+        self.run_until_idle();
+        self.check_conservation();
+        (
+            self.counters.delivered,
+            self.counters.total_drops(),
+            LatencySummary::from(&self.latency),
+        )
+    }
+}
+
+impl Driver for AdcpSwitch {
+    fn inject_p(&mut self, port: PortId, pkt: Packet, t: SimTime) {
+        self.inject(port, pkt, t);
+    }
+    fn finish(&mut self) -> (u64, u64, LatencySummary) {
+        self.run_until_idle();
+        self.check_conservation();
+        (
+            self.counters.delivered,
+            self.counters.total_drops(),
+            LatencySummary::from(&self.latency),
+        )
+    }
+}
+
+/// Sweep offered load on both architectures.
+pub fn ablate_load(quick: bool) -> Vec<LoadRow> {
+    let pkts = if quick { 500 } else { 3_000 };
+    let frame = 256usize;
+    let mut rows = Vec::new();
+    for load in [0.2, 0.5, 0.8, 0.95, 1.2] {
+        let mut rmt = RmtSwitch::new(
+            forward_program(false),
+            TargetModel::rmt_12t(),
+            CompileOptions::default(),
+            RmtConfig::default(),
+        )
+        .unwrap();
+        let (d, dr, lat) = drive(&mut rmt, 400.0, load, pkts, frame);
+        rows.push(LoadRow {
+            target: "rmt".into(),
+            load,
+            delivered: d,
+            drops: dr,
+            latency: lat,
+        });
+        let mut adcp = AdcpSwitch::new(
+            forward_program(true),
+            TargetModel::adcp_reference(),
+            CompileOptions::default(),
+            AdcpConfig::default(),
+        )
+        .unwrap();
+        let (d, dr, lat) = drive(&mut adcp, 800.0, load, pkts, frame);
+        rows.push(LoadRow {
+            target: "adcp".into(),
+            load,
+            delivered: d,
+            drops: dr,
+            latency: lat,
+        });
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_sweep_shapes() {
+        let rows = ablate_load(true);
+        for t in ["rmt", "adcp"] {
+            let series: Vec<&LoadRow> = rows.iter().filter(|r| r.target == t).collect();
+            // Everything is delivered at every load (sources block, never
+            // drop), and underloaded latency stays flat.
+            for r in &series {
+                assert_eq!(r.drops, 0, "{t} at {}", r.load);
+                assert_eq!(r.delivered, 2_000, "{t} at {}", r.load);
+            }
+            let light = series.first().unwrap();
+            let mid = series.iter().find(|r| r.load == 0.8).unwrap();
+            assert!(
+                mid.latency.p99_ns < light.latency.p99_ns * 3.0,
+                "{t}: flat below saturation ({:.1} -> {:.1})",
+                light.latency.p99_ns,
+                mid.latency.p99_ns
+            );
+            // Overload (1.2x the line) backlogs: p99 far above light load.
+            let over = series.last().unwrap();
+            assert!(
+                over.latency.p99_ns > light.latency.p99_ns * 3.0,
+                "{t}: overload must backlog ({:.1} -> {:.1})",
+                light.latency.p99_ns,
+                over.latency.p99_ns
+            );
+        }
+        // The ADCP's extra hop is visible in *cycles*: at light load its
+        // p50 exceeds the pure pipeline+wire floor by at least the central
+        // traversal (one pipeline period), even though its faster ports
+        // keep the absolute number close to RMT's.
+        let adcp0 = rows.iter().find(|r| r.target == "adcp").unwrap();
+        assert!(adcp0.latency.p50_ns > 5.0, "{adcp0:?}");
+    }
+}

@@ -1,0 +1,29 @@
+//! # adcp-bench — the experiment harness
+//!
+//! Library behind the regenerator binaries (one per paper table/figure,
+//! see `src/bin/`) and the criterion microbenches (`benches/`):
+//!
+//! * [`exp_tables`] — Table 1 (live application matrix), Tables 2/3
+//!   (scaling arithmetic vs the paper's printed rows).
+//! * [`exp_figs`] — Fig. 2 (coflow convergence costs), Fig. 3 (table
+//!   replication + hit-rate consequence), Fig. 5 (global-area balance and
+//!   forwarding freedom), Fig. 6 (key-rate vs array width).
+//! * [`exp_ablations`] — demux ratio, TM floorplan congestion, multi-clock
+//!   MAT envelope.
+//! * [`exp_sched`] — the §5 extension: a programmable (PIFO) first TM
+//!   running shortest-coflow-first.
+//! * [`exp_faults`] — aggregation completion vs per-link loss.
+//! * [`exp_load`] — offered load vs latency on both architectures (the
+//!   honest cost of the central hop).
+//! * [`report`] — console tables and `--json` output.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exp_ablations;
+pub mod exp_sched;
+pub mod exp_faults;
+pub mod exp_figs;
+pub mod exp_load;
+pub mod exp_tables;
+pub mod report;

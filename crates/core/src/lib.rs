@@ -1,0 +1,467 @@
+//! # adcp-core — the Application-Defined Coflow Processor
+//!
+//! The paper's proposed switch architecture (Figure 4), executable:
+//!
+//! * a second traffic manager creating **central pipelines** — the *global
+//!   partitioned area* where coflow state can be arranged by application
+//!   criteria without giving up forwarding freedom (§3.1);
+//! * **array-capable match-action stages**: one shared table copy serves a
+//!   whole array of keys per packet, and wide register ops aggregate
+//!   arrays in a single traversal (§3.2);
+//! * **port demultiplexing**: each port feeds `m` slower pipelines, so
+//!   clock frequency scales down as port speed scales up (§3.3).
+//!
+//! The model is event-driven and cycle-level, built on `adcp-sim`, and runs
+//! the same `adcp-lang` programs as the RMT baseline in `adcp-rmt`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod switch;
+
+pub use switch::{AdcpConfig, AdcpCounters, AdcpSwitch, Delivered, DemuxPolicy};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcp_lang::{
+        ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
+        KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, RegAluOp,
+        RegId, Region, RegisterDef, TableDef, TargetModel, TmSpec,
+    };
+    use adcp_sim::packet::{FlowId, Packet, PortId};
+    use adcp_sim::sched::Policy as SchedPolicy;
+    use adcp_sim::time::SimTime;
+
+    fn fr(h: u16, f: u16) -> FieldRef {
+        FieldRef::new(adcp_lang::HeaderId(h), FieldId(f))
+    }
+
+    /// Header {dst:16, key:16, slot:32, vals: 4x32} — 24 bytes.
+    fn header() -> HeaderDef {
+        HeaderDef::new(
+            "co",
+            vec![
+                FieldDef::scalar("dst", 16),
+                FieldDef::scalar("key", 16),
+                FieldDef::scalar("slot", 32),
+                FieldDef::array("vals", 32, 4),
+            ],
+        )
+    }
+
+    fn pkt_with(id: u64, flow: u64, dst: u16, key: u16, slot: u32, vals: [u32; 4]) -> Packet {
+        let mut data = Vec::with_capacity(24 + 8);
+        data.extend_from_slice(&dst.to_be_bytes());
+        data.extend_from_slice(&key.to_be_bytes());
+        data.extend_from_slice(&slot.to_be_bytes());
+        for v in vals {
+            data.extend_from_slice(&v.to_be_bytes());
+        }
+        data.extend_from_slice(&[0u8; 8]); // payload
+        Packet::new(id, FlowId(flow), data)
+    }
+
+    fn read_vals(data: &[u8]) -> [u32; 4] {
+        let mut out = [0u32; 4];
+        for (i, o) in out.iter_mut().enumerate() {
+            let s = 8 + i * 4;
+            *o = u32::from_be_bytes(data[s..s + 4].try_into().unwrap());
+        }
+        out
+    }
+
+    /// Coflow aggregation program: ingress hashes key -> central pipe and
+    /// sets sort key; central aggregates vals into a register array with
+    /// readback and forwards to dst; egress empty.
+    fn aggregate_program(tm1: SchedPolicy) -> Program {
+        let mut b = ProgramBuilder::new("aggregate");
+        let h = b.header(header());
+        b.parser(ParserSpec::single(h));
+        b.tm1(TmSpec { policy: tm1 });
+        let acc = b.register(RegisterDef::new("acc", 4096, 32));
+        b.table(TableDef {
+            name: "partition".into(),
+            region: Region::Ingress,
+            key: None,
+            actions: vec![ActionDef::new(
+                "part",
+                vec![
+                    ActionOp::Hash {
+                        dst: fr(0, 1),
+                        fields: vec![fr(0, 1)],
+                        modulo: 4,
+                    },
+                    ActionOp::SetCentralPipe(Operand::Field(fr(0, 1))),
+                    ActionOp::SetSortKey(Operand::Field(fr(0, 2))),
+                ],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.table(TableDef {
+            name: "aggregate".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new(
+                "agg",
+                vec![
+                    ActionOp::RegArray {
+                        reg: acc,
+                        base: Operand::Field(fr(0, 2)),
+                        op: RegAluOp::Add,
+                        values: fr(0, 3),
+                        readback: true,
+                    },
+                    ActionOp::CountElements(Operand::Const(4)),
+                    ActionOp::SetEgress(Operand::Field(fr(0, 0))),
+                ],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.build()
+    }
+
+    fn build(p: Program) -> AdcpSwitch {
+        AdcpSwitch::new(
+            p,
+            TargetModel::adcp_reference(),
+            CompileOptions::default(),
+            AdcpConfig::default(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn end_to_end_through_central() {
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        sw.inject(PortId(0), pkt_with(1, 1, 9, 5, 0, [1, 2, 3, 4]), SimTime::ZERO);
+        sw.run_until_idle();
+        let out = sw.take_delivered();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].port, PortId(9));
+        assert_eq!(read_vals(&out[0].data), [1, 2, 3, 4]);
+        assert_eq!(out[0].meta.elements, 4);
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn coflow_state_converges_globally() {
+        // Packets from EVERY port, same key -> same central pipe: the
+        // aggregate converges without recirculation (unlike RMT).
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        let n_ports = sw.target().ports;
+        for p in 0..n_ports {
+            sw.inject(
+                PortId(p),
+                pkt_with(p as u64, p as u64, 0, 42, 100, [1, 1, 1, 1]),
+                SimTime::ZERO,
+            );
+        }
+        sw.run_until_idle();
+        assert_eq!(sw.counters.delivered, n_ports as u64);
+        // All contributions landed on one central pipe's register shard.
+        let total: u64 = (0..sw.num_central())
+            .map(|c| sw.central_register(c, RegId(0)).peek(100))
+            .sum();
+        assert_eq!(total, n_ports as u64);
+        let max: u64 = (0..sw.num_central())
+            .map(|c| sw.central_register(c, RegId(0)).peek(100))
+            .max()
+            .unwrap();
+        assert_eq!(max, n_ports as u64, "single shard holds the whole coflow");
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn any_port_reachable_from_central() {
+        // Same key (same central pipe), but results leave via every port —
+        // impossible under RMT egress pinning, native here (Fig. 5).
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        let n_ports = sw.target().ports;
+        for dst in 0..n_ports {
+            sw.inject(
+                PortId(0),
+                pkt_with(dst as u64, dst as u64, dst, 7, 0, [0; 4]),
+                SimTime::ZERO,
+            );
+        }
+        sw.run_until_idle();
+        let mut ports: Vec<u16> = sw.take_delivered().iter().map(|d| d.port.0).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, (0..n_ports).collect::<Vec<_>>());
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn array_aggregation_reads_back_running_sums() {
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        // Two workers aggregate into slot 8 — space injections so the
+        // first fully traverses before the second (readback order).
+        sw.inject(PortId(0), pkt_with(1, 1, 3, 0, 8, [1, 2, 3, 4]), SimTime::ZERO);
+        sw.inject(
+            PortId(1),
+            pkt_with(2, 1, 3, 0, 8, [10, 20, 30, 40]),
+            SimTime::from_us(1),
+        );
+        sw.run_until_idle();
+        let out = sw.take_delivered();
+        assert_eq!(out.len(), 2);
+        assert_eq!(read_vals(&out[0].data), [1, 2, 3, 4]);
+        assert_eq!(read_vals(&out[1].data), [11, 22, 33, 44]);
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn tm1_merge_emits_globally_sorted_stream() {
+        // Two ports send streams sorted by slot; TM1 MergeOrder interleaves
+        // them into one globally sorted stream (§3.1).
+        let prog = aggregate_program(SchedPolicy::MergeOrder);
+        let mut sw = AdcpSwitch::new(
+            prog,
+            TargetModel::adcp_reference(),
+            CompileOptions::default(),
+            AdcpConfig {
+                demux: DemuxPolicy::FlowHash,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        // Same key => same central pipe; slots interleave across ports.
+        let a = [1u32, 4, 7, 10, 13];
+        let b_ = [2u32, 5, 8, 11, 14];
+        for (i, s) in a.iter().enumerate() {
+            sw.inject(
+                PortId(0),
+                pkt_with(i as u64, 1, 3, 9, *s, [0; 4]),
+                SimTime(i as u64 * 10),
+            );
+        }
+        for (i, s) in b_.iter().enumerate() {
+            sw.inject(
+                PortId(1),
+                pkt_with(100 + i as u64, 2, 3, 9, *s, [0; 4]),
+                SimTime(i as u64 * 10),
+            );
+        }
+        sw.run_until_idle();
+        let out = sw.take_delivered();
+        assert_eq!(out.len(), 10);
+        let keys: Vec<u64> = out.iter().map(|d| d.meta.sort_key.unwrap()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        assert_eq!(keys, sorted, "merge order violated: {keys:?}");
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn demux_spreads_a_port_over_its_pipelines() {
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        for i in 0..100u64 {
+            sw.inject(PortId(0), pkt_with(i, i, 1, i as u16, 0, [0; 4]), SimTime::ZERO);
+        }
+        sw.run_until_idle();
+        let pipes: Vec<usize> = sw.pipes_of_port(PortId(0)).collect();
+        assert_eq!(pipes.len(), 2, "1:2 demux");
+        for p in &pipes {
+            assert!(
+                sw.ingress_busy_cycles(*p) >= 40,
+                "pipe {p} underused: {}",
+                sw.ingress_busy_cycles(*p)
+            );
+        }
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn multicast_from_central_to_every_port() {
+        // Central table multicasts the result to a declared group.
+        let mut b = ProgramBuilder::new("mcast");
+        let h = b.header(header());
+        b.parser(ParserSpec::single(h));
+        let every: Vec<PortId> = (0..16).map(PortId).collect();
+        let g = b.mcast_group(every.clone());
+        b.table(TableDef {
+            name: "bcast".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new("bcast", vec![ActionOp::SetMulticast(Operand::Const(g as u64))])],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        let mut sw = build(b.build());
+        sw.inject(PortId(5), pkt_with(1, 1, 0, 0, 0, [9; 4]), SimTime::ZERO);
+        sw.run_until_idle();
+        let out = sw.take_delivered();
+        assert_eq!(out.len(), 16);
+        assert_eq!(sw.counters.mcast_copies, 15);
+        let mut ports: Vec<u16> = out.iter().map(|d| d.port.0).collect();
+        ports.sort_unstable();
+        assert_eq!(ports, (0..16).collect::<Vec<_>>());
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn partitioned_table_entries_per_central_pipe() {
+        // install_central_at shards a lookup table across central pipes.
+        let mut b = ProgramBuilder::new("shard");
+        let h = b.header(header());
+        b.parser(ParserSpec::single(h));
+        b.table(TableDef {
+            name: "part".into(),
+            region: Region::Ingress,
+            key: None,
+            actions: vec![ActionDef::new(
+                "p",
+                vec![ActionOp::SetCentralPipe(Operand::Field(fr(0, 1)))],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.table(TableDef {
+            name: "lookup".into(),
+            region: Region::Central,
+            key: Some(KeySpec {
+                field: fr(0, 1),
+                kind: MatchKind::Exact,
+                bits: 16,
+            }),
+            actions: vec![
+                ActionDef::new("hit", vec![ActionOp::SetEgress(Operand::Param(0))]),
+                ActionDef::new("miss", vec![ActionOp::Drop]),
+            ],
+            default_action: 1,
+            default_params: vec![],
+            size: 64,
+        });
+        let mut sw = build(b.build());
+        // Shard: key k lives only on central pipe k % 4 — which is exactly
+        // where the partition action sends it, so every lookup hits.
+        for k in 0..8u16 {
+            sw.install_central_at(
+                (k % 4) as usize,
+                "lookup",
+                Entry {
+                    value: MatchValue::Exact(k as u64),
+                    action: 0,
+                    params: vec![(k % 16) as u64],
+                },
+            )
+            .unwrap();
+        }
+        for k in 0..8u16 {
+            sw.inject(
+                PortId(0),
+                pkt_with(k as u64, k as u64, 0, k, 0, [0; 4]),
+                SimTime::ZERO,
+            );
+        }
+        sw.run_until_idle();
+        assert_eq!(sw.counters.delivered, 8);
+        assert_eq!(sw.counters.filtered, 0);
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn flow_hash_demux_keeps_flow_order() {
+        // FlowHash demux pins a flow to one ingress pipeline, so per-flow
+        // delivery order matches injection order even under load.
+        let mut sw = AdcpSwitch::new(
+            aggregate_program(SchedPolicy::Fifo),
+            TargetModel::adcp_reference(),
+            CompileOptions::default(),
+            AdcpConfig {
+                demux: DemuxPolicy::FlowHash,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        for i in 0..200u64 {
+            // Two flows interleaved; slot encodes per-flow sequence.
+            let flow = i % 2;
+            sw.inject(
+                PortId(flow as u16),
+                pkt_with(i, flow, 3, 9, (i / 2) as u32, [0; 4]),
+                SimTime(i * 10),
+            );
+        }
+        sw.run_until_idle();
+        let out = sw.take_delivered();
+        let mut last_slot = [0i64; 2];
+        for d in &out {
+            let flow = (d.meta.flow.0 % 2) as usize;
+            let slot = d.meta.sort_key.unwrap() as i64;
+            assert!(slot >= last_slot[flow], "flow {flow} reordered");
+            last_slot[flow] = slot;
+        }
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn parse_error_counted_and_conserved() {
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        sw.inject(PortId(0), Packet::new(1, FlowId(0), vec![0u8; 3]), SimTime::ZERO);
+        sw.run_until_idle();
+        assert_eq!(sw.counters.parse_errors, 1);
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn filtered_in_central_counted() {
+        // A program whose central region drops everything.
+        let mut b = ProgramBuilder::new("dropper");
+        let h = b.header(header());
+        b.parser(ParserSpec::single(h));
+        b.table(TableDef {
+            name: "drop_all".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new("d", vec![ActionOp::Drop])],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        let mut sw = build(b.build());
+        for i in 0..10u64 {
+            sw.inject(PortId(0), pkt_with(i, i, 1, 0, 0, [0; 4]), SimTime::ZERO);
+        }
+        sw.run_until_idle();
+        assert_eq!(sw.counters.filtered, 10);
+        assert_eq!(sw.counters.delivered, 0);
+        sw.check_conservation();
+    }
+
+    #[test]
+    fn deterministic_given_same_input() {
+        let run = || {
+            let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+            for i in 0..200u64 {
+                sw.inject(
+                    PortId((i % 16) as u16),
+                    pkt_with(
+                        i,
+                        i % 7,
+                        (i % 16) as u16,
+                        (i % 32) as u16,
+                        (i % 64) as u32,
+                        [i as u32, 1, 2, 3],
+                    ),
+                    SimTime(i * 50),
+                );
+            }
+            let end = sw.run_until_idle();
+            let out = sw.take_delivered();
+            (
+                end,
+                out.len(),
+                out.iter().map(|d| d.time.as_ps()).sum::<u64>(),
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

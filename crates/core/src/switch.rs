@@ -1,0 +1,802 @@
+//! The event-driven ADCP switch model (the paper's Figure 4).
+//!
+//! Packet life cycle:
+//!
+//! ```text
+//! inject -> RX port -> 1:m demux -> ingress pipeline (port_rate/m clock)
+//!        -> TM1 (application-defined partition + schedule)
+//!        -> central pipeline  (the global partitioned area, §3.1)
+//!        -> TM2 (classic any-port scheduler, multicast-capable)
+//!        -> egress pipeline -> m:1 mux -> TX port -> delivered
+//! ```
+//!
+//! Differences from [`adcp-rmt`]'s model, each lifting one RMT limitation:
+//!
+//! * **Two traffic managers** create the central pipelines. State placed
+//!   there by TM1 (by hash, range, or merge order — the program decides via
+//!   `SetCentralPipe`/`SetSortKey`) can still be forwarded to *any* egress
+//!   port by TM2, including multicast (fixes Fig. 2).
+//! * **Array MAUs**: stages match array fields natively, one lane per
+//!   element, against a single shared table copy (fixes Fig. 3); wide
+//!   register ops aggregate whole arrays in one traversal (§3.2).
+//! * **Port demultiplexing**: each port feeds `m` pipelines, so the
+//!   pipeline clock is `port_rate/m` — Table 3's scaling story (§3.3).
+
+use adcp_lang::phv::Phv;
+use adcp_lang::target::TargetModel;
+use adcp_lang::{
+    compile, deparse, CompileError, CompileOptions, Entry, Placement, Program, RegId, Region,
+    RegionState, RegisterFile, TableError,
+};
+use adcp_sim::event::EventQueue;
+use adcp_sim::packet::{EgressSpec, Packet, PortId};
+use adcp_sim::port::{RxPort, TxPort};
+use adcp_sim::queue::BufferPool;
+use adcp_sim::sched::ScheduledQueues;
+use adcp_sim::stats::{LatencyHist, Meter};
+use adcp_sim::time::{Duration, SimTime};
+use adcp_sim::trace::{Site, Tracer};
+
+/// How the RX side spreads a port's packets over its `m` pipelines (§3.3:
+/// "an application must define how to separate the packet contents").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DemuxPolicy {
+    /// Alternate pipelines packet by packet (maximum load spread).
+    #[default]
+    RoundRobin,
+    /// Pin each flow to one pipeline (preserves per-flow order end-to-end).
+    FlowHash,
+}
+
+/// Tuning knobs for an [`AdcpSwitch`].
+#[derive(Debug, Clone)]
+pub struct AdcpConfig {
+    /// Cells in each TM's shared buffer.
+    pub tm_cells: u64,
+    /// Bytes per buffer cell.
+    pub cell_bytes: u32,
+    /// Per-queue depth in packets (both TMs).
+    pub queue_depth: usize,
+    /// RX demultiplexing policy.
+    pub demux: DemuxPolicy,
+    /// Retain a packet-walk trace.
+    pub trace: bool,
+    /// Per-port speed overrides (port, speed) — models hosts with slower
+    /// NICs than the switch's native port rate (the Table 1 group-
+    /// communication scenario).
+    pub port_speeds: Vec<(u16, adcp_sim::port::LinkSpeed)>,
+    /// With a `MergeOrder` TM1: how long a central pipeline may stall
+    /// waiting for every un-ended input queue to present a head (the
+    /// exact-merge precondition) before proceeding with the streaming
+    /// approximation. Applications that want exact merges mark unused
+    /// inputs ended and terminate streams with end-of-stream records.
+    pub merge_patience: Duration,
+}
+
+impl Default for AdcpConfig {
+    fn default() -> Self {
+        AdcpConfig {
+            tm_cells: 65_536,
+            cell_bytes: 80,
+            queue_depth: 512,
+            demux: DemuxPolicy::default(),
+            trace: false,
+            port_speeds: Vec::new(),
+            merge_patience: Duration::from_us(2),
+        }
+    }
+}
+
+/// Drop/flow accounting; see [`AdcpSwitch::check_conservation`].
+#[derive(Debug, Clone, Default)]
+pub struct AdcpCounters {
+    /// Packets injected.
+    pub injected: u64,
+    /// Extra copies created by TM2 multicast.
+    pub mcast_copies: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Parse failures (any pipeline).
+    pub parse_errors: u64,
+    /// Dropped by a program `Drop` action.
+    pub filtered: u64,
+    /// Reached TM2 with no forwarding decision.
+    pub no_decision: u64,
+    /// Forwarding decision named a nonexistent port.
+    pub bad_port: u64,
+    /// TM1 buffer exhaustion.
+    pub tm1_drops: u64,
+    /// TM1 per-queue tail drops.
+    pub tm1_queue_drops: u64,
+    /// TM2 buffer exhaustion.
+    pub tm2_drops: u64,
+    /// TM2 per-queue tail drops.
+    pub tm2_queue_drops: u64,
+}
+
+impl AdcpCounters {
+    /// Sum of all drop classes.
+    pub fn total_drops(&self) -> u64 {
+        self.parse_errors
+            + self.filtered
+            + self.no_decision
+            + self.bad_port
+            + self.tm1_drops
+            + self.tm1_queue_drops
+            + self.tm2_drops
+            + self.tm2_queue_drops
+    }
+}
+
+/// A packet that left the switch.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// TX port it left on.
+    pub port: PortId,
+    /// Time its last bit left.
+    pub time: SimTime,
+    /// Final frame contents.
+    pub data: Vec<u8>,
+    /// Final metadata.
+    pub meta: adcp_sim::packet::PacketMeta,
+}
+
+struct IngressPipe {
+    next_slot: SimTime,
+    busy_cycles: u64,
+    state: RegionState,
+}
+
+struct CentralPipe {
+    next_slot: SimTime,
+    busy_cycles: u64,
+    /// MergeOrder: when the current wait-for-merge-ready began.
+    merge_wait_since: Option<SimTime>,
+    state: RegionState,
+    /// One queue per ingress pipeline feeding this central pipe, so the
+    /// order-preserving merge has per-input streams to merge (§3.1).
+    queues: ScheduledQueues,
+    pull_scheduled: bool,
+}
+
+struct EgressPipe {
+    next_slot: SimTime,
+    busy_cycles: u64,
+    state: RegionState,
+    queues: ScheduledQueues,
+    pull_scheduled: bool,
+}
+
+enum Ev {
+    Inject { port: u16, pkt: Packet },
+    IngressEnter { pipe: usize, pkt: Packet },
+    IngressOut { pipe: usize, pkt: Packet },
+    PullCentral { cpipe: usize },
+    CentralOut { cpipe: usize, pkt: Packet },
+    PullEgress { epipe: usize },
+    EgressOut { epipe: usize, pkt: Packet },
+}
+
+/// The Application-Defined Coflow Processor.
+pub struct AdcpSwitch {
+    target: TargetModel,
+    program: Program,
+    layout: adcp_lang::PhvLayout,
+    /// Compilation result the switch was built from.
+    pub placement: Placement,
+    cfg: AdcpConfig,
+    rx: Vec<RxPort>,
+    tx: Vec<TxPort>,
+    ingress: Vec<IngressPipe>,
+    central: Vec<CentralPipe>,
+    egress: Vec<EgressPipe>,
+    pool1: BufferPool,
+    pool2: BufferPool,
+    events: EventQueue<Ev>,
+    period: Duration,
+    demux_rr: Vec<u16>,
+    /// Drop/flow accounting.
+    pub counters: AdcpCounters,
+    /// Meter over delivered packets (throughput, goodput, keys/s).
+    pub out_meter: Meter,
+    /// End-to-end latency (created -> last bit out).
+    pub latency: LatencyHist,
+    /// Packet-walk trace.
+    pub tracer: Tracer,
+    delivered: Vec<Delivered>,
+    in_flight: u64,
+    last_delivery: SimTime,
+}
+
+impl AdcpSwitch {
+    /// Build a switch for `program` on `target` (must be an ADCP target).
+    pub fn new(
+        program: Program,
+        target: TargetModel,
+        opts: CompileOptions,
+        cfg: AdcpConfig,
+    ) -> Result<Self, CompileError> {
+        assert!(
+            target.has_central() || !program.uses_central(),
+            "ADCP targets should declare central pipelines"
+        );
+        let placement = compile(&program, &target, opts)?;
+        let layout = program.layout();
+        let n_ing = target.num_pipes() as usize;
+        let n_central = target.central_pipes.max(1) as usize;
+        let speed_of = |p: u16| {
+            cfg.port_speeds
+                .iter()
+                .find(|(port, _)| *port == p)
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|| target.port_speed())
+        };
+        let rx = (0..target.ports)
+            .map(|p| RxPort::new(PortId(p), speed_of(p)))
+            .collect();
+        let tx = (0..target.ports)
+            .map(|p| TxPort::new(PortId(p), speed_of(p)))
+            .collect();
+        let ingress = (0..n_ing)
+            .map(|_| IngressPipe {
+                next_slot: SimTime::ZERO,
+                busy_cycles: 0,
+                state: RegionState::new(&program, Region::Ingress),
+            })
+            .collect();
+        let tm1 = program.tm1.policy;
+        let central = (0..n_central)
+            .map(|_| CentralPipe {
+                next_slot: SimTime::ZERO,
+                busy_cycles: 0,
+                merge_wait_since: None,
+                state: RegionState::new(&program, Region::Central),
+                queues: ScheduledQueues::new(n_ing, cfg.queue_depth, tm1),
+                pull_scheduled: false,
+            })
+            .collect();
+        let tm2 = program.tm2.policy;
+        let egress = (0..n_ing)
+            .map(|_| EgressPipe {
+                next_slot: SimTime::ZERO,
+                busy_cycles: 0,
+                state: RegionState::new(&program, Region::Egress),
+                queues: ScheduledQueues::new(1, cfg.queue_depth, tm2),
+                pull_scheduled: false,
+            })
+            .collect();
+        let pool1 = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
+        let pool2 = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
+        let period = target.pipe_freq().period();
+        let tracer = if cfg.trace {
+            Tracer::new(65_536)
+        } else {
+            Tracer::disabled()
+        };
+        let demux_rr = vec![0; target.ports as usize];
+        Ok(AdcpSwitch {
+            target,
+            program,
+            layout,
+            placement,
+            cfg,
+            rx,
+            tx,
+            ingress,
+            central,
+            egress,
+            pool1,
+            pool2,
+            events: EventQueue::new(),
+            period,
+            demux_rr,
+            counters: AdcpCounters::default(),
+            out_meter: Meter::default(),
+            latency: LatencyHist::new(),
+            tracer,
+            delivered: Vec::new(),
+            in_flight: 0,
+            last_delivery: SimTime::ZERO,
+        })
+    }
+
+    /// The target this switch models.
+    pub fn target(&self) -> &TargetModel {
+        &self.target
+    }
+
+    /// The program it runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Number of central pipelines.
+    pub fn num_central(&self) -> usize {
+        self.central.len()
+    }
+
+    /// The `m` ingress pipelines fed by a port (1:m demux, §3.3).
+    pub fn pipes_of_port(&self, port: PortId) -> std::ops::Range<usize> {
+        let m = self.target.demux_factor as usize;
+        let base = port.0 as usize * m;
+        base..base + m
+    }
+
+    // ---------------- control plane ----------------
+
+    /// Install a table entry into every pipeline hosting the table.
+    pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
+        let gi = self
+            .program
+            .tables
+            .iter()
+            .position(|t| t.name == table)
+            .unwrap_or_else(|| panic!("no table named {table}"));
+        let program = self.program.clone();
+        match program.tables[gi].region {
+            Region::Ingress => {
+                for p in &mut self.ingress {
+                    p.state.install(&program, gi, entry.clone())?;
+                }
+            }
+            Region::Central => {
+                for p in &mut self.central {
+                    p.state.install(&program, gi, entry.clone())?;
+                }
+            }
+            Region::Egress => {
+                for p in &mut self.egress {
+                    p.state.install(&program, gi, entry.clone())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Install an entry into a single central pipeline (the partitioned
+    /// placement of §3.1: each central pipe owns a shard of the state).
+    pub fn install_central_at(
+        &mut self,
+        cpipe: usize,
+        table: &str,
+        entry: Entry,
+    ) -> Result<(), TableError> {
+        let gi = self
+            .program
+            .tables
+            .iter()
+            .position(|t| t.name == table)
+            .unwrap_or_else(|| panic!("no table named {table}"));
+        let program = self.program.clone();
+        self.central[cpipe].state.install(&program, gi, entry)
+    }
+
+    /// Read a central pipeline's register file.
+    pub fn central_register(&self, cpipe: usize, reg: RegId) -> &RegisterFile {
+        self.central[cpipe].state.register(reg)
+    }
+
+    /// Mutable access to a central register file (epoch resets).
+    pub fn central_register_mut(&mut self, cpipe: usize, reg: RegId) -> &mut RegisterFile {
+        self.central[cpipe].state.register_mut(reg)
+    }
+
+    /// Declare that ingress pipe `ipipe` will send no more packets to
+    /// central pipe `cpipe` (releases an exact order-preserving merge).
+    pub fn tm1_mark_ended(&mut self, cpipe: usize, ipipe: usize) {
+        self.central[cpipe].queues.mark_ended(ipipe);
+    }
+
+    // ---------------- data plane ----------------
+
+    /// Offer a packet to an RX port at `t`.
+    pub fn inject(&mut self, port: PortId, mut pkt: Packet, t: SimTime) {
+        assert!((port.0 as usize) < self.rx.len());
+        if pkt.meta.created == SimTime::ZERO {
+            pkt.meta.created = t;
+        }
+        self.counters.injected += 1;
+        self.in_flight += 1;
+        self.events.push(t, Ev::Inject { port: port.0, pkt });
+    }
+
+    /// Run until no events remain; returns quiescence time — the later of
+    /// the last event and the last bit serialized out a TX port.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        let mut last = self.events.now();
+        while let Some((t, ev)) = self.events.pop() {
+            self.handle(t, ev);
+            last = t;
+        }
+        last.max(self.last_delivery)
+    }
+
+    /// Drain delivered packets.
+    pub fn take_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Packets currently inside the switch.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Panic unless every packet is accounted for. Call at idle.
+    pub fn check_conservation(&self) {
+        let c = &self.counters;
+        assert_eq!(
+            c.injected + c.mcast_copies,
+            c.delivered + c.total_drops() + self.in_flight,
+            "conservation violated: {c:?} in_flight={}",
+            self.in_flight
+        );
+    }
+
+    /// High-water mark across both TM buffers, in cells.
+    pub fn tm_buffer_hwm(&self) -> u64 {
+        self.pool1.hwm_cells.max(self.pool2.hwm_cells)
+    }
+
+    /// Utilization of one ingress pipeline.
+    pub fn ingress_utilization(&self, pipe: usize, now: SimTime) -> f64 {
+        let total = now.as_ps() / self.period.as_ps().max(1);
+        if total == 0 {
+            0.0
+        } else {
+            self.ingress[pipe].busy_cycles as f64 / total as f64
+        }
+    }
+
+    /// Busy cycles of one ingress pipeline (demux spread checks).
+    pub fn ingress_busy_cycles(&self, pipe: usize) -> u64 {
+        self.ingress[pipe].busy_cycles
+    }
+
+    /// Busy cycles of one central pipeline (partition balance checks).
+    pub fn central_busy_cycles(&self, cpipe: usize) -> u64 {
+        self.central[cpipe].busy_cycles
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Inject { port, pkt } => self.on_inject(now, port, pkt),
+            Ev::IngressEnter { pipe, pkt } => self.on_ingress_enter(now, pipe, pkt),
+            Ev::IngressOut { pipe, pkt } => self.on_ingress_out(now, pipe, pkt),
+            Ev::PullCentral { cpipe } => self.on_pull_central(now, cpipe),
+            Ev::CentralOut { cpipe, pkt } => self.on_central_out(now, cpipe, pkt),
+            Ev::PullEgress { epipe } => self.on_pull_egress(now, epipe),
+            Ev::EgressOut { epipe, pkt } => self.on_egress_out(now, epipe, pkt),
+        }
+    }
+
+    fn on_inject(&mut self, now: SimTime, port: u16, mut pkt: Packet) {
+        let done = self.rx[port as usize].receive(&mut pkt, now);
+        self.tracer.record(done, pkt.meta.id, Site::Rx(PortId(port)));
+        // 1:m demultiplex (§3.3).
+        let m = self.target.demux_factor as usize;
+        let lane = match self.cfg.demux {
+            DemuxPolicy::RoundRobin => {
+                let l = self.demux_rr[port as usize] as usize % m;
+                self.demux_rr[port as usize] = self.demux_rr[port as usize].wrapping_add(1);
+                l
+            }
+            DemuxPolicy::FlowHash => (adcp_lang::fold_hash([pkt.meta.flow.0]) % m as u64) as usize,
+        };
+        let pipe = port as usize * m + lane;
+        self.events.push(done, Ev::IngressEnter { pipe, pkt });
+    }
+
+    /// Parse, run ingress region, occupy a slot, deparse.
+    fn on_ingress_enter(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
+        let Some((mut phv, out_extracted, consumed, depth)) = self.parse(now, &pkt) else {
+            return;
+        };
+        phv.intr.ingress_port = pkt.meta.ingress_port;
+        let parse_done = now + Duration(depth as u64 * self.period.as_ps());
+        let p = &mut self.ingress[pipe];
+        let entry = parse_done.max(p.next_slot);
+        p.next_slot = entry + self.period;
+        p.busy_cycles += 1;
+        self.tracer.record(entry, pkt.meta.id, Site::IngressPipe(pipe));
+        let program = self.program.clone();
+        p.state.run(&program, &self.layout, &mut phv);
+        let pkt = self.writeback(pkt, &phv, &out_extracted, consumed);
+        let stages = self.placement.ingress.depth().max(1) as u64;
+        let exit = entry + Duration(stages * self.period.as_ps());
+        self.events.push(exit, Ev::IngressOut { pipe, pkt });
+    }
+
+    /// TM1: application-defined partitioning into central pipelines.
+    fn on_ingress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
+        self.tracer.record(now, pkt.meta.id, Site::Tm1);
+        if pkt.meta.egress == EgressSpec::Drop {
+            self.counters.filtered += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        // Partition criterion: program's choice, else flow hash. This is
+        // the "reshuffle by ranges or hashes" role of the first TM.
+        let cpipe = pkt
+            .meta
+            .central_pipe
+            .map(|c| c as usize % self.central.len())
+            .unwrap_or_else(|| {
+                (adcp_lang::fold_hash([pkt.meta.flow.0]) % self.central.len() as u64) as usize
+            });
+        if !self.central[cpipe].queues.queue(pipe).has_room(&pkt) {
+            self.counters.tm1_queue_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        if !self.pool1.try_alloc(&pkt) {
+            self.counters.tm1_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        let ok = self.central[cpipe].queues.enqueue(pipe, pkt).is_ok();
+        debug_assert!(ok);
+        self.schedule_pull_central(now, cpipe);
+    }
+
+    fn schedule_pull_central(&mut self, now: SimTime, cpipe: usize) {
+        if !self.central[cpipe].pull_scheduled {
+            self.central[cpipe].pull_scheduled = true;
+            let at = now.max(self.central[cpipe].next_slot);
+            self.events.push(at, Ev::PullCentral { cpipe });
+        }
+    }
+
+    fn on_pull_central(&mut self, now: SimTime, cpipe: usize) {
+        self.central[cpipe].pull_scheduled = false;
+        if now < self.central[cpipe].next_slot {
+            let at = self.central[cpipe].next_slot;
+            self.schedule_pull_central(at, cpipe);
+            return;
+        }
+        // Exact-merge gating (§3.1): under MergeOrder, wait (bounded) for
+        // every un-ended input queue to have a head before departing the
+        // global minimum. Streams signal completion via mark_ended or by
+        // ending with a max-key record.
+        if self.program.tm1.policy == adcp_sim::sched::Policy::MergeOrder
+            && !self.central[cpipe].queues.is_empty()
+            && !self.central[cpipe].queues.merge_ready()
+        {
+            let since = *self.central[cpipe]
+                .merge_wait_since
+                .get_or_insert(now);
+            if now.saturating_since(since) < self.cfg.merge_patience {
+                let at = now + self.period;
+                self.schedule_pull_central(at, cpipe);
+                return;
+            }
+            // Patience exhausted: fall through to the streaming
+            // approximation so the switch can never deadlock.
+        }
+        self.central[cpipe].merge_wait_since = None;
+        let Some((_, pkt)) = self.central[cpipe].queues.dequeue() else {
+            return;
+        };
+        self.pool1.release(&pkt);
+        // Parse + run the central region (the global partitioned area).
+        let Some((mut phv, extracted, consumed, _)) = self.parse(now, &pkt) else {
+            return;
+        };
+        phv.intr.ingress_port = pkt.meta.ingress_port;
+        phv.intr.egress = pkt.meta.egress.clone();
+        let p = &mut self.central[cpipe];
+        let entry = now.max(p.next_slot);
+        p.next_slot = entry + self.period;
+        p.busy_cycles += 1;
+        self.tracer
+            .record(entry, pkt.meta.id, Site::CentralPipe(cpipe));
+        let program = self.program.clone();
+        p.state.run(&program, &self.layout, &mut phv);
+        let pkt = self.writeback(pkt, &phv, &extracted, consumed);
+        let stages = self.placement.central.depth().max(1) as u64;
+        let exit = entry + Duration(stages * self.period.as_ps());
+        self.events.push(exit, Ev::CentralOut { cpipe, pkt });
+        if !self.central[cpipe].queues.is_empty() {
+            let next = self.central[cpipe].next_slot;
+            self.schedule_pull_central(next, cpipe);
+        }
+    }
+
+    /// TM2: classic scheduler; any egress port reachable, multicast native.
+    fn on_central_out(&mut self, now: SimTime, _cpipe: usize, pkt: Packet) {
+        self.tracer.record(now, pkt.meta.id, Site::Tm2);
+        match pkt.meta.egress.clone() {
+            EgressSpec::Unset | EgressSpec::Recirculate => {
+                self.counters.no_decision += 1;
+                self.drop_packet(now, pkt.meta.id);
+            }
+            EgressSpec::Drop => {
+                self.counters.filtered += 1;
+                self.drop_packet(now, pkt.meta.id);
+            }
+            EgressSpec::Unicast(p) => self.tm2_admit_one(now, p, pkt),
+            EgressSpec::Multicast(ports) => {
+                if ports.is_empty() {
+                    self.counters.no_decision += 1;
+                    self.drop_packet(now, pkt.meta.id);
+                    return;
+                }
+                self.counters.mcast_copies += ports.len() as u64 - 1;
+                self.in_flight += ports.len() as u64 - 1;
+                for p in ports {
+                    let mut copy = pkt.clone();
+                    copy.meta.egress = EgressSpec::Unicast(p);
+                    self.tm2_admit_one(now, p, copy);
+                }
+            }
+        }
+    }
+
+    fn tm2_admit_one(&mut self, now: SimTime, port: PortId, pkt: Packet) {
+        if port.0 as usize >= self.tx.len() {
+            self.counters.bad_port += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        // The m:1 mux at TX must preserve ordering (§3.3's symmetry with
+        // the RX demux). Per-flow traffic stays ordered by pinning each
+        // flow to one of the port's m egress pipelines; a stream that TM1
+        // merge-ordered (it carries a sort key) is ordered *across* flows,
+        // so the whole coflow shares one lane.
+        let m = self.target.demux_factor as usize;
+        let lane_key = if pkt.meta.sort_key.is_some() {
+            pkt.meta.coflow.map(|c| c.0 as u64).unwrap_or(0)
+        } else {
+            pkt.meta.flow.0
+        };
+        let lane = (adcp_lang::fold_hash([lane_key]) % m as u64) as usize;
+        let epipe = port.0 as usize * m + lane;
+        if !self.egress[epipe].queues.queue(0).has_room(&pkt) {
+            self.counters.tm2_queue_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        if !self.pool2.try_alloc(&pkt) {
+            self.counters.tm2_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        let ok = self.egress[epipe].queues.enqueue(0, pkt).is_ok();
+        debug_assert!(ok);
+        self.schedule_pull_egress(now, epipe);
+    }
+
+    fn schedule_pull_egress(&mut self, now: SimTime, epipe: usize) {
+        if !self.egress[epipe].pull_scheduled {
+            self.egress[epipe].pull_scheduled = true;
+            let at = now.max(self.egress[epipe].next_slot);
+            self.events.push(at, Ev::PullEgress { epipe });
+        }
+    }
+
+    fn on_pull_egress(&mut self, now: SimTime, epipe: usize) {
+        self.egress[epipe].pull_scheduled = false;
+        if now < self.egress[epipe].next_slot {
+            let at = self.egress[epipe].next_slot;
+            self.schedule_pull_egress(at, epipe);
+            return;
+        }
+        // Busy links backpressure into TM2: the pipe only pulls when its
+        // port will be able to accept the packet by the time it has
+        // traversed the egress stages (pipeline/serialization overlap).
+        let port = epipe / self.target.demux_factor as usize;
+        let flight = Duration(
+            self.placement.egress.depth().max(1) as u64 * self.period.as_ps(),
+        );
+        if !self.egress[epipe].queues.is_empty()
+            && self.tx[port].ready_at() > now + flight
+        {
+            self.egress[epipe].pull_scheduled = true;
+            self.events.push(
+                SimTime(self.tx[port].ready_at().as_ps() - flight.as_ps()),
+                Ev::PullEgress { epipe },
+            );
+            return;
+        }
+        let Some((_, pkt)) = self.egress[epipe].queues.dequeue() else {
+            return;
+        };
+        self.pool2.release(&pkt);
+        let Some((mut phv, extracted, consumed, _)) = self.parse(now, &pkt) else {
+            return;
+        };
+        phv.intr.ingress_port = pkt.meta.ingress_port;
+        phv.intr.egress = pkt.meta.egress.clone();
+        let p = &mut self.egress[epipe];
+        let entry = now.max(p.next_slot);
+        p.next_slot = entry + self.period;
+        p.busy_cycles += 1;
+        self.tracer
+            .record(entry, pkt.meta.id, Site::EgressPipe(epipe));
+        let program = self.program.clone();
+        p.state.run(&program, &self.layout, &mut phv);
+        let pkt = self.writeback(pkt, &phv, &extracted, consumed);
+        let stages = self.placement.egress.depth().max(1) as u64;
+        let exit = entry + Duration(stages * self.period.as_ps());
+        self.events.push(exit, Ev::EgressOut { epipe, pkt });
+        if !self.egress[epipe].queues.is_empty() {
+            let next = self.egress[epipe].next_slot;
+            self.schedule_pull_egress(next, epipe);
+        }
+    }
+
+    fn on_egress_out(&mut self, now: SimTime, _epipe: usize, pkt: Packet) {
+        if pkt.meta.egress == EgressSpec::Drop {
+            self.counters.filtered += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        let EgressSpec::Unicast(port) = pkt.meta.egress.clone() else {
+            self.counters.no_decision += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        };
+        let done = self.tx[port.0 as usize].transmit(&pkt, now);
+        self.tracer.record(done, pkt.meta.id, Site::Tx(port));
+        self.counters.delivered += 1;
+        self.in_flight -= 1;
+        self.out_meter.record(
+            pkt.wire_bytes(),
+            pkt.meta.goodput_bytes,
+            pkt.meta.elements,
+        );
+        self.latency.record(done.saturating_since(pkt.meta.created));
+        self.last_delivery = self.last_delivery.max(done);
+        self.delivered.push(Delivered {
+            port,
+            time: done,
+            data: pkt.data.to_vec(),
+            meta: pkt.meta,
+        });
+    }
+
+    /// Parse a packet, accounting failures. Returns the PHV, extraction
+    /// order, header byte count, and parse depth.
+    fn parse(
+        &mut self,
+        now: SimTime,
+        pkt: &Packet,
+    ) -> Option<(Phv, Vec<adcp_lang::HeaderId>, usize, u32)> {
+        match self
+            .program
+            .parser
+            .parse(&self.program.headers, &self.layout, &pkt.data)
+        {
+            Ok(o) => Some((o.phv, o.extracted, o.consumed, o.depth)),
+            Err(_) => {
+                self.counters.parse_errors += 1;
+                self.drop_packet(now, pkt.meta.id);
+                None
+            }
+        }
+    }
+
+    /// Deparse the PHV into the packet and copy intrinsics into metadata.
+    fn writeback(
+        &self,
+        mut pkt: Packet,
+        phv: &Phv,
+        extracted: &[adcp_lang::HeaderId],
+        consumed: usize,
+    ) -> Packet {
+        let payload = &pkt.data[consumed.min(pkt.data.len())..];
+        let data = deparse(&self.program.headers, &self.layout, phv, extracted, payload);
+        pkt.data = data.into();
+        pkt.meta.egress = phv.intr.egress.clone();
+        pkt.meta.central_pipe = phv.intr.central_pipe.or(pkt.meta.central_pipe);
+        if let Some(k) = phv.intr.sort_key {
+            pkt.meta.sort_key = Some(k);
+        }
+        pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
+        pkt
+    }
+
+    fn drop_packet(&mut self, now: SimTime, id: u64) {
+        self.in_flight -= 1;
+        self.tracer.record(now, id, Site::Dropped);
+    }
+}

@@ -1,0 +1,400 @@
+//! Actions: the compute half of match-action processing.
+//!
+//! An [`ActionDef`] is a short straight-line program of [`ActionOp`]s.
+//! Actions execute in a **lane**: scalar tables run one lane (lane 0); an
+//! array-keyed table on the ADCP runs one lane per array element (§3.2).
+//! Inside a lane, reads and writes of array fields address the lane's
+//! element, so the same action text expresses per-element behaviour —
+//! SIMD-style — without the program having to be rewritten per width.
+
+use crate::header::FieldRef;
+use crate::registers::{RegAluOp, RegId};
+use serde::Serialize;
+
+/// A value source for an action op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Operand {
+    /// Immediate constant.
+    Const(u64),
+    /// Current value of a PHV field (lane-indexed for array fields).
+    Field(FieldRef),
+    /// The n-th action-data parameter of the matched table entry.
+    Param(u8),
+}
+
+/// Stateless two-operand ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+    /// Left shift (by `b & 63`).
+    Shl,
+    /// Right shift (by `b & 63`).
+    Shr,
+}
+
+impl BinOp {
+    /// Evaluate the operation.
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            BinOp::Add => a.wrapping_add(b),
+            BinOp::Sub => a.wrapping_sub(b),
+            BinOp::And => a & b,
+            BinOp::Or => a | b,
+            BinOp::Xor => a ^ b,
+            BinOp::Min => a.min(b),
+            BinOp::Max => a.max(b),
+            BinOp::Shl => a.wrapping_shl((b & 63) as u32),
+            BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+        }
+    }
+}
+
+/// One primitive operation inside an action.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum ActionOp {
+    /// `dst = src`.
+    Set {
+        /// Destination field.
+        dst: FieldRef,
+        /// Source value.
+        src: Operand,
+    },
+    /// `dst = a <op> b`.
+    Bin {
+        /// Destination field.
+        dst: FieldRef,
+        /// Operation.
+        op: BinOp,
+        /// Left operand.
+        a: Operand,
+        /// Right operand.
+        b: Operand,
+    },
+    /// `dst = hash(fields...) % modulo` — deterministic multiply-xor hash.
+    /// The canonical way to compute a central-pipeline choice (§3.1: "place
+    /// a given weight ... on a pipeline based on the weight's ID hash").
+    Hash {
+        /// Destination field.
+        dst: FieldRef,
+        /// Fields folded into the hash (lane-indexed when arrays).
+        fields: Vec<FieldRef>,
+        /// Modulus (0 means full 64-bit value).
+        modulo: u64,
+    },
+    /// Single-cell register read: `dst = reg[index]`.
+    RegRead {
+        /// Register array.
+        reg: RegId,
+        /// Cell index.
+        index: Operand,
+        /// Field receiving the value.
+        dst: FieldRef,
+    },
+    /// Single-cell register RMW: `reg[index] <op>= value`; the cell's
+    /// *previous* value is written to `fetch` when given (fetch-op).
+    RegRmw {
+        /// Register array.
+        reg: RegId,
+        /// Cell index.
+        index: Operand,
+        /// ALU operation.
+        op: RegAluOp,
+        /// Value operand.
+        value: Operand,
+        /// Optional destination for the pre-op value.
+        fetch: Option<FieldRef>,
+    },
+    /// Wide register op (ADCP §3.2): for every lane `i` of the `values`
+    /// array field, `reg[base + i] <op>= values[i]`. When `readback` is
+    /// set, each lane also receives the post-op cell value back into the
+    /// array field (the parameter-server "aggregate then distribute" step).
+    RegArray {
+        /// Register array.
+        reg: RegId,
+        /// Base cell index.
+        base: Operand,
+        /// ALU operation applied per lane.
+        op: RegAluOp,
+        /// Array field supplying one value per lane.
+        values: FieldRef,
+        /// Write the post-op cell value back into `values[i]`.
+        readback: bool,
+    },
+    /// Horizontal reduce of an array field into a scalar field.
+    ArrayReduce {
+        /// Destination scalar field.
+        dst: FieldRef,
+        /// Source array field.
+        src: FieldRef,
+        /// Combining operation.
+        op: BinOp,
+    },
+    /// Set the unicast egress port.
+    SetEgress(Operand),
+    /// Replicate to the multicast group whose index the operand yields
+    /// (a `Param` operand lets table entries pick the group).
+    SetMulticast(Operand),
+    /// Choose the central pipeline for the first TM (ADCP §3.1).
+    SetCentralPipe(Operand),
+    /// Set the first TM's merge sort key (§3.1).
+    SetSortKey(Operand),
+    /// Account `n` application data elements on this packet (keys/s meter).
+    CountElements(Operand),
+    /// Drop the packet.
+    Drop,
+    /// Mark the packet dropped but keep executing this action — later ops
+    /// (e.g. inside [`ActionOp::IfEq`]) may override the decision. This is
+    /// how "consume contributions, emit only the completed aggregate"
+    /// (SwitchML-style) is expressed.
+    MarkDrop,
+    /// Predicated execution: run `then` only when `a == b`. One level of
+    /// nesting, which matches what match-action hardware predication
+    /// offers.
+    IfEq {
+        /// Left comparand.
+        a: Operand,
+        /// Right comparand.
+        b: Operand,
+        /// Ops executed on equality.
+        then: Vec<ActionOp>,
+    },
+    /// Request an RMT recirculation pass.
+    Recirculate,
+}
+
+/// A named action: a sequence of primitive ops.
+#[derive(Debug, Clone, Serialize)]
+pub struct ActionDef {
+    /// Human-readable name.
+    pub name: String,
+    /// Ops executed in order.
+    pub ops: Vec<ActionOp>,
+}
+
+impl ActionDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, ops: Vec<ActionOp>) -> Self {
+        ActionDef {
+            name: name.into(),
+            ops,
+        }
+    }
+
+    /// The no-op action.
+    pub fn nop() -> Self {
+        ActionDef::new("nop", vec![])
+    }
+
+    /// Fields this action writes (used for stage-dependency analysis).
+    pub fn writes(&self) -> Vec<FieldRef> {
+        let mut out = Vec::new();
+        for op in &self.ops {
+            match op {
+                ActionOp::Set { dst, .. }
+                | ActionOp::Bin { dst, .. }
+                | ActionOp::Hash { dst, .. }
+                | ActionOp::RegRead { dst, .. }
+                | ActionOp::ArrayReduce { dst, .. } => out.push(*dst),
+                ActionOp::RegRmw { fetch: Some(f), .. } => out.push(*f),
+                ActionOp::RegArray {
+                    values, readback, ..
+                } => {
+                    if *readback {
+                        out.push(*values);
+                    }
+                }
+                ActionOp::IfEq { then, .. } => {
+                    let nested = ActionDef::new("", then.clone());
+                    out.extend(nested.writes());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Fields this action reads.
+    pub fn reads(&self) -> Vec<FieldRef> {
+        let mut out = Vec::new();
+        let push_opnd = |o: &Operand, out: &mut Vec<FieldRef>| {
+            if let Operand::Field(f) = o {
+                out.push(*f);
+            }
+        };
+        for op in &self.ops {
+            match op {
+                ActionOp::Set { src, .. } => push_opnd(src, &mut out),
+                ActionOp::Bin { a, b, .. } => {
+                    push_opnd(a, &mut out);
+                    push_opnd(b, &mut out);
+                }
+                ActionOp::Hash { fields, .. } => out.extend(fields.iter().copied()),
+                ActionOp::RegRead { index, .. } => push_opnd(index, &mut out),
+                ActionOp::RegRmw { index, value, .. } => {
+                    push_opnd(index, &mut out);
+                    push_opnd(value, &mut out);
+                }
+                ActionOp::RegArray { base, values, .. } => {
+                    push_opnd(base, &mut out);
+                    out.push(*values);
+                }
+                ActionOp::ArrayReduce { src, .. } => out.push(*src),
+                ActionOp::SetEgress(o)
+                | ActionOp::SetMulticast(o)
+                | ActionOp::SetCentralPipe(o)
+                | ActionOp::SetSortKey(o)
+                | ActionOp::CountElements(o) => push_opnd(o, &mut out),
+                ActionOp::IfEq { a, b, then } => {
+                    push_opnd(a, &mut out);
+                    push_opnd(b, &mut out);
+                    let nested = ActionDef::new("", then.clone());
+                    out.extend(nested.reads());
+                }
+                _ => {}
+            }
+        }
+        out
+    }
+
+    /// Registers this action touches (each register is pinned to one table).
+    pub fn registers(&self) -> Vec<RegId> {
+        self.ops
+            .iter()
+            .flat_map(|op| match op {
+                ActionOp::RegRead { reg, .. }
+                | ActionOp::RegRmw { reg, .. }
+                | ActionOp::RegArray { reg, .. } => vec![*reg],
+                ActionOp::IfEq { then, .. } => {
+                    ActionDef::new("", then.clone()).registers()
+                }
+                _ => vec![],
+            })
+            .collect()
+    }
+
+    /// True if any op is an array-wide op (needs ADCP array support or RMT
+    /// restructuring).
+    pub fn has_array_ops(&self) -> bool {
+        fn scan(ops: &[ActionOp]) -> bool {
+            ops.iter().any(|op| match op {
+                ActionOp::RegArray { .. } | ActionOp::ArrayReduce { .. } => true,
+                ActionOp::IfEq { then, .. } => scan(then),
+                _ => false,
+            })
+        }
+        scan(&self.ops)
+    }
+}
+
+/// The deterministic hash used by `ActionOp::Hash` (and by TM partitioning):
+/// a multiply-xor fold, stable across runs and platforms.
+pub fn fold_hash(values: impl IntoIterator<Item = u64>) -> u64 {
+    let mut h: u64 = 0x9E37_79B9_7F4A_7C15;
+    for v in values {
+        h ^= v;
+        h = h.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        h ^= h >> 33;
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{FieldId, HeaderId};
+
+    fn fr(h: u16, f: u16) -> FieldRef {
+        FieldRef::new(HeaderId(h), FieldId(f))
+    }
+
+    #[test]
+    fn binop_eval() {
+        assert_eq!(BinOp::Add.eval(u64::MAX, 1), 0);
+        assert_eq!(BinOp::Sub.eval(0, 1), u64::MAX);
+        assert_eq!(BinOp::Min.eval(3, 9), 3);
+        assert_eq!(BinOp::Max.eval(3, 9), 9);
+        assert_eq!(BinOp::Xor.eval(0b1100, 0b1010), 0b0110);
+        assert_eq!(BinOp::Shl.eval(1, 4), 16);
+        assert_eq!(BinOp::Shr.eval(16, 4), 1);
+        assert_eq!(BinOp::Shl.eval(1, 64), 1, "shift masked to 6 bits");
+        assert_eq!(BinOp::And.eval(0b1100, 0b1010), 0b1000);
+        assert_eq!(BinOp::Or.eval(0b1100, 0b1010), 0b1110);
+    }
+
+    #[test]
+    fn read_write_analysis() {
+        let a = ActionDef::new(
+            "agg",
+            vec![
+                ActionOp::RegArray {
+                    reg: RegId(0),
+                    base: Operand::Field(fr(0, 0)),
+                    op: RegAluOp::Add,
+                    values: fr(0, 1),
+                    readback: true,
+                },
+                ActionOp::SetEgress(Operand::Field(fr(0, 2))),
+            ],
+        );
+        assert_eq!(a.writes(), vec![fr(0, 1)]);
+        let reads = a.reads();
+        assert!(reads.contains(&fr(0, 0)));
+        assert!(reads.contains(&fr(0, 1)));
+        assert!(reads.contains(&fr(0, 2)));
+        assert_eq!(a.registers(), vec![RegId(0)]);
+        assert!(a.has_array_ops());
+    }
+
+    #[test]
+    fn no_readback_means_no_write() {
+        let a = ActionDef::new(
+            "agg",
+            vec![ActionOp::RegArray {
+                reg: RegId(1),
+                base: Operand::Const(0),
+                op: RegAluOp::Add,
+                values: fr(0, 1),
+                readback: false,
+            }],
+        );
+        assert!(a.writes().is_empty());
+    }
+
+    #[test]
+    fn nop_action() {
+        let n = ActionDef::nop();
+        assert!(n.ops.is_empty());
+        assert!(n.writes().is_empty());
+        assert!(n.reads().is_empty());
+        assert!(!n.has_array_ops());
+    }
+
+    #[test]
+    fn fold_hash_stable_and_spreads() {
+        let a = fold_hash([1, 2, 3]);
+        let b = fold_hash([1, 2, 3]);
+        assert_eq!(a, b, "deterministic");
+        assert_ne!(fold_hash([1, 2, 3]), fold_hash([3, 2, 1]), "order matters");
+        // Rough uniformity: bucket 10k consecutive keys into 4 pipes.
+        let mut buckets = [0u32; 4];
+        for k in 0..10_000u64 {
+            buckets[(fold_hash([k]) % 4) as usize] += 1;
+        }
+        for b in buckets {
+            assert!((2_200..=2_800).contains(&b), "buckets = {buckets:?}");
+        }
+    }
+}

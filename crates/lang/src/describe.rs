@@ -1,0 +1,344 @@
+//! Human-readable renderings of programs and placements.
+//!
+//! `cargo run --example quickstart` and the app examples use these to show
+//! what a program declares and where the compiler put it — the closest
+//! thing this reproduction has to a P4 source listing.
+
+use crate::action::{ActionOp, Operand};
+use crate::compile::Placement;
+use crate::program::Program;
+use crate::table::Region;
+use std::fmt::Write;
+
+fn operand(o: &Operand) -> String {
+    match o {
+        Operand::Const(c) => format!("{c}"),
+        Operand::Field(f) => format!("{f}"),
+        Operand::Param(i) => format!("param{i}"),
+    }
+}
+
+fn op_line(op: &ActionOp) -> String {
+    match op {
+        ActionOp::Set { dst, src } => format!("{dst} = {}", operand(src)),
+        ActionOp::Bin { dst, op, a, b } => {
+            format!("{dst} = {} {op:?} {}", operand(a), operand(b))
+        }
+        ActionOp::Hash { dst, fields, modulo } => {
+            let fs: Vec<String> = fields.iter().map(|f| format!("{f}")).collect();
+            if *modulo == 0 {
+                format!("{dst} = hash({})", fs.join(", "))
+            } else {
+                format!("{dst} = hash({}) % {modulo}", fs.join(", "))
+            }
+        }
+        ActionOp::RegRead { reg, index, dst } => {
+            format!("{dst} = reg{}[{}]", reg.0, operand(index))
+        }
+        ActionOp::RegRmw {
+            reg,
+            index,
+            op,
+            value,
+            fetch,
+        } => {
+            let base = format!("reg{}[{}] {op:?}= {}", reg.0, operand(index), operand(value));
+            match fetch {
+                Some(f) => format!("{f} = fetch({base})"),
+                None => base,
+            }
+        }
+        ActionOp::RegArray {
+            reg,
+            base,
+            op,
+            values,
+            readback,
+        } => {
+            let rb = if *readback { " (readback)" } else { "" };
+            format!(
+                "reg{}[{} + lane] {op:?}= {values}[lane] forall lanes{rb}",
+                reg.0,
+                operand(base)
+            )
+        }
+        ActionOp::ArrayReduce { dst, src, op } => {
+            format!("{dst} = reduce_{op:?}({src}[*])")
+        }
+        ActionOp::SetEgress(o) => format!("egress_port = {}", operand(o)),
+        ActionOp::SetMulticast(o) => format!("multicast group {}", operand(o)),
+        ActionOp::SetCentralPipe(o) => format!("central_pipe = {}", operand(o)),
+        ActionOp::SetSortKey(o) => format!("sort_key = {}", operand(o)),
+        ActionOp::CountElements(o) => format!("elements += {}", operand(o)),
+        ActionOp::Drop => "drop".into(),
+        ActionOp::MarkDrop => "mark_drop".into(),
+        ActionOp::IfEq { a, b, then } => {
+            let body: Vec<String> = then.iter().map(op_line).collect();
+            format!(
+                "if {} == {} {{ {} }}",
+                operand(a),
+                operand(b),
+                body.join("; ")
+            )
+        }
+        ActionOp::Recirculate => "recirculate".into(),
+    }
+}
+
+/// Render a program as an indented listing.
+pub fn describe_program(p: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "program {} {{", p.name);
+    for (hi, h) in p.headers.iter().enumerate() {
+        let fields: Vec<String> = h
+            .fields
+            .iter()
+            .map(|f| {
+                if f.count > 1 {
+                    format!("{}: {}x{}b", f.name, f.count, f.bits)
+                } else {
+                    format!("{}: {}b", f.name, f.bits)
+                }
+            })
+            .collect();
+        let _ = writeln!(out, "  header h{hi} {} {{ {} }}", h.name, fields.join(", "));
+    }
+    for r in &p.registers {
+        let _ = writeln!(
+            out,
+            "  register {} [{} x {}b]",
+            r.name, r.entries, r.bits
+        );
+    }
+    for (gi, g) in p.mcast_groups.iter().enumerate() {
+        let ports: Vec<String> = g.iter().map(|p| p.to_string()).collect();
+        let _ = writeln!(out, "  mcast_group {gi} {{ {} }}", ports.join(", "));
+    }
+    for region in [Region::Ingress, Region::Central, Region::Egress] {
+        let tables = p.region_tables(region);
+        if tables.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  region {region:?} {{");
+        for (_, t) in tables {
+            let key = match t.key {
+                Some(k) => format!("key {} {:?}/{}b", k.field, k.kind, k.bits),
+                None => "keyless".into(),
+            };
+            let _ = writeln!(out, "    table {} [{} entries, {key}] {{", t.name, t.size);
+            for (ai, a) in t.actions.iter().enumerate() {
+                let marker = if ai == t.default_action { "*" } else { " " };
+                let ops: Vec<String> = a.ops.iter().map(op_line).collect();
+                let _ = writeln!(out, "     {marker}{}: {}", a.name, ops.join("; "));
+            }
+            let _ = writeln!(out, "    }}");
+        }
+        let _ = writeln!(out, "  }}");
+    }
+    let _ = writeln!(out, "  tm1: {:?}   tm2: {:?}", p.tm1.policy, p.tm2.policy);
+    out.push('}');
+    out
+}
+
+/// Render a placement as a per-stage summary.
+pub fn describe_placement(pl: &Placement) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "placement of '{}' on '{}' (central: {:?}, recirc passes: {})",
+        pl.program, pl.target, pl.central_impl, pl.recirc_passes
+    );
+    for (name, plan) in [
+        ("ingress", &pl.ingress),
+        ("central", &pl.central),
+        ("egress", &pl.egress),
+    ] {
+        if plan.stages.is_empty() {
+            continue;
+        }
+        let _ = writeln!(out, "  {name}: {} stage(s)", plan.depth());
+        for (si, st) in plan.stages.iter().enumerate() {
+            let tables: Vec<String> = st
+                .tables
+                .iter()
+                .map(|t| {
+                    if t.replicas > 1 {
+                        format!("{} (x{})", t.name, t.replicas)
+                    } else {
+                        t.name.clone()
+                    }
+                })
+                .collect();
+            let _ = writeln!(
+                out,
+                "    stage {si}: {} | {} MAUs, {} KiB tables, {} KiB regs",
+                tables.join(", "),
+                st.mau_slots_used,
+                st.mem_bits_used / 8 / 1024,
+                st.reg_bits_used / 8 / 1024,
+            );
+        }
+    }
+    let _ = write!(
+        out,
+        "  PHV: {} bits; total table memory: {} KiB",
+        pl.phv_bits_used,
+        pl.total_mem_bits / 8 / 1024
+    );
+    for n in &pl.notes {
+        let _ = write!(out, "\n  note: {n}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::{ActionDef, BinOp};
+    use crate::header::{FieldDef, FieldId, FieldRef, HeaderDef};
+    use crate::parser::ParserSpec;
+    use crate::program::ProgramBuilder;
+    use crate::registers::{RegAluOp, RegisterDef};
+    use crate::table::{KeySpec, MatchKind, TableDef};
+    use crate::target::TargetModel;
+    use crate::{compile, CompileOptions};
+    use adcp_sim::packet::PortId;
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("sample");
+        let h = b.header(HeaderDef::new(
+            "kv",
+            vec![
+                FieldDef::scalar("dst", 16),
+                FieldDef::scalar("slot", 16),
+                FieldDef::array("w", 32, 4),
+            ],
+        ));
+        b.parser(ParserSpec::single(h));
+        let acc = b.register(RegisterDef::new("acc", 128, 32));
+        b.mcast_group(vec![PortId(1), PortId(2)]);
+        b.table(TableDef {
+            name: "route".into(),
+            region: Region::Ingress,
+            key: Some(KeySpec {
+                field: FieldRef::new(crate::HeaderId(0), FieldId(0)),
+                kind: MatchKind::Exact,
+                bits: 16,
+            }),
+            actions: vec![
+                ActionDef::new(
+                    "fwd",
+                    vec![ActionOp::SetEgress(Operand::Param(0))],
+                ),
+                ActionDef::new("drop", vec![ActionOp::Drop]),
+            ],
+            default_action: 1,
+            default_params: vec![],
+            size: 64,
+        });
+        b.table(TableDef {
+            name: "agg".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new(
+                "agg",
+                vec![
+                    ActionOp::RegArray {
+                        reg: acc,
+                        base: Operand::Field(FieldRef::new(crate::HeaderId(0), FieldId(1))),
+                        op: RegAluOp::Add,
+                        values: FieldRef::new(crate::HeaderId(0), FieldId(2)),
+                        readback: true,
+                    },
+                    ActionOp::IfEq {
+                        a: Operand::Field(FieldRef::new(crate::HeaderId(0), FieldId(1))),
+                        b: Operand::Const(3),
+                        then: vec![ActionOp::SetMulticast(Operand::Const(0))],
+                    },
+                ],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.build()
+    }
+
+    #[test]
+    fn program_listing_is_complete() {
+        let s = describe_program(&sample());
+        for needle in [
+            "program sample",
+            "header h0 kv",
+            "w: 4x32b",
+            "register acc [128 x 32b]",
+            "mcast_group 0 { p1, p2 }",
+            "region Ingress",
+            "table route [64 entries",
+            "*drop: drop",
+            "region Central",
+            "readback",
+            "if h0.f1 == 3 { multicast group 0 }",
+            "tm1: Fifo",
+        ] {
+            assert!(s.contains(needle), "missing {needle:?} in:\n{s}");
+        }
+    }
+
+    #[test]
+    fn placement_listing_shows_replication() {
+        let p = sample();
+        let pl = compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).unwrap();
+        let s = describe_placement(&pl);
+        assert!(s.contains("on 'adcp-ref'"), "{s}");
+        assert!(s.contains("central: Native"), "{s}");
+        assert!(s.contains("ingress: 1 stage(s)"), "{s}");
+        assert!(s.contains("PHV: "), "{s}");
+        // RMT placement shows the replica count (array *match* table —
+        // the array ALU op of `sample` cannot lower to RMT at all).
+        let mut b = ProgramBuilder::new("rmt-arr");
+        let h = b.header(HeaderDef::new(
+            "kv",
+            vec![FieldDef::array("keys", 32, 4)],
+        ));
+        b.parser(ParserSpec::single(h));
+        b.table(TableDef {
+            name: "lookup".into(),
+            region: Region::Ingress,
+            key: Some(KeySpec {
+                field: FieldRef::new(crate::HeaderId(0), FieldId(0)),
+                kind: MatchKind::Exact,
+                bits: 32,
+            }),
+            actions: vec![ActionDef::nop()],
+            default_action: 0,
+            default_params: vec![],
+            size: 64,
+        });
+        let p2 = b.build();
+        let pl = compile(&p2, &TargetModel::rmt_12t(), CompileOptions::default()).unwrap();
+        let s = describe_placement(&pl);
+        assert!(s.contains("lookup (x4)"), "{s}");
+        assert!(s.contains("note:"), "{s}");
+    }
+
+    #[test]
+    fn op_lines_render_every_variant() {
+        let f = FieldRef::new(crate::HeaderId(0), FieldId(0));
+        let cases = vec![
+            ActionOp::Set { dst: f, src: Operand::Const(1) },
+            ActionOp::Bin { dst: f, op: BinOp::Add, a: Operand::Field(f), b: Operand::Param(0) },
+            ActionOp::Hash { dst: f, fields: vec![f], modulo: 4 },
+            ActionOp::RegRead { reg: crate::RegId(0), index: Operand::Const(0), dst: f },
+            ActionOp::ArrayReduce { dst: f, src: f, op: BinOp::Max },
+            ActionOp::SetSortKey(Operand::Field(f)),
+            ActionOp::SetCentralPipe(Operand::Const(2)),
+            ActionOp::CountElements(Operand::Const(4)),
+            ActionOp::MarkDrop,
+            ActionOp::Recirculate,
+        ];
+        for c in cases {
+            assert!(!op_line(&c).is_empty());
+        }
+    }
+}

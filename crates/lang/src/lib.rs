@@ -1,0 +1,50 @@
+//! # adcp-lang — match-action program IR and compiler
+//!
+//! A small, P4-flavoured intermediate representation for switch programs,
+//! shared by the RMT baseline and the ADCP model:
+//!
+//! * [`header`] — packet formats with scalar **and array** fields (§3.2).
+//! * [`parser`] — parse graphs and the parsing engine.
+//! * [`phv`] — packet header vectors with array slots and intrinsic
+//!   metadata (egress decision, central-pipeline choice, merge sort key).
+//! * [`table`] / [`action`] / [`registers`] — match-action tables, action
+//!   primitives (including wide register ops), stateful register files.
+//! * [`program`] — complete programs + validation + a fluent builder.
+//! * [`target`] — per-architecture resource models (Table 2/3 presets).
+//! * [`compile`] — placement onto targets. Array tables replicate on RMT
+//!   (Fig. 3) and share interconnected MAU memory on ADCP (Fig. 6);
+//!   central tables lower to egress-pinning or recirculation on RMT
+//!   (Fig. 2) and place natively on ADCP (§3.1).
+//! * [`exec`] — the interpreter: per-pipeline region state with lane
+//!   (SIMD-style) semantics for array tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod action;
+pub mod compile;
+pub mod describe;
+pub mod exec;
+pub mod header;
+pub mod parser;
+pub mod phv;
+pub mod program;
+pub mod protocols;
+pub mod registers;
+pub mod table;
+pub mod target;
+
+pub use action::{fold_hash, ActionDef, ActionOp, BinOp, Operand};
+pub use compile::{
+    compile, CentralImpl, CompileError, CompileOptions, PlacedTable, Placement, RegionPlan,
+    RmtCentralStrategy, StagePlan,
+};
+pub use describe::{describe_placement, describe_program};
+pub use exec::{RegionRunStats, RegionState};
+pub use header::{deposit_bits, extract_bits, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId};
+pub use parser::{deparse, ParseError, ParseOutcome, ParserSpec, ParserState, StateId, Transition};
+pub use phv::{Intrinsics, Phv, PhvLayout};
+pub use program::{Program, ProgramBuilder, TmSpec, ValidateError};
+pub use registers::{RegAluOp, RegId, RegisterDef, RegisterFile};
+pub use table::{Entry, KeySpec, MatchKind, MatchValue, Region, TableDef, TableError, TableRuntime};
+pub use target::{Arch, TargetModel};

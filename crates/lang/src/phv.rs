@@ -1,0 +1,298 @@
+//! Packet header vectors.
+//!
+//! The PHV is the register file that travels between pipeline stages (the
+//! paper's Figure 1 insert; it notes "the PHV naming is misleading; its
+//! elements are scalars extracted from the packets"). Our PHV generalizes
+//! exactly where the ADCP does: in addition to scalar slots it can carry
+//! **array slots**, so a stage's interconnected MAUs can see a whole array
+//! of keys at once (§3.2).
+//!
+//! A [`PhvLayout`] is computed once per program from its header definitions;
+//! a [`Phv`] is the per-packet instance. The layout also knows its total bit
+//! width, which the compiler checks against the target's PHV budget.
+
+use crate::header::{FieldRef, HeaderDef, HeaderId};
+use adcp_sim::packet::{EgressSpec, PortId};
+use std::collections::HashMap;
+
+/// Where a field lives inside a [`Phv`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Slot {
+    /// Index into the scalar bank.
+    Scalar(usize),
+    /// Index into the array bank.
+    Array(usize),
+}
+
+/// Static layout: maps every declared field to a PHV slot.
+#[derive(Debug, Clone)]
+pub struct PhvLayout {
+    slots: HashMap<FieldRef, Slot>,
+    scalar_widths: Vec<u8>,
+    array_dims: Vec<(u8, u16)>, // (element bits, count)
+    headers: usize,
+    total_bits: u32,
+}
+
+impl PhvLayout {
+    /// Build a layout covering all fields of the given headers
+    /// (indexed by their position = `HeaderId`).
+    pub fn build(headers: &[HeaderDef]) -> Self {
+        let mut slots = HashMap::new();
+        let mut scalar_widths = Vec::new();
+        let mut array_dims = Vec::new();
+        let mut total_bits = 0u32;
+        for (hi, h) in headers.iter().enumerate() {
+            for (fi, f) in h.fields.iter().enumerate() {
+                let fr = FieldRef::new(HeaderId(hi as u16), crate::header::FieldId(fi as u16));
+                total_bits += f.total_bits();
+                if f.is_array() {
+                    slots.insert(fr, Slot::Array(array_dims.len()));
+                    array_dims.push((f.bits, f.count));
+                } else {
+                    slots.insert(fr, Slot::Scalar(scalar_widths.len()));
+                    scalar_widths.push(f.bits);
+                }
+            }
+        }
+        PhvLayout {
+            slots,
+            scalar_widths,
+            array_dims,
+            headers: headers.len(),
+            total_bits,
+        }
+    }
+
+    /// Total bits of all fields — compared against the target's PHV budget.
+    pub fn total_bits(&self) -> u32 {
+        self.total_bits
+    }
+
+    /// Number of scalar slots.
+    pub fn num_scalars(&self) -> usize {
+        self.scalar_widths.len()
+    }
+
+    /// Number of array slots.
+    pub fn num_arrays(&self) -> usize {
+        self.array_dims.len()
+    }
+
+    /// Element width and count of the array slot holding `f`, if it is one.
+    pub fn array_dims_of(&self, f: FieldRef) -> Option<(u8, u16)> {
+        match self.slots.get(&f)? {
+            Slot::Array(i) => Some(self.array_dims[*i]),
+            Slot::Scalar(_) => None,
+        }
+    }
+
+    /// True if `f` names an array field.
+    pub fn is_array(&self, f: FieldRef) -> bool {
+        matches!(self.slots.get(&f), Some(Slot::Array(_)))
+    }
+
+    /// Create an empty PHV instance for this layout.
+    pub fn instantiate(&self) -> Phv {
+        Phv {
+            scalars: vec![0; self.scalar_widths.len()],
+            arrays: self
+                .array_dims
+                .iter()
+                .map(|&(_, c)| vec![0u64; c as usize])
+                .collect(),
+            valid: vec![false; self.headers],
+            intr: Intrinsics::default(),
+        }
+    }
+}
+
+/// Intrinsic (target-independent) per-packet metadata computed by the
+/// program: forwarding decisions and TM directives.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Intrinsics {
+    /// RX port the packet arrived on.
+    pub ingress_port: Option<PortId>,
+    /// Forwarding decision (set by `SetEgress`/`Multicast`/`Drop` actions).
+    pub egress: EgressSpec,
+    /// Which central pipeline the first TM should send this packet to
+    /// (ADCP §3.1 — typically computed by a `Hash` action).
+    pub central_pipe: Option<u32>,
+    /// Sort key for the first TM's order-preserving merge (§3.1).
+    pub sort_key: Option<u64>,
+    /// Request another ingress pass (RMT recirculation).
+    pub recirculate: bool,
+    /// Application data elements this packet carried (keys/weights/rows);
+    /// feeds the keys-per-second meters of §3.2.
+    pub elements: u32,
+}
+
+/// A per-packet header vector instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phv {
+    scalars: Vec<u64>,
+    arrays: Vec<Vec<u64>>,
+    valid: Vec<bool>,
+    /// Intrinsic metadata.
+    pub intr: Intrinsics,
+}
+
+impl Phv {
+    /// Read a scalar field (element 0 of arrays).
+    pub fn get(&self, layout: &PhvLayout, f: FieldRef) -> u64 {
+        match layout.slots[&f] {
+            Slot::Scalar(i) => self.scalars[i],
+            Slot::Array(i) => self.arrays[i][0],
+        }
+    }
+
+    /// Read one element of a field (scalar fields only have element 0).
+    pub fn get_elem(&self, layout: &PhvLayout, f: FieldRef, elem: usize) -> u64 {
+        match layout.slots[&f] {
+            Slot::Scalar(i) => {
+                debug_assert_eq!(elem, 0, "scalar field indexed at {elem}");
+                self.scalars[i]
+            }
+            Slot::Array(i) => self.arrays[i][elem],
+        }
+    }
+
+    /// Read a whole array field (one-element slice view for scalars).
+    pub fn get_array<'a>(&'a self, layout: &PhvLayout, f: FieldRef) -> &'a [u64] {
+        match layout.slots[&f] {
+            Slot::Scalar(i) => std::slice::from_ref(&self.scalars[i]),
+            Slot::Array(i) => &self.arrays[i],
+        }
+    }
+
+    /// Write a scalar field, masking to the field width.
+    pub fn set(&mut self, layout: &PhvLayout, f: FieldRef, v: u64) {
+        match layout.slots[&f] {
+            Slot::Scalar(i) => {
+                let w = layout.scalar_widths[i];
+                self.scalars[i] = mask_to(v, w);
+            }
+            Slot::Array(i) => {
+                let (w, _) = layout.array_dims[i];
+                self.arrays[i][0] = mask_to(v, w);
+            }
+        }
+    }
+
+    /// Write one element of an array field.
+    pub fn set_elem(&mut self, layout: &PhvLayout, f: FieldRef, elem: usize, v: u64) {
+        match layout.slots[&f] {
+            Slot::Scalar(i) => {
+                debug_assert_eq!(elem, 0);
+                let w = layout.scalar_widths[i];
+                self.scalars[i] = mask_to(v, w);
+            }
+            Slot::Array(i) => {
+                let (w, _) = layout.array_dims[i];
+                self.arrays[i][elem] = mask_to(v, w);
+            }
+        }
+    }
+
+    /// Mark a header as present in this packet.
+    pub fn set_valid(&mut self, h: HeaderId) {
+        self.valid[h.0 as usize] = true;
+    }
+
+    /// Is a header present?
+    pub fn is_valid(&self, h: HeaderId) -> bool {
+        self.valid
+            .get(h.0 as usize)
+            .copied()
+            .unwrap_or(false)
+    }
+}
+
+fn mask_to(v: u64, bits: u8) -> u64 {
+    if bits >= 64 {
+        v
+    } else {
+        v & ((1u64 << bits) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{FieldDef, FieldId};
+
+    fn layout() -> (Vec<HeaderDef>, PhvLayout) {
+        let headers = vec![
+            HeaderDef::new(
+                "eth",
+                vec![FieldDef::scalar("dst", 48), FieldDef::scalar("type", 16)],
+            ),
+            HeaderDef::new(
+                "kv",
+                vec![FieldDef::scalar("op", 8), FieldDef::array("keys", 32, 8)],
+            ),
+        ];
+        let l = PhvLayout::build(&headers);
+        (headers, l)
+    }
+
+    fn fr(h: u16, f: u16) -> FieldRef {
+        FieldRef::new(HeaderId(h), FieldId(f))
+    }
+
+    #[test]
+    fn layout_counts_and_bits() {
+        let (_, l) = layout();
+        assert_eq!(l.num_scalars(), 3);
+        assert_eq!(l.num_arrays(), 1);
+        assert_eq!(l.total_bits(), 48 + 16 + 8 + 256);
+        assert!(l.is_array(fr(1, 1)));
+        assert!(!l.is_array(fr(0, 0)));
+        assert_eq!(l.array_dims_of(fr(1, 1)), Some((32, 8)));
+        assert_eq!(l.array_dims_of(fr(0, 0)), None);
+    }
+
+    #[test]
+    fn scalar_read_write_masks_width() {
+        let (_, l) = layout();
+        let mut phv = l.instantiate();
+        phv.set(&l, fr(0, 1), 0x1_FFFF); // 16-bit field
+        assert_eq!(phv.get(&l, fr(0, 1)), 0xFFFF);
+        phv.set(&l, fr(1, 0), 0xABC); // 8-bit field
+        assert_eq!(phv.get(&l, fr(1, 0)), 0xBC);
+    }
+
+    #[test]
+    fn array_elements_are_independent() {
+        let (_, l) = layout();
+        let mut phv = l.instantiate();
+        for i in 0..8 {
+            phv.set_elem(&l, fr(1, 1), i, (i as u64 + 1) * 10);
+        }
+        assert_eq!(phv.get_array(&l, fr(1, 1)), &[10, 20, 30, 40, 50, 60, 70, 80]);
+        assert_eq!(phv.get_elem(&l, fr(1, 1), 3), 40);
+        // Element 0 doubles as the scalar view.
+        assert_eq!(phv.get(&l, fr(1, 1)), 10);
+    }
+
+    #[test]
+    fn header_validity_tracking() {
+        let (_, l) = layout();
+        let mut phv = l.instantiate();
+        assert!(!phv.is_valid(HeaderId(0)));
+        phv.set_valid(HeaderId(0));
+        assert!(phv.is_valid(HeaderId(0)));
+        assert!(!phv.is_valid(HeaderId(1)));
+        assert!(!phv.is_valid(HeaderId(9)), "unknown header is not valid");
+    }
+
+    #[test]
+    fn intrinsics_default_clean() {
+        let (_, l) = layout();
+        let phv = l.instantiate();
+        assert_eq!(phv.intr.egress, EgressSpec::Unset);
+        assert!(phv.intr.central_pipe.is_none());
+        assert!(!phv.intr.recirculate);
+        assert_eq!(phv.intr.elements, 0);
+    }
+}

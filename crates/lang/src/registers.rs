@@ -1,0 +1,205 @@
+//! Stateful register files.
+//!
+//! Registers are the "stateful processing" of the paper's §1: data lifted
+//! from prior packets that later packets can read and modify. In RMT each
+//! register array lives in one stage and a packet gets **one**
+//! read-modify-write per register (the stateful-ALU constraint); the ADCP
+//! array MAU relaxes this to one RMW *per lane*, i.e. a width-w array op
+//! performs w independent RMWs on consecutive cells (§3.2).
+
+use serde::Serialize;
+
+/// Identifies a register array declared by a program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub struct RegId(pub u16);
+
+/// Declaration of a register array.
+#[derive(Debug, Clone, Serialize)]
+pub struct RegisterDef {
+    /// Human-readable name.
+    pub name: String,
+    /// Number of cells.
+    pub entries: u32,
+    /// Width of each cell in bits (1..=64); arithmetic wraps at this width.
+    pub bits: u8,
+}
+
+impl RegisterDef {
+    /// Convenience constructor.
+    pub fn new(name: impl Into<String>, entries: u32, bits: u8) -> Self {
+        assert!((1..=64).contains(&bits));
+        assert!(entries > 0);
+        RegisterDef {
+            name: name.into(),
+            entries,
+            bits,
+        }
+    }
+
+    /// Total storage in bits (counts against the stage register budget).
+    pub fn total_bits(&self) -> u64 {
+        self.entries as u64 * self.bits as u64
+    }
+}
+
+/// Runtime instance of a register array (one per pipeline that hosts it —
+/// pipelines are shared-nothing, which is exactly the Fig. 2 limitation).
+#[derive(Debug, Clone)]
+pub struct RegisterFile {
+    cells: Vec<u64>,
+    bits: u8,
+    /// Total single-cell read-modify-write operations performed.
+    pub ops: u64,
+}
+
+/// The read-modify-write operations a stateful ALU supports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RegAluOp {
+    /// `cell = value`.
+    Write,
+    /// `cell += value` (wrapping at cell width).
+    Add,
+    /// `cell = max(cell, value)`.
+    Max,
+    /// `cell = min(cell, value)`.
+    Min,
+}
+
+impl RegisterFile {
+    /// Zero-initialized instance of a definition.
+    pub fn new(def: &RegisterDef) -> Self {
+        RegisterFile {
+            cells: vec![0; def.entries as usize],
+            bits: def.bits,
+            ops: 0,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// True when the file has no cells (cannot happen via `RegisterDef`).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    fn mask(&self, v: u64) -> u64 {
+        if self.bits >= 64 {
+            v
+        } else {
+            v & ((1u64 << self.bits) - 1)
+        }
+    }
+
+    /// Read a cell. Out-of-range indices read as 0 (and are counted as an
+    /// op — hardware would wrap; we saturate to a benign value and let the
+    /// program validator reject static out-of-range indices).
+    pub fn read(&mut self, idx: u64) -> u64 {
+        self.ops += 1;
+        self.cells.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// Read without counting an op (stats/tests).
+    pub fn peek(&self, idx: u64) -> u64 {
+        self.cells.get(idx as usize).copied().unwrap_or(0)
+    }
+
+    /// Perform a read-modify-write; returns the value the cell held
+    /// *before* the operation (fetch-op semantics).
+    pub fn rmw(&mut self, idx: u64, op: RegAluOp, value: u64) -> u64 {
+        self.ops += 1;
+        if idx as usize >= self.cells.len() {
+            return 0;
+        }
+        let old = self.cells[idx as usize];
+        let v = match op {
+            RegAluOp::Write => value,
+            RegAluOp::Add => old.wrapping_add(value),
+            RegAluOp::Max => old.max(value),
+            RegAluOp::Min => old.min(value),
+        };
+        self.cells[idx as usize] = self.mask(v);
+        old
+    }
+
+    /// Reset every cell to zero (control-plane operation between epochs).
+    pub fn clear(&mut self) {
+        self.cells.iter_mut().for_each(|c| *c = 0);
+    }
+
+    /// Snapshot of all cells (control-plane readout).
+    pub fn snapshot(&self) -> &[u64] {
+        &self.cells
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(entries: u32, bits: u8) -> RegisterFile {
+        RegisterFile::new(&RegisterDef::new("r", entries, bits))
+    }
+
+    #[test]
+    fn def_sizes() {
+        let d = RegisterDef::new("agg", 1024, 32);
+        assert_eq!(d.total_bits(), 32 * 1024);
+    }
+
+    #[test]
+    fn rmw_semantics() {
+        let mut f = file(8, 32);
+        assert_eq!(f.rmw(3, RegAluOp::Write, 10), 0);
+        assert_eq!(f.rmw(3, RegAluOp::Add, 5), 10);
+        assert_eq!(f.peek(3), 15);
+        assert_eq!(f.rmw(3, RegAluOp::Max, 7), 15);
+        assert_eq!(f.peek(3), 15);
+        assert_eq!(f.rmw(3, RegAluOp::Max, 99), 15);
+        assert_eq!(f.peek(3), 99);
+        assert_eq!(f.rmw(3, RegAluOp::Min, 50), 99);
+        assert_eq!(f.peek(3), 50);
+        assert_eq!(f.ops, 5);
+    }
+
+    #[test]
+    fn arithmetic_wraps_at_cell_width() {
+        let mut f = file(2, 8);
+        f.rmw(0, RegAluOp::Write, 250);
+        f.rmw(0, RegAluOp::Add, 10);
+        assert_eq!(f.peek(0), (250 + 10) % 256);
+        // Write is masked too.
+        f.rmw(1, RegAluOp::Write, 0x1FF);
+        assert_eq!(f.peek(1), 0xFF);
+    }
+
+    #[test]
+    fn out_of_range_is_benign() {
+        let mut f = file(4, 32);
+        assert_eq!(f.read(99), 0);
+        assert_eq!(f.rmw(99, RegAluOp::Add, 5), 0);
+        assert_eq!(f.len(), 4);
+        assert!(f.snapshot().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut f = file(4, 64);
+        for i in 0..4 {
+            f.rmw(i, RegAluOp::Write, i + 1);
+        }
+        f.clear();
+        assert!(f.snapshot().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn full_width_cells() {
+        let mut f = file(1, 64);
+        f.rmw(0, RegAluOp::Write, u64::MAX);
+        assert_eq!(f.peek(0), u64::MAX);
+        f.rmw(0, RegAluOp::Add, 1);
+        assert_eq!(f.peek(0), 0, "wraps at 64 bits");
+    }
+}

@@ -1,0 +1,453 @@
+//! Match-action tables: definitions and runtime storage.
+//!
+//! A [`TableDef`] declares the match key, the candidate actions, and the
+//! capacity; a [`TableRuntime`] holds the installed entries. A table keyed
+//! on an **array field** performs one lookup per element ("lane"); whether
+//! that costs one table copy per lane (RMT, Fig. 3) or one shared copy
+//! across interconnected MAU memories (ADCP, Fig. 6) is decided by the
+//! compiler, not here — the runtime semantics are identical.
+
+use crate::action::ActionDef;
+use crate::header::FieldRef;
+use serde::Serialize;
+use std::collections::HashMap;
+
+/// Which pipeline region a table executes in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize)]
+pub enum Region {
+    /// Ingress pipelines (before the first TM).
+    Ingress,
+    /// Central pipelines — the ADCP global partitioned area (§3.1).
+    /// On RMT targets the compiler must lower these tables somewhere else.
+    Central,
+    /// Egress pipelines (after the last TM).
+    Egress,
+}
+
+/// How keys are matched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MatchKind {
+    /// Exact match (hash table in hardware).
+    Exact,
+    /// Longest-prefix match.
+    Lpm,
+    /// Value/mask with priority (TCAM).
+    Ternary,
+    /// Inclusive range match.
+    Range,
+}
+
+/// The match key of a table.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct KeySpec {
+    /// Field the key is read from. If it is an array field, the table is an
+    /// array table and matches every element (one lane each).
+    pub field: FieldRef,
+    /// Match discipline.
+    pub kind: MatchKind,
+    /// Width of the key in bits (must equal the field element width).
+    pub bits: u8,
+}
+
+/// A table declaration.
+#[derive(Debug, Clone, Serialize)]
+pub struct TableDef {
+    /// Human-readable name.
+    pub name: String,
+    /// Region this table executes in.
+    pub region: Region,
+    /// Match key; `None` makes this an unconditional action stage (the
+    /// default action always runs — used for pure compute steps).
+    pub key: Option<KeySpec>,
+    /// Candidate actions; entries refer to them by index.
+    pub actions: Vec<ActionDef>,
+    /// Action index executed on a miss (or always, for keyless tables).
+    pub default_action: usize,
+    /// Action-data parameters for the default action.
+    pub default_params: Vec<u64>,
+    /// Capacity in entries.
+    pub size: u32,
+}
+
+impl TableDef {
+    /// Estimated bits per installed entry: key bits plus action-selector and
+    /// action-data overhead. This is the quantity that gets multiplied by
+    /// the replication factor on RMT (Fig. 3).
+    pub fn entry_bits(&self) -> u32 {
+        let key_bits = self.key.map(|k| k.bits as u32).unwrap_or(0);
+        // Match kind overhead: ternary stores a mask (2× key), LPM a length.
+        let match_overhead = match self.key.map(|k| k.kind) {
+            Some(MatchKind::Ternary) => key_bits,
+            Some(MatchKind::Range) => key_bits, // second bound
+            Some(MatchKind::Lpm) => 8,
+            _ => 0,
+        };
+        // Action selector + 2 × 32b action data words, a typical budget.
+        key_bits + match_overhead + 8 + 64
+    }
+
+    /// Total memory footprint of one copy of this table, in bits.
+    pub fn mem_bits(&self) -> u64 {
+        self.entry_bits() as u64 * self.size as u64
+    }
+}
+
+/// The key pattern of one installed entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum MatchValue {
+    /// Exact value.
+    Exact(u64),
+    /// Prefix of `len` bits (counted from the MSB of the key width).
+    Lpm {
+        /// Prefix value (low bits beyond `len` ignored).
+        value: u64,
+        /// Prefix length in bits.
+        len: u8,
+    },
+    /// Value/mask with priority (higher wins).
+    Ternary {
+        /// Pattern.
+        value: u64,
+        /// Care mask (1 = must match).
+        mask: u64,
+        /// Priority; ties broken by insertion order.
+        priority: u16,
+    },
+    /// Inclusive range.
+    Range {
+        /// Low bound.
+        lo: u64,
+        /// High bound.
+        hi: u64,
+    },
+}
+
+/// An installed entry: a key pattern bound to an action and its data.
+#[derive(Debug, Clone, Serialize)]
+pub struct Entry {
+    /// Key pattern.
+    pub value: MatchValue,
+    /// Index into the table's action list.
+    pub action: usize,
+    /// Action-data parameters (`Operand::Param(i)`).
+    pub params: Vec<u64>,
+}
+
+/// Errors installing entries.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TableError {
+    /// The table is at capacity.
+    Full {
+        /// Capacity in entries.
+        capacity: u32,
+    },
+    /// Entry kind does not match the table's declared `MatchKind`.
+    KindMismatch,
+    /// Action index out of range.
+    BadAction {
+        /// The offending index.
+        action: usize,
+    },
+    /// A duplicate exact key.
+    Duplicate,
+}
+
+/// Runtime storage for one table in one pipeline.
+#[derive(Debug, Clone)]
+pub struct TableRuntime {
+    kind: Option<MatchKind>,
+    key_bits: u8,
+    capacity: u32,
+    exact: HashMap<u64, Entry>,
+    /// Non-exact entries, scanned in match order.
+    scan: Vec<Entry>,
+    /// Lookups performed (lanes count individually).
+    pub lookups: u64,
+    /// Lookups that hit an installed entry.
+    pub hits: u64,
+}
+
+impl TableRuntime {
+    /// Empty runtime for a definition.
+    pub fn new(def: &TableDef) -> Self {
+        TableRuntime {
+            kind: def.key.map(|k| k.kind),
+            key_bits: def.key.map(|k| k.bits).unwrap_or(0),
+            capacity: def.size,
+            exact: HashMap::new(),
+            scan: Vec::new(),
+            lookups: 0,
+            hits: 0,
+        }
+    }
+
+    /// Number of installed entries.
+    pub fn len(&self) -> usize {
+        self.exact.len() + self.scan.len()
+    }
+
+    /// True when no entries are installed.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Install an entry, validating kind, capacity, and action index
+    /// against the definition.
+    pub fn insert(&mut self, def: &TableDef, e: Entry) -> Result<(), TableError> {
+        if self.len() as u32 >= self.capacity {
+            return Err(TableError::Full {
+                capacity: self.capacity,
+            });
+        }
+        if e.action >= def.actions.len() {
+            return Err(TableError::BadAction { action: e.action });
+        }
+        let kind_ok = matches!(
+            (self.kind, &e.value),
+            (Some(MatchKind::Exact), MatchValue::Exact(_))
+                | (Some(MatchKind::Lpm), MatchValue::Lpm { .. })
+                | (Some(MatchKind::Ternary), MatchValue::Ternary { .. })
+                | (Some(MatchKind::Range), MatchValue::Range { .. })
+        );
+        if !kind_ok {
+            return Err(TableError::KindMismatch);
+        }
+        match e.value {
+            MatchValue::Exact(k) => {
+                if self.exact.contains_key(&k) {
+                    return Err(TableError::Duplicate);
+                }
+                self.exact.insert(k, e);
+            }
+            _ => self.scan.push(e),
+        }
+        Ok(())
+    }
+
+    /// Look up one key (one lane). Returns the winning entry, if any.
+    pub fn lookup(&mut self, key: u64) -> Option<&Entry> {
+        self.lookups += 1;
+        let kind = self.kind?;
+        let found: Option<&Entry> = match kind {
+            MatchKind::Exact => self.exact.get(&key),
+            MatchKind::Lpm => {
+                let w = self.key_bits as u32;
+                self.scan
+                    .iter()
+                    .filter(|e| match e.value {
+                        MatchValue::Lpm { value, len } => {
+                            let len = len as u32;
+                            if len == 0 {
+                                true
+                            } else if len >= w {
+                                value == key
+                            } else {
+                                (key >> (w - len)) == (value >> (w - len))
+                            }
+                        }
+                        _ => false,
+                    })
+                    .max_by_key(|e| match e.value {
+                        MatchValue::Lpm { len, .. } => len,
+                        _ => 0,
+                    })
+            }
+            MatchKind::Ternary => self
+                .scan
+                .iter()
+                .filter(|e| match e.value {
+                    MatchValue::Ternary { value, mask, .. } => key & mask == value & mask,
+                    _ => false,
+                })
+                .max_by_key(|e| match e.value {
+                    MatchValue::Ternary { priority, .. } => priority,
+                    _ => 0,
+                }),
+            MatchKind::Range => self.scan.iter().find(|e| match e.value {
+                MatchValue::Range { lo, hi } => (lo..=hi).contains(&key),
+                _ => false,
+            }),
+        };
+        if found.is_some() {
+            self.hits += 1;
+        }
+        found
+    }
+
+    /// Hit fraction over all lookups so far.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::header::{FieldId, HeaderId};
+
+    fn def(kind: MatchKind, size: u32) -> TableDef {
+        TableDef {
+            name: "t".into(),
+            region: Region::Ingress,
+            key: Some(KeySpec {
+                field: FieldRef::new(HeaderId(0), FieldId(0)),
+                kind,
+                bits: 32,
+            }),
+            actions: vec![ActionDef::nop(), ActionDef::nop()],
+            default_action: 0,
+            default_params: vec![],
+            size,
+        }
+    }
+
+    fn entry(v: MatchValue, action: usize) -> Entry {
+        Entry {
+            value: v,
+            action,
+            params: vec![],
+        }
+    }
+
+    #[test]
+    fn exact_match_hits_and_misses() {
+        let d = def(MatchKind::Exact, 8);
+        let mut t = TableRuntime::new(&d);
+        t.insert(&d, entry(MatchValue::Exact(42), 1)).unwrap();
+        assert_eq!(t.lookup(42).map(|e| e.action), Some(1));
+        assert!(t.lookup(43).is_none());
+        assert_eq!(t.lookups, 2);
+        assert_eq!(t.hits, 1);
+        assert!((t.hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn capacity_enforced() {
+        let d = def(MatchKind::Exact, 2);
+        let mut t = TableRuntime::new(&d);
+        t.insert(&d, entry(MatchValue::Exact(1), 0)).unwrap();
+        t.insert(&d, entry(MatchValue::Exact(2), 0)).unwrap();
+        assert_eq!(
+            t.insert(&d, entry(MatchValue::Exact(3), 0)),
+            Err(TableError::Full { capacity: 2 })
+        );
+    }
+
+    #[test]
+    fn duplicates_and_bad_actions_rejected() {
+        let d = def(MatchKind::Exact, 8);
+        let mut t = TableRuntime::new(&d);
+        t.insert(&d, entry(MatchValue::Exact(1), 0)).unwrap();
+        assert_eq!(
+            t.insert(&d, entry(MatchValue::Exact(1), 0)),
+            Err(TableError::Duplicate)
+        );
+        assert_eq!(
+            t.insert(&d, entry(MatchValue::Exact(2), 7)),
+            Err(TableError::BadAction { action: 7 })
+        );
+        assert_eq!(
+            t.insert(&d, entry(MatchValue::Lpm { value: 0, len: 8 }, 0)),
+            Err(TableError::KindMismatch)
+        );
+    }
+
+    #[test]
+    fn lpm_prefers_longest_prefix() {
+        let d = def(MatchKind::Lpm, 8);
+        let mut t = TableRuntime::new(&d);
+        // 10.0.0.0/8 -> action 0; 10.1.0.0/16 -> action 1.
+        t.insert(
+            &d,
+            entry(
+                MatchValue::Lpm {
+                    value: 0x0A00_0000,
+                    len: 8,
+                },
+                0,
+            ),
+        )
+        .unwrap();
+        t.insert(
+            &d,
+            entry(
+                MatchValue::Lpm {
+                    value: 0x0A01_0000,
+                    len: 16,
+                },
+                1,
+            ),
+        )
+        .unwrap();
+        assert_eq!(t.lookup(0x0A01_02_03).map(|e| e.action), Some(1));
+        assert_eq!(t.lookup(0x0A02_0000).map(|e| e.action), Some(0));
+        assert!(t.lookup(0x0B00_0000).is_none());
+    }
+
+    #[test]
+    fn lpm_default_route_len_zero() {
+        let d = def(MatchKind::Lpm, 8);
+        let mut t = TableRuntime::new(&d);
+        t.insert(&d, entry(MatchValue::Lpm { value: 0, len: 0 }, 1))
+            .unwrap();
+        assert_eq!(t.lookup(0xFFFF_FFFF).map(|e| e.action), Some(1));
+    }
+
+    #[test]
+    fn ternary_respects_priority() {
+        let d = def(MatchKind::Ternary, 8);
+        let mut t = TableRuntime::new(&d);
+        t.insert(
+            &d,
+            entry(
+                MatchValue::Ternary {
+                    value: 0x10,
+                    mask: 0xF0,
+                    priority: 1,
+                },
+                0,
+            ),
+        )
+        .unwrap();
+        t.insert(
+            &d,
+            entry(
+                MatchValue::Ternary {
+                    value: 0x12,
+                    mask: 0xFF,
+                    priority: 9,
+                },
+                1,
+            ),
+        )
+        .unwrap();
+        assert_eq!(t.lookup(0x12).map(|e| e.action), Some(1), "higher priority");
+        assert_eq!(t.lookup(0x15).map(|e| e.action), Some(0));
+        assert!(t.lookup(0x25).is_none());
+    }
+
+    #[test]
+    fn range_match_inclusive() {
+        let d = def(MatchKind::Range, 8);
+        let mut t = TableRuntime::new(&d);
+        t.insert(&d, entry(MatchValue::Range { lo: 10, hi: 20 }, 1))
+            .unwrap();
+        assert!(t.lookup(9).is_none());
+        assert_eq!(t.lookup(10).map(|e| e.action), Some(1));
+        assert_eq!(t.lookup(20).map(|e| e.action), Some(1));
+        assert!(t.lookup(21).is_none());
+    }
+
+    #[test]
+    fn entry_bits_accounting() {
+        let exact = def(MatchKind::Exact, 1024);
+        assert_eq!(exact.entry_bits(), 32 + 8 + 64);
+        let ternary = def(MatchKind::Ternary, 1024);
+        assert_eq!(ternary.entry_bits(), 32 + 32 + 8 + 64);
+        assert_eq!(exact.mem_bits(), 104 * 1024);
+    }
+}

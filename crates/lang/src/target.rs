@@ -1,0 +1,322 @@
+//! Target resource models.
+//!
+//! A [`TargetModel`] captures everything the compiler needs to know about a
+//! switch generation: pipeline counts and clock, stages, MAUs per stage,
+//! memory budgets, PHV width, and — the ADCP differences — whether a
+//! central region exists (§3.1), the maximum native array width (§3.2), and
+//! the port demultiplexing factor (§3.3).
+//!
+//! The RMT presets follow the paper's Table 2 rows; the ADCP preset follows
+//! §3 and Table 3.
+
+use adcp_sim::port::LinkSpeed;
+use adcp_sim::time::Freq;
+use serde::Serialize;
+
+/// Architecture family of a target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum Arch {
+    /// Classic RMT: multiplexed ports, one TM, shared-nothing pipelines,
+    /// scalar MAUs.
+    Rmt,
+    /// The proposed coflow processor: demultiplexed ports, two TMs, a
+    /// central (global partitioned) region, array-capable MAUs.
+    Adcp,
+    /// dRMT (Chole et al., discussed in the paper's §1): RMT semantics
+    /// with **disaggregated table memory** — tables draw from a chip-wide
+    /// pool instead of per-stage SRAM. Relieves placement pressure, but
+    /// keeps the scalar-MAU model, so the Fig. 3 replication tax remains.
+    Drmt,
+}
+
+/// A concrete switch configuration the compiler can place programs onto.
+#[derive(Debug, Clone, Serialize)]
+pub struct TargetModel {
+    /// Human-readable name.
+    pub name: String,
+    /// Architecture family.
+    pub arch: Arch,
+    /// Number of front-panel ports.
+    pub ports: u16,
+    /// Speed of each port.
+    pub port_speed_gbps: u32,
+    /// RMT: ports multiplexed per pipeline (`ports / ports_per_pipe` =
+    /// pipeline count). ADCP: ignored (see `demux_factor`).
+    pub ports_per_pipe: u16,
+    /// ADCP: each port is demultiplexed into this many pipelines (§3.3).
+    /// 1 on RMT.
+    pub demux_factor: u16,
+    /// Pipeline clock in GHz.
+    pub pipe_ghz: f64,
+    /// Match-action stages per ingress pipeline.
+    pub ingress_stages: u16,
+    /// Stages per egress pipeline.
+    pub egress_stages: u16,
+    /// Stages per central pipeline (0 = no central region).
+    pub central_stages: u16,
+    /// Number of central pipelines (ADCP only).
+    pub central_pipes: u16,
+    /// Match-action units per stage.
+    pub maus_per_stage: u16,
+    /// Table SRAM per MAU, in bits.
+    pub mau_mem_bits: u64,
+    /// Stateful register memory per stage, in bits.
+    pub stage_reg_bits: u64,
+    /// PHV budget, in bits.
+    pub phv_bits: u32,
+    /// Maximum array width a stage can match natively (1 = scalar only).
+    pub max_array_width: u16,
+    /// Minimum on-wire packet size the design assumes, in bytes (Table 2's
+    /// "minimum packet" column).
+    pub min_wire_bytes: u32,
+    /// Fraction of pipeline bandwidth reserved for recirculation ports
+    /// (RMT). 0.0 means recirculation steals from front-panel bandwidth.
+    pub recirc_reserved: f64,
+    /// dRMT-style disaggregated table memory: per-stage SRAM bounds are
+    /// replaced by one chip-wide pool (see [`TargetModel::pool_bits`]).
+    pub pooled_table_memory: bool,
+}
+
+impl TargetModel {
+    /// Number of ingress (and egress) pipelines this configuration has.
+    pub fn num_pipes(&self) -> u16 {
+        match self.arch {
+            Arch::Rmt | Arch::Drmt => {
+                debug_assert!(self.ports % self.ports_per_pipe == 0);
+                self.ports / self.ports_per_pipe
+            }
+            Arch::Adcp => self.ports * self.demux_factor,
+        }
+    }
+
+    /// Pipeline clock as a [`Freq`].
+    pub fn pipe_freq(&self) -> Freq {
+        Freq::ghz(self.pipe_ghz)
+    }
+
+    /// Port speed as a [`LinkSpeed`].
+    pub fn port_speed(&self) -> LinkSpeed {
+        LinkSpeed::gbps(self.port_speed_gbps)
+    }
+
+    /// Aggregate switch throughput in Gbps.
+    pub fn throughput_gbps(&self) -> u64 {
+        self.ports as u64 * self.port_speed_gbps as u64
+    }
+
+    /// Bandwidth entering one pipeline, in Gbps.
+    ///
+    /// RMT: `ports_per_pipe × port_speed` (multiplexing up).
+    /// ADCP: `port_speed / demux_factor` (demultiplexing down, §3.3).
+    pub fn pipe_bandwidth_gbps(&self) -> f64 {
+        match self.arch {
+            Arch::Rmt | Arch::Drmt => {
+                self.ports_per_pipe as f64 * self.port_speed_gbps as f64
+            }
+            Arch::Adcp => self.port_speed_gbps as f64 / self.demux_factor as f64,
+        }
+    }
+
+    /// The pipeline clock this configuration *requires* to sustain line
+    /// rate at its minimum packet size: `freq = pipe_bw / (8 × min_pkt)`.
+    /// This is the formula every row of Tables 2 and 3 satisfies.
+    pub fn required_pipe_ghz(&self) -> f64 {
+        self.pipe_bandwidth_gbps() / (8.0 * self.min_wire_bytes as f64) * 1e9 / 1e9
+    }
+
+    /// Peak packets/s of the whole switch at the minimum packet size.
+    pub fn max_pps(&self) -> f64 {
+        self.throughput_gbps() as f64 * 1e9 / (self.min_wire_bytes as f64 * 8.0)
+    }
+
+    /// Total table memory per stage (all MAUs), in bits.
+    pub fn stage_mem_bits(&self) -> u64 {
+        self.maus_per_stage as u64 * self.mau_mem_bits
+    }
+
+    /// True when the target has a global partitioned area.
+    pub fn has_central(&self) -> bool {
+        self.central_stages > 0 && self.central_pipes > 0
+    }
+
+    /// Chip-wide table memory pool for dRMT-style targets: the same total
+    /// SRAM a per-stage design would have, minus the locality constraint.
+    pub fn pool_bits(&self) -> u64 {
+        (self.ingress_stages + self.egress_stages + self.central_stages) as u64
+            * self.stage_mem_bits()
+    }
+
+    /// A dRMT-like target: the 12.8T RMT geometry with disaggregated
+    /// table memory (the paper's §1: "dRMT ... added shared memory
+    /// capabilities on top of an otherwise unaltered RMT switch").
+    pub fn drmt_12t() -> Self {
+        TargetModel {
+            name: "drmt-12.8T".into(),
+            arch: Arch::Drmt,
+            pooled_table_memory: true,
+            ..Self::rmt_12t()
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Presets
+    // ------------------------------------------------------------------
+
+    /// Table 2, row 3: a Tofino-class 12.8 Tbps RMT switch. 64×400 Gbps,
+    /// 4 pipelines of 8 ports, 247 B minimum packet, 1.62 GHz.
+    pub fn rmt_12t() -> Self {
+        TargetModel {
+            name: "rmt-12.8T".into(),
+            arch: Arch::Rmt,
+            ports: 32,
+            port_speed_gbps: 400,
+            ports_per_pipe: 8,
+            demux_factor: 1,
+            pipe_ghz: 1.62,
+            ingress_stages: 10,
+            egress_stages: 10,
+            central_stages: 0,
+            central_pipes: 0,
+            maus_per_stage: 16,
+            mau_mem_bits: 1_024 * 1_024, // 128 KiB of SRAM per MAU
+            stage_reg_bits: 2 * 1_024 * 1_024,
+            phv_bits: 4_096,
+            max_array_width: 1,
+            min_wire_bytes: 247,
+            recirc_reserved: 0.0,
+            pooled_table_memory: false,
+        }
+    }
+
+    /// Table 2, row 1: the original RMT configuration. 64×10 Gbps in one
+    /// 0.95 GHz pipeline at 84 B minimum packets.
+    pub fn rmt_640g() -> Self {
+        TargetModel {
+            name: "rmt-640G".into(),
+            arch: Arch::Rmt,
+            ports: 64,
+            port_speed_gbps: 10,
+            ports_per_pipe: 64,
+            demux_factor: 1,
+            pipe_ghz: 0.95,
+            ingress_stages: 16,
+            egress_stages: 16,
+            central_stages: 0,
+            central_pipes: 0,
+            maus_per_stage: 16,
+            mau_mem_bits: 1_024 * 1_024,
+            stage_reg_bits: 2 * 1_024 * 1_024,
+            phv_bits: 4_096,
+            max_array_width: 1,
+            min_wire_bytes: 84,
+            recirc_reserved: 0.0,
+            pooled_table_memory: false,
+        }
+    }
+
+    /// The ADCP reference design used throughout the experiments:
+    /// 16×800 Gbps ports, 1:2 demux (Table 3: 0.60 GHz pipelines at 84 B
+    /// minimum packets), 16-wide array MAUs, a 4-pipeline central region.
+    pub fn adcp_reference() -> Self {
+        TargetModel {
+            name: "adcp-ref".into(),
+            arch: Arch::Adcp,
+            ports: 16,
+            port_speed_gbps: 800,
+            ports_per_pipe: 1,
+            demux_factor: 2,
+            pipe_ghz: 0.60,
+            ingress_stages: 10,
+            egress_stages: 10,
+            central_stages: 12,
+            central_pipes: 4,
+            maus_per_stage: 16,
+            mau_mem_bits: 1_024 * 1_024,
+            stage_reg_bits: 4 * 1_024 * 1_024,
+            phv_bits: 8_192,
+            max_array_width: 16,
+            min_wire_bytes: 84,
+            recirc_reserved: 0.0,
+            pooled_table_memory: false,
+        }
+    }
+
+    /// An ADCP sized like the RMT 12.8T for like-for-like compiler
+    /// comparisons (same stages/MAUs/memory; only the architectural
+    /// features differ).
+    pub fn adcp_like_rmt_12t() -> Self {
+        let rmt = Self::rmt_12t();
+        TargetModel {
+            name: "adcp-12.8T".into(),
+            arch: Arch::Adcp,
+            ports: rmt.ports,
+            port_speed_gbps: rmt.port_speed_gbps,
+            ports_per_pipe: 1,
+            demux_factor: 2,
+            pipe_ghz: 0.30, // 400G / 2 at 84 B needs ~0.30 GHz
+            central_stages: rmt.ingress_stages,
+            central_pipes: 4,
+            max_array_width: 16,
+            min_wire_bytes: 84,
+            ..rmt
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmt_12t_matches_table2_row() {
+        let t = TargetModel::rmt_12t();
+        assert_eq!(t.throughput_gbps(), 12_800);
+        assert_eq!(t.num_pipes(), 4);
+        // freq = 3.2 Tbps / (8 × 247 B) ≈ 1.62 GHz
+        assert!((t.required_pipe_ghz() - 1.62).abs() < 0.01);
+        // "they can only process 5-6 billion packets per second" (§2 ②).
+        let bpps = t.max_pps() / 1e9;
+        assert!((5.0..7.0).contains(&bpps), "bpps = {bpps}");
+    }
+
+    #[test]
+    fn rmt_640g_matches_table2_row1() {
+        let t = TargetModel::rmt_640g();
+        assert_eq!(t.num_pipes(), 1);
+        assert!((t.required_pipe_ghz() - 0.952).abs() < 0.01);
+    }
+
+    #[test]
+    fn adcp_reference_matches_table3() {
+        let t = TargetModel::adcp_reference();
+        // 800G demuxed 1:2 at 84 B → 0.595 GHz (Table 3 row 2 says 0.60).
+        assert!((t.required_pipe_ghz() - 0.595).abs() < 0.01);
+        assert_eq!(t.num_pipes(), 32, "16 ports × 1:2 demux");
+        assert!(t.has_central());
+        assert_eq!(t.max_array_width, 16);
+    }
+
+    #[test]
+    fn pipe_bandwidth_directions() {
+        let rmt = TargetModel::rmt_12t();
+        assert_eq!(rmt.pipe_bandwidth_gbps(), 3_200.0, "8 × 400G multiplexed");
+        let adcp = TargetModel::adcp_reference();
+        assert_eq!(adcp.pipe_bandwidth_gbps(), 400.0, "800G / 2 demuxed");
+    }
+
+    #[test]
+    fn drmt_pools_memory() {
+        let d = TargetModel::drmt_12t();
+        assert!(d.pooled_table_memory);
+        assert_eq!(d.pool_bits(), 20 * 16 * 1024 * 1024);
+        assert_eq!(d.num_pipes(), 4, "same geometry as the RMT 12.8T");
+        assert_eq!(d.max_array_width, 1, "dRMT keeps the scalar-MAU model");
+    }
+
+    #[test]
+    fn stage_memory() {
+        let t = TargetModel::rmt_12t();
+        assert_eq!(t.stage_mem_bits(), 16 * 1_024 * 1_024);
+        assert!(!t.has_central());
+    }
+}

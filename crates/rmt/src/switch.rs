@@ -1,0 +1,691 @@
+//! The event-driven RMT switch model (the paper's Figure 1).
+//!
+//! Packet life cycle:
+//!
+//! ```text
+//! inject -> RX port (serialization) -> parser -> ingress pipeline
+//!        -> [recirculation loop?] -> traffic manager (shared buffer)
+//!        -> egress pipeline -> TX port -> delivered
+//! ```
+//!
+//! The architectural constraints the paper criticizes are *enforced*, not
+//! merely documented:
+//!
+//! * ports are statically multiplexed `ports_per_pipe` to an ingress
+//!   pipeline — coflows arriving on different pipelines cannot meet in
+//!   ingress state (Fig. 2);
+//! * every pipeline retires at most one PHV per clock cycle (line rate);
+//! * pipeline state is shared-nothing — each pipeline has its own
+//!   [`RegionState`];
+//! * a packet reaches egress state only in the pipeline that owns its
+//!   TX port (egress pinning);
+//! * the only way to reshuffle flows is recirculation, which consumes an
+//!   ingress slot per extra pass (the bandwidth tax of §1).
+
+use adcp_lang::{
+    compile, deparse, CentralImpl, CompileError, CompileOptions, Entry, Placement, Program,
+    RegId, RegionState, RegisterFile, Region, TableError,
+};
+use adcp_sim::event::EventQueue;
+use adcp_sim::packet::{EgressSpec, Packet, PortId};
+use adcp_sim::port::{RxPort, TxPort};
+use adcp_sim::queue::BufferPool;
+use adcp_sim::sched::ScheduledQueues;
+use adcp_sim::stats::{LatencyHist, Meter};
+use adcp_sim::time::{Duration, SimTime};
+use adcp_sim::trace::{Site, Tracer};
+use adcp_lang::phv::Phv;
+use adcp_lang::PhvLayout;
+use adcp_lang::target::TargetModel;
+
+/// Tuning knobs for an [`RmtSwitch`].
+#[derive(Debug, Clone)]
+pub struct RmtConfig {
+    /// Shared TM buffer: number of cells.
+    pub tm_cells: u64,
+    /// Shared TM buffer: bytes per cell.
+    pub cell_bytes: u32,
+    /// Per-egress-queue depth in packets.
+    pub queue_depth: usize,
+    /// Loop latency of the recirculation path.
+    pub recirc_latency: Duration,
+    /// Retain a packet-walk trace (costs memory; used by tests/examples).
+    pub trace: bool,
+    /// Per-port speed overrides (port, speed) — models hosts with slower
+    /// NICs than the switch's native port rate.
+    pub port_speeds: Vec<(u16, adcp_sim::port::LinkSpeed)>,
+}
+
+impl Default for RmtConfig {
+    fn default() -> Self {
+        RmtConfig {
+            tm_cells: 65_536,
+            cell_bytes: 80,
+            queue_depth: 512,
+            recirc_latency: Duration::from_ns(400),
+            trace: false,
+            port_speeds: Vec::new(),
+        }
+    }
+}
+
+/// Aggregate drop/flow accounting. The conservation invariant is
+/// `injected + mcast_copies == delivered + Σ drops + in_flight`; at idle
+/// `in_flight` is zero and [`RmtSwitch::check_conservation`] asserts it.
+#[derive(Debug, Clone, Default)]
+pub struct SwitchCounters {
+    /// Packets handed to [`RmtSwitch::inject`].
+    pub injected: u64,
+    /// Extra packet copies created by multicast replication.
+    pub mcast_copies: u64,
+    /// Packets delivered out TX ports.
+    pub delivered: u64,
+    /// Parse failures.
+    pub parse_errors: u64,
+    /// Dropped by a program `Drop` action.
+    pub filtered: u64,
+    /// Finished ingress with no forwarding decision.
+    pub no_decision: u64,
+    /// Forwarding decision named a nonexistent port.
+    pub bad_port: u64,
+    /// TM shared-buffer exhaustion.
+    pub tm_drops: u64,
+    /// Per-queue tail drops.
+    pub queue_drops: u64,
+    /// Total recirculation passes taken.
+    pub recirc_passes: u64,
+}
+
+impl SwitchCounters {
+    /// Sum of all drop classes.
+    pub fn total_drops(&self) -> u64 {
+        self.parse_errors
+            + self.filtered
+            + self.no_decision
+            + self.bad_port
+            + self.tm_drops
+            + self.queue_drops
+    }
+}
+
+/// A packet that left the switch.
+#[derive(Debug, Clone)]
+pub struct Delivered {
+    /// TX port it left on.
+    pub port: PortId,
+    /// Time its last bit left.
+    pub time: SimTime,
+    /// Final frame contents (post-deparse).
+    pub data: Vec<u8>,
+    /// Final metadata.
+    pub meta: adcp_sim::packet::PacketMeta,
+}
+
+/// Per-ingress-pipeline state.
+struct IngressPipe {
+    next_slot: SimTime,
+    busy_cycles: u64,
+    /// Ingress-region tables (pass 0).
+    state: RegionState,
+    /// Central-region tables executed on recirculation passes.
+    central: RegionState,
+}
+
+/// Per-egress-pipeline state.
+struct EgressPipe {
+    next_slot: SimTime,
+    busy_cycles: u64,
+    /// Round-robin cursor over the pipe's local ports.
+    port_cursor: usize,
+    /// Central tables when the compiler egress-pinned them.
+    central: RegionState,
+    /// Egress-region tables.
+    state: RegionState,
+    queues: ScheduledQueues,
+    pull_scheduled: bool,
+}
+
+enum Ev {
+    Inject { port: u16, pkt: Packet },
+    IngressEnter { pipe: usize, pkt: Packet, pass: u8 },
+    IngressOut { pipe: usize, pkt: Packet, pass: u8 },
+    PullEgress { pipe: usize },
+    EgressOut { pipe: usize, pkt: Packet },
+}
+
+/// The RMT switch.
+pub struct RmtSwitch {
+    target: TargetModel,
+    program: Program,
+    layout: PhvLayout,
+    /// Compilation result the switch was built from.
+    pub placement: Placement,
+    cfg: RmtConfig,
+    rx: Vec<RxPort>,
+    tx: Vec<TxPort>,
+    ingress: Vec<IngressPipe>,
+    egress: Vec<EgressPipe>,
+    pool: BufferPool,
+    events: EventQueue<Ev>,
+    period: Duration,
+    /// Drop/flow accounting.
+    pub counters: SwitchCounters,
+    /// Throughput/goodput/keys meter over delivered packets.
+    pub out_meter: Meter,
+    /// End-to-end latency (created -> last bit out).
+    pub latency: LatencyHist,
+    /// Packet-walk trace.
+    pub tracer: Tracer,
+    delivered: Vec<Delivered>,
+    in_flight: u64,
+    last_delivery: SimTime,
+}
+
+impl RmtSwitch {
+    /// Build a switch for `program` on `target`, compiling with `opts`.
+    pub fn new(
+        program: Program,
+        target: TargetModel,
+        opts: CompileOptions,
+        cfg: RmtConfig,
+    ) -> Result<Self, CompileError> {
+        let placement = compile(&program, &target, opts)?;
+        let layout = program.layout();
+        let n_pipes = target.num_pipes() as usize;
+        let ports_per_pipe = target.ports_per_pipe as usize;
+        let speed_of = |p: u16| {
+            cfg.port_speeds
+                .iter()
+                .find(|(port, _)| *port == p)
+                .map(|(_, s)| *s)
+                .unwrap_or_else(|| target.port_speed())
+        };
+        let rx = (0..target.ports)
+            .map(|p| RxPort::new(PortId(p), speed_of(p)))
+            .collect();
+        let tx = (0..target.ports)
+            .map(|p| TxPort::new(PortId(p), speed_of(p)))
+            .collect();
+        let ingress = (0..n_pipes)
+            .map(|_| IngressPipe {
+                next_slot: SimTime::ZERO,
+                busy_cycles: 0,
+                state: RegionState::new(&program, Region::Ingress),
+                central: RegionState::new(&program, Region::Central),
+            })
+            .collect();
+        let tm2 = program.tm2.policy;
+        let egress = (0..n_pipes)
+            .map(|_| EgressPipe {
+                next_slot: SimTime::ZERO,
+                busy_cycles: 0,
+                port_cursor: 0,
+                central: RegionState::new(&program, Region::Central),
+                state: RegionState::new(&program, Region::Egress),
+                queues: ScheduledQueues::new(ports_per_pipe, cfg.queue_depth, tm2),
+                pull_scheduled: false,
+            })
+            .collect();
+        let pool = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
+        let period = target.pipe_freq().period();
+        let tracer = if cfg.trace {
+            Tracer::new(65_536)
+        } else {
+            Tracer::disabled()
+        };
+        Ok(RmtSwitch {
+            target,
+            program,
+            layout,
+            placement,
+            cfg,
+            rx,
+            tx,
+            ingress,
+            egress,
+            pool,
+            events: EventQueue::new(),
+            period,
+            counters: SwitchCounters::default(),
+            out_meter: Meter::default(),
+            latency: LatencyHist::new(),
+            tracer,
+            delivered: Vec::new(),
+            in_flight: 0,
+            last_delivery: SimTime::ZERO,
+        })
+    }
+
+    /// The target this switch models.
+    pub fn target(&self) -> &TargetModel {
+        &self.target
+    }
+
+    /// The program it runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Ingress pipeline serving a port.
+    pub fn pipe_of_port(&self, port: PortId) -> usize {
+        (port.0 / self.target.ports_per_pipe) as usize
+    }
+
+    /// Ports attached to an egress pipeline — the only ports a packet
+    /// processed there can leave from (Fig. 2).
+    pub fn ports_of_pipe(&self, pipe: usize) -> Vec<PortId> {
+        let ppp = self.target.ports_per_pipe;
+        (0..ppp).map(|i| PortId(pipe as u16 * ppp + i)).collect()
+    }
+
+    // ---------------- control plane ----------------
+
+    /// Install a table entry into every pipeline that hosts the table.
+    pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
+        let gi = self
+            .program
+            .tables
+            .iter()
+            .position(|t| t.name == table)
+            .unwrap_or_else(|| panic!("no table named {table}"));
+        let region = self.program.tables[gi].region;
+        let program = self.program.clone();
+        match region {
+            Region::Ingress => {
+                for p in &mut self.ingress {
+                    p.state.install(&program, gi, entry.clone())?;
+                }
+            }
+            Region::Central => {
+                for p in &mut self.ingress {
+                    p.central.install(&program, gi, entry.clone())?;
+                }
+                for p in &mut self.egress {
+                    p.central.install(&program, gi, entry.clone())?;
+                }
+            }
+            Region::Egress => {
+                for p in &mut self.egress {
+                    p.state.install(&program, gi, entry.clone())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Read a central-region register file as seen by one pipeline. With
+    /// `CentralImpl::EgressPinned` the live copy is in the egress pipes;
+    /// with `Recirculated` it is in the ingress pipes.
+    pub fn central_register(&self, pipe: usize, reg: RegId) -> &RegisterFile {
+        match self.placement.central_impl {
+            CentralImpl::EgressPinned => self.egress[pipe].central.register(reg),
+            _ => self.ingress[pipe].central.register(reg),
+        }
+    }
+
+    /// Read an egress-region register file of one pipeline.
+    pub fn egress_register(&self, pipe: usize, reg: RegId) -> &RegisterFile {
+        self.egress[pipe].state.register(reg)
+    }
+
+    /// Read an ingress-region register file of one pipeline.
+    pub fn ingress_register(&self, pipe: usize, reg: RegId) -> &RegisterFile {
+        self.ingress[pipe].state.register(reg)
+    }
+
+    // ---------------- data plane ----------------
+
+    /// Offer a packet to an RX port at `t` (its first bit arrives then).
+    pub fn inject(&mut self, port: PortId, mut pkt: Packet, t: SimTime) {
+        assert!(
+            (port.0 as usize) < self.rx.len(),
+            "inject on nonexistent {port}"
+        );
+        if pkt.meta.created == SimTime::ZERO {
+            pkt.meta.created = t;
+        }
+        self.counters.injected += 1;
+        self.in_flight += 1;
+        self.events.push(t, Ev::Inject { port: port.0, pkt });
+    }
+
+    /// Run until no events remain; returns quiescence time — the later of
+    /// the last event and the last bit serialized out a TX port.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        let mut last = self.events.now();
+        while let Some((t, ev)) = self.events.pop() {
+            self.handle(t, ev);
+            last = t;
+        }
+        last.max(self.last_delivery)
+    }
+
+    /// Drain packets delivered so far.
+    pub fn take_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Packets currently inside the switch.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Panic unless every injected packet is accounted for. Call at idle.
+    pub fn check_conservation(&self) {
+        let c = &self.counters;
+        assert_eq!(
+            c.injected + c.mcast_copies,
+            c.delivered + c.total_drops() + self.in_flight,
+            "conservation violated: {c:?} in_flight={}",
+            self.in_flight
+        );
+    }
+
+    /// High-water mark of the TM's shared buffer, in cells.
+    pub fn tm_buffer_hwm(&self) -> u64 {
+        self.pool.hwm_cells
+    }
+
+    /// Utilization (busy cycles / elapsed cycles) of an ingress pipeline.
+    pub fn ingress_utilization(&self, pipe: usize, now: SimTime) -> f64 {
+        let total = now.as_ps() / self.period.as_ps().max(1);
+        if total == 0 {
+            0.0
+        } else {
+            self.ingress[pipe].busy_cycles as f64 / total as f64
+        }
+    }
+
+    fn handle(&mut self, now: SimTime, ev: Ev) {
+        match ev {
+            Ev::Inject { port, pkt } => self.on_inject(now, port, pkt),
+            Ev::IngressEnter { pipe, pkt, pass } => self.on_ingress_enter(now, pipe, pkt, pass),
+            Ev::IngressOut { pipe, pkt, pass } => self.on_ingress_out(now, pipe, pkt, pass),
+            Ev::PullEgress { pipe } => self.on_pull_egress(now, pipe),
+            Ev::EgressOut { pipe, pkt } => self.on_egress_out(now, pipe, pkt),
+        }
+    }
+
+    fn on_inject(&mut self, now: SimTime, port: u16, mut pkt: Packet) {
+        let done = self.rx[port as usize].receive(&mut pkt, now);
+        self.tracer.record(done, pkt.meta.id, Site::Rx(PortId(port)));
+        let pipe = self.pipe_of_port(PortId(port));
+        self.events.push(done, Ev::IngressEnter { pipe, pkt, pass: 0 });
+    }
+
+    /// Parse and run the pass's region, then occupy a pipeline slot.
+    fn on_ingress_enter(&mut self, now: SimTime, pipe: usize, pkt: Packet, pass: u8) {
+        let parsed = self
+            .program
+            .parser
+            .parse(&self.program.headers, &self.layout, &pkt.data);
+        let Ok(out) = parsed else {
+            self.counters.parse_errors += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        };
+        let mut phv = out.phv;
+        phv.intr.ingress_port = pkt.meta.ingress_port;
+        // Parse latency scales with structural depth, not port speed (§3.3).
+        let parse_done = now + Duration(out.depth as u64 * self.period.as_ps());
+
+        let p = &mut self.ingress[pipe];
+        let entry = parse_done.max(p.next_slot);
+        p.next_slot = entry + self.period;
+        p.busy_cycles += 1;
+        self.tracer
+            .record(entry, pkt.meta.id, Site::IngressPipe(pipe));
+
+        // Run the region at entry (stage traversal is a fixed latency; the
+        // state mutation order equals the slot order).
+        let program = self.program.clone();
+        let (state, depth) = if pass == 0 {
+            (&mut p.state, self.placement.ingress.depth().max(1))
+        } else {
+            (&mut p.central, self.placement.central.depth().max(1))
+        };
+        state.run(&program, &self.layout, &mut phv);
+
+        // Deparse: the pipeline's modifications become the packet.
+        let payload = &pkt.data[out.consumed.min(pkt.data.len())..];
+        let data = deparse(
+            &self.program.headers,
+            &self.layout,
+            &phv,
+            &out.extracted,
+            payload,
+        );
+        let mut pkt = pkt;
+        pkt.data = data.into();
+        pkt.meta.egress = phv.intr.egress.clone();
+        pkt.meta.recirculate = phv.intr.recirculate;
+        pkt.meta.central_pipe = phv.intr.central_pipe;
+        if let Some(k) = phv.intr.sort_key {
+            pkt.meta.sort_key = Some(k);
+        }
+        pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
+
+        let exit = entry + Duration(depth as u64 * self.period.as_ps());
+        self.events.push(exit, Ev::IngressOut { pipe, pkt, pass });
+    }
+
+    fn on_ingress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet, pass: u8) {
+        if pkt.meta.recirculate && pass == 0 {
+            // Recirculation: loop back into the ingress pipeline that hosts
+            // the coflow state (chosen by the program via central_pipe),
+            // consuming one of its slots — the bandwidth tax.
+            let target = pkt
+                .meta
+                .central_pipe
+                .map(|c| c as usize % self.ingress.len())
+                .unwrap_or(pipe);
+            pkt.meta.recirculate = false;
+            pkt.meta.recirc_count += 1;
+            self.counters.recirc_passes += 1;
+            self.tracer.record(now, pkt.meta.id, Site::Recirculated);
+            let at = now + self.cfg.recirc_latency;
+            self.events.push(
+                at,
+                Ev::IngressEnter {
+                    pipe: target,
+                    pkt,
+                    pass: 1,
+                },
+            );
+            return;
+        }
+        self.tm_admit(now, pkt);
+    }
+
+    fn tm_admit(&mut self, now: SimTime, pkt: Packet) {
+        self.tracer.record(now, pkt.meta.id, Site::Tm1);
+        match pkt.meta.egress.clone() {
+            EgressSpec::Unset | EgressSpec::Recirculate => {
+                self.counters.no_decision += 1;
+                self.drop_packet(now, pkt.meta.id);
+            }
+            EgressSpec::Drop => {
+                self.counters.filtered += 1;
+                self.drop_packet(now, pkt.meta.id);
+            }
+            EgressSpec::Unicast(p) => self.tm_admit_one(now, p, pkt),
+            EgressSpec::Multicast(ports) => {
+                if ports.is_empty() {
+                    self.counters.no_decision += 1;
+                    self.drop_packet(now, pkt.meta.id);
+                    return;
+                }
+                // The TM replicates; each copy is accounted separately.
+                self.counters.mcast_copies += ports.len() as u64 - 1;
+                self.in_flight += ports.len() as u64 - 1;
+                for p in ports {
+                    let mut copy = pkt.clone();
+                    copy.meta.egress = EgressSpec::Unicast(p);
+                    self.tm_admit_one(now, p, copy);
+                }
+            }
+        }
+    }
+
+    fn tm_admit_one(&mut self, now: SimTime, port: PortId, pkt: Packet) {
+        if port.0 as usize >= self.tx.len() {
+            self.counters.bad_port += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        let pipe = self.pipe_of_port(port);
+        let local = (port.0 % self.target.ports_per_pipe) as usize;
+        if !self.egress[pipe].queues.queue(local).has_room(&pkt) {
+            self.counters.queue_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        if !self.pool.try_alloc(&pkt) {
+            self.counters.tm_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        let accepted = self.egress[pipe].queues.enqueue(local, pkt).is_ok();
+        debug_assert!(accepted, "room was checked above");
+        self.schedule_pull(now, pipe);
+    }
+
+    fn schedule_pull(&mut self, now: SimTime, pipe: usize) {
+        if !self.egress[pipe].pull_scheduled {
+            self.egress[pipe].pull_scheduled = true;
+            let at = now.max(self.egress[pipe].next_slot);
+            self.events.push(at, Ev::PullEgress { pipe });
+        }
+    }
+
+    fn on_pull_egress(&mut self, now: SimTime, pipe: usize) {
+        self.egress[pipe].pull_scheduled = false;
+        if now < self.egress[pipe].next_slot {
+            self.schedule_pull(self.egress[pipe].next_slot, pipe);
+            return;
+        }
+        // A queue may only depart when its TX port can accept the packet:
+        // busy links backpressure into the TM buffer (which is where the
+        // buffering physically lives). Round-robin over ready ports.
+        let ppp = self.target.ports_per_pipe as usize;
+        let mut chosen: Option<usize> = None;
+        let mut earliest_ready = SimTime::NEVER;
+        for k in 0..ppp {
+            let i = (self.egress[pipe].port_cursor + k) % ppp;
+            if self.egress[pipe].queues.queue(i).is_empty() {
+                continue;
+            }
+            let port = pipe * ppp + i;
+            // Overlap pipeline flight with the link: the port must be
+            // free by the time the packet exits the egress stages.
+            let flight = (self.placement.central.depth() + self.placement.egress.depth())
+                .max(1) as u64
+                * self.period.as_ps();
+            let ready = self.tx[port].ready_at();
+            if ready.as_ps() <= now.as_ps() + flight {
+                chosen = Some(i);
+                break;
+            }
+            earliest_ready = earliest_ready.min(SimTime(ready.as_ps() - flight));
+        }
+        let Some(local) = chosen else {
+            if earliest_ready != SimTime::NEVER {
+                // Every backlogged port is mid-serialization; retry when
+                // the first frees up.
+                self.egress[pipe].pull_scheduled = true;
+                self.events.push(earliest_ready, Ev::PullEgress { pipe });
+            }
+            return;
+        };
+        self.egress[pipe].port_cursor = (local + 1) % ppp;
+        let Some(pkt) = self.egress[pipe].queues.dequeue_queue(local) else {
+            return;
+        };
+        self.pool.release(&pkt);
+        let p = &mut self.egress[pipe];
+        let entry = now.max(p.next_slot);
+        p.next_slot = entry + self.period;
+        p.busy_cycles += 1;
+        let depth = (self.placement.central.depth() + self.placement.egress.depth()).max(1);
+        let exit = entry + Duration(depth as u64 * self.period.as_ps());
+        self.tracer.record(entry, pkt.meta.id, Site::EgressPipe(pipe));
+        self.events.push(exit, Ev::EgressOut { pipe, pkt });
+        if !self.egress[pipe].queues.is_empty() {
+            let next = self.egress[pipe].next_slot;
+            self.schedule_pull(next, pipe);
+        }
+    }
+
+    fn on_egress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
+        // Egress parse + region execution.
+        let parsed = self
+            .program
+            .parser
+            .parse(&self.program.headers, &self.layout, &pkt.data);
+        let Ok(out) = parsed else {
+            self.counters.parse_errors += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        };
+        let mut phv: Phv = out.phv;
+        phv.intr.ingress_port = pkt.meta.ingress_port;
+        phv.intr.egress = pkt.meta.egress.clone();
+        let program = self.program.clone();
+        // Egress-pinned central tables run first (Fig. 2 lowering).
+        if self.placement.central_impl == CentralImpl::EgressPinned {
+            self.egress[pipe]
+                .central
+                .run(&program, &self.layout, &mut phv);
+        }
+        self.egress[pipe]
+            .state
+            .run(&program, &self.layout, &mut phv);
+        if phv.intr.egress == EgressSpec::Drop {
+            self.counters.filtered += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
+        let payload = &pkt.data[out.consumed.min(pkt.data.len())..];
+        let data = deparse(
+            &self.program.headers,
+            &self.layout,
+            &phv,
+            &out.extracted,
+            payload,
+        );
+        let mut pkt = pkt;
+        pkt.data = data.into();
+        pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
+
+        let EgressSpec::Unicast(port) = pkt.meta.egress.clone() else {
+            self.counters.no_decision += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        };
+        // Egress pinning invariant: the port belongs to this pipeline.
+        debug_assert_eq!(self.pipe_of_port(port), pipe, "egress pinning violated");
+        let done = self.tx[port.0 as usize].transmit(&pkt, now);
+        self.tracer.record(done, pkt.meta.id, Site::Tx(port));
+        self.counters.delivered += 1;
+        self.in_flight -= 1;
+        self.out_meter.record(
+            pkt.wire_bytes(),
+            pkt.meta.goodput_bytes,
+            pkt.meta.elements,
+        );
+        self.latency
+            .record(done.saturating_since(pkt.meta.created));
+        self.last_delivery = self.last_delivery.max(done);
+        self.delivered.push(Delivered {
+            port,
+            time: done,
+            data: pkt.data.to_vec(),
+            meta: pkt.meta,
+        });
+    }
+
+    fn drop_packet(&mut self, now: SimTime, id: u64) {
+        self.in_flight -= 1;
+        self.tracer.record(now, id, Site::Dropped);
+    }
+}

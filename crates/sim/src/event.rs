@@ -1,0 +1,155 @@
+//! A deterministic discrete-event queue.
+//!
+//! Both switch models are event-driven simulations: packets move between
+//! resources (ports, pipelines, traffic managers) at computed times. The
+//! queue orders events by `(time, sequence)` so that simultaneous events
+//! fire in insertion order — which, combined with [`crate::rng::SimRng`],
+//! makes whole runs reproducible bit-for-bit.
+
+use crate::time::SimTime;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Key(SimTime, u64);
+
+/// A time-ordered event queue with FIFO tie-breaking.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<(Key, usize)>>,
+    /// Slab of payloads; index stored in the heap keeps `E: Ord` unneeded.
+    slots: Vec<Option<E>>,
+    free: Vec<usize>,
+    seq: u64,
+    now: SimTime,
+    /// Total events ever scheduled.
+    pub scheduled: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Empty queue at t = 0.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+            scheduled: 0,
+        }
+    }
+
+    /// Current simulation time (time of the last popped event).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedule `ev` at `t`. Scheduling in the past is clamped to `now`
+    /// (a resource that frees up "already" fires immediately).
+    pub fn push(&mut self, t: SimTime, ev: E) {
+        let t = t.max(self.now);
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.slots[i] = Some(ev);
+                i
+            }
+            None => {
+                self.slots.push(Some(ev));
+                self.slots.len() - 1
+            }
+        };
+        self.heap.push(Reverse((Key(t, self.seq), idx)));
+        self.seq += 1;
+        self.scheduled += 1;
+    }
+
+    /// Pop the next event, advancing `now` to its time.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        let Reverse((Key(t, _), idx)) = self.heap.pop()?;
+        self.now = t;
+        let ev = self.slots[idx].take().expect("slot holds a scheduled event");
+        self.free.push(idx);
+        Some((t, ev))
+    }
+
+    /// Time of the next pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse((Key(t, _), _))| *t)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(30), "c");
+        q.push(SimTime(10), "a");
+        q.push(SimTime(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn now_advances_and_past_clamps() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(100), 1);
+        assert_eq!(q.pop().unwrap().0, SimTime(100));
+        assert_eq!(q.now(), SimTime(100));
+        // Scheduling "in the past" fires at now.
+        q.push(SimTime(50), 2);
+        let (t, e) = q.pop().unwrap();
+        assert_eq!(t, SimTime(100));
+        assert_eq!(e, 2);
+    }
+
+    #[test]
+    fn slot_reuse_keeps_payloads_straight() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(1), "x");
+        q.pop();
+        q.push(SimTime(2), "y");
+        q.push(SimTime(3), "z");
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.pop().unwrap().1, "y");
+        assert_eq!(q.pop().unwrap().1, "z");
+        assert!(q.is_empty());
+        assert_eq!(q.scheduled, 3);
+    }
+
+    #[test]
+    fn peek_time() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert_eq!(q.peek_time(), None);
+        q.push(SimTime(7), 0);
+        assert_eq!(q.peek_time(), Some(SimTime(7)));
+    }
+}

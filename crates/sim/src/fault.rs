@@ -1,0 +1,201 @@
+//! Fault injection, in the spirit of smoltcp's example harnesses.
+//!
+//! A [`FaultInjector`] sits on a link and randomly drops, corrupts, or
+//! delays packets. The integration tests use it to confirm that the switch
+//! models degrade gracefully (conservation still holds: every injected drop
+//! is counted) and that application-level aggregation tolerates loss.
+
+use crate::packet::Packet;
+use crate::rng::SimRng;
+use crate::time::Duration;
+use bytes::BytesMut;
+
+/// What the injector decided to do with a packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultOutcome {
+    /// Packet passes unharmed.
+    Pass,
+    /// Packet was dropped.
+    Dropped,
+    /// One byte of the packet was flipped.
+    Corrupted,
+    /// Packet passes but delayed by the given extra latency.
+    Delayed(Duration),
+}
+
+/// Configuration for a fault injector.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultConfig {
+    /// Probability a packet is dropped.
+    pub drop_chance: f64,
+    /// Probability one byte of a surviving packet is flipped.
+    pub corrupt_chance: f64,
+    /// Probability a surviving packet is delayed.
+    pub delay_chance: f64,
+    /// Maximum extra delay applied when a delay fault fires.
+    pub max_delay: Duration,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            drop_chance: 0.0,
+            corrupt_chance: 0.0,
+            delay_chance: 0.0,
+            max_delay: Duration::from_ns(1000),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// A lossy link with the given drop probability.
+    pub fn lossy(drop_chance: f64) -> Self {
+        FaultConfig {
+            drop_chance,
+            ..Default::default()
+        }
+    }
+}
+
+/// Stateful fault injector for one link.
+#[derive(Debug)]
+pub struct FaultInjector {
+    cfg: FaultConfig,
+    rng: SimRng,
+    /// Packets dropped by this injector.
+    pub dropped: u64,
+    /// Packets corrupted.
+    pub corrupted: u64,
+    /// Packets delayed.
+    pub delayed: u64,
+    /// Packets passed untouched.
+    pub passed: u64,
+}
+
+impl FaultInjector {
+    /// Injector with its own random stream.
+    pub fn new(cfg: FaultConfig, rng: SimRng) -> Self {
+        FaultInjector {
+            cfg,
+            rng,
+            dropped: 0,
+            corrupted: 0,
+            delayed: 0,
+            passed: 0,
+        }
+    }
+
+    /// An injector that never faults (handy default wiring).
+    pub fn transparent() -> Self {
+        FaultInjector::new(FaultConfig::default(), SimRng::seed_from(0))
+    }
+
+    /// Apply faults to a packet. On `Dropped` the caller must discard the
+    /// packet (and account it); on `Corrupted` the payload has been mutated
+    /// in place.
+    pub fn apply(&mut self, p: &mut Packet) -> FaultOutcome {
+        if self.rng.chance(self.cfg.drop_chance) {
+            self.dropped += 1;
+            return FaultOutcome::Dropped;
+        }
+        if self.rng.chance(self.cfg.corrupt_chance) && !p.data.is_empty() {
+            let idx = self.rng.index(p.data.len());
+            let bit = 1u8 << self.rng.range(0..8u8);
+            let mut buf = BytesMut::from(&p.data[..]);
+            buf[idx] ^= bit;
+            p.data = buf.freeze();
+            self.corrupted += 1;
+            return FaultOutcome::Corrupted;
+        }
+        if self.rng.chance(self.cfg.delay_chance) {
+            let extra = Duration(self.rng.range(0..=self.cfg.max_delay.as_ps()));
+            self.delayed += 1;
+            return FaultOutcome::Delayed(extra);
+        }
+        self.passed += 1;
+        FaultOutcome::Pass
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{synthetic_packet, FlowId};
+
+    #[test]
+    fn transparent_injector_passes_everything() {
+        let mut inj = FaultInjector::transparent();
+        for i in 0..100 {
+            let mut p = synthetic_packet(i, FlowId(1), 128);
+            assert_eq!(inj.apply(&mut p), FaultOutcome::Pass);
+        }
+        assert_eq!(inj.passed, 100);
+        assert_eq!(inj.dropped + inj.corrupted + inj.delayed, 0);
+    }
+
+    #[test]
+    fn drop_rate_close_to_configured() {
+        let mut inj = FaultInjector::new(FaultConfig::lossy(0.15), SimRng::seed_from(1));
+        let n = 20_000;
+        for i in 0..n {
+            let mut p = synthetic_packet(i, FlowId(1), 64);
+            inj.apply(&mut p);
+        }
+        let rate = inj.dropped as f64 / n as f64;
+        assert!((0.13..0.17).contains(&rate), "rate = {rate}");
+    }
+
+    #[test]
+    fn corruption_flips_exactly_one_bit() {
+        let cfg = FaultConfig {
+            corrupt_chance: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(cfg, SimRng::seed_from(2));
+        let orig = synthetic_packet(7, FlowId(1), 256);
+        let mut p = orig.clone();
+        assert_eq!(inj.apply(&mut p), FaultOutcome::Corrupted);
+        let diff_bits: u32 = orig
+            .data
+            .iter()
+            .zip(p.data.iter())
+            .map(|(a, b)| (a ^ b).count_ones())
+            .sum();
+        assert_eq!(diff_bits, 1);
+        assert_eq!(orig.data.len(), p.data.len());
+    }
+
+    #[test]
+    fn delays_are_bounded() {
+        let cfg = FaultConfig {
+            delay_chance: 1.0,
+            max_delay: Duration::from_ns(50),
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(cfg, SimRng::seed_from(3));
+        for i in 0..200 {
+            let mut p = synthetic_packet(i, FlowId(1), 64);
+            match inj.apply(&mut p) {
+                FaultOutcome::Delayed(d) => assert!(d <= Duration::from_ns(50)),
+                other => panic!("expected delay, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn outcomes_are_accounted_exhaustively() {
+        let cfg = FaultConfig {
+            drop_chance: 0.2,
+            corrupt_chance: 0.2,
+            delay_chance: 0.2,
+            max_delay: Duration::from_ns(10),
+        };
+        let mut inj = FaultInjector::new(cfg, SimRng::seed_from(4));
+        let n = 5_000;
+        for i in 0..n {
+            let mut p = synthetic_packet(i, FlowId(1), 64);
+            inj.apply(&mut p);
+        }
+        assert_eq!(inj.passed + inj.dropped + inj.corrupted + inj.delayed, n);
+    }
+}

@@ -1,0 +1,49 @@
+//! # adcp-sim — simulation substrate
+//!
+//! Cycle-level simulation primitives shared by the RMT baseline
+//! (`adcp-rmt`) and the ADCP switch model (`adcp-core`):
+//!
+//! * [`time`] — picosecond timestamps, frequencies, clocks, and multi-clock
+//!   domains (the currency of the paper's Tables 2 and 3).
+//! * [`packet`] — packets, flows, coflows, and forwarding specs.
+//! * [`port`] — RX/TX link models with exact serialization timing.
+//! * [`queue`] — bounded queues and shared-memory buffer pools.
+//! * [`sched`] — FIFO / strict-priority / DRR / order-preserving-merge
+//!   schedulers (the last is the §3.1 "expanded TM semantics").
+//! * [`fault`] — drop/corrupt/delay fault injection.
+//! * [`stats`] — counters, throughput meters, latency histograms.
+//! * [`trace`] — bounded event tracing for packet walks.
+//! * [`rng`] — deterministic, forkable randomness.
+//!
+//! Everything is synchronous, allocation-light, and deterministic given a
+//! seed; the models that build on it are CPU-bound state machines, so there
+//! is deliberately no async runtime here.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod event;
+pub mod fault;
+pub mod packet;
+pub mod port;
+pub mod queue;
+pub mod rng;
+pub mod sched;
+pub mod shaper;
+pub mod stats;
+pub mod time;
+pub mod trace;
+
+pub use event::EventQueue;
+pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
+pub use packet::{
+    synthetic_packet, CoflowId, EgressSpec, FlowId, Packet, PacketMeta, PortId, MIN_WIRE_BYTES,
+};
+pub use port::{LinkSpeed, RxPort, TxPort};
+pub use queue::{BoundedQueue, BufferPool, EnqueueResult};
+pub use rng::SimRng;
+pub use sched::{Policy, ScheduledQueues};
+pub use shaper::TokenBucket;
+pub use stats::{Counter, LatencyHist, LatencySummary, Meter};
+pub use time::{Clock, ClockId, ClockSet, Duration, Freq, SimTime};
+pub use trace::{Site, TraceEvent, Tracer};

@@ -1,0 +1,271 @@
+//! Packets, flows, and coflows.
+//!
+//! A [`Packet`] is a byte buffer plus simulation metadata. The byte buffer is
+//! what parsers (in `adcp-lang`) extract header fields from; the metadata is
+//! simulation bookkeeping: identity, flow/coflow membership, timestamps, and
+//! the forwarding decision the switch has made so far.
+//!
+//! Coflows follow Chowdhury & Stoica's definition (the paper's reference
+//! [6]): a set of flows that belong to one application-level exchange and
+//! complete together. The paper's core argument is that switches should
+//! process *coflows*, not independent flows, so coflow identity is first
+//! class here.
+
+use bytes::{Bytes, BytesMut};
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Ethernet framing overhead on the wire: 7 B preamble + 1 B SFD + 12 B
+/// inter-frame gap. This is why the paper's Table 2 lists the minimum
+/// 10 Gbps packet as 84 B: a 64 B minimum frame plus this 20 B overhead.
+pub const WIRE_OVERHEAD_BYTES: u32 = 20;
+
+/// Minimum Ethernet frame size (without wire overhead).
+pub const MIN_FRAME_BYTES: u32 = 64;
+
+/// Minimum on-wire footprint of any packet: 64 + 20 = 84 B.
+pub const MIN_WIRE_BYTES: u32 = MIN_FRAME_BYTES + WIRE_OVERHEAD_BYTES;
+
+/// Identifies a physical switch port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PortId(pub u16);
+
+impl fmt::Display for PortId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifies a flow (5-tuple stand-in).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FlowId(pub u64);
+
+/// Identifies a coflow: a set of flows that form one application exchange.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CoflowId(pub u32);
+
+/// The forwarding decision attached to a packet as it moves through a switch.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum EgressSpec {
+    /// No decision yet (packet still in ingress processing).
+    #[default]
+    Unset,
+    /// Forward to one TX port.
+    Unicast(PortId),
+    /// Replicate to several TX ports (the ADCP TM2 supports this natively;
+    /// the parameter-server example uses it to broadcast aggregated weights).
+    Multicast(Vec<PortId>),
+    /// Drop the packet (filtered, or resource exhaustion).
+    Drop,
+    /// Send the packet back through the ingress pipeline (the RMT workaround
+    /// the paper calls out as having "a great bandwidth and application
+    /// complexity cost").
+    Recirculate,
+}
+
+impl EgressSpec {
+    /// Ports this spec will transmit on (empty for non-transmitting specs).
+    pub fn ports(&self) -> &[PortId] {
+        match self {
+            EgressSpec::Unicast(p) => std::slice::from_ref(p),
+            EgressSpec::Multicast(ps) => ps,
+            _ => &[],
+        }
+    }
+}
+
+/// Simulation metadata carried alongside the packet bytes.
+#[derive(Debug, Clone)]
+pub struct PacketMeta {
+    /// Unique packet id (assigned by the source).
+    pub id: u64,
+    /// Flow membership.
+    pub flow: FlowId,
+    /// Coflow membership, if the packet belongs to a coordinated exchange.
+    pub coflow: Option<CoflowId>,
+    /// RX port the switch received the packet on.
+    pub ingress_port: Option<PortId>,
+    /// Time the packet was created at its source.
+    pub created: SimTime,
+    /// Time the packet finished arriving at the switch.
+    pub arrived: SimTime,
+    /// Forwarding decision so far.
+    pub egress: EgressSpec,
+    /// Sort key for order-preserving merge scheduling (§3.1: the first TM
+    /// "could keep a sort order while it merges flows that are themselves
+    /// sorted").
+    pub sort_key: Option<u64>,
+    /// Number of recirculation passes this packet has taken (RMT only).
+    pub recirc_count: u8,
+    /// Switch-internal: this packet asked for another ingress pass.
+    pub recirculate: bool,
+    /// Switch-internal: central pipeline chosen by the program (ADCP) or
+    /// the pipe hosting the coflow state (RMT recirculation).
+    pub central_pipe: Option<u32>,
+    /// Application data elements carried (keys/weights/rows) — the §3.2
+    /// unit of switch performance.
+    pub elements: u32,
+    /// Bytes of application payload (goodput accounting); headers and
+    /// padding are excluded.
+    pub goodput_bytes: u32,
+}
+
+impl PacketMeta {
+    fn new(id: u64, flow: FlowId) -> Self {
+        PacketMeta {
+            id,
+            flow,
+            coflow: None,
+            ingress_port: None,
+            created: SimTime::ZERO,
+            arrived: SimTime::ZERO,
+            egress: EgressSpec::Unset,
+            sort_key: None,
+            recirc_count: 0,
+            recirculate: false,
+            central_pipe: None,
+            elements: 0,
+            goodput_bytes: 0,
+        }
+    }
+}
+
+/// A simulated packet: bytes plus metadata.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Frame contents (headers followed by payload). Cheap to clone.
+    pub data: Bytes,
+    /// Simulation bookkeeping.
+    pub meta: PacketMeta,
+}
+
+impl Packet {
+    /// Build a packet from raw bytes.
+    pub fn new(id: u64, flow: FlowId, data: impl Into<Bytes>) -> Self {
+        Packet {
+            data: data.into(),
+            meta: PacketMeta::new(id, flow),
+        }
+    }
+
+    /// Builder-style: set coflow membership.
+    pub fn with_coflow(mut self, c: CoflowId) -> Self {
+        self.meta.coflow = Some(c);
+        self
+    }
+
+    /// Builder-style: set creation timestamp.
+    pub fn with_created(mut self, t: SimTime) -> Self {
+        self.meta.created = t;
+        self
+    }
+
+    /// Builder-style: set sort key for merge scheduling.
+    pub fn with_sort_key(mut self, k: u64) -> Self {
+        self.meta.sort_key = Some(k);
+        self
+    }
+
+    /// Builder-style: set goodput byte count.
+    pub fn with_goodput(mut self, bytes: u32) -> Self {
+        self.meta.goodput_bytes = bytes;
+        self
+    }
+
+    /// Builder-style: set the carried data-element count.
+    pub fn with_elements(mut self, n: u32) -> Self {
+        self.meta.elements = n;
+        self
+    }
+
+    /// Frame length in bytes (as stored; below-minimum frames are padded on
+    /// the wire but not in the buffer).
+    pub fn frame_bytes(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// On-wire footprint: frame length padded to the Ethernet minimum, plus
+    /// preamble and inter-frame gap. This is the size that determines
+    /// serialization delay and the packet rates in the paper's Table 2.
+    pub fn wire_bytes(&self) -> u32 {
+        self.frame_bytes().max(MIN_FRAME_BYTES) + WIRE_OVERHEAD_BYTES
+    }
+
+    /// Bits on the wire.
+    pub fn wire_bits(&self) -> u64 {
+        self.wire_bytes() as u64 * 8
+    }
+}
+
+/// Convenience constructor for test/synthetic packets of a given size.
+pub fn synthetic_packet(id: u64, flow: FlowId, frame_len: usize) -> Packet {
+    let mut buf = BytesMut::zeroed(frame_len);
+    // Stamp the id into the first bytes so that corrupt/reorder faults are
+    // observable in tests.
+    let stamp = id.to_be_bytes();
+    let n = stamp.len().min(frame_len);
+    buf[..n].copy_from_slice(&stamp[..n]);
+    Packet::new(id, flow, buf.freeze())
+}
+
+/// Maximum packet rate (packets per second) of a link, given its rate in
+/// gigabits per second and the assumed minimum on-wire packet size in bytes.
+///
+/// This is the arithmetic behind the paper's scalability argument (§2 issue
+/// ③): `64 × 10 Gbps` ports at 84 B minimum packets generate
+/// `640e9 / (84 × 8) ≈ 952 Mpps`, hence the original RMT's ~1 GHz pipeline.
+pub fn max_packet_rate_pps(gbps: f64, min_wire_bytes: u32) -> f64 {
+    (gbps * 1e9) / (min_wire_bytes as f64 * 8.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_size_includes_overhead_and_padding() {
+        let p = synthetic_packet(1, FlowId(1), 64);
+        assert_eq!(p.wire_bytes(), 84);
+        let tiny = synthetic_packet(2, FlowId(1), 10);
+        assert_eq!(tiny.wire_bytes(), 84, "padded to minimum frame");
+        let big = synthetic_packet(3, FlowId(1), 1500);
+        assert_eq!(big.wire_bytes(), 1520);
+    }
+
+    #[test]
+    fn packet_rate_matches_paper_examples() {
+        // §2 ③: "64x 10 Gbps ... around 952 Mpps".
+        let pps = max_packet_rate_pps(640.0, 84);
+        assert!((pps / 1e6 - 952.38).abs() < 0.5, "pps = {pps}");
+        // "64x 100 Gbps ports can generate just about 9.5 Bpps".
+        let pps = max_packet_rate_pps(6400.0, 84);
+        assert!((pps / 1e9 - 9.52).abs() < 0.05, "pps = {pps}");
+        // §3.3: "1.6 Tbps ... around 2.38 Bpps using the smallest packet".
+        let pps = max_packet_rate_pps(1600.0, 84);
+        assert!((pps / 1e9 - 2.38).abs() < 0.01, "pps = {pps}");
+    }
+
+    #[test]
+    fn egress_spec_ports() {
+        assert!(EgressSpec::Unset.ports().is_empty());
+        assert!(EgressSpec::Drop.ports().is_empty());
+        assert_eq!(EgressSpec::Unicast(PortId(3)).ports(), &[PortId(3)]);
+        let m = EgressSpec::Multicast(vec![PortId(1), PortId(2)]);
+        assert_eq!(m.ports().len(), 2);
+    }
+
+    #[test]
+    fn builder_sets_meta() {
+        let p = synthetic_packet(9, FlowId(4), 128)
+            .with_coflow(CoflowId(7))
+            .with_created(SimTime::from_ns(5))
+            .with_sort_key(44)
+            .with_goodput(100);
+        assert_eq!(p.meta.coflow, Some(CoflowId(7)));
+        assert_eq!(p.meta.created, SimTime::from_ns(5));
+        assert_eq!(p.meta.sort_key, Some(44));
+        assert_eq!(p.meta.goodput_bytes, 100);
+        assert_eq!(&p.data[..8], &9u64.to_be_bytes());
+    }
+}

@@ -1,0 +1,268 @@
+//! Bounded queues and shared-memory buffer pools.
+//!
+//! The traffic managers in both switch models are *output-buffered
+//! shared-memory* schedulers (the paper cites Arpaci & Copeland's survey for
+//! this). Packets admitted to a TM take buffer *cells* from a shared
+//! [`BufferPool`]; per-destination [`BoundedQueue`]s hold the packets until
+//! the scheduler releases them. Exhaustion of either bound is a tail drop,
+//! and every drop is counted — the conservation tests check
+//! `in = out + drops + in-flight` across the whole switch.
+
+use crate::packet::Packet;
+use std::collections::VecDeque;
+
+/// Outcome of attempting to enqueue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnqueueResult {
+    /// Packet accepted.
+    Ok,
+    /// Packet rejected: the queue's own packet bound was hit.
+    DroppedQueueFull,
+    /// Packet rejected: the shared buffer pool had no cells left.
+    DroppedNoBuffer,
+}
+
+impl EnqueueResult {
+    /// True when the packet was accepted.
+    pub fn is_ok(self) -> bool {
+        matches!(self, EnqueueResult::Ok)
+    }
+}
+
+/// A FIFO bounded in packets and (optionally) bytes.
+#[derive(Debug, Default)]
+pub struct BoundedQueue {
+    items: VecDeque<Packet>,
+    max_pkts: usize,
+    max_bytes: Option<u64>,
+    cur_bytes: u64,
+    /// Packets dropped because this queue was full.
+    pub drops: u64,
+    /// Packets that have ever been enqueued successfully.
+    pub enqueued: u64,
+    /// Packets dequeued.
+    pub dequeued: u64,
+    /// High-water mark in packets.
+    pub hwm_pkts: usize,
+}
+
+impl BoundedQueue {
+    /// Queue bounded to `max_pkts` packets.
+    pub fn new(max_pkts: usize) -> Self {
+        BoundedQueue {
+            max_pkts,
+            ..Default::default()
+        }
+    }
+
+    /// Additionally bound the queue in frame bytes.
+    pub fn with_byte_limit(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Packets currently queued.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Frame bytes currently queued.
+    pub fn bytes(&self) -> u64 {
+        self.cur_bytes
+    }
+
+    /// Would an enqueue of `p` be admitted?
+    pub fn has_room(&self, p: &Packet) -> bool {
+        if self.items.len() >= self.max_pkts {
+            return false;
+        }
+        if let Some(mb) = self.max_bytes {
+            if self.cur_bytes + p.frame_bytes() as u64 > mb {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Enqueue, tail-dropping when full.
+    pub fn push(&mut self, p: Packet) -> EnqueueResult {
+        if !self.has_room(&p) {
+            self.drops += 1;
+            return EnqueueResult::DroppedQueueFull;
+        }
+        self.cur_bytes += p.frame_bytes() as u64;
+        self.items.push_back(p);
+        self.enqueued += 1;
+        self.hwm_pkts = self.hwm_pkts.max(self.items.len());
+        EnqueueResult::Ok
+    }
+
+    /// Dequeue the head.
+    pub fn pop(&mut self) -> Option<Packet> {
+        let p = self.items.pop_front()?;
+        self.cur_bytes -= p.frame_bytes() as u64;
+        self.dequeued += 1;
+        Some(p)
+    }
+
+    /// Peek the head without removing it.
+    pub fn peek(&self) -> Option<&Packet> {
+        self.items.front()
+    }
+
+    /// Remove and return the first packet matching a predicate (used by
+    /// rank-ordered schedulers that depart from queue interiors).
+    pub fn take_first(&mut self, pred: impl Fn(&Packet) -> bool) -> Option<Packet> {
+        let idx = self.items.iter().position(pred)?;
+        let p = self.items.remove(idx).expect("index from position");
+        self.cur_bytes -= p.frame_bytes() as u64;
+        self.dequeued += 1;
+        Some(p)
+    }
+}
+
+/// Shared-memory cell accounting for a traffic manager.
+///
+/// A pool of `total_cells` fixed-size cells; a packet of `n` frame bytes
+/// consumes `ceil(n / cell_bytes)` cells while buffered.
+#[derive(Debug, Clone)]
+pub struct BufferPool {
+    total_cells: u64,
+    cell_bytes: u32,
+    used_cells: u64,
+    /// Admissions refused for lack of cells.
+    pub refusals: u64,
+    /// High-water mark of used cells.
+    pub hwm_cells: u64,
+}
+
+impl BufferPool {
+    /// Pool with `total_cells` cells of `cell_bytes` each.
+    pub fn new(total_cells: u64, cell_bytes: u32) -> Self {
+        assert!(cell_bytes > 0);
+        BufferPool {
+            total_cells,
+            cell_bytes,
+            used_cells: 0,
+            refusals: 0,
+            hwm_cells: 0,
+        }
+    }
+
+    /// Cells needed to hold a packet.
+    pub fn cells_for(&self, p: &Packet) -> u64 {
+        let b = p.frame_bytes().max(1) as u64;
+        (b + self.cell_bytes as u64 - 1) / self.cell_bytes as u64
+    }
+
+    /// Cells currently allocated.
+    pub fn used(&self) -> u64 {
+        self.used_cells
+    }
+
+    /// Cells free.
+    pub fn free(&self) -> u64 {
+        self.total_cells - self.used_cells
+    }
+
+    /// Total capacity in cells.
+    pub fn capacity(&self) -> u64 {
+        self.total_cells
+    }
+
+    /// Try to allocate cells for a packet. Returns `false` (and counts a
+    /// refusal) when the pool cannot hold it.
+    pub fn try_alloc(&mut self, p: &Packet) -> bool {
+        let need = self.cells_for(p);
+        if self.used_cells + need > self.total_cells {
+            self.refusals += 1;
+            return false;
+        }
+        self.used_cells += need;
+        self.hwm_cells = self.hwm_cells.max(self.used_cells);
+        true
+    }
+
+    /// Release the cells held by a packet.
+    pub fn release(&mut self, p: &Packet) {
+        let need = self.cells_for(p);
+        debug_assert!(self.used_cells >= need, "buffer pool underflow");
+        self.used_cells = self.used_cells.saturating_sub(need);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{synthetic_packet, FlowId};
+
+    fn pkt(id: u64, len: usize) -> Packet {
+        synthetic_packet(id, FlowId(1), len)
+    }
+
+    #[test]
+    fn fifo_order_and_counters() {
+        let mut q = BoundedQueue::new(4);
+        for i in 0..3 {
+            assert!(q.push(pkt(i, 100)).is_ok());
+        }
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.bytes(), 300);
+        assert_eq!(q.pop().unwrap().meta.id, 0);
+        assert_eq!(q.pop().unwrap().meta.id, 1);
+        assert_eq!(q.dequeued, 2);
+        assert_eq!(q.enqueued, 3);
+        assert_eq!(q.hwm_pkts, 3);
+    }
+
+    #[test]
+    fn packet_bound_tail_drops() {
+        let mut q = BoundedQueue::new(2);
+        assert!(q.push(pkt(0, 64)).is_ok());
+        assert!(q.push(pkt(1, 64)).is_ok());
+        assert_eq!(q.push(pkt(2, 64)), EnqueueResult::DroppedQueueFull);
+        assert_eq!(q.drops, 1);
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn byte_bound_tail_drops() {
+        let mut q = BoundedQueue::new(100).with_byte_limit(200);
+        assert!(q.push(pkt(0, 150)).is_ok());
+        assert_eq!(q.push(pkt(1, 100)), EnqueueResult::DroppedQueueFull);
+        assert!(q.push(pkt(2, 50)).is_ok());
+        assert_eq!(q.bytes(), 200);
+    }
+
+    #[test]
+    fn pool_allocates_in_cells() {
+        let mut pool = BufferPool::new(10, 80);
+        let p = pkt(0, 100); // 2 cells of 80 B
+        assert_eq!(pool.cells_for(&p), 2);
+        assert!(pool.try_alloc(&p));
+        assert_eq!(pool.used(), 2);
+        pool.release(&p);
+        assert_eq!(pool.used(), 0);
+        assert_eq!(pool.free(), 10);
+    }
+
+    #[test]
+    fn pool_refuses_when_exhausted() {
+        let mut pool = BufferPool::new(3, 64);
+        let big = pkt(0, 200); // 4 cells — never fits
+        assert!(!pool.try_alloc(&big));
+        assert_eq!(pool.refusals, 1);
+        let small = pkt(1, 64);
+        assert!(pool.try_alloc(&small));
+        assert!(pool.try_alloc(&small));
+        assert!(pool.try_alloc(&small));
+        assert!(!pool.try_alloc(&small));
+        assert_eq!(pool.refusals, 2);
+        assert_eq!(pool.hwm_cells, 3);
+    }
+}

@@ -1,0 +1,164 @@
+//! Token-bucket rate shaping.
+//!
+//! Models end-host pacing and rate limiting (the smoltcp examples expose
+//! the same knobs as `--tx-rate-limit`/`--shaping-interval`). Sources use
+//! a [`TokenBucket`] to decide *when* each packet may enter the switch;
+//! the group-communication example uses it to model senders that pace to
+//! a receiver's advertised rate.
+
+use crate::packet::Packet;
+use crate::time::{Duration, SimTime};
+
+/// A token bucket: `rate_bps` sustained, `burst_bytes` of slack.
+///
+/// ```
+/// use adcp_sim::shaper::TokenBucket;
+/// use adcp_sim::packet::{synthetic_packet, FlowId};
+/// use adcp_sim::time::SimTime;
+///
+/// // 1 Gbps with one packet of burst: the second back-to-back packet
+/// // is released one wire-time later.
+/// let mut bucket = TokenBucket::new(1_000_000_000, 1520);
+/// let p = synthetic_packet(0, FlowId(0), 1500);
+/// assert_eq!(bucket.admit(&p, SimTime::ZERO), SimTime::ZERO);
+/// let t = bucket.admit(&p, SimTime::ZERO);
+/// assert!((12.0..12.5).contains(&t.as_us_f64()));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TokenBucket {
+    rate_bps: u64,
+    burst_tokens: f64,
+    tokens: f64,
+    last_refill: SimTime,
+    /// Packets released without waiting.
+    pub passed_immediately: u64,
+    /// Packets that had to wait for tokens.
+    pub delayed: u64,
+}
+
+impl TokenBucket {
+    /// Bucket sustaining `rate_bps` with `burst_bytes` of burst allowance.
+    /// Starts full.
+    pub fn new(rate_bps: u64, burst_bytes: u64) -> Self {
+        assert!(rate_bps > 0);
+        let burst = (burst_bytes * 8) as f64;
+        TokenBucket {
+            rate_bps,
+            burst_tokens: burst.max(1.0),
+            tokens: burst.max(1.0),
+            last_refill: SimTime::ZERO,
+            passed_immediately: 0,
+            delayed: 0,
+        }
+    }
+
+    fn refill(&mut self, now: SimTime) {
+        if now > self.last_refill {
+            let dt = now.saturating_since(self.last_refill).as_secs_f64();
+            self.tokens = (self.tokens + dt * self.rate_bps as f64).min(self.burst_tokens);
+            self.last_refill = now;
+        }
+    }
+
+    /// Earliest time at or after `now` the packet may be sent; debits the
+    /// bucket. Calling in non-decreasing `now` order gives a conforming
+    /// (rate-bounded) release schedule.
+    pub fn admit(&mut self, p: &Packet, now: SimTime) -> SimTime {
+        self.refill(now);
+        let need = p.wire_bits() as f64;
+        if self.tokens >= need {
+            self.tokens -= need;
+            self.passed_immediately += 1;
+            return now;
+        }
+        // Wait for the deficit to accumulate.
+        let deficit = need - self.tokens;
+        let wait_s = deficit / self.rate_bps as f64;
+        let at = now + Duration((wait_s * 1e12).ceil() as u64);
+        self.tokens = 0.0;
+        self.last_refill = at;
+        self.delayed += 1;
+        at
+    }
+
+    /// Tokens currently available, in bits.
+    pub fn available_bits(&self) -> f64 {
+        self.tokens
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{synthetic_packet, FlowId};
+
+    fn pkt(len: usize) -> Packet {
+        synthetic_packet(0, FlowId(0), len)
+    }
+
+    #[test]
+    fn burst_passes_then_paces() {
+        // 1 Gbps bucket with 2 full packets of burst.
+        let mut b = TokenBucket::new(1_000_000_000, 2 * 1520);
+        let p = pkt(1500); // 1520 wire bytes = 12,160 bits
+        let t0 = b.admit(&p, SimTime::ZERO);
+        let t1 = b.admit(&p, SimTime::ZERO);
+        assert_eq!(t0, SimTime::ZERO);
+        assert_eq!(t1, SimTime::ZERO);
+        assert_eq!(b.passed_immediately, 2);
+        // Third packet must wait ~12.16 us at 1 Gbps.
+        let t2 = b.admit(&p, SimTime::ZERO);
+        assert!(t2 > SimTime::ZERO);
+        let us = t2.as_us_f64();
+        assert!((12.0..12.5).contains(&us), "wait = {us}us");
+        assert_eq!(b.delayed, 1);
+    }
+
+    #[test]
+    fn sustained_rate_is_honored() {
+        let rate = 10_000_000_000u64; // 10 Gbps
+        let mut b = TokenBucket::new(rate, 1520);
+        let p = pkt(1500);
+        let mut t = SimTime::ZERO;
+        let n = 1000;
+        for _ in 0..n {
+            t = b.admit(&p, t);
+        }
+        let achieved = (n as f64 * p.wire_bits() as f64) / t.as_secs_f64();
+        assert!(
+            (achieved / rate as f64 - 1.0).abs() < 0.01,
+            "achieved {:.2e} vs rate {rate}",
+            achieved
+        );
+    }
+
+    #[test]
+    fn idle_time_refills_up_to_burst() {
+        let mut b = TokenBucket::new(1_000_000_000, 3 * 1520);
+        let p = pkt(1500);
+        // Drain the bucket.
+        for _ in 0..3 {
+            b.admit(&p, SimTime::ZERO);
+        }
+        assert!(b.available_bits() < p.wire_bits() as f64);
+        // A long idle period refills to (and not beyond) the burst size.
+        let later = SimTime::from_ms(10);
+        b.refill(later);
+        assert_eq!(b.available_bits(), (3 * 1520 * 8) as f64);
+        let t = b.admit(&p, later);
+        assert_eq!(t, later);
+    }
+
+    #[test]
+    fn schedule_is_monotone() {
+        let mut b = TokenBucket::new(500_000_000, 1520);
+        let p = pkt(800);
+        let mut last = SimTime::ZERO;
+        for i in 0..100u64 {
+            let offered = SimTime(i * 1_000_000); // 1us apart
+            let granted = b.admit(&p, offered.max(last));
+            assert!(granted >= last);
+            last = granted;
+        }
+    }
+}

@@ -1,0 +1,414 @@
+//! Simulation time, clocks, and clock domains.
+//!
+//! The entire reproduction runs on integer **picosecond** timestamps. The
+//! paper's arguments are about clock frequencies (Tables 2 and 3 are entirely
+//! about pipeline frequency vs. port speed), so the substrate models clock
+//! domains explicitly: every pipeline, traffic manager, and memory belongs to
+//! a [`Clock`] with its own period, and components only make progress on
+//! their own clock edges.
+//!
+//! Integer picoseconds keep the simulation deterministic (no floating-point
+//! drift) while still resolving the frequencies the paper discusses: a
+//! 1.62 GHz pipeline has a period of 617 ps; an 800 Gbps port serializes one
+//! byte every 10 ps.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, in picoseconds since simulation start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime(pub u64);
+
+/// Picoseconds per nanosecond.
+pub const PS_PER_NS: u64 = 1_000;
+/// Picoseconds per microsecond.
+pub const PS_PER_US: u64 = 1_000_000;
+/// Picoseconds per millisecond.
+pub const PS_PER_MS: u64 = 1_000_000_000;
+/// Picoseconds per second.
+pub const PS_PER_S: u64 = 1_000_000_000_000;
+
+impl SimTime {
+    /// Simulation epoch (t = 0).
+    pub const ZERO: SimTime = SimTime(0);
+    /// The far future; used as "never" for idle components.
+    pub const NEVER: SimTime = SimTime(u64::MAX);
+
+    /// Construct from nanoseconds.
+    pub fn from_ns(ns: u64) -> Self {
+        SimTime(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_us(us: u64) -> Self {
+        SimTime(us * PS_PER_US)
+    }
+
+    /// Construct from milliseconds.
+    pub fn from_ms(ms: u64) -> Self {
+        SimTime(ms * PS_PER_MS)
+    }
+
+    /// Raw picosecond value.
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Time expressed in (fractional) nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Time expressed in (fractional) microseconds.
+    pub fn as_us_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_US as f64
+    }
+
+    /// Time expressed in (fractional) seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+
+    /// Saturating difference (`self - earlier`), zero if `earlier` is later.
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration(self.0.saturating_sub(earlier.0))
+    }
+
+    /// Checked addition of a duration.
+    pub fn checked_add(self, d: Duration) -> Option<SimTime> {
+        self.0.checked_add(d.0).map(SimTime)
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    fn sub(self, rhs: SimTime) -> Duration {
+        Duration(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == u64::MAX {
+            return write!(f, "never");
+        }
+        if self.0 >= PS_PER_US {
+            write!(f, "{:.3}us", self.as_us_f64())
+        } else if self.0 >= PS_PER_NS {
+            write!(f, "{:.3}ns", self.as_ns_f64())
+        } else {
+            write!(f, "{}ps", self.0)
+        }
+    }
+}
+
+/// A span of simulation time, in picoseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Duration(pub u64);
+
+impl Duration {
+    /// Zero-length duration.
+    pub const ZERO: Duration = Duration(0);
+
+    /// Construct from picoseconds.
+    pub fn from_ps(ps: u64) -> Self {
+        Duration(ps)
+    }
+
+    /// Construct from nanoseconds.
+    pub fn from_ns(ns: u64) -> Self {
+        Duration(ns * PS_PER_NS)
+    }
+
+    /// Construct from microseconds.
+    pub fn from_us(us: u64) -> Self {
+        Duration(us * PS_PER_US)
+    }
+
+    /// Raw picoseconds.
+    pub fn as_ps(self) -> u64 {
+        self.0
+    }
+
+    /// Duration in fractional nanoseconds.
+    pub fn as_ns_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_NS as f64
+    }
+
+    /// Duration in fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / PS_PER_S as f64
+    }
+}
+
+impl Add for Duration {
+    type Output = Duration;
+    fn add(self, rhs: Duration) -> Duration {
+        Duration(self.0 + rhs.0)
+    }
+}
+
+/// A clock frequency.
+///
+/// Stored in kilohertz so that the frequencies in the paper (e.g. 0.95 GHz,
+/// 1.19 GHz, 1.62 GHz) are represented exactly as integers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Freq {
+    khz: u64,
+}
+
+impl Freq {
+    /// Construct from gigahertz (fractional values allowed, e.g. `1.62`).
+    pub fn ghz(g: f64) -> Self {
+        assert!(g > 0.0, "frequency must be positive");
+        Freq {
+            khz: (g * 1_000_000.0).round() as u64,
+        }
+    }
+
+    /// Construct from megahertz.
+    pub fn mhz(m: f64) -> Self {
+        assert!(m > 0.0, "frequency must be positive");
+        Freq {
+            khz: (m * 1_000.0).round() as u64,
+        }
+    }
+
+    /// Construct from an exact kilohertz count.
+    pub fn from_khz(khz: u64) -> Self {
+        assert!(khz > 0, "frequency must be positive");
+        Freq { khz }
+    }
+
+    /// Frequency in hertz.
+    pub fn as_hz(self) -> u64 {
+        self.khz * 1_000
+    }
+
+    /// Frequency in fractional gigahertz.
+    pub fn as_ghz_f64(self) -> f64 {
+        self.khz as f64 / 1_000_000.0
+    }
+
+    /// The clock period in picoseconds, rounded to the nearest integer.
+    ///
+    /// 1.62 GHz → 617 ps; 0.95 GHz → 1053 ps.
+    pub fn period(self) -> Duration {
+        // period_ps = 1e12 / hz = 1e9 / khz
+        Duration((1_000_000_000 + self.khz / 2) / self.khz)
+    }
+
+    /// A frequency scaled by an integer multiplier (used by the §4
+    /// multi-clock MAT memory, clocked `w×` the pipeline).
+    pub fn times(self, n: u64) -> Freq {
+        Freq { khz: self.khz * n }
+    }
+
+    /// A frequency divided by an integer (used by §3.3 port demultiplexing:
+    /// each of the `m` pipelines behind a port runs at `1/m` of the rate the
+    /// multiplexed design would need).
+    pub fn div(self, n: u64) -> Freq {
+        assert!(n > 0);
+        Freq { khz: self.khz / n }
+    }
+}
+
+impl fmt::Display for Freq {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2}GHz", self.as_ghz_f64())
+    }
+}
+
+/// A free-running clock: a frequency plus a tick counter.
+///
+/// Components that belong to a clock domain ask the clock when their next
+/// edge is and advance one unit of work per edge. This is what makes
+/// "a pipeline retires at most one PHV per cycle" an enforced invariant
+/// rather than a convention.
+#[derive(Debug, Clone)]
+pub struct Clock {
+    freq: Freq,
+    period: Duration,
+    /// Number of edges that have fired.
+    ticks: u64,
+}
+
+impl Clock {
+    /// Create a clock at the given frequency, first edge at t = 0.
+    pub fn new(freq: Freq) -> Self {
+        Clock {
+            freq,
+            period: freq.period(),
+            ticks: 0,
+        }
+    }
+
+    /// The clock's frequency.
+    pub fn freq(&self) -> Freq {
+        self.freq
+    }
+
+    /// The clock's period.
+    pub fn period(&self) -> Duration {
+        self.period
+    }
+
+    /// Number of edges fired so far.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Time of the next edge.
+    pub fn next_edge(&self) -> SimTime {
+        SimTime(self.ticks * self.period.0)
+    }
+
+    /// Fire the edge at `now`, if due. Returns `true` when the edge fired.
+    pub fn try_tick(&mut self, now: SimTime) -> bool {
+        if now >= self.next_edge() {
+            self.ticks += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Wall-clock time corresponding to a given number of this clock's cycles.
+    pub fn cycles_to_time(&self, cycles: u64) -> Duration {
+        Duration(cycles * self.period.0)
+    }
+}
+
+/// A coordinator for several clock domains.
+///
+/// `next_due` returns the earliest next edge across all registered domains,
+/// which drives the main simulation loop: advance global time to that edge,
+/// tick everything that is due, repeat.
+#[derive(Debug, Default)]
+pub struct ClockSet {
+    clocks: Vec<Clock>,
+}
+
+/// Handle to a clock registered in a [`ClockSet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ClockId(pub usize);
+
+impl ClockSet {
+    /// Empty set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a new clock domain; returns its handle.
+    pub fn add(&mut self, freq: Freq) -> ClockId {
+        self.clocks.push(Clock::new(freq));
+        ClockId(self.clocks.len() - 1)
+    }
+
+    /// Access a clock by handle.
+    pub fn get(&self, id: ClockId) -> &Clock {
+        &self.clocks[id.0]
+    }
+
+    /// Mutable access to a clock by handle.
+    pub fn get_mut(&mut self, id: ClockId) -> &mut Clock {
+        &mut self.clocks[id.0]
+    }
+
+    /// The earliest pending edge across all domains, or `None` if empty.
+    pub fn next_due(&self) -> Option<SimTime> {
+        self.clocks.iter().map(|c| c.next_edge()).min()
+    }
+
+    /// Number of registered domains.
+    pub fn len(&self) -> usize {
+        self.clocks.len()
+    }
+
+    /// True when no clocks are registered.
+    pub fn is_empty(&self) -> bool {
+        self.clocks.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn period_of_paper_frequencies() {
+        // The frequencies that appear in Tables 2 and 3 of the paper.
+        assert_eq!(Freq::ghz(1.0).period(), Duration(1000));
+        assert_eq!(Freq::ghz(1.62).period(), Duration(617));
+        assert_eq!(Freq::ghz(1.25).period(), Duration(800));
+        assert_eq!(Freq::ghz(0.95).period(), Duration(1053));
+        assert_eq!(Freq::ghz(0.60).period(), Duration(1667));
+        assert_eq!(Freq::ghz(1.19).period(), Duration(840));
+    }
+
+    #[test]
+    fn freq_scaling() {
+        let f = Freq::ghz(0.8);
+        assert_eq!(f.times(2), Freq::ghz(1.6));
+        assert_eq!(f.div(2), Freq::ghz(0.4));
+        // §4: MAT memory clocked w× the pipeline.
+        let mem = Freq::ghz(0.6).times(16);
+        assert!((mem.as_ghz_f64() - 9.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_ticks_in_order() {
+        let mut c = Clock::new(Freq::ghz(1.0)); // 1000 ps period
+        assert_eq!(c.next_edge(), SimTime(0));
+        assert!(c.try_tick(SimTime(0)));
+        assert_eq!(c.next_edge(), SimTime(1000));
+        assert!(!c.try_tick(SimTime(999)));
+        assert!(c.try_tick(SimTime(1000)));
+        assert_eq!(c.ticks(), 2);
+    }
+
+    #[test]
+    fn clock_set_orders_domains() {
+        let mut set = ClockSet::new();
+        let slow = set.add(Freq::ghz(0.5)); // 2000 ps
+        let fast = set.add(Freq::ghz(2.0)); // 500 ps
+        assert_eq!(set.next_due(), Some(SimTime(0)));
+        assert!(set.get_mut(slow).try_tick(SimTime(0)));
+        assert!(set.get_mut(fast).try_tick(SimTime(0)));
+        // fast is due at 500, slow at 2000.
+        assert_eq!(set.next_due(), Some(SimTime(500)));
+    }
+
+    #[test]
+    fn time_arithmetic_and_display() {
+        let t = SimTime::from_ns(3) + Duration::from_ps(500);
+        assert_eq!(t.as_ps(), 3500);
+        assert_eq!(t - SimTime::from_ns(1), Duration(2500));
+        assert_eq!(SimTime(1500).to_string(), "1.500ns");
+        assert_eq!(SimTime(999).to_string(), "999ps");
+        assert_eq!(SimTime::NEVER.to_string(), "never");
+        assert_eq!(
+            SimTime::from_us(2).saturating_since(SimTime::from_us(5)),
+            Duration::ZERO
+        );
+    }
+
+    #[test]
+    fn cycles_convert_to_time() {
+        let c = Clock::new(Freq::ghz(1.25));
+        assert_eq!(c.cycles_to_time(10), Duration(8000));
+    }
+}

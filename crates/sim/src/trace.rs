@@ -1,0 +1,201 @@
+//! Lightweight event tracing for debugging and test assertions.
+//!
+//! A [`Tracer`] records structured events into a bounded ring. Tests assert
+//! on the sequence of hops a packet took (e.g. "this packet recirculated
+//! twice on RMT, zero times on ADCP"); the examples can print traces with
+//! `--trace` to show a packet walk through the architecture.
+
+use crate::packet::PortId;
+use crate::time::SimTime;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Where in the switch an event happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Site {
+    /// Received on an RX port.
+    Rx(PortId),
+    /// Entered an ingress pipeline.
+    IngressPipe(usize),
+    /// Enqueued at the (first) traffic manager.
+    Tm1,
+    /// Entered a central pipeline (ADCP only).
+    CentralPipe(usize),
+    /// Enqueued at the second traffic manager (ADCP only).
+    Tm2,
+    /// Entered an egress pipeline.
+    EgressPipe(usize),
+    /// Transmitted on a TX port.
+    Tx(PortId),
+    /// Sent around the recirculation path (RMT only).
+    Recirculated,
+    /// Dropped, with a reason site implied by the previous event.
+    Dropped,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Site::Rx(p) => write!(f, "rx({p})"),
+            Site::IngressPipe(i) => write!(f, "ingress[{i}]"),
+            Site::Tm1 => write!(f, "tm1"),
+            Site::CentralPipe(i) => write!(f, "central[{i}]"),
+            Site::Tm2 => write!(f, "tm2"),
+            Site::EgressPipe(i) => write!(f, "egress[{i}]"),
+            Site::Tx(p) => write!(f, "tx({p})"),
+            Site::Recirculated => write!(f, "recirculate"),
+            Site::Dropped => write!(f, "drop"),
+        }
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceEvent {
+    /// When it happened.
+    pub time: SimTime,
+    /// Which packet.
+    pub pkt: u64,
+    /// Where.
+    pub site: Site,
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] pkt {} @ {}", self.time, self.pkt, self.site)
+    }
+}
+
+/// Bounded ring of trace events. Disabled tracers cost one branch per hop.
+#[derive(Debug)]
+pub struct Tracer {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    enabled: bool,
+    /// Total events offered (including ones evicted from the ring).
+    pub offered: u64,
+}
+
+impl Tracer {
+    /// A tracer that keeps the last `capacity` events.
+    pub fn new(capacity: usize) -> Self {
+        Tracer {
+            events: VecDeque::with_capacity(capacity.min(4096)),
+            capacity,
+            enabled: true,
+            offered: 0,
+        }
+    }
+
+    /// A disabled tracer (records nothing).
+    pub fn disabled() -> Self {
+        Tracer {
+            events: VecDeque::new(),
+            capacity: 0,
+            enabled: false,
+            offered: 0,
+        }
+    }
+
+    /// Is this tracer recording?
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record an event.
+    pub fn record(&mut self, time: SimTime, pkt: u64, site: Site) {
+        if !self.enabled {
+            return;
+        }
+        self.offered += 1;
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(TraceEvent { time, pkt, site });
+    }
+
+    /// All retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// The hop sequence of one packet, oldest first.
+    pub fn path_of(&self, pkt: u64) -> Vec<Site> {
+        self.events
+            .iter()
+            .filter(|e| e.pkt == pkt)
+            .map(|e| e.site)
+            .collect()
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True if no events retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_replays_paths() {
+        let mut t = Tracer::new(16);
+        t.record(SimTime(0), 1, Site::Rx(PortId(0)));
+        t.record(SimTime(5), 1, Site::IngressPipe(0));
+        t.record(SimTime(6), 2, Site::Rx(PortId(1)));
+        t.record(SimTime(9), 1, Site::Tm1);
+        t.record(SimTime(12), 1, Site::Tx(PortId(3)));
+        let path = t.path_of(1);
+        assert_eq!(
+            path,
+            vec![
+                Site::Rx(PortId(0)),
+                Site::IngressPipe(0),
+                Site::Tm1,
+                Site::Tx(PortId(3))
+            ]
+        );
+        assert_eq!(t.path_of(2), vec![Site::Rx(PortId(1))]);
+        assert_eq!(t.len(), 5);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut t = Tracer::new(3);
+        for i in 0..5 {
+            t.record(SimTime(i), i, Site::Tm1);
+        }
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.offered, 5);
+        let ids: Vec<u64> = t.events().map(|e| e.pkt).collect();
+        assert_eq!(ids, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn disabled_tracer_records_nothing() {
+        let mut t = Tracer::disabled();
+        t.record(SimTime(0), 1, Site::Tm1);
+        assert!(t.is_empty());
+        assert!(!t.is_enabled());
+        assert_eq!(t.offered, 0);
+    }
+
+    #[test]
+    fn site_display_is_readable() {
+        assert_eq!(Site::Rx(PortId(2)).to_string(), "rx(p2)");
+        assert_eq!(Site::CentralPipe(1).to_string(), "central[1]");
+        assert_eq!(Site::Recirculated.to_string(), "recirculate");
+        let e = TraceEvent {
+            time: SimTime(1500),
+            pkt: 42,
+            site: Site::Tm2,
+        };
+        assert_eq!(e.to_string(), "[1.500ns] pkt 42 @ tm2");
+    }
+}

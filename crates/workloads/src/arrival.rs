@@ -1,0 +1,103 @@
+//! Arrival processes: when packets hit the switch.
+//!
+//! The regenerators drive the switch models either at a constant offered
+//! load (rate sweeps) or with Poisson arrivals (queueing behaviour).
+
+use adcp_sim::rng::SimRng;
+use adcp_sim::time::{Duration, SimTime};
+
+/// An arrival process generating a monotone sequence of times.
+#[derive(Debug, Clone)]
+pub enum Arrivals {
+    /// Constant bit-rate style: one arrival every `gap`.
+    Cbr {
+        /// Inter-arrival gap.
+        gap: Duration,
+    },
+    /// Poisson process with the given mean inter-arrival gap.
+    Poisson {
+        /// Mean inter-arrival gap.
+        mean_gap: Duration,
+    },
+}
+
+impl Arrivals {
+    /// CBR at `pps` packets per second.
+    pub fn cbr_pps(pps: f64) -> Self {
+        assert!(pps > 0.0);
+        Arrivals::Cbr {
+            gap: Duration((1e12 / pps) as u64),
+        }
+    }
+
+    /// Poisson at an average of `pps` packets per second.
+    pub fn poisson_pps(pps: f64) -> Self {
+        assert!(pps > 0.0);
+        Arrivals::Poisson {
+            mean_gap: Duration((1e12 / pps) as u64),
+        }
+    }
+
+    /// Next arrival after `t`.
+    pub fn next(&self, t: SimTime, rng: &mut SimRng) -> SimTime {
+        match self {
+            Arrivals::Cbr { gap } => t + *gap,
+            Arrivals::Poisson { mean_gap } => {
+                // Inverse-CDF exponential; clamp u away from 0.
+                let u = rng.f64().max(1e-12);
+                let gap = (-(u.ln()) * mean_gap.as_ps() as f64) as u64;
+                t + Duration(gap.max(1))
+            }
+        }
+    }
+
+    /// The first `n` arrival times starting from `start`.
+    pub fn take(&self, start: SimTime, n: usize, rng: &mut SimRng) -> Vec<SimTime> {
+        let mut t = start;
+        (0..n)
+            .map(|_| {
+                t = self.next(t, rng);
+                t
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cbr_is_evenly_spaced() {
+        let a = Arrivals::cbr_pps(1e9); // 1 per ns
+        let mut r = SimRng::seed_from(1);
+        let times = a.take(SimTime::ZERO, 5, &mut r);
+        let gaps: Vec<u64> = times.windows(2).map(|w| (w[1] - w[0]).as_ps()).collect();
+        assert!(gaps.iter().all(|&g| g == 1000), "{gaps:?}");
+    }
+
+    #[test]
+    fn poisson_mean_close_to_target() {
+        let a = Arrivals::poisson_pps(1e9);
+        let mut r = SimRng::seed_from(2);
+        let n = 50_000;
+        let times = a.take(SimTime::ZERO, n, &mut r);
+        let mean_gap = times.last().unwrap().as_ps() as f64 / n as f64;
+        assert!(
+            (900.0..1100.0).contains(&mean_gap),
+            "mean gap = {mean_gap} ps"
+        );
+    }
+
+    #[test]
+    fn arrivals_strictly_increase() {
+        for proc_ in [Arrivals::cbr_pps(5e8), Arrivals::poisson_pps(5e8)] {
+            let mut r = SimRng::seed_from(3);
+            let times = proc_.take(SimTime::from_ns(10), 1000, &mut r);
+            for w in times.windows(2) {
+                assert!(w[1] > w[0]);
+            }
+            assert!(times[0] > SimTime::from_ns(10));
+        }
+    }
+}

@@ -1,0 +1,148 @@
+//! ML gradient workloads for the parameter-server application.
+//!
+//! The paper's running example: every worker sends the switch "a different
+//! flow containing a vector of machine learning model weights"; the switch
+//! aggregates and redistributes. A [`GradientWorkload`] carves a model of
+//! `model_size` weights into chunks of `width` weights (the array width of
+//! §3.2) and emits, per worker, the chunk sequence with synthetic values
+//! whose aggregate is known in closed form — so tests can verify switch
+//! results exactly.
+
+use adcp_sim::rng::SimRng;
+
+/// One chunk of one worker's gradient.
+#[derive(Debug, Clone)]
+pub struct GradientChunk {
+    /// Worker index.
+    pub worker: u32,
+    /// First weight slot this chunk covers.
+    pub base_slot: u32,
+    /// Quantized weight values (one per array lane).
+    pub values: Vec<u32>,
+}
+
+/// A synthetic data-parallel training step.
+#[derive(Debug, Clone)]
+pub struct GradientWorkload {
+    /// Number of workers.
+    pub workers: u32,
+    /// Total model weights.
+    pub model_size: u32,
+    /// Weights per packet (the array width).
+    pub width: u32,
+}
+
+impl GradientWorkload {
+    /// New workload; `model_size` must be a multiple of `width`.
+    pub fn new(workers: u32, model_size: u32, width: u32) -> Self {
+        assert!(width > 0 && workers > 0);
+        assert_eq!(
+            model_size % width,
+            0,
+            "model must divide into whole chunks"
+        );
+        GradientWorkload {
+            workers,
+            model_size,
+            width,
+        }
+    }
+
+    /// Chunks per worker.
+    pub fn chunks_per_worker(&self) -> u32 {
+        self.model_size / self.width
+    }
+
+    /// Total packets one training step needs (all workers).
+    pub fn total_chunks(&self) -> u64 {
+        self.workers as u64 * self.chunks_per_worker() as u64
+    }
+
+    /// Deterministic synthetic value of weight `slot` from `worker`:
+    /// `worker + slot + 1`. Small enough that sums never overflow u32 for
+    /// realistic sizes, and closed-form verifiable.
+    pub fn value(&self, worker: u32, slot: u32) -> u32 {
+        worker + slot + 1
+    }
+
+    /// The expected aggregate of weight `slot` over all workers:
+    /// `Σ_w (w + slot + 1) = W·(slot+1) + W(W−1)/2`.
+    pub fn expected_sum(&self, slot: u32) -> u64 {
+        let w = self.workers as u64;
+        w * (slot as u64 + 1) + w * (w - 1) / 2
+    }
+
+    /// All chunks of one worker, in slot order.
+    pub fn worker_chunks(&self, worker: u32) -> Vec<GradientChunk> {
+        (0..self.chunks_per_worker())
+            .map(|c| {
+                let base = c * self.width;
+                GradientChunk {
+                    worker,
+                    base_slot: base,
+                    values: (0..self.width).map(|i| self.value(worker, base + i)).collect(),
+                }
+            })
+            .collect()
+    }
+
+    /// All chunks of all workers, interleaved in a shuffled order (workers
+    /// do not transmit in lockstep in practice).
+    pub fn all_chunks_shuffled(&self, rng: &mut SimRng) -> Vec<GradientChunk> {
+        let mut all: Vec<GradientChunk> = (0..self.workers)
+            .flat_map(|w| self.worker_chunks(w))
+            .collect();
+        rng.shuffle(&mut all);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_geometry() {
+        let g = GradientWorkload::new(4, 64, 16);
+        assert_eq!(g.chunks_per_worker(), 4);
+        assert_eq!(g.total_chunks(), 16);
+        let chunks = g.worker_chunks(2);
+        assert_eq!(chunks.len(), 4);
+        assert_eq!(chunks[1].base_slot, 16);
+        assert_eq!(chunks[1].values.len(), 16);
+        assert_eq!(chunks[1].values[0], g.value(2, 16));
+    }
+
+    #[test]
+    fn expected_sum_matches_manual_aggregate() {
+        let g = GradientWorkload::new(5, 32, 8);
+        for slot in [0u32, 7, 31] {
+            let manual: u64 = (0..5).map(|w| g.value(w, slot) as u64).sum();
+            assert_eq!(manual, g.expected_sum(slot), "slot {slot}");
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let g = GradientWorkload::new(3, 24, 8);
+        let mut r = SimRng::seed_from(5);
+        let shuffled = g.all_chunks_shuffled(&mut r);
+        assert_eq!(shuffled.len(), g.total_chunks() as usize);
+        // Aggregating the shuffled stream gives the expected sums.
+        let mut acc = vec![0u64; 24];
+        for ch in &shuffled {
+            for (i, v) in ch.values.iter().enumerate() {
+                acc[ch.base_slot as usize + i] += *v as u64;
+            }
+        }
+        for slot in 0..24u32 {
+            assert_eq!(acc[slot as usize], g.expected_sum(slot));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "whole chunks")]
+    fn indivisible_model_rejected() {
+        GradientWorkload::new(2, 30, 8);
+    }
+}

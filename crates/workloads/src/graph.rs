@@ -1,0 +1,176 @@
+//! Graph pattern mining workloads (BSP supersteps).
+//!
+//! Table 1's graph row: "large graphs are partitioned across several
+//! servers who then engage in a BSP-style communication exploring
+//! increasingly large patterns in the graph at each iteration". We model
+//! the *communication* of such a job: a synthetic power-law graph is
+//! partitioned across servers; each superstep every partition sends
+//! candidate-pattern messages along cut edges; the pattern count grows and
+//! then collapses as the mining frontier saturates — the bursty, barrier-
+//! synchronized traffic the switch has to absorb.
+
+use adcp_sim::rng::SimRng;
+
+/// One inter-partition message batch in a superstep.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StepMessage {
+    /// Sending partition (server index).
+    pub src_part: u32,
+    /// Receiving partition.
+    pub dst_part: u32,
+    /// Candidate patterns carried.
+    pub candidates: u32,
+}
+
+/// A synthetic BSP pattern-mining job.
+#[derive(Debug, Clone)]
+pub struct BspWorkload {
+    /// Number of partitions (servers).
+    pub partitions: u32,
+    /// Vertices in the synthetic graph.
+    pub vertices: u32,
+    /// Edges in the synthetic graph.
+    pub edges: u32,
+    /// Supersteps before the frontier collapses.
+    pub supersteps: u32,
+}
+
+/// A generated job: per-partition-pair cut-edge counts plus the superstep
+/// expansion schedule.
+#[derive(Debug, Clone)]
+pub struct BspJob {
+    /// `cut[src][dst]` = edges from partition src to dst (src ≠ dst).
+    pub cut: Vec<Vec<u32>>,
+    /// Growth factor per superstep (candidates multiply then collapse).
+    pub expansion: Vec<f64>,
+}
+
+impl BspWorkload {
+    /// Synthesize the job: preferential-attachment-ish edges (power law),
+    /// vertices assigned to partitions round-robin.
+    pub fn generate(&self, rng: &mut SimRng) -> BspJob {
+        let p = self.partitions as usize;
+        let mut cut = vec![vec![0u32; p]; p];
+        for _ in 0..self.edges {
+            // Power-law-ish endpoints: square the uniform draw so low ids
+            // (hubs) are favored.
+            let u = (rng.f64().powi(2) * self.vertices as f64) as u32 % self.vertices;
+            let v = rng.range(0..self.vertices);
+            let (pu, pv) = ((u % self.partitions) as usize, (v % self.partitions) as usize);
+            if pu != pv {
+                cut[pu][pv] += 1;
+            }
+        }
+        // Frontier: grows ~1.6x per step, collapses in the final third.
+        let expansion = (0..self.supersteps)
+            .map(|s| {
+                let grow_until = self.supersteps * 2 / 3;
+                if s < grow_until {
+                    1.6f64.powi(s as i32)
+                } else {
+                    1.6f64.powi(grow_until as i32)
+                        * 0.4f64.powi((s - grow_until) as i32 + 1)
+                }
+            })
+            .collect();
+        BspJob { cut, expansion }
+    }
+}
+
+impl BspJob {
+    /// The messages of superstep `s` (barrier-to-barrier burst).
+    pub fn superstep_messages(&self, s: usize, base_candidates: u32) -> Vec<StepMessage> {
+        let scale = self.expansion.get(s).copied().unwrap_or(0.0);
+        let mut out = Vec::new();
+        for (i, row) in self.cut.iter().enumerate() {
+            for (j, &edges) in row.iter().enumerate() {
+                if edges == 0 {
+                    continue;
+                }
+                let candidates = ((edges as f64 * scale) as u32).max(1) * base_candidates;
+                out.push(StepMessage {
+                    src_part: i as u32,
+                    dst_part: j as u32,
+                    candidates,
+                });
+            }
+        }
+        out
+    }
+
+    /// Total candidates exchanged in superstep `s`.
+    pub fn superstep_volume(&self, s: usize, base: u32) -> u64 {
+        self.superstep_messages(s, base)
+            .iter()
+            .map(|m| m.candidates as u64)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn job() -> (BspWorkload, BspJob) {
+        let w = BspWorkload {
+            partitions: 4,
+            vertices: 1000,
+            edges: 5000,
+            supersteps: 9,
+        };
+        let mut r = SimRng::seed_from(11);
+        let j = w.generate(&mut r);
+        (w, j)
+    }
+
+    #[test]
+    fn cut_has_no_self_edges() {
+        let (_, j) = job();
+        for (i, row) in j.cut.iter().enumerate() {
+            assert_eq!(row[i], 0, "partition {i} must not cut to itself");
+        }
+    }
+
+    #[test]
+    fn every_partition_pair_communicates_eventually() {
+        let (_, j) = job();
+        // With 5000 edges over 4 partitions, every off-diagonal cell should
+        // be populated.
+        for (i, row) in j.cut.iter().enumerate() {
+            for (k, &c) in row.iter().enumerate() {
+                if i != k {
+                    assert!(c > 0, "cut[{i}][{k}] empty");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frontier_grows_then_collapses() {
+        let (w, j) = job();
+        let volumes: Vec<u64> = (0..w.supersteps as usize)
+            .map(|s| j.superstep_volume(s, 1))
+            .collect();
+        // Strictly growing in the growth phase...
+        for s in 1..(w.supersteps * 2 / 3) as usize {
+            assert!(volumes[s] > volumes[s - 1], "volumes = {volumes:?}");
+        }
+        // ...and the last step is far below the peak.
+        let peak = *volumes.iter().max().unwrap();
+        assert!(
+            *volumes.last().unwrap() < peak / 4,
+            "no collapse: {volumes:?}"
+        );
+    }
+
+    #[test]
+    fn messages_follow_cut_structure() {
+        let (_, j) = job();
+        let msgs = j.superstep_messages(0, 2);
+        for m in &msgs {
+            assert_ne!(m.src_part, m.dst_part);
+            assert!(m.candidates >= 2, "base multiplier applies");
+        }
+        assert_eq!(msgs.len(), 12, "4 partitions fully connected off-diagonal");
+    }
+}

@@ -1,0 +1,155 @@
+//! Key popularity distributions.
+//!
+//! Key/value workloads (the NetCache-style cache that motivates array
+//! matching in §3.2) are skewed: a few keys dominate. The standard model
+//! is a Zipf distribution; we precompute the CDF for O(log n) sampling.
+
+use adcp_sim::rng::SimRng;
+
+/// Zipf-distributed key sampler over keys `0..n`.
+///
+/// ```
+/// use adcp_workloads::keys::ZipfKeys;
+/// use adcp_sim::rng::SimRng;
+///
+/// let zipf = ZipfKeys::new(1000, 0.99);
+/// let mut rng = SimRng::seed_from(1);
+/// let hot = (0..10_000).filter(|_| zipf.sample(&mut rng) < 10).count();
+/// assert!(hot > 2_000, "the 1% hottest keys draw >20% of requests");
+/// ```
+#[derive(Debug, Clone)]
+pub struct ZipfKeys {
+    cdf: Vec<f64>,
+}
+
+impl ZipfKeys {
+    /// Keys `0..n` with skew `s` (s = 0 is uniform; s ≈ 0.99 is the classic
+    /// YCSB skew; larger is more skewed). Key 0 is the most popular.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0);
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(s);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfKeys { cdf }
+    }
+
+    /// Number of distinct keys.
+    pub fn n(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        let u = rng.f64();
+        // First index whose CDF >= u.
+        match self
+            .cdf
+            .binary_search_by(|c| c.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i as u64,
+            Err(i) => i.min(self.cdf.len() - 1) as u64,
+        }
+    }
+
+    /// Probability mass of key `k`.
+    pub fn pmf(&self, k: usize) -> f64 {
+        if k == 0 {
+            self.cdf[0]
+        } else {
+            self.cdf[k] - self.cdf[k - 1]
+        }
+    }
+}
+
+/// Uniform key sampler over `0..n`.
+#[derive(Debug, Clone, Copy)]
+pub struct UniformKeys {
+    n: u64,
+}
+
+impl UniformKeys {
+    /// Keys `0..n`.
+    pub fn new(n: u64) -> Self {
+        assert!(n > 0);
+        UniformKeys { n }
+    }
+
+    /// Draw one key.
+    pub fn sample(&self, rng: &mut SimRng) -> u64 {
+        rng.range(0..self.n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_head_dominates() {
+        let z = ZipfKeys::new(1000, 0.99);
+        let mut r = SimRng::seed_from(1);
+        let n = 100_000;
+        let hits0 = (0..n).filter(|_| z.sample(&mut r) == 0).count() as f64 / n as f64;
+        // Key 0 mass for n=1000, s=0.99 is ~13%.
+        assert!((0.10..0.17).contains(&hits0), "p(key0) = {hits0}");
+        assert!((z.pmf(0) - hits0).abs() < 0.02);
+    }
+
+    #[test]
+    fn zipf_zero_skew_is_uniform() {
+        let z = ZipfKeys::new(100, 0.0);
+        let mut r = SimRng::seed_from(2);
+        let mut counts = vec![0u32; 100];
+        for _ in 0..100_000 {
+            counts[z.sample(&mut r) as usize] += 1;
+        }
+        let (min, max) = (
+            *counts.iter().min().unwrap(),
+            *counts.iter().max().unwrap(),
+        );
+        assert!(min > 700 && max < 1300, "min={min} max={max}");
+    }
+
+    #[test]
+    fn zipf_cdf_is_monotone_and_normalized() {
+        let z = ZipfKeys::new(64, 1.2);
+        let mut prev = 0.0;
+        for k in 0..z.n() {
+            let p = z.pmf(k);
+            assert!(p >= 0.0);
+            if k > 0 {
+                assert!(p <= prev * 1.0001, "pmf must decay");
+            }
+            prev = p;
+        }
+        let total: f64 = (0..z.n()).map(|k| z.pmf(k)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn uniform_covers_range() {
+        let u = UniformKeys::new(16);
+        let mut r = SimRng::seed_from(3);
+        let mut seen = [false; 16];
+        for _ in 0..1000 {
+            seen[u.sample(&mut r) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn samples_always_in_range() {
+        let z = ZipfKeys::new(10, 2.0);
+        let mut r = SimRng::seed_from(4);
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 10);
+        }
+    }
+}

@@ -1,0 +1,34 @@
+//! # adcp-workloads — synthetic workload generators
+//!
+//! The paper's Table 1 applications run on proprietary clusters and
+//! datasets; these generators synthesize the *communication structure*
+//! that matters to the switch (see DESIGN.md's substitution table):
+//!
+//! * [`size`] — packet-size distributions (fixed / uniform / IMIX / DC).
+//! * [`keys`] — Zipf and uniform key popularity.
+//! * [`coflow`] — coflow structures (shuffle, aggregation, broadcast) and
+//!   coflow-completion-time tracking.
+//! * [`gradient`] — ML parameter-aggregation steps with closed-form
+//!   expected aggregates.
+//! * [`shuffle`] — database filter–aggregate–reshuffle row streams.
+//! * [`graph`] — BSP graph-pattern-mining supersteps (grow-then-collapse).
+//! * [`arrival`] — CBR and Poisson arrival processes.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arrival;
+pub mod coflow;
+pub mod gradient;
+pub mod graph;
+pub mod keys;
+pub mod shuffle;
+pub mod size;
+
+pub use arrival::Arrivals;
+pub use coflow::{CoflowSpec, CoflowTracker, FlowSpec};
+pub use gradient::{GradientChunk, GradientWorkload};
+pub use graph::{BspJob, BspWorkload, StepMessage};
+pub use keys::{UniformKeys, ZipfKeys};
+pub use shuffle::{Row, ShuffleWorkload};
+pub use size::SizeDist;

@@ -1,0 +1,125 @@
+//! Packet-size distributions.
+//!
+//! Table 2's whole argument turns on packet sizes: switches are sized for a
+//! *minimum* packet, and applications that send small (often single-key)
+//! packets are the ones that stress it. These distributions drive the
+//! traffic generators.
+
+use adcp_sim::rng::SimRng;
+
+/// A packet-size distribution (frame bytes, excluding wire overhead).
+#[derive(Debug, Clone)]
+pub enum SizeDist {
+    /// Every packet the same size.
+    Fixed(u32),
+    /// Uniform in `[lo, hi]`.
+    Uniform {
+        /// Smallest frame.
+        lo: u32,
+        /// Largest frame.
+        hi: u32,
+    },
+    /// The classic IMIX blend: 7×64 B : 4×594 B : 1×1518 B.
+    Imix,
+    /// A coarse datacenter mix: heavy small-packet mode (ACKs, RPCs) plus
+    /// an MTU mode — roughly the bimodal shape reported for DC traffic.
+    Datacenter,
+}
+
+impl SizeDist {
+    /// Draw one frame size.
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        match self {
+            SizeDist::Fixed(n) => *n,
+            SizeDist::Uniform { lo, hi } => rng.range(*lo..=*hi),
+            SizeDist::Imix => match rng.range(0..12u32) {
+                0..=6 => 64,
+                7..=10 => 594,
+                _ => 1518,
+            },
+            SizeDist::Datacenter => {
+                let r = rng.f64();
+                if r < 0.50 {
+                    rng.range(64..=128)
+                } else if r < 0.65 {
+                    rng.range(128..=576)
+                } else if r < 0.80 {
+                    rng.range(576..=1200)
+                } else {
+                    1500
+                }
+            }
+        }
+    }
+
+    /// Expected frame size (exact for Fixed/Uniform/Imix, estimated by
+    /// sampling for Datacenter).
+    pub fn mean(&self, rng: &mut SimRng) -> f64 {
+        match self {
+            SizeDist::Fixed(n) => *n as f64,
+            SizeDist::Uniform { lo, hi } => (*lo as f64 + *hi as f64) / 2.0,
+            SizeDist::Imix => (7.0 * 64.0 + 4.0 * 594.0 + 1518.0) / 12.0,
+            SizeDist::Datacenter => {
+                let n = 10_000;
+                (0..n).map(|_| self.sample(rng) as f64).sum::<f64>() / n as f64
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_is_fixed() {
+        let mut r = SimRng::seed_from(1);
+        let d = SizeDist::Fixed(200);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut r), 200);
+        }
+        assert_eq!(d.mean(&mut r), 200.0);
+    }
+
+    #[test]
+    fn uniform_in_bounds() {
+        let mut r = SimRng::seed_from(2);
+        let d = SizeDist::Uniform { lo: 100, hi: 300 };
+        for _ in 0..1000 {
+            let s = d.sample(&mut r);
+            assert!((100..=300).contains(&s));
+        }
+        assert_eq!(d.mean(&mut r), 200.0);
+    }
+
+    #[test]
+    fn imix_ratio_roughly_7_4_1() {
+        let mut r = SimRng::seed_from(3);
+        let d = SizeDist::Imix;
+        let mut counts = [0u32; 3];
+        for _ in 0..12_000 {
+            match d.sample(&mut r) {
+                64 => counts[0] += 1,
+                594 => counts[1] += 1,
+                1518 => counts[2] += 1,
+                other => panic!("unexpected size {other}"),
+            }
+        }
+        assert!((6_500..7_500).contains(&counts[0]), "{counts:?}");
+        assert!((3_500..4_500).contains(&counts[1]), "{counts:?}");
+        assert!((700..1_300).contains(&counts[2]), "{counts:?}");
+    }
+
+    #[test]
+    fn datacenter_bimodal() {
+        let mut r = SimRng::seed_from(4);
+        let d = SizeDist::Datacenter;
+        let small = (0..10_000)
+            .filter(|_| d.sample(&mut r) <= 128)
+            .count() as f64
+            / 10_000.0;
+        assert!((0.4..0.6).contains(&small), "small fraction = {small}");
+        let mean = d.mean(&mut r);
+        assert!((300.0..700.0).contains(&mean), "mean = {mean}");
+    }
+}

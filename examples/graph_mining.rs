@@ -1,0 +1,49 @@
+//! BSP graph pattern mining with in-switch barriers (Table 1's graph row).
+//!
+//! ```sh
+//! cargo run --release --example graph_mining -- [partitions] [supersteps]
+//! ```
+//!
+//! The run is closed-loop: partitions only start superstep `s+1` after the
+//! switch multicasts the barrier release for `s`, so the architecture's
+//! latency multiplies across the whole job.
+
+use adcp::apps::driver::TargetKind;
+use adcp::apps::graphmine::{run, GraphMineCfg};
+use adcp::workloads::graph::BspWorkload;
+
+fn arg(n: usize, default: u32) -> u32 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = GraphMineCfg {
+        workload: BspWorkload {
+            partitions: arg(1, 8),
+            vertices: 4000,
+            edges: 16_000,
+            supersteps: arg(2, 9),
+        },
+        base_candidates: 4,
+        seed: 3,
+    };
+    println!(
+        "graph mining: {} partitions, {} supersteps, frontier grows then collapses\n",
+        cfg.workload.partitions, cfg.workload.supersteps
+    );
+    for kind in [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned] {
+        let r = run(kind, &cfg);
+        println!("{}", r.summary_line());
+        for n in &r.notes {
+            println!("    note: {n}");
+        }
+    }
+    println!(
+        "\nreading: every variant detects barriers correctly; the closed loop\n\
+         makes the recirculation latency visible as a longer makespan, and\n\
+         pinning forces a host relay for every release."
+    );
+}

@@ -1,0 +1,42 @@
+//! Switch-initiated group transfer with heterogeneous receiver NICs
+//! (Table 1's group-communication row).
+//!
+//! ```sh
+//! cargo run --release --example group_transfer -- [receivers] [slow_gbps] [packets]
+//! ```
+
+use adcp::apps::driver::TargetKind;
+use adcp::apps::groupcomm::{run, GroupCommCfg};
+
+fn arg(n: usize, default: u32) -> u32 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let cfg = GroupCommCfg {
+        receivers: arg(1, 6) as u16,
+        slow_nic_gbps: arg(2, 100),
+        packets: arg(3, 400),
+        frame_bytes: 1024,
+        pace_gbps: None,
+    };
+    println!(
+        "group transfer: {} receivers (every 2nd at {} Gbps), {} x {} B\n",
+        cfg.receivers, cfg.slow_nic_gbps, cfg.packets, cfg.frame_bytes
+    );
+    for kind in [TargetKind::Adcp, TargetKind::RmtPinned] {
+        let r = run(kind, &cfg);
+        println!("{}", r.summary_line());
+        for n in &r.notes {
+            println!("    note: {n}");
+        }
+    }
+    println!(
+        "\nreading: the shared-memory TM absorbs the NIC speed mismatch —\n\
+         every receiver gets the full object in order; the skew note shows\n\
+         how much longer the slow NICs take to drain."
+    );
+}

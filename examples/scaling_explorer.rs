@@ -1,0 +1,72 @@
+//! Explore the paper's scaling arithmetic interactively: what pipeline
+//! clock does a design need, and what do demultiplexing, floorplanning,
+//! and multi-clock MAT memory buy? (Tables 2/3, §3.3, §4.)
+//!
+//! ```sh
+//! cargo run --example scaling_explorer -- [port_gbps] [demux] [min_pkt_bytes]
+//! # the Table 3 headline: 800G split 1:2 at minimum Ethernet packets
+//! cargo run --example scaling_explorer -- 800 2 84
+//! ```
+
+use adcp::analytic::feasibility::{
+    estimate_congestion, max_multiclock_width, relative_dynamic_power, relative_logic_area,
+    CongestionInput, TmFloorplan,
+};
+use adcp::analytic::scaling::{min_packet_for_freq, required_freq_ghz, tm_pipeline_count};
+
+fn arg(n: usize, default: f64) -> f64 {
+    std::env::args()
+        .nth(n)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let port = arg(1, 800.0);
+    let demux = arg(2, 2.0).max(1.0);
+    let min_pkt = arg(3, 84.0);
+
+    let mux_freq = required_freq_ghz(port, min_pkt);
+    let demux_freq = required_freq_ghz(port / demux, min_pkt);
+    println!("port speed          : {port} Gbps");
+    println!("min packet (wire)   : {min_pkt} B");
+    println!("multiplexed  (1 port/pipe): {mux_freq:.2} GHz pipeline clock");
+    println!("demultiplexed (1:{demux:.0})     : {demux_freq:.2} GHz pipeline clock");
+    println!(
+        "frequency dividend  : {:.1}% dynamic power, {:.0}% logic area of the 1:1 design",
+        100.0 * relative_dynamic_power(mux_freq, demux_freq),
+        100.0 * relative_logic_area(mux_freq, demux_freq),
+    );
+    println!(
+        "packet-size escape  : staying at {mux_freq:.2} GHz without demux would \
+         need >= {:.0} B minimum packets",
+        min_packet_for_freq(port, mux_freq.min(1.62))
+    );
+
+    let pipes_51t = tm_pipeline_count(51_200, port as u32, demux as u32);
+    println!("\nTM pressure at 51.2 Tbps: {pipes_51t} pipelines to schedule");
+    let input = CongestionInput {
+        pipelines: pipes_51t,
+        phv_bits: 4096,
+        tracks_per_gcell: 200,
+        gcells_per_block_edge: 40,
+    };
+    let mono = estimate_congestion(&input, TmFloorplan::Monolithic);
+    let inter = estimate_congestion(&input, TmFloorplan::Interleaved { banks: 16 });
+    println!(
+        "  monolithic TM  : {:.2} peak g-cell utilization ({})",
+        mono.peak_utilization,
+        if mono.peak_utilization < 0.8 { "routable" } else { "CONGESTED" }
+    );
+    println!(
+        "  interleaved TM : {:.2} peak g-cell utilization ({})",
+        inter.peak_utilization,
+        if inter.peak_utilization < 0.8 { "routable" } else { "CONGESTED" }
+    );
+
+    println!(
+        "\nmulti-clock MAT at {demux_freq:.2} GHz pipelines (4 GHz SRAM): \
+         arrays up to width {}",
+        max_multiclock_width(demux_freq, 4.0)
+    );
+}

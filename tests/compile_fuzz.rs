@@ -1,0 +1,167 @@
+//! Property-based compiler fuzzing: randomly generated (valid) programs
+//! must compile on every target without panicking, and successful
+//! placements must respect every resource budget.
+
+use adcp::lang::{
+    compile, ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef,
+    HeaderDef, HeaderId, KeySpec, MatchKind, Operand, ParserSpec, Program, ProgramBuilder,
+    RegAluOp, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
+};
+use proptest::prelude::*;
+
+/// A compact, always-valid program description the strategy generates.
+#[derive(Debug, Clone)]
+struct ProgDesc {
+    /// (bits, count) per field; at least one field.
+    fields: Vec<(u8, u16)>,
+    /// Per table: (region, keyed-on-field, log2(size), action op selector).
+    tables: Vec<(u8, usize, u8, u8)>,
+    /// Register sizes (one per table that wants state).
+    reg_log2: u8,
+}
+
+fn arb_desc() -> impl Strategy<Value = ProgDesc> {
+    (
+        proptest::collection::vec((1u8..=32, prop_oneof![Just(1u16), Just(4u16), Just(8u16)]), 1..5),
+        proptest::collection::vec((0u8..3, 0usize..4, 4u8..=12, 0u8..5), 1..7),
+        4u8..=10,
+    )
+        .prop_map(|(fields, tables, reg_log2)| ProgDesc {
+            fields,
+            tables,
+            reg_log2,
+        })
+}
+
+fn build(desc: &ProgDesc) -> Program {
+    let mut b = ProgramBuilder::new("fuzz");
+    let mut fields: Vec<FieldDef> = desc
+        .fields
+        .iter()
+        .enumerate()
+        .map(|(i, (bits, count))| {
+            if *count > 1 {
+                FieldDef::array(format!("f{i}"), *bits, *count)
+            } else {
+                FieldDef::scalar(format!("f{i}"), *bits)
+            }
+        })
+        .collect();
+    let total: u32 = fields.iter().map(|f| f.total_bits()).sum();
+    let pad = (8 - (total % 8)) % 8;
+    if pad > 0 {
+        fields.push(FieldDef::scalar("pad", pad as u8));
+    }
+    let nfields = fields.len();
+    let h = b.header(HeaderDef::new("h", fields));
+    b.parser(ParserSpec::single(h));
+    let reg = b.register(RegisterDef::new("r", 1u32 << desc.reg_log2, 32));
+
+    let fr = |i: usize| FieldRef::new(HeaderId(0), FieldId((i % nfields) as u16));
+    for (ti, (region, key_field, size_log2, op_sel)) in desc.tables.iter().enumerate() {
+        let region = match region {
+            0 => Region::Ingress,
+            1 => Region::Central,
+            _ => Region::Egress,
+        };
+        let f = fr(*key_field);
+        let bits = {
+            // key bits must match the field's element width
+            let d = &b_fields_bits(desc, *key_field % nfields);
+            *d
+        };
+        let ops = match op_sel {
+            0 => vec![ActionOp::SetEgress(Operand::Const(0))],
+            1 => vec![ActionOp::Bin {
+                dst: f,
+                op: BinOp::Add,
+                a: Operand::Field(f),
+                b: Operand::Const(1),
+            }],
+            2 if ti == 0 => vec![ActionOp::RegRmw {
+                // registers are single-owner: only table 0 may use it
+                reg,
+                index: Operand::Const(0),
+                op: RegAluOp::Add,
+                value: Operand::Const(1),
+                fetch: None,
+            }],
+            3 => vec![ActionOp::Hash {
+                dst: f,
+                fields: vec![f],
+                modulo: 16,
+            }],
+            _ => vec![],
+        };
+        b.table(TableDef {
+            name: format!("t{ti}"),
+            region,
+            key: Some(KeySpec {
+                field: f,
+                kind: MatchKind::Exact,
+                bits,
+            }),
+            actions: vec![ActionDef::new("a", ops), ActionDef::nop()],
+            default_action: 1,
+            default_params: vec![],
+            size: 1u32 << size_log2,
+        });
+    }
+    b.build()
+}
+
+/// Element width of field `i` after padding normalization.
+fn b_fields_bits(desc: &ProgDesc, i: usize) -> u8 {
+    if i < desc.fields.len() {
+        desc.fields[i].0
+    } else {
+        // the pad field
+        let total: u32 = desc
+            .fields
+            .iter()
+            .map(|(b, c)| *b as u32 * *c as u32)
+            .sum();
+        ((8 - (total % 8)) % 8) as u8
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn random_programs_never_panic_the_compiler(desc in arb_desc()) {
+        let program = build(&desc);
+        prop_assume!(program.validate().is_empty());
+        for target in [
+            TargetModel::rmt_640g(),
+            TargetModel::rmt_12t(),
+            TargetModel::drmt_12t(),
+            TargetModel::adcp_reference(),
+        ] {
+            for strategy in [RmtCentralStrategy::EgressPin, RmtCentralStrategy::Recirculate] {
+                let result = compile(
+                    &program,
+                    &target,
+                    CompileOptions { rmt_central: strategy },
+                );
+                if let Ok(pl) = result {
+                    // Budgets hold on every successful placement.
+                    for plan in [&pl.ingress, &pl.central, &pl.egress] {
+                        for st in &plan.stages {
+                            prop_assert!(st.mau_slots_used <= target.maus_per_stage);
+                            if !target.pooled_table_memory {
+                                prop_assert!(st.mem_bits_used <= target.stage_mem_bits());
+                            }
+                            prop_assert!(st.reg_bits_used <= target.stage_reg_bits);
+                        }
+                    }
+                    if target.pooled_table_memory {
+                        prop_assert!(pl.total_mem_bits <= target.pool_bits());
+                    }
+                    prop_assert!(pl.phv_bits_used <= target.phv_bits);
+                }
+                // Errors are fine — they must just be structured, which
+                // reaching this line (no panic) demonstrates.
+            }
+        }
+    }
+}

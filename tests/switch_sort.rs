@@ -1,0 +1,231 @@
+//! The §3.1 first-TM semantics end to end: range partitioning composed
+//! with the order-preserving merge yields a switch-side merge sort.
+//! (The `switch_sort` example is the narrated version of this test.)
+
+use adcp::core::{AdcpConfig, AdcpSwitch, DemuxPolicy};
+use adcp::lang::{
+    fold_hash, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
+    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
+    ProgramBuilder, Region, TableDef, TargetModel, TmSpec,
+};
+use adcp::sim::packet::{FlowId, Packet, PortId};
+use adcp::sim::rng::SimRng;
+use adcp::sim::sched::Policy;
+use adcp::sim::time::{Duration, SimTime};
+
+const KEY_SPACE: u64 = 1 << 16;
+const PARTITIONS: u64 = 4;
+
+fn fr(f: u16) -> FieldRef {
+    FieldRef::new(HeaderId(0), FieldId(f))
+}
+
+fn sort_program() -> Program {
+    let mut b = ProgramBuilder::new("sort");
+    let h = b.header(HeaderDef::new(
+        "rec",
+        vec![
+            FieldDef::scalar("key", 32),
+            FieldDef::scalar("mapper", 16),
+            FieldDef::scalar("pad", 16),
+        ],
+    ));
+    b.parser(ParserSpec::single(h));
+    b.tm1(TmSpec {
+        policy: Policy::MergeOrder,
+    });
+    b.table(TableDef {
+        name: "range_partition".into(),
+        region: Region::Ingress,
+        key: Some(KeySpec {
+            field: fr(0),
+            kind: MatchKind::Range,
+            bits: 32,
+        }),
+        actions: vec![
+            ActionDef::new(
+                "to_partition",
+                vec![
+                    ActionOp::SetCentralPipe(Operand::Param(0)),
+                    ActionOp::SetSortKey(Operand::Field(fr(0))),
+                ],
+            ),
+            ActionDef::new("oob", vec![ActionOp::Drop]),
+        ],
+        default_action: 1,
+        default_params: vec![],
+        size: 16,
+    });
+    b.table(TableDef {
+        name: "to_reducer".into(),
+        region: Region::Central,
+        key: Some(KeySpec {
+            field: fr(0),
+            kind: MatchKind::Range,
+            bits: 32,
+        }),
+        actions: vec![
+            ActionDef::new("out", vec![ActionOp::SetEgress(Operand::Param(0))]),
+            ActionDef::new("oob", vec![ActionOp::Drop]),
+        ],
+        default_action: 1,
+        default_params: vec![],
+        size: 16,
+    });
+    b.build()
+}
+
+fn record(id: u64, m: u16, k: u64) -> Packet {
+    let mut data = vec![0u8; 8];
+    data[..4].copy_from_slice(&(k as u32).to_be_bytes());
+    data[4..6].copy_from_slice(&m.to_be_bytes());
+    Packet::new(id, FlowId(m as u64), data)
+}
+
+#[test]
+fn range_partition_plus_merge_is_a_switch_side_sort() {
+    let mappers: u16 = 4;
+    let rows_each: u32 = 300;
+    let reducer_base = mappers;
+    let stride = KEY_SPACE / PARTITIONS;
+
+    let mut sw = AdcpSwitch::new(
+        sort_program(),
+        TargetModel::adcp_reference(),
+        CompileOptions::default(),
+        AdcpConfig {
+            demux: DemuxPolicy::FlowHash,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for r in 0..PARTITIONS {
+        let (lo, hi) = (r * stride, (r + 1) * stride - 1);
+        sw.install_all(
+            "range_partition",
+            Entry {
+                value: MatchValue::Range { lo, hi },
+                action: 0,
+                params: vec![r],
+            },
+        )
+        .unwrap();
+        sw.install_all(
+            "to_reducer",
+            Entry {
+                value: MatchValue::Range { lo, hi },
+                action: 0,
+                params: vec![(reducer_base as u64) + r],
+            },
+        )
+        .unwrap();
+    }
+    // Exact merge preconditions: mark never-used input queues ended, and
+    // terminate each mapper's stream with per-partition EOS records.
+    let used: Vec<usize> = (0..mappers)
+        .map(|m| m as usize * 2 + (fold_hash([m as u64]) % 2) as usize)
+        .collect();
+    for c in 0..PARTITIONS as usize {
+        for p in 0..sw.target().num_pipes() as usize {
+            if !used.contains(&p) {
+                sw.tm1_mark_ended(c, p);
+            }
+        }
+    }
+    let mut rng = SimRng::seed_from(7);
+    let mut id = 0;
+    let mut total = 0u64;
+    for m in 0..mappers {
+        let mut keys: Vec<u64> = (0..rows_each).map(|_| rng.range(0..KEY_SPACE - 1)).collect();
+        keys.sort_unstable();
+        let mut t = SimTime::ZERO;
+        for k in keys {
+            sw.inject(PortId(m), record(id, m, k), t);
+            id += 1;
+            total += 1;
+            t = t + Duration::from_ns(2);
+        }
+        for r in 0..PARTITIONS {
+            sw.inject(PortId(m), record(id, 0xFFFF, (r + 1) * stride - 1), t);
+            id += 1;
+        }
+    }
+    sw.run_until_idle();
+    sw.check_conservation();
+
+    let delivered = sw.take_delivered();
+    let mut per_reducer: Vec<Vec<u64>> = vec![Vec::new(); PARTITIONS as usize];
+    let mut data_records = 0u64;
+    for d in &delivered {
+        let mapper = u16::from_be_bytes(d.data[4..6].try_into().unwrap());
+        if mapper == 0xFFFF {
+            continue;
+        }
+        data_records += 1;
+        let key = u32::from_be_bytes(d.data[..4].try_into().unwrap()) as u64;
+        per_reducer[(d.port.0 - reducer_base) as usize].push(key);
+    }
+    assert_eq!(data_records, total, "every record delivered exactly once");
+    for (r, keys) in per_reducer.iter().enumerate() {
+        assert!(!keys.is_empty(), "partition {r} starved");
+        assert!(
+            keys.iter().all(|k| *k / stride == r as u64),
+            "partition {r} received out-of-range keys"
+        );
+        assert!(
+            keys.windows(2).all(|w| w[0] <= w[1]),
+            "partition {r} not globally sorted"
+        );
+    }
+}
+
+/// Without the end-of-stream discipline the merge is only approximate —
+/// the switch still delivers everything (bounded patience, no deadlock).
+#[test]
+fn merge_without_eos_still_delivers_everything() {
+    let mut sw = AdcpSwitch::new(
+        sort_program(),
+        TargetModel::adcp_reference(),
+        CompileOptions::default(),
+        AdcpConfig {
+            demux: DemuxPolicy::FlowHash,
+            merge_patience: Duration::from_ns(200),
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    let stride = KEY_SPACE / PARTITIONS;
+    for r in 0..PARTITIONS {
+        let (lo, hi) = (r * stride, (r + 1) * stride - 1);
+        sw.install_all(
+            "range_partition",
+            Entry {
+                value: MatchValue::Range { lo, hi },
+                action: 0,
+                params: vec![r],
+            },
+        )
+        .unwrap();
+        sw.install_all(
+            "to_reducer",
+            Entry {
+                value: MatchValue::Range { lo, hi },
+                action: 0,
+                params: vec![4 + r],
+            },
+        )
+        .unwrap();
+    }
+    let mut rng = SimRng::seed_from(8);
+    for i in 0..400u64 {
+        let m = (i % 4) as u16;
+        sw.inject(
+            PortId(m),
+            record(i, m, rng.range(0..KEY_SPACE - 1)),
+            SimTime(i * 500),
+        );
+    }
+    sw.run_until_idle();
+    sw.check_conservation();
+    assert_eq!(sw.counters.delivered, 400);
+}
