@@ -24,6 +24,6 @@ pub use feasibility::{
 };
 pub use keyrate::{key_rate, width_sweep, KeyRatePoint};
 pub use scaling::{
-    adcp_row, min_packet_for_freq, required_freq_ghz, rmt_row, table2, table3,
-    tm_pipeline_count, ScalingRow, PAPER_TABLE2,
+    adcp_row, min_packet_for_freq, required_freq_ghz, rmt_row, table2, table3, tm_pipeline_count,
+    ScalingRow, PAPER_TABLE2,
 };

@@ -111,11 +111,11 @@ pub const PAPER_TABLE2: [(u64, u32, u32, f64, u32, f64); 5] = [
 /// Table 2 re-derived from the line-rate identity, row for row.
 pub fn table2() -> Vec<ScalingRow> {
     vec![
-        rmt_row(10, 64, 1, 0.96),    // 640 Gbps, 0.95 GHz natural
-        rmt_row(100, 64, 4, 1.25),   // 6.4 Tbps
-        rmt_row(400, 32, 4, 1.62),   // 12.8 Tbps
-        rmt_row(800, 64, 8, 1.62),   // printed as 25.6 Tbps; see PAPER_TABLE2
-        rmt_row(1600, 32, 8, 1.62),  // 51.2 Tbps
+        rmt_row(10, 64, 1, 0.96),   // 640 Gbps, 0.95 GHz natural
+        rmt_row(100, 64, 4, 1.25),  // 6.4 Tbps
+        rmt_row(400, 32, 4, 1.62),  // 12.8 Tbps
+        rmt_row(800, 64, 8, 1.62),  // printed as 25.6 Tbps; see PAPER_TABLE2
+        rmt_row(1600, 32, 8, 1.62), // 51.2 Tbps
     ]
 }
 
@@ -220,9 +220,7 @@ mod tests {
         let mux = rmt_row(800, 32, 32, 100.0); // one port per pipe, uncapped
         let demux = adcp_row(800, 32, 2);
         // 0.05 slack: both figures are rounded to 2 decimals first.
-        assert!(
-            (mux.pipeline_freq_ghz / demux.pipeline_freq_ghz - 2.0).abs() < 0.05
-        );
+        assert!((mux.pipeline_freq_ghz / demux.pipeline_freq_ghz - 2.0).abs() < 0.05);
     }
 
     #[test]

@@ -19,9 +19,9 @@
 use crate::driver::{AnySwitch, AppReport, TargetKind};
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    fold_hash, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
-    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
-    ProgramBuilder, RegAluOp, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
+    fold_hash, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
+    HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder,
+    RegAluOp, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::packet::{FlowId, Packet, PortId};
@@ -96,7 +96,10 @@ pub fn program(cfg: &DbShuffleCfg, kind: TargetKind, _central_pipes: u32) -> Pro
             kind: MatchKind::Exact,
             bits: 8,
         }),
-        actions: vec![ActionDef::nop(), ActionDef::new("reject", vec![ActionOp::Drop])],
+        actions: vec![
+            ActionDef::nop(),
+            ActionDef::new("reject", vec![ActionOp::Drop]),
+        ],
         default_action: 1, // anything unlisted is filtered out
         default_params: vec![],
         size: 4,

@@ -11,6 +11,7 @@ use adcp_sim::packet::{Packet, PacketMeta, PortId};
 use adcp_sim::stats::{LatencySummary, Meter};
 use adcp_sim::time::{Duration, SimTime};
 use serde::Serialize;
+use std::sync::Arc;
 
 /// Which architecture (and, for RMT, which central-table lowering) an app
 /// variant targets.
@@ -42,8 +43,8 @@ pub struct DeliveredPkt {
     pub port: PortId,
     /// Last-bit time.
     pub time: SimTime,
-    /// Final frame bytes.
-    pub data: Vec<u8>,
+    /// Final frame bytes (shared with the switch's delivery record).
+    pub data: Arc<[u8]>,
     /// Final metadata.
     pub meta: PacketMeta,
 }
@@ -125,6 +126,23 @@ impl AnySwitch {
         }
     }
 
+    /// (match-table lookups, hits, deparser buffer allocations) — the
+    /// post-run counter snapshot both switch models keep.
+    pub fn mat_stats(&self) -> (u64, u64, u64) {
+        match self {
+            AnySwitch::Rmt(s) => (
+                s.counters.mat_lookups,
+                s.counters.mat_hits,
+                s.counters.deparse_allocs,
+            ),
+            AnySwitch::Adcp(s) => (
+                s.counters.mat_lookups,
+                s.counters.mat_hits,
+                s.counters.deparse_allocs,
+            ),
+        }
+    }
+
     /// High-water mark of the TM shared buffer(s), in cells.
     pub fn tm_buffer_hwm(&self) -> u64 {
         match self {
@@ -173,6 +191,13 @@ pub struct AppReport {
     pub goodput_gbps: f64,
     /// Application data elements per second.
     pub elements_per_sec: f64,
+    /// Match-table key lookups executed (all regions, all lanes).
+    pub mat_lookups: u64,
+    /// Fraction of lookups that hit an installed entry.
+    pub mat_hit_rate: f64,
+    /// Frame buffers the deparser rebuilt (the per-pass allocation left in
+    /// the hot path; payload copies are shared, not reallocated).
+    pub deparse_allocs: u64,
     /// Latency summary of delivered packets.
     pub latency: LatencySummary,
     /// Free-form observations (compiler notes, feature restrictions).
@@ -190,6 +215,7 @@ impl AppReport {
         notes: Vec<String>,
     ) -> Self {
         let (injected, delivered, drops, recirc) = sw.flow_counts();
+        let (mat_lookups, mat_hits, deparse_allocs) = sw.mat_stats();
         let elapsed = Duration(makespan.as_ps().max(1));
         AppReport {
             app: app.to_string(),
@@ -202,6 +228,13 @@ impl AppReport {
             makespan_ns: makespan.as_ps() as f64 / 1e3,
             goodput_gbps: sw.out_meter().goodput_gbps(elapsed),
             elements_per_sec: sw.out_meter().elements_per_sec(elapsed),
+            mat_lookups,
+            mat_hit_rate: if mat_lookups == 0 {
+                0.0
+            } else {
+                mat_hits as f64 / mat_lookups as f64
+            },
+            deparse_allocs,
             latency: sw.latency(),
             notes,
         }

@@ -21,9 +21,9 @@
 use crate::driver::{AnySwitch, AppReport, TargetKind};
 use adcp_core::{AdcpConfig, AdcpSwitch, DemuxPolicy};
 use adcp_lang::{
-    ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef,
-    HeaderId, Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region, RegisterDef,
-    TableDef, TargetModel,
+    ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
+    Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region, RegisterDef, TableDef,
+    TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::packet::{FlowId, Packet, PortId};
@@ -170,7 +170,9 @@ fn pkt(id: u64, flow: u32, seq: u32) -> Packet {
     let mut data = vec![0u8; 16];
     data[..4].copy_from_slice(&flow.to_be_bytes());
     data[4..8].copy_from_slice(&seq.to_be_bytes());
-    Packet::new(id, FlowId(flow as u64), data).with_goodput(8).with_elements(1)
+    Packet::new(id, FlowId(flow as u64), data)
+        .with_goodput(8)
+        .with_elements(1)
 }
 
 /// Run the load balancer; verify flowlet path consistency and balance.
@@ -215,7 +217,7 @@ pub fn run(kind: TargetKind, cfg: &FlowletCfg) -> AppReport {
             seq += if rng.chance(0.1) { cfg.gap * 4 } else { 1 };
             sw.inject(PortId(0), pkt(id, f, seq), t);
             id += 1;
-            t = t + adcp_sim::time::Duration::from_ns(1);
+            t += adcp_sim::time::Duration::from_ns(1);
         }
     }
     let makespan = sw.run_until_idle();

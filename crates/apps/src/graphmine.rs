@@ -18,9 +18,9 @@
 use crate::driver::{AnySwitch, AppReport, TargetKind};
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
-    Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region, RegisterDef,
-    RmtCentralStrategy, TableDef, TargetModel,
+    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId, Operand,
+    ParserSpec, Program, ProgramBuilder, RegAluOp, Region, RegisterDef, RmtCentralStrategy,
+    TableDef, TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::packet::{FlowId, Packet, PortId};
@@ -67,7 +67,13 @@ const F_SCRATCH: u16 = 4;
 
 /// Build the mining program. `expected_msgs` is the per-superstep message
 /// count (constant: the cut structure does not change between steps).
-pub fn program(kind: TargetKind, expected_msgs: u32, supersteps: u32, barrier_port: PortId, partition_ports: &[PortId]) -> Program {
+pub fn program(
+    kind: TargetKind,
+    expected_msgs: u32,
+    supersteps: u32,
+    barrier_port: PortId,
+    partition_ports: &[PortId],
+) -> Program {
     let mut b = ProgramBuilder::new(format!("graphmine-{}", kind.label()));
     let h = b.header(HeaderDef::new(
         "bsp",
@@ -101,7 +107,11 @@ pub fn program(kind: TargetKind, expected_msgs: u32, supersteps: u32, barrier_po
         key: None,
         actions: vec![ActionDef::new(
             "steer",
-            [ingress_ops, vec![ActionOp::CountElements(Operand::Const(1))]].concat(),
+            [
+                ingress_ops,
+                vec![ActionOp::CountElements(Operand::Const(1))],
+            ]
+            .concat(),
         )],
         default_action: 0,
         default_params: vec![],
@@ -194,8 +204,7 @@ pub fn run(kind: TargetKind, cfg: &GraphMineCfg) -> AppReport {
         expected_msgs > 0,
         "degenerate workload: a single partition exchanges no messages"
     );
-    let partition_ports: Vec<PortId> =
-        (0..cfg.workload.partitions as u16).map(PortId).collect();
+    let partition_ports: Vec<PortId> = (0..cfg.workload.partitions as u16).map(PortId).collect();
     let barrier_port = PortId(cfg.workload.partitions as u16);
 
     let (mut sw, notes) = build_switch(kind, cfg, expected_msgs, barrier_port, &partition_ports);
@@ -262,7 +271,13 @@ fn build_switch(
     match kind {
         TargetKind::Adcp => {
             let target = TargetModel::adcp_reference();
-            let prog = program(kind, expected_msgs, supersteps, barrier_port, partition_ports);
+            let prog = program(
+                kind,
+                expected_msgs,
+                supersteps,
+                barrier_port,
+                partition_ports,
+            );
             let sw = AdcpSwitch::new(
                 prog,
                 target,
@@ -275,7 +290,13 @@ fn build_switch(
         }
         TargetKind::RmtRecirc | TargetKind::RmtPinned => {
             let target = TargetModel::rmt_12t();
-            let prog = program(kind, expected_msgs, supersteps, barrier_port, partition_ports);
+            let prog = program(
+                kind,
+                expected_msgs,
+                supersteps,
+                barrier_port,
+                partition_ports,
+            );
             let strategy = if kind == TargetKind::RmtRecirc {
                 RmtCentralStrategy::Recirculate
             } else {

@@ -166,7 +166,10 @@ pub fn run(kind: TargetKind, cfg: &GroupCommCfg) -> AppReport {
         }
     }
     let mut notes = notes;
-    notes.push(format!("tm buffer high-water: {} cells", sw.tm_buffer_hwm()));
+    notes.push(format!(
+        "tm buffer high-water: {} cells",
+        sw.tm_buffer_hwm()
+    ));
     if let (Some(min), Some(max)) = (
         completion.iter().map(|(_, t)| *t).min(),
         completion.iter().map(|(_, t)| *t).max(),

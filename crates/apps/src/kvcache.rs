@@ -17,9 +17,9 @@
 use crate::driver::{AnySwitch, AppReport, TargetKind};
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    compile, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
-    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
-    ProgramBuilder, Region, TableDef, TargetModel,
+    compile, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
+    HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, Region,
+    TableDef, TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::packet::{FlowId, Packet, PortId};

@@ -22,8 +22,8 @@
 #![forbid(unsafe_code)]
 
 pub mod dbshuffle;
-pub mod flowlet;
 pub mod driver;
+pub mod flowlet;
 pub mod graphmine;
 pub mod groupcomm;
 pub mod kvcache;

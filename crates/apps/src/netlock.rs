@@ -170,7 +170,11 @@ pub fn program(kind: TargetKind, cfg: &NetLockCfg, central_pipes: u32) -> Progra
             kind: MatchKind::Exact,
             bits: 8,
         }),
-        actions: vec![acquire, release, ActionDef::new("bad", vec![ActionOp::Drop])],
+        actions: vec![
+            acquire,
+            release,
+            ActionDef::new("bad", vec![ActionOp::Drop]),
+        ],
         default_action: 2,
         default_params: vec![],
         size: 4,

@@ -21,8 +21,8 @@
 use crate::driver::{AnySwitch, AppReport, TargetKind};
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef,
-    HeaderId, Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region, RegisterDef,
+    ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
+    Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region, RegisterDef,
     RmtCentralStrategy, TableDef, TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
@@ -285,7 +285,13 @@ fn build_switch(
     match kind {
         TargetKind::Adcp => {
             let target = TargetModel::adcp_reference();
-            let prog = program(cfg, kind, target.central_pipes as u32, worker_ports, ps_port);
+            let prog = program(
+                cfg,
+                kind,
+                target.central_pipes as u32,
+                worker_ports,
+                ps_port,
+            );
             let sw = AdcpSwitch::new(
                 prog,
                 target,

@@ -25,7 +25,7 @@ fn table(kind: MatchKind) -> (TableDef, TableRuntime) {
         let value = match kind {
             MatchKind::Exact => MatchValue::Exact(i * 7),
             MatchKind::Lpm => MatchValue::Lpm {
-                value: (i as u64) << 20,
+                value: i << 20,
                 len: 12 + (i % 16) as u8,
             },
             MatchKind::Ternary => MatchValue::Ternary {
@@ -60,7 +60,7 @@ fn bench_lookups(c: &mut Criterion) {
         MatchKind::Ternary,
         MatchKind::Range,
     ] {
-        let (_, mut rt) = table(kind);
+        let (_, rt) = table(kind);
         let mut i = 0u64;
         g.bench_function(format!("{kind:?}"), |b| {
             b.iter(|| {

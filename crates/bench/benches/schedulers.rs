@@ -19,8 +19,7 @@ fn bench_schedulers(c: &mut Criterion) {
             let mut i = 0u64;
             b.iter(|| {
                 i += 1;
-                let pkt = Packet::new(i, FlowId(i % 16), vec![0u8; 64])
-                    .with_sort_key(i);
+                let pkt = Packet::new(i, FlowId(i % 16), vec![0u8; 64]).with_sort_key(i);
                 s.enqueue((i % 16) as usize, pkt);
                 black_box(s.dequeue())
             })

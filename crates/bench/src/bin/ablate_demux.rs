@@ -24,7 +24,14 @@ fn main() {
         .collect();
     print_table(
         "Ablation — demux ratio (84 B minimum packets)",
-        &["port_Gbps", "m", "pipe_GHz", "rel_power", "rel_area", "tm_pipes@51T"],
+        &[
+            "port_Gbps",
+            "m",
+            "pipe_GHz",
+            "rel_power",
+            "rel_area",
+            "tm_pipes@51T",
+        ],
         &cells,
     );
 }

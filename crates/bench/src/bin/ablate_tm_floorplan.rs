@@ -24,7 +24,13 @@ fn main() {
         .collect();
     print_table(
         "Ablation — TM boundary g-cell utilization (>0.8 = congestion risk)",
-        &["pipelines", "mono_util", "inter_util", "mono_ok", "inter_ok"],
+        &[
+            "pipelines",
+            "mono_util",
+            "inter_util",
+            "mono_ok",
+            "inter_ok",
+        ],
         &cells,
     );
 }

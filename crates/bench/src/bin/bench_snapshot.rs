@@ -1,0 +1,75 @@
+//! Record a perf-trajectory snapshot: simulated packets per wall-second for
+//! every Table 1 app on ADCP and its RMT lowering, written to
+//! `BENCH_<date>.json` (see EXPERIMENTS.md for the format).
+//!
+//! Usage: `cargo run --release -p adcp-bench --bin bench_snapshot
+//!         [--quick] [--json] [--reps N] [--out DIR]`
+//!
+//! `--json` prints rows to stdout instead of (in addition to) the file;
+//! `--reps` sets best-of-N wall-clock repetitions (default 3). `--quick`
+//! shrinks the workloads and skips the file write, so a sanity run never
+//! clobbers the day's recorded trajectory point.
+
+use adcp_bench::report::{eng, print_json, print_table, want_json, write_json_file};
+use adcp_bench::snapshot::{run_suite, today_utc, SnapshotRow};
+use std::path::PathBuf;
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let reps: u32 = arg_value("--reps")
+        .map(|v| v.parse().expect("--reps takes a number"))
+        .unwrap_or(3);
+    let out_dir = arg_value("--out").map(PathBuf::from).unwrap_or_default();
+
+    let rows = run_suite(quick, reps);
+    let date = today_utc();
+    // Quick runs are sanity checks, not trajectory points: never let one
+    // overwrite the day's full `BENCH_<date>.json`.
+    let path = (!quick).then(|| out_dir.join(format!("BENCH_{date}.json")));
+    if let Some(path) = &path {
+        write_json_file(path, "bench_snapshot", &date, &rows).expect("write snapshot file");
+    }
+
+    if want_json() {
+        print_json("bench_snapshot", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r: &SnapshotRow| {
+            vec![
+                r.app.clone(),
+                r.target.clone(),
+                r.injected.to_string(),
+                r.delivered.to_string(),
+                format!("{:.2}", r.wall_ms),
+                eng(r.sim_pkts_per_wall_sec),
+                r.correct.to_string(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("bench_snapshot {date} — simulated packets per wall-second"),
+        &[
+            "app",
+            "target",
+            "in",
+            "out",
+            "wall_ms",
+            "sim_pkts/s",
+            "correct",
+        ],
+        &cells,
+    );
+    match &path {
+        Some(p) => println!("\nwrote {}", p.display()),
+        None => println!("\n(quick run: snapshot file not written)"),
+    }
+}

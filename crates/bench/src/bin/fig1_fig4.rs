@@ -4,10 +4,9 @@
 
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    describe_placement, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId,
-    FieldRef, HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec,
-    Program, ProgramBuilder, RegAluOp, Region, RegisterDef, RmtCentralStrategy, TableDef,
-    TargetModel,
+    describe_placement, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
+    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
+    ProgramBuilder, RegAluOp, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::packet::{FlowId, Packet, PortId};
@@ -70,7 +69,10 @@ fn pkt(id: u64, dst: u16) -> Packet {
 
 fn main() {
     println!("== Fig. 1 — the RMT architecture (32x400G, 4 pipelines) ==\n");
-    for strategy in [RmtCentralStrategy::EgressPin, RmtCentralStrategy::Recirculate] {
+    for strategy in [
+        RmtCentralStrategy::EgressPin,
+        RmtCentralStrategy::Recirculate,
+    ] {
         let mut sw = RmtSwitch::new(
             program(),
             TargetModel::rmt_12t(),

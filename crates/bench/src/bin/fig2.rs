@@ -26,7 +26,14 @@ fn main() {
         .collect();
     print_table(
         "Fig. 2 — coflow convergence restrictions (8-worker aggregation, width 1)",
-        &["target", "correct", "reach", "recirc/pkt", "makespan_ns", "p99_ns"],
+        &[
+            "target",
+            "correct",
+            "reach",
+            "recirc/pkt",
+            "makespan_ns",
+            "p99_ns",
+        ],
         &cells,
     );
 }

@@ -31,8 +31,14 @@ fn main() {
     print_table(
         "Fig. 3 — replication cost of a 1024-entry table keyed on a width-w array",
         &[
-            "width", "rmt_replicas", "rmt_KiB", "adcp_KiB", "rmt_max",
-            "drmt_max", "adcp_max", "capacity_x",
+            "width",
+            "rmt_replicas",
+            "rmt_KiB",
+            "adcp_KiB",
+            "rmt_max",
+            "drmt_max",
+            "adcp_max",
+            "capacity_x",
         ],
         &cells,
     );

@@ -33,8 +33,16 @@ fn main() {
     print_table(
         "Table 1 — coflow applications on both architectures (live runs)",
         &[
-            "app", "target", "correct", "in", "out", "recirc", "makespan_ns",
-            "goodput_Gbps", "elems/s", "p99_ns",
+            "app",
+            "target",
+            "correct",
+            "in",
+            "out",
+            "recirc",
+            "makespan_ns",
+            "goodput_Gbps",
+            "elems/s",
+            "p99_ns",
         ],
         &cells,
     );

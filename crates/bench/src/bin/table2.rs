@@ -12,8 +12,14 @@ fn main() {
     print_table(
         "Table 2 — port multiplexing poor scalability (derived vs paper)",
         &[
-            "thr_Gbps", "port_Gbps", "pipes", "ports/pipe", "min_pkt_B",
-            "freq_GHz", "paper", "match",
+            "thr_Gbps",
+            "port_Gbps",
+            "pipes",
+            "ports/pipe",
+            "min_pkt_B",
+            "freq_GHz",
+            "paper",
+            "match",
         ],
         &scaling_cells(&rows),
     );

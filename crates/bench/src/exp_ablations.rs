@@ -31,22 +31,30 @@ pub struct DemuxRow {
 
 /// Sweep port speeds × demux factors.
 pub fn ablate_demux() -> Vec<DemuxRow> {
-    let mut rows = Vec::new();
-    for port in [100u32, 400, 800, 1600] {
+    ablate_demux_impl(true)
+}
+
+fn ablate_demux_impl(parallel: bool) -> Vec<DemuxRow> {
+    // One worker per port speed; each produces its four demux rows, and
+    // the flatten keeps (port, m) order identical to the nested loops.
+    let per_port = crate::par::map_points(parallel, vec![100u32, 400, 800, 1600], |port| {
         let base = required_freq_ghz(port as f64, MIN_WIRE_BYTES);
-        for m in [1u32, 2, 4, 8] {
-            let f = required_freq_ghz(port as f64 / m as f64, MIN_WIRE_BYTES);
-            rows.push(DemuxRow {
-                port_gbps: port,
-                demux: m,
-                pipe_ghz: (f * 100.0).round() / 100.0,
-                rel_power: relative_dynamic_power(base, f),
-                rel_area: relative_logic_area(base, f),
-                tm_pipelines_51t: tm_pipeline_count(51_200, port, m),
-            });
-        }
-    }
-    rows
+        [1u32, 2, 4, 8]
+            .into_iter()
+            .map(|m| {
+                let f = required_freq_ghz(port as f64 / m as f64, MIN_WIRE_BYTES);
+                DemuxRow {
+                    port_gbps: port,
+                    demux: m,
+                    pipe_ghz: (f * 100.0).round() / 100.0,
+                    rel_power: relative_dynamic_power(base, f),
+                    rel_area: relative_logic_area(base, f),
+                    tm_pipelines_51t: tm_pipeline_count(51_200, port, m),
+                }
+            })
+            .collect::<Vec<_>>()
+    });
+    per_port.into_iter().flatten().collect()
 }
 
 /// One TM-floorplan row.
@@ -66,26 +74,23 @@ pub struct FloorplanRow {
 
 /// Sweep TM pipeline counts (the §3.3 projection says 64 then 128).
 pub fn ablate_tm_floorplan() -> Vec<FloorplanRow> {
-    [8u32, 16, 32, 64, 128]
-        .into_iter()
-        .map(|pipelines| {
-            let input = CongestionInput {
-                pipelines,
-                phv_bits: 4096,
-                tracks_per_gcell: 200,
-                gcells_per_block_edge: 40,
-            };
-            let mono = estimate_congestion(&input, TmFloorplan::Monolithic);
-            let inter = estimate_congestion(&input, TmFloorplan::Interleaved { banks: 16 });
-            FloorplanRow {
-                pipelines,
-                monolithic_util: mono.peak_utilization,
-                interleaved_util: inter.peak_utilization,
-                monolithic_routable: mono.peak_utilization < 0.8,
-                interleaved_routable: inter.peak_utilization < 0.8,
-            }
-        })
-        .collect()
+    crate::par::par_map(vec![8u32, 16, 32, 64, 128], |pipelines| {
+        let input = CongestionInput {
+            pipelines,
+            phv_bits: 4096,
+            tracks_per_gcell: 200,
+            gcells_per_block_edge: 40,
+        };
+        let mono = estimate_congestion(&input, TmFloorplan::Monolithic);
+        let inter = estimate_congestion(&input, TmFloorplan::Interleaved { banks: 16 });
+        FloorplanRow {
+            pipelines,
+            monolithic_util: mono.peak_utilization,
+            interleaved_util: inter.peak_utilization,
+            monolithic_routable: mono.peak_utilization < 0.8,
+            interleaved_routable: inter.peak_utilization < 0.8,
+        }
+    })
 }
 
 /// One multi-clock row.
@@ -104,25 +109,25 @@ pub struct MultiClockRow {
 /// Sweep the §4 multi-clock MAT envelope across the design space:
 /// RMT's 1.62 GHz, the original 0.95 GHz, and ADCP demuxed clocks.
 pub fn ablate_multiclock() -> Vec<MultiClockRow> {
-    let mut rows = Vec::new();
-    for pipe in [1.62f64, 0.95, 0.60, 0.30] {
-        for pt in multiclock_sweep(pipe, &[1, 2, 4, 8, 16, 32], 4.0) {
-            rows.push(MultiClockRow {
+    let per_clock = crate::par::par_map(vec![1.62f64, 0.95, 0.60, 0.30], |pipe| {
+        multiclock_sweep(pipe, &[1, 2, 4, 8, 16, 32], 4.0)
+            .into_iter()
+            .map(|pt| MultiClockRow {
                 pipe_ghz: pipe,
                 width: pt.width,
                 mem_ghz: (pt.mem_ghz * 100.0).round() / 100.0,
                 feasible: pt.feasible,
-            });
-        }
-    }
-    rows
+            })
+            .collect::<Vec<_>>()
+    });
+    per_clock.into_iter().flatten().collect()
 }
 
 /// Sanity: Table 3's demuxed design point exists in the sweep.
 pub fn table3_point_in_sweep() -> bool {
-    ablate_demux().iter().any(|r| {
-        r.port_gbps == 800 && r.demux == 2 && (r.pipe_ghz - 0.60).abs() < 0.011
-    })
+    ablate_demux()
+        .iter()
+        .any(|r| r.port_gbps == 800 && r.demux == 2 && (r.pipe_ghz - 0.60).abs() < 0.011)
 }
 
 #[cfg(test)]
@@ -130,11 +135,17 @@ mod tests {
     use super::*;
 
     #[test]
+    fn demux_sweep_par_matches_seq() {
+        let par = serde_json::to_string(&ablate_demux_impl(true)).unwrap();
+        let seq = serde_json::to_string(&ablate_demux_impl(false)).unwrap();
+        assert_eq!(par, seq, "demux rows must not depend on scheduling");
+    }
+
+    #[test]
     fn demux_sweep_monotone_in_m() {
         let rows = ablate_demux();
         for port in [100u32, 400, 800, 1600] {
-            let series: Vec<&DemuxRow> =
-                rows.iter().filter(|r| r.port_gbps == port).collect();
+            let series: Vec<&DemuxRow> = rows.iter().filter(|r| r.port_gbps == port).collect();
             for w in series.windows(2) {
                 assert!(w[1].pipe_ghz < w[0].pipe_ghz, "freq falls with m");
                 assert!(w[1].rel_power < w[0].rel_power);

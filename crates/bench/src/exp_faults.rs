@@ -38,9 +38,12 @@ pub struct FaultRow {
 
 /// Sweep drop probabilities over the ADCP parameter server.
 pub fn ablate_faults(quick: bool) -> Vec<FaultRow> {
+    // Quick mode still models 128 chunks: the completion-vs-loss comparison
+    // is statistical, and fewer chunks puts honest RNG draws outside the
+    // test tolerance (~1.6σ at 32 chunks).
     let cfg = ParamServerCfg {
         workers: 8,
-        model_size: if quick { 512 } else { 4096 },
+        model_size: if quick { 2048 } else { 4096 },
         width: 16,
         seed: 77,
     };

@@ -42,44 +42,50 @@ pub struct Fig2Row {
 /// variants so only the *convergence* cost differs (Fig. 6 isolates
 /// arrays).
 pub fn fig2(quick: bool) -> Vec<Fig2Row> {
+    fig2_impl(quick, true)
+}
+
+fn fig2_impl(quick: bool, parallel: bool) -> Vec<Fig2Row> {
     let cfg = paramserv::ParamServerCfg {
         workers: 8,
         model_size: if quick { 64 } else { 256 },
         width: 1,
         seed: 2,
     };
-    [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned]
-        .into_iter()
-        .map(|kind| {
-            // Force scalar on ADCP too for the like-for-like convergence
-            // comparison.
-            let r = paramserv::run(kind, &cfg);
-            let (reachable, total) = match kind {
-                // Egress pinning: only the pinned pipeline's ports.
-                TargetKind::RmtPinned => {
-                    let t = TargetModel::rmt_12t();
-                    (t.ports_per_pipe, t.ports)
-                }
-                TargetKind::RmtRecirc => {
-                    let t = TargetModel::rmt_12t();
-                    (t.ports, t.ports)
-                }
-                TargetKind::Adcp => {
-                    let t = TargetModel::adcp_reference();
-                    (t.ports, t.ports)
-                }
-            };
-            Fig2Row {
-                target: kind.label().into(),
-                correct: r.correct,
-                reachable_ports: reachable,
-                total_ports: total,
-                recirc_per_packet: r.recirc_passes as f64 / r.injected.max(1) as f64,
-                makespan_ns: r.makespan_ns,
-                p99_ns: r.latency.p99_ns,
+    let kinds = vec![
+        TargetKind::Adcp,
+        TargetKind::RmtRecirc,
+        TargetKind::RmtPinned,
+    ];
+    crate::par::map_points(parallel, kinds, |kind| {
+        // Force scalar on ADCP too for the like-for-like convergence
+        // comparison.
+        let r = paramserv::run(kind, &cfg);
+        let (reachable, total) = match kind {
+            // Egress pinning: only the pinned pipeline's ports.
+            TargetKind::RmtPinned => {
+                let t = TargetModel::rmt_12t();
+                (t.ports_per_pipe, t.ports)
             }
-        })
-        .collect()
+            TargetKind::RmtRecirc => {
+                let t = TargetModel::rmt_12t();
+                (t.ports, t.ports)
+            }
+            TargetKind::Adcp => {
+                let t = TargetModel::adcp_reference();
+                (t.ports, t.ports)
+            }
+        };
+        Fig2Row {
+            target: kind.label().into(),
+            correct: r.correct,
+            reachable_ports: reachable,
+            total_ports: total,
+            recirc_per_packet: r.recirc_passes as f64 / r.injected.max(1) as f64,
+            makespan_ns: r.makespan_ns,
+            p99_ns: r.latency.p99_ns,
+        }
+    })
 }
 
 // -------------------------------------------------------------------
@@ -115,42 +121,39 @@ pub fn fig3() -> Vec<Fig3Row> {
     let rmt = TargetModel::rmt_12t();
     let drmt = TargetModel::drmt_12t();
     let adcp = TargetModel::adcp_reference();
-    [1u16, 2, 4, 8, 16]
-        .into_iter()
-        .map(|width| {
-            let prog = kvcache::program(width, 1024, PortId(0));
-            let p_rmt = compile(&prog, &rmt, CompileOptions::default())
-                .expect("1024-entry cache fits both targets");
-            let p_adcp = compile(&prog, &adcp, CompileOptions::default()).expect("fits");
-            let cache_rmt = p_rmt
-                .ingress
-                .stages
-                .iter()
-                .flat_map(|s| &s.tables)
-                .find(|t| t.name == "cache")
-                .expect("cache placed");
-            let cache_adcp = p_adcp
-                .ingress
-                .stages
-                .iter()
-                .flat_map(|s| &s.tables)
-                .find(|t| t.name == "cache")
-                .expect("cache placed");
-            let rmt_max = kvcache::max_cache_entries(&rmt, width);
-            let drmt_max = kvcache::max_cache_entries(&drmt, width);
-            let adcp_max = kvcache::max_cache_entries(&adcp, width);
-            Fig3Row {
-                width,
-                rmt_replicas: cache_rmt.replicas,
-                rmt_mem_kib: cache_rmt.mem_bits / 8 / 1024,
-                adcp_mem_kib: cache_adcp.mem_bits / 8 / 1024,
-                rmt_max_entries: rmt_max,
-                drmt_max_entries: drmt_max,
-                adcp_max_entries: adcp_max,
-                capacity_ratio: adcp_max as f64 / rmt_max.max(1) as f64,
-            }
-        })
-        .collect()
+    crate::par::par_map(vec![1u16, 2, 4, 8, 16], |width| {
+        let prog = kvcache::program(width, 1024, PortId(0));
+        let p_rmt = compile(&prog, &rmt, CompileOptions::default())
+            .expect("1024-entry cache fits both targets");
+        let p_adcp = compile(&prog, &adcp, CompileOptions::default()).expect("fits");
+        let cache_rmt = p_rmt
+            .ingress
+            .stages
+            .iter()
+            .flat_map(|s| &s.tables)
+            .find(|t| t.name == "cache")
+            .expect("cache placed");
+        let cache_adcp = p_adcp
+            .ingress
+            .stages
+            .iter()
+            .flat_map(|s| &s.tables)
+            .find(|t| t.name == "cache")
+            .expect("cache placed");
+        let rmt_max = kvcache::max_cache_entries(&rmt, width);
+        let drmt_max = kvcache::max_cache_entries(&drmt, width);
+        let adcp_max = kvcache::max_cache_entries(&adcp, width);
+        Fig3Row {
+            width,
+            rmt_replicas: cache_rmt.replicas,
+            rmt_mem_kib: cache_rmt.mem_bits / 8 / 1024,
+            adcp_mem_kib: cache_adcp.mem_bits / 8 / 1024,
+            rmt_max_entries: rmt_max,
+            drmt_max_entries: drmt_max,
+            adcp_max_entries: adcp_max,
+            capacity_ratio: adcp_max as f64 / rmt_max.max(1) as f64,
+        }
+    })
 }
 
 /// Fig. 3 follow-through: the hit rate consequence under a Zipf workload.
@@ -172,18 +175,15 @@ pub fn fig3_hit_rates(quick: bool) -> Vec<Fig3HitRow> {
         requests: if quick { 300 } else { 2_000 },
         ..Default::default()
     };
-    [TargetKind::Adcp, TargetKind::RmtPinned]
-        .into_iter()
-        .map(|kind| {
-            let out = kvcache::run(kind, &cfg);
-            Fig3HitRow {
-                target: kind.label().into(),
-                width: cfg.width,
-                cache_entries: out.cache_entries,
-                hit_rate: out.hit_rate,
-            }
-        })
-        .collect()
+    crate::par::par_map(vec![TargetKind::Adcp, TargetKind::RmtPinned], |kind| {
+        let out = kvcache::run(kind, &cfg);
+        Fig3HitRow {
+            target: kind.label().into(),
+            width: cfg.width,
+            cache_entries: out.cache_entries,
+            hit_rate: out.hit_rate,
+        }
+    })
 }
 
 // -------------------------------------------------------------------
@@ -240,7 +240,11 @@ pub fn fig5(quick: bool) -> Vec<Fig5Row> {
         }
         sw.inject(
             PortId(ch.worker as u16),
-            adcp_sim::packet::Packet::new(i as u64, adcp_sim::packet::FlowId(ch.worker as u64), data),
+            adcp_sim::packet::Packet::new(
+                i as u64,
+                adcp_sim::packet::FlowId(ch.worker as u64),
+                data,
+            ),
             SimTime::ZERO,
         );
     }
@@ -278,36 +282,38 @@ pub struct Fig6Row {
 /// Sweep array widths on the simulated ADCP cache and compare to the
 /// analytic model's shape.
 pub fn fig6(quick: bool) -> Vec<Fig6Row> {
+    fig6_impl(quick, true)
+}
+
+fn fig6_impl(quick: bool, parallel: bool) -> Vec<Fig6Row> {
     let widths: [u16; 5] = [1, 2, 4, 8, 16];
-    let analytic = adcp_analytic::keyrate::width_sweep(
-        5.5e9,
-        12_800.0,
-        8,
-        &widths.map(|w| w as u32),
-    );
-    let mut base = 0.0f64;
+    let analytic =
+        adcp_analytic::keyrate::width_sweep(5.5e9, 12_800.0, 8, &widths.map(|w| w as u32));
+    // Each width is an independent run; the speedup baseline (the width-1
+    // row) is only known once all points are back, so it is applied after
+    // the map rather than threaded through it.
+    let measured = crate::par::map_points(parallel, widths.to_vec(), |width| {
+        kvcache::run(
+            TargetKind::Adcp,
+            &kvcache::KvCacheCfg {
+                width,
+                requests: if quick { 300 } else { 1_500 },
+                ..Default::default()
+            },
+        )
+        .report
+        .elements_per_sec
+    });
+    let base = measured[0];
     widths
         .iter()
         .zip(analytic)
-        .map(|(&width, a)| {
-            let out = kvcache::run(
-                TargetKind::Adcp,
-                &kvcache::KvCacheCfg {
-                    width,
-                    requests: if quick { 300 } else { 1_500 },
-                    ..Default::default()
-                },
-            );
-            let meas = out.report.elements_per_sec;
-            if width == 1 {
-                base = meas;
-            }
-            Fig6Row {
-                width,
-                analytic_keys_per_sec: a.keys_per_sec,
-                measured_elements_per_sec: meas,
-                measured_speedup: meas / base.max(1.0),
-            }
+        .zip(measured)
+        .map(|((&width, a), meas)| Fig6Row {
+            width,
+            analytic_keys_per_sec: a.keys_per_sec,
+            measured_elements_per_sec: meas,
+            measured_speedup: meas / base.max(1.0),
         })
         .collect()
 }
@@ -371,6 +377,19 @@ mod tests {
         assert!(rows.iter().all(|r| r.busy_cycles > 0), "{rows:?}");
         // Results reached all 8 worker ports.
         assert!(rows.iter().all(|r| r.distinct_output_ports == 8));
+    }
+
+    /// The parallel sweeps must be bit-identical to their sequential
+    /// reference: every point owns its switch and seeded RNG, so thread
+    /// scheduling cannot leak into the rows.
+    #[test]
+    fn fig_sweeps_par_matches_seq() {
+        let par = serde_json::to_string(&fig2_impl(true, true)).unwrap();
+        let seq = serde_json::to_string(&fig2_impl(true, false)).unwrap();
+        assert_eq!(par, seq, "fig2 rows must not depend on scheduling");
+        let par = serde_json::to_string(&fig6_impl(true, true)).unwrap();
+        let seq = serde_json::to_string(&fig6_impl(true, false)).unwrap();
+        assert_eq!(par, seq, "fig6 rows must not depend on scheduling");
     }
 
     #[test]

@@ -13,8 +13,8 @@
 
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
-    Operand, ParserSpec, Program, ProgramBuilder, Region, TableDef, TargetModel,
+    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId, Operand,
+    ParserSpec, Program, ProgramBuilder, Region, TableDef, TargetModel,
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::packet::{FlowId, Packet, PortId};
@@ -36,7 +36,11 @@ fn forward_program(via_central: bool) -> Program {
     b.parser(ParserSpec::single(h));
     b.table(TableDef {
         name: "fwd".into(),
-        region: if via_central { Region::Central } else { Region::Ingress },
+        region: if via_central {
+            Region::Central
+        } else {
+            Region::Ingress
+        },
         key: None,
         actions: vec![ActionDef::new(
             "fwd",
@@ -80,7 +84,11 @@ fn drive(
             let mut data = vec![0u8; frame];
             let dst = 4 + src; // distinct sink per source: no cross-contention
             data[..2].copy_from_slice(&dst.to_be_bytes());
-            sw.inject_p(PortId(src), Packet::new(id, FlowId(src as u64), data), SimTime(i as u64 * gap));
+            sw.inject_p(
+                PortId(src),
+                Packet::new(id, FlowId(src as u64), data),
+                SimTime(i as u64 * gap),
+            );
             id += 1;
         }
     }
@@ -125,47 +133,59 @@ impl Driver for AdcpSwitch {
 
 /// Sweep offered load on both architectures.
 pub fn ablate_load(quick: bool) -> Vec<LoadRow> {
+    ablate_load_impl(quick, true)
+}
+
+fn ablate_load_impl(quick: bool, parallel: bool) -> Vec<LoadRow> {
     let pkts = if quick { 500 } else { 3_000 };
     let frame = 256usize;
-    let mut rows = Vec::new();
+    // One point per (load, target), in the original row order: each point
+    // builds its own switch, so they run independently on worker threads.
+    let mut points: Vec<(f64, &str)> = Vec::new();
     for load in [0.2, 0.5, 0.8, 0.95, 1.2] {
-        let mut rmt = RmtSwitch::new(
-            forward_program(false),
-            TargetModel::rmt_12t(),
-            CompileOptions::default(),
-            RmtConfig::default(),
-        )
-        .unwrap();
-        let (d, dr, lat) = drive(&mut rmt, 400.0, load, pkts, frame);
-        rows.push(LoadRow {
-            target: "rmt".into(),
-            load,
-            delivered: d,
-            drops: dr,
-            latency: lat,
-        });
-        let mut adcp = AdcpSwitch::new(
-            forward_program(true),
-            TargetModel::adcp_reference(),
-            CompileOptions::default(),
-            AdcpConfig::default(),
-        )
-        .unwrap();
-        let (d, dr, lat) = drive(&mut adcp, 800.0, load, pkts, frame);
-        rows.push(LoadRow {
-            target: "adcp".into(),
-            load,
-            delivered: d,
-            drops: dr,
-            latency: lat,
-        });
+        points.push((load, "rmt"));
+        points.push((load, "adcp"));
     }
-    rows
+    crate::par::map_points(parallel, points, |(load, target)| {
+        let (d, dr, lat) = if target == "rmt" {
+            let mut rmt = RmtSwitch::new(
+                forward_program(false),
+                TargetModel::rmt_12t(),
+                CompileOptions::default(),
+                RmtConfig::default(),
+            )
+            .unwrap();
+            drive(&mut rmt, 400.0, load, pkts, frame)
+        } else {
+            let mut adcp = AdcpSwitch::new(
+                forward_program(true),
+                TargetModel::adcp_reference(),
+                CompileOptions::default(),
+                AdcpConfig::default(),
+            )
+            .unwrap();
+            drive(&mut adcp, 800.0, load, pkts, frame)
+        };
+        LoadRow {
+            target: target.into(),
+            load,
+            delivered: d,
+            drops: dr,
+            latency: lat,
+        }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn load_sweep_par_matches_seq() {
+        let par = serde_json::to_string(&ablate_load_impl(true, true)).unwrap();
+        let seq = serde_json::to_string(&ablate_load_impl(true, false)).unwrap();
+        assert_eq!(par, seq, "load rows must not depend on scheduling");
+    }
 
     #[test]
     fn load_sweep_shapes() {

@@ -17,8 +17,8 @@
 
 use adcp_core::{AdcpConfig, AdcpSwitch};
 use adcp_lang::{
-    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
-    Operand, ParserSpec, Program, ProgramBuilder, Region, TableDef, TargetModel, TmSpec,
+    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId, Operand,
+    ParserSpec, Program, ProgramBuilder, Region, TableDef, TargetModel, TmSpec,
 };
 use adcp_sim::packet::{CoflowId, FlowId, Packet, PortId};
 use adcp_sim::sched::Policy;
@@ -143,16 +143,26 @@ pub fn run_policy(tm1: Policy, short_pkts: u32, long_pkts: u32) -> SchedRow {
 
 /// The full comparison: FIFO vs programmable shortest-coflow-first.
 pub fn ablate_sched(quick: bool) -> Vec<SchedRow> {
+    ablate_sched_impl(quick, true)
+}
+
+fn ablate_sched_impl(quick: bool, parallel: bool) -> Vec<SchedRow> {
     let (short, long) = if quick { (16, 600) } else { (32, 3_000) };
-    vec![
-        run_policy(Policy::Fifo, short, long),
-        run_policy(Policy::Pifo, short, long),
-    ]
+    crate::par::map_points(parallel, vec![Policy::Fifo, Policy::Pifo], |tm1| {
+        run_policy(tm1, short, long)
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn sched_sweep_par_matches_seq() {
+        let par = serde_json::to_string(&ablate_sched_impl(true, true)).unwrap();
+        let seq = serde_json::to_string(&ablate_sched_impl(true, false)).unwrap();
+        assert_eq!(par, seq, "sched rows must not depend on scheduling");
+    }
 
     #[test]
     fn scf_collapses_short_coflow_cct() {

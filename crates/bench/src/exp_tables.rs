@@ -23,30 +23,27 @@ pub struct Table1Row {
 ///
 /// `quick` shrinks the workloads (used by tests; the binary default runs
 /// the full sizes). The 16 runs are independent simulations, so they run
-/// on scoped threads (crossbeam) and are collected in table order.
+/// on scoped threads ([`crate::par::par_map`]) and are collected in table
+/// order.
 pub fn table1(quick: bool) -> Vec<Table1Row> {
-    let jobs = table1_jobs(quick);
-    let mut out: Vec<Option<Table1Row>> = (0..jobs.len()).map(|_| None).collect();
-    crossbeam::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for job in jobs {
-            handles.push(scope.spawn(move |_| job()));
-        }
-        for (slot, h) in out.iter_mut().zip(handles) {
-            *slot = Some(Table1Row {
-                report: h.join().expect("app run panicked"),
-            });
-        }
+    table1_impl(quick, true)
+}
+
+fn table1_impl(quick: bool, parallel: bool) -> Vec<Table1Row> {
+    crate::par::map_points(parallel, table1_jobs(quick), |job| Table1Row {
+        report: job(),
     })
-    .expect("scope");
-    out.into_iter().map(|r| r.expect("filled")).collect()
 }
 
 type Job = Box<dyn FnOnce() -> AppReport + Send>;
 
 fn table1_jobs(quick: bool) -> Vec<Job> {
     let mut jobs: Vec<Job> = Vec::new();
-    let kinds = [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned];
+    let kinds = [
+        TargetKind::Adcp,
+        TargetKind::RmtRecirc,
+        TargetKind::RmtPinned,
+    ];
 
     // ML parameter aggregation.
     let ps = if quick {
@@ -189,7 +186,11 @@ pub fn scaling_cells(rows: &[ScalingCmpRow]) -> Vec<Vec<String>> {
                 format!("{}", r.derived.min_packet_bytes),
                 format!("{:.2}", r.derived.pipeline_freq_ghz),
                 format!("{}B/{:.2}GHz", r.paper_min_packet, r.paper_freq_ghz),
-                if r.matches_paper { "yes".into() } else { "NO".into() },
+                if r.matches_paper {
+                    "yes".into()
+                } else {
+                    "NO".into()
+                },
             ]
         })
         .collect()
@@ -211,6 +212,13 @@ mod tests {
         let rows = table3();
         assert_eq!(rows.len(), 4);
         assert!(rows.iter().all(|r| r.matches_paper), "{rows:#?}");
+    }
+
+    #[test]
+    fn table1_par_matches_seq() {
+        let par = serde_json::to_string(&table1_impl(true, true)).unwrap();
+        let seq = serde_json::to_string(&table1_impl(true, false)).unwrap();
+        assert_eq!(par, seq, "table1 rows must not depend on scheduling");
     }
 
     #[test]

@@ -15,15 +15,21 @@
 //! * [`exp_faults`] — aggregation completion vs per-link loss.
 //! * [`exp_load`] — offered load vs latency on both architectures (the
 //!   honest cost of the central hop).
+//! * [`par`] — order-preserving scoped-thread map; every sweep above runs
+//!   its config points through it.
 //! * [`report`] — console tables and `--json` output.
+//! * [`snapshot`] — the `bench_snapshot` throughput suite behind
+//!   `BENCH_<date>.json` perf-trajectory files.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 pub mod exp_ablations;
-pub mod exp_sched;
 pub mod exp_faults;
 pub mod exp_figs;
 pub mod exp_load;
+pub mod exp_sched;
 pub mod exp_tables;
+pub mod par;
 pub mod report;
+pub mod snapshot;

@@ -27,24 +27,61 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     };
     let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
     println!("{}", fmt_row(&head));
-    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    println!(
+        "{}",
+        "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len())
+    );
     for row in rows {
         println!("{}", fmt_row(row));
     }
 }
 
-/// Emit one JSON line per row.
-pub fn print_json<T: Serialize>(experiment: &str, rows: &[T]) {
-    for r in rows {
-        let mut v = serde_json::to_value(r).expect("rows serialize");
-        if let Some(obj) = v.as_object_mut() {
-            obj.insert(
-                "experiment".into(),
-                serde_json::Value::String(experiment.into()),
-            );
-        }
-        println!("{}", serde_json::to_string(&v).expect("json encodes"));
+/// Tag a serialized row with its experiment name.
+fn tagged_row<T: Serialize>(experiment: &str, row: &T) -> serde_json::Value {
+    let mut v = serde_json::to_value(row).expect("rows serialize");
+    if let Some(obj) = v.as_object_mut() {
+        obj.insert(
+            "experiment".into(),
+            serde_json::Value::String(experiment.into()),
+        );
     }
+    v
+}
+
+/// Emit one JSON line per row through a locked, buffered stdout handle,
+/// flushing once at the end (rows can number in the thousands; per-row
+/// unbuffered writes dominated the old profile).
+pub fn print_json<T: Serialize>(experiment: &str, rows: &[T]) {
+    use std::io::Write;
+    let stdout = std::io::stdout();
+    let mut out = std::io::BufWriter::new(stdout.lock());
+    for r in rows {
+        let v = tagged_row(experiment, r);
+        writeln!(out, "{}", serde_json::to_string(&v).expect("json encodes"))
+            .expect("stdout write");
+    }
+    out.flush().expect("stdout flush");
+}
+
+/// Write rows as one pretty-printed JSON document:
+/// `{"experiment": ..., "date": ..., "rows": [...]}`. Used by
+/// `bench_snapshot` to record the perf trajectory (`BENCH_<date>.json`).
+pub fn write_json_file<T: Serialize>(
+    path: &std::path::Path,
+    experiment: &str,
+    date: &str,
+    rows: &[T],
+) -> std::io::Result<()> {
+    let mut doc = serde_json::Map::new();
+    doc.insert(
+        "experiment".into(),
+        serde_json::Value::String(experiment.into()),
+    );
+    doc.insert("date".into(), serde_json::Value::String(date.into()));
+    let items: Vec<serde_json::Value> = rows.iter().map(|r| tagged_row(experiment, r)).collect();
+    doc.insert("rows".into(), serde_json::Value::Array(items));
+    let text = serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("json encodes");
+    std::fs::write(path, text + "\n")
 }
 
 /// True when the process args ask for JSON output.

@@ -1,0 +1,184 @@
+//! Perf-trajectory snapshot: a fixed throughput suite behind the
+//! `bench_snapshot` binary.
+//!
+//! Runs every Table 1 application on ADCP and on its RMT lowering, measures
+//! *wall-clock* time around each simulation, and reports simulated packets
+//! per wall-second — i.e. how fast the simulator itself chews through
+//! events, the number the hot-path work in this repo is trying to move.
+//! `bench_snapshot` writes the rows to `BENCH_<date>.json` so successive
+//! PRs accumulate a comparable perf history.
+
+use adcp_apps::driver::{AppReport, TargetKind};
+use adcp_apps::{dbshuffle, graphmine, groupcomm, kvcache, netlock, paramserv};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One app × target throughput measurement.
+#[derive(Debug, Clone, Serialize)]
+pub struct SnapshotRow {
+    /// Application name.
+    pub app: String,
+    /// Target label (`adcp`, `rmt/recirc`, `rmt/pinned`).
+    pub target: String,
+    /// Packets injected into the switch during the run.
+    pub injected: u64,
+    /// Packets delivered by the switch.
+    pub delivered: u64,
+    /// Best wall-clock time over the measurement repetitions, milliseconds.
+    pub wall_ms: f64,
+    /// Simulated packets (injected) processed per wall-clock second.
+    pub sim_pkts_per_wall_sec: f64,
+    /// Whether the app verified its own output during the measured run.
+    pub correct: bool,
+}
+
+type Job = (
+    &'static str,
+    TargetKind,
+    Box<dyn Fn() -> AppReport + Send + Sync>,
+);
+
+fn suite_jobs(quick: bool) -> Vec<Job> {
+    let mut jobs: Vec<Job> = Vec::new();
+
+    let ps = if quick {
+        paramserv::ParamServerCfg {
+            workers: 4,
+            model_size: 64,
+            width: 16,
+            seed: 1,
+        }
+    } else {
+        paramserv::ParamServerCfg::default()
+    };
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let ps = ps.clone();
+        jobs.push(("paramserv", k, Box::new(move || paramserv::run(k, &ps))));
+    }
+
+    let mut db = dbshuffle::DbShuffleCfg::default();
+    if quick {
+        db.workload.rows_per_mapper = 150;
+    }
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let db = db.clone();
+        jobs.push(("dbshuffle", k, Box::new(move || dbshuffle::run(k, &db))));
+    }
+
+    let mut gm = graphmine::GraphMineCfg::default();
+    if quick {
+        gm.workload.supersteps = 5;
+        gm.workload.edges = 3000;
+    }
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let gm = gm.clone();
+        jobs.push(("graphmine", k, Box::new(move || graphmine::run(k, &gm))));
+    }
+
+    // Group communication has no central state; its RMT lowering is pinned.
+    let mut gc = groupcomm::GroupCommCfg::default();
+    if quick {
+        gc.packets = 120;
+    }
+    for k in [TargetKind::Adcp, TargetKind::RmtPinned] {
+        let gc = gc.clone();
+        jobs.push(("groupcomm", k, Box::new(move || groupcomm::run(k, &gc))));
+    }
+
+    let mut nl = netlock::NetLockCfg::default();
+    if quick {
+        nl.rounds = 3;
+    }
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let nl = nl.clone();
+        jobs.push(("netlock", k, Box::new(move || netlock::run(k, &nl))));
+    }
+
+    let mut kv = kvcache::KvCacheCfg::default();
+    if quick {
+        kv.requests = 300;
+    }
+    for k in [TargetKind::Adcp, TargetKind::RmtPinned] {
+        let kv = kv.clone();
+        jobs.push(("kvcache", k, Box::new(move || kvcache::run(k, &kv).report)));
+    }
+    jobs
+}
+
+/// Run the fixed suite. `reps` wall-clock repetitions per point (best-of);
+/// the apps run in parallel across points but each point's repetitions are
+/// timed individually on its worker thread.
+pub fn run_suite(quick: bool, reps: u32) -> Vec<SnapshotRow> {
+    let reps = reps.max(1);
+    crate::par::par_map(suite_jobs(quick), move |(app, _kind, job)| {
+        let mut best_ns = u128::MAX;
+        let mut report = None;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            let r = job();
+            let ns = t0.elapsed().as_nanos();
+            if ns < best_ns {
+                best_ns = ns;
+                report = Some(r);
+            }
+        }
+        let report = report.expect("at least one rep ran");
+        let wall_s = best_ns as f64 / 1e9;
+        SnapshotRow {
+            app: app.to_string(),
+            target: report.target.clone(),
+            injected: report.injected,
+            delivered: report.delivered,
+            wall_ms: wall_s * 1e3,
+            sim_pkts_per_wall_sec: report.injected as f64 / wall_s,
+            correct: report.correct,
+        }
+    })
+}
+
+/// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).
+pub fn today_utc() -> String {
+    let secs = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .expect("clock after 1970")
+        .as_secs();
+    let z = (secs / 86_400) as i64 + 719_468;
+    let era = z.div_euclid(146_097);
+    let doe = z.rem_euclid(146_097);
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let y = yoe + era * 400;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let d = doy - (153 * mp + 2) / 5 + 1;
+    let m = if mp < 10 { mp + 3 } else { mp - 9 };
+    let y = if m <= 2 { y + 1 } else { y };
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_suite_measures_every_point() {
+        let rows = run_suite(true, 1);
+        assert_eq!(rows.len(), 12);
+        for r in &rows {
+            assert!(r.wall_ms > 0.0, "{}/{} wall time", r.app, r.target);
+            assert!(r.sim_pkts_per_wall_sec > 0.0, "{}/{} rate", r.app, r.target);
+            assert!(r.injected > 0);
+        }
+        // Both architectures appear for every app.
+        assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 6);
+    }
+
+    #[test]
+    fn date_is_well_formed() {
+        let d = today_utc();
+        assert_eq!(d.len(), 10);
+        assert_eq!(d.as_bytes()[4], b'-');
+        assert_eq!(d.as_bytes()[7], b'-');
+        let year: u32 = d[..4].parse().unwrap();
+        assert!((2020..2200).contains(&year), "{d}");
+    }
+}

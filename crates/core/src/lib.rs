@@ -138,7 +138,11 @@ mod tests {
     #[test]
     fn end_to_end_through_central() {
         let mut sw = build(aggregate_program(SchedPolicy::Fifo));
-        sw.inject(PortId(0), pkt_with(1, 1, 9, 5, 0, [1, 2, 3, 4]), SimTime::ZERO);
+        sw.inject(
+            PortId(0),
+            pkt_with(1, 1, 9, 5, 0, [1, 2, 3, 4]),
+            SimTime::ZERO,
+        );
         sw.run_until_idle();
         let out = sw.take_delivered();
         assert_eq!(out.len(), 1);
@@ -201,7 +205,11 @@ mod tests {
         let mut sw = build(aggregate_program(SchedPolicy::Fifo));
         // Two workers aggregate into slot 8 — space injections so the
         // first fully traverses before the second (readback order).
-        sw.inject(PortId(0), pkt_with(1, 1, 3, 0, 8, [1, 2, 3, 4]), SimTime::ZERO);
+        sw.inject(
+            PortId(0),
+            pkt_with(1, 1, 3, 0, 8, [1, 2, 3, 4]),
+            SimTime::ZERO,
+        );
         sw.inject(
             PortId(1),
             pkt_with(2, 1, 3, 0, 8, [10, 20, 30, 40]),
@@ -261,7 +269,11 @@ mod tests {
     fn demux_spreads_a_port_over_its_pipelines() {
         let mut sw = build(aggregate_program(SchedPolicy::Fifo));
         for i in 0..100u64 {
-            sw.inject(PortId(0), pkt_with(i, i, 1, i as u16, 0, [0; 4]), SimTime::ZERO);
+            sw.inject(
+                PortId(0),
+                pkt_with(i, i, 1, i as u16, 0, [0; 4]),
+                SimTime::ZERO,
+            );
         }
         sw.run_until_idle();
         let pipes: Vec<usize> = sw.pipes_of_port(PortId(0)).collect();
@@ -288,7 +300,10 @@ mod tests {
             name: "bcast".into(),
             region: Region::Central,
             key: None,
-            actions: vec![ActionDef::new("bcast", vec![ActionOp::SetMulticast(Operand::Const(g as u64))])],
+            actions: vec![ActionDef::new(
+                "bcast",
+                vec![ActionOp::SetMulticast(Operand::Const(g as u64))],
+            )],
             default_action: 0,
             default_params: vec![],
             size: 1,
@@ -405,7 +420,11 @@ mod tests {
     #[test]
     fn parse_error_counted_and_conserved() {
         let mut sw = build(aggregate_program(SchedPolicy::Fifo));
-        sw.inject(PortId(0), Packet::new(1, FlowId(0), vec![0u8; 3]), SimTime::ZERO);
+        sw.inject(
+            PortId(0),
+            Packet::new(1, FlowId(0), vec![0u8; 3]),
+            SimTime::ZERO,
+        );
         sw.run_until_idle();
         assert_eq!(sw.counters.parse_errors, 1);
         sw.check_conservation();

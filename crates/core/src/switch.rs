@@ -36,6 +36,7 @@ use adcp_sim::sched::ScheduledQueues;
 use adcp_sim::stats::{LatencyHist, Meter};
 use adcp_sim::time::{Duration, SimTime};
 use adcp_sim::trace::{Site, Tracer};
+use std::sync::Arc;
 
 /// How the RX side spreads a port's packets over its `m` pipelines (§3.3:
 /// "an application must define how to separate the packet contents").
@@ -112,9 +113,27 @@ pub struct AdcpCounters {
     pub tm2_drops: u64,
     /// TM2 per-queue tail drops.
     pub tm2_queue_drops: u64,
+    /// Match-table key lookups executed, all regions and lanes (refreshed
+    /// at quiescence from the per-table counters).
+    pub mat_lookups: u64,
+    /// Match-table lookups that hit an installed entry.
+    pub mat_hits: u64,
+    /// Frame buffers rebuilt by the deparser — the hot path's remaining
+    /// per-region-exit allocation (delivery and multicast copies share
+    /// payload buffers instead of allocating).
+    pub deparse_allocs: u64,
 }
 
 impl AdcpCounters {
+    /// Fraction of match-table lookups that hit (0 when none ran).
+    pub fn mat_hit_rate(&self) -> f64 {
+        if self.mat_lookups == 0 {
+            0.0
+        } else {
+            self.mat_hits as f64 / self.mat_lookups as f64
+        }
+    }
+
     /// Sum of all drop classes.
     pub fn total_drops(&self) -> u64 {
         self.parse_errors
@@ -135,8 +154,9 @@ pub struct Delivered {
     pub port: PortId,
     /// Time its last bit left.
     pub time: SimTime,
-    /// Final frame contents.
-    pub data: Vec<u8>,
+    /// Final frame contents (shared with the in-switch packet — taking
+    /// delivery does not copy the payload).
+    pub data: Arc<[u8]>,
     /// Final metadata.
     pub meta: adcp_sim::packet::PacketMeta,
 }
@@ -180,7 +200,10 @@ enum Ev {
 /// The Application-Defined Coflow Processor.
 pub struct AdcpSwitch {
     target: TargetModel,
-    program: Program,
+    /// Shared, immutable after build: pipelines borrow it per event instead
+    /// of cloning (the per-event `Program` clone dominated the old hot
+    /// path).
+    program: Arc<Program>,
     layout: adcp_lang::PhvLayout,
     /// Compilation result the switch was built from.
     pub placement: Placement,
@@ -276,7 +299,7 @@ impl AdcpSwitch {
         let demux_rr = vec![0; target.ports as usize];
         Ok(AdcpSwitch {
             target,
-            program,
+            program: Arc::new(program),
             layout,
             placement,
             cfg,
@@ -326,27 +349,32 @@ impl AdcpSwitch {
 
     /// Install a table entry into every pipeline hosting the table.
     pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
-        let gi = self
-            .program
+        let AdcpSwitch {
+            program,
+            ingress,
+            central,
+            egress,
+            ..
+        } = self;
+        let gi = program
             .tables
             .iter()
             .position(|t| t.name == table)
             .unwrap_or_else(|| panic!("no table named {table}"));
-        let program = self.program.clone();
         match program.tables[gi].region {
             Region::Ingress => {
-                for p in &mut self.ingress {
-                    p.state.install(&program, gi, entry.clone())?;
+                for p in ingress.iter_mut() {
+                    p.state.install(program, gi, entry.clone())?;
                 }
             }
             Region::Central => {
-                for p in &mut self.central {
-                    p.state.install(&program, gi, entry.clone())?;
+                for p in central.iter_mut() {
+                    p.state.install(program, gi, entry.clone())?;
                 }
             }
             Region::Egress => {
-                for p in &mut self.egress {
-                    p.state.install(&program, gi, entry.clone())?;
+                for p in egress.iter_mut() {
+                    p.state.install(program, gi, entry.clone())?;
                 }
             }
         }
@@ -361,14 +389,15 @@ impl AdcpSwitch {
         table: &str,
         entry: Entry,
     ) -> Result<(), TableError> {
-        let gi = self
-            .program
+        let AdcpSwitch {
+            program, central, ..
+        } = self;
+        let gi = program
             .tables
             .iter()
             .position(|t| t.name == table)
             .unwrap_or_else(|| panic!("no table named {table}"));
-        let program = self.program.clone();
-        self.central[cpipe].state.install(&program, gi, entry)
+        central[cpipe].state.install(program, gi, entry)
     }
 
     /// Read a central pipeline's register file.
@@ -408,7 +437,27 @@ impl AdcpSwitch {
             self.handle(t, ev);
             last = t;
         }
+        self.refresh_mat_counters();
         last.max(self.last_delivery)
+    }
+
+    /// Copy the per-table lookup/hit totals into [`AdcpCounters`] so a
+    /// counters snapshot taken at quiescence is complete. Totals are
+    /// monotone, so re-assigning on every call is idempotent.
+    fn refresh_mat_counters(&mut self) {
+        let stats = self
+            .ingress
+            .iter()
+            .map(|p| &p.state.stats)
+            .chain(self.central.iter().map(|p| &p.state.stats))
+            .chain(self.egress.iter().map(|p| &p.state.stats));
+        let (mut lookups, mut hits) = (0, 0);
+        for s in stats {
+            lookups += s.lookups;
+            hits += s.hits;
+        }
+        self.counters.mat_lookups = lookups;
+        self.counters.mat_hits = hits;
     }
 
     /// Drain delivered packets.
@@ -471,7 +520,8 @@ impl AdcpSwitch {
 
     fn on_inject(&mut self, now: SimTime, port: u16, mut pkt: Packet) {
         let done = self.rx[port as usize].receive(&mut pkt, now);
-        self.tracer.record(done, pkt.meta.id, Site::Rx(PortId(port)));
+        self.tracer
+            .record(done, pkt.meta.id, Site::Rx(PortId(port)));
         // 1:m demultiplex (§3.3).
         let m = self.target.demux_factor as usize;
         let lane = match self.cfg.demux {
@@ -497,10 +547,11 @@ impl AdcpSwitch {
         let entry = parse_done.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        self.tracer.record(entry, pkt.meta.id, Site::IngressPipe(pipe));
-        let program = self.program.clone();
-        p.state.run(&program, &self.layout, &mut phv);
-        let pkt = self.writeback(pkt, &phv, &out_extracted, consumed);
+        self.tracer
+            .record(entry, pkt.meta.id, Site::IngressPipe(pipe));
+        p.state.run(&self.program, &self.layout, &mut phv);
+        self.counters.deparse_allocs += 1;
+        let pkt = self.writeback(pkt, &mut phv, &out_extracted, consumed);
         let stages = self.placement.ingress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
         self.events.push(exit, Ev::IngressOut { pipe, pkt });
@@ -561,9 +612,7 @@ impl AdcpSwitch {
             && !self.central[cpipe].queues.is_empty()
             && !self.central[cpipe].queues.merge_ready()
         {
-            let since = *self.central[cpipe]
-                .merge_wait_since
-                .get_or_insert(now);
+            let since = *self.central[cpipe].merge_wait_since.get_or_insert(now);
             if now.saturating_since(since) < self.cfg.merge_patience {
                 let at = now + self.period;
                 self.schedule_pull_central(at, cpipe);
@@ -573,7 +622,7 @@ impl AdcpSwitch {
             // approximation so the switch can never deadlock.
         }
         self.central[cpipe].merge_wait_since = None;
-        let Some((_, pkt)) = self.central[cpipe].queues.dequeue() else {
+        let Some((_, mut pkt)) = self.central[cpipe].queues.dequeue() else {
             return;
         };
         self.pool1.release(&pkt);
@@ -582,16 +631,18 @@ impl AdcpSwitch {
             return;
         };
         phv.intr.ingress_port = pkt.meta.ingress_port;
-        phv.intr.egress = pkt.meta.egress.clone();
+        // Move (not clone) the forwarding decision into the PHV; writeback
+        // moves it back.
+        phv.intr.egress = std::mem::take(&mut pkt.meta.egress);
         let p = &mut self.central[cpipe];
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
         self.tracer
             .record(entry, pkt.meta.id, Site::CentralPipe(cpipe));
-        let program = self.program.clone();
-        p.state.run(&program, &self.layout, &mut phv);
-        let pkt = self.writeback(pkt, &phv, &extracted, consumed);
+        p.state.run(&self.program, &self.layout, &mut phv);
+        self.counters.deparse_allocs += 1;
+        let pkt = self.writeback(pkt, &mut phv, &extracted, consumed);
         let stages = self.placement.central.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
         self.events.push(exit, Ev::CentralOut { cpipe, pkt });
@@ -602,9 +653,11 @@ impl AdcpSwitch {
     }
 
     /// TM2: classic scheduler; any egress port reachable, multicast native.
-    fn on_central_out(&mut self, now: SimTime, _cpipe: usize, pkt: Packet) {
+    fn on_central_out(&mut self, now: SimTime, _cpipe: usize, mut pkt: Packet) {
         self.tracer.record(now, pkt.meta.id, Site::Tm2);
-        match pkt.meta.egress.clone() {
+        // Move the decision out rather than cloning it (a Multicast spec
+        // owns a port list).
+        match std::mem::take(&mut pkt.meta.egress) {
             EgressSpec::Unset | EgressSpec::Recirculate => {
                 self.counters.no_decision += 1;
                 self.drop_packet(now, pkt.meta.id);
@@ -613,7 +666,10 @@ impl AdcpSwitch {
                 self.counters.filtered += 1;
                 self.drop_packet(now, pkt.meta.id);
             }
-            EgressSpec::Unicast(p) => self.tm2_admit_one(now, p, pkt),
+            EgressSpec::Unicast(p) => {
+                pkt.meta.egress = EgressSpec::Unicast(p);
+                self.tm2_admit_one(now, p, pkt);
+            }
             EgressSpec::Multicast(ports) => {
                 if ports.is_empty() {
                     self.counters.no_decision += 1;
@@ -622,6 +678,8 @@ impl AdcpSwitch {
                 }
                 self.counters.mcast_copies += ports.len() as u64 - 1;
                 self.in_flight += ports.len() as u64 - 1;
+                // Each copy shares the frame bytes: cloning a Packet bumps
+                // the payload refcount instead of copying the buffer.
                 for p in ports {
                     let mut copy = pkt.clone();
                     copy.meta.egress = EgressSpec::Unicast(p);
@@ -684,12 +742,8 @@ impl AdcpSwitch {
         // port will be able to accept the packet by the time it has
         // traversed the egress stages (pipeline/serialization overlap).
         let port = epipe / self.target.demux_factor as usize;
-        let flight = Duration(
-            self.placement.egress.depth().max(1) as u64 * self.period.as_ps(),
-        );
-        if !self.egress[epipe].queues.is_empty()
-            && self.tx[port].ready_at() > now + flight
-        {
+        let flight = Duration(self.placement.egress.depth().max(1) as u64 * self.period.as_ps());
+        if !self.egress[epipe].queues.is_empty() && self.tx[port].ready_at() > now + flight {
             self.egress[epipe].pull_scheduled = true;
             self.events.push(
                 SimTime(self.tx[port].ready_at().as_ps() - flight.as_ps()),
@@ -697,7 +751,7 @@ impl AdcpSwitch {
             );
             return;
         }
-        let Some((_, pkt)) = self.egress[epipe].queues.dequeue() else {
+        let Some((_, mut pkt)) = self.egress[epipe].queues.dequeue() else {
             return;
         };
         self.pool2.release(&pkt);
@@ -705,16 +759,16 @@ impl AdcpSwitch {
             return;
         };
         phv.intr.ingress_port = pkt.meta.ingress_port;
-        phv.intr.egress = pkt.meta.egress.clone();
+        phv.intr.egress = std::mem::take(&mut pkt.meta.egress);
         let p = &mut self.egress[epipe];
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
         self.tracer
             .record(entry, pkt.meta.id, Site::EgressPipe(epipe));
-        let program = self.program.clone();
-        p.state.run(&program, &self.layout, &mut phv);
-        let pkt = self.writeback(pkt, &phv, &extracted, consumed);
+        p.state.run(&self.program, &self.layout, &mut phv);
+        self.counters.deparse_allocs += 1;
+        let pkt = self.writeback(pkt, &mut phv, &extracted, consumed);
         let stages = self.placement.egress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
         self.events.push(exit, Ev::EgressOut { epipe, pkt });
@@ -730,7 +784,7 @@ impl AdcpSwitch {
             self.drop_packet(now, pkt.meta.id);
             return;
         }
-        let EgressSpec::Unicast(port) = pkt.meta.egress.clone() else {
+        let EgressSpec::Unicast(port) = pkt.meta.egress else {
             self.counters.no_decision += 1;
             self.drop_packet(now, pkt.meta.id);
             return;
@@ -739,17 +793,14 @@ impl AdcpSwitch {
         self.tracer.record(done, pkt.meta.id, Site::Tx(port));
         self.counters.delivered += 1;
         self.in_flight -= 1;
-        self.out_meter.record(
-            pkt.wire_bytes(),
-            pkt.meta.goodput_bytes,
-            pkt.meta.elements,
-        );
+        self.out_meter
+            .record(pkt.wire_bytes(), pkt.meta.goodput_bytes, pkt.meta.elements);
         self.latency.record(done.saturating_since(pkt.meta.created));
         self.last_delivery = self.last_delivery.max(done);
         self.delivered.push(Delivered {
             port,
             time: done,
-            data: pkt.data.to_vec(),
+            data: pkt.data,
             meta: pkt.meta,
         });
     }
@@ -775,18 +826,18 @@ impl AdcpSwitch {
         }
     }
 
-    /// Deparse the PHV into the packet and copy intrinsics into metadata.
+    /// Deparse the PHV into the packet and move intrinsics into metadata.
     fn writeback(
         &self,
         mut pkt: Packet,
-        phv: &Phv,
+        phv: &mut Phv,
         extracted: &[adcp_lang::HeaderId],
         consumed: usize,
     ) -> Packet {
         let payload = &pkt.data[consumed.min(pkt.data.len())..];
         let data = deparse(&self.program.headers, &self.layout, phv, extracted, payload);
         pkt.data = data.into();
-        pkt.meta.egress = phv.intr.egress.clone();
+        pkt.meta.egress = std::mem::take(&mut phv.intr.egress);
         pkt.meta.central_pipe = phv.intr.central_pipe.or(pkt.meta.central_pipe);
         if let Some(k) = phv.intr.sort_key {
             pkt.meta.sort_key = Some(k);

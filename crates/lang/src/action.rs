@@ -211,10 +211,8 @@ impl ActionDef {
                 ActionOp::RegRmw { fetch: Some(f), .. } => out.push(*f),
                 ActionOp::RegArray {
                     values, readback, ..
-                } => {
-                    if *readback {
-                        out.push(*values);
-                    }
+                } if *readback => {
+                    out.push(*values);
                 }
                 ActionOp::IfEq { then, .. } => {
                     let nested = ActionDef::new("", then.clone());
@@ -277,9 +275,7 @@ impl ActionDef {
                 ActionOp::RegRead { reg, .. }
                 | ActionOp::RegRmw { reg, .. }
                 | ActionOp::RegArray { reg, .. } => vec![*reg],
-                ActionOp::IfEq { then, .. } => {
-                    ActionDef::new("", then.clone()).registers()
-                }
+                ActionOp::IfEq { then, .. } => ActionDef::new("", then.clone()).registers(),
                 _ => vec![],
             })
             .collect()

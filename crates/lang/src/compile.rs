@@ -334,9 +334,7 @@ pub fn compile(
     // budget with the egress tables proper: charge the egress region the
     // stages central already consumed.
     let egress_budget = if central_impl == CentralImpl::EgressPinned {
-        target
-            .egress_stages
-            .saturating_sub(central.depth())
+        target.egress_stages.saturating_sub(central.depth())
     } else {
         target.egress_stages
     };
@@ -487,7 +485,7 @@ fn table_cost(
         if target.pooled_table_memory {
             1
         } else {
-            ((mem + target.mau_mem_bits - 1) / target.mau_mem_bits).max(1) as u16
+            mem.div_ceil(target.mau_mem_bits).max(1) as u16
         }
     };
 
@@ -549,11 +547,7 @@ fn dependency_floor(
     def: &TableDef,
     placed_stage: &HashMap<usize, usize>,
 ) -> usize {
-    let mut reads: Vec<_> = def
-        .actions
-        .iter()
-        .flat_map(|a| a.reads())
-        .collect();
+    let mut reads: Vec<_> = def.actions.iter().flat_map(|a| a.reads()).collect();
     if let Some(k) = def.key {
         reads.push(k.field);
     }
@@ -665,7 +659,12 @@ mod tests {
     #[test]
     fn adcp_places_array_table_once() {
         let p = array_program(Region::Ingress, 64);
-        let pl = compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).unwrap();
+        let pl = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
         let kv = pl
             .ingress
             .stages
@@ -681,7 +680,12 @@ mod tests {
     #[test]
     fn central_native_on_adcp() {
         let p = array_program(Region::Central, 64);
-        let pl = compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).unwrap();
+        let pl = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
         assert_eq!(pl.central_impl, CentralImpl::Native);
         assert_eq!(pl.recirc_passes, 0);
         assert!(pl.central.depth() >= 1);
@@ -760,7 +764,12 @@ mod tests {
             other => panic!("expected ArrayOpUnsupported, got {other:?}"),
         }
         // The same program compiles on the ADCP.
-        assert!(compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).is_ok());
+        assert!(compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default()
+        )
+        .is_ok());
     }
 
     #[test]
@@ -812,10 +821,7 @@ mod tests {
     fn out_of_stages_detected() {
         // Chain of dependent tables longer than the stage budget.
         let mut b = ProgramBuilder::new("chain");
-        let h = b.header(HeaderDef::new(
-            "m",
-            vec![FieldDef::scalar("x", 32)],
-        ));
+        let h = b.header(HeaderDef::new("m", vec![FieldDef::scalar("x", 32)]));
         b.parser(ParserSpec::single(h));
         for i in 0..20 {
             b.table(TableDef {
@@ -948,8 +954,12 @@ mod tests {
             .find(|t| t.name == "kv_lookup")
             .unwrap();
         assert_eq!(kv.replicas, 8);
-        let pl_adcp =
-            compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).unwrap();
+        let pl_adcp = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
         let kv_adcp = pl_adcp
             .ingress
             .stages
@@ -963,7 +973,12 @@ mod tests {
     #[test]
     fn independent_tables_share_a_stage() {
         let p = array_program(Region::Ingress, 64);
-        let pl = compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).unwrap();
+        let pl = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
         // route (1 slot) and kv_lookup (8 slots) are independent: same stage.
         assert_eq!(pl.ingress.depth(), 1);
         assert_eq!(pl.ingress.stages[0].tables.len(), 2);

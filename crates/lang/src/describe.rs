@@ -24,7 +24,11 @@ fn op_line(op: &ActionOp) -> String {
         ActionOp::Bin { dst, op, a, b } => {
             format!("{dst} = {} {op:?} {}", operand(a), operand(b))
         }
-        ActionOp::Hash { dst, fields, modulo } => {
+        ActionOp::Hash {
+            dst,
+            fields,
+            modulo,
+        } => {
             let fs: Vec<String> = fields.iter().map(|f| format!("{f}")).collect();
             if *modulo == 0 {
                 format!("{dst} = hash({})", fs.join(", "))
@@ -42,7 +46,12 @@ fn op_line(op: &ActionOp) -> String {
             value,
             fetch,
         } => {
-            let base = format!("reg{}[{}] {op:?}= {}", reg.0, operand(index), operand(value));
+            let base = format!(
+                "reg{}[{}] {op:?}= {}",
+                reg.0,
+                operand(index),
+                operand(value)
+            );
             match fetch {
                 Some(f) => format!("{f} = fetch({base})"),
                 None => base,
@@ -104,11 +113,7 @@ pub fn describe_program(p: &Program) -> String {
         let _ = writeln!(out, "  header h{hi} {} {{ {} }}", h.name, fields.join(", "));
     }
     for r in &p.registers {
-        let _ = writeln!(
-            out,
-            "  register {} [{} x {}b]",
-            r.name, r.entries, r.bits
-        );
+        let _ = writeln!(out, "  register {} [{} x {}b]", r.name, r.entries, r.bits);
     }
     for (gi, g) in p.mcast_groups.iter().enumerate() {
         let ports: Vec<String> = g.iter().map(|p| p.to_string()).collect();
@@ -226,10 +231,7 @@ mod tests {
                 bits: 16,
             }),
             actions: vec![
-                ActionDef::new(
-                    "fwd",
-                    vec![ActionOp::SetEgress(Operand::Param(0))],
-                ),
+                ActionDef::new("fwd", vec![ActionOp::SetEgress(Operand::Param(0))]),
                 ActionDef::new("drop", vec![ActionOp::Drop]),
             ],
             default_action: 1,
@@ -288,7 +290,12 @@ mod tests {
     #[test]
     fn placement_listing_shows_replication() {
         let p = sample();
-        let pl = compile(&p, &TargetModel::adcp_reference(), CompileOptions::default()).unwrap();
+        let pl = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
         let s = describe_placement(&pl);
         assert!(s.contains("on 'adcp-ref'"), "{s}");
         assert!(s.contains("central: Native"), "{s}");
@@ -297,10 +304,7 @@ mod tests {
         // RMT placement shows the replica count (array *match* table —
         // the array ALU op of `sample` cannot lower to RMT at all).
         let mut b = ProgramBuilder::new("rmt-arr");
-        let h = b.header(HeaderDef::new(
-            "kv",
-            vec![FieldDef::array("keys", 32, 4)],
-        ));
+        let h = b.header(HeaderDef::new("kv", vec![FieldDef::array("keys", 32, 4)]));
         b.parser(ParserSpec::single(h));
         b.table(TableDef {
             name: "lookup".into(),
@@ -326,11 +330,31 @@ mod tests {
     fn op_lines_render_every_variant() {
         let f = FieldRef::new(crate::HeaderId(0), FieldId(0));
         let cases = vec![
-            ActionOp::Set { dst: f, src: Operand::Const(1) },
-            ActionOp::Bin { dst: f, op: BinOp::Add, a: Operand::Field(f), b: Operand::Param(0) },
-            ActionOp::Hash { dst: f, fields: vec![f], modulo: 4 },
-            ActionOp::RegRead { reg: crate::RegId(0), index: Operand::Const(0), dst: f },
-            ActionOp::ArrayReduce { dst: f, src: f, op: BinOp::Max },
+            ActionOp::Set {
+                dst: f,
+                src: Operand::Const(1),
+            },
+            ActionOp::Bin {
+                dst: f,
+                op: BinOp::Add,
+                a: Operand::Field(f),
+                b: Operand::Param(0),
+            },
+            ActionOp::Hash {
+                dst: f,
+                fields: vec![f],
+                modulo: 4,
+            },
+            ActionOp::RegRead {
+                reg: crate::RegId(0),
+                index: Operand::Const(0),
+                dst: f,
+            },
+            ActionOp::ArrayReduce {
+                dst: f,
+                src: f,
+                op: BinOp::Max,
+            },
             ActionOp::SetSortKey(Operand::Field(f)),
             ActionOp::SetCentralPipe(Operand::Const(2)),
             ActionOp::CountElements(Operand::Const(4)),

@@ -115,7 +115,7 @@ impl RegionState {
         self.tables
             .iter()
             .find(|(i, _)| *i == gi)
-            .map(|(_, rt)| (rt.lookups, rt.hits))
+            .map(|(_, rt)| (rt.lookups(), rt.hits()))
     }
 
     /// Run one PHV through every table of this region, in program order.
@@ -151,21 +151,21 @@ impl RegionState {
                     for lane in 0..lanes {
                         let key = phv.get_elem(layout, k.field, lane);
                         self.stats.lookups += 1;
-                        // Borrow dance: clone the small (action, params)
-                        // pair out of the entry so the registers can be
-                        // borrowed mutably during execution.
-                        let hit = rt.lookup(key).map(|e| (e.action, e.params.clone()));
-                        let (ai, params) = match hit {
-                            Some((a, p)) => {
+                        // `lookup` takes `&self`, so the entry's action and
+                        // params are borrowed in place — no per-lookup
+                        // allocation — while the registers (a disjoint
+                        // field) stay mutably borrowable.
+                        let (ai, params): (usize, &[u64]) = match rt.lookup(key) {
+                            Some(e) => {
                                 self.stats.hits += 1;
-                                (a, p)
+                                (e.action, &e.params)
                             }
-                            None => (def.default_action, def.default_params.clone()),
+                            None => (def.default_action, &def.default_params),
                         };
                         let action = &def.actions[ai];
                         exec_action(
                             action,
-                            &params,
+                            params,
                             lane,
                             layout,
                             phv,
@@ -192,13 +192,7 @@ fn lane_elem(layout: &PhvLayout, f: FieldRef, lane: usize) -> usize {
     }
 }
 
-fn eval(
-    o: &Operand,
-    params: &[u64],
-    lane: usize,
-    layout: &PhvLayout,
-    phv: &Phv,
-) -> u64 {
+fn eval(o: &Operand, params: &[u64], lane: usize, layout: &PhvLayout, phv: &Phv) -> u64 {
     match o {
         Operand::Const(c) => *c,
         Operand::Field(f) => phv.get_elem(layout, *f, lane_elem(layout, *f, lane)),
@@ -216,7 +210,32 @@ fn exec_action(
     registers: &mut [RegisterFile],
     mcast_groups: &[Vec<PortId>],
 ) {
-    for op in &action.ops {
+    exec_ops(
+        &action.ops,
+        params,
+        lane,
+        layout,
+        phv,
+        registers,
+        mcast_groups,
+    );
+}
+
+/// Execute a straight-line op sequence in one lane. Returns early on
+/// [`ActionOp::Drop`]; a nested sequence ([`ActionOp::IfEq`]) that drops
+/// only terminates itself, matching the previous recursive-action
+/// semantics.
+#[allow(clippy::too_many_arguments)]
+fn exec_ops(
+    ops: &[ActionOp],
+    params: &[u64],
+    lane: usize,
+    layout: &PhvLayout,
+    phv: &mut Phv,
+    registers: &mut [RegisterFile],
+    mcast_groups: &[Vec<PortId>],
+) {
+    for op in ops {
         match op {
             ActionOp::Set { dst, src } => {
                 let v = eval(src, params, lane, layout, phv);
@@ -295,11 +314,8 @@ fn exec_action(
                 if lane != 0 {
                     continue;
                 }
-                let vals = phv.get_array(layout, *src).to_vec();
-                let mut acc = vals[0];
-                for v in &vals[1..] {
-                    acc = op.eval(acc, *v);
-                }
+                let vals = phv.get_array(layout, *src);
+                let acc = vals[1..].iter().fold(vals[0], |acc, v| op.eval(acc, *v));
                 phv.set(layout, *dst, acc);
             }
             ActionOp::SetEgress(o) => {
@@ -342,8 +358,7 @@ fn exec_action(
                     if phv.intr.egress == EgressSpec::Drop {
                         phv.intr.egress = EgressSpec::Unset;
                     }
-                    let nested = ActionDef::new("", then.clone());
-                    exec_action(&nested, params, lane, layout, phv, registers, mcast_groups);
+                    exec_ops(then, params, lane, layout, phv, registers, mcast_groups);
                 }
             }
             ActionOp::Recirculate => {
@@ -553,10 +568,7 @@ mod tests {
         // A table keyed on the vals array: each element looks up
         // independently; hits rewrite that element (lane semantics).
         let mut b = ProgramBuilder::new("lanes");
-        let h = b.header(HeaderDef::new(
-            "m",
-            vec![FieldDef::array("keys", 32, 4)],
-        ));
+        let h = b.header(HeaderDef::new("m", vec![FieldDef::array("keys", 32, 4)]));
         b.parser(ParserSpec::single(h));
         b.table(TableDef {
             name: "cache".into(),

@@ -121,7 +121,7 @@ impl HeaderDef {
     /// Total header width in whole bytes (headers must be byte-aligned to be
     /// parsed; enforce at program validation).
     pub fn total_bytes(&self) -> u32 {
-        (self.total_bits() + 7) / 8
+        self.total_bits().div_ceil(8)
     }
 
     /// Bit offset of element `elem` of field `fid` from the header start.

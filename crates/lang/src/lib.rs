@@ -46,5 +46,7 @@ pub use parser::{deparse, ParseError, ParseOutcome, ParserSpec, ParserState, Sta
 pub use phv::{Intrinsics, Phv, PhvLayout};
 pub use program::{Program, ProgramBuilder, TmSpec, ValidateError};
 pub use registers::{RegAluOp, RegId, RegisterDef, RegisterFile};
-pub use table::{Entry, KeySpec, MatchKind, MatchValue, Region, TableDef, TableError, TableRuntime};
+pub use table::{
+    Entry, KeySpec, MatchKind, MatchValue, Region, TableDef, TableError, TableRuntime,
+};
 pub use target::{Arch, TargetModel};

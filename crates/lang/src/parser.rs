@@ -112,11 +112,7 @@ pub fn deparse(
             let fid = FieldId(fi as u16);
             for e in 0..f.count {
                 let off = base + hdr.bit_offset(fid, e);
-                let v = phv.get_elem(
-                    layout,
-                    crate::header::FieldRef::new(*h, fid),
-                    e as usize,
-                );
+                let v = phv.get_elem(layout, crate::header::FieldRef::new(*h, fid), e as usize);
                 let ok = crate::header::deposit_bits(&mut out, off, f.bits, v);
                 debug_assert!(ok, "deparse buffer sized from the same headers");
             }
@@ -177,8 +173,7 @@ impl ParserSpec {
                 let fid = FieldId(fi as u16);
                 for e in 0..f.count {
                     let off = base + hdr.bit_offset(fid, e);
-                    let v = extract_bits(data, off, f.bits)
-                        .expect("bounds checked above");
+                    let v = extract_bits(data, off, f.bits).expect("bounds checked above");
                     phv.set_elem(
                         layout,
                         crate::header::FieldRef::new(st.extracts, fid),
@@ -205,17 +200,12 @@ impl ParserSpec {
                     cases,
                     default,
                 } => {
-                    let v = phv.get(
-                        layout,
-                        crate::header::FieldRef::new(st.extracts, *field),
-                    );
+                    let v = phv.get(layout, crate::header::FieldRef::new(st.extracts, *field));
                     match cases.iter().find(|(cv, _)| *cv == v) {
                         Some((_, next)) => state = *next,
                         None => match default {
                             Some(next) => state = *next,
-                            None => {
-                                return Err(ParseError::NoTransition { state, value: v })
-                            }
+                            None => return Err(ParseError::NoTransition { state, value: v }),
                         },
                     }
                 }
@@ -289,7 +279,10 @@ mod tests {
         assert_eq!(out.consumed, 14 + 5);
         assert!(out.phv.is_valid(HeaderId(1)));
         assert!(!out.phv.is_valid(HeaderId(2)));
-        assert_eq!(out.phv.get(&layout, FieldRef::new(HeaderId(1), FieldId(0))), 6);
+        assert_eq!(
+            out.phv.get(&layout, FieldRef::new(HeaderId(1), FieldId(0))),
+            6
+        );
         assert_eq!(
             out.phv.get(&layout, FieldRef::new(HeaderId(1), FieldId(1))),
             0x0A000001

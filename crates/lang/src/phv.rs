@@ -201,10 +201,7 @@ impl Phv {
 
     /// Is a header present?
     pub fn is_valid(&self, h: HeaderId) -> bool {
-        self.valid
-            .get(h.0 as usize)
-            .copied()
-            .unwrap_or(false)
+        self.valid.get(h.0 as usize).copied().unwrap_or(false)
     }
 }
 
@@ -269,7 +266,10 @@ mod tests {
         for i in 0..8 {
             phv.set_elem(&l, fr(1, 1), i, (i as u64 + 1) * 10);
         }
-        assert_eq!(phv.get_array(&l, fr(1, 1)), &[10, 20, 30, 40, 50, 60, 70, 80]);
+        assert_eq!(
+            phv.get_array(&l, fr(1, 1)),
+            &[10, 20, 30, 40, 50, 60, 70, 80]
+        );
         assert_eq!(phv.get_elem(&l, fr(1, 1), 3), 40);
         // Element 0 doubles as the scalar view.
         assert_eq!(phv.get(&l, fr(1, 1)), 10);

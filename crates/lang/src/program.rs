@@ -256,9 +256,8 @@ impl Program {
                     }
                 }
                 for op in &a.ops {
-                    if let crate::action::ActionOp::SetMulticast(
-                        crate::action::Operand::Const(g),
-                    ) = op
+                    if let crate::action::ActionOp::SetMulticast(crate::action::Operand::Const(g)) =
+                        op
                     {
                         if *g as usize >= self.mcast_groups.len() {
                             errs.push(ValidateError::BadMulticastGroup {
@@ -442,10 +441,14 @@ mod tests {
         let mut b = minimal();
         b.table(table_on(fr(0, 1), 16, Region::Ingress)); // field is 32b
         let p = b.build();
-        assert!(p
-            .validate()
-            .iter()
-            .any(|e| matches!(e, ValidateError::KeyWidthMismatch { declared: 16, actual: 32, .. })));
+        assert!(p.validate().iter().any(|e| matches!(
+            e,
+            ValidateError::KeyWidthMismatch {
+                declared: 16,
+                actual: 32,
+                ..
+            }
+        )));
     }
 
     #[test]

@@ -84,11 +84,7 @@ pub struct Framing {
 /// Register ethernet/ipv4/udp around an app header and install the parse
 /// graph: raw app EtherType and UDP `app_port` both reach the app header;
 /// anything else is rejected (parse error → counted drop).
-pub fn standard_framing(
-    b: &mut ProgramBuilder,
-    app_header: HeaderDef,
-    app_port: u16,
-) -> Framing {
+pub fn standard_framing(b: &mut ProgramBuilder, app_header: HeaderDef, app_port: u16) -> Framing {
     let eth = b.header(ethernet());
     let ip = b.header(ipv4());
     let udp_h = b.header(udp());
@@ -100,10 +96,7 @@ pub fn standard_framing(
                 extracts: eth,
                 transition: Transition::Select {
                     field: crate::header::FieldId(2), // ethertype
-                    cases: vec![
-                        (0x0800, StateId(1)),
-                        (APP_ETHERTYPE, StateId(3)),
-                    ],
+                    cases: vec![(0x0800, StateId(1)), (APP_ETHERTYPE, StateId(3))],
                     default: None,
                 },
             },
@@ -180,11 +173,20 @@ mod tests {
     use crate::header::FieldRef;
     use crate::phv::PhvLayout;
 
-    fn setup() -> (Vec<HeaderDef>, crate::parser::ParserSpec, Framing, PhvLayout) {
+    fn setup() -> (
+        Vec<HeaderDef>,
+        crate::parser::ParserSpec,
+        Framing,
+        PhvLayout,
+    ) {
         let mut b = ProgramBuilder::new("framed");
         let app = HeaderDef::new(
             "app",
-            vec![FieldDef::scalar("op", 8), FieldDef::scalar("key", 32), FieldDef::scalar("pad", 8)],
+            vec![
+                FieldDef::scalar("op", 8),
+                FieldDef::scalar("key", 32),
+                FieldDef::scalar("pad", 8),
+            ],
         );
         let framing = standard_framing(&mut b, app, 9999);
         let p = b.build();
@@ -274,8 +276,12 @@ mod tests {
         // structure within packets" — the raw path is half the depth of
         // the UDP path, i.e. structure, not speed, sets the cost.
         let (headers, spec, _, layout) = setup();
-        let raw = spec.parse(&headers, &layout, &raw_app_frame(&app_bytes())).unwrap();
-        let udp = spec.parse(&headers, &layout, &udp_app_frame(9999, &app_bytes())).unwrap();
+        let raw = spec
+            .parse(&headers, &layout, &raw_app_frame(&app_bytes()))
+            .unwrap();
+        let udp = spec
+            .parse(&headers, &layout, &udp_app_frame(9999, &app_bytes()))
+            .unwrap();
         assert_eq!(raw.depth, 2);
         assert_eq!(udp.depth, 4);
         assert_eq!(raw.consumed, 14 + 6);

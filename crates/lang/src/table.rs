@@ -10,6 +10,7 @@
 use crate::action::ActionDef;
 use crate::header::FieldRef;
 use serde::Serialize;
+use std::cell::Cell;
 use std::collections::HashMap;
 
 /// Which pipeline region a table executes in.
@@ -150,21 +151,52 @@ pub enum TableError {
     },
     /// A duplicate exact key.
     Duplicate,
+    /// A range entry overlapping an already-installed interval. Ranges are
+    /// kept in a sorted index; overlap would make "which entry wins"
+    /// insertion-order dependent, so it is rejected at install time.
+    Overlap {
+        /// Low bound of the conflicting installed interval.
+        lo: u64,
+        /// High bound of the conflicting installed interval.
+        hi: u64,
+    },
 }
 
 /// Runtime storage for one table in one pipeline.
+///
+/// Entries are held in per-kind **indexes** rather than a linear scan list:
+///
+/// * Exact — a hash map keyed on the value.
+/// * LPM — one exact map per installed prefix length, probed
+///   longest-length-first; the first probe that hits is the longest match.
+///   Re-installing an identical prefix replaces the previous entry.
+/// * Ternary — entries sorted by (priority descending, insertion order
+///   descending), scanned with first-match early exit, so the winner is
+///   found without visiting lower-priority entries.
+/// * Range — intervals sorted by low bound and validated non-overlapping at
+///   install, so one `partition_point` binary search answers a lookup.
+///
+/// `lookup` takes `&self`; the hit/lookup counters live in [`Cell`]s so a
+/// returned entry can borrow the table while stats still accumulate.
 #[derive(Debug, Clone)]
 pub struct TableRuntime {
     kind: Option<MatchKind>,
     key_bits: u8,
     capacity: u32,
     exact: HashMap<u64, Entry>,
-    /// Non-exact entries, scanned in match order.
-    scan: Vec<Entry>,
+    /// LPM index: (prefix length, normalized-prefix → entry), kept sorted by
+    /// length descending so probes go longest-first.
+    lpm: Vec<(u8, HashMap<u64, Entry>)>,
+    /// Ternary index: (priority, insertion sequence, entry), sorted by
+    /// (priority, sequence) descending. Later installs win priority ties.
+    ternary: Vec<(u16, u64, Entry)>,
+    ternary_seq: u64,
+    /// Range index: non-overlapping intervals sorted by low bound.
+    range: Vec<(u64, u64, Entry)>,
     /// Lookups performed (lanes count individually).
-    pub lookups: u64,
+    lookups: Cell<u64>,
     /// Lookups that hit an installed entry.
-    pub hits: u64,
+    hits: Cell<u64>,
 }
 
 impl TableRuntime {
@@ -175,20 +207,41 @@ impl TableRuntime {
             key_bits: def.key.map(|k| k.bits).unwrap_or(0),
             capacity: def.size,
             exact: HashMap::new(),
-            scan: Vec::new(),
-            lookups: 0,
-            hits: 0,
+            lpm: Vec::new(),
+            ternary: Vec::new(),
+            ternary_seq: 0,
+            range: Vec::new(),
+            lookups: Cell::new(0),
+            hits: Cell::new(0),
         }
     }
 
     /// Number of installed entries.
     pub fn len(&self) -> usize {
-        self.exact.len() + self.scan.len()
+        self.exact.len()
+            + self.lpm.iter().map(|(_, m)| m.len()).sum::<usize>()
+            + self.ternary.len()
+            + self.range.len()
     }
 
     /// True when no entries are installed.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// The bucket key an LPM entry/lookup uses for a given prefix length:
+    /// the prefix bits only, so entries whose don't-care bits differ still
+    /// land on the same slot.
+    fn lpm_bucket_key(&self, value: u64, len: u8) -> u64 {
+        let w = self.key_bits as u32;
+        let len = len as u32;
+        if len == 0 {
+            0
+        } else if len >= w {
+            value
+        } else {
+            value >> (w - len)
+        }
     }
 
     /// Install an entry, validating kind, capacity, and action index
@@ -219,67 +272,95 @@ impl TableRuntime {
                 }
                 self.exact.insert(k, e);
             }
-            _ => self.scan.push(e),
+            MatchValue::Lpm { value, len } => {
+                let bk = self.lpm_bucket_key(value, len);
+                match self.lpm.iter_mut().find(|(l, _)| *l == len) {
+                    Some((_, m)) => {
+                        m.insert(bk, e);
+                    }
+                    None => {
+                        let mut m = HashMap::new();
+                        m.insert(bk, e);
+                        // Keep lengths sorted descending: probe order is
+                        // longest-first, so the first hit is the answer.
+                        let pos = self.lpm.partition_point(|(l, _)| *l > len);
+                        self.lpm.insert(pos, (len, m));
+                    }
+                }
+            }
+            MatchValue::Ternary { priority, .. } => {
+                let seq = self.ternary_seq;
+                self.ternary_seq += 1;
+                // Sorted by (priority, seq) descending; later installs win
+                // priority ties (matching the old last-max-wins scan).
+                let pos = self
+                    .ternary
+                    .partition_point(|(p, s, _)| (*p, *s) > (priority, seq));
+                self.ternary.insert(pos, (priority, seq, e));
+            }
+            MatchValue::Range { lo, hi } => {
+                let pos = self.range.partition_point(|(l, _, _)| *l < lo);
+                // Overlap check against both neighbors in the sorted order.
+                if let Some(&(plo, phi, _)) = pos.checked_sub(1).and_then(|i| self.range.get(i)) {
+                    if phi >= lo {
+                        return Err(TableError::Overlap { lo: plo, hi: phi });
+                    }
+                }
+                if let Some(&(nlo, nhi, _)) = self.range.get(pos) {
+                    if nlo <= hi {
+                        return Err(TableError::Overlap { lo: nlo, hi: nhi });
+                    }
+                }
+                self.range.insert(pos, (lo, hi, e));
+            }
         }
         Ok(())
     }
 
     /// Look up one key (one lane). Returns the winning entry, if any.
-    pub fn lookup(&mut self, key: u64) -> Option<&Entry> {
-        self.lookups += 1;
+    pub fn lookup(&self, key: u64) -> Option<&Entry> {
+        self.lookups.set(self.lookups.get() + 1);
         let kind = self.kind?;
         let found: Option<&Entry> = match kind {
             MatchKind::Exact => self.exact.get(&key),
-            MatchKind::Lpm => {
-                let w = self.key_bits as u32;
-                self.scan
-                    .iter()
-                    .filter(|e| match e.value {
-                        MatchValue::Lpm { value, len } => {
-                            let len = len as u32;
-                            if len == 0 {
-                                true
-                            } else if len >= w {
-                                value == key
-                            } else {
-                                (key >> (w - len)) == (value >> (w - len))
-                            }
-                        }
-                        _ => false,
-                    })
-                    .max_by_key(|e| match e.value {
-                        MatchValue::Lpm { len, .. } => len,
-                        _ => 0,
-                    })
-            }
-            MatchKind::Ternary => self
-                .scan
+            MatchKind::Lpm => self
+                .lpm
                 .iter()
-                .filter(|e| match e.value {
-                    MatchValue::Ternary { value, mask, .. } => key & mask == value & mask,
-                    _ => false,
-                })
-                .max_by_key(|e| match e.value {
-                    MatchValue::Ternary { priority, .. } => priority,
-                    _ => 0,
-                }),
-            MatchKind::Range => self.scan.iter().find(|e| match e.value {
-                MatchValue::Range { lo, hi } => (lo..=hi).contains(&key),
-                _ => false,
+                .find_map(|(len, m)| m.get(&self.lpm_bucket_key(key, *len))),
+            MatchKind::Ternary => self.ternary.iter().find_map(|(_, _, e)| match e.value {
+                MatchValue::Ternary { value, mask, .. } if key & mask == value & mask => Some(e),
+                _ => None,
             }),
+            MatchKind::Range => {
+                let i = self.range.partition_point(|(lo, _, _)| *lo <= key);
+                i.checked_sub(1)
+                    .and_then(|i| self.range.get(i))
+                    .filter(|(_, hi, _)| *hi >= key)
+                    .map(|(_, _, e)| e)
+            }
         };
         if found.is_some() {
-            self.hits += 1;
+            self.hits.set(self.hits.get() + 1);
         }
         found
     }
 
+    /// Lookups performed so far (lanes count individually).
+    pub fn lookups(&self) -> u64 {
+        self.lookups.get()
+    }
+
+    /// Lookups that hit an installed entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
     /// Hit fraction over all lookups so far.
     pub fn hit_rate(&self) -> f64 {
-        if self.lookups == 0 {
+        if self.lookups.get() == 0 {
             0.0
         } else {
-            self.hits as f64 / self.lookups as f64
+            self.hits.get() as f64 / self.lookups.get() as f64
         }
     }
 }
@@ -320,8 +401,8 @@ mod tests {
         t.insert(&d, entry(MatchValue::Exact(42), 1)).unwrap();
         assert_eq!(t.lookup(42).map(|e| e.action), Some(1));
         assert!(t.lookup(43).is_none());
-        assert_eq!(t.lookups, 2);
-        assert_eq!(t.hits, 1);
+        assert_eq!(t.lookups(), 2);
+        assert_eq!(t.hits(), 1);
         assert!((t.hit_rate() - 0.5).abs() < 1e-12);
     }
 
@@ -383,7 +464,7 @@ mod tests {
             ),
         )
         .unwrap();
-        assert_eq!(t.lookup(0x0A01_02_03).map(|e| e.action), Some(1));
+        assert_eq!(t.lookup(0x0A01_0203).map(|e| e.action), Some(1));
         assert_eq!(t.lookup(0x0A02_0000).map(|e| e.action), Some(0));
         assert!(t.lookup(0x0B00_0000).is_none());
     }
@@ -440,6 +521,63 @@ mod tests {
         assert_eq!(t.lookup(10).map(|e| e.action), Some(1));
         assert_eq!(t.lookup(20).map(|e| e.action), Some(1));
         assert!(t.lookup(21).is_none());
+    }
+
+    #[test]
+    fn overlapping_ranges_rejected() {
+        let d = def(MatchKind::Range, 8);
+        let mut t = TableRuntime::new(&d);
+        t.insert(&d, entry(MatchValue::Range { lo: 10, hi: 20 }, 0))
+            .unwrap();
+        t.insert(&d, entry(MatchValue::Range { lo: 30, hi: 40 }, 0))
+            .unwrap();
+        // Overlaps the first interval from either side, or spans both.
+        for (lo, hi) in [(20, 25), (5, 10), (15, 18), (0, 100)] {
+            assert!(
+                matches!(
+                    t.insert(&d, entry(MatchValue::Range { lo, hi }, 0)),
+                    Err(TableError::Overlap { .. })
+                ),
+                "[{lo}, {hi}] should be rejected"
+            );
+        }
+        // Touching but disjoint is fine.
+        t.insert(&d, entry(MatchValue::Range { lo: 21, hi: 29 }, 0))
+            .unwrap();
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.lookup(25).map(|e| e.action), Some(0));
+    }
+
+    #[test]
+    fn lpm_equal_length_reinstall_replaces() {
+        let d = def(MatchKind::Lpm, 8);
+        let mut t = TableRuntime::new(&d);
+        // Same /8 prefix (don't-care bits differ): the second install
+        // replaces the first, mirroring the old scan's last-wins tie-break.
+        t.insert(
+            &d,
+            entry(
+                MatchValue::Lpm {
+                    value: 0x0A00_0000,
+                    len: 8,
+                },
+                0,
+            ),
+        )
+        .unwrap();
+        t.insert(
+            &d,
+            entry(
+                MatchValue::Lpm {
+                    value: 0x0A00_0001,
+                    len: 8,
+                },
+                1,
+            ),
+        )
+        .unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.lookup(0x0A33_4455).map(|e| e.action), Some(1));
     }
 
     #[test]

@@ -82,7 +82,7 @@ impl TargetModel {
     pub fn num_pipes(&self) -> u16 {
         match self.arch {
             Arch::Rmt | Arch::Drmt => {
-                debug_assert!(self.ports % self.ports_per_pipe == 0);
+                debug_assert!(self.ports.is_multiple_of(self.ports_per_pipe));
                 self.ports / self.ports_per_pipe
             }
             Arch::Adcp => self.ports * self.demux_factor,
@@ -110,9 +110,7 @@ impl TargetModel {
     /// ADCP: `port_speed / demux_factor` (demultiplexing down, §3.3).
     pub fn pipe_bandwidth_gbps(&self) -> f64 {
         match self.arch {
-            Arch::Rmt | Arch::Drmt => {
-                self.ports_per_pipe as f64 * self.port_speed_gbps as f64
-            }
+            Arch::Rmt | Arch::Drmt => self.ports_per_pipe as f64 * self.port_speed_gbps as f64,
             Arch::Adcp => self.port_speed_gbps as f64 / self.demux_factor as f64,
         }
     }

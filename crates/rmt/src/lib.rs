@@ -22,8 +22,8 @@ mod tests {
     use super::*;
     use adcp_lang::{
         ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
-        KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder,
-        RegAluOp, RegId, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
+        KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, RegAluOp,
+        RegId, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
     };
     use adcp_sim::packet::{FlowId, Packet, PortId};
     use adcp_sim::time::SimTime;

@@ -22,9 +22,12 @@
 //! * the only way to reshuffle flows is recirculation, which consumes an
 //!   ingress slot per extra pass (the bandwidth tax of §1).
 
+use adcp_lang::phv::Phv;
+use adcp_lang::target::TargetModel;
+use adcp_lang::PhvLayout;
 use adcp_lang::{
-    compile, deparse, CentralImpl, CompileError, CompileOptions, Entry, Placement, Program,
-    RegId, RegionState, RegisterFile, Region, TableError,
+    compile, deparse, CentralImpl, CompileError, CompileOptions, Entry, Placement, Program, RegId,
+    Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
 use adcp_sim::packet::{EgressSpec, Packet, PortId};
@@ -34,9 +37,7 @@ use adcp_sim::sched::ScheduledQueues;
 use adcp_sim::stats::{LatencyHist, Meter};
 use adcp_sim::time::{Duration, SimTime};
 use adcp_sim::trace::{Site, Tracer};
-use adcp_lang::phv::Phv;
-use adcp_lang::PhvLayout;
-use adcp_lang::target::TargetModel;
+use std::sync::Arc;
 
 /// Tuning knobs for an [`RmtSwitch`].
 #[derive(Debug, Clone)]
@@ -94,9 +95,27 @@ pub struct SwitchCounters {
     pub queue_drops: u64,
     /// Total recirculation passes taken.
     pub recirc_passes: u64,
+    /// Match-table key lookups executed, all regions and lanes (refreshed
+    /// at quiescence from the per-table counters).
+    pub mat_lookups: u64,
+    /// Match-table lookups that hit an installed entry.
+    pub mat_hits: u64,
+    /// Frame buffers rebuilt by the deparser — the hot path's remaining
+    /// per-pass allocation (delivery and multicast copies share payload
+    /// buffers instead of allocating).
+    pub deparse_allocs: u64,
 }
 
 impl SwitchCounters {
+    /// Fraction of match-table lookups that hit (0 when none ran).
+    pub fn mat_hit_rate(&self) -> f64 {
+        if self.mat_lookups == 0 {
+            0.0
+        } else {
+            self.mat_hits as f64 / self.mat_lookups as f64
+        }
+    }
+
     /// Sum of all drop classes.
     pub fn total_drops(&self) -> u64 {
         self.parse_errors
@@ -115,8 +134,9 @@ pub struct Delivered {
     pub port: PortId,
     /// Time its last bit left.
     pub time: SimTime,
-    /// Final frame contents (post-deparse).
-    pub data: Vec<u8>,
+    /// Final frame contents (post-deparse; shared with the in-switch
+    /// packet — taking delivery does not copy the payload).
+    pub data: Arc<[u8]>,
     /// Final metadata.
     pub meta: adcp_sim::packet::PacketMeta,
 }
@@ -156,7 +176,9 @@ enum Ev {
 /// The RMT switch.
 pub struct RmtSwitch {
     target: TargetModel,
-    program: Program,
+    /// Shared, immutable after build: pipelines borrow it per event instead
+    /// of cloning.
+    program: Arc<Program>,
     layout: PhvLayout,
     /// Compilation result the switch was built from.
     pub placement: Placement,
@@ -235,7 +257,7 @@ impl RmtSwitch {
         };
         Ok(RmtSwitch {
             target,
-            program,
+            program: Arc::new(program),
             layout,
             placement,
             cfg,
@@ -282,31 +304,34 @@ impl RmtSwitch {
 
     /// Install a table entry into every pipeline that hosts the table.
     pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
-        let gi = self
-            .program
+        let RmtSwitch {
+            program,
+            ingress,
+            egress,
+            ..
+        } = self;
+        let gi = program
             .tables
             .iter()
             .position(|t| t.name == table)
             .unwrap_or_else(|| panic!("no table named {table}"));
-        let region = self.program.tables[gi].region;
-        let program = self.program.clone();
-        match region {
+        match program.tables[gi].region {
             Region::Ingress => {
-                for p in &mut self.ingress {
-                    p.state.install(&program, gi, entry.clone())?;
+                for p in ingress.iter_mut() {
+                    p.state.install(program, gi, entry.clone())?;
                 }
             }
             Region::Central => {
-                for p in &mut self.ingress {
-                    p.central.install(&program, gi, entry.clone())?;
+                for p in ingress.iter_mut() {
+                    p.central.install(program, gi, entry.clone())?;
                 }
-                for p in &mut self.egress {
-                    p.central.install(&program, gi, entry.clone())?;
+                for p in egress.iter_mut() {
+                    p.central.install(program, gi, entry.clone())?;
                 }
             }
             Region::Egress => {
-                for p in &mut self.egress {
-                    p.state.install(&program, gi, entry.clone())?;
+                for p in egress.iter_mut() {
+                    p.state.install(program, gi, entry.clone())?;
                 }
             }
         }
@@ -357,7 +382,30 @@ impl RmtSwitch {
             self.handle(t, ev);
             last = t;
         }
+        self.refresh_mat_counters();
         last.max(self.last_delivery)
+    }
+
+    /// Copy the per-table lookup/hit totals into [`SwitchCounters`] so a
+    /// counters snapshot taken at quiescence is complete. Totals are
+    /// monotone, so re-assigning on every call is idempotent.
+    fn refresh_mat_counters(&mut self) {
+        let stats = self
+            .ingress
+            .iter()
+            .flat_map(|p| [&p.state.stats, &p.central.stats])
+            .chain(
+                self.egress
+                    .iter()
+                    .flat_map(|p| [&p.central.stats, &p.state.stats]),
+            );
+        let (mut lookups, mut hits) = (0, 0);
+        for s in stats {
+            lookups += s.lookups;
+            hits += s.hits;
+        }
+        self.counters.mat_lookups = lookups;
+        self.counters.mat_hits = hits;
     }
 
     /// Drain packets delivered so far.
@@ -408,9 +456,11 @@ impl RmtSwitch {
 
     fn on_inject(&mut self, now: SimTime, port: u16, mut pkt: Packet) {
         let done = self.rx[port as usize].receive(&mut pkt, now);
-        self.tracer.record(done, pkt.meta.id, Site::Rx(PortId(port)));
+        self.tracer
+            .record(done, pkt.meta.id, Site::Rx(PortId(port)));
         let pipe = self.pipe_of_port(PortId(port));
-        self.events.push(done, Ev::IngressEnter { pipe, pkt, pass: 0 });
+        self.events
+            .push(done, Ev::IngressEnter { pipe, pkt, pass: 0 });
     }
 
     /// Parse and run the pass's region, then occupy a pipeline slot.
@@ -438,13 +488,12 @@ impl RmtSwitch {
 
         // Run the region at entry (stage traversal is a fixed latency; the
         // state mutation order equals the slot order).
-        let program = self.program.clone();
         let (state, depth) = if pass == 0 {
             (&mut p.state, self.placement.ingress.depth().max(1))
         } else {
             (&mut p.central, self.placement.central.depth().max(1))
         };
-        state.run(&program, &self.layout, &mut phv);
+        state.run(&self.program, &self.layout, &mut phv);
 
         // Deparse: the pipeline's modifications become the packet.
         let payload = &pkt.data[out.consumed.min(pkt.data.len())..];
@@ -457,7 +506,8 @@ impl RmtSwitch {
         );
         let mut pkt = pkt;
         pkt.data = data.into();
-        pkt.meta.egress = phv.intr.egress.clone();
+        self.counters.deparse_allocs += 1;
+        pkt.meta.egress = std::mem::take(&mut phv.intr.egress);
         pkt.meta.recirculate = phv.intr.recirculate;
         pkt.meta.central_pipe = phv.intr.central_pipe;
         if let Some(k) = phv.intr.sort_key {
@@ -497,9 +547,11 @@ impl RmtSwitch {
         self.tm_admit(now, pkt);
     }
 
-    fn tm_admit(&mut self, now: SimTime, pkt: Packet) {
+    fn tm_admit(&mut self, now: SimTime, mut pkt: Packet) {
         self.tracer.record(now, pkt.meta.id, Site::Tm1);
-        match pkt.meta.egress.clone() {
+        // Move the decision out rather than cloning it (a Multicast spec
+        // owns a port list).
+        match std::mem::take(&mut pkt.meta.egress) {
             EgressSpec::Unset | EgressSpec::Recirculate => {
                 self.counters.no_decision += 1;
                 self.drop_packet(now, pkt.meta.id);
@@ -508,14 +560,19 @@ impl RmtSwitch {
                 self.counters.filtered += 1;
                 self.drop_packet(now, pkt.meta.id);
             }
-            EgressSpec::Unicast(p) => self.tm_admit_one(now, p, pkt),
+            EgressSpec::Unicast(p) => {
+                pkt.meta.egress = EgressSpec::Unicast(p);
+                self.tm_admit_one(now, p, pkt);
+            }
             EgressSpec::Multicast(ports) => {
                 if ports.is_empty() {
                     self.counters.no_decision += 1;
                     self.drop_packet(now, pkt.meta.id);
                     return;
                 }
-                // The TM replicates; each copy is accounted separately.
+                // The TM replicates; each copy is accounted separately and
+                // shares the frame bytes (a Packet clone bumps the payload
+                // refcount instead of copying the buffer).
                 self.counters.mcast_copies += ports.len() as u64 - 1;
                 self.in_flight += ports.len() as u64 - 1;
                 for p in ports {
@@ -578,8 +635,8 @@ impl RmtSwitch {
             let port = pipe * ppp + i;
             // Overlap pipeline flight with the link: the port must be
             // free by the time the packet exits the egress stages.
-            let flight = (self.placement.central.depth() + self.placement.egress.depth())
-                .max(1) as u64
+            let flight = (self.placement.central.depth() + self.placement.egress.depth()).max(1)
+                as u64
                 * self.period.as_ps();
             let ready = self.tx[port].ready_at();
             if ready.as_ps() <= now.as_ps() + flight {
@@ -608,7 +665,8 @@ impl RmtSwitch {
         p.busy_cycles += 1;
         let depth = (self.placement.central.depth() + self.placement.egress.depth()).max(1);
         let exit = entry + Duration(depth as u64 * self.period.as_ps());
-        self.tracer.record(entry, pkt.meta.id, Site::EgressPipe(pipe));
+        self.tracer
+            .record(entry, pkt.meta.id, Site::EgressPipe(pipe));
         self.events.push(exit, Ev::EgressOut { pipe, pkt });
         if !self.egress[pipe].queues.is_empty() {
             let next = self.egress[pipe].next_slot;
@@ -616,7 +674,7 @@ impl RmtSwitch {
         }
     }
 
-    fn on_egress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
+    fn on_egress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet) {
         // Egress parse + region execution.
         let parsed = self
             .program
@@ -629,17 +687,22 @@ impl RmtSwitch {
         };
         let mut phv: Phv = out.phv;
         phv.intr.ingress_port = pkt.meta.ingress_port;
-        phv.intr.egress = pkt.meta.egress.clone();
-        let program = self.program.clone();
+        // The TM's forwarding decision picks the TX port; the egress region
+        // sees it (and may turn it into a drop) but cannot redirect.
+        let dest = match pkt.meta.egress {
+            EgressSpec::Unicast(p) => Some(p),
+            _ => None,
+        };
+        phv.intr.egress = std::mem::take(&mut pkt.meta.egress);
         // Egress-pinned central tables run first (Fig. 2 lowering).
         if self.placement.central_impl == CentralImpl::EgressPinned {
             self.egress[pipe]
                 .central
-                .run(&program, &self.layout, &mut phv);
+                .run(&self.program, &self.layout, &mut phv);
         }
         self.egress[pipe]
             .state
-            .run(&program, &self.layout, &mut phv);
+            .run(&self.program, &self.layout, &mut phv);
         if phv.intr.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
             self.drop_packet(now, pkt.meta.id);
@@ -653,33 +716,30 @@ impl RmtSwitch {
             &out.extracted,
             payload,
         );
-        let mut pkt = pkt;
         pkt.data = data.into();
+        self.counters.deparse_allocs += 1;
         pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
 
-        let EgressSpec::Unicast(port) = pkt.meta.egress.clone() else {
+        let Some(port) = dest else {
             self.counters.no_decision += 1;
             self.drop_packet(now, pkt.meta.id);
             return;
         };
+        pkt.meta.egress = EgressSpec::Unicast(port);
         // Egress pinning invariant: the port belongs to this pipeline.
         debug_assert_eq!(self.pipe_of_port(port), pipe, "egress pinning violated");
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
         self.tracer.record(done, pkt.meta.id, Site::Tx(port));
         self.counters.delivered += 1;
         self.in_flight -= 1;
-        self.out_meter.record(
-            pkt.wire_bytes(),
-            pkt.meta.goodput_bytes,
-            pkt.meta.elements,
-        );
-        self.latency
-            .record(done.saturating_since(pkt.meta.created));
+        self.out_meter
+            .record(pkt.wire_bytes(), pkt.meta.goodput_bytes, pkt.meta.elements);
+        self.latency.record(done.saturating_since(pkt.meta.created));
         self.last_delivery = self.last_delivery.max(done);
         self.delivered.push(Delivered {
             port,
             time: done,
-            data: pkt.data.to_vec(),
+            data: pkt.data,
             meta: pkt.meta,
         });
     }

@@ -73,7 +73,9 @@ impl<E> EventQueue<E> {
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let Reverse((Key(t, _), idx)) = self.heap.pop()?;
         self.now = t;
-        let ev = self.slots[idx].take().expect("slot holds a scheduled event");
+        let ev = self.slots[idx]
+            .take()
+            .expect("slot holds a scheduled event");
         self.free.push(idx);
         Some((t, ev))
     }

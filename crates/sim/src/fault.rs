@@ -8,7 +8,6 @@
 use crate::packet::Packet;
 use crate::rng::SimRng;
 use crate::time::Duration;
-use bytes::BytesMut;
 
 /// What the injector decided to do with a packet.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -101,9 +100,9 @@ impl FaultInjector {
         if self.rng.chance(self.cfg.corrupt_chance) && !p.data.is_empty() {
             let idx = self.rng.index(p.data.len());
             let bit = 1u8 << self.rng.range(0..8u8);
-            let mut buf = BytesMut::from(&p.data[..]);
+            let mut buf = p.data.to_vec();
             buf[idx] ^= bit;
-            p.data = buf.freeze();
+            p.data = buf.into();
             self.corrupted += 1;
             return FaultOutcome::Corrupted;
         }

@@ -11,8 +11,8 @@
 //! process *coflows*, not independent flows, so coflow identity is first
 //! class here.
 
-use bytes::{Bytes, BytesMut};
 use std::fmt;
+use std::sync::Arc;
 
 use crate::time::SimTime;
 
@@ -132,17 +132,22 @@ impl PacketMeta {
 }
 
 /// A simulated packet: bytes plus metadata.
+///
+/// The payload is a shared immutable buffer (`Arc<[u8]>`): cloning a packet
+/// — the hot multicast/TM2 replication path — only bumps a refcount instead
+/// of copying bytes. Mutation (deparse writeback, fault corruption) builds a
+/// fresh buffer and swaps it in.
 #[derive(Debug, Clone)]
 pub struct Packet {
     /// Frame contents (headers followed by payload). Cheap to clone.
-    pub data: Bytes,
+    pub data: Arc<[u8]>,
     /// Simulation bookkeeping.
     pub meta: PacketMeta,
 }
 
 impl Packet {
     /// Build a packet from raw bytes.
-    pub fn new(id: u64, flow: FlowId, data: impl Into<Bytes>) -> Self {
+    pub fn new(id: u64, flow: FlowId, data: impl Into<Arc<[u8]>>) -> Self {
         Packet {
             data: data.into(),
             meta: PacketMeta::new(id, flow),
@@ -200,13 +205,13 @@ impl Packet {
 
 /// Convenience constructor for test/synthetic packets of a given size.
 pub fn synthetic_packet(id: u64, flow: FlowId, frame_len: usize) -> Packet {
-    let mut buf = BytesMut::zeroed(frame_len);
+    let mut buf = vec![0u8; frame_len];
     // Stamp the id into the first bytes so that corrupt/reorder faults are
     // observable in tests.
     let stamp = id.to_be_bytes();
     let n = stamp.len().min(frame_len);
     buf[..n].copy_from_slice(&stamp[..n]);
-    Packet::new(id, flow, buf.freeze())
+    Packet::new(id, flow, buf)
 }
 
 /// Maximum packet rate (packets per second) of a link, given its rate in

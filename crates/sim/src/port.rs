@@ -49,7 +49,7 @@ impl LinkSpeed {
     /// rounded up otherwise so a link can never exceed its physical rate).
     pub fn serialize(self, bits: u64) -> Duration {
         let num = bits * 1_000;
-        Duration((num + self.gbps as u64 - 1) / self.gbps as u64)
+        Duration(num.div_ceil(self.gbps as u64))
     }
 
     /// Serialization time of one packet's wire footprint.
@@ -65,7 +65,7 @@ impl LinkSpeed {
 
 impl fmt::Display for LinkSpeed {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.gbps >= 1000 && self.gbps % 100 == 0 {
+        if self.gbps >= 1000 && self.gbps.is_multiple_of(100) {
             write!(f, "{:.1}Tbps", self.gbps as f64 / 1000.0)
         } else {
             write!(f, "{}Gbps", self.gbps)

@@ -157,7 +157,7 @@ impl BufferPool {
     /// Cells needed to hold a packet.
     pub fn cells_for(&self, p: &Packet) -> u64 {
         let b = p.frame_bytes().max(1) as u64;
-        (b + self.cell_bytes as u64 - 1) / self.cell_bytes as u64
+        b.div_ceil(self.cell_bytes as u64)
     }
 
     /// Cells currently allocated.

@@ -236,8 +236,8 @@ impl ScheduledQueues {
         // [`ScheduledQueues::dequeue_queue`] (TM port gating); stale
         // entries are skipped lazily.
         while let Some(std::cmp::Reverse((rank, _, qi))) = self.pifo.pop() {
-            if let Some(p) = self.queues[qi]
-                .take_first(|p| p.meta.sort_key.unwrap_or(u64::MAX) == rank)
+            if let Some(p) =
+                self.queues[qi].take_first(|p| p.meta.sort_key.unwrap_or(u64::MAX) == rank)
             {
                 self.remove_arrival(qi);
                 return Some((qi, p));
@@ -380,7 +380,10 @@ mod tests {
         let order: Vec<(u64, u64)> = std::iter::from_fn(|| s.dequeue())
             .map(|(_, p)| (p.meta.sort_key.unwrap(), p.meta.id))
             .collect();
-        assert_eq!(order, vec![(5, 4), (10, 2), (10, 6), (50, 1), (70, 5), (99, 3)]);
+        assert_eq!(
+            order,
+            vec![(5, 4), (10, 2), (10, 6), (50, 1), (70, 5), (99, 3)]
+        );
     }
 
     #[test]

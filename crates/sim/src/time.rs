@@ -220,6 +220,7 @@ impl Freq {
     /// A frequency divided by an integer (used by §3.3 port demultiplexing:
     /// each of the `m` pipelines behind a port runs at `1/m` of the rate the
     /// multiplexed design would need).
+    #[allow(clippy::should_implement_trait)] // not `Div`: keeps `Freq / u64` out of the API
     pub fn div(self, n: u64) -> Freq {
         assert!(n > 0);
         Freq { khz: self.khz / n }

@@ -36,11 +36,7 @@ impl GradientWorkload {
     /// New workload; `model_size` must be a multiple of `width`.
     pub fn new(workers: u32, model_size: u32, width: u32) -> Self {
         assert!(width > 0 && workers > 0);
-        assert_eq!(
-            model_size % width,
-            0,
-            "model must divide into whole chunks"
-        );
+        assert_eq!(model_size % width, 0, "model must divide into whole chunks");
         GradientWorkload {
             workers,
             model_size,
@@ -80,7 +76,9 @@ impl GradientWorkload {
                 GradientChunk {
                     worker,
                     base_slot: base,
-                    values: (0..self.width).map(|i| self.value(worker, base + i)).collect(),
+                    values: (0..self.width)
+                        .map(|i| self.value(worker, base + i))
+                        .collect(),
                 }
             })
             .collect()
@@ -129,7 +127,7 @@ mod tests {
         let shuffled = g.all_chunks_shuffled(&mut r);
         assert_eq!(shuffled.len(), g.total_chunks() as usize);
         // Aggregating the shuffled stream gives the expected sums.
-        let mut acc = vec![0u64; 24];
+        let mut acc = [0u64; 24];
         for ch in &shuffled {
             for (i, v) in ch.values.iter().enumerate() {
                 acc[ch.base_slot as usize + i] += *v as u64;

@@ -56,7 +56,10 @@ impl BspWorkload {
             // (hubs) are favored.
             let u = (rng.f64().powi(2) * self.vertices as f64) as u32 % self.vertices;
             let v = rng.range(0..self.vertices);
-            let (pu, pv) = ((u % self.partitions) as usize, (v % self.partitions) as usize);
+            let (pu, pv) = (
+                (u % self.partitions) as usize,
+                (v % self.partitions) as usize,
+            );
             if pu != pv {
                 cut[pu][pv] += 1;
             }
@@ -68,8 +71,7 @@ impl BspWorkload {
                 if s < grow_until {
                     1.6f64.powi(s as i32)
                 } else {
-                    1.6f64.powi(grow_until as i32)
-                        * 0.4f64.powi((s - grow_until) as i32 + 1)
+                    1.6f64.powi(grow_until as i32) * 0.4f64.powi((s - grow_until) as i32 + 1)
                 }
             })
             .collect();

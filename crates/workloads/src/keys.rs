@@ -110,10 +110,7 @@ mod tests {
         for _ in 0..100_000 {
             counts[z.sample(&mut r) as usize] += 1;
         }
-        let (min, max) = (
-            *counts.iter().min().unwrap(),
-            *counts.iter().max().unwrap(),
-        );
+        let (min, max) = (*counts.iter().min().unwrap(), *counts.iter().max().unwrap());
         assert!(min > 700 && max < 1300, "min={min} max={max}");
     }
 

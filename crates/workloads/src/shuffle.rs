@@ -123,10 +123,30 @@ mod tests {
     #[test]
     fn reference_sums_only_count_kept_rows() {
         let rows = vec![
-            Row { mapper: 0, key: 1, value: 10, keep: true },
-            Row { mapper: 1, key: 1, value: 5, keep: false },
-            Row { mapper: 2, key: 1, value: 7, keep: true },
-            Row { mapper: 0, key: 2, value: 3, keep: true },
+            Row {
+                mapper: 0,
+                key: 1,
+                value: 10,
+                keep: true,
+            },
+            Row {
+                mapper: 1,
+                key: 1,
+                value: 5,
+                keep: false,
+            },
+            Row {
+                mapper: 2,
+                key: 1,
+                value: 7,
+                keep: true,
+            },
+            Row {
+                mapper: 0,
+                key: 2,
+                value: 3,
+                keep: true,
+            },
         ];
         let sums = ShuffleWorkload::reference_sums(&rows);
         assert_eq!(sums[&1], 17);
@@ -144,7 +164,10 @@ mod tests {
         }
         let max = *counts.iter().max().unwrap();
         let min = *counts.iter().min().unwrap();
-        assert!(max > 10 * min.max(1), "skew not visible: max={max} min={min}");
+        assert!(
+            max > 10 * min.max(1),
+            "skew not visible: max={max} min={min}"
+        );
     }
 
     #[test]

@@ -114,10 +114,7 @@ mod tests {
     fn datacenter_bimodal() {
         let mut r = SimRng::seed_from(4);
         let d = SizeDist::Datacenter;
-        let small = (0..10_000)
-            .filter(|_| d.sample(&mut r) <= 128)
-            .count() as f64
-            / 10_000.0;
+        let small = (0..10_000).filter(|_| d.sample(&mut r) <= 128).count() as f64 / 10_000.0;
         assert!((0.4..0.6).contains(&small), "small fraction = {small}");
         let mean = d.mean(&mut r);
         assert!((300.0..700.0).contains(&mean), "mean = {mean}");

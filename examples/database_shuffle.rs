@@ -38,7 +38,11 @@ fn main() {
         cfg.workload.reducers,
         cfg.workload.selectivity * 100.0
     );
-    for kind in [TargetKind::Adcp, TargetKind::RmtPinned, TargetKind::RmtRecirc] {
+    for kind in [
+        TargetKind::Adcp,
+        TargetKind::RmtPinned,
+        TargetKind::RmtRecirc,
+    ] {
         let r = run(kind, &cfg);
         println!("{}", r.summary_line());
         for n in &r.notes {

@@ -34,7 +34,11 @@ fn main() {
         "graph mining: {} partitions, {} supersteps, frontier grows then collapses\n",
         cfg.workload.partitions, cfg.workload.supersteps
     );
-    for kind in [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned] {
+    for kind in [
+        TargetKind::Adcp,
+        TargetKind::RmtRecirc,
+        TargetKind::RmtPinned,
+    ] {
         let r = run(kind, &cfg);
         println!("{}", r.summary_line());
         for n in &r.notes {

@@ -33,7 +33,11 @@ fn main() {
         "lock service: {} clients, {} locks, {} rounds each, 50ns holds\n",
         cfg.clients, cfg.locks, cfg.rounds
     );
-    for kind in [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned] {
+    for kind in [
+        TargetKind::Adcp,
+        TargetKind::RmtRecirc,
+        TargetKind::RmtPinned,
+    ] {
         let r = run(kind, &cfg);
         println!("{}", r.summary_line());
         for n in &r.notes {

@@ -31,7 +31,11 @@ fn main() {
         "parameter server: {} workers, {} weights, width {} (RMT variants go scalar)\n",
         cfg.workers, cfg.model_size, cfg.width
     );
-    for kind in [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned] {
+    for kind in [
+        TargetKind::Adcp,
+        TargetKind::RmtRecirc,
+        TargetKind::RmtPinned,
+    ] {
         let r = run(kind, &cfg);
         println!("{}", r.summary_line());
         for n in &r.notes {

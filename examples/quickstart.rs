@@ -13,9 +13,9 @@
 
 use adcp::core::{AdcpConfig, AdcpSwitch};
 use adcp::lang::{
-    ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
-    HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder,
-    RegAluOp, Region, RegisterDef, TableDef, TargetModel,
+    ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
+    KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region,
+    RegisterDef, TableDef, TargetModel,
 };
 use adcp::rmt::{RmtConfig, RmtSwitch};
 use adcp::sim::packet::{FlowId, Packet, PortId};

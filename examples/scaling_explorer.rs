@@ -56,12 +56,20 @@ fn main() {
     println!(
         "  monolithic TM  : {:.2} peak g-cell utilization ({})",
         mono.peak_utilization,
-        if mono.peak_utilization < 0.8 { "routable" } else { "CONGESTED" }
+        if mono.peak_utilization < 0.8 {
+            "routable"
+        } else {
+            "CONGESTED"
+        }
     );
     println!(
         "  interleaved TM : {:.2} peak g-cell utilization ({})",
         inter.peak_utilization,
-        if inter.peak_utilization < 0.8 { "routable" } else { "CONGESTED" }
+        if inter.peak_utilization < 0.8 {
+            "routable"
+        } else {
+            "CONGESTED"
+        }
     );
 
     println!(

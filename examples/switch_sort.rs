@@ -19,9 +19,9 @@
 
 use adcp::core::{AdcpConfig, AdcpSwitch, DemuxPolicy};
 use adcp::lang::{
-    ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
-    HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder,
-    Region, TableDef, TargetModel, TmSpec,
+    ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId,
+    KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, Region, TableDef,
+    TargetModel, TmSpec,
 };
 use adcp::sim::packet::{FlowId, Packet, PortId};
 use adcp::sim::rng::SimRng;
@@ -172,15 +172,16 @@ fn main() {
         Packet::new(id, FlowId(m as u64), data)
     };
     for m in 0..mappers {
-        let mut keys: Vec<u64> =
-            (0..rows_each).map(|_| rng.range(0..KEY_SPACE - 1)).collect();
+        let mut keys: Vec<u64> = (0..rows_each)
+            .map(|_| rng.range(0..KEY_SPACE - 1))
+            .collect();
         keys.sort_unstable();
         let mut t = SimTime::ZERO;
         for k in keys {
             sw.inject(PortId(m), record(id, m, k), t);
             id += 1;
             total += 1;
-            t = t + adcp::sim::time::Duration::from_ns(2);
+            t += adcp::sim::time::Duration::from_ns(2);
         }
         for r in 0..PARTITIONS {
             let eos_key = (r + 1) * stride - 1;
@@ -209,9 +210,7 @@ fn main() {
     let mut sorted_everywhere = true;
     let mut inversions = 0u64;
     for (r, keys) in per_reducer.iter().enumerate() {
-        let in_range = keys
-            .iter()
-            .all(|k| *k / stride == r as u64);
+        let in_range = keys.iter().all(|k| *k / stride == r as u64);
         let sorted = keys.windows(2).all(|w| w[0] <= w[1]);
         inversions += keys.windows(2).filter(|w| w[0] > w[1]).count() as u64;
         if !in_range || !sorted {

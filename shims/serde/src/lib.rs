@@ -1,0 +1,344 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no network access and no vendored registry, so
+//! the workspace replaces `serde` with this path dependency. It keeps the
+//! subset of the API the repo actually uses: a `Serialize` trait (driven by a
+//! derive macro in the sibling `serde_derive` shim) that lowers any value to
+//! a small JSON [`Value`] model, which `serde_json` (also shimmed) encodes.
+//!
+//! Design notes:
+//! - Serialization is single-shot into [`Value`]; there is no streaming
+//!   `Serializer` abstraction because nothing in the repo needs one.
+//! - Object key order is *insertion order* (like `serde_json`'s
+//!   `preserve_order` feature), which keeps struct-field order in JSON output
+//!   and makes encoded rows deterministic — tests compare encoded strings.
+
+pub use serde_derive::Serialize;
+
+/// A JSON value: the common target of every [`Serialize`] impl.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (covers `u8`..`u64` and `usize`).
+    U64(u64),
+    /// Wide unsigned integer (`u128`, used by latency accumulators).
+    U128(u128),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object with insertion-ordered keys.
+    Object(Map),
+}
+
+/// An insertion-ordered string → [`Value`] map.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Map {
+    entries: Vec<(String, Value)>,
+}
+
+impl Map {
+    /// Empty map.
+    pub fn new() -> Self {
+        Map::default()
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the map has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Insert a key, replacing (in place) any existing entry with that key.
+    /// Returns the previous value if the key was present.
+    pub fn insert(&mut self, key: String, value: Value) -> Option<Value> {
+        for (k, v) in &mut self.entries {
+            if *k == key {
+                return Some(std::mem::replace(v, value));
+            }
+        }
+        self.entries.push((key, value));
+        None
+    }
+
+    /// Look up a key.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.entries.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+
+    /// Iterate entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (&String, &Value)> {
+        self.entries.iter().map(|(k, v)| (k, v))
+    }
+
+    /// Merge another value's object entries into this map (used by
+    /// `#[serde(flatten)]`). Non-object values are ignored, matching the
+    /// only flatten uses in this repo (flattened struct fields).
+    pub fn merge(&mut self, other: Value) {
+        if let Value::Object(m) = other {
+            for (k, v) in m.entries {
+                self.insert(k, v);
+            }
+        }
+    }
+}
+
+impl Value {
+    /// Mutable access to the object map, if this value is an object.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Shared access to the object map, if this value is an object.
+    pub fn as_object(&self) -> Option<&Map> {
+        match self {
+            Value::Object(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Encode as compact JSON text.
+    pub fn encode(&self, out: &mut String) {
+        match self {
+            Value::Null => out.push_str("null"),
+            Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Value::U64(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::U128(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::I64(n) => {
+                out.push_str(&n.to_string());
+            }
+            Value::F64(f) => {
+                if f.is_finite() {
+                    // Rust's shortest round-trip formatting; deterministic.
+                    let s = format!("{f}");
+                    out.push_str(&s);
+                    // Keep the output a valid JSON *number* that re-reads as
+                    // a float; `1.0f64` formats as "1" which is fine as JSON.
+                } else {
+                    // serde_json rejects non-finite floats; we emit null to
+                    // stay infallible (nothing in the repo serializes NaN).
+                    out.push_str("null");
+                }
+            }
+            Value::String(s) => encode_str(s, out),
+            Value::Array(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.encode(out);
+                }
+                out.push(']');
+            }
+            Value::Object(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    encode_str(k, out);
+                    out.push(':');
+                    v.encode(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+}
+
+fn encode_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Types that can lower themselves to a JSON [`Value`].
+///
+/// This is the shim's replacement for serde's visitor-based trait; the
+/// derive macro generates `to_value` directly.
+pub trait Serialize {
+    /// Convert `self` into the JSON value model.
+    fn to_value(&self) -> Value;
+}
+
+macro_rules! ser_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::U64(*self as u64) }
+        }
+    )*};
+}
+macro_rules! ser_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::I64(*self as i64) }
+        }
+    )*};
+}
+
+ser_uint!(u8, u16, u32, u64, usize);
+ser_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for u128 {
+    fn to_value(&self) -> Value {
+        Value::U128(*self)
+    }
+}
+
+impl Serialize for i128 {
+    fn to_value(&self) -> Value {
+        Value::I64(*self as i64)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self as f64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::F64(*self)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalars_encode() {
+        let mut s = String::new();
+        Value::U64(7).encode(&mut s);
+        s.push(' ');
+        Value::F64(1.5).encode(&mut s);
+        s.push(' ');
+        Value::Bool(true).encode(&mut s);
+        assert_eq!(s, "7 1.5 true");
+    }
+
+    #[test]
+    fn strings_escape() {
+        let mut s = String::new();
+        Value::String("a\"b\\c\nd".into()).encode(&mut s);
+        assert_eq!(s, "\"a\\\"b\\\\c\\nd\"");
+    }
+
+    #[test]
+    fn map_insert_replaces_in_place() {
+        let mut m = Map::new();
+        m.insert("a".into(), Value::U64(1));
+        m.insert("b".into(), Value::U64(2));
+        m.insert("a".into(), Value::U64(3));
+        let keys: Vec<_> = m.iter().map(|(k, _)| k.clone()).collect();
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(m.get("a"), Some(&Value::U64(3)));
+    }
+}

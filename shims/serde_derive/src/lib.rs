@@ -1,0 +1,332 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` by parsing the item's token stream
+//! directly (no `syn`/`quote`, which are unavailable offline) and emitting an
+//! impl of the shim `serde::Serialize` trait (`fn to_value(&self) -> Value`).
+//!
+//! Supported shapes — exactly what this repo derives on:
+//! - named-field structs (with `#[serde(flatten)]` on fields)
+//! - tuple structs (newtype → inner value, wider → array)
+//! - unit structs (→ null)
+//! - enums with unit, tuple, and struct variants (externally tagged, like
+//!   real serde: `Unit` → `"Unit"`, `Nt(x)` → `{"Nt": x}`,
+//!   `Sv{a,b}` → `{"Sv": {"a":.., "b":..}}`)
+//!
+//! Generic items are rejected with a compile error; nothing in the repo
+//! derives Serialize on a generic type.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+
+/// Derive the shim `serde::Serialize` trait.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match derive_impl(input) {
+        Ok(out) => out,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn derive_impl(input: TokenStream) -> Result<TokenStream, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kind = expect_ident(&toks, &mut i)?;
+    let name = expect_ident(&toks, &mut i)?;
+    if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "serde shim: generic type `{name}` not supported by derive(Serialize)"
+        ));
+    }
+    let body = match kind.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                named_struct_body(&parse_named_fields(g)?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(count_tuple_fields(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => "::serde::Value::Null".to_string(),
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected struct body for `{name}`: {other:?}"
+                ))
+            }
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                enum_body(&name, &parse_variants(g)?)?
+            }
+            other => {
+                return Err(format!(
+                    "serde shim: unexpected enum body for `{name}`: {other:?}"
+                ))
+            }
+        },
+        other => {
+            return Err(format!(
+                "serde shim: derive(Serialize) on unsupported item kind `{other}`"
+            ))
+        }
+    };
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("serde shim: generated code failed to parse: {e:?}"))
+}
+
+/// Advance past outer attributes (`#[...]`, including doc comments) and a
+/// leading visibility modifier (`pub`, `pub(crate)`, ...).
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => *i += 2,
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> Result<String, String> {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            Ok(id.to_string())
+        }
+        other => Err(format!("serde shim: expected identifier, got {other:?}")),
+    }
+}
+
+struct Field {
+    name: String,
+    flatten: bool,
+}
+
+/// Does this attribute group (the `[...]` after `#`) spell `serde(flatten)`?
+fn attr_has_flatten(attr: &Group) -> bool {
+    let inner: Vec<TokenTree> = attr.stream().into_iter().collect();
+    match (inner.first(), inner.get(1)) {
+        (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) if id.to_string() == "serde" => {
+            args.stream()
+                .into_iter()
+                .any(|t| matches!(&t, TokenTree::Ident(a) if a.to_string() == "flatten"))
+        }
+        _ => false,
+    }
+}
+
+fn parse_named_fields(g: &Group) -> Result<Vec<Field>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        let mut flatten = false;
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            if let Some(TokenTree::Group(attr)) = toks.get(i + 1) {
+                flatten |= attr_has_flatten(attr);
+            }
+            i += 2;
+        }
+        if let Some(TokenTree::Ident(id)) = toks.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(vg)) = toks.get(i) {
+                    if vg.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        // Skip the `:` and the type, up to the next top-level comma.
+        i += 1;
+        let mut angle_depth = 0i32;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        fields.push(Field { name, flatten });
+    }
+    Ok(fields)
+}
+
+/// Count fields of a tuple struct / tuple variant by top-level commas.
+fn count_tuple_fields(g: &Group) -> usize {
+    let mut count = 0usize;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for t in g.stream() {
+        match &t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                if pending {
+                    count += 1;
+                    pending = false;
+                }
+                continue;
+            }
+            _ => {}
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn named_struct_body(fields: &[Field]) -> String {
+    let mut body = String::from("let mut m = ::serde::Map::new();\n");
+    for f in fields {
+        if f.flatten {
+            body.push_str(&format!(
+                "m.merge(::serde::Serialize::to_value(&self.{}));\n",
+                f.name
+            ));
+        } else {
+            body.push_str(&format!(
+                "m.insert(String::from({:?}), ::serde::Serialize::to_value(&self.{}));\n",
+                f.name, f.name
+            ));
+        }
+    }
+    body.push_str("::serde::Value::Object(m)");
+    body
+}
+
+fn tuple_struct_body(n: usize) -> String {
+    match n {
+        0 => "::serde::Value::Null".to_string(),
+        1 => "::serde::Serialize::to_value(&self.0)".to_string(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+enum VariantShape {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    shape: VariantShape,
+}
+
+fn parse_variants(g: &Group) -> Result<Vec<Variant>, String> {
+    let toks: Vec<TokenTree> = g.stream().into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        while let Some(TokenTree::Punct(p)) = toks.get(i) {
+            if p.as_char() != '#' {
+                break;
+            }
+            i += 2;
+        }
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i)?;
+        let shape = match toks.get(i) {
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantShape::Tuple(count_tuple_fields(vg))
+            }
+            Some(TokenTree::Group(vg)) if vg.delimiter() == Delimiter::Brace => {
+                i += 1;
+                let fields = parse_named_fields(vg)?;
+                VariantShape::Struct(fields.into_iter().map(|f| f.name).collect())
+            }
+            _ => VariantShape::Unit,
+        };
+        // Skip an optional discriminant (`= expr`) up to the separating comma.
+        while i < toks.len() {
+            if matches!(&toks[i], TokenTree::Punct(p) if p.as_char() == ',') {
+                i += 1;
+                break;
+            }
+            i += 1;
+        }
+        variants.push(Variant { name, shape });
+    }
+    Ok(variants)
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> Result<String, String> {
+    if variants.is_empty() {
+        return Err(format!("serde shim: cannot serialize empty enum `{name}`"));
+    }
+    let mut arms = String::new();
+    for v in variants {
+        let vn = &v.name;
+        match &v.shape {
+            VariantShape::Unit => {
+                arms.push_str(&format!(
+                    "{name}::{vn} => ::serde::Value::String(String::from({vn:?})),\n"
+                ));
+            }
+            VariantShape::Tuple(n) => {
+                let binds: Vec<String> = (0..*n).map(|k| format!("f{k}")).collect();
+                let inner = if *n == 1 {
+                    "::serde::Serialize::to_value(f0)".to_string()
+                } else {
+                    let items: Vec<String> = binds
+                        .iter()
+                        .map(|b| format!("::serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vn}({binds}) => {{\n\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(String::from({vn:?}), {inner});\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    binds = binds.join(", "),
+                ));
+            }
+            VariantShape::Struct(fields) => {
+                let mut inner = String::from("let mut fm = ::serde::Map::new();\n");
+                for f in fields {
+                    inner.push_str(&format!(
+                        "fm.insert(String::from({f:?}), ::serde::Serialize::to_value({f}));\n"
+                    ));
+                }
+                arms.push_str(&format!(
+                    "{name}::{vn} {{ {binds} }} => {{\n{inner}\
+                     let mut m = ::serde::Map::new();\n\
+                     m.insert(String::from({vn:?}), ::serde::Value::Object(fm));\n\
+                     ::serde::Value::Object(m)\n}}\n",
+                    binds = fields.join(", "),
+                ));
+            }
+        }
+    }
+    Ok(format!("match self {{\n{arms}}}"))
+}

@@ -1,0 +1,101 @@
+//! Offline stand-in for the `serde_json` crate.
+//!
+//! Re-exports the [`serde`] shim's [`Value`]/[`Map`] model and provides the
+//! encoding entry points the repo uses: [`to_value`] and [`to_string`]. Both
+//! are infallible in practice but keep the `Result` signatures so call sites
+//! (`.expect(..)` / `?`) compile unchanged.
+
+pub use serde::{Map, Value};
+use std::fmt;
+
+/// Serialization error (never produced; kept for signature compatibility).
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "serde_json shim error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Lower any serializable value to the JSON [`Value`] model.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Encode any serializable value as compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    value.to_value().encode(&mut out);
+    Ok(out)
+}
+
+/// Encode with trailing newline-free pretty printing (2-space indent).
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    pretty(&value.to_value(), 0, &mut out);
+    Ok(out)
+}
+
+fn pretty(v: &Value, indent: usize, out: &mut String) {
+    let pad = "  ".repeat(indent);
+    let pad_in = "  ".repeat(indent + 1);
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                pretty(item, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&pad_in);
+                Value::String(k.clone()).encode(out);
+                out.push_str(": ");
+                pretty(val, indent + 1, out);
+            }
+            out.push('\n');
+            out.push_str(&pad);
+            out.push('}');
+        }
+        other => other.encode(out),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn object_round_trip_shape() {
+        let mut m = Map::new();
+        m.insert("b".into(), Value::U64(2));
+        m.insert("a".into(), Value::String("x\"y".into()));
+        let s = to_string(&Value::Object(m)).unwrap();
+        assert_eq!(s, r#"{"b":2,"a":"x\"y"}"#);
+    }
+
+    #[test]
+    fn pretty_indents() {
+        let mut m = Map::new();
+        m.insert("k".into(), Value::Array(vec![Value::U64(1), Value::U64(2)]));
+        let s = to_string_pretty(&Value::Object(m)).unwrap();
+        assert_eq!(s, "{\n  \"k\": [\n    1,\n    2\n  ]\n}");
+    }
+}

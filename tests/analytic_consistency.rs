@@ -4,8 +4,8 @@
 
 use adcp::core::{AdcpConfig, AdcpSwitch, DemuxPolicy};
 use adcp::lang::{
-    ActionDef, ActionOp, CompileOptions, FieldDef, HeaderDef, Operand, ParserSpec,
-    ProgramBuilder, Region, TableDef, TargetModel,
+    ActionDef, ActionOp, CompileOptions, FieldDef, HeaderDef, Operand, ParserSpec, ProgramBuilder,
+    Region, TableDef, TargetModel,
 };
 use adcp::sim::packet::{FlowId, Packet, PortId};
 use adcp::sim::time::SimTime;

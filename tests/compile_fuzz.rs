@@ -1,36 +1,54 @@
-//! Property-based compiler fuzzing: randomly generated (valid) programs
-//! must compile on every target without panicking, and successful
-//! placements must respect every resource budget.
+//! Randomized compiler fuzzing: randomly generated (valid) programs must
+//! compile on every target without panicking, and successful placements
+//! must respect every resource budget.
+//!
+//! Program descriptions are drawn from the simulator's deterministic
+//! [`SimRng`] (proptest is unavailable offline), so every case reproduces
+//! from the fixed seed.
 
 use adcp::lang::{
-    compile, ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef,
-    HeaderDef, HeaderId, KeySpec, MatchKind, Operand, ParserSpec, Program, ProgramBuilder,
-    RegAluOp, Region, RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
+    compile, ActionDef, ActionOp, BinOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef,
+    HeaderId, KeySpec, MatchKind, Operand, ParserSpec, Program, ProgramBuilder, RegAluOp, Region,
+    RegisterDef, RmtCentralStrategy, TableDef, TargetModel,
 };
-use proptest::prelude::*;
+use adcp::sim::rng::SimRng;
 
-/// A compact, always-valid program description the strategy generates.
+/// A compact, always-valid program description the generator draws.
 #[derive(Debug, Clone)]
 struct ProgDesc {
     /// (bits, count) per field; at least one field.
     fields: Vec<(u8, u16)>,
     /// Per table: (region, keyed-on-field, log2(size), action op selector).
     tables: Vec<(u8, usize, u8, u8)>,
-    /// Register sizes (one per table that wants state).
+    /// Register size exponent.
     reg_log2: u8,
 }
 
-fn arb_desc() -> impl Strategy<Value = ProgDesc> {
-    (
-        proptest::collection::vec((1u8..=32, prop_oneof![Just(1u16), Just(4u16), Just(8u16)]), 1..5),
-        proptest::collection::vec((0u8..3, 0usize..4, 4u8..=12, 0u8..5), 1..7),
-        4u8..=10,
-    )
-        .prop_map(|(fields, tables, reg_log2)| ProgDesc {
-            fields,
-            tables,
-            reg_log2,
+fn arb_desc(rng: &mut SimRng) -> ProgDesc {
+    let nfields = rng.range(1usize..5);
+    let fields = (0..nfields)
+        .map(|_| {
+            let bits = rng.range(1u8..=32);
+            let count = [1u16, 4, 8][rng.index(3)];
+            (bits, count)
         })
+        .collect();
+    let ntables = rng.range(1usize..7);
+    let tables = (0..ntables)
+        .map(|_| {
+            (
+                rng.range(0u8..3),
+                rng.range(0usize..4),
+                rng.range(4u8..=12),
+                rng.range(0u8..5),
+            )
+        })
+        .collect();
+    ProgDesc {
+        fields,
+        tables,
+        reg_log2: rng.range(4u8..=10),
+    }
 }
 
 fn build(desc: &ProgDesc) -> Program {
@@ -116,48 +134,54 @@ fn b_fields_bits(desc: &ProgDesc, i: usize) -> u8 {
         desc.fields[i].0
     } else {
         // the pad field
-        let total: u32 = desc
-            .fields
-            .iter()
-            .map(|(b, c)| *b as u32 * *c as u32)
-            .sum();
+        let total: u32 = desc.fields.iter().map(|(b, c)| *b as u32 * *c as u32).sum();
         ((8 - (total % 8)) % 8) as u8
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn random_programs_never_panic_the_compiler(desc in arb_desc()) {
+#[test]
+fn random_programs_never_panic_the_compiler() {
+    let mut rng = SimRng::seed_from(0xF022);
+    let mut cases = 0;
+    while cases < 64 {
+        let desc = arb_desc(&mut rng);
         let program = build(&desc);
-        prop_assume!(program.validate().is_empty());
+        if !program.validate().is_empty() {
+            continue; // invalid draw; redraw (mirrors prop_assume)
+        }
+        cases += 1;
         for target in [
             TargetModel::rmt_640g(),
             TargetModel::rmt_12t(),
             TargetModel::drmt_12t(),
             TargetModel::adcp_reference(),
         ] {
-            for strategy in [RmtCentralStrategy::EgressPin, RmtCentralStrategy::Recirculate] {
+            for strategy in [
+                RmtCentralStrategy::EgressPin,
+                RmtCentralStrategy::Recirculate,
+            ] {
                 let result = compile(
                     &program,
                     &target,
-                    CompileOptions { rmt_central: strategy },
+                    CompileOptions {
+                        rmt_central: strategy,
+                    },
                 );
                 if let Ok(pl) = result {
                     // Budgets hold on every successful placement.
                     for plan in [&pl.ingress, &pl.central, &pl.egress] {
                         for st in &plan.stages {
-                            prop_assert!(st.mau_slots_used <= target.maus_per_stage);
+                            assert!(st.mau_slots_used <= target.maus_per_stage);
                             if !target.pooled_table_memory {
-                                prop_assert!(st.mem_bits_used <= target.stage_mem_bits());
+                                assert!(st.mem_bits_used <= target.stage_mem_bits());
                             }
-                            prop_assert!(st.reg_bits_used <= target.stage_reg_bits);
+                            assert!(st.reg_bits_used <= target.stage_reg_bits);
                         }
                     }
                     if target.pooled_table_memory {
-                        prop_assert!(pl.total_mem_bits <= target.pool_bits());
+                        assert!(pl.total_mem_bits <= target.pool_bits());
                     }
-                    prop_assert!(pl.phv_bits_used <= target.phv_bits);
+                    assert!(pl.phv_bits_used <= target.phv_bits);
                 }
                 // Errors are fine — they must just be structured, which
                 // reaching this line (no panic) demonstrates.

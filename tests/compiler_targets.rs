@@ -58,7 +58,10 @@ fn check_budgets(pl: &Placement, t: &TargetModel) {
 fn every_program_places_on_every_target() {
     for prog in all_programs() {
         for t in targets() {
-            for strategy in [RmtCentralStrategy::EgressPin, RmtCentralStrategy::Recirculate] {
+            for strategy in [
+                RmtCentralStrategy::EgressPin,
+                RmtCentralStrategy::Recirculate,
+            ] {
                 let pl = compile(
                     &prog,
                     &t,
@@ -85,7 +88,10 @@ fn central_impl_depends_on_target_not_strategy_when_native() {
     let prog = paramserv::program(&ps, TargetKind::Adcp, 4, &ports, PortId(4));
     // On an ADCP target both strategies yield Native — the option only
     // matters where there is no central hardware.
-    for strategy in [RmtCentralStrategy::EgressPin, RmtCentralStrategy::Recirculate] {
+    for strategy in [
+        RmtCentralStrategy::EgressPin,
+        RmtCentralStrategy::Recirculate,
+    ] {
         let pl = compile(
             &prog,
             &TargetModel::adcp_reference(),

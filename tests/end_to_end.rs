@@ -5,8 +5,8 @@ use adcp::apps::driver::TargetKind;
 use adcp::apps::{dbshuffle, graphmine, groupcomm, kvcache, paramserv};
 use adcp::core::{AdcpConfig, AdcpSwitch};
 use adcp::lang::{
-    ActionDef, ActionOp, CompileOptions, FieldDef, HeaderDef, Operand, ParserSpec,
-    ProgramBuilder, Region, TableDef, TargetModel,
+    ActionDef, ActionOp, CompileOptions, FieldDef, HeaderDef, Operand, ParserSpec, ProgramBuilder,
+    Region, TableDef, TargetModel,
 };
 use adcp::sim::fault::{FaultConfig, FaultInjector, FaultOutcome};
 use adcp::sim::packet::{FlowId, Packet, PortId};
@@ -17,7 +17,11 @@ use adcp::sim::time::SimTime;
 /// packets (conservation is asserted inside each `run`).
 #[test]
 fn all_apps_all_variants_correct() {
-    let kinds = [TargetKind::Adcp, TargetKind::RmtRecirc, TargetKind::RmtPinned];
+    let kinds = [
+        TargetKind::Adcp,
+        TargetKind::RmtRecirc,
+        TargetKind::RmtPinned,
+    ];
     let ps = paramserv::ParamServerCfg {
         workers: 4,
         model_size: 64,
@@ -96,11 +100,8 @@ fn paramserv_tolerates_lossy_links() {
         AdcpConfig::default(),
     )
     .unwrap();
-    let wl = adcp::workloads::gradient::GradientWorkload::new(
-        cfg.workers,
-        cfg.model_size,
-        cfg.width,
-    );
+    let wl =
+        adcp::workloads::gradient::GradientWorkload::new(cfg.workers, cfg.model_size, cfg.width);
     let mut inj = FaultInjector::new(FaultConfig::lossy(0.2), SimRng::seed_from(7));
     let mut rng = SimRng::seed_from(cfg.seed);
     let mut sent = 0u64;
@@ -128,7 +129,11 @@ fn paramserv_tolerates_lossy_links() {
     let total_chunks = (cfg.model_size / cfg.width) as u64;
     let delivered = sw.counters.delivered;
     assert!(delivered < total_chunks * cfg.workers as u64);
-    assert_eq!(delivered % cfg.workers as u64, 0, "complete chunks multicast to all");
+    assert_eq!(
+        delivered % cfg.workers as u64,
+        0,
+        "complete chunks multicast to all"
+    );
 }
 
 /// Overload: a many-to-one incast with a tiny TM buffer must drop but

@@ -1,12 +1,15 @@
-//! Interpreter-vs-oracle property test: a random sequence of register
+//! Interpreter-vs-oracle randomized test: a random sequence of register
 //! operations executed through the match-action interpreter produces
 //! exactly the state a plain-Rust model computes.
+//!
+//! Cases are drawn from the simulator's deterministic [`SimRng`] (proptest
+//! is unavailable offline).
 
 use adcp::lang::{
-    ActionDef, ActionOp, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId, Operand,
-    ParserSpec, ProgramBuilder, RegAluOp, RegId, Region, RegionState, TableDef,
+    ActionDef, ActionOp, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId, Operand, ParserSpec,
+    ProgramBuilder, RegAluOp, RegId, Region, RegionState, TableDef,
 };
-use proptest::prelude::*;
+use adcp::sim::rng::SimRng;
 
 const CELLS: u64 = 32;
 
@@ -18,14 +21,9 @@ fn fr(f: u16) -> FieldRef {
 type Step = (u8, u8, u32);
 
 fn run_interpreter(steps: &[Step]) -> Vec<u64> {
-    // Program: header {idx:8, val:32, scratch:32}; one keyless central
-    // table whose action applies the op encoded in the packet. Since the
-    // action list is static, build one table per op kind and drive the
-    // right one via separate programs — simpler: one action with the op
-    // chosen at build time won't work per-step, so instead apply each
-    // step through its own RegionState run with an action built for that
-    // op, sharing the register file via a single RegionState and a
-    // program whose table is keyed on the op selector.
+    // Program: header {op:8, idx:8, val:32}; one central table keyed on the
+    // op selector, with one action per register ALU op. Each step becomes a
+    // PHV run against the shared RegionState / register file.
     let mut b = ProgramBuilder::new("oracle");
     let h = b.header(HeaderDef::new(
         "m",
@@ -108,10 +106,20 @@ fn run_oracle(steps: &[Step]) -> Vec<u64> {
     cells
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-    #[test]
-    fn interpreter_matches_oracle(steps in proptest::collection::vec(any::<Step>(), 0..200)) {
-        prop_assert_eq!(run_interpreter(&steps), run_oracle(&steps));
+#[test]
+fn interpreter_matches_oracle() {
+    let mut rng = SimRng::seed_from(0x02AC);
+    for _ in 0..64 {
+        let n = rng.range(0usize..200);
+        let steps: Vec<Step> = (0..n)
+            .map(|_| {
+                (
+                    rng.range(0u8..=255),
+                    rng.range(0u8..=255),
+                    rng.range(0u32..=u32::MAX),
+                )
+            })
+            .collect();
+        assert_eq!(run_interpreter(&steps), run_oracle(&steps));
     }
 }

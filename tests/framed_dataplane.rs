@@ -6,9 +6,8 @@
 use adcp::core::{AdcpConfig, AdcpSwitch};
 use adcp::lang::protocols::{raw_app_frame, standard_framing, udp_app_frame};
 use adcp::lang::{
-    ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
-    KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, Region,
-    TableDef, TargetModel,
+    ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef, KeySpec,
+    MatchKind, MatchValue, Operand, Program, ProgramBuilder, Region, TableDef, TargetModel,
 };
 use adcp::sim::packet::{FlowId, Packet, PortId};
 use adcp::sim::time::SimTime;
@@ -77,10 +76,18 @@ fn both_encapsulations_reach_the_app_tables() {
 
     // Raw Ethernet encapsulation.
     let raw = raw_app_frame(&app_bytes(0xABCD));
-    sw.inject(PortId(0), Packet::new(1, FlowId(1), raw.clone()), SimTime::ZERO);
+    sw.inject(
+        PortId(0),
+        Packet::new(1, FlowId(1), raw.clone()),
+        SimTime::ZERO,
+    );
     // UDP encapsulation of the same request.
     let udp = udp_app_frame(APP_PORT, &app_bytes(0xABCD));
-    sw.inject(PortId(1), Packet::new(2, FlowId(2), udp.clone()), SimTime::ZERO);
+    sw.inject(
+        PortId(1),
+        Packet::new(2, FlowId(2), udp.clone()),
+        SimTime::ZERO,
+    );
     // Foreign traffic: wrong UDP port.
     let dns = udp_app_frame(53, &app_bytes(0xABCD));
     sw.inject(PortId(2), Packet::new(3, FlowId(3), dns), SimTime::ZERO);
@@ -91,7 +98,10 @@ fn both_encapsulations_reach_the_app_tables() {
     sw.run_until_idle();
     sw.check_conservation();
     assert_eq!(sw.counters.delivered, 2, "both encapsulations routed");
-    assert_eq!(sw.counters.parse_errors, 1, "foreign traffic rejected at parse");
+    assert_eq!(
+        sw.counters.parse_errors, 1,
+        "foreign traffic rejected at parse"
+    );
     assert_eq!(sw.counters.filtered, 1, "unknown key dropped by the table");
 
     let out = sw.take_delivered();
@@ -103,9 +113,9 @@ fn both_encapsulations_reach_the_app_tables() {
     assert_eq!(lens, vec![raw.len(), udp.len()]);
     for d in &out {
         if d.data.len() == raw.len() {
-            assert_eq!(d.data, raw);
+            assert_eq!(&d.data[..], &raw[..]);
         } else {
-            assert_eq!(d.data, udp);
+            assert_eq!(&d.data[..], &udp[..]);
         }
     }
 }

@@ -1,195 +1,244 @@
-//! Property-based tests (proptest) over the substrate and IR invariants
-//! DESIGN.md commits to.
+//! Property-based tests over the substrate and IR invariants DESIGN.md
+//! commits to.
+//!
+//! Inputs are generated with the simulator's own deterministic [`SimRng`]
+//! (the offline build cannot fetch proptest): every test draws a few hundred
+//! random cases from a fixed seed, so failures reproduce exactly.
 
 use adcp::lang::{deposit_bits, extract_bits, fold_hash, FieldDef, HeaderDef, PhvLayout};
 use adcp::sim::event::EventQueue;
 use adcp::sim::packet::{synthetic_packet, FlowId, Packet};
 use adcp::sim::queue::{BoundedQueue, BufferPool};
+use adcp::sim::rng::SimRng;
 use adcp::sim::sched::{Policy, ScheduledQueues};
 use adcp::sim::stats::LatencyHist;
 use adcp::sim::time::{Duration, Freq, SimTime};
-use proptest::prelude::*;
 
-proptest! {
-    /// Bit deposit followed by extract returns the (masked) value, for any
-    /// alignment that fits.
-    #[test]
-    fn deposit_extract_roundtrip(
-        off in 0u32..96,
-        bits in 1u8..=64,
-        value: u64,
-    ) {
+const CASES: usize = 128;
+
+/// Bit deposit followed by extract returns the (masked) value, for any
+/// alignment that fits.
+#[test]
+fn deposit_extract_roundtrip() {
+    let mut rng = SimRng::seed_from(0xD3B0);
+    for _ in 0..CASES {
+        let off = rng.range(0u32..96);
+        let bits = rng.range(1u8..=64);
+        let value = rng.u64();
         let mut buf = [0u8; 24]; // 192 bits, always fits off+bits
-        prop_assume!(off as u64 + bits as u64 <= 192);
-        prop_assert!(deposit_bits(&mut buf, off, bits, value));
+        assert!(deposit_bits(&mut buf, off, bits, value));
         let read = extract_bits(&buf, off, bits).unwrap();
-        let mask = if bits == 64 { u64::MAX } else { (1u64 << bits) - 1 };
-        prop_assert_eq!(read, value & mask);
+        let mask = if bits == 64 {
+            u64::MAX
+        } else {
+            (1u64 << bits) - 1
+        };
+        assert_eq!(read, value & mask, "off={off} bits={bits}");
     }
+}
 
-    /// Deposits to disjoint bit ranges never interfere.
-    #[test]
-    fn disjoint_deposits_independent(
-        a_bits in 1u8..=32,
-        b_bits in 1u8..=32,
-        a: u64,
-        b: u64,
-    ) {
+/// Deposits to disjoint bit ranges never interfere.
+#[test]
+fn disjoint_deposits_independent() {
+    let mut rng = SimRng::seed_from(0xD15C);
+    for _ in 0..CASES {
+        let a_bits = rng.range(1u8..=32);
+        let b_bits = rng.range(1u8..=32);
+        let a = rng.u64();
+        let b = rng.u64();
         let mut buf = [0u8; 16];
         deposit_bits(&mut buf, 0, a_bits, a);
         deposit_bits(&mut buf, 64, b_bits, b);
-        let a_mask = (1u64 << a_bits) - 1 | u64::from(a_bits == 64) * u64::MAX;
-        let b_mask = (1u64 << b_bits) - 1 | u64::from(b_bits == 64) * u64::MAX;
-        prop_assert_eq!(extract_bits(&buf, 0, a_bits).unwrap(), a & a_mask);
-        prop_assert_eq!(extract_bits(&buf, 64, b_bits).unwrap(), b & b_mask);
+        let a_mask = (1u64 << a_bits) - 1;
+        let b_mask = (1u64 << b_bits) - 1;
+        assert_eq!(extract_bits(&buf, 0, a_bits).unwrap(), a & a_mask);
+        assert_eq!(extract_bits(&buf, 64, b_bits).unwrap(), b & b_mask);
     }
+}
 
-    /// PHV writes mask to the declared field width.
-    #[test]
-    fn phv_masks_to_width(bits in 1u8..=63, v: u64) {
+/// PHV writes mask to the declared field width.
+#[test]
+fn phv_masks_to_width() {
+    let mut rng = SimRng::seed_from(0x9437);
+    for _ in 0..CASES {
+        let bits = rng.range(1u8..=63);
+        let v = rng.u64();
         let headers = vec![HeaderDef::new("h", vec![FieldDef::scalar("f", bits)])];
         let layout = PhvLayout::build(&headers);
         let mut phv = layout.instantiate();
         let f = adcp::lang::FieldRef::new(adcp::lang::HeaderId(0), adcp::lang::FieldId(0));
         phv.set(&layout, f, v);
-        prop_assert!(phv.get(&layout, f) <= (1u64 << bits) - 1);
-        prop_assert_eq!(phv.get(&layout, f), v & ((1u64 << bits) - 1));
+        assert!(phv.get(&layout, f) < (1u64 << bits));
+        assert_eq!(phv.get(&layout, f), v & ((1u64 << bits) - 1));
     }
+}
 
-    /// The event queue pops in non-decreasing time order with FIFO ties,
-    /// for any schedule.
-    #[test]
-    fn event_queue_ordering(times in proptest::collection::vec(0u64..10_000, 1..200)) {
+/// The event queue pops in non-decreasing time order with FIFO ties, for
+/// any schedule.
+#[test]
+fn event_queue_ordering() {
+    let mut rng = SimRng::seed_from(0xE0E0);
+    for _ in 0..CASES {
+        let n = rng.range(1usize..200);
         let mut q = EventQueue::new();
-        for (i, t) in times.iter().enumerate() {
-            q.push(SimTime(*t), i);
+        for i in 0..n {
+            q.push(SimTime(rng.range(0u64..10_000)), i);
         }
         let mut last_t = 0u64;
         let mut seen_at_t: Vec<usize> = Vec::new();
         while let Some((t, idx)) = q.pop() {
-            prop_assert!(t.as_ps() >= last_t);
+            assert!(t.as_ps() >= last_t);
             if t.as_ps() != last_t {
                 seen_at_t.clear();
                 last_t = t.as_ps();
             }
             // FIFO among equal times: indices increase.
             if let Some(&prev) = seen_at_t.last() {
-                prop_assert!(idx > prev);
+                assert!(idx > prev);
             }
             seen_at_t.push(idx);
         }
     }
+}
 
-    /// MergeOrder emits a sorted stream whenever the per-queue inputs are
-    /// sorted and fully backlogged (the exact-merge precondition).
-    #[test]
-    fn merge_scheduler_sorts(
-        streams in proptest::collection::vec(
-            proptest::collection::vec(0u64..1000, 0..20), 1..6),
-    ) {
-        let mut s = ScheduledQueues::new(streams.len(), 64, Policy::MergeOrder);
+/// MergeOrder emits a sorted stream whenever the per-queue inputs are
+/// sorted and fully backlogged (the exact-merge precondition).
+#[test]
+fn merge_scheduler_sorts() {
+    let mut rng = SimRng::seed_from(0x3E26);
+    for _ in 0..CASES {
+        let nstreams = rng.range(1usize..6);
+        let mut s = ScheduledQueues::new(nstreams, 64, Policy::MergeOrder);
         let mut id = 0u64;
-        for (qi, keys) in streams.iter().enumerate() {
-            let mut sorted = keys.clone();
-            sorted.sort_unstable();
-            for k in sorted {
+        for qi in 0..nstreams {
+            let len = rng.range(0usize..20);
+            let mut keys: Vec<u64> = (0..len).map(|_| rng.range(0u64..1000)).collect();
+            keys.sort_unstable();
+            for k in keys {
                 let p = synthetic_packet(id, FlowId(qi as u64), 64).with_sort_key(k);
                 s.enqueue(qi, p);
                 id += 1;
             }
             s.mark_ended(qi);
         }
-        prop_assert!(s.merge_ready());
+        assert!(s.merge_ready());
         let mut last = 0u64;
         while let Some((_, p)) = s.dequeue() {
             let k = p.meta.sort_key.unwrap();
-            prop_assert!(k >= last, "merge out of order");
+            assert!(k >= last, "merge out of order");
             last = k;
         }
     }
+}
 
-    /// Queue byte accounting is exact under any push/pop interleaving.
-    #[test]
-    fn queue_byte_accounting(ops in proptest::collection::vec((any::<bool>(), 64usize..1500), 1..200)) {
+/// Queue byte accounting is exact under any push/pop interleaving.
+#[test]
+fn queue_byte_accounting() {
+    let mut rng = SimRng::seed_from(0xACC7);
+    for _ in 0..64 {
+        let ops = rng.range(1usize..200);
         let mut q = BoundedQueue::new(64).with_byte_limit(20_000);
         let mut model: std::collections::VecDeque<u64> = Default::default();
         let mut id = 0u64;
-        for (push, len) in ops {
+        for _ in 0..ops {
+            let push = rng.chance(0.5);
+            let len = rng.range(64usize..1500);
             if push {
                 let p = synthetic_packet(id, FlowId(0), len);
                 id += 1;
-                let expect_room = model.len() < 64
-                    && model.iter().sum::<u64>() + len as u64 <= 20_000;
+                let expect_room =
+                    model.len() < 64 && model.iter().sum::<u64>() + len as u64 <= 20_000;
                 let got = q.push(p).is_ok();
-                prop_assert_eq!(got, expect_room);
+                assert_eq!(got, expect_room);
                 if got {
                     model.push_back(len as u64);
                 }
             } else if let Some(expected) = model.pop_front() {
                 let p = q.pop().unwrap();
-                prop_assert_eq!(p.frame_bytes() as u64, expected);
+                assert_eq!(p.frame_bytes() as u64, expected);
             } else {
-                prop_assert!(q.pop().is_none());
+                assert!(q.pop().is_none());
             }
-            prop_assert_eq!(q.bytes(), model.iter().sum::<u64>());
-            prop_assert_eq!(q.len(), model.len());
+            assert_eq!(q.bytes(), model.iter().sum::<u64>());
+            assert_eq!(q.len(), model.len());
         }
     }
+}
 
-    /// Buffer-pool allocation never exceeds capacity and release restores
-    /// it exactly.
-    #[test]
-    fn buffer_pool_accounting(sizes in proptest::collection::vec(1usize..2000, 1..100)) {
+/// Buffer-pool allocation never exceeds capacity and release restores it
+/// exactly.
+#[test]
+fn buffer_pool_accounting() {
+    let mut rng = SimRng::seed_from(0xB00F);
+    for _ in 0..CASES {
+        let n = rng.range(1usize..100);
         let mut pool = BufferPool::new(100, 80);
         let mut held: Vec<Packet> = Vec::new();
-        for (i, len) in sizes.iter().enumerate() {
-            let p = synthetic_packet(i as u64, FlowId(0), *len);
+        for i in 0..n {
+            let len = rng.range(1usize..2000);
+            let p = synthetic_packet(i as u64, FlowId(0), len);
             if pool.try_alloc(&p) {
                 held.push(p);
             }
-            prop_assert!(pool.used() <= pool.capacity());
+            assert!(pool.used() <= pool.capacity());
         }
         for p in held.drain(..) {
             pool.release(&p);
         }
-        prop_assert_eq!(pool.used(), 0);
+        assert_eq!(pool.used(), 0);
     }
+}
 
-    /// fold_hash spreads any key set across 4 buckets without leaving a
-    /// bucket empty (for reasonably sized sets).
-    #[test]
-    fn hash_partitions_cover(keys in proptest::collection::hash_set(any::<u64>(), 64..256)) {
+/// fold_hash spreads any key set across 4 buckets without leaving a bucket
+/// empty (for reasonably sized sets).
+#[test]
+fn hash_partitions_cover() {
+    let mut rng = SimRng::seed_from(0x4A54);
+    for _ in 0..CASES {
+        let target = rng.range(64usize..256);
+        let mut keys = std::collections::HashSet::new();
+        while keys.len() < target {
+            keys.insert(rng.u64());
+        }
         let mut buckets = [0u32; 4];
         for k in &keys {
             buckets[(fold_hash([*k]) % 4) as usize] += 1;
         }
         for b in buckets {
-            prop_assert!(b > 0, "empty bucket over {} keys", keys.len());
+            assert!(b > 0, "empty bucket over {} keys", keys.len());
         }
     }
+}
 
-    /// Latency histogram percentiles are monotone and bounded by min/max.
-    #[test]
-    fn histogram_percentiles_monotone(samples in proptest::collection::vec(1u64..1_000_000, 1..300)) {
+/// Latency histogram percentiles are monotone and bounded by min/max.
+#[test]
+fn histogram_percentiles_monotone() {
+    let mut rng = SimRng::seed_from(0x4157);
+    for _ in 0..CASES {
+        let n = rng.range(1usize..300);
         let mut h = LatencyHist::new();
-        for s in &samples {
-            h.record(Duration(*s));
+        for _ in 0..n {
+            h.record(Duration(rng.range(1u64..1_000_000)));
         }
         let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
         let mut last = 0;
         for q in qs {
             let p = h.percentile_ps(q);
-            prop_assert!(p >= last);
+            assert!(p >= last);
             last = p;
         }
         // Bucket low-edge rounding can undershoot the true min slightly,
         // never overshoot the max.
-        prop_assert!(h.percentile_ps(1.0) <= h.max_ps());
+        assert!(h.percentile_ps(1.0) <= h.max_ps());
     }
+}
 
-    /// Frequency/period conversion round-trips within rounding error.
-    #[test]
-    fn freq_period_roundtrip(khz in 100_000u64..5_000_000) {
+/// Frequency/period conversion round-trips within rounding error.
+#[test]
+fn freq_period_roundtrip() {
+    let mut rng = SimRng::seed_from(0xF2E0);
+    for _ in 0..CASES {
+        let khz = rng.range(100_000u64..5_000_000);
         let f = Freq::from_khz(khz);
         let period = f.period().as_ps();
         let back = 1_000_000_000.0 / period as f64; // kHz
@@ -197,7 +246,7 @@ proptest! {
         // The period is quantized to integer picoseconds: the relative
         // error bound is half a picosecond over the period.
         let bound = 0.5 / period as f64 + 1e-9;
-        prop_assert!(err <= bound, "err = {err}, bound = {bound}");
+        assert!(err <= bound, "err = {err}, bound = {bound}");
     }
 }
 
@@ -205,45 +254,47 @@ proptest! {
 /// exactly (the end of each pipeline is a lossless re-serialization).
 mod parse_roundtrip {
     use super::*;
-    use adcp::lang::{FieldDef, HeaderDef, HeaderId, ParserSpec, PhvLayout};
+    use adcp::lang::{HeaderId, ParserSpec};
 
-    fn arb_header() -> impl Strategy<Value = HeaderDef> {
-        proptest::collection::vec((1u8..=32, 1u16..=4), 1..5).prop_map(|fields| {
-            let mut fs: Vec<FieldDef> = fields
-                .into_iter()
-                .enumerate()
-                .map(|(i, (bits, count))| {
-                    if count > 1 {
-                        FieldDef::array(format!("f{i}"), bits, count)
-                    } else {
-                        FieldDef::scalar(format!("f{i}"), bits)
-                    }
-                })
-                .collect();
-            // Pad to byte alignment so the header is parseable.
-            let total: u32 = fs.iter().map(|f| f.total_bits()).sum();
-            let pad = (8 - (total % 8)) % 8;
-            if pad > 0 {
-                fs.push(FieldDef::scalar("pad", pad as u8));
-            }
-            HeaderDef::new("h", fs)
-        })
+    fn arb_header(rng: &mut SimRng) -> HeaderDef {
+        let nfields = rng.range(1usize..5);
+        let mut fs: Vec<FieldDef> = (0..nfields)
+            .map(|i| {
+                let bits = rng.range(1u8..=32);
+                let count = rng.range(1u16..=4);
+                if count > 1 {
+                    FieldDef::array(format!("f{i}"), bits, count)
+                } else {
+                    FieldDef::scalar(format!("f{i}"), bits)
+                }
+            })
+            .collect();
+        // Pad to byte alignment so the header is parseable.
+        let total: u32 = fs.iter().map(|f| f.total_bits()).sum();
+        let pad = (8 - (total % 8)) % 8;
+        if pad > 0 {
+            fs.push(FieldDef::scalar("pad", pad as u8));
+        }
+        HeaderDef::new("h", fs)
     }
 
-    proptest! {
-        #[test]
-        fn parse_then_deparse_is_identity(
-            header in arb_header(),
-            payload in proptest::collection::vec(any::<u8>(), 0..64),
-            header_bytes in proptest::collection::vec(any::<u8>(), 64..96),
-        ) {
-            let headers = vec![header];
+    #[test]
+    fn parse_then_deparse_is_identity() {
+        let mut rng = SimRng::seed_from(0x9A25);
+        let mut tried = 0;
+        while tried < CASES {
+            let headers = vec![arb_header(&mut rng)];
             let layout = PhvLayout::build(&headers);
             let spec = ParserSpec::single(HeaderId(0));
             let need = headers[0].total_bytes() as usize;
-            prop_assume!(need <= header_bytes.len());
-            let mut data = header_bytes[..need].to_vec();
-            data.extend_from_slice(&payload);
+            let avail = rng.range(64usize..96);
+            if need > avail {
+                continue; // header doesn't fit the drawn buffer; redraw
+            }
+            tried += 1;
+            let mut data: Vec<u8> = (0..need).map(|_| rng.range(0u8..=255)).collect();
+            let payload_len = rng.range(0usize..64);
+            data.extend((0..payload_len).map(|_| rng.range(0u8..=255)));
             let out = spec.parse(&headers, &layout, &data).unwrap();
             let rebuilt = adcp::lang::deparse(
                 &headers,
@@ -252,7 +303,7 @@ mod parse_roundtrip {
                 &out.extracted,
                 &data[out.consumed..],
             );
-            prop_assert_eq!(rebuilt, data);
+            assert_eq!(rebuilt, data);
         }
     }
 }

@@ -4,9 +4,9 @@
 
 use adcp::core::{AdcpConfig, AdcpSwitch, DemuxPolicy};
 use adcp::lang::{
-    fold_hash, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
-    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
-    ProgramBuilder, Region, TableDef, TargetModel, TmSpec,
+    fold_hash, ActionDef, ActionOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef, HeaderDef,
+    HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program, ProgramBuilder, Region,
+    TableDef, TargetModel, TmSpec,
 };
 use adcp::sim::packet::{FlowId, Packet, PortId};
 use adcp::sim::rng::SimRng;
@@ -136,14 +136,16 @@ fn range_partition_plus_merge_is_a_switch_side_sort() {
     let mut id = 0;
     let mut total = 0u64;
     for m in 0..mappers {
-        let mut keys: Vec<u64> = (0..rows_each).map(|_| rng.range(0..KEY_SPACE - 1)).collect();
+        let mut keys: Vec<u64> = (0..rows_each)
+            .map(|_| rng.range(0..KEY_SPACE - 1))
+            .collect();
         keys.sort_unstable();
         let mut t = SimTime::ZERO;
         for k in keys {
             sw.inject(PortId(m), record(id, m, k), t);
             id += 1;
             total += 1;
-            t = t + Duration::from_ns(2);
+            t += Duration::from_ns(2);
         }
         for r in 0..PARTITIONS {
             sw.inject(PortId(m), record(id, 0xFFFF, (r + 1) * stride - 1), t);
