@@ -1,0 +1,99 @@
+//! E-C1 — the differential conformance harness (see `EXPERIMENTS.md`).
+//!
+//! ```text
+//! conformance [--cases N] [--seed S] [--quick] [--out DIR]
+//! conformance --replay PATH
+//! ```
+//!
+//! Generates `N` random program/workload cases and checks RMT ↔ ADCP ↔
+//! reference equivalence plus fault-degradation invariants; failures are
+//! shrunk and written as replayable `CONFORMANCE_FAIL_<seed>.json`
+//! artifacts in `--out DIR` (default: current directory). `--replay PATH`
+//! re-runs one artifact's shrunk spec. Exit status 1 on any failure.
+//!
+//! `CONFORMANCE_BUG=swap-add-max` arms the test-only sabotage hook (the
+//! ADCP target's register Adds and Maxes are swapped) to prove the harness
+//! catches and shrinks a real semantic bug.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use adcp_bench::conformance::{replay, run, BugHook, CaseError, RunConfig};
+
+fn parse_bug() -> BugHook {
+    match std::env::var("CONFORMANCE_BUG").as_deref() {
+        Ok("swap-add-max") => BugHook::SwapAddMax,
+        Ok(other) if !other.is_empty() => {
+            eprintln!("conformance: unknown CONFORMANCE_BUG {other:?}, ignoring");
+            BugHook::None
+        }
+        _ => BugHook::None,
+    }
+}
+
+fn main() -> ExitCode {
+    let mut cfg = RunConfig::default();
+    let mut replay_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| {
+            args.next()
+                .unwrap_or_else(|| panic!("conformance: {name} needs a value"))
+        };
+        match arg.as_str() {
+            "--cases" => cfg.cases = value("--cases").parse().expect("--cases: not a number"),
+            "--seed" => {
+                let v = value("--seed");
+                cfg.master_seed = v
+                    .strip_prefix("0x")
+                    .map(|h| u64::from_str_radix(h, 16))
+                    .unwrap_or_else(|| v.parse())
+                    .expect("--seed: not a number");
+            }
+            "--quick" => cfg.quick = true,
+            "--out" => cfg.out_dir = PathBuf::from(value("--out")),
+            "--replay" => replay_path = Some(PathBuf::from(value("--replay"))),
+            other => {
+                eprintln!("conformance: unknown argument {other:?}");
+                eprintln!("usage: conformance [--cases N] [--seed S] [--quick] [--out DIR] [--replay PATH]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    cfg.bug = parse_bug();
+
+    if let Some(path) = replay_path {
+        return match replay(&path, cfg.bug) {
+            Ok(()) => {
+                println!("replay {}: PASS", path.display());
+                ExitCode::SUCCESS
+            }
+            Err(CaseError::Skip(e)) => {
+                eprintln!("replay {}: could not run: {e}", path.display());
+                ExitCode::FAILURE
+            }
+            Err(CaseError::Mismatch(e)) => {
+                eprintln!("replay {}: FAIL: {e}", path.display());
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let report = run(&cfg);
+    println!("{}", serde_json::to_string_pretty(&report).unwrap());
+    eprintln!(
+        "conformance: {} cases, {} passed, {} failed, {} compile-skips, {} fault-soaked",
+        report.cases, report.passed, report.failed, report.skipped_compile, report.fault_cases
+    );
+    for f in &report.failures {
+        eprintln!(
+            "  case {} (seed {:#x}, {} phase): {} -> {}",
+            f.case_index, f.seed, f.phase, f.error, f.artifact
+        );
+    }
+    if report.failed == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

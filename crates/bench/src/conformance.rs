@@ -1,0 +1,1610 @@
+//! Differential conformance harness (E-C1).
+//!
+//! The paper's central claim is that ADCP runs the *same stateful programs*
+//! as RMT while lifting placement/array/multicast restrictions (§3.1–§3.3).
+//! This module turns that claim into a generative test: it draws
+//! random-but-valid programs and workloads from a seeded [`SimRng`], executes
+//! each case on four targets —
+//!
+//! 1. the plain **reference interpreter** (chained `RegionState` runs with
+//!    explicit parse → run → deparse between regions, no timing model),
+//! 2. the **ADCP switch** model,
+//! 3. the **RMT switch** with egress-pinned central tables, and
+//! 4. the **RMT switch** with recirculated central tables,
+//!
+//! and asserts semantic equivalence: identical delivered frames, identical
+//! filtered counts, identical final register state, identical
+//! `mat_lookups`/`mat_hits`, and per-packet conservation on every switch.
+//! Cases whose programs use array *action* ops (`RegArray`/`ArrayReduce`)
+//! are the §3.2 separation witnesses: RMT's scalar MAUs cannot run them, so
+//! for those cases the harness instead asserts that the compiler *rejects*
+//! the program on both RMT strategies while ADCP still matches the
+//! reference bit-for-bit.
+//! Surviving cases are re-run under a fault-injection schedule
+//! (drop/corrupt/delay) and the documented degradation invariants are
+//! checked: every link drop is accounted, corrupted frames are rejected by
+//! the frame check before they can touch register state, and the remaining
+//! traffic still agrees with the reference bit-for-bit.
+//!
+//! On a mismatch the failing [`CaseSpec`] is *shrunk* (fewer packets, fewer
+//! entries, fewer tables, narrower arrays, no faults) while the failure
+//! reproduces, and the minimal spec is written to a replayable
+//! `CONFORMANCE_FAIL_<seed>.json` artifact.
+//!
+//! Everything derives deterministically from the case seed: the same seed
+//! produces a byte-identical [`Report`].
+
+use std::path::{Path, PathBuf};
+
+use adcp_core::{AdcpConfig, AdcpSwitch};
+use adcp_lang::{
+    deparse, ActionDef, ActionOp, BinOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
+    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
+    ProgramBuilder, RegAluOp, RegId, Region, RegionState, RegisterDef, RmtCentralStrategy,
+    TableDef, TargetModel,
+};
+use adcp_rmt::{RmtConfig, RmtSwitch};
+use adcp_sim::fault::{FaultConfig, FaultInjector, FaultOutcome};
+use adcp_sim::packet::{EgressSpec, FlowId, Packet, PortId};
+use adcp_sim::rng::SimRng;
+use adcp_sim::time::SimTime;
+use serde::Serialize;
+
+/// Register cells per generated stateful table.
+const REG_CELLS: u32 = 64;
+/// Inter-packet injection gap: large enough that every packet fully drains
+/// (including recirculation and fault delays) before the next one enters,
+/// so execution order equals injection order on every target.
+const GAP_NS: u64 = 10_000;
+/// Ports the workload draws from (all < the smallest target's port count,
+/// and all in RMT pipe 0 so recirculated state stays on one pipe).
+const WORKLOAD_PORTS: u16 = 8;
+
+// ---------------------------------------------------------------------------
+// Case specification (the shrink surface)
+// ---------------------------------------------------------------------------
+
+/// Per-mille fault probabilities for the soak phase; integers so specs
+/// round-trip exactly through JSON artifacts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct FaultKnobs {
+    /// Link-drop probability, per mille.
+    pub drop_pm: u32,
+    /// Bit-corruption probability, per mille.
+    pub corrupt_pm: u32,
+    /// Delay probability, per mille.
+    pub delay_pm: u32,
+}
+
+impl FaultKnobs {
+    fn config(&self) -> FaultConfig {
+        FaultConfig {
+            drop_chance: self.drop_pm as f64 / 1000.0,
+            corrupt_chance: self.corrupt_pm as f64 / 1000.0,
+            delay_chance: self.delay_pm as f64 / 1000.0,
+            ..Default::default()
+        }
+    }
+}
+
+/// A fully reproducible conformance case: a seed plus the generation caps
+/// the shrinker lowers. Generation re-derives everything from these fields,
+/// so shrinking = re-generating with smaller caps and checking the failure
+/// still reproduces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CaseSpec {
+    /// Seed for every random draw in the case.
+    pub seed: u64,
+    /// Upper bound on workload packets (≥ 1).
+    pub max_packets: u32,
+    /// Upper bound on installed entries per table.
+    pub max_entries: u32,
+    /// Upper bound on the array-field width (1, 2, 4 or 8).
+    pub max_array: u16,
+    /// Upper bound on ingress match tables (≥ 1).
+    pub max_tables: u32,
+    /// Fault schedule for the soak phase; `None` = clean run.
+    pub fault: Option<FaultKnobs>,
+}
+
+/// Why a case did not produce a verdict.
+#[derive(Debug, Clone)]
+pub enum CaseError {
+    /// The draw did not compile on some target (counted, not a failure).
+    Skip(String),
+    /// The targets disagreed — a genuine conformance failure.
+    Mismatch(String),
+}
+
+// ---------------------------------------------------------------------------
+// Program + workload generation
+// ---------------------------------------------------------------------------
+
+/// Field handles of the generated header.
+#[derive(Clone, Copy)]
+struct Fields {
+    op: FieldRef,
+    key: FieldRef,
+    idx: FieldRef,
+    val: FieldRef,
+    arr: FieldRef,
+}
+
+/// One generated program (plus its recirculating twin) with its entry
+/// installs, stateful registers, and workload.
+struct GenCase {
+    /// Program for the reference, ADCP, and RMT egress-pinned targets.
+    program: Program,
+    /// Same program with `Recirculate` in the ingress route action, for the
+    /// RMT recirculating target (RMT needs the explicit second pass; the
+    /// op is a no-op on the other targets so the twin keeps them identical).
+    program_recirc: Program,
+    /// Registers owned by central stateful tables (compared at the end).
+    state_regs: Vec<RegId>,
+    /// The program uses array action ops: ADCP-only territory (§3.2). The
+    /// RMT targets must *reject* it at compile time instead of running it.
+    has_array_actions: bool,
+    /// Entries to install, `(table name, entry)` in a deterministic order.
+    installs: Vec<(String, Entry)>,
+    /// Workload: `(ingress port, sealed packet)` in injection order.
+    packets: Vec<(u16, Packet)>,
+}
+
+fn bitmask(bits: u8) -> u64 {
+    if bits >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << bits) - 1
+    }
+}
+
+/// A random stateless operand over the scalar fields.
+fn gen_operand(rng: &mut SimRng, f: &Fields) -> Operand {
+    match rng.index(6) {
+        0 => Operand::Const(rng.range(0u64..=0xFFFF_FFFF)),
+        1 => Operand::Field(f.val),
+        2 => Operand::Field(f.key),
+        3 => Operand::Field(f.idx),
+        4 => Operand::Field(f.op),
+        _ => Operand::Param(rng.range(0u8..2)),
+    }
+}
+
+fn gen_binop(rng: &mut SimRng) -> BinOp {
+    [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::Shl,
+        BinOp::Shr,
+    ][rng.index(9)]
+}
+
+fn gen_regop(rng: &mut SimRng) -> RegAluOp {
+    [RegAluOp::Write, RegAluOp::Add, RegAluOp::Max, RegAluOp::Min][rng.index(4)]
+}
+
+/// A random stateless op. Drop/MarkDrop/IfEq are only legal in ingress
+/// match tables (they run before the route table asserts the forwarding
+/// decision, so a drop consistently short-circuits on every target).
+fn gen_stateless_op(rng: &mut SimRng, f: &Fields, allow_drop: bool) -> ActionOp {
+    if allow_drop && rng.chance(0.15) {
+        return if rng.chance(0.5) {
+            ActionOp::Drop
+        } else {
+            ActionOp::MarkDrop
+        };
+    }
+    match rng.index(5) {
+        0 => ActionOp::Set {
+            dst: f.val,
+            src: gen_operand(rng, f),
+        },
+        1 => ActionOp::Bin {
+            dst: f.val,
+            op: gen_binop(rng),
+            a: Operand::Field(f.val),
+            b: gen_operand(rng, f),
+        },
+        2 => ActionOp::Bin {
+            dst: f.idx,
+            op: gen_binop(rng),
+            a: Operand::Field(f.idx),
+            b: Operand::Const(rng.range(0u64..16)),
+        },
+        3 => ActionOp::Hash {
+            dst: f.val,
+            fields: vec![f.key, f.op],
+            modulo: 1 << 16,
+        },
+        _ if allow_drop => ActionOp::IfEq {
+            a: Operand::Field(f.op),
+            b: Operand::Const(rng.range(0u64..4)),
+            then: vec![ActionOp::Set {
+                dst: f.val,
+                src: gen_operand(rng, f),
+            }],
+        },
+        _ => ActionOp::Set {
+            dst: f.op,
+            src: gen_operand(rng, f),
+        },
+    }
+}
+
+/// A random stateful op over `reg` (central region only).
+fn gen_register_op(rng: &mut SimRng, f: &Fields, reg: RegId) -> ActionOp {
+    let index = if rng.chance(0.7) {
+        Operand::Field(f.idx)
+    } else {
+        Operand::Const(rng.range(0u64..REG_CELLS as u64))
+    };
+    if rng.chance(0.25) {
+        ActionOp::RegRead {
+            reg,
+            index,
+            dst: f.val,
+        }
+    } else {
+        let value = match rng.index(3) {
+            0 => Operand::Field(f.val),
+            1 => Operand::Const(rng.range(0u64..=0xFFFF)),
+            _ => Operand::Param(0),
+        };
+        ActionOp::RegRmw {
+            reg,
+            index,
+            op: gen_regop(rng),
+            value,
+            fetch: if rng.chance(0.3) { Some(f.val) } else { None },
+        }
+    }
+}
+
+/// Entries for a keyed table: collision-free by construction so installs
+/// never fail (exact keys deduplicated, ranges from sorted distinct cut
+/// points; LPM/ternary accept anything).
+fn gen_entries(
+    rng: &mut SimRng,
+    kind: MatchKind,
+    key_bits: u8,
+    n: u32,
+    actions: &[ActionDef],
+    interesting: &mut Vec<u64>,
+) -> Vec<Entry> {
+    let mask = bitmask(key_bits);
+    let mut entries = Vec::new();
+    let mut values: Vec<MatchValue> = Vec::new();
+    match kind {
+        MatchKind::Exact => {
+            let mut seen = Vec::new();
+            let mut attempts = 0;
+            while (seen.len() as u32) < n && attempts < 4 * n + 8 {
+                attempts += 1;
+                let k = rng.u64() & mask;
+                if !seen.contains(&k) {
+                    seen.push(k);
+                    interesting.push(k);
+                    values.push(MatchValue::Exact(k));
+                }
+            }
+        }
+        MatchKind::Lpm => {
+            for _ in 0..n {
+                let len = rng.range(1u8..=key_bits);
+                let v = rng.u64() & mask;
+                interesting.push(v);
+                values.push(MatchValue::Lpm { value: v, len });
+            }
+        }
+        MatchKind::Ternary => {
+            for _ in 0..n {
+                let v = rng.u64() & mask;
+                interesting.push(v);
+                values.push(MatchValue::Ternary {
+                    value: v,
+                    mask: rng.u64() & mask,
+                    priority: rng.range(0u16..8),
+                });
+            }
+        }
+        MatchKind::Range => {
+            // 2n distinct sorted cut points pair into n disjoint intervals.
+            let mut cuts = Vec::new();
+            let mut attempts = 0;
+            while (cuts.len() as u32) < 2 * n && attempts < 8 * n + 16 {
+                attempts += 1;
+                let c = rng.u64() & mask;
+                if !cuts.contains(&c) {
+                    cuts.push(c);
+                }
+            }
+            cuts.sort_unstable();
+            for pair in cuts.chunks_exact(2) {
+                interesting.push(pair[0]);
+                values.push(MatchValue::Range {
+                    lo: pair[0],
+                    hi: pair[1],
+                });
+            }
+        }
+    }
+    for value in values {
+        let action = rng.index(actions.len());
+        let params = (0..actions[action].params_used())
+            .map(|_| rng.range(0u64..1024))
+            .collect();
+        entries.push(Entry {
+            value,
+            action,
+            params,
+        });
+    }
+    entries
+}
+
+fn gen_match_kind(rng: &mut SimRng) -> MatchKind {
+    [
+        MatchKind::Exact,
+        MatchKind::Lpm,
+        MatchKind::Ternary,
+        MatchKind::Range,
+    ][rng.index(4)]
+}
+
+/// Generate the full case from a spec. Deterministic: every draw comes from
+/// `SimRng::seed_from(spec.seed)` and the caps in the spec.
+fn gen_case(spec: &CaseSpec) -> GenCase {
+    let mut rng = SimRng::seed_from(spec.seed);
+
+    // -- Header: op:8, key:kb, idx:16, val:32, arr: aw×32. All widths are
+    //    multiples of 8, so the header is always byte aligned.
+    let key_bits = [8u8, 16, 24, 32][rng.index(4)];
+    let widths: Vec<u16> = [1u16, 2, 4, 8]
+        .into_iter()
+        .filter(|w| *w <= spec.max_array.max(1))
+        .collect();
+    let arr_width = widths[rng.index(widths.len())];
+    let header = HeaderDef::new(
+        "h",
+        vec![
+            FieldDef::scalar("op", 8),
+            FieldDef::scalar("key", key_bits),
+            FieldDef::scalar("idx", 16),
+            FieldDef::scalar("val", 32),
+            FieldDef::array("arr", 32, arr_width),
+        ],
+    );
+    let fr = |i: u16| FieldRef::new(HeaderId(0), FieldId(i));
+    let fields = Fields {
+        op: fr(0),
+        key: fr(1),
+        idx: fr(2),
+        val: fr(3),
+        arr: fr(4),
+    };
+
+    // -- Shape draws.
+    let n_ingress = rng.range(1usize..=(spec.max_tables.clamp(1, 3) as usize));
+    let n_state = rng.range(1usize..=2);
+    let use_array_table = arr_width > 1 && rng.chance(0.7);
+    let use_egress_table = rng.chance(0.6);
+
+    let mut b = ProgramBuilder::new("conformance");
+    let h = b.header(header.clone());
+    b.parser(ParserSpec::single(h));
+
+    let mut installs: Vec<(String, Entry)> = Vec::new();
+    let mut interesting: Vec<u64> = Vec::new();
+    let mut state_regs: Vec<RegId> = Vec::new();
+    let mut route_table_index = 0usize;
+
+    // -- Ingress match tables: stateless, may drop.
+    for t in 0..n_ingress {
+        let kind = gen_match_kind(&mut rng);
+        let n_actions = rng.range(1usize..=3);
+        let mut actions: Vec<ActionDef> = (0..n_actions)
+            .map(|a| {
+                let n_ops = rng.range(1usize..=3);
+                let ops = (0..n_ops)
+                    .map(|_| gen_stateless_op(&mut rng, &fields, true))
+                    .collect();
+                ActionDef::new(format!("i{t}a{a}"), ops)
+            })
+            .collect();
+        actions.push(ActionDef::nop());
+        let name = format!("ing{t}");
+        let n_entries = rng.range(0u32..=spec.max_entries.min(8));
+        for e in gen_entries(
+            &mut rng,
+            kind,
+            key_bits,
+            n_entries,
+            &actions,
+            &mut interesting,
+        ) {
+            installs.push((name.clone(), e));
+        }
+        let default_action = actions.len() - 1;
+        b.table(TableDef {
+            name,
+            region: Region::Ingress,
+            key: Some(KeySpec {
+                field: fields.key,
+                kind,
+                bits: key_bits,
+            }),
+            actions,
+            default_action,
+            default_params: vec![],
+            size: 64,
+        });
+        route_table_index += 1;
+    }
+
+    // -- Route table, last in ingress: every surviving packet goes to
+    //    central pipe 0 and egress port 0. (The recirculating twin appends
+    //    `Recirculate` here.)
+    b.table(TableDef {
+        name: "route".into(),
+        region: Region::Ingress,
+        key: None,
+        actions: vec![ActionDef::new(
+            "route",
+            vec![
+                ActionOp::SetCentralPipe(Operand::Const(0)),
+                ActionOp::SetEgress(Operand::Const(0)),
+            ],
+        )],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    });
+
+    // -- Central region. The keyless route-refresh table runs FIRST: on the
+    //    RMT recirculation pass the packet is re-parsed, so the PHV's egress
+    //    intrinsic restarts Unset and the central region must re-assert the
+    //    decision (idempotent on the other targets).
+    b.table(TableDef {
+        name: "central_route".into(),
+        region: Region::Central,
+        key: None,
+        actions: vec![ActionDef::new(
+            "cfwd",
+            vec![ActionOp::SetEgress(Operand::Const(0))],
+        )],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    });
+
+    // -- Central stateful tables: each owns its register (single-owner
+    //    validation), key on `key` or keyless, actions mutate the register.
+    for t in 0..n_state {
+        let reg_bits = [16u8, 32][rng.index(2)];
+        let reg = b.register(RegisterDef::new(format!("r{t}"), REG_CELLS, reg_bits));
+        state_regs.push(reg);
+        let keyless = rng.chance(0.3);
+        let n_actions = rng.range(1usize..=2);
+        let actions: Vec<ActionDef> = (0..n_actions)
+            .map(|a| {
+                let n_ops = rng.range(1usize..=2);
+                let ops = (0..n_ops)
+                    .map(|_| gen_register_op(&mut rng, &fields, reg))
+                    .collect();
+                ActionDef::new(format!("s{t}a{a}"), ops)
+            })
+            .collect();
+        let name = format!("state{t}");
+        let kind = gen_match_kind(&mut rng);
+        let key = if keyless {
+            None
+        } else {
+            let n_entries = rng.range(0u32..=spec.max_entries.min(8));
+            for e in gen_entries(
+                &mut rng,
+                kind,
+                key_bits,
+                n_entries,
+                &actions,
+                &mut interesting,
+            ) {
+                installs.push((name.clone(), e));
+            }
+            Some(KeySpec {
+                field: fields.key,
+                kind,
+                bits: key_bits,
+            })
+        };
+        let default_action = rng.index(actions.len());
+        b.table(TableDef {
+            name,
+            region: Region::Central,
+            key,
+            actions,
+            default_action,
+            default_params: vec![],
+            size: 64,
+        });
+    }
+
+    // -- Optional §3.2 array table: keyless, array-wide register ops.
+    if use_array_table {
+        let reg = b.register(RegisterDef::new("ra", REG_CELLS, 32));
+        state_regs.push(reg);
+        let base = if rng.chance(0.6) {
+            Operand::Field(fields.idx)
+        } else {
+            Operand::Const(rng.range(0u64..(REG_CELLS as u64 - arr_width as u64)))
+        };
+        let mut ops = vec![ActionOp::RegArray {
+            reg,
+            base,
+            op: gen_regop(&mut rng),
+            values: fields.arr,
+            readback: rng.chance(0.5),
+        }];
+        if rng.chance(0.5) {
+            ops.push(ActionOp::ArrayReduce {
+                dst: fields.val,
+                src: fields.arr,
+                op: gen_binop(&mut rng),
+            });
+        }
+        b.table(TableDef {
+            name: "arrt".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new("agg", ops)],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+    }
+
+    // -- Optional stateless egress table (no drops: egress rewrites only).
+    if use_egress_table {
+        let n_ops = rng.range(1usize..=2);
+        let ops = (0..n_ops)
+            .map(|_| gen_stateless_op(&mut rng, &fields, false))
+            .collect();
+        b.table(TableDef {
+            name: "etbl".into(),
+            region: Region::Egress,
+            key: None,
+            actions: vec![ActionDef::new("erw", ops)],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+    }
+
+    let program = b.build();
+    // The recirculating twin: identical except the route action additionally
+    // requests the second ingress pass RMT needs to reach central tables.
+    let mut program_recirc = program.clone();
+    program_recirc.tables[route_table_index].actions[0]
+        .ops
+        .push(ActionOp::Recirculate);
+
+    // -- Workload.
+    let n_packets = rng.range(1usize..=(spec.max_packets.max(1) as usize));
+    let mut packets = Vec::with_capacity(n_packets);
+    for i in 0..n_packets {
+        let port = rng.range(0u16..WORKLOAD_PORTS);
+        let key = if !interesting.is_empty() && rng.chance(0.5) {
+            interesting[rng.index(interesting.len())]
+        } else {
+            rng.u64() & bitmask(key_bits)
+        };
+        let mut buf = vec![0u8; header.total_bytes() as usize];
+        let dep = |buf: &mut [u8], fid: u16, elem: u16, bits: u8, v: u64| {
+            let off = header.bit_offset(FieldId(fid), elem);
+            assert!(adcp_lang::deposit_bits(buf, off, bits, v));
+        };
+        dep(&mut buf, 0, 0, 8, rng.range(0u64..4));
+        dep(&mut buf, 1, 0, key_bits, key);
+        dep(&mut buf, 2, 0, 16, rng.range(0u64..80));
+        dep(&mut buf, 3, 0, 32, rng.u64() & 0xFFFF_FFFF);
+        for e in 0..arr_width {
+            dep(&mut buf, 4, e, 32, rng.u64() & 0xFFFF_FFFF);
+        }
+        let payload_len = rng.range(0usize..16);
+        for _ in 0..payload_len {
+            buf.push(rng.range(0u64..256) as u8);
+        }
+        packets.push((
+            port,
+            Packet::new(i as u64, FlowId(1000 + i as u64), buf).seal(),
+        ));
+    }
+
+    GenCase {
+        program,
+        program_recirc,
+        state_regs,
+        has_array_actions: use_array_table,
+        installs,
+        packets,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Fault schedule preparation
+// ---------------------------------------------------------------------------
+
+/// One workload packet after the (optional) fault schedule was applied.
+struct PreparedPacket {
+    port: u16,
+    pkt: Packet,
+    /// Injection time (base gap plus any fault delay).
+    at: SimTime,
+    /// Lost on the link: never injected anywhere.
+    link_dropped: bool,
+    /// Bit-flipped on the link: injected, must be rejected by the FCS.
+    corrupted: bool,
+}
+
+/// Apply the fault schedule (or pass everything through when `knobs` is
+/// `None`). The same prepared list feeds every target, so the comparison
+/// stays exact under faults.
+fn prepare_workload(case: &GenCase, spec: &CaseSpec) -> Vec<PreparedPacket> {
+    let mut injector = match spec.fault {
+        Some(k) => FaultInjector::new(k.config(), SimRng::seed_from(spec.seed ^ 0x5EED_FA17)),
+        None => FaultInjector::transparent(),
+    };
+    case.packets
+        .iter()
+        .enumerate()
+        .map(|(i, (port, pkt))| {
+            let mut pkt = pkt.clone();
+            let base = SimTime::from_ns((i as u64 + 1) * GAP_NS);
+            let outcome = injector.apply(&mut pkt);
+            PreparedPacket {
+                port: *port,
+                pkt,
+                at: match outcome {
+                    FaultOutcome::Delayed(d) => base + d,
+                    _ => base,
+                },
+                link_dropped: outcome == FaultOutcome::Dropped,
+                corrupted: outcome == FaultOutcome::Corrupted,
+            }
+        })
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// Execution: reference interpreter + the three switch models
+// ---------------------------------------------------------------------------
+
+/// What one target observed; equivalence means all four agree.
+#[derive(Debug, PartialEq, Eq)]
+struct Outcome {
+    /// Delivered frames `(id, port, bytes)`, sorted by packet id.
+    delivered: Vec<(u64, u16, Vec<u8>)>,
+    /// Packets dropped by a program `Drop`/`MarkDrop` action.
+    filtered: u64,
+    /// Corrupted frames rejected by the frame check.
+    fcs_drops: u64,
+    /// Match-table key lookups (all regions, all lanes).
+    lookups: u64,
+    /// Lookups that hit an installed entry.
+    hits: u64,
+    /// Final cells of every stateful register, in `state_regs` order.
+    regs: Vec<Vec<u64>>,
+}
+
+/// Parse → run one region → deparse; the reference's per-region step,
+/// mirroring the switch models' writeback semantics exactly (the forwarding
+/// decision rides in `EgressSpec`, moved into the PHV intrinsics before the
+/// region runs and moved back out after).
+fn ref_stage(
+    program: &Program,
+    layout: &adcp_lang::PhvLayout,
+    state: &mut RegionState,
+    data: &[u8],
+    carried: EgressSpec,
+    port: u16,
+) -> Result<(Vec<u8>, EgressSpec), String> {
+    let out = program
+        .parser
+        .parse(&program.headers, layout, data)
+        .map_err(|e| format!("reference parse error: {e:?}"))?;
+    let mut phv = out.phv;
+    phv.intr.ingress_port = Some(PortId(port));
+    phv.intr.egress = carried;
+    state.run(program, layout, &mut phv);
+    let payload = &data[out.consumed.min(data.len())..];
+    let new_data = deparse(&program.headers, layout, &phv, &out.extracted, payload);
+    Ok((new_data, std::mem::take(&mut phv.intr.egress)))
+}
+
+/// Run the case on the reference interpreter: one packet at a time through
+/// ingress → central → egress with explicit deparse/re-parse between
+/// regions (the ADCP flow with the timing model removed).
+fn run_reference(case: &GenCase, prepared: &[PreparedPacket]) -> Result<Outcome, String> {
+    let program = &case.program;
+    let layout = program.layout();
+    let mut ing = RegionState::new(program, Region::Ingress);
+    let mut cen = RegionState::new(program, Region::Central);
+    let mut egr = RegionState::new(program, Region::Egress);
+    for (name, entry) in &case.installs {
+        let region = program
+            .tables
+            .iter()
+            .find(|t| &t.name == name)
+            .map(|t| t.region)
+            .ok_or_else(|| format!("reference: no table {name}"))?;
+        let state = match region {
+            Region::Ingress => &mut ing,
+            Region::Central => &mut cen,
+            Region::Egress => &mut egr,
+        };
+        state
+            .install_by_name(program, name, entry.clone())
+            .map_err(|e| format!("reference install into {name}: {e:?}"))?;
+    }
+
+    let mut delivered = Vec::new();
+    let mut filtered = 0u64;
+    let mut fcs_drops = 0u64;
+    for p in prepared {
+        if p.link_dropped {
+            continue;
+        }
+        if p.corrupted {
+            fcs_drops += 1;
+            continue;
+        }
+        let (data, egress) = ref_stage(
+            program,
+            &layout,
+            &mut ing,
+            &p.pkt.data,
+            EgressSpec::Unset,
+            p.port,
+        )?;
+        if egress == EgressSpec::Drop {
+            filtered += 1;
+            continue;
+        }
+        let (data, egress) = ref_stage(program, &layout, &mut cen, &data, egress, p.port)?;
+        if egress == EgressSpec::Drop {
+            filtered += 1;
+            continue;
+        }
+        let EgressSpec::Unicast(out_port) = egress else {
+            return Err(format!(
+                "reference: packet {} left central with no decision ({egress:?})",
+                p.pkt.meta.id
+            ));
+        };
+        let (data, egress) = ref_stage(
+            program,
+            &layout,
+            &mut egr,
+            &data,
+            EgressSpec::Unicast(out_port),
+            p.port,
+        )?;
+        if egress == EgressSpec::Drop {
+            filtered += 1;
+            continue;
+        }
+        delivered.push((p.pkt.meta.id, out_port.0, data));
+    }
+    delivered.sort_by_key(|(id, _, _)| *id);
+
+    Ok(Outcome {
+        delivered,
+        filtered,
+        fcs_drops,
+        lookups: ing.stats.lookups + cen.stats.lookups + egr.stats.lookups,
+        hits: ing.stats.hits + cen.stats.hits + egr.stats.hits,
+        regs: case
+            .state_regs
+            .iter()
+            .map(|r| cen.register(*r).snapshot().to_vec())
+            .collect(),
+    })
+}
+
+/// Which RMT lowering a run targets (ADCP runs via [`run_adcp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SwitchTarget {
+    RmtPinned,
+    RmtRecirc,
+}
+
+impl SwitchTarget {
+    fn name(&self) -> &'static str {
+        match self {
+            SwitchTarget::RmtPinned => "rmt-pinned",
+            SwitchTarget::RmtRecirc => "rmt-recirc",
+        }
+    }
+}
+
+/// Test-only semantic sabotage, for proving the harness catches bugs: the
+/// hook perturbs the *program handed to one target* (product code is never
+/// touched), which the differential comparison must then flag and shrink.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BugHook {
+    /// No sabotage (the normal mode).
+    #[default]
+    None,
+    /// Swap `RegAluOp::Add` and `RegAluOp::Max` in every register op of the
+    /// program given to the ADCP target.
+    SwapAddMax,
+}
+
+fn swap_add_max_ops(ops: &mut [ActionOp]) {
+    let flip = |op: &mut RegAluOp| {
+        *op = match *op {
+            RegAluOp::Add => RegAluOp::Max,
+            RegAluOp::Max => RegAluOp::Add,
+            other => other,
+        }
+    };
+    for op in ops {
+        match op {
+            ActionOp::RegRmw { op, .. } | ActionOp::RegArray { op, .. } => flip(op),
+            ActionOp::IfEq { then, .. } => swap_add_max_ops(then),
+            _ => {}
+        }
+    }
+}
+
+fn apply_bug(mut program: Program, bug: BugHook) -> Program {
+    if bug == BugHook::SwapAddMax {
+        for t in &mut program.tables {
+            for a in &mut t.actions {
+                swap_add_max_ops(&mut a.ops);
+            }
+        }
+    }
+    program
+}
+
+/// Gather the common post-run checks and outcome from either switch's
+/// counters and deliveries. `counts` is
+/// `(injected, delivered, filtered, fcs_drops, parse_errors, no_decision,
+/// bad_port, other_drops, mcast, total_drops, lookups, hits)`.
+#[allow(clippy::too_many_arguments)]
+fn finish_outcome(
+    name: &str,
+    counts: (u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64, u64),
+    delivered_raw: Vec<(u64, u16, Vec<u8>, bool)>,
+    regs: Vec<Vec<u64>>,
+) -> Result<Outcome, String> {
+    let (
+        injected,
+        delivered_n,
+        filtered,
+        fcs_drops,
+        parse_errors,
+        no_decision,
+        bad_port,
+        other_drops,
+        mcast,
+        total_drops,
+        lookups,
+        hits,
+    ) = counts;
+    if parse_errors != 0 {
+        return Err(format!("{name}: {parse_errors} unexpected parse errors"));
+    }
+    if no_decision != 0 || bad_port != 0 {
+        return Err(format!(
+            "{name}: forwarding fell through (no_decision={no_decision}, bad_port={bad_port})"
+        ));
+    }
+    if other_drops != 0 {
+        return Err(format!("{name}: {other_drops} unexpected TM/queue drops"));
+    }
+    if mcast != 0 {
+        return Err(format!("{name}: {mcast} unexpected multicast copies"));
+    }
+    // Conservation: with no in-flight packets after run_until_idle, every
+    // injected packet is either delivered or in a counted drop class.
+    if injected != delivered_n + total_drops {
+        return Err(format!(
+            "{name}: conservation violated: injected={injected} != delivered={delivered_n} + drops={total_drops}"
+        ));
+    }
+    let mut delivered = Vec::with_capacity(delivered_raw.len());
+    for (id, port, data, fcs_ok) in delivered_raw {
+        if !fcs_ok {
+            return Err(format!("{name}: delivered packet {id} was not re-sealed"));
+        }
+        delivered.push((id, port, data));
+    }
+    delivered.sort_by_key(|(id, _, _)| *id);
+    if delivered.len() as u64 != delivered_n {
+        return Err(format!("{name}: delivered count disagrees with counter"));
+    }
+    Ok(Outcome {
+        delivered,
+        filtered,
+        fcs_drops,
+        lookups,
+        hits,
+        regs,
+    })
+}
+
+/// Run the case on the ADCP switch model.
+fn run_adcp(
+    case: &GenCase,
+    prepared: &[PreparedPacket],
+    bug: BugHook,
+) -> Result<Outcome, CaseError> {
+    let target = TargetModel::adcp_reference();
+    let central_pipes = target.central_pipes as usize;
+    let mut sw = AdcpSwitch::new(
+        apply_bug(case.program.clone(), bug),
+        target,
+        CompileOptions::default(),
+        AdcpConfig::default(),
+    )
+    .map_err(|e| CaseError::Skip(format!("adcp compile: {e:?}")))?;
+    for (name, entry) in &case.installs {
+        sw.install_all(name, entry.clone())
+            .map_err(|e| CaseError::Mismatch(format!("adcp install into {name}: {e:?}")))?;
+    }
+    for p in prepared {
+        if !p.link_dropped {
+            sw.inject(PortId(p.port), p.pkt.clone(), p.at);
+        }
+    }
+    sw.run_until_idle();
+    sw.check_conservation();
+
+    // All state must live on central pipe 0 (the route table pins it).
+    for pipe in 1..central_pipes {
+        for reg in &case.state_regs {
+            if sw
+                .central_register(pipe, *reg)
+                .snapshot()
+                .iter()
+                .any(|c| *c != 0)
+            {
+                return Err(CaseError::Mismatch(format!(
+                    "adcp: register {reg:?} leaked onto central pipe {pipe}"
+                )));
+            }
+        }
+    }
+    let regs = case
+        .state_regs
+        .iter()
+        .map(|r| sw.central_register(0, *r).snapshot().to_vec())
+        .collect();
+    let delivered_raw = sw
+        .take_delivered()
+        .into_iter()
+        .map(|d| {
+            let pkt = Packet {
+                data: d.data.clone(),
+                meta: d.meta.clone(),
+            };
+            (d.meta.id, d.port.0, d.data.to_vec(), pkt.fcs_ok())
+        })
+        .collect();
+    let c = &sw.counters;
+    finish_outcome(
+        "adcp",
+        (
+            c.injected,
+            c.delivered,
+            c.filtered,
+            c.fcs_drops,
+            c.parse_errors,
+            c.no_decision,
+            c.bad_port,
+            c.tm1_drops + c.tm1_queue_drops + c.tm2_drops + c.tm2_queue_drops,
+            c.mcast_copies,
+            c.total_drops(),
+            c.mat_lookups,
+            c.mat_hits,
+        ),
+        delivered_raw,
+        regs,
+    )
+    .map_err(CaseError::Mismatch)
+}
+
+/// Run the case on the RMT switch model with the given central strategy.
+fn run_rmt(
+    case: &GenCase,
+    prepared: &[PreparedPacket],
+    which: SwitchTarget,
+) -> Result<Outcome, CaseError> {
+    let name = which.name();
+    let (program, strategy) = match which {
+        SwitchTarget::RmtPinned => (&case.program, RmtCentralStrategy::EgressPin),
+        SwitchTarget::RmtRecirc => (&case.program_recirc, RmtCentralStrategy::Recirculate),
+    };
+    let target = TargetModel::rmt_12t();
+    let pipes = (target.ports / target.ports_per_pipe) as usize;
+    let mut sw = RmtSwitch::new(
+        program.clone(),
+        target,
+        CompileOptions {
+            rmt_central: strategy,
+        },
+        RmtConfig::default(),
+    )
+    .map_err(|e| CaseError::Skip(format!("{name} compile: {e:?}")))?;
+    for (tname, entry) in &case.installs {
+        sw.install_all(tname, entry.clone())
+            .map_err(|e| CaseError::Mismatch(format!("{name} install into {tname}: {e:?}")))?;
+    }
+    for p in prepared {
+        if !p.link_dropped {
+            sw.inject(PortId(p.port), p.pkt.clone(), p.at);
+        }
+    }
+    sw.run_until_idle();
+    sw.check_conservation();
+
+    // The workload only uses ports in pipe 0 and routes to port 0, so
+    // central state — egress-pinned or recirculated — must stay on pipe 0.
+    for pipe in 1..pipes {
+        for reg in &case.state_regs {
+            if sw
+                .central_register(pipe, *reg)
+                .snapshot()
+                .iter()
+                .any(|c| *c != 0)
+            {
+                return Err(CaseError::Mismatch(format!(
+                    "{name}: register {reg:?} leaked onto pipe {pipe}"
+                )));
+            }
+        }
+    }
+    let regs = case
+        .state_regs
+        .iter()
+        .map(|r| sw.central_register(0, *r).snapshot().to_vec())
+        .collect();
+    let delivered_raw = sw
+        .take_delivered()
+        .into_iter()
+        .map(|d| {
+            let pkt = Packet {
+                data: d.data.clone(),
+                meta: d.meta.clone(),
+            };
+            (d.meta.id, d.port.0, d.data.to_vec(), pkt.fcs_ok())
+        })
+        .collect();
+    let c = &sw.counters;
+    finish_outcome(
+        name,
+        (
+            c.injected,
+            c.delivered,
+            c.filtered,
+            c.fcs_drops,
+            c.parse_errors,
+            c.no_decision,
+            c.bad_port,
+            c.tm_drops + c.queue_drops,
+            c.mcast_copies,
+            c.total_drops(),
+            c.mat_lookups,
+            c.mat_hits,
+        ),
+        delivered_raw,
+        regs,
+    )
+    .map_err(CaseError::Mismatch)
+}
+
+/// Diff two outcomes; `Err` pinpoints the first disagreement.
+fn compare(name: &str, reference: &Outcome, got: &Outcome) -> Result<(), String> {
+    if got.filtered != reference.filtered {
+        return Err(format!(
+            "{name}: filtered {} != reference {}",
+            got.filtered, reference.filtered
+        ));
+    }
+    if got.fcs_drops != reference.fcs_drops {
+        return Err(format!(
+            "{name}: fcs_drops {} != reference {}",
+            got.fcs_drops, reference.fcs_drops
+        ));
+    }
+    if got.lookups != reference.lookups || got.hits != reference.hits {
+        return Err(format!(
+            "{name}: mat lookups/hits {}/{} != reference {}/{}",
+            got.lookups, got.hits, reference.lookups, reference.hits
+        ));
+    }
+    if got.delivered.len() != reference.delivered.len() {
+        return Err(format!(
+            "{name}: delivered {} packets != reference {}",
+            got.delivered.len(),
+            reference.delivered.len()
+        ));
+    }
+    for ((gid, gport, gdata), (rid, rport, rdata)) in
+        got.delivered.iter().zip(reference.delivered.iter())
+    {
+        if gid != rid || gport != rport {
+            return Err(format!(
+                "{name}: delivered (id={gid}, port={gport}) != reference (id={rid}, port={rport})"
+            ));
+        }
+        if gdata != rdata {
+            return Err(format!("{name}: packet {gid} frame bytes diverge"));
+        }
+    }
+    for (i, (g, r)) in got.regs.iter().zip(reference.regs.iter()).enumerate() {
+        if g != r {
+            let cell = g.iter().zip(r.iter()).position(|(a, b)| a != b);
+            return Err(format!(
+                "{name}: register {i} diverges at cell {cell:?} (got {:?}, want {:?})",
+                cell.map(|c| g[c]),
+                cell.map(|c| r[c]),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Run one spec end to end: generate, execute on all four targets, compare,
+/// and (under faults) check the degradation invariants.
+pub fn run_spec(spec: &CaseSpec, bug: BugHook) -> Result<(), CaseError> {
+    let case = gen_case(spec);
+    let errs = case.program.validate();
+    if !errs.is_empty() {
+        return Err(CaseError::Skip(format!(
+            "generated invalid program: {errs:?}"
+        )));
+    }
+    let prepared = prepare_workload(&case, spec);
+    let total = prepared.len() as u64;
+    let link_dropped = prepared.iter().filter(|p| p.link_dropped).count() as u64;
+    let corrupted = prepared.iter().filter(|p| p.corrupted).count() as u64;
+
+    let reference = run_reference(&case, &prepared).map_err(CaseError::Mismatch)?;
+
+    // Degradation invariants (trivially true in the clean phase): every
+    // packet is accounted to exactly one fate, and corrupted frames are all
+    // rejected by the frame check.
+    if reference.fcs_drops != corrupted {
+        return Err(CaseError::Mismatch(format!(
+            "reference: fcs_drops {} != corrupted {corrupted}",
+            reference.fcs_drops
+        )));
+    }
+    if total != link_dropped + corrupted + reference.filtered + reference.delivered.len() as u64 {
+        return Err(CaseError::Mismatch(format!(
+            "accounting leak: {total} packets != {link_dropped} link-dropped + {corrupted} \
+             corrupted + {} filtered + {} delivered",
+            reference.filtered,
+            reference.delivered.len()
+        )));
+    }
+
+    let adcp = run_adcp(&case, &prepared, bug)?;
+    compare("adcp", &reference, &adcp).map_err(CaseError::Mismatch)?;
+    if case.has_array_actions {
+        // §3.2 separation: scalar MAUs must refuse array action ops.
+        assert_rmt_rejects(&case)?;
+    } else {
+        let pinned = run_rmt(&case, &prepared, SwitchTarget::RmtPinned)?;
+        compare("rmt-pinned", &reference, &pinned).map_err(CaseError::Mismatch)?;
+        let recirc = run_rmt(&case, &prepared, SwitchTarget::RmtRecirc)?;
+        compare("rmt-recirc", &reference, &recirc).map_err(CaseError::Mismatch)?;
+    }
+    Ok(())
+}
+
+/// An array-action program must fail RMT compilation under *both* central
+/// strategies; RMT silently accepting one is itself a conformance bug.
+fn assert_rmt_rejects(case: &GenCase) -> Result<(), CaseError> {
+    for (program, strategy) in [
+        (&case.program, RmtCentralStrategy::EgressPin),
+        (&case.program_recirc, RmtCentralStrategy::Recirculate),
+    ] {
+        if RmtSwitch::new(
+            program.clone(),
+            TargetModel::rmt_12t(),
+            CompileOptions {
+                rmt_central: strategy,
+            },
+            RmtConfig::default(),
+        )
+        .is_ok()
+        {
+            return Err(CaseError::Mismatch(format!(
+                "rmt ({strategy:?}) compiled an array-action program it must reject (§3.2)"
+            )));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Shrinking + artifacts
+// ---------------------------------------------------------------------------
+
+/// Shrink a failing spec: greedily try smaller caps (and dropping the fault
+/// schedule), keeping any reduction that still fails. Returns the minimal
+/// spec found and its failure message.
+pub fn shrink(spec: &CaseSpec, bug: BugHook, original_error: String) -> (CaseSpec, String) {
+    let mut cur = *spec;
+    let mut err = original_error;
+    for _ in 0..64 {
+        let mut candidates: Vec<CaseSpec> = Vec::new();
+        if cur.fault.is_some() {
+            candidates.push(CaseSpec { fault: None, ..cur });
+        }
+        if cur.max_packets > 1 {
+            candidates.push(CaseSpec {
+                max_packets: cur.max_packets / 2,
+                ..cur
+            });
+            candidates.push(CaseSpec {
+                max_packets: cur.max_packets - 1,
+                ..cur
+            });
+        }
+        if cur.max_entries > 0 {
+            candidates.push(CaseSpec {
+                max_entries: cur.max_entries / 2,
+                ..cur
+            });
+        }
+        if cur.max_tables > 1 {
+            candidates.push(CaseSpec {
+                max_tables: cur.max_tables - 1,
+                ..cur
+            });
+        }
+        if cur.max_array > 1 {
+            candidates.push(CaseSpec {
+                max_array: cur.max_array / 2,
+                ..cur
+            });
+        }
+        let mut improved = false;
+        for cand in candidates {
+            if let Err(CaseError::Mismatch(e)) = run_spec(&cand, bug) {
+                cur = cand;
+                err = e;
+                improved = true;
+                break;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    (cur, err)
+}
+
+fn spec_to_value(spec: &CaseSpec) -> serde_json::Value {
+    serde_json::to_value(spec).expect("specs serialize")
+}
+
+/// Parse a spec back from artifact JSON (the `--replay` path).
+pub fn spec_from_value(v: &serde_json::Value) -> Result<CaseSpec, String> {
+    let field = |k: &str| {
+        v.get(k)
+            .and_then(|x| x.as_u64())
+            .ok_or_else(|| format!("artifact spec missing field {k}"))
+    };
+    let fault = match v.get("fault") {
+        None | Some(serde_json::Value::Null) => None,
+        Some(f) => {
+            let sub = |k: &str| {
+                f.get(k)
+                    .and_then(|x| x.as_u64())
+                    .ok_or_else(|| format!("artifact fault missing field {k}"))
+            };
+            Some(FaultKnobs {
+                drop_pm: sub("drop_pm")? as u32,
+                corrupt_pm: sub("corrupt_pm")? as u32,
+                delay_pm: sub("delay_pm")? as u32,
+            })
+        }
+    };
+    Ok(CaseSpec {
+        seed: field("seed")?,
+        max_packets: field("max_packets")? as u32,
+        max_entries: field("max_entries")? as u32,
+        max_array: field("max_array")? as u16,
+        max_tables: field("max_tables")? as u32,
+        fault,
+    })
+}
+
+/// Write the replayable failure artifact; returns its file name.
+fn write_artifact(
+    dir: &Path,
+    original: &CaseSpec,
+    shrunk: &CaseSpec,
+    error: &str,
+) -> std::io::Result<String> {
+    std::fs::create_dir_all(dir)?;
+    let mut doc = serde_json::Map::new();
+    doc.insert("version".into(), serde_json::Value::U64(1));
+    doc.insert("error".into(), serde_json::Value::String(error.to_string()));
+    doc.insert("spec".into(), spec_to_value(shrunk));
+    doc.insert("original".into(), spec_to_value(original));
+    let name = format!("CONFORMANCE_FAIL_{:016x}.json", original.seed);
+    let text =
+        serde_json::to_string_pretty(&serde_json::Value::Object(doc)).expect("artifact encodes");
+    std::fs::write(dir.join(&name), text + "\n")?;
+    Ok(name)
+}
+
+/// Reload a failure artifact and re-run its shrunk spec.
+pub fn replay(path: &Path, bug: BugHook) -> Result<(), CaseError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| CaseError::Skip(format!("cannot read {}: {e}", path.display())))?;
+    let doc = serde_json::from_str(&text)
+        .map_err(|e| CaseError::Skip(format!("cannot parse {}: {e}", path.display())))?;
+    let spec = doc
+        .get("spec")
+        .ok_or_else(|| CaseError::Skip("artifact has no spec".into()))
+        .and_then(|s| spec_from_value(s).map_err(CaseError::Skip))?;
+    run_spec(&spec, bug)
+}
+
+// ---------------------------------------------------------------------------
+// Harness driver
+// ---------------------------------------------------------------------------
+
+/// Harness configuration (one run = one [`Report`]).
+#[derive(Debug, Clone)]
+pub struct RunConfig {
+    /// Master seed; case `i` derives its own seed from it.
+    pub master_seed: u64,
+    /// Number of generated cases.
+    pub cases: u32,
+    /// Smaller caps per case (CI-friendly).
+    pub quick: bool,
+    /// Test-only sabotage hook (see [`BugHook`]).
+    pub bug: BugHook,
+    /// Where failure artifacts are written.
+    pub out_dir: PathBuf,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig {
+            master_seed: 0xC04F_0041,
+            cases: 1000,
+            quick: false,
+            bug: BugHook::None,
+            out_dir: PathBuf::from("."),
+        }
+    }
+}
+
+/// One recorded failure (post-shrink).
+#[derive(Debug, Clone, Serialize)]
+pub struct FailureRecord {
+    /// Which case failed.
+    pub case_index: u32,
+    /// Its derived seed.
+    pub seed: u64,
+    /// `"clean"` or `"fault"`.
+    pub phase: String,
+    /// The (post-shrink) mismatch message.
+    pub error: String,
+    /// The shrunk spec that still reproduces.
+    pub shrunk: CaseSpec,
+    /// Artifact file name inside the output directory.
+    pub artifact: String,
+}
+
+/// Aggregate result of a harness run. Contains no timestamps or paths, so
+/// the same seed and configuration serialize byte-identically.
+#[derive(Debug, Clone, Serialize)]
+pub struct Report {
+    /// The master seed the run derived everything from.
+    pub master_seed: u64,
+    /// Cases attempted.
+    pub cases: u32,
+    /// Cases that passed both the clean and the fault phase.
+    pub passed: u64,
+    /// Cases with at least one mismatch.
+    pub failed: u64,
+    /// Cases skipped because a draw did not compile on some target.
+    pub skipped_compile: u64,
+    /// Fault-phase runs executed (passed clean first).
+    pub fault_cases: u64,
+    /// Every failure, post-shrink.
+    pub failures: Vec<FailureRecord>,
+}
+
+/// The spec for case `i` of a run.
+fn case_spec(cfg: &RunConfig, i: u32) -> CaseSpec {
+    CaseSpec {
+        seed: cfg
+            .master_seed
+            .wrapping_add((i as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)),
+        max_packets: if cfg.quick { 10 } else { 20 },
+        max_entries: 8,
+        max_array: 8,
+        max_tables: 3,
+        fault: None,
+    }
+}
+
+/// Fault knobs for the soak phase (fixed: ~5% drop, ~5% corrupt, ~10%
+/// delay — enough to exercise every outcome on every case).
+fn soak_knobs() -> FaultKnobs {
+    FaultKnobs {
+        drop_pm: 50,
+        corrupt_pm: 50,
+        delay_pm: 100,
+    }
+}
+
+/// Run the harness: `cfg.cases` generated cases, each executed clean and
+/// (if clean passes) again under the fault schedule; failures are shrunk
+/// and written as replayable artifacts.
+pub fn run(cfg: &RunConfig) -> Report {
+    let mut report = Report {
+        master_seed: cfg.master_seed,
+        cases: cfg.cases,
+        passed: 0,
+        failed: 0,
+        skipped_compile: 0,
+        fault_cases: 0,
+        failures: Vec::new(),
+    };
+    for i in 0..cfg.cases {
+        let clean_spec = case_spec(cfg, i);
+        let mut phases = vec![("clean", clean_spec)];
+        match run_spec(&clean_spec, cfg.bug) {
+            Ok(()) => {
+                report.fault_cases += 1;
+                phases.push((
+                    "fault",
+                    CaseSpec {
+                        fault: Some(soak_knobs()),
+                        ..clean_spec
+                    },
+                ));
+                phases.remove(0); // clean already passed
+            }
+            Err(CaseError::Skip(_)) => {
+                report.skipped_compile += 1;
+                continue;
+            }
+            Err(CaseError::Mismatch(_)) => {
+                // fall through: the clean phase below re-runs and records it
+            }
+        }
+        let mut case_failed = false;
+        for (phase, spec) in phases {
+            match run_spec(&spec, cfg.bug) {
+                Ok(()) => {}
+                Err(CaseError::Skip(_)) => {
+                    report.skipped_compile += 1;
+                }
+                Err(CaseError::Mismatch(err)) => {
+                    case_failed = true;
+                    let (shrunk, final_err) = shrink(&spec, cfg.bug, err);
+                    let artifact = write_artifact(&cfg.out_dir, &spec, &shrunk, &final_err)
+                        .unwrap_or_else(|e| format!("<artifact write failed: {e}>"));
+                    report.failures.push(FailureRecord {
+                        case_index: i,
+                        seed: spec.seed,
+                        phase: phase.to_string(),
+                        error: final_err,
+                        shrunk,
+                        artifact,
+                    });
+                }
+            }
+        }
+        if case_failed {
+            report.failed += 1;
+        } else {
+            report.passed += 1;
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cfg(seed: u64, cases: u32, bug: BugHook) -> RunConfig {
+        RunConfig {
+            master_seed: seed,
+            cases,
+            quick: true,
+            bug,
+            out_dir: std::env::temp_dir().join("conformance-unit"),
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = case_spec(&tiny_cfg(42, 1, BugHook::None), 0);
+        let a = gen_case(&spec);
+        let b = gen_case(&spec);
+        assert_eq!(a.packets.len(), b.packets.len());
+        for ((pa, ka), (pb, kb)) in a.packets.iter().zip(b.packets.iter()) {
+            assert_eq!(pa, pb);
+            assert_eq!(&ka.data[..], &kb.data[..]);
+        }
+        assert_eq!(a.installs.len(), b.installs.len());
+        assert_eq!(a.program.tables.len(), b.program.tables.len());
+    }
+
+    #[test]
+    fn generated_programs_validate() {
+        for i in 0..25 {
+            let spec = case_spec(&tiny_cfg(7, 25, BugHook::None), i);
+            let case = gen_case(&spec);
+            assert!(
+                case.program.validate().is_empty(),
+                "case {i} generated an invalid program"
+            );
+            assert!(case.program_recirc.validate().is_empty());
+        }
+    }
+
+    #[test]
+    fn a_handful_of_cases_pass() {
+        for i in 0..6 {
+            let spec = case_spec(&tiny_cfg(0xA11CE, 6, BugHook::None), i);
+            if let Err(CaseError::Mismatch(e)) = run_spec(&spec, BugHook::None) {
+                panic!("case {i} (seed {:#x}) mismatched: {e}", spec.seed);
+            }
+            let fault_spec = CaseSpec {
+                fault: Some(soak_knobs()),
+                ..spec
+            };
+            if let Err(CaseError::Mismatch(e)) = run_spec(&fault_spec, BugHook::None) {
+                panic!(
+                    "case {i} (seed {:#x}) fault phase mismatched: {e}",
+                    spec.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn spec_round_trips_through_json() {
+        let spec = CaseSpec {
+            seed: 0xDEAD_BEEF_0042,
+            max_packets: 20,
+            max_entries: 8,
+            max_array: 4,
+            max_tables: 3,
+            fault: Some(soak_knobs()),
+        };
+        let text = serde_json::to_string(&spec_to_value(&spec)).unwrap();
+        let back = spec_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
+        assert_eq!(back, spec);
+        let clean = CaseSpec {
+            fault: None,
+            ..spec
+        };
+        let text = serde_json::to_string(&spec_to_value(&clean)).unwrap();
+        assert_eq!(
+            spec_from_value(&serde_json::from_str(&text).unwrap()).unwrap(),
+            clean
+        );
+    }
+}

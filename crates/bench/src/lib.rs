@@ -15,6 +15,10 @@
 //! * [`exp_faults`] — aggregation completion vs per-link loss.
 //! * [`exp_load`] — offered load vs latency on both architectures (the
 //!   honest cost of the central hop).
+//! * [`conformance`] — the E-C1 differential conformance harness: random
+//!   program/workload generation, three-way RMT↔ADCP↔reference
+//!   equivalence, fault-injection soak, and failure shrinking behind the
+//!   `conformance` binary.
 //! * [`par`] — order-preserving scoped-thread map; every sweep above runs
 //!   its config points through it.
 //! * [`report`] — console tables and `--json` output.
@@ -24,6 +28,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod conformance;
 pub mod exp_ablations;
 pub mod exp_faults;
 pub mod exp_figs;

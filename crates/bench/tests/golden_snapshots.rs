@@ -1,0 +1,200 @@
+//! Golden-snapshot tests for every figure/table regenerator in quick mode.
+//!
+//! Each regenerator's rows are serialized to JSON and compared against the
+//! committed snapshot in `tests/golden/<name>.json` (repo root). Numeric
+//! fields compare with a small relative tolerance so harmless float
+//! formatting/platform noise does not fail the build, while any real model
+//! change does.
+//!
+//! To bless new snapshots after an intentional model change:
+//!
+//! ```text
+//! GOLDEN_UPDATE=1 cargo test -p adcp-bench --test golden_snapshots
+//! ```
+//!
+//! then review and commit the diff under `tests/golden/`.
+
+use std::path::PathBuf;
+
+use serde::Serialize;
+
+/// Relative tolerance for numeric comparisons.
+const REL_TOL: f64 = 1e-6;
+/// Absolute floor so values near zero don't blow up the relative check.
+const ABS_TOL: f64 = 1e-9;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/golden")
+}
+
+fn as_number(v: &serde_json::Value) -> Option<f64> {
+    match v {
+        serde_json::Value::U64(_)
+        | serde_json::Value::U128(_)
+        | serde_json::Value::I64(_)
+        | serde_json::Value::F64(_) => v.as_f64(),
+        _ => None,
+    }
+}
+
+/// Recursively diff `got` against `want`, collecting human-readable
+/// mismatch locations.
+fn diff(path: &str, got: &serde_json::Value, want: &serde_json::Value, errs: &mut Vec<String>) {
+    use serde_json::Value;
+    if errs.len() > 20 {
+        return; // enough to act on
+    }
+    match (as_number(got), as_number(want)) {
+        (Some(g), Some(w)) => {
+            let scale = g.abs().max(w.abs()).max(ABS_TOL);
+            if (g - w).abs() > REL_TOL * scale {
+                errs.push(format!("{path}: {g} != {w}"));
+            }
+            return;
+        }
+        (None, None) => {}
+        _ => {
+            errs.push(format!("{path}: type changed ({got:?} vs {want:?})"));
+            return;
+        }
+    }
+    match (got, want) {
+        (Value::Array(g), Value::Array(w)) => {
+            if g.len() != w.len() {
+                errs.push(format!("{path}: {} rows != {} rows", g.len(), w.len()));
+                return;
+            }
+            for (i, (gi, wi)) in g.iter().zip(w.iter()).enumerate() {
+                diff(&format!("{path}[{i}]"), gi, wi, errs);
+            }
+        }
+        (Value::Object(g), Value::Object(w)) => {
+            for (k, wv) in w.iter() {
+                match g.get(k) {
+                    Some(gv) => diff(&format!("{path}.{k}"), gv, wv, errs),
+                    None => errs.push(format!("{path}.{k}: field disappeared")),
+                }
+            }
+            for (k, _) in g.iter() {
+                if w.get(k).is_none() {
+                    errs.push(format!("{path}.{k}: new field (bless the snapshot)"));
+                }
+            }
+        }
+        _ => {
+            if got != want {
+                errs.push(format!("{path}: {got:?} != {want:?}"));
+            }
+        }
+    }
+}
+
+/// Compare (or, with `GOLDEN_UPDATE=1`, bless) one regenerator's rows.
+fn check<T: Serialize>(name: &str, rows: &[T]) {
+    assert!(!rows.is_empty(), "{name}: regenerator produced no rows");
+    let got = serde_json::to_value(rows).expect("rows serialize");
+    let path = golden_dir().join(format!("{name}.json"));
+    if std::env::var("GOLDEN_UPDATE").is_ok() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        let text = serde_json::to_string_pretty(&got).expect("encode snapshot");
+        std::fs::write(&path, text + "\n").expect("write snapshot");
+        return;
+    }
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "{name}: missing golden snapshot {} ({e}); run with GOLDEN_UPDATE=1 to create it",
+            path.display()
+        )
+    });
+    let want = serde_json::from_str(&text).expect("parse golden snapshot");
+    let mut errs = Vec::new();
+    diff(name, &got, &want, &mut errs);
+    assert!(
+        errs.is_empty(),
+        "{name}: output drifted from tests/golden/{name}.json \
+         (GOLDEN_UPDATE=1 blesses intentional changes):\n  {}",
+        errs.join("\n  ")
+    );
+}
+
+#[test]
+fn golden_table1() {
+    check("table1", &adcp_bench::exp_tables::table1(true));
+}
+
+#[test]
+fn golden_table2() {
+    check("table2", &adcp_bench::exp_tables::table2());
+}
+
+#[test]
+fn golden_table3() {
+    check("table3", &adcp_bench::exp_tables::table3());
+}
+
+#[test]
+fn golden_fig2() {
+    check("fig2", &adcp_bench::exp_figs::fig2(true));
+}
+
+#[test]
+fn golden_fig3() {
+    check("fig3", &adcp_bench::exp_figs::fig3());
+}
+
+#[test]
+fn golden_fig3_hit_rates() {
+    check(
+        "fig3_hit_rates",
+        &adcp_bench::exp_figs::fig3_hit_rates(true),
+    );
+}
+
+#[test]
+fn golden_fig5() {
+    check("fig5", &adcp_bench::exp_figs::fig5(true));
+}
+
+#[test]
+fn golden_fig6() {
+    check("fig6", &adcp_bench::exp_figs::fig6(true));
+}
+
+#[test]
+fn golden_ablate_demux() {
+    check("ablate_demux", &adcp_bench::exp_ablations::ablate_demux());
+}
+
+#[test]
+fn golden_ablate_tm_floorplan() {
+    check(
+        "ablate_tm_floorplan",
+        &adcp_bench::exp_ablations::ablate_tm_floorplan(),
+    );
+}
+
+#[test]
+fn golden_ablate_multiclock() {
+    check(
+        "ablate_multiclock",
+        &adcp_bench::exp_ablations::ablate_multiclock(),
+    );
+}
+
+#[test]
+fn golden_ablate_sched() {
+    check("ablate_sched", &adcp_bench::exp_sched::ablate_sched(true));
+}
+
+#[test]
+fn golden_ablate_faults() {
+    check(
+        "ablate_faults",
+        &adcp_bench::exp_faults::ablate_faults(true),
+    );
+}
+
+#[test]
+fn golden_ablate_load() {
+    check("ablate_load", &adcp_bench::exp_load::ablate_load(true));
+}

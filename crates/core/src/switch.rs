@@ -99,6 +99,9 @@ pub struct AdcpCounters {
     pub delivered: u64,
     /// Parse failures (any pipeline).
     pub parse_errors: u64,
+    /// Sealed frames whose check sequence failed on injection (corrupted
+    /// on the wire); discarded before touching any table or register.
+    pub fcs_drops: u64,
     /// Dropped by a program `Drop` action.
     pub filtered: u64,
     /// Reached TM2 with no forwarding decision.
@@ -137,6 +140,7 @@ impl AdcpCounters {
     /// Sum of all drop classes.
     pub fn total_drops(&self) -> u64 {
         self.parse_errors
+            + self.fcs_drops
             + self.filtered
             + self.no_decision
             + self.bad_port
@@ -519,6 +523,13 @@ impl AdcpSwitch {
     }
 
     fn on_inject(&mut self, now: SimTime, port: u16, mut pkt: Packet) {
+        if !pkt.fcs_ok() {
+            // Corrupted on the wire: discard at the MAC, before the packet
+            // can reach a parser, table, or register.
+            self.counters.fcs_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
         let done = self.rx[port as usize].receive(&mut pkt, now);
         self.tracer
             .record(done, pkt.meta.id, Site::Rx(PortId(port)));
@@ -778,7 +789,7 @@ impl AdcpSwitch {
         }
     }
 
-    fn on_egress_out(&mut self, now: SimTime, _epipe: usize, pkt: Packet) {
+    fn on_egress_out(&mut self, now: SimTime, _epipe: usize, mut pkt: Packet) {
         if pkt.meta.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
             self.drop_packet(now, pkt.meta.id);
@@ -797,6 +808,11 @@ impl AdcpSwitch {
             .record(pkt.wire_bytes(), pkt.meta.goodput_bytes, pkt.meta.elements);
         self.latency.record(done.saturating_since(pkt.meta.created));
         self.last_delivery = self.last_delivery.max(done);
+        if pkt.meta.fcs.is_some() {
+            // Deparse writebacks changed the bytes on purpose; re-stamp the
+            // frame check like a NIC recomputing the CRC on transmit.
+            pkt.reseal();
+        }
         self.delivered.push(Delivered {
             port,
             time: done,

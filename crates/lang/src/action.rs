@@ -281,6 +281,54 @@ impl ActionDef {
             .collect()
     }
 
+    /// Number of action parameters this action consumes: one past the
+    /// highest `Operand::Param` index referenced anywhere in the op list
+    /// (including nested `IfEq` bodies), or 0 when the action takes no
+    /// parameters. Entry installers (and the conformance generator) use this
+    /// to size the `params` vector they must supply.
+    pub fn params_used(&self) -> u8 {
+        fn scan_opnd(o: &Operand, max: &mut u8) {
+            if let Operand::Param(i) = o {
+                *max = (*max).max(i.saturating_add(1));
+            }
+        }
+        fn scan(ops: &[ActionOp], max: &mut u8) {
+            for op in ops {
+                match op {
+                    ActionOp::Set { src, .. } => scan_opnd(src, max),
+                    ActionOp::Bin { a, b, .. } => {
+                        scan_opnd(a, max);
+                        scan_opnd(b, max);
+                    }
+                    ActionOp::RegRead { index, .. } => scan_opnd(index, max),
+                    ActionOp::RegRmw { index, value, .. } => {
+                        scan_opnd(index, max);
+                        scan_opnd(value, max);
+                    }
+                    ActionOp::RegArray { base, .. } => scan_opnd(base, max),
+                    ActionOp::SetEgress(o)
+                    | ActionOp::SetMulticast(o)
+                    | ActionOp::SetCentralPipe(o)
+                    | ActionOp::SetSortKey(o)
+                    | ActionOp::CountElements(o) => scan_opnd(o, max),
+                    ActionOp::IfEq { a, b, then } => {
+                        scan_opnd(a, max);
+                        scan_opnd(b, max);
+                        scan(then, max);
+                    }
+                    ActionOp::Hash { .. }
+                    | ActionOp::ArrayReduce { .. }
+                    | ActionOp::Drop
+                    | ActionOp::MarkDrop
+                    | ActionOp::Recirculate => {}
+                }
+            }
+        }
+        let mut max = 0u8;
+        scan(&self.ops, &mut max);
+        max
+    }
+
     /// True if any op is an array-wide op (needs ADCP array support or RMT
     /// restructuring).
     pub fn has_array_ops(&self) -> bool {
@@ -376,6 +424,32 @@ mod tests {
         assert!(n.writes().is_empty());
         assert!(n.reads().is_empty());
         assert!(!n.has_array_ops());
+    }
+
+    #[test]
+    fn params_used_finds_highest_index() {
+        assert_eq!(ActionDef::nop().params_used(), 0);
+        let a = ActionDef::new(
+            "p",
+            vec![
+                ActionOp::Set {
+                    dst: fr(0, 0),
+                    src: Operand::Param(0),
+                },
+                ActionOp::IfEq {
+                    a: Operand::Field(fr(0, 0)),
+                    b: Operand::Param(2),
+                    then: vec![ActionOp::RegRmw {
+                        reg: RegId(0),
+                        index: Operand::Param(1),
+                        op: RegAluOp::Add,
+                        value: Operand::Param(3),
+                        fetch: None,
+                    }],
+                },
+            ],
+        );
+        assert_eq!(a.params_used(), 4);
     }
 
     #[test]

@@ -83,6 +83,9 @@ pub struct SwitchCounters {
     pub delivered: u64,
     /// Parse failures.
     pub parse_errors: u64,
+    /// Sealed frames whose check sequence failed on injection (corrupted
+    /// on the wire); discarded before touching any table or register.
+    pub fcs_drops: u64,
     /// Dropped by a program `Drop` action.
     pub filtered: u64,
     /// Finished ingress with no forwarding decision.
@@ -119,6 +122,7 @@ impl SwitchCounters {
     /// Sum of all drop classes.
     pub fn total_drops(&self) -> u64 {
         self.parse_errors
+            + self.fcs_drops
             + self.filtered
             + self.no_decision
             + self.bad_port
@@ -455,6 +459,13 @@ impl RmtSwitch {
     }
 
     fn on_inject(&mut self, now: SimTime, port: u16, mut pkt: Packet) {
+        if !pkt.fcs_ok() {
+            // Corrupted on the wire: discard at the MAC, before the packet
+            // can reach a parser, table, or register.
+            self.counters.fcs_drops += 1;
+            self.drop_packet(now, pkt.meta.id);
+            return;
+        }
         let done = self.rx[port as usize].receive(&mut pkt, now);
         self.tracer
             .record(done, pkt.meta.id, Site::Rx(PortId(port)));
@@ -736,6 +747,11 @@ impl RmtSwitch {
             .record(pkt.wire_bytes(), pkt.meta.goodput_bytes, pkt.meta.elements);
         self.latency.record(done.saturating_since(pkt.meta.created));
         self.last_delivery = self.last_delivery.max(done);
+        if pkt.meta.fcs.is_some() {
+            // Deparse writebacks changed the bytes on purpose; re-stamp the
+            // frame check like a NIC recomputing the CRC on transmit.
+            pkt.reseal();
+        }
         self.delivered.push(Delivered {
             port,
             time: done,

@@ -165,6 +165,26 @@ mod tests {
     }
 
     #[test]
+    fn corruption_breaks_the_frame_check() {
+        let cfg = FaultConfig {
+            corrupt_chance: 1.0,
+            ..Default::default()
+        };
+        let mut inj = FaultInjector::new(cfg, SimRng::seed_from(7));
+        for i in 0..32 {
+            let mut p = synthetic_packet(i, FlowId(1), 128).seal();
+            assert!(p.fcs_ok());
+            assert!(p.meta.fcs.is_some());
+            let out = inj.apply(&mut p);
+            assert!(matches!(out, FaultOutcome::Corrupted));
+            assert!(
+                !p.fcs_ok(),
+                "a flipped bit must make the sealed frame fail its check"
+            );
+        }
+    }
+
+    #[test]
     fn delays_are_bounded() {
         let cfg = FaultConfig {
             delay_chance: 1.0,

@@ -109,6 +109,13 @@ pub struct PacketMeta {
     /// Bytes of application payload (goodput accounting); headers and
     /// padding are excluded.
     pub goodput_bytes: u32,
+    /// Frame check sequence stamped by the sender over `data` (the FCS
+    /// stand-in: real NICs append a CRC32; the simulator uses a 64-bit
+    /// FNV-1a over the frame bytes). `None` means the source did not seal
+    /// the frame, and switches skip the integrity check — legacy workloads
+    /// keep working. Fault-injected bit flips leave the stamp stale, which
+    /// is exactly how switches detect and discard corrupted frames.
+    pub fcs: Option<u64>,
 }
 
 impl PacketMeta {
@@ -127,8 +134,22 @@ impl PacketMeta {
             central_pipe: None,
             elements: 0,
             goodput_bytes: 0,
+            fcs: None,
         }
     }
+}
+
+/// Compute the frame check sequence over frame bytes: 64-bit FNV-1a.
+///
+/// Any stable hash works here — the FCS only needs to make a corrupted
+/// frame (one flipped bit) disagree with its stamp deterministically.
+pub fn frame_check(data: &[u8]) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
 }
 
 /// A simulated packet: bytes plus metadata.
@@ -182,6 +203,31 @@ impl Packet {
     pub fn with_elements(mut self, n: u32) -> Self {
         self.meta.elements = n;
         self
+    }
+
+    /// Builder-style: stamp the frame check sequence over the current
+    /// frame bytes. Switch models verify sealed frames on injection and
+    /// discard mismatches (counted as `fcs_drops`) before any table or
+    /// register state can be touched.
+    pub fn seal(mut self) -> Self {
+        self.reseal();
+        self
+    }
+
+    /// Re-stamp the frame check sequence after a legitimate in-switch
+    /// rewrite (deparse writeback changes the bytes on purpose; the
+    /// transmitting switch re-seals like a NIC recomputing the CRC).
+    pub fn reseal(&mut self) {
+        self.meta.fcs = Some(frame_check(&self.data));
+    }
+
+    /// Does the frame pass its integrity check? Unsealed frames
+    /// (`fcs: None`) vacuously pass — the check is opt-in per source.
+    pub fn fcs_ok(&self) -> bool {
+        match self.meta.fcs {
+            Some(stamp) => frame_check(&self.data) == stamp,
+            None => true,
+        }
     }
 
     /// Frame length in bytes (as stored; below-minimum frames are padded on
@@ -258,6 +304,27 @@ mod tests {
         assert_eq!(EgressSpec::Unicast(PortId(3)).ports(), &[PortId(3)]);
         let m = EgressSpec::Multicast(vec![PortId(1), PortId(2)]);
         assert_eq!(m.ports().len(), 2);
+    }
+
+    #[test]
+    fn fcs_seal_check_and_reseal() {
+        let p = synthetic_packet(5, FlowId(2), 96);
+        assert!(p.fcs_ok(), "unsealed frames pass vacuously");
+        assert_eq!(p.meta.fcs, None);
+
+        let sealed = p.seal();
+        assert!(sealed.fcs_ok());
+
+        // A single flipped bit must be detected.
+        let mut corrupted = sealed.clone();
+        let mut buf = corrupted.data.to_vec();
+        buf[40] ^= 0x01;
+        corrupted.data = buf.into();
+        assert!(!corrupted.fcs_ok());
+
+        // Resealing blesses the new bytes (the deparse-writeback path).
+        corrupted.reseal();
+        assert!(corrupted.fcs_ok());
     }
 
     #[test]

@@ -123,3 +123,142 @@ fn interpreter_matches_oracle() {
         assert_eq!(run_interpreter(&steps), run_oracle(&steps));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Array-wide register ops (§3.2): the same Step model, but each step now
+// carries a width-`w` slab applied by one `RegArray` op with readback.
+// ---------------------------------------------------------------------------
+
+/// One array step: (base cell, op selector, w slab values).
+type ArrayStep = (u8, u8, Vec<u32>);
+
+/// Run the steps through the interpreter; returns the final register cells
+/// plus, per step, the post-op values read back into the PHV array.
+fn run_array_interpreter(w: u16, steps: &[ArrayStep]) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let mut b = ProgramBuilder::new("array-oracle");
+    let h = b.header(HeaderDef::new(
+        "m",
+        vec![
+            FieldDef::scalar("op", 8),
+            FieldDef::scalar("base", 8),
+            FieldDef::array("vals", 32, w),
+        ],
+    ));
+    b.parser(ParserSpec::single(h));
+    let reg = b.register(adcp::lang::RegisterDef::new("r", CELLS as u32, 32));
+    let mk = |name: &str, op: RegAluOp| {
+        ActionDef::new(
+            name,
+            vec![ActionOp::RegArray {
+                reg,
+                base: Operand::Field(fr(1)),
+                op,
+                values: fr(2),
+                readback: true,
+            }],
+        )
+    };
+    b.table(TableDef {
+        name: "apply".into(),
+        region: Region::Central,
+        key: Some(adcp::lang::KeySpec {
+            field: fr(0),
+            kind: adcp::lang::MatchKind::Exact,
+            bits: 8,
+        }),
+        actions: vec![
+            mk("write", RegAluOp::Write),
+            mk("add", RegAluOp::Add),
+            mk("max", RegAluOp::Max),
+            mk("min", RegAluOp::Min),
+            ActionDef::nop(),
+        ],
+        default_action: 4,
+        default_params: vec![],
+        size: 8,
+    });
+    let program = b.build();
+    assert!(program.validate().is_empty());
+    let layout = program.layout();
+    let mut st = RegionState::new(&program, Region::Central);
+    for op in 0..4u64 {
+        st.install_by_name(
+            &program,
+            "apply",
+            adcp::lang::Entry {
+                value: adcp::lang::MatchValue::Exact(op),
+                action: op as usize,
+                params: vec![],
+            },
+        )
+        .unwrap();
+    }
+    let mut readbacks = Vec::with_capacity(steps.len());
+    for (base, op, vals) in steps {
+        let mut phv = layout.instantiate();
+        phv.set(&layout, fr(0), (*op % 4) as u64);
+        phv.set(&layout, fr(1), *base as u64);
+        for (i, v) in vals.iter().enumerate() {
+            phv.set_elem(&layout, fr(2), i, *v as u64);
+        }
+        st.run(&program, &layout, &mut phv);
+        readbacks.push(
+            (0..w as usize)
+                .map(|i| phv.get_elem(&layout, fr(2), i))
+                .collect(),
+        );
+    }
+    (st.register(RegId(0)).snapshot().to_vec(), readbacks)
+}
+
+/// Plain-Rust model of `RegArray` + readback: element `i` targets cell
+/// `base + i`; out-of-range lanes are benign no-ops whose readback peeks 0;
+/// results mask at the 32-bit cell width.
+fn run_array_oracle(w: u16, steps: &[ArrayStep]) -> (Vec<u64>, Vec<Vec<u64>>) {
+    let mut cells = vec![0u64; CELLS as usize];
+    let mut readbacks = Vec::with_capacity(steps.len());
+    for (base, op, vals) in steps {
+        let mut step_rb = Vec::with_capacity(w as usize);
+        for (i, v) in vals.iter().enumerate() {
+            let cell = *base as u64 + i as u64;
+            let v = *v as u64;
+            if cell < CELLS {
+                let c = &mut cells[cell as usize];
+                *c = match op % 4 {
+                    0 => v,
+                    1 => (*c + v) & 0xFFFF_FFFF,
+                    2 => (*c).max(v),
+                    _ => (*c).min(v),
+                };
+                step_rb.push(*c);
+            } else {
+                step_rb.push(0);
+            }
+        }
+        readbacks.push(step_rb);
+    }
+    (cells, readbacks)
+}
+
+#[test]
+fn array_interpreter_matches_oracle() {
+    let mut rng = SimRng::seed_from(0x4A2A);
+    for w in [8u16, 16] {
+        for _ in 0..24 {
+            let n = rng.range(0usize..60);
+            let steps: Vec<ArrayStep> = (0..n)
+                .map(|_| {
+                    // Bases past CELLS exercise the benign out-of-range path.
+                    let base = rng.range(0u8..(CELLS as u8 + 8));
+                    let op = rng.range(0u8..=255);
+                    let vals = (0..w).map(|_| rng.range(0u32..=u32::MAX)).collect();
+                    (base, op, vals)
+                })
+                .collect();
+            let (got_cells, got_rb) = run_array_interpreter(w, &steps);
+            let (want_cells, want_rb) = run_array_oracle(w, &steps);
+            assert_eq!(got_cells, want_cells, "final cells diverge at width {w}");
+            assert_eq!(got_rb, want_rb, "readbacks diverge at width {w}");
+        }
+    }
+}

@@ -1,0 +1,217 @@
+//! Frame-integrity regression tests: a corrupted (sealed) frame must be
+//! rejected at injection by both switch models — counted as `fcs_drops`,
+//! never parsed, and **never** allowed to mutate register state — while a
+//! clean sealed frame flows through normally and leaves re-sealed.
+
+use adcp::core::{AdcpConfig, AdcpSwitch};
+use adcp::lang::{
+    ActionDef, ActionOp, CompileOptions, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId, Operand,
+    ParserSpec, Program, ProgramBuilder, RegAluOp, RegId, Region, TableDef, TargetModel,
+};
+use adcp::rmt::{RmtConfig, RmtSwitch};
+use adcp::sim::fault::{FaultConfig, FaultInjector, FaultOutcome};
+use adcp::sim::packet::{FlowId, Packet, PortId};
+use adcp::sim::rng::SimRng;
+use adcp::sim::time::SimTime;
+
+const CELLS: u64 = 64;
+
+/// A program whose central region accumulates `v` into register cell `k`.
+/// Any packet that reaches the tables leaves a visible register footprint,
+/// which is exactly what a corrupted frame must never do.
+fn counting_program() -> (Program, RegId) {
+    let mut b = ProgramBuilder::new("fcs_probe");
+    let h = b.header(HeaderDef::new(
+        "m",
+        vec![FieldDef::scalar("k", 32), FieldDef::scalar("v", 32)],
+    ));
+    b.parser(ParserSpec::single(h));
+    let reg = b.register(adcp::lang::RegisterDef::new("acc", CELLS as u32, 32));
+    let k = FieldRef::new(HeaderId(0), FieldId(0));
+    let v = FieldRef::new(HeaderId(0), FieldId(1));
+    b.table(TableDef {
+        name: "route".into(),
+        region: Region::Ingress,
+        key: None,
+        actions: vec![ActionDef::new(
+            "fwd",
+            vec![
+                ActionOp::SetCentralPipe(Operand::Const(0)),
+                ActionOp::SetEgress(Operand::Const(0)),
+            ],
+        )],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    });
+    b.table(TableDef {
+        name: "acc".into(),
+        region: Region::Central,
+        key: None,
+        actions: vec![ActionDef::new(
+            "bump",
+            vec![ActionOp::RegRmw {
+                reg,
+                index: Operand::Field(k),
+                op: RegAluOp::Add,
+                value: Operand::Field(v),
+                fetch: None,
+            }],
+        )],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    });
+    (b.build(), reg)
+}
+
+/// A sealed probe packet (k=3, v=0x55) and its bit-flipped twin.
+fn probe_packets() -> (Packet, Packet) {
+    let mut data = Vec::new();
+    data.extend_from_slice(&3u32.to_be_bytes());
+    data.extend_from_slice(&0x55u32.to_be_bytes());
+    data.extend_from_slice(&[0u8; 56]);
+    let clean = Packet::new(1, FlowId(1), data).seal();
+    let mut corrupted = clean.clone();
+    corrupted.meta.id = 2;
+    let mut buf = corrupted.data.to_vec();
+    buf[5] ^= 0x10; // flip one bit inside the `v` field
+    corrupted.data = buf.into();
+    (clean, corrupted)
+}
+
+fn register_sum(cells: &[u64]) -> u64 {
+    cells.iter().sum()
+}
+
+#[test]
+fn adcp_rejects_corrupted_frames_before_state() {
+    let (prog, reg) = counting_program();
+    let mut sw = AdcpSwitch::new(
+        prog,
+        TargetModel::adcp_reference(),
+        CompileOptions::default(),
+        AdcpConfig::default(),
+    )
+    .unwrap();
+    let (clean, corrupted) = probe_packets();
+
+    sw.inject(PortId(0), corrupted, SimTime::ZERO);
+    sw.run_until_idle();
+    sw.check_conservation();
+    assert_eq!(sw.counters.fcs_drops, 1);
+    assert_eq!(sw.counters.delivered, 0);
+    assert_eq!(sw.counters.parse_errors, 0, "never reached the parser");
+    for pipe in 0..4 {
+        assert_eq!(
+            register_sum(sw.central_register(pipe, reg).snapshot()),
+            0,
+            "corrupted frame mutated central pipe {pipe}"
+        );
+    }
+
+    // The clean twin works — and leaves the switch re-sealed.
+    sw.inject(PortId(0), clean, SimTime::from_ns(10_000));
+    sw.run_until_idle();
+    sw.check_conservation();
+    assert_eq!(sw.counters.fcs_drops, 1, "no new fcs drops");
+    assert_eq!(sw.counters.delivered, 1);
+    let total: u64 = (0..4)
+        .map(|p| register_sum(sw.central_register(p, reg).snapshot()))
+        .sum();
+    assert_eq!(total, 0x55);
+    let out = sw.take_delivered();
+    assert_eq!(out.len(), 1);
+    let redelivered = Packet {
+        data: out[0].data.clone(),
+        meta: out[0].meta.clone(),
+    };
+    assert!(
+        redelivered.fcs_ok(),
+        "delivery must re-seal rewritten bytes"
+    );
+}
+
+#[test]
+fn rmt_rejects_corrupted_frames_before_state() {
+    let (prog, reg) = counting_program();
+    let mut sw = RmtSwitch::new(
+        prog,
+        TargetModel::rmt_12t(),
+        CompileOptions::default(),
+        RmtConfig::default(),
+    )
+    .unwrap();
+    let (clean, corrupted) = probe_packets();
+
+    sw.inject(PortId(0), corrupted, SimTime::ZERO);
+    sw.run_until_idle();
+    sw.check_conservation();
+    assert_eq!(sw.counters.fcs_drops, 1);
+    assert_eq!(sw.counters.delivered, 0);
+    assert_eq!(sw.counters.parse_errors, 0, "never reached the parser");
+    for pipe in 0..4 {
+        assert_eq!(
+            register_sum(sw.central_register(pipe, reg).snapshot()),
+            0,
+            "corrupted frame mutated central state on pipe {pipe}"
+        );
+    }
+
+    sw.inject(PortId(0), clean, SimTime::from_ns(10_000));
+    sw.run_until_idle();
+    sw.check_conservation();
+    assert_eq!(sw.counters.fcs_drops, 1, "no new fcs drops");
+    assert_eq!(sw.counters.delivered, 1);
+    let total: u64 = (0..4)
+        .map(|p| register_sum(sw.central_register(p, reg).snapshot()))
+        .sum();
+    assert_eq!(total, 0x55);
+    let out = sw.take_delivered();
+    assert_eq!(out.len(), 1);
+    let redelivered = Packet {
+        data: out[0].data.clone(),
+        meta: out[0].meta.clone(),
+    };
+    assert!(
+        redelivered.fcs_ok(),
+        "delivery must re-seal rewritten bytes"
+    );
+}
+
+/// The fault injector's corruption and the frame check compose: every
+/// `Corrupted` outcome on a sealed packet is caught by the switch, and
+/// unsealed (legacy) packets are untouched by the check.
+#[test]
+fn injector_corruption_is_always_caught_when_sealed() {
+    let (prog, _reg) = counting_program();
+    let mut sw = AdcpSwitch::new(
+        prog,
+        TargetModel::adcp_reference(),
+        CompileOptions::default(),
+        AdcpConfig::default(),
+    )
+    .unwrap();
+    let cfg = FaultConfig {
+        corrupt_chance: 0.5,
+        ..Default::default()
+    };
+    let mut inj = FaultInjector::new(cfg, SimRng::seed_from(99));
+    let mut corrupted = 0u64;
+    for i in 0..200u64 {
+        let mut data = Vec::new();
+        data.extend_from_slice(&(i % CELLS).to_be_bytes()[4..]);
+        data.extend_from_slice(&1u32.to_be_bytes());
+        data.extend_from_slice(&[0u8; 56]);
+        let mut pkt = Packet::new(i, FlowId(i), data).seal();
+        if inj.apply(&mut pkt) == FaultOutcome::Corrupted {
+            corrupted += 1;
+        }
+        sw.inject(PortId((i % 8) as u16), pkt, SimTime::from_ns(i * 5_000));
+    }
+    sw.run_until_idle();
+    sw.check_conservation();
+    assert!(corrupted > 0, "the injector must actually corrupt");
+    assert_eq!(sw.counters.fcs_drops, corrupted);
+    assert_eq!(sw.counters.delivered, 200 - corrupted);
+}
