@@ -166,6 +166,15 @@ impl AnySwitch {
             AnySwitch::Adcp(s) => LatencySummary::from(&s.latency),
         }
     }
+
+    /// Export the per-stage metrics registry as JSON, syncing the ad-hoc
+    /// counters into it first (hence `&mut`).
+    pub fn metrics_json(&mut self) -> serde::Value {
+        match self {
+            AnySwitch::Rmt(s) => s.metrics_json(),
+            AnySwitch::Adcp(s) => s.metrics_json(),
+        }
+    }
 }
 
 /// The result of running one app variant.
@@ -200,6 +209,9 @@ pub struct AppReport {
     pub deparse_allocs: u64,
     /// Latency summary of delivered packets.
     pub latency: LatencySummary,
+    /// Per-stage metrics block exported by the switch's metrics registry
+    /// (counters, gauges, span histograms, queue-depth series by scope).
+    pub metrics: serde::Value,
     /// Free-form observations (compiler notes, feature restrictions).
     pub notes: Vec<String>,
 }
@@ -209,11 +221,12 @@ impl AppReport {
     pub fn from_switch(
         app: &str,
         target: TargetKind,
-        sw: &AnySwitch,
+        sw: &mut AnySwitch,
         makespan: SimTime,
         correct: bool,
         notes: Vec<String>,
     ) -> Self {
+        let metrics = sw.metrics_json();
         let (injected, delivered, drops, recirc) = sw.flow_counts();
         let (mat_lookups, mat_hits, deparse_allocs) = sw.mat_stats();
         let elapsed = Duration(makespan.as_ps().max(1));
@@ -236,6 +249,7 @@ impl AppReport {
             },
             deparse_allocs,
             latency: sw.latency(),
+            metrics,
             notes,
         }
     }

@@ -251,7 +251,7 @@ pub fn run(kind: TargetKind, cfg: &FlowletCfg) -> AppReport {
     let mut loads: Vec<_> = per_uplink.iter().map(|(u, c)| (*u, *c)).collect();
     loads.sort_unstable();
     notes.push(format!("uplink loads: {loads:?}"));
-    AppReport::from_switch("flowlet-lb", kind, &sw, makespan, correct, notes)
+    AppReport::from_switch("flowlet-lb", kind, &mut sw, makespan, correct, notes)
 }
 
 #[cfg(test)]

@@ -1,0 +1,106 @@
+//! `adcp-trace` — run one application and dump its per-stage breakdown.
+//!
+//! Usage: `cargo run --release -p adcp-bench --bin adcp-trace --
+//!         [--app NAME] [--target adcp|rmt-pinned|rmt-recirc]
+//!         [--quick] [--json] [--validate]`
+//!
+//! Default output is a per-stage table of every counter, gauge, span
+//! histogram, and queue-depth series the switch recorded. `--json` prints
+//! the full `AppReport` (metrics block included) instead. `--validate`
+//! checks the exported metrics block against
+//! `schemas/metrics.schema.json` and exits non-zero on any violation —
+//! CI runs this on a quick regenerator.
+
+use adcp_apps::driver::TargetKind;
+use adcp_bench::report::{print_json, print_table};
+use adcp_bench::schema::{load_metrics_schema, validate};
+use adcp_bench::trace::{flatten, parse_target, run_one, APP_NAMES};
+
+fn arg_value(name: &str) -> Option<String> {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let app = arg_value("--app").unwrap_or_else(|| "paramserv".into());
+    let target = match arg_value("--target") {
+        None => TargetKind::Adcp,
+        Some(s) => parse_target(&s).unwrap_or_else(|| {
+            eprintln!("unknown --target {s:?} (want adcp, rmt-pinned, or rmt-recirc)");
+            std::process::exit(2);
+        }),
+    };
+    let quick = std::env::args().any(|a| a == "--quick");
+    let json = std::env::args().any(|a| a == "--json");
+    let do_validate = std::env::args().any(|a| a == "--validate");
+
+    let report = run_one(&app, target, quick).unwrap_or_else(|| {
+        eprintln!(
+            "unknown --app {app:?} (want one of: {})",
+            APP_NAMES.join(", ")
+        );
+        std::process::exit(2);
+    });
+
+    if do_validate {
+        let schema = load_metrics_schema().unwrap_or_else(|e| {
+            eprintln!("cannot load metrics schema: {e}");
+            std::process::exit(2);
+        });
+        match validate(&report.metrics, &schema) {
+            Ok(()) => println!("metrics block conforms to schemas/metrics.schema.json"),
+            Err(errors) => {
+                eprintln!("metrics block violates schemas/metrics.schema.json:");
+                for e in &errors {
+                    eprintln!("  {e}");
+                }
+                std::process::exit(1);
+            }
+        }
+    }
+
+    if json {
+        print_json("adcp_trace", std::slice::from_ref(&report));
+        return;
+    }
+
+    let rows = flatten(&report.metrics);
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scope.clone(),
+                r.kind.to_string(),
+                r.name.clone(),
+                r.value.clone(),
+                r.detail.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "adcp-trace — {} on {} ({} run): per-stage metrics",
+            report.app,
+            report.target,
+            if quick { "quick" } else { "full" },
+        ),
+        &["stage", "kind", "metric", "value", "detail"],
+        &cells,
+    );
+    println!(
+        "\n{} | end-to-end p99 {:.1}ns over {} delivered packets",
+        report.summary_line(),
+        report.latency.p99_ns,
+        report.delivered,
+    );
+    if !report
+        .metrics
+        .get("enabled")
+        .and_then(serde::Value::as_bool)
+        .unwrap_or(false)
+    {
+        println!("note: metrics registry disabled (ADCP_METRICS=off) — nothing was recorded");
+    }
+}

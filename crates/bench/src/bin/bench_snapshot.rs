@@ -9,10 +9,16 @@
 //! `--reps` sets best-of-N wall-clock repetitions (default 3). `--quick`
 //! shrinks the workloads and skips the file write, so a sanity run never
 //! clobbers the day's recorded trajectory point.
+//!
+//! `--overhead` instead self-profiles the observability layer: the suite
+//! is timed with the metrics registry off, then on, and the per-point and
+//! aggregate instrumentation overhead is written to
+//! `BENCH_<date>_obs.json` (target: < 5 % aggregate). The separate file
+//! name keeps it from clobbering the day's throughput trajectory point.
 
 use adcp_bench::report::{eng, print_json, print_table, want_json, write_json_file};
-use adcp_bench::snapshot::{run_suite, today_utc, SnapshotRow};
-use std::path::PathBuf;
+use adcp_bench::snapshot::{measure_overhead, run_suite, today_utc, OverheadRow, SnapshotRow};
+use std::path::{Path, PathBuf};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -21,12 +27,52 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn overhead_main(quick: bool, reps: u32, out_dir: &Path) {
+    let (rows, aggregate_pct) = measure_overhead(quick, reps);
+    let date = today_utc();
+    let path = (!quick).then(|| out_dir.join(format!("BENCH_{date}_obs.json")));
+    if let Some(path) = &path {
+        write_json_file(path, "bench_snapshot_overhead", &date, &rows)
+            .expect("write overhead file");
+    }
+    if want_json() {
+        print_json("bench_snapshot_overhead", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r: &OverheadRow| {
+            vec![
+                r.app.clone(),
+                r.target.clone(),
+                format!("{:.2}", r.wall_ms_metrics_off),
+                format!("{:.2}", r.wall_ms_metrics_on),
+                format!("{:+.2}%", r.overhead_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("bench_snapshot {date} — instrumentation overhead (metrics off vs on)"),
+        &["app", "target", "off_ms", "on_ms", "overhead"],
+        &cells,
+    );
+    println!("\naggregate overhead: {aggregate_pct:+.2}% (target < 5%)");
+    match &path {
+        Some(p) => println!("wrote {}", p.display()),
+        None => println!("(quick run: overhead file not written)"),
+    }
+}
+
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let reps: u32 = arg_value("--reps")
         .map(|v| v.parse().expect("--reps takes a number"))
         .unwrap_or(3);
     let out_dir = arg_value("--out").map(PathBuf::from).unwrap_or_default();
+    if std::env::args().any(|a| a == "--overhead") {
+        overhead_main(quick, reps, &out_dir);
+        return;
+    }
 
     let rows = run_suite(quick, reps);
     let date = today_utc();

@@ -45,6 +45,7 @@ use adcp_lang::{
 };
 use adcp_rmt::{RmtConfig, RmtSwitch};
 use adcp_sim::fault::{FaultConfig, FaultInjector, FaultOutcome};
+use adcp_sim::metrics::MetricsRegistry;
 use adcp_sim::packet::{EgressSpec, FlowId, Packet, PortId};
 use adcp_sim::rng::SimRng;
 use adcp_sim::time::SimTime;
@@ -872,6 +873,32 @@ fn apply_bug(mut program: Program, bug: BugHook) -> Program {
     program
 }
 
+/// Read a counter back from the switch's metrics registry, insisting the
+/// mirror agrees with the raw counter the harness otherwise uses: any skew
+/// means `sync_metrics` missed an update and the "one metrics path" claim
+/// is false. Returns the raw value unchanged when the registry is disabled
+/// (`ADCP_METRICS=off`), so conformance still runs with metrics off.
+fn mirrored(
+    name: &str,
+    m: &MetricsRegistry,
+    scope: &str,
+    metric: &str,
+    raw: u64,
+) -> Result<u64, String> {
+    if !m.enabled() {
+        return Ok(raw);
+    }
+    match m.counter_value(scope, metric) {
+        Some(v) if v == raw => Ok(v),
+        Some(v) => Err(format!(
+            "{name}: metrics mirror {scope}.{metric}={v} disagrees with raw counter {raw}"
+        )),
+        None => Err(format!(
+            "{name}: metrics registry has no {scope}.{metric} counter"
+        )),
+    }
+}
+
 /// Gather the common post-run checks and outcome from either switch's
 /// counters and deliveries. `counts` is
 /// `(injected, delivered, filtered, fcs_drops, parse_errors, no_decision,
@@ -998,21 +1025,32 @@ fn run_adcp(
         })
         .collect();
     let c = &sw.counters;
+    // Cross-target metric equality flows through the registry export: read
+    // the mirrored counters back (checking them against the raw ones) and
+    // compare *those* across targets in `compare`.
+    let m = sw.metrics();
+    let fcs_drops =
+        mirrored("adcp", m, "mac", "fcs_drops", c.fcs_drops).map_err(CaseError::Mismatch)?;
+    let mat_lookups =
+        mirrored("adcp", m, "mat", "lookups", c.mat_lookups).map_err(CaseError::Mismatch)?;
+    let mat_hits = mirrored("adcp", m, "mat", "hits", c.mat_hits).map_err(CaseError::Mismatch)?;
+    mirrored("adcp", m, "tx", "packets", c.delivered).map_err(CaseError::Mismatch)?;
+    mirrored("adcp", m, "drops", "filtered", c.filtered).map_err(CaseError::Mismatch)?;
     finish_outcome(
         "adcp",
         (
             c.injected,
             c.delivered,
             c.filtered,
-            c.fcs_drops,
+            fcs_drops,
             c.parse_errors,
             c.no_decision,
             c.bad_port,
             c.tm1_drops + c.tm1_queue_drops + c.tm2_drops + c.tm2_queue_drops,
             c.mcast_copies,
             c.total_drops(),
-            c.mat_lookups,
-            c.mat_hits,
+            mat_lookups,
+            mat_hits,
         ),
         delivered_raw,
         regs,
@@ -1087,21 +1125,31 @@ fn run_rmt(
         })
         .collect();
     let c = &sw.counters;
+    // Same mirrored-read discipline as `run_adcp`: the values compared
+    // across targets come from the metrics export, not the raw counters.
+    let m = sw.metrics();
+    let fcs_drops =
+        mirrored(name, m, "mac", "fcs_drops", c.fcs_drops).map_err(CaseError::Mismatch)?;
+    let mat_lookups =
+        mirrored(name, m, "mat", "lookups", c.mat_lookups).map_err(CaseError::Mismatch)?;
+    let mat_hits = mirrored(name, m, "mat", "hits", c.mat_hits).map_err(CaseError::Mismatch)?;
+    mirrored(name, m, "tx", "packets", c.delivered).map_err(CaseError::Mismatch)?;
+    mirrored(name, m, "drops", "filtered", c.filtered).map_err(CaseError::Mismatch)?;
     finish_outcome(
         name,
         (
             c.injected,
             c.delivered,
             c.filtered,
-            c.fcs_drops,
+            fcs_drops,
             c.parse_errors,
             c.no_decision,
             c.bad_port,
             c.tm_drops + c.queue_drops,
             c.mcast_copies,
             c.total_drops(),
-            c.mat_lookups,
-            c.mat_hits,
+            mat_lookups,
+            mat_hits,
         ),
         delivered_raw,
         regs,

@@ -24,6 +24,10 @@
 //! * [`report`] — console tables and `--json` output.
 //! * [`snapshot`] — the `bench_snapshot` throughput suite behind
 //!   `BENCH_<date>.json` perf-trajectory files.
+//! * [`trace`] — app dispatch and per-stage flattening for the
+//!   `adcp-trace` binary.
+//! * [`schema`] — the JSON-Schema-subset validator behind
+//!   `adcp-trace --validate` and `schemas/*.schema.json`.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -37,4 +41,6 @@ pub mod exp_sched;
 pub mod exp_tables;
 pub mod par;
 pub mod report;
+pub mod schema;
 pub mod snapshot;
+pub mod trace;

@@ -136,6 +136,59 @@ pub fn run_suite(quick: bool, reps: u32) -> Vec<SnapshotRow> {
     })
 }
 
+/// One app × target instrumentation-overhead measurement: the same job
+/// timed with the metrics registry disabled and enabled.
+#[derive(Debug, Clone, Serialize)]
+pub struct OverheadRow {
+    /// Application name.
+    pub app: String,
+    /// Target label.
+    pub target: String,
+    /// Best wall-clock with `ADCP_METRICS=off`, milliseconds.
+    pub wall_ms_metrics_off: f64,
+    /// Best wall-clock with metrics enabled, milliseconds.
+    pub wall_ms_metrics_on: f64,
+    /// Overhead of instrumentation, percent (negative = within noise).
+    pub overhead_pct: f64,
+}
+
+/// Self-profiling hook: time the suite twice — metrics registry off, then
+/// on — and report the per-point and aggregate instrumentation overhead.
+/// The target for the observability layer is **< 5 % aggregate**.
+///
+/// The registry reads `ADCP_METRICS` at switch construction, so this sets
+/// the variable process-wide before each pass (and restores the caller's
+/// value after); call it from the main thread before any other suite runs.
+pub fn measure_overhead(quick: bool, reps: u32) -> (Vec<OverheadRow>, f64) {
+    let saved = std::env::var("ADCP_METRICS").ok();
+    std::env::set_var("ADCP_METRICS", "off");
+    let off = run_suite(quick, reps);
+    std::env::set_var("ADCP_METRICS", "on");
+    let on = run_suite(quick, reps);
+    match saved {
+        Some(v) => std::env::set_var("ADCP_METRICS", v),
+        None => std::env::remove_var("ADCP_METRICS"),
+    }
+
+    let rows: Vec<OverheadRow> = off
+        .iter()
+        .zip(on.iter())
+        .map(|(o, n)| {
+            debug_assert_eq!((&o.app, &o.target), (&n.app, &n.target));
+            OverheadRow {
+                app: o.app.clone(),
+                target: o.target.clone(),
+                wall_ms_metrics_off: o.wall_ms,
+                wall_ms_metrics_on: n.wall_ms,
+                overhead_pct: (n.wall_ms / o.wall_ms - 1.0) * 100.0,
+            }
+        })
+        .collect();
+    let total_off: f64 = rows.iter().map(|r| r.wall_ms_metrics_off).sum();
+    let total_on: f64 = rows.iter().map(|r| r.wall_ms_metrics_on).sum();
+    (rows, (total_on / total_off - 1.0) * 100.0)
+}
+
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).
 pub fn today_utc() -> String {
     let secs = std::time::SystemTime::now()

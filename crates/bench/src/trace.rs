@@ -1,0 +1,207 @@
+//! Per-stage trace support for the `adcp-trace` binary.
+//!
+//! Runs one named application on one architecture variant and flattens the
+//! [`AppReport`]'s embedded metrics block into printable per-stage rows.
+//! The heavy lifting (registration, spans, export) lives in
+//! `adcp_sim::metrics`; this module is presentation plus app dispatch.
+
+use adcp_apps::driver::{AppReport, TargetKind};
+use adcp_apps::{dbshuffle, flowlet, graphmine, groupcomm, kvcache, netlock, paramserv};
+use serde::Value;
+
+/// Application names `adcp-trace --app` accepts, in menu order.
+pub const APP_NAMES: &[&str] = &[
+    "paramserv",
+    "dbshuffle",
+    "graphmine",
+    "groupcomm",
+    "netlock",
+    "kvcache",
+    "flowlet",
+];
+
+/// Parse a `--target` argument. Accepts the report labels (`adcp`,
+/// `rmt/pinned`, `rmt/recirc`) and dash-friendly aliases.
+pub fn parse_target(s: &str) -> Option<TargetKind> {
+    match s {
+        "adcp" => Some(TargetKind::Adcp),
+        "rmt/pinned" | "rmt-pinned" | "pinned" => Some(TargetKind::RmtPinned),
+        "rmt/recirc" | "rmt-recirc" | "recirc" => Some(TargetKind::RmtRecirc),
+        _ => None,
+    }
+}
+
+/// Run one application on one target. `quick` shrinks the workload to the
+/// same sizes the table-1 quick suite uses. Returns `None` for an unknown
+/// app name.
+pub fn run_one(app: &str, kind: TargetKind, quick: bool) -> Option<AppReport> {
+    let report = match app {
+        "paramserv" => {
+            let cfg = if quick {
+                paramserv::ParamServerCfg {
+                    workers: 4,
+                    model_size: 64,
+                    width: 16,
+                    seed: 1,
+                }
+            } else {
+                paramserv::ParamServerCfg::default()
+            };
+            paramserv::run(kind, &cfg)
+        }
+        "dbshuffle" => {
+            let mut cfg = dbshuffle::DbShuffleCfg::default();
+            if quick {
+                cfg.workload.rows_per_mapper = 150;
+            }
+            dbshuffle::run(kind, &cfg)
+        }
+        "graphmine" => {
+            let mut cfg = graphmine::GraphMineCfg::default();
+            if quick {
+                cfg.workload.supersteps = 5;
+                cfg.workload.edges = 3000;
+            }
+            graphmine::run(kind, &cfg)
+        }
+        "groupcomm" => {
+            let mut cfg = groupcomm::GroupCommCfg::default();
+            if quick {
+                cfg.packets = 120;
+            }
+            groupcomm::run(kind, &cfg)
+        }
+        "netlock" => {
+            let mut cfg = netlock::NetLockCfg::default();
+            if quick {
+                cfg.rounds = 3;
+            }
+            netlock::run(kind, &cfg)
+        }
+        "kvcache" => {
+            let mut cfg = kvcache::KvCacheCfg::default();
+            if quick {
+                cfg.requests = 300;
+            }
+            kvcache::run(kind, &cfg).report
+        }
+        "flowlet" => {
+            let mut cfg = flowlet::FlowletCfg::default();
+            if quick {
+                cfg.flows = 16;
+                cfg.pkts_per_flow = 8;
+            }
+            flowlet::run(kind, &cfg)
+        }
+        _ => return None,
+    };
+    Some(report)
+}
+
+/// One flattened metric for the console table.
+#[derive(Debug, Clone)]
+pub struct TraceRow {
+    /// Stage scope (`parser`, `tm1`, …).
+    pub scope: String,
+    /// Metric kind (`counter`, `gauge`, `hist`, `series`).
+    pub kind: &'static str,
+    /// Metric name within the scope.
+    pub name: String,
+    /// Headline value (count for hists, offered samples for series).
+    pub value: String,
+    /// Kind-specific detail column.
+    pub detail: String,
+}
+
+fn ns(ps: u64) -> String {
+    format!("{:.1}ns", ps as f64 / 1e3)
+}
+
+fn u(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or(0)
+}
+
+/// Flatten an exported metrics block (`MetricsRegistry::to_json` shape)
+/// into per-stage rows, preserving registration order.
+pub fn flatten(metrics: &Value) -> Vec<TraceRow> {
+    let mut rows = Vec::new();
+    let Some(scopes) = metrics.get("scopes").and_then(Value::as_object) else {
+        return rows;
+    };
+    for (scope, body) in scopes.iter() {
+        for (kind, key) in [
+            ("counter", "counters"),
+            ("gauge", "gauges"),
+            ("hist", "hists"),
+            ("series", "series"),
+        ] {
+            let Some(group) = body.get(key).and_then(Value::as_object) else {
+                continue;
+            };
+            for (name, v) in group.iter() {
+                let (value, detail) = match kind {
+                    "counter" => (v.as_u64().unwrap_or(0).to_string(), String::new()),
+                    "gauge" => (u(v, "value").to_string(), format!("hwm={}", u(v, "hwm"))),
+                    "hist" => (
+                        u(v, "count").to_string(),
+                        format!(
+                            "p50={} p99={} max={}",
+                            ns(u(v, "p50_ps")),
+                            ns(u(v, "p99_ps")),
+                            ns(u(v, "max_ps")),
+                        ),
+                    ),
+                    _ => (
+                        u(v, "offered").to_string(),
+                        format!(
+                            "kept={} stride={} max={}",
+                            v.get("points")
+                                .and_then(Value::as_array)
+                                .map_or(0, <[Value]>::len),
+                            u(v, "stride"),
+                            v.get("points")
+                                .and_then(Value::as_array)
+                                .into_iter()
+                                .flatten()
+                                .filter_map(|p| p.as_array()?.get(1)?.as_u64())
+                                .max()
+                                .unwrap_or(0),
+                        ),
+                    ),
+                };
+                rows.push(TraceRow {
+                    scope: scope.clone(),
+                    kind,
+                    name: name.clone(),
+                    value,
+                    detail,
+                });
+            }
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_exports_nonempty_metrics() {
+        let r = run_one("groupcomm", TargetKind::Adcp, true).expect("known app");
+        assert!(r.metrics.get("enabled").and_then(Value::as_bool).unwrap());
+        let rows = flatten(&r.metrics);
+        assert!(
+            rows.iter().any(|r| r.scope == "tx" && r.name == "packets"),
+            "tx.packets missing from {rows:?}"
+        );
+        assert!(rows.iter().any(|r| r.kind == "hist" && r.name == "span_ps"));
+    }
+
+    #[test]
+    fn unknown_app_is_none() {
+        assert!(run_one("nosuchapp", TargetKind::Adcp, true).is_none());
+        assert!(parse_target("tofino").is_none());
+        assert_eq!(parse_target("rmt-recirc"), Some(TargetKind::RmtRecirc));
+    }
+}

@@ -89,10 +89,63 @@ fn diff(path: &str, got: &serde_json::Value, want: &serde_json::Value, errs: &mu
     }
 }
 
+/// Metrics time-series points are deterministic but bulky (hundreds of
+/// `[t_ps, v]` pairs per queue per row): in goldens, replace each series
+/// `points` array with a compact digest — kept length plus an FNV-1a hash
+/// over the pairs — which still locks the exact contents without tens of
+/// thousands of committed lines.
+fn digest_series_points(v: &mut serde_json::Value) {
+    use serde_json::Value;
+    let Some(obj) = v.as_object_mut() else {
+        if let Value::Array(items) = v {
+            for item in items {
+                digest_series_points(item);
+            }
+        }
+        return;
+    };
+    let is_series = obj.get("offered").is_some()
+        && obj.get("stride").is_some()
+        && matches!(obj.get("points"), Some(Value::Array(_)));
+    if is_series {
+        let Some(Value::Array(points)) = obj.get("points") else {
+            unreachable!("checked above");
+        };
+        let mut fnv: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |x: u64| {
+            for b in x.to_le_bytes() {
+                fnv ^= u64::from(b);
+                fnv = fnv.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        let kept = points.len() as u64;
+        for p in points {
+            for n in p.as_array().unwrap_or_default() {
+                mix(n.as_u64().unwrap_or(u64::MAX));
+            }
+        }
+        let mut digest = serde_json::Map::new();
+        digest.insert("kept".into(), Value::U64(kept));
+        digest.insert("fnv".into(), Value::String(format!("{fnv:016x}")));
+        obj.insert("points".into(), Value::Object(digest));
+        return;
+    }
+    // Collect keys first: the map iterator borrows obj immutably.
+    let keys: Vec<String> = obj.iter().map(|(k, _)| k.clone()).collect();
+    for k in keys {
+        if let Some(child) = obj.get(&k) {
+            let mut child = child.clone();
+            digest_series_points(&mut child);
+            obj.insert(k, child);
+        }
+    }
+}
+
 /// Compare (or, with `GOLDEN_UPDATE=1`, bless) one regenerator's rows.
 fn check<T: Serialize>(name: &str, rows: &[T]) {
     assert!(!rows.is_empty(), "{name}: regenerator produced no rows");
-    let got = serde_json::to_value(rows).expect("rows serialize");
+    let mut got = serde_json::to_value(rows).expect("rows serialize");
+    digest_series_points(&mut got);
     let path = golden_dir().join(format!("{name}.json"));
     if std::env::var("GOLDEN_UPDATE").is_ok() {
         std::fs::create_dir_all(golden_dir()).expect("create tests/golden");

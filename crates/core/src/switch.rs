@@ -29,6 +29,7 @@ use adcp_lang::{
     RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
+use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
 use adcp_sim::packet::{EgressSpec, Packet, PortId};
 use adcp_sim::port::{RxPort, TxPort};
 use adcp_sim::queue::BufferPool;
@@ -37,6 +38,89 @@ use adcp_sim::stats::{LatencyHist, Meter};
 use adcp_sim::time::{Duration, SimTime};
 use adcp_sim::trace::{Site, Tracer};
 use std::sync::Arc;
+
+/// Retained points per queue-depth/buffer-occupancy time series.
+const SERIES_CAP: usize = 512;
+
+/// Pre-registered handles into the per-stage [`MetricsRegistry`]. Handles
+/// are plain indices, so per-event recording is array math — no string
+/// lookups on the hot path.
+#[derive(Clone, Copy)]
+struct MetricHandles {
+    rx_pkts: CounterId,
+    mac_fcs_drops: CounterId,
+    parse_errors: CounterId,
+    parse_span: HistId,
+    ingress_span: HistId,
+    tm1_drops: CounterId,
+    tm1_queue_drops: CounterId,
+    tm1_residency: HistId,
+    tm1_queue_depth: SeriesId,
+    tm1_buffer: SeriesId,
+    tm1_buffer_gauge: GaugeId,
+    central_span: HistId,
+    tm2_drops: CounterId,
+    tm2_queue_drops: CounterId,
+    tm2_mcast_copies: CounterId,
+    tm2_residency: HistId,
+    tm2_queue_depth: SeriesId,
+    tm2_buffer: SeriesId,
+    tm2_buffer_gauge: GaugeId,
+    egress_span: HistId,
+    deparse_allocs: CounterId,
+    mat_lookups: CounterId,
+    mat_hits: CounterId,
+    drops_filtered: CounterId,
+    drops_no_decision: CounterId,
+    drops_bad_port: CounterId,
+    tx_pkts: CounterId,
+    tx_latency: HistId,
+}
+
+fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
+    let rx = m.scope("rx");
+    let mac = m.scope("mac");
+    let parser = m.scope("parser");
+    let ingress = m.scope("ingress");
+    let tm1 = m.scope("tm1");
+    let central = m.scope("central");
+    let tm2 = m.scope("tm2");
+    let egress = m.scope("egress");
+    let deparser = m.scope("deparser");
+    let mat = m.scope("mat");
+    let drops = m.scope("drops");
+    let tx = m.scope("tx");
+    MetricHandles {
+        rx_pkts: m.counter(rx, "packets"),
+        mac_fcs_drops: m.counter(mac, "fcs_drops"),
+        parse_errors: m.counter(parser, "errors"),
+        parse_span: m.hist(parser, "span_ps"),
+        ingress_span: m.hist(ingress, "span_ps"),
+        tm1_drops: m.counter(tm1, "buffer_drops"),
+        tm1_queue_drops: m.counter(tm1, "queue_drops"),
+        tm1_residency: m.hist(tm1, "residency_ps"),
+        tm1_queue_depth: m.series(tm1, "queue_pkts", SERIES_CAP),
+        tm1_buffer: m.series(tm1, "buffer_cells", SERIES_CAP),
+        tm1_buffer_gauge: m.gauge(tm1, "buffer_cells"),
+        central_span: m.hist(central, "span_ps"),
+        tm2_drops: m.counter(tm2, "buffer_drops"),
+        tm2_queue_drops: m.counter(tm2, "queue_drops"),
+        tm2_mcast_copies: m.counter(tm2, "mcast_copies"),
+        tm2_residency: m.hist(tm2, "residency_ps"),
+        tm2_queue_depth: m.series(tm2, "queue_pkts", SERIES_CAP),
+        tm2_buffer: m.series(tm2, "buffer_cells", SERIES_CAP),
+        tm2_buffer_gauge: m.gauge(tm2, "buffer_cells"),
+        egress_span: m.hist(egress, "span_ps"),
+        deparse_allocs: m.counter(deparser, "allocs"),
+        mat_lookups: m.counter(mat, "lookups"),
+        mat_hits: m.counter(mat, "hits"),
+        drops_filtered: m.counter(drops, "filtered"),
+        drops_no_decision: m.counter(drops, "no_decision"),
+        drops_bad_port: m.counter(drops, "bad_port"),
+        tx_pkts: m.counter(tx, "packets"),
+        tx_latency: m.hist(tx, "latency_ps"),
+    }
+}
 
 /// How the RX side spreads a port's packets over its `m` pipelines (§3.3:
 /// "an application must define how to separate the packet contents").
@@ -230,6 +314,9 @@ pub struct AdcpSwitch {
     pub latency: LatencyHist,
     /// Packet-walk trace.
     pub tracer: Tracer,
+    /// Per-stage metrics registry (spans, queue depths, drop classes).
+    metrics: MetricsRegistry,
+    mh: MetricHandles,
     delivered: Vec<Delivered>,
     in_flight: u64,
     last_delivery: SimTime,
@@ -301,6 +388,8 @@ impl AdcpSwitch {
             Tracer::disabled()
         };
         let demux_rr = vec![0; target.ports as usize];
+        let mut metrics = MetricsRegistry::from_env();
+        let mh = register_metrics(&mut metrics);
         Ok(AdcpSwitch {
             target,
             program: Arc::new(program),
@@ -321,6 +410,8 @@ impl AdcpSwitch {
             out_meter: Meter::default(),
             latency: LatencyHist::new(),
             tracer,
+            metrics,
+            mh,
             delivered: Vec::new(),
             in_flight: 0,
             last_delivery: SimTime::ZERO,
@@ -442,7 +533,83 @@ impl AdcpSwitch {
             last = t;
         }
         self.refresh_mat_counters();
+        self.sync_metrics();
         last.max(self.last_delivery)
+    }
+
+    /// Mirror the ad-hoc [`AdcpCounters`] and per-pipe busy cycles into the
+    /// metrics registry, so the JSON export is the one complete metrics
+    /// path. Values are monotone totals; re-assigning is idempotent.
+    fn sync_metrics(&mut self) {
+        let c = self.counters.clone();
+        let mh = self.mh;
+        let m = &mut self.metrics;
+        m.set_counter(mh.rx_pkts, c.injected);
+        m.set_counter(mh.mac_fcs_drops, c.fcs_drops);
+        m.set_counter(mh.parse_errors, c.parse_errors);
+        m.set_counter(mh.tm1_drops, c.tm1_drops);
+        m.set_counter(mh.tm1_queue_drops, c.tm1_queue_drops);
+        m.set_counter(mh.tm2_drops, c.tm2_drops);
+        m.set_counter(mh.tm2_queue_drops, c.tm2_queue_drops);
+        m.set_counter(mh.tm2_mcast_copies, c.mcast_copies);
+        m.set_counter(mh.deparse_allocs, c.deparse_allocs);
+        m.set_counter(mh.mat_lookups, c.mat_lookups);
+        m.set_counter(mh.mat_hits, c.mat_hits);
+        m.set_counter(mh.drops_filtered, c.filtered);
+        m.set_counter(mh.drops_no_decision, c.no_decision);
+        m.set_counter(mh.drops_bad_port, c.bad_port);
+        m.set_counter(mh.tx_pkts, c.delivered);
+        m.set_gauge(mh.tm1_buffer_gauge, self.pool1.used());
+        m.set_gauge(mh.tm2_buffer_gauge, self.pool2.used());
+        // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
+        // every report on 64-port targets): total busy cycles plus the
+        // busiest pipe, per region.
+        let stages: [(&str, u64, u64); 3] = [
+            (
+                "ingress",
+                self.ingress.iter().map(|p| p.busy_cycles).sum(),
+                self.ingress
+                    .iter()
+                    .map(|p| p.busy_cycles)
+                    .max()
+                    .unwrap_or(0),
+            ),
+            (
+                "central",
+                self.central.iter().map(|p| p.busy_cycles).sum(),
+                self.central
+                    .iter()
+                    .map(|p| p.busy_cycles)
+                    .max()
+                    .unwrap_or(0),
+            ),
+            (
+                "egress",
+                self.egress.iter().map(|p| p.busy_cycles).sum(),
+                self.egress.iter().map(|p| p.busy_cycles).max().unwrap_or(0),
+            ),
+        ];
+        for (name, total, max) in stages {
+            let scope = self.metrics.scope(name);
+            let id = self.metrics.counter(scope, "busy_cycles");
+            self.metrics.set_counter(id, total);
+            let g = self.metrics.gauge(scope, "busy_cycles_max_pipe");
+            self.metrics.set_gauge(g, max);
+        }
+    }
+
+    /// Export the per-stage metrics block (see
+    /// [`MetricsRegistry::to_json`]), synchronizing mirrored counters
+    /// first so the snapshot is complete at any point.
+    pub fn metrics_json(&mut self) -> serde::Value {
+        self.refresh_mat_counters();
+        self.sync_metrics();
+        self.metrics.to_json()
+    }
+
+    /// Shared access to the per-stage metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Copy the per-table lookup/hit totals into [`AdcpCounters`] so a
@@ -569,8 +736,11 @@ impl AdcpSwitch {
     }
 
     /// TM1: application-defined partitioning into central pipelines.
-    fn on_ingress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
+    fn on_ingress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet) {
         self.tracer.record(now, pkt.meta.id, Site::Tm1);
+        // Stage span: RX handoff -> ingress pipeline exit (parse included).
+        self.metrics
+            .record_span(self.mh.ingress_span, pkt.meta.arrived, now);
         if pkt.meta.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
             self.drop_packet(now, pkt.meta.id);
@@ -590,13 +760,20 @@ impl AdcpSwitch {
             self.drop_packet(now, pkt.meta.id);
             return;
         }
-        if !self.pool1.try_alloc(&pkt) {
+        if !self.pool1.try_alloc(&mut pkt) {
             self.counters.tm1_drops += 1;
             self.drop_packet(now, pkt.meta.id);
             return;
         }
+        pkt.meta.tm_enqueued = now;
         let ok = self.central[cpipe].queues.enqueue(pipe, pkt).is_ok();
         debug_assert!(ok);
+        let depth = self.central[cpipe].queues.len() as u64;
+        self.metrics.sample(self.mh.tm1_queue_depth, now, depth);
+        self.metrics
+            .sample(self.mh.tm1_buffer, now, self.pool1.used());
+        self.metrics
+            .set_gauge(self.mh.tm1_buffer_gauge, self.pool1.used());
         self.schedule_pull_central(now, cpipe);
     }
 
@@ -636,7 +813,12 @@ impl AdcpSwitch {
         let Some((_, mut pkt)) = self.central[cpipe].queues.dequeue() else {
             return;
         };
-        self.pool1.release(&pkt);
+        self.pool1.release(&mut pkt);
+        self.metrics
+            .record_span(self.mh.tm1_residency, pkt.meta.tm_enqueued, now);
+        pkt.meta.tm_enqueued = now; // central-stage entry, for its span
+        self.metrics
+            .sample(self.mh.tm1_buffer, now, self.pool1.used());
         // Parse + run the central region (the global partitioned area).
         let Some((mut phv, extracted, consumed, _)) = self.parse(now, &pkt) else {
             return;
@@ -666,6 +848,9 @@ impl AdcpSwitch {
     /// TM2: classic scheduler; any egress port reachable, multicast native.
     fn on_central_out(&mut self, now: SimTime, _cpipe: usize, mut pkt: Packet) {
         self.tracer.record(now, pkt.meta.id, Site::Tm2);
+        // Stage span: central pipeline entry -> exit.
+        self.metrics
+            .record_span(self.mh.central_span, pkt.meta.tm_enqueued, now);
         // Move the decision out rather than cloning it (a Multicast spec
         // owns a port list).
         match std::mem::take(&mut pkt.meta.egress) {
@@ -700,7 +885,7 @@ impl AdcpSwitch {
         }
     }
 
-    fn tm2_admit_one(&mut self, now: SimTime, port: PortId, pkt: Packet) {
+    fn tm2_admit_one(&mut self, now: SimTime, port: PortId, mut pkt: Packet) {
         if port.0 as usize >= self.tx.len() {
             self.counters.bad_port += 1;
             self.drop_packet(now, pkt.meta.id);
@@ -724,13 +909,20 @@ impl AdcpSwitch {
             self.drop_packet(now, pkt.meta.id);
             return;
         }
-        if !self.pool2.try_alloc(&pkt) {
+        if !self.pool2.try_alloc(&mut pkt) {
             self.counters.tm2_drops += 1;
             self.drop_packet(now, pkt.meta.id);
             return;
         }
+        pkt.meta.tm_enqueued = now;
         let ok = self.egress[epipe].queues.enqueue(0, pkt).is_ok();
         debug_assert!(ok);
+        let depth = self.egress[epipe].queues.len() as u64;
+        self.metrics.sample(self.mh.tm2_queue_depth, now, depth);
+        self.metrics
+            .sample(self.mh.tm2_buffer, now, self.pool2.used());
+        self.metrics
+            .set_gauge(self.mh.tm2_buffer_gauge, self.pool2.used());
         self.schedule_pull_egress(now, epipe);
     }
 
@@ -765,7 +957,12 @@ impl AdcpSwitch {
         let Some((_, mut pkt)) = self.egress[epipe].queues.dequeue() else {
             return;
         };
-        self.pool2.release(&pkt);
+        self.pool2.release(&mut pkt);
+        self.metrics
+            .record_span(self.mh.tm2_residency, pkt.meta.tm_enqueued, now);
+        pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
+        self.metrics
+            .sample(self.mh.tm2_buffer, now, self.pool2.used());
         let Some((mut phv, extracted, consumed, _)) = self.parse(now, &pkt) else {
             return;
         };
@@ -800,7 +997,12 @@ impl AdcpSwitch {
             self.drop_packet(now, pkt.meta.id);
             return;
         };
+        // Stage span: egress pipeline entry -> exit.
+        self.metrics
+            .record_span(self.mh.egress_span, pkt.meta.tm_enqueued, now);
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
+        self.metrics
+            .record_span(self.mh.tx_latency, pkt.meta.created, done);
         self.tracer.record(done, pkt.meta.id, Site::Tx(port));
         self.counters.delivered += 1;
         self.in_flight -= 1;
@@ -833,7 +1035,13 @@ impl AdcpSwitch {
             .parser
             .parse(&self.program.headers, &self.layout, &pkt.data)
         {
-            Ok(o) => Some((o.phv, o.extracted, o.consumed, o.depth)),
+            Ok(o) => {
+                self.metrics.record(
+                    self.mh.parse_span,
+                    Duration(o.depth as u64 * self.period.as_ps()),
+                );
+                Some((o.phv, o.extracted, o.consumed, o.depth))
+            }
             Err(_) => {
                 self.counters.parse_errors += 1;
                 self.drop_packet(now, pkt.meta.id);

@@ -30,6 +30,7 @@ use adcp_lang::{
     Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
+use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
 use adcp_sim::packet::{EgressSpec, Packet, PortId};
 use adcp_sim::port::{RxPort, TxPort};
 use adcp_sim::queue::BufferPool;
@@ -38,6 +39,76 @@ use adcp_sim::stats::{LatencyHist, Meter};
 use adcp_sim::time::{Duration, SimTime};
 use adcp_sim::trace::{Site, Tracer};
 use std::sync::Arc;
+
+/// Retained points per queue-depth/buffer-occupancy time series.
+const SERIES_CAP: usize = 512;
+
+/// Pre-registered handles into the per-stage [`MetricsRegistry`]. Handles
+/// are plain indices, so per-event recording is array math — no string
+/// lookups on the hot path.
+#[derive(Clone, Copy)]
+struct MetricHandles {
+    rx_pkts: CounterId,
+    mac_fcs_drops: CounterId,
+    parse_errors: CounterId,
+    parse_span: HistId,
+    ingress_span: HistId,
+    recirc_passes: CounterId,
+    tm_drops: CounterId,
+    tm_queue_drops: CounterId,
+    tm_residency: HistId,
+    tm_queue_depth: SeriesId,
+    tm_buffer: SeriesId,
+    tm_buffer_gauge: GaugeId,
+    tm_mcast_copies: CounterId,
+    egress_span: HistId,
+    deparse_allocs: CounterId,
+    mat_lookups: CounterId,
+    mat_hits: CounterId,
+    drops_filtered: CounterId,
+    drops_no_decision: CounterId,
+    drops_bad_port: CounterId,
+    tx_pkts: CounterId,
+    tx_latency: HistId,
+}
+
+fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
+    let rx = m.scope("rx");
+    let mac = m.scope("mac");
+    let parser = m.scope("parser");
+    let ingress = m.scope("ingress");
+    let recirc = m.scope("recirc");
+    let tm = m.scope("tm");
+    let egress = m.scope("egress");
+    let deparser = m.scope("deparser");
+    let mat = m.scope("mat");
+    let drops = m.scope("drops");
+    let tx = m.scope("tx");
+    MetricHandles {
+        rx_pkts: m.counter(rx, "packets"),
+        mac_fcs_drops: m.counter(mac, "fcs_drops"),
+        parse_errors: m.counter(parser, "errors"),
+        parse_span: m.hist(parser, "span_ps"),
+        ingress_span: m.hist(ingress, "span_ps"),
+        recirc_passes: m.counter(recirc, "passes"),
+        tm_drops: m.counter(tm, "buffer_drops"),
+        tm_queue_drops: m.counter(tm, "queue_drops"),
+        tm_residency: m.hist(tm, "residency_ps"),
+        tm_queue_depth: m.series(tm, "queue_pkts", SERIES_CAP),
+        tm_buffer: m.series(tm, "buffer_cells", SERIES_CAP),
+        tm_buffer_gauge: m.gauge(tm, "buffer_cells"),
+        tm_mcast_copies: m.counter(tm, "mcast_copies"),
+        egress_span: m.hist(egress, "span_ps"),
+        deparse_allocs: m.counter(deparser, "allocs"),
+        mat_lookups: m.counter(mat, "lookups"),
+        mat_hits: m.counter(mat, "hits"),
+        drops_filtered: m.counter(drops, "filtered"),
+        drops_no_decision: m.counter(drops, "no_decision"),
+        drops_bad_port: m.counter(drops, "bad_port"),
+        tx_pkts: m.counter(tx, "packets"),
+        tx_latency: m.hist(tx, "latency_ps"),
+    }
+}
 
 /// Tuning knobs for an [`RmtSwitch`].
 #[derive(Debug, Clone)]
@@ -202,6 +273,9 @@ pub struct RmtSwitch {
     pub latency: LatencyHist,
     /// Packet-walk trace.
     pub tracer: Tracer,
+    /// Per-stage metrics registry (spans, queue depths, drop classes).
+    metrics: MetricsRegistry,
+    mh: MetricHandles,
     delivered: Vec<Delivered>,
     in_flight: u64,
     last_delivery: SimTime,
@@ -259,6 +333,8 @@ impl RmtSwitch {
         } else {
             Tracer::disabled()
         };
+        let mut metrics = MetricsRegistry::from_env();
+        let mh = register_metrics(&mut metrics);
         Ok(RmtSwitch {
             target,
             program: Arc::new(program),
@@ -276,6 +352,8 @@ impl RmtSwitch {
             out_meter: Meter::default(),
             latency: LatencyHist::new(),
             tracer,
+            metrics,
+            mh,
             delivered: Vec::new(),
             in_flight: 0,
             last_delivery: SimTime::ZERO,
@@ -387,7 +465,72 @@ impl RmtSwitch {
             last = t;
         }
         self.refresh_mat_counters();
+        self.sync_metrics();
         last.max(self.last_delivery)
+    }
+
+    /// Mirror the ad-hoc [`SwitchCounters`] and per-pipe busy cycles into
+    /// the metrics registry, so the JSON export is the one complete metrics
+    /// path. Values are monotone totals; re-assigning is idempotent.
+    fn sync_metrics(&mut self) {
+        let c = self.counters.clone();
+        let mh = self.mh;
+        let m = &mut self.metrics;
+        m.set_counter(mh.rx_pkts, c.injected);
+        m.set_counter(mh.mac_fcs_drops, c.fcs_drops);
+        m.set_counter(mh.parse_errors, c.parse_errors);
+        m.set_counter(mh.recirc_passes, c.recirc_passes);
+        m.set_counter(mh.tm_drops, c.tm_drops);
+        m.set_counter(mh.tm_queue_drops, c.queue_drops);
+        m.set_counter(mh.tm_mcast_copies, c.mcast_copies);
+        m.set_counter(mh.deparse_allocs, c.deparse_allocs);
+        m.set_counter(mh.mat_lookups, c.mat_lookups);
+        m.set_counter(mh.mat_hits, c.mat_hits);
+        m.set_counter(mh.drops_filtered, c.filtered);
+        m.set_counter(mh.drops_no_decision, c.no_decision);
+        m.set_counter(mh.drops_bad_port, c.bad_port);
+        m.set_counter(mh.tx_pkts, c.delivered);
+        m.set_gauge(mh.tm_buffer_gauge, self.pool.used());
+        // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
+        // every report on 64-port targets): total busy cycles plus the
+        // busiest pipe, per region.
+        let stages: [(&str, u64, u64); 2] = [
+            (
+                "ingress",
+                self.ingress.iter().map(|p| p.busy_cycles).sum(),
+                self.ingress
+                    .iter()
+                    .map(|p| p.busy_cycles)
+                    .max()
+                    .unwrap_or(0),
+            ),
+            (
+                "egress",
+                self.egress.iter().map(|p| p.busy_cycles).sum(),
+                self.egress.iter().map(|p| p.busy_cycles).max().unwrap_or(0),
+            ),
+        ];
+        for (name, total, max) in stages {
+            let scope = self.metrics.scope(name);
+            let id = self.metrics.counter(scope, "busy_cycles");
+            self.metrics.set_counter(id, total);
+            let g = self.metrics.gauge(scope, "busy_cycles_max_pipe");
+            self.metrics.set_gauge(g, max);
+        }
+    }
+
+    /// Export the per-stage metrics block (see
+    /// [`MetricsRegistry::to_json`]), synchronizing mirrored counters
+    /// first so the snapshot is complete at any point.
+    pub fn metrics_json(&mut self) -> serde::Value {
+        self.refresh_mat_counters();
+        self.sync_metrics();
+        self.metrics.to_json()
+    }
+
+    /// Shared access to the per-stage metrics registry.
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
     }
 
     /// Copy the per-table lookup/hit totals into [`SwitchCounters`] so a
@@ -488,7 +631,9 @@ impl RmtSwitch {
         let mut phv = out.phv;
         phv.intr.ingress_port = pkt.meta.ingress_port;
         // Parse latency scales with structural depth, not port speed (§3.3).
-        let parse_done = now + Duration(out.depth as u64 * self.period.as_ps());
+        let parse_cost = Duration(out.depth as u64 * self.period.as_ps());
+        self.metrics.record(self.mh.parse_span, parse_cost);
+        let parse_done = now + parse_cost;
 
         let p = &mut self.ingress[pipe];
         let entry = parse_done.max(p.next_slot);
@@ -531,6 +676,12 @@ impl RmtSwitch {
     }
 
     fn on_ingress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet, pass: u8) {
+        if pass == 0 {
+            // Stage span: RX handoff -> first ingress pass exit (parse
+            // included; recirculation passes are counted separately).
+            self.metrics
+                .record_span(self.mh.ingress_span, pkt.meta.arrived, now);
+        }
         if pkt.meta.recirculate && pass == 0 {
             // Recirculation: loop back into the ingress pipeline that hosts
             // the coflow state (chosen by the program via central_pipe),
@@ -595,7 +746,7 @@ impl RmtSwitch {
         }
     }
 
-    fn tm_admit_one(&mut self, now: SimTime, port: PortId, pkt: Packet) {
+    fn tm_admit_one(&mut self, now: SimTime, port: PortId, mut pkt: Packet) {
         if port.0 as usize >= self.tx.len() {
             self.counters.bad_port += 1;
             self.drop_packet(now, pkt.meta.id);
@@ -608,13 +759,20 @@ impl RmtSwitch {
             self.drop_packet(now, pkt.meta.id);
             return;
         }
-        if !self.pool.try_alloc(&pkt) {
+        if !self.pool.try_alloc(&mut pkt) {
             self.counters.tm_drops += 1;
             self.drop_packet(now, pkt.meta.id);
             return;
         }
+        pkt.meta.tm_enqueued = now;
         let accepted = self.egress[pipe].queues.enqueue(local, pkt).is_ok();
         debug_assert!(accepted, "room was checked above");
+        let depth = self.egress[pipe].queues.len() as u64;
+        self.metrics.sample(self.mh.tm_queue_depth, now, depth);
+        self.metrics
+            .sample(self.mh.tm_buffer, now, self.pool.used());
+        self.metrics
+            .set_gauge(self.mh.tm_buffer_gauge, self.pool.used());
         self.schedule_pull(now, pipe);
     }
 
@@ -666,10 +824,15 @@ impl RmtSwitch {
             return;
         };
         self.egress[pipe].port_cursor = (local + 1) % ppp;
-        let Some(pkt) = self.egress[pipe].queues.dequeue_queue(local) else {
+        let Some(mut pkt) = self.egress[pipe].queues.dequeue_queue(local) else {
             return;
         };
-        self.pool.release(&pkt);
+        self.pool.release(&mut pkt);
+        self.metrics
+            .record_span(self.mh.tm_residency, pkt.meta.tm_enqueued, now);
+        pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
+        self.metrics
+            .sample(self.mh.tm_buffer, now, self.pool.used());
         let p = &mut self.egress[pipe];
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
@@ -739,7 +902,12 @@ impl RmtSwitch {
         pkt.meta.egress = EgressSpec::Unicast(port);
         // Egress pinning invariant: the port belongs to this pipeline.
         debug_assert_eq!(self.pipe_of_port(port), pipe, "egress pinning violated");
+        // Stage span: egress pipeline entry -> exit.
+        self.metrics
+            .record_span(self.mh.egress_span, pkt.meta.tm_enqueued, now);
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
+        self.metrics
+            .record_span(self.mh.tx_latency, pkt.meta.created, done);
         self.tracer.record(done, pkt.meta.id, Site::Tx(port));
         self.counters.delivered += 1;
         self.in_flight -= 1;

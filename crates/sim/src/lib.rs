@@ -12,6 +12,8 @@
 //!   schedulers (the last is the §3.1 "expanded TM semantics").
 //! * [`fault`] — drop/corrupt/delay fault injection.
 //! * [`stats`] — counters, throughput meters, latency histograms.
+//! * [`metrics`] — per-stage metrics registry (counters, gauges, span
+//!   histograms, queue-depth series) with uniform JSON export.
 //! * [`trace`] — bounded event tracing for packet walks.
 //! * [`rng`] — deterministic, forkable randomness.
 //!
@@ -24,6 +26,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod metrics;
 pub mod packet;
 pub mod port;
 pub mod queue;
@@ -36,6 +39,7 @@ pub mod trace;
 
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
+pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry, ScopeId, SeriesId, TimeSeries};
 pub use packet::{
     synthetic_packet, CoflowId, EgressSpec, FlowId, Packet, PacketMeta, PortId, MIN_WIRE_BYTES,
 };

@@ -1,0 +1,558 @@
+//! Per-stage metrics registry: one uniform path for every number a switch
+//! model reports.
+//!
+//! The paper's claims are *per-stage* latency/throughput arguments (central
+//! pipelines, §3.1; key-rate vs packet-rate, §3.2), so the simulator needs
+//! per-stage visibility: which stage a packet spent its time in, how deep
+//! each queue ran, how full each buffer pool was. This module provides a
+//! lightweight registry of named scopes (parser, MAU stages, TM1/TM2,
+//! central pipelines, queues, deparser), each holding:
+//!
+//! * **counters** — monotonically increasing event counts;
+//! * **gauges** — instantaneous values with a high-water mark;
+//! * **histograms** — the fixed [`LatencyHist`], for span-style stage
+//!   timing recorded on every packet;
+//! * **time series** — bounded, self-decimating `(time, value)` samples for
+//!   queue-depth and buffer-occupancy traces.
+//!
+//! Handles ([`CounterId`], [`GaugeId`], [`HistId`], [`SeriesId`]) are plain
+//! vector indices, so the hot path is an array index plus an integer add —
+//! no string hashing per event. The whole registry can be disabled (the
+//! `ADCP_METRICS=off` environment variable, or
+//! [`MetricsRegistry::new_disabled`]) so `bench_snapshot` can measure the
+//! instrumentation overhead itself; recording into a disabled registry is a
+//! branch and a return.
+//!
+//! [`MetricsRegistry::to_json`] exports everything as one JSON object with
+//! a stable shape (validated against `schemas/metrics.schema.json` in CI),
+//! embedded in every `--json` AppReport and dumped by the `adcp-trace`
+//! binary.
+
+use crate::stats::LatencyHist;
+use crate::time::{Duration, SimTime};
+use serde::{Map, Value};
+
+/// Handle to a named scope (a pipeline stage or other component).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScopeId(usize);
+
+/// Handle to a counter registered in some scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a gauge registered in some scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a latency histogram registered in some scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistId(usize);
+
+/// Handle to a time series registered in some scope.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SeriesId(usize);
+
+/// A bounded `(time, value)` series that decimates itself under pressure.
+///
+/// The series keeps every `stride`-th offered sample; when the buffer
+/// reaches capacity it drops every other retained point and doubles the
+/// stride, so memory stays bounded while the full simulated time range
+/// remains covered (at progressively coarser resolution).
+#[derive(Debug, Clone)]
+pub struct TimeSeries {
+    cap: usize,
+    stride: u64,
+    seen: u64,
+    hwm: u64,
+    points: Vec<(u64, u64)>,
+}
+
+impl TimeSeries {
+    /// Series bounded to at most `cap` retained points (`cap >= 2`).
+    pub fn new(cap: usize) -> Self {
+        TimeSeries {
+            cap: cap.max(2),
+            stride: 1,
+            seen: 0,
+            hwm: 0,
+            points: Vec::new(),
+        }
+    }
+
+    /// Offer a sample at simulated time `t`.
+    pub fn offer(&mut self, t: SimTime, v: u64) {
+        self.hwm = self.hwm.max(v);
+        if self.seen.is_multiple_of(self.stride) {
+            self.points.push((t.as_ps(), v));
+            if self.points.len() >= self.cap {
+                // Halve resolution: keep even-indexed points, double stride.
+                let mut i = 0u32;
+                self.points.retain(|_| {
+                    let keep = i.is_multiple_of(2);
+                    i += 1;
+                    keep
+                });
+                self.stride *= 2;
+            }
+        }
+        self.seen += 1;
+    }
+
+    /// Samples offered (not all are retained).
+    pub fn offered(&self) -> u64 {
+        self.seen
+    }
+
+    /// Retained `(time_ps, value)` points, oldest first.
+    pub fn points(&self) -> &[(u64, u64)] {
+        &self.points
+    }
+
+    /// Current decimation stride (1 = every offered sample retained).
+    pub fn stride(&self) -> u64 {
+        self.stride
+    }
+
+    /// Largest value ever offered, 0 if none. Tracked exactly, independent
+    /// of decimation.
+    pub fn max_value(&self) -> u64 {
+        self.hwm
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Named<T> {
+    scope: usize,
+    name: String,
+    value: T,
+}
+
+/// Registry of per-stage metrics for one switch instance.
+///
+/// See the [module docs](self) for the model. Typical use:
+///
+/// ```
+/// use adcp_sim::metrics::MetricsRegistry;
+/// use adcp_sim::time::{Duration, SimTime};
+///
+/// let mut m = MetricsRegistry::new_enabled();
+/// let parser = m.scope("parser");
+/// let errors = m.counter(parser, "errors");
+/// let span = m.hist(parser, "span_ps");
+/// m.inc(errors);
+/// m.record(span, Duration(1500));
+/// let json = m.to_json();
+/// assert!(json.get("scopes").is_some());
+/// ```
+#[derive(Debug, Clone)]
+pub struct MetricsRegistry {
+    enabled: bool,
+    scopes: Vec<String>,
+    counters: Vec<Named<u64>>,
+    gauges: Vec<Named<Gauge>>,
+    hists: Vec<Named<LatencyHist>>,
+    series: Vec<Named<TimeSeries>>,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Gauge {
+    value: u64,
+    hwm: u64,
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> Self {
+        Self::from_env()
+    }
+}
+
+impl MetricsRegistry {
+    /// Registry with collection on.
+    pub fn new_enabled() -> Self {
+        MetricsRegistry {
+            enabled: true,
+            scopes: Vec::new(),
+            counters: Vec::new(),
+            gauges: Vec::new(),
+            hists: Vec::new(),
+            series: Vec::new(),
+        }
+    }
+
+    /// Registry with collection off: registration still hands out valid
+    /// handles, but every record call is a branch-and-return. Used by
+    /// `bench_snapshot` to measure instrumentation overhead.
+    pub fn new_disabled() -> Self {
+        MetricsRegistry {
+            enabled: false,
+            ..Self::new_enabled()
+        }
+    }
+
+    /// Registry honoring the `ADCP_METRICS` environment variable:
+    /// `off`, `0`, or `false` disable collection; anything else (including
+    /// unset) enables it.
+    pub fn from_env() -> Self {
+        match std::env::var("ADCP_METRICS") {
+            Ok(v) if matches!(v.as_str(), "off" | "0" | "false") => Self::new_disabled(),
+            _ => Self::new_enabled(),
+        }
+    }
+
+    /// Is collection on?
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Find or create the scope named `name`.
+    pub fn scope(&mut self, name: &str) -> ScopeId {
+        if let Some(i) = self.scopes.iter().position(|s| s == name) {
+            return ScopeId(i);
+        }
+        self.scopes.push(name.to_string());
+        ScopeId(self.scopes.len() - 1)
+    }
+
+    /// Find or create a counter in `scope`.
+    pub fn counter(&mut self, scope: ScopeId, name: &str) -> CounterId {
+        if let Some(i) = self
+            .counters
+            .iter()
+            .position(|c| c.scope == scope.0 && c.name == name)
+        {
+            return CounterId(i);
+        }
+        self.counters.push(Named {
+            scope: scope.0,
+            name: name.to_string(),
+            value: 0,
+        });
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Find or create a gauge in `scope`.
+    pub fn gauge(&mut self, scope: ScopeId, name: &str) -> GaugeId {
+        if let Some(i) = self
+            .gauges
+            .iter()
+            .position(|g| g.scope == scope.0 && g.name == name)
+        {
+            return GaugeId(i);
+        }
+        self.gauges.push(Named {
+            scope: scope.0,
+            name: name.to_string(),
+            value: Gauge::default(),
+        });
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Find or create a latency histogram in `scope`.
+    pub fn hist(&mut self, scope: ScopeId, name: &str) -> HistId {
+        if let Some(i) = self
+            .hists
+            .iter()
+            .position(|h| h.scope == scope.0 && h.name == name)
+        {
+            return HistId(i);
+        }
+        self.hists.push(Named {
+            scope: scope.0,
+            name: name.to_string(),
+            value: LatencyHist::new(),
+        });
+        HistId(self.hists.len() - 1)
+    }
+
+    /// Find or create a time series in `scope`, bounded to `cap` points.
+    pub fn series(&mut self, scope: ScopeId, name: &str, cap: usize) -> SeriesId {
+        if let Some(i) = self
+            .series
+            .iter()
+            .position(|s| s.scope == scope.0 && s.name == name)
+        {
+            return SeriesId(i);
+        }
+        self.series.push(Named {
+            scope: scope.0,
+            name: name.to_string(),
+            value: TimeSeries::new(cap),
+        });
+        SeriesId(self.series.len() - 1)
+    }
+
+    /// Increment a counter by one.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId) {
+        if self.enabled {
+            self.counters[id.0].value += 1;
+        }
+    }
+
+    /// Increment a counter by `n`.
+    #[inline]
+    pub fn add(&mut self, id: CounterId, n: u64) {
+        if self.enabled {
+            self.counters[id.0].value += n;
+        }
+    }
+
+    /// Overwrite a counter's value (used when mirroring a counter that is
+    /// maintained elsewhere into the registry at quiescence).
+    #[inline]
+    pub fn set_counter(&mut self, id: CounterId, v: u64) {
+        if self.enabled {
+            self.counters[id.0].value = v;
+        }
+    }
+
+    /// Set a gauge's instantaneous value (high-water mark kept).
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: u64) {
+        if self.enabled {
+            let g = &mut self.gauges[id.0].value;
+            g.value = v;
+            g.hwm = g.hwm.max(v);
+        }
+    }
+
+    /// Record a duration into a histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistId, d: Duration) {
+        if self.enabled {
+            self.hists[id.0].value.record(d);
+        }
+    }
+
+    /// Record the span between two simulation points into a histogram.
+    #[inline]
+    pub fn record_span(&mut self, id: HistId, from: SimTime, to: SimTime) {
+        if self.enabled {
+            self.hists[id.0].value.record_span(from, to);
+        }
+    }
+
+    /// Offer a `(time, value)` sample to a series.
+    #[inline]
+    pub fn sample(&mut self, id: SeriesId, t: SimTime, v: u64) {
+        if self.enabled {
+            self.series[id.0].value.offer(t, v);
+        }
+    }
+
+    /// Look up a counter's current value by scope and name (slow path, for
+    /// tests and cross-target conformance checks).
+    pub fn counter_value(&self, scope: &str, name: &str) -> Option<u64> {
+        let si = self.scopes.iter().position(|s| s == scope)?;
+        self.counters
+            .iter()
+            .find(|c| c.scope == si && c.name == name)
+            .map(|c| c.value)
+    }
+
+    /// Shared access to a histogram by scope and name (slow path).
+    pub fn hist_ref(&self, scope: &str, name: &str) -> Option<&LatencyHist> {
+        let si = self.scopes.iter().position(|s| s == scope)?;
+        self.hists
+            .iter()
+            .find(|h| h.scope == si && h.name == name)
+            .map(|h| &h.value)
+    }
+
+    /// Export the registry as one JSON object:
+    ///
+    /// ```json
+    /// {
+    ///   "enabled": true,
+    ///   "scopes": {
+    ///     "<scope>": {
+    ///       "counters": {"<name>": 7},
+    ///       "gauges":   {"<name>": {"value": 3, "hwm": 9}},
+    ///       "hists":    {"<name>": {"count": …, "min_ps": …, "mean_ps": …,
+    ///                                "p50_ps": …, "p99_ps": …,
+    ///                                "p99_upper_ps": …, "max_ps": …,
+    ///                                "overflow": …}},
+    ///       "series":   {"<name>": {"offered": …, "stride": …,
+    ///                                "points": [[t_ps, v], …]}}
+    ///     }
+    ///   }
+    /// }
+    /// ```
+    ///
+    /// Scope and metric order is registration order (deterministic), so the
+    /// encoded JSON is byte-stable for a given simulation.
+    pub fn to_json(&self) -> Value {
+        let mut scopes = Map::new();
+        for (si, sname) in self.scopes.iter().enumerate() {
+            let mut counters = Map::new();
+            for c in self.counters.iter().filter(|c| c.scope == si) {
+                counters.insert(c.name.clone(), Value::U64(c.value));
+            }
+            let mut gauges = Map::new();
+            for g in self.gauges.iter().filter(|g| g.scope == si) {
+                let mut o = Map::new();
+                o.insert("value".into(), Value::U64(g.value.value));
+                o.insert("hwm".into(), Value::U64(g.value.hwm));
+                gauges.insert(g.name.clone(), Value::Object(o));
+            }
+            let mut hists = Map::new();
+            for h in self.hists.iter().filter(|h| h.scope == si) {
+                hists.insert(h.name.clone(), hist_json(&h.value));
+            }
+            let mut series = Map::new();
+            for s in self.series.iter().filter(|s| s.scope == si) {
+                let mut o = Map::new();
+                o.insert("offered".into(), Value::U64(s.value.offered()));
+                o.insert("stride".into(), Value::U64(s.value.stride()));
+                o.insert(
+                    "points".into(),
+                    Value::Array(
+                        s.value
+                            .points()
+                            .iter()
+                            .map(|&(t, v)| Value::Array(vec![Value::U64(t), Value::U64(v)]))
+                            .collect(),
+                    ),
+                );
+                series.insert(s.name.clone(), Value::Object(o));
+            }
+            let mut scope = Map::new();
+            scope.insert("counters".into(), Value::Object(counters));
+            scope.insert("gauges".into(), Value::Object(gauges));
+            scope.insert("hists".into(), Value::Object(hists));
+            scope.insert("series".into(), Value::Object(series));
+            scopes.insert(sname.clone(), Value::Object(scope));
+        }
+        let mut root = Map::new();
+        root.insert("enabled".into(), Value::Bool(self.enabled));
+        root.insert("scopes".into(), Value::Object(scopes));
+        Value::Object(root)
+    }
+}
+
+fn hist_json(h: &LatencyHist) -> Value {
+    let mut o = Map::new();
+    o.insert("count".into(), Value::U64(h.count()));
+    o.insert("min_ps".into(), Value::U64(h.min_ps()));
+    o.insert("mean_ps".into(), Value::F64(h.mean_ps()));
+    o.insert("p50_ps".into(), Value::U64(h.percentile_ps(0.50)));
+    o.insert("p99_ps".into(), Value::U64(h.percentile_ps(0.99)));
+    o.insert(
+        "p99_upper_ps".into(),
+        Value::U64(h.percentile_upper_ps(0.99)),
+    );
+    o.insert("max_ps".into(), Value::U64(h.max_ps()));
+    o.insert("overflow".into(), Value::U64(h.overflow_count()));
+    Value::Object(o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_stable_and_idempotent() {
+        let mut m = MetricsRegistry::new_enabled();
+        let a = m.scope("parser");
+        let b = m.scope("tm1");
+        assert_eq!(m.scope("parser"), a);
+        let c1 = m.counter(a, "errors");
+        let c2 = m.counter(b, "errors");
+        assert_ne!(c1, c2, "same name in different scopes is distinct");
+        assert_eq!(m.counter(a, "errors"), c1);
+        m.inc(c1);
+        m.add(c1, 4);
+        assert_eq!(m.counter_value("parser", "errors"), Some(5));
+        assert_eq!(m.counter_value("tm1", "errors"), Some(0));
+        assert_eq!(m.counter_value("nope", "errors"), None);
+    }
+
+    #[test]
+    fn disabled_registry_records_nothing() {
+        let mut m = MetricsRegistry::new_disabled();
+        let s = m.scope("tm1");
+        let c = m.counter(s, "drops");
+        let h = m.hist(s, "span_ps");
+        let ts = m.series(s, "depth", 8);
+        m.inc(c);
+        m.record(h, Duration(100));
+        m.sample(ts, SimTime(1), 5);
+        assert_eq!(m.counter_value("tm1", "drops"), Some(0));
+        assert_eq!(m.hist_ref("tm1", "span_ps").unwrap().count(), 0);
+        let json = m.to_json();
+        assert_eq!(json.get("enabled").and_then(|v| v.as_bool()), Some(false));
+    }
+
+    #[test]
+    fn gauge_tracks_hwm() {
+        let mut m = MetricsRegistry::new_enabled();
+        let s = m.scope("pool");
+        let g = m.gauge(s, "used");
+        m.set_gauge(g, 10);
+        m.set_gauge(g, 3);
+        let json = m.to_json();
+        let gj = json
+            .get("scopes")
+            .and_then(|v| v.get("pool"))
+            .and_then(|v| v.get("gauges"))
+            .and_then(|v| v.get("used"))
+            .expect("gauge exported");
+        assert_eq!(gj.get("value").and_then(|v| v.as_u64()), Some(3));
+        assert_eq!(gj.get("hwm").and_then(|v| v.as_u64()), Some(10));
+    }
+
+    #[test]
+    fn series_decimates_under_pressure() {
+        let mut ts = TimeSeries::new(8);
+        for i in 0..1000u64 {
+            ts.offer(SimTime(i), i);
+        }
+        assert_eq!(ts.offered(), 1000);
+        assert!(ts.points().len() < 8, "stays under capacity");
+        assert!(ts.stride() > 1, "stride doubled under pressure");
+        assert_eq!(ts.max_value(), 999, "hwm exact despite decimation");
+        // Points remain in time order and span the range.
+        let pts = ts.points();
+        assert!(pts.windows(2).all(|w| w[0].0 < w[1].0));
+        assert_eq!(pts[0].0, 0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let mut m = MetricsRegistry::new_enabled();
+        let s = m.scope("egress");
+        let c = m.counter(s, "tx_pkts");
+        let h = m.hist(s, "span_ps");
+        let ts = m.series(s, "depth", 16);
+        m.add(c, 2);
+        m.record(h, Duration(5000));
+        m.sample(ts, SimTime(10), 1);
+        let json = m.to_json();
+        let scope = json
+            .get("scopes")
+            .and_then(|v| v.get("egress"))
+            .expect("scope present");
+        assert_eq!(
+            scope
+                .get("counters")
+                .and_then(|v| v.get("tx_pkts"))
+                .and_then(|v| v.as_u64()),
+            Some(2)
+        );
+        let hist = scope.get("hists").and_then(|v| v.get("span_ps")).unwrap();
+        for key in [
+            "count",
+            "min_ps",
+            "mean_ps",
+            "p50_ps",
+            "p99_ps",
+            "p99_upper_ps",
+            "max_ps",
+            "overflow",
+        ] {
+            assert!(hist.get(key).is_some(), "hist field {key} present");
+        }
+        let series = scope.get("series").and_then(|v| v.get("depth")).unwrap();
+        assert_eq!(series.get("offered").and_then(|v| v.as_u64()), Some(1));
+    }
+}

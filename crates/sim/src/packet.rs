@@ -116,6 +116,15 @@ pub struct PacketMeta {
     /// keep working. Fault-injected bit flips leave the stamp stale, which
     /// is exactly how switches detect and discard corrupted frames.
     pub fcs: Option<u64>,
+    /// Buffer-pool allocation token: the cell count charged when this packet
+    /// was admitted to a traffic manager. Release must return exactly this
+    /// many cells — recomputing from the frame length at release time drifts
+    /// whenever the frame was rewritten (deparse writeback, header grow or
+    /// shrink) while buffered. `None` when the packet holds no cells.
+    pub buf_cells: Option<u32>,
+    /// Time the packet was admitted to the traffic manager it currently sits
+    /// in (or last sat in). Used for TM-residency stage spans.
+    pub tm_enqueued: SimTime,
 }
 
 impl PacketMeta {
@@ -135,6 +144,8 @@ impl PacketMeta {
             elements: 0,
             goodput_bytes: 0,
             fcs: None,
+            buf_cells: None,
+            tm_enqueued: SimTime::ZERO,
         }
     }
 }

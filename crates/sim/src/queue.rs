@@ -176,8 +176,17 @@ impl BufferPool {
     }
 
     /// Try to allocate cells for a packet. Returns `false` (and counts a
-    /// refusal) when the pool cannot hold it.
-    pub fn try_alloc(&mut self, p: &Packet) -> bool {
+    /// refusal) when the pool cannot hold it. On success the charged cell
+    /// count is snapshotted into `p.meta.buf_cells` so [`release`] returns
+    /// exactly what was taken, even if the frame is rewritten (re-sealed,
+    /// header grown or shrunk) while buffered.
+    ///
+    /// [`release`]: BufferPool::release
+    pub fn try_alloc(&mut self, p: &mut Packet) -> bool {
+        debug_assert!(
+            p.meta.buf_cells.is_none(),
+            "double alloc: packet already holds cells"
+        );
         let need = self.cells_for(p);
         if self.used_cells + need > self.total_cells {
             self.refusals += 1;
@@ -185,14 +194,25 @@ impl BufferPool {
         }
         self.used_cells += need;
         self.hwm_cells = self.hwm_cells.max(self.used_cells);
+        p.meta.buf_cells = Some(need as u32);
         true
     }
 
-    /// Release the cells held by a packet.
-    pub fn release(&mut self, p: &Packet) {
-        let need = self.cells_for(p);
-        debug_assert!(self.used_cells >= need, "buffer pool underflow");
-        self.used_cells = self.used_cells.saturating_sub(need);
+    /// Release the cells held by a packet, consuming its allocation token.
+    ///
+    /// Recomputing `cells_for(p)` here — what this used to do — silently
+    /// leaked cells when a buffered frame shrank and underflowed the pool
+    /// when it grew.
+    pub fn release(&mut self, p: &mut Packet) {
+        let held = match p.meta.buf_cells.take() {
+            Some(n) => n as u64,
+            None => {
+                debug_assert!(false, "release without an allocation token");
+                self.cells_for(p)
+            }
+        };
+        debug_assert!(self.used_cells >= held, "buffer pool underflow");
+        self.used_cells = self.used_cells.saturating_sub(held);
     }
 }
 
@@ -242,11 +262,13 @@ mod tests {
     #[test]
     fn pool_allocates_in_cells() {
         let mut pool = BufferPool::new(10, 80);
-        let p = pkt(0, 100); // 2 cells of 80 B
+        let mut p = pkt(0, 100); // 2 cells of 80 B
         assert_eq!(pool.cells_for(&p), 2);
-        assert!(pool.try_alloc(&p));
+        assert!(pool.try_alloc(&mut p));
+        assert_eq!(p.meta.buf_cells, Some(2));
         assert_eq!(pool.used(), 2);
-        pool.release(&p);
+        pool.release(&mut p);
+        assert_eq!(p.meta.buf_cells, None, "token consumed on release");
         assert_eq!(pool.used(), 0);
         assert_eq!(pool.free(), 10);
     }
@@ -254,15 +276,42 @@ mod tests {
     #[test]
     fn pool_refuses_when_exhausted() {
         let mut pool = BufferPool::new(3, 64);
-        let big = pkt(0, 200); // 4 cells — never fits
-        assert!(!pool.try_alloc(&big));
+        let mut big = pkt(0, 200); // 4 cells — never fits
+        assert!(!pool.try_alloc(&mut big));
+        assert_eq!(big.meta.buf_cells, None, "refused alloc leaves no token");
         assert_eq!(pool.refusals, 1);
-        let small = pkt(1, 64);
-        assert!(pool.try_alloc(&small));
-        assert!(pool.try_alloc(&small));
-        assert!(pool.try_alloc(&small));
-        assert!(!pool.try_alloc(&small));
+        for id in 1..=3 {
+            assert!(pool.try_alloc(&mut pkt(id, 64)));
+        }
+        assert!(!pool.try_alloc(&mut pkt(4, 64)));
         assert_eq!(pool.refusals, 2);
         assert_eq!(pool.hwm_cells, 3);
+    }
+
+    #[test]
+    fn pool_release_matches_alloc_for_rewritten_frames() {
+        // Regression: `release` used to recompute `cells_for` from the frame
+        // length at release time, so a frame rewritten while buffered leaked
+        // cells (shrink) or underflowed the pool (grow).
+        let mut pool = BufferPool::new(100, 64);
+
+        // Shrink in flight: alloc 2 cells, rewrite to a 1-cell frame.
+        let mut p = pkt(0, 128); // 2 cells
+        assert!(pool.try_alloc(&mut p));
+        assert_eq!(pool.used(), 2);
+        p.data = vec![0u8; 60].into();
+        p.reseal();
+        pool.release(&mut p);
+        assert_eq!(pool.used(), 0, "shrunk frame must not leak cells");
+
+        // Grow in flight: alloc 1 cell, rewrite to a 3-cell frame.
+        let mut p = pkt(1, 60); // 1 cell
+        assert!(pool.try_alloc(&mut p));
+        assert_eq!(pool.used(), 1);
+        p.data = vec![0u8; 180].into();
+        p.reseal();
+        pool.release(&mut p);
+        assert_eq!(pool.used(), 0, "grown frame must not underflow the pool");
+        assert_eq!(pool.free(), 100);
     }
 }

@@ -102,6 +102,9 @@ pub struct LatencyHist {
     min: u64,
     max: u64,
     sum: u128,
+    /// Samples beyond the last bucket's range, clamped into it on `record`.
+    /// A nonzero count means the top percentiles are range-limited.
+    overflow: u64,
 }
 
 const SUB_BUCKETS: u64 = 64;
@@ -122,6 +125,7 @@ impl LatencyHist {
             min: u64::MAX,
             max: 0,
             sum: 0,
+            overflow: 0,
         }
     }
 
@@ -145,6 +149,24 @@ impl LatencyHist {
         (SUB_BUCKETS + sub) << (decade - 1)
     }
 
+    /// Largest value that lands in bucket `idx` (inclusive upper bound).
+    fn bucket_high(idx: usize) -> u64 {
+        if idx + 1 >= ((64 - SUB_BITS as usize) + 1) * SUB_BUCKETS as usize {
+            return u64::MAX;
+        }
+        Self::bucket_low(idx + 1) - 1
+    }
+
+    /// Center of bucket `idx`: the unbiased point estimate for any sample
+    /// that landed there. (The lower bound — what `percentile_ps` used to
+    /// return — biases every reported percentile low by up to one bucket
+    /// width, ~1.6%.)
+    fn bucket_mid(idx: usize) -> u64 {
+        let low = Self::bucket_low(idx);
+        let high = Self::bucket_high(idx);
+        low + (high - low) / 2
+    }
+
     /// Record a duration.
     pub fn record(&mut self, d: Duration) {
         let v = d.as_ps();
@@ -152,7 +174,11 @@ impl LatencyHist {
         if idx < self.counts.len() {
             self.counts[idx] += 1;
         } else {
+            // Beyond the histogram's range: clamp into the last bucket, but
+            // count the clamp so range saturation is visible instead of
+            // silently folding into an apparently in-range percentile.
             *self.counts.last_mut().unwrap() += 1;
+            self.overflow += 1;
         }
         self.total += 1;
         self.min = self.min.min(v);
@@ -179,9 +205,24 @@ impl LatencyHist {
         }
     }
 
-    /// Largest sample (ps).
+    /// Largest sample (ps), 0 if empty (consistent with [`min_ps`]).
+    ///
+    /// [`min_ps`]: LatencyHist::min_ps
     pub fn max_ps(&self) -> u64 {
-        self.max
+        if self.total == 0 {
+            0
+        } else {
+            self.max
+        }
+    }
+
+    /// Samples that exceeded the histogram's range and were clamped into
+    /// the last bucket by [`record`]. Nonzero means the top percentiles are
+    /// range-limited and should be read as lower bounds.
+    ///
+    /// [`record`]: LatencyHist::record
+    pub fn overflow_count(&self) -> u64 {
+        self.overflow
     }
 
     /// Mean sample (ps), 0 if empty.
@@ -193,10 +234,10 @@ impl LatencyHist {
         }
     }
 
-    /// Approximate percentile (`q` in `[0, 1]`), returned as picoseconds.
-    pub fn percentile_ps(&self, q: f64) -> u64 {
+    /// Bucket index holding the sample at quantile `q`, or `None` if empty.
+    fn percentile_bucket(&self, q: f64) -> Option<usize> {
         if self.total == 0 {
-            return 0;
+            return None;
         }
         let q = q.clamp(0.0, 1.0);
         let rank = ((q * self.total as f64).ceil() as u64).max(1);
@@ -204,10 +245,34 @@ impl LatencyHist {
         for (i, &c) in self.counts.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return Self::bucket_low(i);
+                return Some(i);
             }
         }
-        self.max
+        None
+    }
+
+    /// Approximate percentile (`q` in `[0, 1]`), returned as picoseconds.
+    ///
+    /// Returns the *midpoint* of the bucket holding the rank-`q` sample,
+    /// clamped to the observed `[min, max]` so the tails never report a
+    /// value outside what was actually recorded. (Returning the bucket
+    /// lower bound, as this used to, biased every percentile low by up to
+    /// a full bucket width.)
+    pub fn percentile_ps(&self, q: f64) -> u64 {
+        match self.percentile_bucket(q) {
+            None => 0,
+            Some(i) => Self::bucket_mid(i).clamp(self.min, self.max),
+        }
+    }
+
+    /// Conservative upper bound on the percentile: the inclusive upper edge
+    /// of the bucket holding the rank-`q` sample, clamped to the observed
+    /// maximum. The true quantile is never above this value.
+    pub fn percentile_upper_ps(&self, q: f64) -> u64 {
+        match self.percentile_bucket(q) {
+            None => 0,
+            Some(i) => Self::bucket_high(i).min(self.max),
+        }
     }
 }
 
@@ -299,16 +364,64 @@ mod tests {
         assert_eq!(h.count(), 2);
         assert_eq!(h.min_ps(), 0);
         assert!(h.percentile_ps(1.0) > 0);
+        assert!(h.percentile_ps(1.0) <= h.max_ps());
+        // Full u64 range fits in the bucket table, so nothing clamps.
+        assert_eq!(h.overflow_count(), 0);
     }
 
     #[test]
     fn empty_hist_is_safe() {
         let h = LatencyHist::new();
         assert_eq!(h.percentile_ps(0.5), 0);
+        assert_eq!(h.percentile_upper_ps(0.5), 0);
         assert_eq!(h.min_ps(), 0);
+        assert_eq!(h.max_ps(), 0);
         assert_eq!(h.mean_ps(), 0.0);
+        assert_eq!(h.overflow_count(), 0);
         let s = LatencySummary::from(&h);
         assert_eq!(s.count, 0);
+        assert_eq!(s.max_ns, 0.0);
+    }
+
+    #[test]
+    fn percentile_uses_bucket_midpoint_clamped_to_samples() {
+        // A single repeated value: min == max, so every percentile must be
+        // exactly that value (the midpoint clamp pins it).
+        let mut h = LatencyHist::new();
+        for _ in 0..100 {
+            h.record(Duration(9_000));
+        }
+        assert_eq!(h.percentile_ps(0.5), 9_000);
+        assert_eq!(h.percentile_ps(0.99), 9_000);
+        assert_eq!(h.percentile_upper_ps(0.5), 9_000);
+
+        // Uniform samples: the midpoint estimate must not sit at the bucket
+        // lower bound (the old bias) and must bracket the true quantile
+        // within one bucket width.
+        let mut h = LatencyHist::new();
+        for i in 1..=10_000u64 {
+            h.record(Duration(i));
+        }
+        let p50 = h.percentile_ps(0.5);
+        let p50_hi = h.percentile_upper_ps(0.5);
+        assert!(p50 <= p50_hi, "midpoint {p50} above upper bound {p50_hi}");
+        // The rank-5000 sample is 5000; its bucket is [4992, 5056).
+        assert!(p50 > 4_992, "p50 = {p50} still sits at bucket_low");
+        assert!((5_000..=5_056).contains(&p50_hi));
+    }
+
+    #[test]
+    fn record_counts_range_overflow() {
+        // The full-size table covers all of u64, so force the clamp path by
+        // shrinking the table the way a smaller build profile might.
+        let mut h = LatencyHist::new();
+        h.counts.truncate(2 * SUB_BUCKETS as usize);
+        h.record(Duration(5));
+        h.record(Duration(u64::MAX / 4));
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.overflow_count(), 1);
+        // The clamped sample still lands in the last bucket.
+        assert_eq!(*h.counts.last().unwrap(), 1);
     }
 
     #[test]

@@ -7,7 +7,7 @@
 
 use adcp::lang::{deposit_bits, extract_bits, fold_hash, FieldDef, HeaderDef, PhvLayout};
 use adcp::sim::event::EventQueue;
-use adcp::sim::packet::{synthetic_packet, FlowId, Packet};
+use adcp::sim::packet::{synthetic_packet, FlowId, Packet, MIN_WIRE_BYTES};
 use adcp::sim::queue::{BoundedQueue, BufferPool};
 use adcp::sim::rng::SimRng;
 use adcp::sim::sched::{Policy, ScheduledQueues};
@@ -176,14 +176,79 @@ fn buffer_pool_accounting() {
         let mut held: Vec<Packet> = Vec::new();
         for i in 0..n {
             let len = rng.range(1usize..2000);
-            let p = synthetic_packet(i as u64, FlowId(0), len);
-            if pool.try_alloc(&p) {
+            let mut p = synthetic_packet(i as u64, FlowId(0), len);
+            if pool.try_alloc(&mut p) {
                 held.push(p);
             }
             assert!(pool.used() <= pool.capacity());
         }
-        for p in held.drain(..) {
-            pool.release(&p);
+        for mut p in held.drain(..) {
+            pool.release(&mut p);
+        }
+        assert_eq!(pool.used(), 0);
+    }
+}
+
+/// Buffer-pool invariant under the conformance fault schedule: with every
+/// packet carrying its allocation token, `used == Σ outstanding tokens` at
+/// every step — even when frames are rewritten (grown or shrunk) while they
+/// sit in the buffer, which is exactly the alloc/release mismatch the token
+/// fixes — and the pool never underflows back through zero.
+#[test]
+fn buffer_pool_tokens_survive_faults_and_rewrites() {
+    use adcp::sim::fault::{FaultConfig, FaultInjector, FaultOutcome};
+
+    let mut rng = SimRng::seed_from(0xFA17);
+    for case in 0..CASES {
+        let mut inj = FaultInjector::new(
+            FaultConfig {
+                drop_chance: 0.15,
+                corrupt_chance: 0.15,
+                delay_chance: 0.2,
+                max_delay: Duration(5_000),
+            },
+            SimRng::seed_from(0xFA17_0000 + case as u64),
+        );
+        let mut pool = BufferPool::new(4096, 80);
+        let mut held: Vec<Packet> = Vec::new();
+        let mut outstanding: u64 = 0;
+        for i in 0..rng.range(50usize..300) {
+            // Admit or drain with equal probability, faulting each arrival.
+            if rng.chance(0.5) || held.is_empty() {
+                let len = rng.range(MIN_WIRE_BYTES as usize..2000);
+                let mut p = synthetic_packet(i as u64, FlowId(0), len);
+                // A link drop never touches the pool; corrupted and
+                // delayed frames still occupy buffer.
+                if inj.apply(&mut p) == FaultOutcome::Dropped {
+                    continue;
+                }
+                if pool.try_alloc(&mut p) {
+                    outstanding += u64::from(p.meta.buf_cells.expect("token"));
+                    held.push(p);
+                }
+            } else {
+                let k = rng.range(0..held.len());
+                let mut p = held.swap_remove(k);
+                // Rewrite some frames in flight: the token, not the current
+                // length, must drive the release.
+                if rng.chance(0.5) {
+                    let newlen = rng.range(MIN_WIRE_BYTES as usize..2500);
+                    p.data = vec![0u8; newlen].into();
+                }
+                let token = u64::from(p.meta.buf_cells.expect("token"));
+                pool.release(&mut p);
+                assert!(p.meta.buf_cells.is_none(), "release must consume token");
+                outstanding -= token;
+            }
+            assert_eq!(
+                pool.used(),
+                outstanding,
+                "used cells diverged from outstanding tokens (case {case})"
+            );
+            assert!(pool.used() <= pool.capacity());
+        }
+        for mut p in held.drain(..) {
+            pool.release(&mut p);
         }
         assert_eq!(pool.used(), 0);
     }
@@ -230,6 +295,69 @@ fn histogram_percentiles_monotone() {
         // Bucket low-edge rounding can undershoot the true min slightly,
         // never overshoot the max.
         assert!(h.percentile_ps(1.0) <= h.max_ps());
+    }
+}
+
+/// Histogram percentiles agree with a sorted-sample oracle to within one
+/// log-linear bucket (width ≤ value/64), across several sample shapes.
+/// This is the regression property for the midpoint fix: the old
+/// lower-edge answer sat a whole bucket below the oracle systematically;
+/// the midpoint can only miss by half a bucket plus clamping.
+#[test]
+fn histogram_percentiles_match_sorted_oracle() {
+    let mut rng = SimRng::seed_from(0x0AC1);
+    for case in 0..CASES {
+        let n = rng.range(1usize..500);
+        // Draw from one of four shapes per case: uniform, log-uniform
+        // (heavy tail), constant, and bimodal.
+        let shape = case % 4;
+        let samples: Vec<u64> = (0..n)
+            .map(|_| match shape {
+                0 => rng.range(1u64..1_000_000),
+                1 => {
+                    let mag = rng.range(0u32..40);
+                    rng.range(1u64..2 << mag)
+                }
+                2 => 777_777,
+                _ => {
+                    if rng.chance(0.5) {
+                        rng.range(1u64..1_000)
+                    } else {
+                        rng.range(1_000_000u64..2_000_000)
+                    }
+                }
+            })
+            .collect();
+        let mut h = LatencyHist::new();
+        for &s in &samples {
+            h.record(Duration(s));
+        }
+        let mut sorted = samples;
+        sorted.sort_unstable();
+        for q in [0.01, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            // The histogram's rank rule: smallest value with at least
+            // ceil(q·n) samples at or below it.
+            let rank = ((q * sorted.len() as f64).ceil() as usize).max(1);
+            let oracle = sorted[rank - 1];
+            let p = h.percentile_ps(q);
+            let hi = h.percentile_upper_ps(q);
+            // One sub-bucket of slack: width ≤ value/64 + 1.
+            let w = oracle / 64 + 1;
+            assert!(
+                p >= oracle.saturating_sub(w) && p <= oracle + w,
+                "case {case} q={q}: midpoint {p} vs oracle {oracle} (±{w})"
+            );
+            assert!(
+                hi >= oracle && hi <= oracle + w,
+                "case {case} q={q}: upper bound {hi} vs oracle {oracle}"
+            );
+            assert!(p <= hi, "midpoint above upper bound");
+        }
+        // Constant distributions must come back exact, not bucket-rounded.
+        if shape == 2 {
+            assert_eq!(h.percentile_ps(0.5), 777_777);
+            assert_eq!(h.percentile_ps(0.99), 777_777);
+        }
     }
 }
 
