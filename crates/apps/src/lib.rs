@@ -27,6 +27,7 @@ pub mod flowlet;
 pub mod graphmine;
 pub mod groupcomm;
 pub mod kvcache;
+pub mod migrate;
 pub mod netlock;
 pub mod paramserv;
 

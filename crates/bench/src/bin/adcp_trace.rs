@@ -2,7 +2,9 @@
 //!
 //! Usage: `cargo run --release -p adcp-bench --bin adcp-trace --
 //!         [--app NAME] [--target adcp|rmt-pinned|rmt-recirc]
-//!         [--quick] [--json] [--validate]`
+//!         [--quick] [--json] [--validate]
+//!         [--migrate drain|incremental|off]`
+//!        `adcp-trace --diff A.json B.json`
 //!
 //! Default output is a per-stage table of every counter, gauge, span
 //! histogram, and queue-depth series the switch recorded. `--json` prints
@@ -10,11 +12,22 @@
 //! checks the exported metrics block against
 //! `schemas/metrics.schema.json` and exits non-zero on any violation —
 //! CI runs this on a quick regenerator.
+//!
+//! `--migrate` sets the control-plane policy for apps that carry one
+//! (currently `partmigrate`): pick the migration strategy or turn the
+//! controller off entirely.
+//!
+//! `--diff A.json B.json` compares two saved metrics exports (raw blocks
+//! or `--json` AppReports) and prints changed counters/gauges plus scopes
+//! present on only one side — the quickest way to see what a code or
+//! config change did to the per-stage picture.
 
 use adcp_apps::driver::TargetKind;
 use adcp_bench::report::{print_json, print_table};
 use adcp_bench::schema::{load_metrics_schema, validate};
-use adcp_bench::trace::{flatten, parse_target, run_one, APP_NAMES};
+use adcp_bench::trace::{
+    diff_metrics, flatten, metrics_block, parse_target, run_one_with, APP_NAMES,
+};
 
 fn arg_value(name: &str) -> Option<String> {
     let args: Vec<String> = std::env::args().collect();
@@ -23,7 +36,65 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn diff_main(path_a: &str, path_b: &str) -> ! {
+    let load = |path: &str| -> serde::Value {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        serde_json::from_str(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(2);
+        })
+    };
+    let doc_a = load(path_a);
+    let doc_b = load(path_b);
+    let a = metrics_block(&doc_a).unwrap_or_else(|| {
+        eprintln!("{path_a}: no metrics block found (want a raw export or an AppReport)");
+        std::process::exit(2);
+    });
+    let b = metrics_block(&doc_b).unwrap_or_else(|| {
+        eprintln!("{path_b}: no metrics block found (want a raw export or an AppReport)");
+        std::process::exit(2);
+    });
+    let rows = diff_metrics(a, b);
+    if rows.is_empty() {
+        println!("no metric differences between {path_a} and {path_b}");
+        std::process::exit(0);
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scope.clone(),
+                r.name.clone(),
+                r.a.clone(),
+                r.b.clone(),
+                r.delta.clone(),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("adcp-trace --diff {path_a} {path_b}"),
+        &["stage", "metric", "a", "b", "delta"],
+        &cells,
+    );
+    std::process::exit(0);
+}
+
 fn main() {
+    if let Some(a) = arg_value("--diff") {
+        let args: Vec<String> = std::env::args().collect();
+        let b = args
+            .iter()
+            .position(|x| x == "--diff")
+            .and_then(|i| args.get(i + 2).cloned())
+            .unwrap_or_else(|| {
+                eprintln!("--diff needs two file arguments: --diff A.json B.json");
+                std::process::exit(2);
+            });
+        diff_main(&a, &b);
+    }
     let app = arg_value("--app").unwrap_or_else(|| "paramserv".into());
     let target = match arg_value("--target") {
         None => TargetKind::Adcp,
@@ -32,11 +103,17 @@ fn main() {
             std::process::exit(2);
         }),
     };
+    let migrate = arg_value("--migrate").map(|s| {
+        adcp_apps::migrate::parse_strategy(&s).unwrap_or_else(|| {
+            eprintln!("unknown --migrate {s:?} (want drain, incremental, or off)");
+            std::process::exit(2);
+        })
+    });
     let quick = std::env::args().any(|a| a == "--quick");
     let json = std::env::args().any(|a| a == "--json");
     let do_validate = std::env::args().any(|a| a == "--validate");
 
-    let report = run_one(&app, target, quick).unwrap_or_else(|| {
+    let report = run_one_with(&app, target, quick, migrate).unwrap_or_else(|| {
         eprintln!(
             "unknown --app {app:?} (want one of: {})",
             APP_NAMES.join(", ")

@@ -1,7 +1,7 @@
 //! E-C1 — the differential conformance harness (see `EXPERIMENTS.md`).
 //!
 //! ```text
-//! conformance [--cases N] [--seed S] [--quick] [--out DIR]
+//! conformance [--cases N] [--seed S] [--quick] [--migrate] [--out DIR]
 //! conformance --replay PATH
 //! ```
 //!
@@ -10,6 +10,13 @@
 //! shrunk and written as replayable `CONFORMANCE_FAIL_<seed>.json`
 //! artifacts in `--out DIR` (default: current directory). `--replay PATH`
 //! re-runs one artifact's shrunk spec. Exit status 1 on any failure.
+//!
+//! `--migrate` soaks the §3.1 control plane instead: every case runs on a
+//! partitioned ADCP switch and is live-repartitioned mid-workload (both
+//! drain and incremental strategies, staggered reconfiguration points);
+//! delivered frames, filtered counts, and merged register state must stay
+//! byte-identical to the never-migrated reference. The fault phase then
+//! repeats the migration under drop/corrupt/delay faults.
 //!
 //! `CONFORMANCE_BUG=swap-add-max` arms the test-only sabotage hook (the
 //! ADCP target's register Adds and Maxes are swapped) to prove the harness
@@ -51,11 +58,12 @@ fn main() -> ExitCode {
                     .expect("--seed: not a number");
             }
             "--quick" => cfg.quick = true,
+            "--migrate" => cfg.migrate = true,
             "--out" => cfg.out_dir = PathBuf::from(value("--out")),
             "--replay" => replay_path = Some(PathBuf::from(value("--replay"))),
             other => {
                 eprintln!("conformance: unknown argument {other:?}");
-                eprintln!("usage: conformance [--cases N] [--seed S] [--quick] [--out DIR] [--replay PATH]");
+                eprintln!("usage: conformance [--cases N] [--seed S] [--quick] [--migrate] [--out DIR] [--replay PATH]");
                 return ExitCode::FAILURE;
             }
         }

@@ -1,0 +1,52 @@
+//! E-M1: live state migration — drain vs incremental, at equal final balance.
+
+use adcp_bench::exp_migrate::exp_migrate;
+use adcp_bench::report::{print_json, print_table, want_json};
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--quick");
+    let rows = exp_migrate(quick);
+    if want_json() {
+        print_json("exp_migrate", &rows);
+        return;
+    }
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.scenario.clone(),
+                format!("{}/{}", r.delivered, r.packets),
+                r.identical_to_baseline.to_string(),
+                r.migrations.to_string(),
+                r.moved_keys.to_string(),
+                r.paused_ns.to_string(),
+                r.redirected_pkts.to_string(),
+                r.misroutes.to_string(),
+                format!("{:.1}", r.p99_ns),
+                format!("{:.2}", r.final_max_over_mean),
+            ]
+        })
+        .collect();
+    print_table(
+        "E-M1 — live repartitioning: drain vs incremental (same traffic, same final map)",
+        &[
+            "scenario",
+            "delivered",
+            "identical",
+            "migs",
+            "moved",
+            "paused_ns",
+            "redirected",
+            "misroutes",
+            "p99_ns",
+            "final_skew",
+        ],
+        &cells,
+    );
+    println!(
+        "\nreading: both strategies end at the same balance and reproduce the\n\
+         never-migrated output byte for byte; the drain pause covers the whole\n\
+         shard copy while incremental pays only the in-flight fence, so its\n\
+         pause (and p99) is strictly lower."
+    );
+}

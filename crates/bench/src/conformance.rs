@@ -26,6 +26,17 @@
 //! the frame check before they can touch register state, and the remaining
 //! traffic still agrees with the reference bit-for-bit.
 //!
+//! The `--migrate` mode ([`MigrateKnobs`]) additionally soaks the §3.1
+//! control plane: generation is constrained to the partitioned-area
+//! convention (partition on `idx`, register cells indexed by `idx` only),
+//! the ADCP run starts under a uniform [`PartitionMap`] and a seeded
+//! mid-workload `begin_migration` reassigns bucket owners under live
+//! traffic. For every requested strategy the delivered frames, filtered
+//! counts, and merged final register state must stay byte-identical to the
+//! never-migrated reference, every cell must end on the pipe the final map
+//! owns it to, and no packet may be dequeued at a stale-epoch pipe. RMT
+//! targets are skipped in migrate mode (they have no partitioned area).
+//!
 //! On a mismatch the failing [`CaseSpec`] is *shrunk* (fewer packets, fewer
 //! entries, fewer tables, narrower arrays, no faults) while the failure
 //! reproduces, and the minimal spec is written to a replayable
@@ -36,7 +47,7 @@
 
 use std::path::{Path, PathBuf};
 
-use adcp_core::{AdcpConfig, AdcpSwitch};
+use adcp_core::{AdcpConfig, AdcpSwitch, MigrationStrategy, PartitionMap};
 use adcp_lang::{
     deparse, ActionDef, ActionOp, BinOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
     HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
@@ -88,6 +99,20 @@ impl FaultKnobs {
     }
 }
 
+/// Mid-workload repartitioning knobs for the `--migrate` mode. With these
+/// set, generation is constrained to the partitioned-area convention
+/// (partition on `idx`, register cells indexed by `idx` only, no array
+/// table) and the ADCP runs are compared against a never-migrated
+/// reference: delivered frames, filtered counts, and final (merged)
+/// register state must be byte-identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct MigrateKnobs {
+    /// Which strategies to exercise: 0 = drain, 1 = incremental, 2 = both.
+    pub strategy_sel: u32,
+    /// When the migration begins, as per-mille of the workload span.
+    pub at_pm: u32,
+}
+
 /// A fully reproducible conformance case: a seed plus the generation caps
 /// the shrinker lowers. Generation re-derives everything from these fields,
 /// so shrinking = re-generating with smaller caps and checking the failure
@@ -106,6 +131,8 @@ pub struct CaseSpec {
     pub max_tables: u32,
     /// Fault schedule for the soak phase; `None` = clean run.
     pub fault: Option<FaultKnobs>,
+    /// Mid-workload live repartitioning; `None` = no migration.
+    pub migrate: Option<MigrateKnobs>,
 }
 
 /// Why a case did not produce a verdict.
@@ -237,9 +264,12 @@ fn gen_stateless_op(rng: &mut SimRng, f: &Fields, allow_drop: bool) -> ActionOp 
     }
 }
 
-/// A random stateful op over `reg` (central region only).
-fn gen_register_op(rng: &mut SimRng, f: &Fields, reg: RegId) -> ActionOp {
-    let index = if rng.chance(0.7) {
+/// A random stateful op over `reg` (central region only). In migrate mode
+/// the index is always `idx` — the partitioned-area convention that cell
+/// `c` belongs to partition key `c`, which is what lets a migration know
+/// which cells move.
+fn gen_register_op(rng: &mut SimRng, f: &Fields, reg: RegId, migrate_mode: bool) -> ActionOp {
+    let index = if migrate_mode || rng.chance(0.7) {
         Operand::Field(f.idx)
     } else {
         Operand::Const(rng.range(0u64..REG_CELLS as u64))
@@ -389,10 +419,13 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
         arr: fr(4),
     };
 
-    // -- Shape draws.
+    // -- Shape draws. Migrate mode forbids the array table: array ops span
+    //    `[base, base+w)` cells, which breaks the cell-per-partition-key
+    //    convention a migration relies on to know which cells move.
+    let migrate_mode = spec.migrate.is_some();
     let n_ingress = rng.range(1usize..=(spec.max_tables.clamp(1, 3) as usize));
     let n_state = rng.range(1usize..=2);
-    let use_array_table = arr_width > 1 && rng.chance(0.7);
+    let use_array_table = arr_width > 1 && rng.chance(0.7) && !migrate_mode;
     let use_egress_table = rng.chance(0.6);
 
     let mut b = ProgramBuilder::new("conformance");
@@ -447,20 +480,34 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
         route_table_index += 1;
     }
 
-    // -- Route table, last in ingress: every surviving packet goes to
-    //    central pipe 0 and egress port 0. (The recirculating twin appends
+    // -- Route table, last in ingress. Normally every surviving packet is
+    //    pinned to central pipe 0; in migrate mode the packet instead
+    //    partitions on `idx` (masked into the bucket/cell range) so state
+    //    spreads across pipes and a live map change has something to move.
+    //    Either way egress is port 0. (The recirculating twin appends
     //    `Recirculate` here.)
+    let route_ops = if migrate_mode {
+        vec![
+            ActionOp::Bin {
+                dst: fields.idx,
+                op: BinOp::And,
+                a: Operand::Field(fields.idx),
+                b: Operand::Const(REG_CELLS as u64 - 1),
+            },
+            ActionOp::SetCentralPipe(Operand::Field(fields.idx)),
+            ActionOp::SetEgress(Operand::Const(0)),
+        ]
+    } else {
+        vec![
+            ActionOp::SetCentralPipe(Operand::Const(0)),
+            ActionOp::SetEgress(Operand::Const(0)),
+        ]
+    };
     b.table(TableDef {
         name: "route".into(),
         region: Region::Ingress,
         key: None,
-        actions: vec![ActionDef::new(
-            "route",
-            vec![
-                ActionOp::SetCentralPipe(Operand::Const(0)),
-                ActionOp::SetEgress(Operand::Const(0)),
-            ],
-        )],
+        actions: vec![ActionDef::new("route", route_ops)],
         default_action: 0,
         default_params: vec![],
         size: 1,
@@ -495,7 +542,7 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
             .map(|a| {
                 let n_ops = rng.range(1usize..=2);
                 let ops = (0..n_ops)
-                    .map(|_| gen_register_op(&mut rng, &fields, reg))
+                    .map(|_| gen_register_op(&mut rng, &fields, reg, migrate_mode))
                     .collect();
                 ActionDef::new(format!("s{t}a{a}"), ops)
             })
@@ -966,11 +1013,25 @@ fn finish_outcome(
     })
 }
 
-/// Run the case on the ADCP switch model.
+/// Partition-map plan for a migrate-mode ADCP run: the map traffic starts
+/// under, plus (optionally) a mid-workload migration step.
+struct MigratePlan<'a> {
+    /// Map installed (while idle) before any traffic.
+    initial: &'a PartitionMap,
+    /// `(target map, strategy, begin time)`; `None` = never migrate.
+    step: Option<(&'a PartitionMap, MigrationStrategy, SimTime)>,
+}
+
+/// Run the case on the ADCP switch model. With a [`MigratePlan`] the run
+/// exercises the §3.1 control plane: traffic starts under `plan.initial`
+/// and (with a step) is live-repartitioned mid-workload; the final register
+/// state is then the per-cell merge across pipes, checked against the
+/// single-owner placement the final map dictates.
 fn run_adcp(
     case: &GenCase,
     prepared: &[PreparedPacket],
     bug: BugHook,
+    plan: Option<&MigratePlan<'_>>,
 ) -> Result<Outcome, CaseError> {
     let target = TargetModel::adcp_reference();
     let central_pipes = target.central_pipes as usize;
@@ -985,34 +1046,95 @@ fn run_adcp(
         sw.install_all(name, entry.clone())
             .map_err(|e| CaseError::Mismatch(format!("adcp install into {name}: {e:?}")))?;
     }
+    if let Some(p) = plan {
+        sw.install_partition_map(p.initial.clone())
+            .map_err(|e| CaseError::Mismatch(format!("adcp: partition map install: {e}")))?;
+    }
     for p in prepared {
         if !p.link_dropped {
             sw.inject(PortId(p.port), p.pkt.clone(), p.at);
         }
     }
+    if let Some((next, strategy, at)) = plan.and_then(|p| p.step) {
+        sw.run_until(at);
+        sw.begin_migration(next.clone(), strategy)
+            .map_err(|e| CaseError::Mismatch(format!("adcp: begin_migration: {e}")))?;
+    }
     sw.run_until_idle();
+    if sw.migration_active() {
+        sw.finalize_migration()
+            .map_err(|e| CaseError::Mismatch(format!("adcp: finalize_migration: {e}")))?;
+    }
     sw.check_conservation();
 
-    // All state must live on central pipe 0 (the route table pins it).
-    for pipe in 1..central_pipes {
-        for reg in &case.state_regs {
-            if sw
-                .central_register(pipe, *reg)
-                .snapshot()
+    let regs = match plan {
+        None => {
+            // All state must live on central pipe 0 (the route table pins it).
+            for pipe in 1..central_pipes {
+                for reg in &case.state_regs {
+                    if sw
+                        .central_register(pipe, *reg)
+                        .unwrap()
+                        .snapshot()
+                        .iter()
+                        .any(|c| *c != 0)
+                    {
+                        return Err(CaseError::Mismatch(format!(
+                            "adcp: register {reg:?} leaked onto central pipe {pipe}"
+                        )));
+                    }
+                }
+            }
+            case.state_regs
                 .iter()
-                .any(|c| *c != 0)
-            {
+                .map(|r| sw.central_register(0, *r).unwrap().snapshot().to_vec())
+                .collect()
+        }
+        Some(p) => {
+            // Partitioned run: every nonzero cell must sit on the pipe the
+            // *final* map owns it to (a migration that leaves state behind
+            // fails here), and the comparison value is the per-cell merge.
+            let final_map = p.step.map(|(next, _, _)| next).unwrap_or(p.initial);
+            let stats = sw.migration_stats();
+            if stats.misroutes != 0 {
                 return Err(CaseError::Mismatch(format!(
-                    "adcp: register {reg:?} leaked onto central pipe {pipe}"
+                    "adcp: {} packets dequeued at a stale-epoch pipe",
+                    stats.misroutes
                 )));
             }
+            let want_migrations = u64::from(p.step.is_some());
+            if stats.migrations != want_migrations {
+                return Err(CaseError::Mismatch(format!(
+                    "adcp: {} migrations completed, expected {want_migrations}",
+                    stats.migrations
+                )));
+            }
+            let m = sw.metrics();
+            mirrored("adcp", m, "ctrl", "migrations", stats.migrations)
+                .map_err(CaseError::Mismatch)?;
+            mirrored("adcp", m, "ctrl", "misroutes", stats.misroutes)
+                .map_err(CaseError::Mismatch)?;
+            let mut merged = Vec::with_capacity(case.state_regs.len());
+            for reg in &case.state_regs {
+                let mut cells = vec![0u64; REG_CELLS as usize];
+                for pipe in 0..central_pipes {
+                    let snap = sw.central_register(pipe, *reg).unwrap().snapshot();
+                    for (cell, v) in snap.iter().enumerate() {
+                        if *v != 0 && final_map.owner(cell as u64) != pipe as u32 {
+                            return Err(CaseError::Mismatch(format!(
+                                "adcp: register {reg:?} cell {cell} ended on pipe {pipe}, \
+                                 but the final map owns it to pipe {}",
+                                final_map.owner(cell as u64)
+                            )));
+                        }
+                        cells[cell] += *v;
+                    }
+                }
+                merged.push(cells);
+            }
+            merged
         }
-    }
-    let regs = case
-        .state_regs
-        .iter()
-        .map(|r| sw.central_register(0, *r).snapshot().to_vec())
-        .collect();
+    };
     let delivered_raw = sw
         .take_delivered()
         .into_iter()
@@ -1244,7 +1366,38 @@ pub fn run_spec(spec: &CaseSpec, bug: BugHook) -> Result<(), CaseError> {
         )));
     }
 
-    let adcp = run_adcp(&case, &prepared, bug)?;
+    if let Some(mk) = spec.migrate {
+        // Migrate mode: the partitioned ADCP switch must reproduce the
+        // reference with no migration, and again with a seeded mid-workload
+        // owner reassignment under every requested strategy. RMT targets
+        // are skipped — they have no global partitioned area to migrate.
+        let n_pipes = u32::from(TargetModel::adcp_reference().central_pipes);
+        let initial = PartitionMap::uniform(REG_CELLS, n_pipes);
+        let next = perturb_owners(&initial, spec.seed, n_pipes);
+        let at = SimTime::from_ns(((total + 1) * GAP_NS * mk.at_pm as u64 / 1000).max(1));
+        let base = run_adcp(
+            &case,
+            &prepared,
+            bug,
+            Some(&MigratePlan {
+                initial: &initial,
+                step: None,
+            }),
+        )?;
+        compare("adcp-partitioned", &reference, &base).map_err(CaseError::Mismatch)?;
+        for strategy in strategies(mk.strategy_sel) {
+            let plan = MigratePlan {
+                initial: &initial,
+                step: Some((&next, strategy, at)),
+            };
+            let got = run_adcp(&case, &prepared, bug, Some(&plan))?;
+            compare(&format!("adcp-migrate-{strategy:?}"), &reference, &got)
+                .map_err(CaseError::Mismatch)?;
+        }
+        return Ok(());
+    }
+
+    let adcp = run_adcp(&case, &prepared, bug, None)?;
     compare("adcp", &reference, &adcp).map_err(CaseError::Mismatch)?;
     if case.has_array_actions {
         // §3.2 separation: scalar MAUs must refuse array action ops.
@@ -1256,6 +1409,38 @@ pub fn run_spec(spec: &CaseSpec, bug: BugHook) -> Result<(), CaseError> {
         compare("rmt-recirc", &reference, &recirc).map_err(CaseError::Mismatch)?;
     }
     Ok(())
+}
+
+/// The strategies a `strategy_sel` knob requests (2 = both).
+fn strategies(sel: u32) -> Vec<MigrationStrategy> {
+    match sel {
+        0 => vec![MigrationStrategy::Drain],
+        1 => vec![MigrationStrategy::Incremental],
+        _ => vec![MigrationStrategy::Drain, MigrationStrategy::Incremental],
+    }
+}
+
+/// A seeded owner perturbation of `map`, guaranteed to move at least one
+/// bucket: the migration target for migrate-mode cases.
+fn perturb_owners(map: &PartitionMap, seed: u64, n_pipes: u32) -> PartitionMap {
+    if n_pipes < 2 {
+        return map.clone();
+    }
+    let mut rng = SimRng::seed_from(seed ^ 0x0061_6272_A7E5_EED5);
+    let mut owners: Vec<u32> = (0..map.num_buckets())
+        .map(|b| map.owner_of_bucket(b))
+        .collect();
+    let mut moved = false;
+    for o in owners.iter_mut() {
+        if rng.chance(0.3) {
+            *o = (*o + rng.range(1u64..n_pipes as u64) as u32) % n_pipes;
+            moved = true;
+        }
+    }
+    if !moved {
+        owners[0] = (owners[0] + 1) % n_pipes;
+    }
+    PartitionMap::from_buckets(owners)
 }
 
 /// An array-action program must fail RMT compilation under *both* central
@@ -1297,6 +1482,25 @@ pub fn shrink(spec: &CaseSpec, bug: BugHook, original_error: String) -> (CaseSpe
         let mut candidates: Vec<CaseSpec> = Vec::new();
         if cur.fault.is_some() {
             candidates.push(CaseSpec { fault: None, ..cur });
+        }
+        if let Some(mk) = cur.migrate {
+            // A migrate failure may not need the migration at all; if it
+            // does, one strategy is a smaller witness than both.
+            candidates.push(CaseSpec {
+                migrate: None,
+                ..cur
+            });
+            if mk.strategy_sel >= 2 {
+                for sel in [0u32, 1] {
+                    candidates.push(CaseSpec {
+                        migrate: Some(MigrateKnobs {
+                            strategy_sel: sel,
+                            ..mk
+                        }),
+                        ..cur
+                    });
+                }
+            }
         }
         if cur.max_packets > 1 {
             candidates.push(CaseSpec {
@@ -1368,6 +1572,20 @@ pub fn spec_from_value(v: &serde_json::Value) -> Result<CaseSpec, String> {
             })
         }
     };
+    let migrate = match v.get("migrate") {
+        None | Some(serde_json::Value::Null) => None,
+        Some(m) => {
+            let sub = |k: &str| {
+                m.get(k)
+                    .and_then(|x| x.as_u64())
+                    .ok_or_else(|| format!("artifact migrate missing field {k}"))
+            };
+            Some(MigrateKnobs {
+                strategy_sel: sub("strategy_sel")? as u32,
+                at_pm: sub("at_pm")? as u32,
+            })
+        }
+    };
     Ok(CaseSpec {
         seed: field("seed")?,
         max_packets: field("max_packets")? as u32,
@@ -1375,6 +1593,7 @@ pub fn spec_from_value(v: &serde_json::Value) -> Result<CaseSpec, String> {
         max_array: field("max_array")? as u16,
         max_tables: field("max_tables")? as u32,
         fault,
+        migrate,
     })
 }
 
@@ -1426,6 +1645,9 @@ pub struct RunConfig {
     pub quick: bool,
     /// Test-only sabotage hook (see [`BugHook`]).
     pub bug: BugHook,
+    /// Soak the §3.1 control plane: every case runs partitioned, with a
+    /// seeded mid-workload repartitioning under both strategies.
+    pub migrate: bool,
     /// Where failure artifacts are written.
     pub out_dir: PathBuf,
 }
@@ -1437,6 +1659,7 @@ impl Default for RunConfig {
             cases: 1000,
             quick: false,
             bug: BugHook::None,
+            migrate: false,
             out_dir: PathBuf::from("."),
         }
     }
@@ -1479,7 +1702,9 @@ pub struct Report {
     pub failures: Vec<FailureRecord>,
 }
 
-/// The spec for case `i` of a run.
+/// The spec for case `i` of a run. Migrate-mode cases exercise both
+/// strategies and stagger the reconfiguration point across the workload
+/// (early / midpoint / late).
 fn case_spec(cfg: &RunConfig, i: u32) -> CaseSpec {
     CaseSpec {
         seed: cfg
@@ -1490,6 +1715,10 @@ fn case_spec(cfg: &RunConfig, i: u32) -> CaseSpec {
         max_array: 8,
         max_tables: 3,
         fault: None,
+        migrate: cfg.migrate.then(|| MigrateKnobs {
+            strategy_sel: 2,
+            at_pm: 250 + (i % 3) * 250,
+        }),
     }
 }
 
@@ -1581,6 +1810,7 @@ mod tests {
             cases,
             quick: true,
             bug,
+            migrate: false,
             out_dir: std::env::temp_dir().join("conformance-unit"),
         }
     }
@@ -1641,12 +1871,17 @@ mod tests {
             max_array: 4,
             max_tables: 3,
             fault: Some(soak_knobs()),
+            migrate: Some(MigrateKnobs {
+                strategy_sel: 2,
+                at_pm: 500,
+            }),
         };
         let text = serde_json::to_string(&spec_to_value(&spec)).unwrap();
         let back = spec_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, spec);
         let clean = CaseSpec {
             fault: None,
+            migrate: None,
             ..spec
         };
         let text = serde_json::to_string(&spec_to_value(&clean)).unwrap();
@@ -1654,5 +1889,57 @@ mod tests {
             spec_from_value(&serde_json::from_str(&text).unwrap()).unwrap(),
             clean
         );
+    }
+
+    #[test]
+    fn migrate_cases_pass_clean_and_under_faults() {
+        let cfg = RunConfig {
+            migrate: true,
+            ..tiny_cfg(0x716_AB1E, 4, BugHook::None)
+        };
+        for i in 0..4 {
+            let spec = case_spec(&cfg, i);
+            assert!(spec.migrate.is_some());
+            if let Err(CaseError::Mismatch(e)) = run_spec(&spec, BugHook::None) {
+                panic!("migrate case {i} (seed {:#x}) mismatched: {e}", spec.seed);
+            }
+            let fault_spec = CaseSpec {
+                fault: Some(soak_knobs()),
+                ..spec
+            };
+            if let Err(CaseError::Mismatch(e)) = run_spec(&fault_spec, BugHook::None) {
+                panic!(
+                    "migrate case {i} (seed {:#x}) fault phase mismatched: {e}",
+                    spec.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn migrate_mode_catches_sabotage() {
+        // The swapped-ALU bug must still be visible through a migrated run:
+        // the register-state comparison flags it and the shrinker keeps a
+        // reproducing spec.
+        let cfg = RunConfig {
+            migrate: true,
+            ..tiny_cfg(0xBAD_5EED, 8, BugHook::SwapAddMax)
+        };
+        let mut caught = None;
+        for i in 0..8 {
+            let spec = case_spec(&cfg, i);
+            if let Err(CaseError::Mismatch(e)) = run_spec(&spec, BugHook::SwapAddMax) {
+                caught = Some((spec, e));
+                break;
+            }
+        }
+        let (spec, err) = caught.expect("sabotage must surface within a few migrate cases");
+        let (shrunk, final_err) = shrink(&spec, BugHook::SwapAddMax, err);
+        assert!(matches!(
+            run_spec(&shrunk, BugHook::SwapAddMax),
+            Err(CaseError::Mismatch(_))
+        ));
+        assert!(!final_err.is_empty());
+        assert!(shrunk.max_packets <= spec.max_packets);
     }
 }

@@ -1,0 +1,243 @@
+//! Migration experiment (E-M1): drain vs incremental state migration
+//! under skewed keys, at equal final balance.
+//!
+//! Three runs share byte-identical traffic (Zipf keys whose hot shards
+//! collide onto one central pipeline) and the same *final* partition map
+//! (planned offline from the full key histogram, so both strategies end
+//! at the same balance):
+//!
+//! * **baseline** — the final map is installed before any traffic; no
+//!   migration ever happens. This is the reference output.
+//! * **drain** — starts uniform, migrates to the final map mid-run with
+//!   pause–drain–copy–resume. The pause covers the whole copy.
+//! * **incremental** — same reconfiguration with copy-on-first-touch;
+//!   the pause is only the in-flight fence drain.
+//!
+//! The experiment asserts the §3.1 control-plane claim end to end: both
+//! migrated runs deliver frames and final register state byte-identical
+//! to the never-migrated baseline, and the incremental pause is strictly
+//! lower than the drain pause.
+
+use adcp_apps::driver::TargetKind;
+use adcp_apps::migrate::{program, SHARDS};
+use adcp_core::{AdcpConfig, AdcpSwitch, MigrationStrategy, PartitionMap};
+use adcp_ctrl::plan_rebalance;
+use adcp_lang::{CompileOptions, RegId, TargetModel};
+use adcp_sim::packet::{FlowId, Packet, PortId};
+use adcp_sim::rng::SimRng;
+use adcp_sim::stats::LatencySummary;
+use adcp_sim::time::SimTime;
+use adcp_workloads::keys::ZipfKeys;
+use serde::Serialize;
+
+/// One migration-experiment row.
+#[derive(Debug, Clone, Serialize)]
+pub struct MigrateRow {
+    /// Scenario: `baseline`, `drain`, or `incremental`.
+    pub scenario: String,
+    /// Packets injected.
+    pub packets: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Delivered frames and final register state match the baseline run.
+    pub identical_to_baseline: bool,
+    /// Migrations completed.
+    pub migrations: u64,
+    /// Register cells moved.
+    pub moved_keys: u64,
+    /// Time packets spent held at TM1 for migration fencing, ns.
+    pub paused_ns: u64,
+    /// First-touch shard copies (incremental only).
+    pub redirected_pkts: u64,
+    /// Packets held at TM1 during fencing.
+    pub held_pkts: u64,
+    /// Packets dequeued at a pipe their routing epoch does not own.
+    pub misroutes: u64,
+    /// Median delivered latency, ns.
+    pub p50_ns: f64,
+    /// Tail delivered latency, ns.
+    pub p99_ns: f64,
+    /// Simulated makespan, ns.
+    pub makespan_ns: f64,
+    /// Hottest-pipe load over mean under the *final* map (equal across
+    /// scenarios by construction).
+    pub final_max_over_mean: f64,
+}
+
+const CLIENTS: u16 = 4;
+const GAP_PS: u64 = 200_000; // 200 ns between packets
+const STRIDE: u64 = 4; // hot keys collide onto one pipe under the uniform map
+
+fn traffic(quick: bool) -> Vec<u16> {
+    let packets = if quick { 2_000 } else { 12_000 };
+    let keyspace = 4096usize;
+    let zipf = ZipfKeys::new(keyspace, 1.1);
+    let mut rng = SimRng::seed_from(41);
+    (0..packets)
+        .map(|_| ((zipf.sample(&mut rng) * STRIDE) % keyspace as u64) as u16)
+        .collect()
+}
+
+fn mk_pkt(id: u64, key: u16) -> Packet {
+    let mut data = Vec::with_capacity(18);
+    data.extend_from_slice(&CLIENTS.to_be_bytes()); // dst = collector port
+    data.extend_from_slice(&key.to_be_bytes());
+    data.extend_from_slice(&[0u8; 6]); // idx + count, filled in-switch
+    data.extend_from_slice(&[0u8; 8]); // payload
+    Packet::new(id, FlowId(key as u64), data)
+        .with_goodput(8)
+        .with_elements(1)
+}
+
+/// Delivered frames (sorted by id) plus merged per-cell register state —
+/// the byte-level output a migration must not perturb.
+type Output = (Vec<(u64, Vec<u8>)>, Vec<u64>);
+
+fn run_one(
+    keys: &[u16],
+    initial: &PartitionMap,
+    migrate_to: Option<(&PartitionMap, MigrationStrategy)>,
+) -> (AdcpSwitch, SimTime, Output) {
+    let mut sw = AdcpSwitch::new(
+        program(TargetKind::Adcp, PortId(CLIENTS)),
+        TargetModel::adcp_reference(),
+        CompileOptions::default(),
+        AdcpConfig::default(),
+    )
+    .expect("partmigrate compiles on ADCP");
+    sw.install_partition_map(initial.clone())
+        .expect("idle install");
+    for (i, &key) in keys.iter().enumerate() {
+        sw.inject(
+            PortId(i as u16 % CLIENTS),
+            mk_pkt(i as u64, key),
+            SimTime(i as u64 * GAP_PS),
+        );
+    }
+    if let Some((next, strategy)) = migrate_to {
+        sw.run_until(SimTime(keys.len() as u64 * GAP_PS / 2));
+        sw.begin_migration(next.clone(), strategy)
+            .expect("migration begins mid-run");
+    }
+    let makespan = sw.run_until_idle();
+    if sw.migration_active() {
+        sw.finalize_migration().expect("incremental finalize");
+    }
+    sw.check_conservation();
+    let mut frames: Vec<(u64, Vec<u8>)> = sw
+        .take_delivered()
+        .iter()
+        .map(|d| (d.meta.id, d.data.to_vec()))
+        .collect();
+    frames.sort_by_key(|(id, _)| *id);
+    let merged: Vec<u64> = (0..SHARDS)
+        .map(|cell| {
+            (0..sw.num_central())
+                .map(|c| sw.central_register(c, RegId(0)).unwrap().peek(cell))
+                .sum()
+        })
+        .collect();
+    (sw, makespan, (frames, merged))
+}
+
+fn row_from(
+    scenario: &str,
+    sw: &AdcpSwitch,
+    packets: u64,
+    out: &Output,
+    baseline: &Output,
+    final_skew: f64,
+    makespan: SimTime,
+) -> MigrateRow {
+    let stats = sw.migration_stats();
+    let lat = LatencySummary::from(&sw.latency);
+    MigrateRow {
+        scenario: scenario.into(),
+        packets,
+        delivered: sw.counters.delivered,
+        identical_to_baseline: out == baseline,
+        migrations: stats.migrations,
+        moved_keys: stats.moved_keys,
+        paused_ns: stats.paused_ns,
+        redirected_pkts: stats.redirected_pkts,
+        held_pkts: stats.held_pkts,
+        misroutes: stats.misroutes,
+        p50_ns: lat.p50_ns,
+        p99_ns: lat.p99_ns,
+        makespan_ns: makespan.as_ps() as f64 / 1e3,
+        final_max_over_mean: final_skew,
+    }
+}
+
+/// Run the three scenarios and report.
+pub fn exp_migrate(quick: bool) -> Vec<MigrateRow> {
+    let keys = traffic(quick);
+    let packets = keys.len() as u64;
+    let uniform = PartitionMap::uniform(SHARDS as u32, 4);
+    // Plan the final map offline from the full histogram: same target
+    // balance for every scenario.
+    let mut load = vec![0u64; SHARDS as usize];
+    for &k in &keys {
+        load[(k as u64 & (SHARDS - 1)) as usize] += 1;
+    }
+    let next = plan_rebalance(&uniform, &load, 4).expect("skewed traffic is improvable");
+    let final_skew = {
+        let mut pipe = [0u64; 4];
+        for (b, &n) in load.iter().enumerate() {
+            pipe[next.owner_of_bucket(b as u32) as usize] += n;
+        }
+        let mean = packets as f64 / 4.0;
+        *pipe.iter().max().unwrap() as f64 / mean
+    };
+
+    let (base_sw, base_span, base_out) = run_one(&keys, &next, None);
+    let mut rows = vec![row_from(
+        "baseline", &base_sw, packets, &base_out, &base_out, final_skew, base_span,
+    )];
+    for (name, strategy) in [
+        ("drain", MigrationStrategy::Drain),
+        ("incremental", MigrationStrategy::Incremental),
+    ] {
+        let (sw, span, out) = run_one(&keys, &uniform, Some((&next, strategy)));
+        rows.push(row_from(
+            name, &sw, packets, &out, &base_out, final_skew, span,
+        ));
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn migrated_output_is_identical_to_never_migrated() {
+        let rows = exp_migrate(true);
+        assert_eq!(rows.len(), 3);
+        for r in &rows {
+            assert!(r.identical_to_baseline, "{}: output drifted", r.scenario);
+            assert_eq!(r.misroutes, 0, "{}", r.scenario);
+            assert_eq!(r.delivered, r.packets, "{}", r.scenario);
+        }
+        assert_eq!(rows[0].migrations, 0);
+        assert_eq!(rows[1].migrations, 1);
+        assert_eq!(rows[2].migrations, 1);
+    }
+
+    #[test]
+    fn incremental_pause_is_strictly_lower_than_drain() {
+        let rows = exp_migrate(true);
+        let drain = &rows[1];
+        let inc = &rows[2];
+        assert!(drain.paused_ns > 0, "drain must pause for the copy");
+        assert!(
+            inc.paused_ns < drain.paused_ns,
+            "incremental {} ns vs drain {} ns",
+            inc.paused_ns,
+            drain.paused_ns
+        );
+        assert!(inc.redirected_pkts > 0, "first-touch copies must occur");
+        assert_eq!(drain.redirected_pkts, 0);
+        assert_eq!(drain.moved_keys, inc.moved_keys, "same plan, same cells");
+    }
+}

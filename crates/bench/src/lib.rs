@@ -37,6 +37,7 @@ pub mod exp_ablations;
 pub mod exp_faults;
 pub mod exp_figs;
 pub mod exp_load;
+pub mod exp_migrate;
 pub mod exp_sched;
 pub mod exp_tables;
 pub mod par;

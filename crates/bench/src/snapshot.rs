@@ -9,7 +9,7 @@
 //! PRs accumulate a comparable perf history.
 
 use adcp_apps::driver::{AppReport, TargetKind};
-use adcp_apps::{dbshuffle, graphmine, groupcomm, kvcache, netlock, paramserv};
+use adcp_apps::{dbshuffle, graphmine, groupcomm, kvcache, migrate, netlock, paramserv};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -101,6 +101,22 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     for k in [TargetKind::Adcp, TargetKind::RmtPinned] {
         let kv = kv.clone();
         jobs.push(("kvcache", k, Box::new(move || kvcache::run(k, &kv).report)));
+    }
+
+    // Live repartitioning: the ADCP run includes a mid-workload migration
+    // (controller + state copy on the event loop), so this point tracks the
+    // control-plane overhead too.
+    let mut pm = migrate::MigrateCfg::default();
+    if quick {
+        pm.packets = 800;
+    }
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let pm = pm.clone();
+        jobs.push((
+            "partmigrate",
+            k,
+            Box::new(move || migrate::run(k, &pm).report),
+        ));
     }
     jobs
 }
@@ -215,14 +231,14 @@ mod tests {
     #[test]
     fn quick_suite_measures_every_point() {
         let rows = run_suite(true, 1);
-        assert_eq!(rows.len(), 12);
+        assert_eq!(rows.len(), 14);
         for r in &rows {
             assert!(r.wall_ms > 0.0, "{}/{} wall time", r.app, r.target);
             assert!(r.sim_pkts_per_wall_sec > 0.0, "{}/{} rate", r.app, r.target);
             assert!(r.injected > 0);
         }
         // Both architectures appear for every app.
-        assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 6);
+        assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 7);
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! `adcp_sim::metrics`; this module is presentation plus app dispatch.
 
 use adcp_apps::driver::{AppReport, TargetKind};
-use adcp_apps::{dbshuffle, flowlet, graphmine, groupcomm, kvcache, netlock, paramserv};
+use adcp_apps::{dbshuffle, flowlet, graphmine, groupcomm, kvcache, migrate, netlock, paramserv};
 use serde::Value;
 
 /// Application names `adcp-trace --app` accepts, in menu order.
@@ -18,6 +18,7 @@ pub const APP_NAMES: &[&str] = &[
     "netlock",
     "kvcache",
     "flowlet",
+    "partmigrate",
 ];
 
 /// Parse a `--target` argument. Accepts the report labels (`adcp`,
@@ -35,6 +36,19 @@ pub fn parse_target(s: &str) -> Option<TargetKind> {
 /// same sizes the table-1 quick suite uses. Returns `None` for an unknown
 /// app name.
 pub fn run_one(app: &str, kind: TargetKind, quick: bool) -> Option<AppReport> {
+    run_one_with(app, kind, quick, None)
+}
+
+/// [`run_one`] with the driver's `--migrate` policy applied: `Some(policy)`
+/// overrides the partmigrate controller strategy (`Some(Some(s))` picks a
+/// strategy, `Some(None)` disables the controller). Apps without a
+/// control-plane knob ignore it.
+pub fn run_one_with(
+    app: &str,
+    kind: TargetKind,
+    quick: bool,
+    strategy: Option<Option<adcp_core::MigrationStrategy>>,
+) -> Option<AppReport> {
     let report = match app {
         "paramserv" => {
             let cfg = if quick {
@@ -92,6 +106,16 @@ pub fn run_one(app: &str, kind: TargetKind, quick: bool) -> Option<AppReport> {
                 cfg.pkts_per_flow = 8;
             }
             flowlet::run(kind, &cfg)
+        }
+        "partmigrate" => {
+            let mut cfg = migrate::MigrateCfg::default();
+            if quick {
+                cfg.packets = 800;
+            }
+            if let Some(policy) = strategy {
+                cfg.strategy = policy;
+            }
+            migrate::run(kind, &cfg).report
         }
         _ => return None,
     };
@@ -182,6 +206,129 @@ pub fn flatten(metrics: &Value) -> Vec<TraceRow> {
     rows
 }
 
+/// One line of a metrics diff (`adcp-trace --diff a.json b.json`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffRow {
+    /// Stage scope.
+    pub scope: String,
+    /// Metric name (empty for whole-scope additions/removals).
+    pub name: String,
+    /// `a`'s value, printed (`-` when absent).
+    pub a: String,
+    /// `b`'s value, printed (`-` when absent).
+    pub b: String,
+    /// Signed delta for numeric pairs, empty otherwise.
+    pub delta: String,
+}
+
+/// Pull the metrics block out of a loaded JSON document: accepts either a
+/// raw `MetricsRegistry::to_json` export, a full `AppReport` (which embeds
+/// one under `metrics`), or the `--json` wrapper (`{"name": [report]}`).
+pub fn metrics_block(doc: &Value) -> Option<&Value> {
+    if doc.get("scopes").is_some() {
+        return Some(doc);
+    }
+    if let Some(m) = doc.get("metrics") {
+        if m.get("scopes").is_some() {
+            return Some(m);
+        }
+    }
+    if let Some(obj) = doc.as_object() {
+        for (_, v) in obj.iter() {
+            if let Some(arr) = v.as_array() {
+                if let Some(first) = arr.first() {
+                    if let Some(m) = metrics_block(first) {
+                        return Some(m);
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+fn counter_like(v: &Value) -> Option<u64> {
+    v.as_u64()
+        .or_else(|| v.get("value").and_then(Value::as_u64))
+}
+
+/// Diff two metrics blocks: counter/gauge value changes plus scopes and
+/// metrics present on only one side. Unchanged values are omitted; hists
+/// and series are compared by their headline count only.
+pub fn diff_metrics(a: &Value, b: &Value) -> Vec<DiffRow> {
+    let empty = serde_json::Map::new();
+    let scopes_of = |v: &Value| {
+        v.get("scopes")
+            .and_then(Value::as_object)
+            .cloned()
+            .unwrap_or_default()
+    };
+    let sa = scopes_of(a);
+    let sb = scopes_of(b);
+    let mut names: Vec<&String> = sa.iter().chain(sb.iter()).map(|(k, _)| k).collect();
+    names.sort();
+    names.dedup();
+    let mut rows = Vec::new();
+    for scope in names {
+        match (sa.get(scope.as_str()), sb.get(scope.as_str())) {
+            (Some(_), None) => rows.push(DiffRow {
+                scope: scope.clone(),
+                name: String::new(),
+                a: "present".into(),
+                b: "-".into(),
+                delta: "scope removed".into(),
+            }),
+            (None, Some(_)) => rows.push(DiffRow {
+                scope: scope.clone(),
+                name: String::new(),
+                a: "-".into(),
+                b: "present".into(),
+                delta: "scope added".into(),
+            }),
+            (Some(ba), Some(bb)) => {
+                for key in ["counters", "gauges", "hists", "series"] {
+                    let ga = ba.get(key).and_then(Value::as_object).unwrap_or(&empty);
+                    let gb = bb.get(key).and_then(Value::as_object).unwrap_or(&empty);
+                    let mut metric_names: Vec<&String> =
+                        ga.iter().chain(gb.iter()).map(|(k, _)| k).collect();
+                    metric_names.sort();
+                    metric_names.dedup();
+                    for name in metric_names {
+                        let va = ga.get(name.as_str()).and_then(|v| match key {
+                            "hists" => v.get("count").and_then(Value::as_u64),
+                            "series" => v.get("offered").and_then(Value::as_u64),
+                            _ => counter_like(v),
+                        });
+                        let vb = gb.get(name.as_str()).and_then(|v| match key {
+                            "hists" => v.get("count").and_then(Value::as_u64),
+                            "series" => v.get("offered").and_then(Value::as_u64),
+                            _ => counter_like(v),
+                        });
+                        if va == vb {
+                            continue;
+                        }
+                        let show =
+                            |v: Option<u64>| v.map_or_else(|| "-".to_string(), |x| x.to_string());
+                        let delta = match (va, vb) {
+                            (Some(x), Some(y)) => format!("{:+}", y as i128 - x as i128),
+                            _ => "only one side".into(),
+                        };
+                        rows.push(DiffRow {
+                            scope: scope.clone(),
+                            name: name.clone(),
+                            a: show(va),
+                            b: show(vb),
+                            delta,
+                        });
+                    }
+                }
+            }
+            (None, None) => unreachable!("name came from one of the maps"),
+        }
+    }
+    rows
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -203,5 +350,81 @@ mod tests {
         assert!(run_one("nosuchapp", TargetKind::Adcp, true).is_none());
         assert!(parse_target("tofino").is_none());
         assert_eq!(parse_target("rmt-recirc"), Some(TargetKind::RmtRecirc));
+    }
+
+    #[test]
+    fn partmigrate_trace_exports_the_ctrl_scope() {
+        let r = run_one("partmigrate", TargetKind::Adcp, true).expect("known app");
+        let rows = flatten(&r.metrics);
+        assert!(
+            rows.iter().any(|r| r.scope == "ctrl"
+                && r.name == "migrations"
+                && r.value.parse::<u64>().unwrap_or(0) >= 1),
+            "ctrl.migrations missing or zero in {rows:?}"
+        );
+        assert!(rows
+            .iter()
+            .any(|r| r.scope == "ctrl" && r.name == "moved_keys"));
+    }
+
+    #[test]
+    fn migrate_off_policy_disables_the_controller() {
+        let r = run_one_with("partmigrate", TargetKind::Adcp, true, Some(None)).expect("known app");
+        let rows = flatten(&r.metrics);
+        for row in rows.iter().filter(|r| r.scope == "ctrl") {
+            if row.kind == "counter" {
+                assert_eq!(
+                    row.value, "0",
+                    "ctrl.{} recorded without a controller",
+                    row.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diff_flags_changed_added_and_removed_metrics() {
+        let a: Value = serde_json::from_str(
+            r#"{"scopes": {
+                "tx": {"counters": {"packets": 10}},
+                "old": {"counters": {"x": 1}}
+            }}"#,
+        )
+        .unwrap();
+        let b: Value = serde_json::from_str(
+            r#"{"scopes": {
+                "tx": {"counters": {"packets": 12}},
+                "ctrl": {"counters": {"migrations": 1}}
+            }}"#,
+        )
+        .unwrap();
+        let rows = diff_metrics(&a, &b);
+        assert!(rows
+            .iter()
+            .any(|r| r.scope == "ctrl" && r.delta == "scope added"));
+        assert!(rows
+            .iter()
+            .any(|r| r.scope == "old" && r.delta == "scope removed"));
+        let tx = rows
+            .iter()
+            .find(|r| r.scope == "tx" && r.name == "packets")
+            .expect("changed counter appears");
+        assert_eq!(tx.delta, "+2");
+        // Identical blocks diff to nothing.
+        assert!(diff_metrics(&a, &a).is_empty());
+    }
+
+    #[test]
+    fn metrics_block_unwraps_reports() {
+        let raw: Value = serde_json::from_str(r#"{"scopes": {}}"#).unwrap();
+        assert!(metrics_block(&raw).is_some());
+        let report: Value =
+            serde_json::from_str(r#"{"app": "x", "metrics": {"scopes": {}}}"#).unwrap();
+        assert!(metrics_block(&report).is_some());
+        let wrapped: Value =
+            serde_json::from_str(r#"{"adcp_trace": [{"metrics": {"scopes": {}}}]}"#).unwrap();
+        assert!(metrics_block(&wrapped).is_some());
+        let nothing: Value = serde_json::from_str(r#"{"a": 1}"#).unwrap();
+        assert!(metrics_block(&nothing).is_none());
     }
 }

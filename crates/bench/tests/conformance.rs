@@ -16,6 +16,7 @@ fn quick_cfg(name: &str, seed: u64, cases: u32, bug: BugHook) -> RunConfig {
         cases,
         quick: true,
         bug,
+        migrate: false,
         out_dir: out_dir(name),
     }
 }
@@ -31,6 +32,23 @@ fn quick_sweep_passes_clean() {
         report.skipped_compile
     );
     assert!(report.fault_cases > 0, "the fault soak must actually run");
+}
+
+#[test]
+fn quick_migrate_sweep_passes() {
+    let cfg = RunConfig {
+        migrate: true,
+        ..quick_cfg("migrate", 0x3160_0EC1, 25, BugHook::None)
+    };
+    let report = run(&cfg);
+    assert_eq!(report.failed, 0, "failures: {:?}", report.failures);
+    assert_eq!(report.passed + report.skipped_compile, 25);
+    assert!(
+        report.passed >= 20,
+        "too many compile-skips: {}",
+        report.skipped_compile
+    );
+    assert!(report.fault_cases > 0, "migrate + fault soak must run");
 }
 
 #[test]

@@ -248,6 +248,11 @@ fn golden_ablate_faults() {
 }
 
 #[test]
+fn golden_exp_migrate() {
+    check("exp_migrate", &adcp_bench::exp_migrate::exp_migrate(true));
+}
+
+#[test]
 fn golden_ablate_load() {
     check("ablate_load", &adcp_bench::exp_load::ablate_load(true));
 }

@@ -17,9 +17,11 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod partition;
 pub mod switch;
 
-pub use switch::{AdcpConfig, AdcpCounters, AdcpSwitch, Delivered, DemuxPolicy};
+pub use partition::{MigrateError, MigrationStrategy, PartitionMap, PartitionScheme};
+pub use switch::{AdcpConfig, AdcpCounters, AdcpSwitch, Delivered, DemuxPolicy, MigrationStats};
 
 #[cfg(test)]
 mod tests {
@@ -169,11 +171,11 @@ mod tests {
         assert_eq!(sw.counters.delivered, n_ports as u64);
         // All contributions landed on one central pipe's register shard.
         let total: u64 = (0..sw.num_central())
-            .map(|c| sw.central_register(c, RegId(0)).peek(100))
+            .map(|c| sw.central_register(c, RegId(0)).unwrap().peek(100))
             .sum();
         assert_eq!(total, n_ports as u64);
         let max: u64 = (0..sw.num_central())
-            .map(|c| sw.central_register(c, RegId(0)).peek(100))
+            .map(|c| sw.central_register(c, RegId(0)).unwrap().peek(100))
             .max()
             .unwrap();
         assert_eq!(max, n_ports as u64, "single shard holds the whole coflow");
@@ -453,6 +455,232 @@ mod tests {
         assert_eq!(sw.counters.filtered, 10);
         assert_eq!(sw.counters.delivered, 0);
         sw.check_conservation();
+    }
+
+    /// Shard-keyed counting program for migration tests: ingress partitions
+    /// on the key field itself, central counts per key (cell == key, the
+    /// partitioned-area convention) and exposes the pre-op count in the
+    /// slot field, so delivered frames witness per-key update order.
+    fn migrate_program() -> Program {
+        let mut b = ProgramBuilder::new("migrate");
+        let h = b.header(header());
+        b.parser(ParserSpec::single(h));
+        let cnt = b.register(RegisterDef::new("cnt", 64, 32));
+        b.table(TableDef {
+            name: "route".into(),
+            region: Region::Ingress,
+            key: None,
+            actions: vec![ActionDef::new(
+                "r",
+                vec![ActionOp::SetCentralPipe(Operand::Field(fr(0, 1)))],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.table(TableDef {
+            name: "count".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new(
+                "c",
+                vec![
+                    ActionOp::RegRmw {
+                        reg: cnt,
+                        index: Operand::Field(fr(0, 1)),
+                        op: RegAluOp::Add,
+                        value: Operand::Const(1),
+                        fetch: Some(fr(0, 2)),
+                    },
+                    ActionOp::SetEgress(Operand::Field(fr(0, 0))),
+                ],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.build()
+    }
+
+    /// Per-pipe cell values, and the merged (summed) view.
+    fn cell_views(sw: &AdcpSwitch, cell: u64) -> (Vec<u64>, u64) {
+        let per: Vec<u64> = (0..sw.num_central())
+            .map(|c| sw.central_register(c, RegId(0)).unwrap().peek(cell))
+            .collect();
+        let sum = per.iter().sum();
+        (per, sum)
+    }
+
+    #[test]
+    fn central_control_plane_is_bounds_checked() {
+        let mut sw = build(aggregate_program(SchedPolicy::Fifo));
+        let n = sw.num_central();
+        assert!(sw.central_register(n, RegId(0)).is_none());
+        assert!(sw.central_register_mut(n + 3, RegId(0)).is_none());
+        assert!(sw.central_register(0, RegId(0)).is_some());
+        let mut sw2 = build(migrate_program());
+        let entry = Entry {
+            value: MatchValue::Exact(0),
+            action: 0,
+            params: vec![],
+        };
+        assert_eq!(
+            sw2.install_central_at(99, "count", entry),
+            Err(adcp_lang::TableError::NoSuchPipe { pipe: 99, have: n }),
+        );
+    }
+
+    #[test]
+    fn uniform_partition_map_reproduces_legacy_routing() {
+        let run = |with_map: bool| {
+            let mut sw = build(migrate_program());
+            if with_map {
+                sw.install_partition_map(PartitionMap::uniform(64, 4))
+                    .unwrap();
+            }
+            for i in 0..64u64 {
+                let key = (i % 8) as u16;
+                sw.inject(
+                    PortId((i % 4) as u16),
+                    pkt_with(i, key as u64, 1, key, 0, [0; 4]),
+                    SimTime(i * 100_000),
+                );
+            }
+            sw.run_until_idle();
+            let regs: Vec<Vec<u64>> = (0..sw.num_central())
+                .map(|c| {
+                    sw.central_register(c, RegId(0))
+                        .unwrap()
+                        .snapshot()
+                        .to_vec()
+                })
+                .collect();
+            let frames: Vec<(u64, Vec<u8>)> = sw
+                .take_delivered()
+                .iter()
+                .map(|d| (d.meta.id, d.data.to_vec()))
+                .collect();
+            (regs, frames)
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    fn run_migration(strategy: MigrationStrategy) -> AdcpSwitch {
+        let mut sw = build(migrate_program());
+        sw.install_partition_map(PartitionMap::uniform(64, 4))
+            .unwrap();
+        // 8 hot keys, packets spaced closely enough that some are in
+        // flight when the migration begins mid-stream.
+        let n = 256u64;
+        for i in 0..n {
+            let key = (i % 8) as u16;
+            sw.inject(
+                PortId((i % 4) as u16),
+                pkt_with(i, key as u64, 1, key, 0, [0; 4]),
+                SimTime(i * 20_000),
+            );
+        }
+        sw.run_until(SimTime(n * 20_000 / 2));
+        // Rotate every bucket's owner: all 64 cells move.
+        let next = PartitionMap::from_buckets((0..64u32).map(|b| (b % 4 + 1) % 4).collect());
+        sw.begin_migration(next, strategy).unwrap();
+        sw.run_until_idle();
+        if strategy == MigrationStrategy::Incremental {
+            sw.finalize_migration().unwrap();
+        }
+        sw.run_until_idle();
+        sw.check_conservation();
+        sw
+    }
+
+    #[test]
+    fn drain_migration_preserves_counts_and_moves_state() {
+        let mut sw = run_migration(MigrationStrategy::Drain);
+        assert_eq!(sw.counters.delivered, 256);
+        let stats = sw.migration_stats().clone();
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.misroutes, 0);
+        assert_eq!(stats.moved_keys, 64);
+        assert_eq!(sw.partition_epoch(), 1);
+        for key in 0..8u64 {
+            let (per, sum) = cell_views(&sw, key);
+            assert_eq!(sum, 32, "every update for key {key} applied once");
+            // State ended up at the NEW owner only.
+            let owner = ((key % 4 + 1) % 4) as usize;
+            assert_eq!(per[owner], 32, "key {key} lives at its new owner");
+        }
+        // Per-key fetch sequence in delivered frames is 0,1,2,... — no
+        // update lost, duplicated, or reordered across the migration.
+        let mut next_count = [0u64; 8];
+        let mut out = sw.take_delivered();
+        out.sort_by_key(|d| d.meta.id);
+        for d in &out {
+            let key = u16::from_be_bytes(d.data[2..4].try_into().unwrap()) as usize;
+            let fetched = u32::from_be_bytes(d.data[4..8].try_into().unwrap()) as u64;
+            assert_eq!(fetched, next_count[key], "key {key} update order");
+            next_count[key] += 1;
+        }
+    }
+
+    #[test]
+    fn incremental_migration_preserves_counts_and_moves_state() {
+        let mut sw = run_migration(MigrationStrategy::Incremental);
+        assert_eq!(sw.counters.delivered, 256);
+        let stats = sw.migration_stats().clone();
+        assert_eq!(stats.migrations, 1);
+        assert_eq!(stats.misroutes, 0);
+        assert_eq!(stats.moved_keys, 64);
+        assert!(
+            stats.redirected_pkts > 0,
+            "mid-stream traffic must trigger first-touch copies"
+        );
+        assert_eq!(sw.partition_epoch(), 1);
+        for key in 0..8u64 {
+            let (per, sum) = cell_views(&sw, key);
+            assert_eq!(sum, 32, "every update for key {key} applied once");
+            let owner = ((key % 4 + 1) % 4) as usize;
+            assert_eq!(per[owner], 32, "key {key} lives at its new owner");
+        }
+        let mut next_count = [0u64; 8];
+        let mut out = sw.take_delivered();
+        out.sort_by_key(|d| d.meta.id);
+        for d in &out {
+            let key = u16::from_be_bytes(d.data[2..4].try_into().unwrap()) as usize;
+            let fetched = u32::from_be_bytes(d.data[4..8].try_into().unwrap()) as u64;
+            assert_eq!(fetched, next_count[key], "key {key} update order");
+            next_count[key] += 1;
+        }
+    }
+
+    #[test]
+    fn migration_guards() {
+        let mut sw = build(migrate_program());
+        let next = PartitionMap::uniform(64, 4);
+        assert_eq!(
+            sw.begin_migration(next.clone(), MigrationStrategy::Drain),
+            Err(MigrateError::NoMap)
+        );
+        sw.install_partition_map(PartitionMap::uniform(64, 4))
+            .unwrap();
+        assert_eq!(sw.finalize_migration(), Err(MigrateError::NoMigration));
+        assert_eq!(
+            sw.begin_migration(
+                PartitionMap::from_buckets(vec![7]),
+                MigrationStrategy::Drain
+            ),
+            Err(MigrateError::BadOwner { owner: 7, pipes: 4 })
+        );
+        let rotated = PartitionMap::from_buckets((0..64u32).map(|b| (b % 4 + 1) % 4).collect());
+        sw.begin_migration(rotated.clone(), MigrationStrategy::Incremental)
+            .unwrap();
+        assert!(sw.migration_active());
+        assert_eq!(
+            sw.begin_migration(rotated, MigrationStrategy::Drain),
+            Err(MigrateError::InProgress)
+        );
+        sw.finalize_migration().unwrap();
+        assert!(!sw.migration_active());
+        assert_eq!(sw.partition_epoch(), 1);
     }
 
     #[test]

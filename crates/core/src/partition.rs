@@ -1,0 +1,302 @@
+//! Epoch-versioned partition maps for the global partitioned area (§3.1).
+//!
+//! TM1 places packets (and therefore the register state they touch) onto
+//! central pipelines. At program-install time the placement is whatever the
+//! program computes (`SetCentralPipe`) folded modulo the pipe count; a
+//! [`PartitionMap`] makes that placement a first-class, *versioned* control
+//! plane object so it can be changed under live traffic:
+//!
+//! * the **logical partition key** of a packet is the program's
+//!   `SetCentralPipe` value (pre-modulo), else its flow hash;
+//! * keys fold into **buckets** (hash scheme: `key % B`; range scheme:
+//!   binary search over sorted bounds) and every bucket has one owning
+//!   central pipe;
+//! * each map carries an **epoch**. TM1 stamps every packet with the epoch
+//!   it routed under, so a central pipe can always tell whether a dequeued
+//!   packet predates the current map — no packet ever observes a
+//!   half-applied map.
+//!
+//! State association: the partitioned-area convention is that register
+//! cell `c` belongs to partition key `c` (programs index their shard state
+//! by the same value they partition on), so the cells a migration must
+//! move are exactly those whose owner differs between two maps
+//! ([`PartitionMap::moved_cells`]).
+
+use serde::Serialize;
+
+/// Default bucket count for [`PartitionMap::uniform`]. 64 matches the
+/// register-file sizes the conformance harness exercises, but any count
+/// works — buckets are a routing-granularity choice, not a state size.
+pub const DEFAULT_BUCKETS: u32 = 64;
+
+/// How keys fold into buckets.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub enum PartitionScheme {
+    /// `bucket = key % weights.len()`; `weights[b]` is the owning pipe.
+    Hash {
+        /// Owning central pipe per bucket.
+        owners: Vec<u32>,
+    },
+    /// Contiguous key ranges: bucket `b` covers keys in
+    /// `[bounds[b-1], bounds[b])` (bucket 0 starts at 0, the last bucket
+    /// is unbounded above). `bounds` is strictly increasing and one
+    /// shorter than `owners`.
+    Range {
+        /// Upper (exclusive) bounds of every bucket but the last.
+        bounds: Vec<u64>,
+        /// Owning central pipe per range bucket.
+        owners: Vec<u32>,
+    },
+}
+
+/// Errors from partition-map construction and migration control calls.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MigrateError {
+    /// A bucket names an owner pipe the switch does not have.
+    BadOwner {
+        /// The offending owner.
+        owner: u32,
+        /// Central pipes available.
+        pipes: u32,
+    },
+    /// No partition map is installed (call `install_partition_map` first).
+    NoMap,
+    /// A migration is already in progress.
+    InProgress,
+    /// No migration is in progress.
+    NoMigration,
+    /// Packets routed under an older epoch are still in flight; retry once
+    /// they drain (the switch refuses to stack migrations).
+    Busy,
+    /// The map can only be installed on an idle switch (no packets in
+    /// flight), so the in-flight fence accounting starts complete.
+    NotIdle,
+}
+
+impl std::fmt::Display for MigrateError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MigrateError::BadOwner { owner, pipes } => {
+                write!(
+                    f,
+                    "bucket owner {owner} out of range (have {pipes} central pipes)"
+                )
+            }
+            MigrateError::NoMap => write!(f, "no partition map installed"),
+            MigrateError::InProgress => write!(f, "a migration is already in progress"),
+            MigrateError::NoMigration => write!(f, "no migration in progress"),
+            MigrateError::Busy => write!(f, "older-epoch packets still in flight"),
+            MigrateError::NotIdle => write!(f, "partition map must be installed while idle"),
+        }
+    }
+}
+
+/// How register state follows a map change (see `AdcpSwitch::begin_migration`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+pub enum MigrationStrategy {
+    /// Pause–drain–copy–resume: hold moving-shard packets at TM1, wait for
+    /// in-flight packets of moving buckets to drain, copy all moving cells,
+    /// install the new map, release. Simple, but the pause covers the whole
+    /// copy window.
+    #[default]
+    Drain,
+    /// Install the new map immediately and copy shards on first touch: a
+    /// small redirect table lists the not-yet-copied buckets, and the first
+    /// packet to hit one pays the copy cost for just that bucket.
+    /// `finalize_migration` bulk-copies whatever was never touched. The
+    /// pause is only the in-flight fence drain.
+    Incremental,
+}
+
+/// An epoch-versioned assignment of partition buckets to central pipes.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct PartitionMap {
+    /// Version counter; bumped by the switch whenever a new map takes
+    /// effect. Packets are stamped with the epoch they were routed under.
+    pub epoch: u64,
+    scheme: PartitionScheme,
+}
+
+impl PartitionMap {
+    /// A hash map with `n_buckets` buckets dealt round-robin over
+    /// `n_pipes` pipes: `owner(key) = (key % n_buckets) % n_pipes`. When
+    /// `n_pipes` divides `n_buckets` this reproduces the legacy
+    /// (map-less) TM1 routing `key % n_pipes` exactly.
+    pub fn uniform(n_buckets: u32, n_pipes: u32) -> Self {
+        assert!(n_buckets > 0 && n_pipes > 0);
+        PartitionMap {
+            epoch: 0,
+            scheme: PartitionScheme::Hash {
+                owners: (0..n_buckets).map(|b| b % n_pipes).collect(),
+            },
+        }
+    }
+
+    /// A hash map with an explicit per-bucket owner assignment.
+    pub fn from_buckets(owners: Vec<u32>) -> Self {
+        assert!(!owners.is_empty());
+        PartitionMap {
+            epoch: 0,
+            scheme: PartitionScheme::Hash { owners },
+        }
+    }
+
+    /// A range map: bucket `b` covers `[bounds[b-1], bounds[b])`, the last
+    /// bucket is unbounded. `bounds` must be strictly increasing and one
+    /// shorter than `owners`.
+    pub fn from_ranges(bounds: Vec<u64>, owners: Vec<u32>) -> Self {
+        assert_eq!(bounds.len() + 1, owners.len());
+        assert!(bounds.windows(2).all(|w| w[0] < w[1]));
+        PartitionMap {
+            epoch: 0,
+            scheme: PartitionScheme::Range { bounds, owners },
+        }
+    }
+
+    /// The scheme (bucket structure + owners).
+    pub fn scheme(&self) -> &PartitionScheme {
+        &self.scheme
+    }
+
+    /// Number of buckets.
+    pub fn num_buckets(&self) -> u32 {
+        match &self.scheme {
+            PartitionScheme::Hash { owners } | PartitionScheme::Range { owners, .. } => {
+                owners.len() as u32
+            }
+        }
+    }
+
+    /// Bucket a logical partition key folds into.
+    pub fn bucket_of(&self, key: u64) -> u32 {
+        match &self.scheme {
+            PartitionScheme::Hash { owners } => (key % owners.len() as u64) as u32,
+            PartitionScheme::Range { bounds, .. } => bounds.partition_point(|&b| b <= key) as u32,
+        }
+    }
+
+    /// Owning central pipe of a bucket.
+    pub fn owner_of_bucket(&self, bucket: u32) -> u32 {
+        match &self.scheme {
+            PartitionScheme::Hash { owners } | PartitionScheme::Range { owners, .. } => {
+                owners[bucket as usize]
+            }
+        }
+    }
+
+    /// Owning central pipe of a logical partition key.
+    pub fn owner(&self, key: u64) -> u32 {
+        self.owner_of_bucket(self.bucket_of(key))
+    }
+
+    /// Largest owner index referenced (for validation against the switch's
+    /// central-pipe count).
+    pub fn max_owner(&self) -> u32 {
+        match &self.scheme {
+            PartitionScheme::Hash { owners } | PartitionScheme::Range { owners, .. } => {
+                owners.iter().copied().max().unwrap_or(0)
+            }
+        }
+    }
+
+    /// True when both maps share bucket *structure* (same scheme kind, same
+    /// bucket count, same range bounds) and differ only in owners. When
+    /// structure differs, a migration must treat every bucket as moving.
+    pub fn same_structure(&self, other: &PartitionMap) -> bool {
+        match (&self.scheme, &other.scheme) {
+            (PartitionScheme::Hash { owners: a }, PartitionScheme::Hash { owners: b }) => {
+                a.len() == b.len()
+            }
+            (
+                PartitionScheme::Range { bounds: a, .. },
+                PartitionScheme::Range { bounds: b, .. },
+            ) => a == b,
+            _ => false,
+        }
+    }
+
+    /// Buckets (in *this* map's numbering) whose keys change owner when
+    /// `next` takes effect. With matching structure this is the owner
+    /// diff; with differing structure it is conservatively every bucket.
+    pub fn moved_buckets(&self, next: &PartitionMap) -> Vec<u32> {
+        if self.same_structure(next) {
+            (0..self.num_buckets())
+                .filter(|&b| self.owner_of_bucket(b) != next.owner_of_bucket(b))
+                .collect()
+        } else {
+            (0..self.num_buckets()).collect()
+        }
+    }
+
+    /// Cells of an `n_cells` register that change owner when `next` takes
+    /// effect (cell `c` belongs to partition key `c`). Returns
+    /// `(cell, from, to)` triples.
+    pub fn moved_cells(&self, next: &PartitionMap, n_cells: usize) -> Vec<(usize, u32, u32)> {
+        (0..n_cells)
+            .filter_map(|c| {
+                let from = self.owner(c as u64);
+                let to = next.owner(c as u64);
+                (from != to).then_some((c, from, to))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_matches_legacy_modulo_routing() {
+        let m = PartitionMap::uniform(64, 4);
+        for key in 0..1000u64 {
+            assert_eq!(m.owner(key), (key % 4) as u32, "key {key}");
+        }
+        assert_eq!(m.num_buckets(), 64);
+        assert_eq!(m.max_owner(), 3);
+    }
+
+    #[test]
+    fn range_scheme_buckets_by_bounds() {
+        let m = PartitionMap::from_ranges(vec![10, 100], vec![2, 0, 1]);
+        assert_eq!(m.bucket_of(0), 0);
+        assert_eq!(m.bucket_of(9), 0);
+        assert_eq!(m.bucket_of(10), 1);
+        assert_eq!(m.bucket_of(99), 1);
+        assert_eq!(m.bucket_of(100), 2);
+        assert_eq!(m.bucket_of(u64::MAX), 2);
+        assert_eq!(m.owner(5), 2);
+        assert_eq!(m.owner(50), 0);
+        assert_eq!(m.owner(1000), 1);
+    }
+
+    #[test]
+    fn moved_buckets_same_structure_is_owner_diff() {
+        let a = PartitionMap::from_buckets(vec![0, 1, 0, 1]);
+        let b = PartitionMap::from_buckets(vec![0, 1, 1, 1]);
+        assert_eq!(a.moved_buckets(&b), vec![2]);
+        assert_eq!(a.moved_cells(&b, 8), vec![(2, 0, 1), (6, 0, 1)]);
+    }
+
+    #[test]
+    fn moved_buckets_structural_change_moves_everything() {
+        let a = PartitionMap::from_buckets(vec![0, 1]);
+        let b = PartitionMap::from_ranges(vec![1], vec![0, 1]);
+        assert_eq!(a.moved_buckets(&b), vec![0, 1]);
+        // But per-cell the owner may coincide: cell 0 -> pipe 0 and cell 1
+        // -> pipe 1 under both, so nothing actually copies.
+        assert!(a.moved_cells(&b, 2).is_empty());
+        let c = PartitionMap::from_ranges(vec![1], vec![1, 0]);
+        assert_eq!(a.moved_cells(&c, 2), vec![(0, 0, 1), (1, 1, 0)]);
+    }
+
+    #[test]
+    fn scale_down_moves_orphaned_buckets() {
+        let a = PartitionMap::uniform(8, 4);
+        // Scale to 2 pipes: owners 2 and 3 disappear.
+        let b = PartitionMap::from_buckets((0..8u32).map(|i| (i % 4) % 2).collect());
+        assert_eq!(b.max_owner(), 1);
+        let moved = a.moved_buckets(&b);
+        assert_eq!(moved, vec![2, 3, 6, 7]);
+    }
+}

@@ -22,11 +22,12 @@
 //! * **Port demultiplexing**: each port feeds `m` pipelines, so the
 //!   pipeline clock is `port_rate/m` — Table 3's scaling story (§3.3).
 
+use crate::partition::{MigrateError, MigrationStrategy, PartitionMap};
 use adcp_lang::phv::Phv;
 use adcp_lang::target::TargetModel;
 use adcp_lang::{
-    compile, deparse, CompileError, CompileOptions, Entry, Placement, Program, RegId, Region,
-    RegionState, RegisterFile, TableError,
+    compile, deparse, ActionOp, CompileError, CompileOptions, Entry, Placement, Program, RegId,
+    Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
 use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
@@ -41,6 +42,12 @@ use std::sync::Arc;
 
 /// Retained points per queue-depth/buffer-occupancy time series.
 const SERIES_CAP: usize = 512;
+
+/// Pipe cycles charged per register cell copied during a state migration.
+/// Both strategies pay it — drain as one bulk window at commit, incremental
+/// spread over first touches — so the exp_migrate comparison is apples to
+/// apples.
+const CELL_COPY_CYCLES: u64 = 8;
 
 /// Pre-registered handles into the per-stage [`MetricsRegistry`]. Handles
 /// are plain indices, so per-event recording is array math — no string
@@ -75,6 +82,13 @@ struct MetricHandles {
     drops_bad_port: CounterId,
     tx_pkts: CounterId,
     tx_latency: HistId,
+    ctrl_migrations: CounterId,
+    ctrl_moved_keys: CounterId,
+    ctrl_paused_ns: CounterId,
+    ctrl_redirected_pkts: CounterId,
+    ctrl_held_pkts: CounterId,
+    ctrl_misroutes: CounterId,
+    ctrl_epoch: GaugeId,
 }
 
 fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
@@ -90,6 +104,7 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
     let mat = m.scope("mat");
     let drops = m.scope("drops");
     let tx = m.scope("tx");
+    let ctrl = m.scope("ctrl");
     MetricHandles {
         rx_pkts: m.counter(rx, "packets"),
         mac_fcs_drops: m.counter(mac, "fcs_drops"),
@@ -119,7 +134,46 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
         drops_bad_port: m.counter(drops, "bad_port"),
         tx_pkts: m.counter(tx, "packets"),
         tx_latency: m.hist(tx, "latency_ps"),
+        ctrl_migrations: m.counter(ctrl, "migrations"),
+        ctrl_moved_keys: m.counter(ctrl, "moved_keys"),
+        ctrl_paused_ns: m.counter(ctrl, "paused_ns"),
+        ctrl_redirected_pkts: m.counter(ctrl, "redirected_pkts"),
+        ctrl_held_pkts: m.counter(ctrl, "held_pkts"),
+        ctrl_misroutes: m.counter(ctrl, "misroutes"),
+        ctrl_epoch: m.gauge(ctrl, "epoch"),
     }
+}
+
+/// Registers referenced by central-region table actions, with cell counts:
+/// the state the global partitioned area shards, and therefore the state a
+/// migration must move.
+fn central_registers(program: &Program) -> Vec<(RegId, usize)> {
+    fn collect(ops: &[ActionOp], out: &mut Vec<RegId>) {
+        for op in ops {
+            match op {
+                ActionOp::RegRead { reg, .. }
+                | ActionOp::RegRmw { reg, .. }
+                | ActionOp::RegArray { reg, .. } => out.push(*reg),
+                ActionOp::IfEq { then, .. } => collect(then, out),
+                _ => {}
+            }
+        }
+    }
+    let mut regs = Vec::new();
+    for t in program
+        .tables
+        .iter()
+        .filter(|t| t.region == Region::Central)
+    {
+        for a in &t.actions {
+            collect(&a.ops, &mut regs);
+        }
+    }
+    regs.sort_unstable();
+    regs.dedup();
+    regs.into_iter()
+        .map(|r| (r, program.registers[r.0 as usize].entries as usize))
+        .collect()
 }
 
 /// How the RX side spreads a port's packets over its `m` pipelines (§3.3:
@@ -276,13 +330,98 @@ struct EgressPipe {
 }
 
 enum Ev {
-    Inject { port: u16, pkt: Packet },
-    IngressEnter { pipe: usize, pkt: Packet },
-    IngressOut { pipe: usize, pkt: Packet },
-    PullCentral { cpipe: usize },
-    CentralOut { cpipe: usize, pkt: Packet },
-    PullEgress { epipe: usize },
-    EgressOut { epipe: usize, pkt: Packet },
+    Inject {
+        port: u16,
+        pkt: Packet,
+    },
+    IngressEnter {
+        pipe: usize,
+        pkt: Packet,
+    },
+    IngressOut {
+        pipe: usize,
+        pkt: Packet,
+    },
+    PullCentral {
+        cpipe: usize,
+    },
+    CentralOut {
+        cpipe: usize,
+        pkt: Packet,
+    },
+    PullEgress {
+        epipe: usize,
+    },
+    EgressOut {
+        epipe: usize,
+        pkt: Packet,
+    },
+    /// Drain-strategy commit point: the in-flight fence has drained and the
+    /// bulk copy window has elapsed — move state, install the next map,
+    /// release held packets.
+    MigrateCommit,
+}
+
+/// Control-plane migration totals, mirrored into the `ctrl` metrics scope.
+#[derive(Debug, Clone, Default)]
+pub struct MigrationStats {
+    /// Completed migrations.
+    pub migrations: u64,
+    /// Register cells moved between central pipes.
+    pub moved_keys: u64,
+    /// Nanoseconds during which moving shards were unavailable (packets
+    /// held at TM1): fence-drain plus copy window for drain, fence-drain
+    /// only for incremental.
+    pub paused_ns: u64,
+    /// Incremental first touches: packets that hit a not-yet-copied bucket
+    /// and triggered its copy.
+    pub redirected_pkts: u64,
+    /// Packets held at TM1 during migrations.
+    pub held_pkts: u64,
+    /// Packets dequeued by a central pipe that the epoch-consistent map
+    /// says should not own them. Always zero unless the protocol is broken;
+    /// exported so tests and conformance can assert on it.
+    pub misroutes: u64,
+}
+
+/// One in-progress migration (see `AdcpSwitch::begin_migration`).
+struct MigrationState {
+    strategy: MigrationStrategy,
+    /// Map in force when the migration began (the routing map until a
+    /// drain commits; the stamp-decoder for old-epoch packets afterwards).
+    prev: PartitionMap,
+    /// Drain only: the map to install at commit.
+    next_pending: Option<PartitionMap>,
+    begun: SimTime,
+    /// Moving buckets in `prev` numbering, sorted — the in-flight fence.
+    fence_prev: Vec<u32>,
+    /// Old-epoch packets of fence buckets still queued at their old owner.
+    fence_left: u64,
+    /// Cells still to move: `(reg, cell, from_pipe, to_pipe)`.
+    moving_cells: Vec<(RegId, usize, u32, u32)>,
+    /// Incremental only: next-map buckets whose cells are not yet copied
+    /// (the redirect table), sorted.
+    dirty: Vec<u32>,
+    /// Packets held at TM1 (with their ingress pipe) until the shard is
+    /// consistent again. Released inline, in arrival order.
+    held: Vec<(usize, Packet)>,
+    /// Incremental only: when the current hold window started.
+    pause_started: Option<SimTime>,
+}
+
+/// Partition-map routing state (present once `install_partition_map` ran).
+struct PartitionRuntime {
+    map: PartitionMap,
+    /// TM1-enqueued, not yet centrally processed, per current-map bucket
+    /// (current epoch stamps only).
+    inflight: Vec<u64>,
+    /// Same, for packets stamped with an older epoch (bucket numbering may
+    /// no longer apply, so they are counted in aggregate).
+    inflight_old: u64,
+    /// Packets routed per bucket since this map took effect (the load
+    /// signal a controller rebalances on).
+    bucket_pkts: Vec<u64>,
+    mig: Option<MigrationState>,
 }
 
 /// The Application-Defined Coflow Processor.
@@ -320,6 +459,14 @@ pub struct AdcpSwitch {
     delivered: Vec<Delivered>,
     in_flight: u64,
     last_delivery: SimTime,
+    /// Partition-map routing + migration machinery; `None` keeps the
+    /// legacy modulo routing (and zero per-packet overhead).
+    part: Option<PartitionRuntime>,
+    /// Migration totals, mirrored into the `ctrl` metrics scope.
+    mig_stats: MigrationStats,
+    /// Registers referenced by central-region tables with their cell
+    /// counts — the state a migration moves.
+    central_regs: Vec<(RegId, usize)>,
 }
 
 impl AdcpSwitch {
@@ -390,6 +537,7 @@ impl AdcpSwitch {
         let demux_rr = vec![0; target.ports as usize];
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
+        let central_regs = central_registers(&program);
         Ok(AdcpSwitch {
             target,
             program: Arc::new(program),
@@ -415,6 +563,9 @@ impl AdcpSwitch {
             delivered: Vec::new(),
             in_flight: 0,
             last_delivery: SimTime::ZERO,
+            part: None,
+            mig_stats: MigrationStats::default(),
+            central_regs,
         })
     }
 
@@ -478,6 +629,7 @@ impl AdcpSwitch {
 
     /// Install an entry into a single central pipeline (the partitioned
     /// placement of §3.1: each central pipe owns a shard of the state).
+    /// Out-of-range pipe indices return [`TableError::NoSuchPipe`].
     pub fn install_central_at(
         &mut self,
         cpipe: usize,
@@ -492,17 +644,228 @@ impl AdcpSwitch {
             .iter()
             .position(|t| t.name == table)
             .unwrap_or_else(|| panic!("no table named {table}"));
-        central[cpipe].state.install(program, gi, entry)
+        let have = central.len();
+        let Some(pipe) = central.get_mut(cpipe) else {
+            return Err(TableError::NoSuchPipe { pipe: cpipe, have });
+        };
+        pipe.state.install(program, gi, entry)
     }
 
-    /// Read a central pipeline's register file.
-    pub fn central_register(&self, cpipe: usize, reg: RegId) -> &RegisterFile {
-        self.central[cpipe].state.register(reg)
+    /// Read a central pipeline's register file. `None` when `cpipe` is out
+    /// of range.
+    pub fn central_register(&self, cpipe: usize, reg: RegId) -> Option<&RegisterFile> {
+        self.central.get(cpipe).map(|p| p.state.register(reg))
     }
 
-    /// Mutable access to a central register file (epoch resets).
-    pub fn central_register_mut(&mut self, cpipe: usize, reg: RegId) -> &mut RegisterFile {
-        self.central[cpipe].state.register_mut(reg)
+    /// Mutable access to a central register file (epoch resets). `None`
+    /// when `cpipe` is out of range.
+    pub fn central_register_mut(&mut self, cpipe: usize, reg: RegId) -> Option<&mut RegisterFile> {
+        self.central
+            .get_mut(cpipe)
+            .map(|p| p.state.register_mut(reg))
+    }
+
+    // ---------------- partition control plane ----------------
+
+    /// Install a partition map, switching TM1 from the legacy
+    /// `key % n_central` fold to epoch-versioned bucket routing. Must be
+    /// called while the switch is idle so the in-flight fence accounting
+    /// starts complete; [`crate::partition::PartitionMap::uniform`] with a
+    /// bucket count divisible by `num_central` reproduces the legacy
+    /// routing exactly. The installed map starts at epoch 0.
+    pub fn install_partition_map(&mut self, mut map: PartitionMap) -> Result<(), MigrateError> {
+        let pipes = self.central.len() as u32;
+        if map.max_owner() >= pipes {
+            return Err(MigrateError::BadOwner {
+                owner: map.max_owner(),
+                pipes,
+            });
+        }
+        if self.in_flight != 0 {
+            return Err(MigrateError::NotIdle);
+        }
+        map.epoch = 0;
+        let b = map.num_buckets() as usize;
+        self.part = Some(PartitionRuntime {
+            map,
+            inflight: vec![0; b],
+            inflight_old: 0,
+            bucket_pkts: vec![0; b],
+            mig: None,
+        });
+        Ok(())
+    }
+
+    /// The installed partition map, if any.
+    pub fn partition_map(&self) -> Option<&PartitionMap> {
+        self.part.as_ref().map(|rt| &rt.map)
+    }
+
+    /// Epoch of the map in force (0 when no map is installed).
+    pub fn partition_epoch(&self) -> u64 {
+        self.part.as_ref().map_or(0, |rt| rt.map.epoch)
+    }
+
+    /// Packets routed per bucket since the current map took effect — the
+    /// per-shard load signal a controller rebalances on.
+    pub fn bucket_loads(&self) -> Option<&[u64]> {
+        self.part.as_ref().map(|rt| rt.bucket_pkts.as_slice())
+    }
+
+    /// True while a migration is in progress (drain awaiting commit, or
+    /// incremental awaiting `finalize_migration`).
+    pub fn migration_active(&self) -> bool {
+        self.part.as_ref().is_some_and(|rt| rt.mig.is_some())
+    }
+
+    /// Migration totals (also mirrored into the `ctrl` metrics scope).
+    pub fn migration_stats(&self) -> &MigrationStats {
+        &self.mig_stats
+    }
+
+    /// Begin migrating to `next` under live traffic.
+    ///
+    /// **Drain**: packets for moving buckets are held at TM1; once every
+    /// already-queued packet of those buckets has been processed by its old
+    /// owner (the in-flight *fence*) and the bulk copy window has elapsed,
+    /// state moves, the new map (epoch + 1) takes effect, and held packets
+    /// are released in arrival order. Completion is event-driven — just
+    /// keep running the switch.
+    ///
+    /// **Incremental**: the new map takes effect immediately; packets for
+    /// not-yet-copied buckets are held only while the fence drains, after
+    /// which the first packet to touch a bucket pays that bucket's copy
+    /// cost (copy-on-first-touch against the redirect table). Call
+    /// [`AdcpSwitch::finalize_migration`] to bulk-copy whatever was never
+    /// touched.
+    pub fn begin_migration(
+        &mut self,
+        mut next: PartitionMap,
+        strategy: MigrationStrategy,
+    ) -> Result<(), MigrateError> {
+        let pipes = self.central.len() as u32;
+        if next.max_owner() >= pipes {
+            return Err(MigrateError::BadOwner {
+                owner: next.max_owner(),
+                pipes,
+            });
+        }
+        let now = self.events.now();
+        let central_regs = self.central_regs.clone();
+        let rt = self.part.as_mut().ok_or(MigrateError::NoMap)?;
+        if rt.mig.is_some() {
+            return Err(MigrateError::InProgress);
+        }
+        if rt.inflight_old > 0 {
+            return Err(MigrateError::Busy);
+        }
+        next.epoch = rt.map.epoch + 1;
+        let fence_prev = rt.map.moved_buckets(&next);
+        let fence_left: u64 = fence_prev.iter().map(|&b| rt.inflight[b as usize]).sum();
+        let moving_cells: Vec<(RegId, usize, u32, u32)> = central_regs
+            .iter()
+            .flat_map(|&(r, n)| {
+                rt.map
+                    .moved_cells(&next, n)
+                    .into_iter()
+                    .map(move |(c, from, to)| (r, c, from, to))
+            })
+            .collect();
+        let n_moving = moving_cells.len();
+        match strategy {
+            MigrationStrategy::Drain => {
+                rt.mig = Some(MigrationState {
+                    strategy,
+                    prev: rt.map.clone(),
+                    next_pending: Some(next),
+                    begun: now,
+                    fence_prev,
+                    fence_left,
+                    moving_cells,
+                    dirty: Vec::new(),
+                    held: Vec::new(),
+                    pause_started: None,
+                });
+                if fence_left == 0 {
+                    let at = now + self.copy_cost(n_moving);
+                    self.events.push(at, Ev::MigrateCommit);
+                }
+            }
+            MigrationStrategy::Incremental => {
+                let mut dirty: Vec<u32> = moving_cells
+                    .iter()
+                    .map(|&(_, c, _, _)| next.bucket_of(c as u64))
+                    .collect();
+                dirty.sort_unstable();
+                dirty.dedup();
+                let b = next.num_buckets() as usize;
+                let prev = std::mem::replace(&mut rt.map, next);
+                rt.inflight_old += rt.inflight.iter().sum::<u64>();
+                rt.inflight = vec![0; b];
+                rt.bucket_pkts = vec![0; b];
+                rt.mig = Some(MigrationState {
+                    strategy,
+                    prev,
+                    next_pending: None,
+                    begun: now,
+                    fence_prev,
+                    fence_left,
+                    moving_cells,
+                    dirty,
+                    held: Vec::new(),
+                    pause_started: (fence_left > 0).then_some(now),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Complete an incremental migration by bulk-copying every bucket that
+    /// was never touched. Errors: [`MigrateError::Busy`] while the fence is
+    /// still draining (keep running), [`MigrateError::InProgress`] for a
+    /// drain migration (its commit is event-driven), and
+    /// [`MigrateError::NoMigration`] when nothing is in progress.
+    pub fn finalize_migration(&mut self) -> Result<(), MigrateError> {
+        let rt = self.part.as_mut().ok_or(MigrateError::NoMap)?;
+        let Some(mig) = &rt.mig else {
+            return Err(MigrateError::NoMigration);
+        };
+        if mig.strategy == MigrationStrategy::Drain {
+            return Err(MigrateError::InProgress);
+        }
+        if mig.fence_left > 0 {
+            return Err(MigrateError::Busy);
+        }
+        let mut mig = rt.mig.take().expect("checked above");
+        let moves = std::mem::take(&mut mig.moving_cells);
+        self.apply_moves(&moves);
+        self.mig_stats.moved_keys += moves.len() as u64;
+        self.mig_stats.migrations += 1;
+        // Finalize is a control-plane call outside the event loop, so the
+        // run loop's end-of-run sync has already happened: re-mirror here
+        // or the ctrl scope would under-report the completed migration.
+        self.sync_metrics();
+        Ok(())
+    }
+
+    /// Simulated cost of copying `cells` register cells between pipes.
+    fn copy_cost(&self, cells: usize) -> Duration {
+        Duration(cells as u64 * CELL_COPY_CYCLES * self.period.as_ps())
+    }
+
+    /// Move cells between central pipes via the control-plane
+    /// extract/restore path (does not count as data-plane register ops).
+    fn apply_moves(&mut self, moves: &[(RegId, usize, u32, u32)]) {
+        for &(reg, cell, from, to) in moves {
+            let v = self.central[from as usize]
+                .state
+                .register_mut(reg)
+                .extract(cell);
+            self.central[to as usize]
+                .state
+                .register_mut(reg)
+                .restore(cell, v);
+        }
     }
 
     /// Declare that ingress pipe `ipipe` will send no more packets to
@@ -537,6 +900,21 @@ impl AdcpSwitch {
         last.max(self.last_delivery)
     }
 
+    /// Run every event scheduled at or before `t`, then stop — the hook a
+    /// control loop uses to interleave observation and reconfiguration
+    /// with live traffic. Returns the time of the last handled event.
+    pub fn run_until(&mut self, t: SimTime) -> SimTime {
+        let mut last = self.events.now();
+        while self.events.peek_time().is_some_and(|pt| pt <= t) {
+            let (time, ev) = self.events.pop().expect("peeked");
+            self.handle(time, ev);
+            last = time;
+        }
+        self.refresh_mat_counters();
+        self.sync_metrics();
+        last
+    }
+
     /// Mirror the ad-hoc [`AdcpCounters`] and per-pipe busy cycles into the
     /// metrics registry, so the JSON export is the one complete metrics
     /// path. Values are monotone totals; re-assigning is idempotent.
@@ -561,6 +939,15 @@ impl AdcpSwitch {
         m.set_counter(mh.tx_pkts, c.delivered);
         m.set_gauge(mh.tm1_buffer_gauge, self.pool1.used());
         m.set_gauge(mh.tm2_buffer_gauge, self.pool2.used());
+        let mig = &self.mig_stats;
+        m.set_counter(mh.ctrl_migrations, mig.migrations);
+        m.set_counter(mh.ctrl_moved_keys, mig.moved_keys);
+        m.set_counter(mh.ctrl_paused_ns, mig.paused_ns);
+        m.set_counter(mh.ctrl_redirected_pkts, mig.redirected_pkts);
+        m.set_counter(mh.ctrl_held_pkts, mig.held_pkts);
+        m.set_counter(mh.ctrl_misroutes, mig.misroutes);
+        let epoch = self.part.as_ref().map_or(0, |rt| rt.map.epoch);
+        m.set_gauge(mh.ctrl_epoch, epoch);
         // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
         // every report on 64-port targets): total busy cycles plus the
         // busiest pipe, per region.
@@ -686,6 +1073,7 @@ impl AdcpSwitch {
             Ev::CentralOut { cpipe, pkt } => self.on_central_out(now, cpipe, pkt),
             Ev::PullEgress { epipe } => self.on_pull_egress(now, epipe),
             Ev::EgressOut { epipe, pkt } => self.on_egress_out(now, epipe, pkt),
+            Ev::MigrateCommit => self.on_migrate_commit(now),
         }
     }
 
@@ -736,7 +1124,7 @@ impl AdcpSwitch {
     }
 
     /// TM1: application-defined partitioning into central pipelines.
-    fn on_ingress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet) {
+    fn on_ingress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
         self.tracer.record(now, pkt.meta.id, Site::Tm1);
         // Stage span: RX handoff -> ingress pipeline exit (parse included).
         self.metrics
@@ -746,22 +1134,81 @@ impl AdcpSwitch {
             self.drop_packet(now, pkt.meta.id);
             return;
         }
-        // Partition criterion: program's choice, else flow hash. This is
-        // the "reshuffle by ranges or hashes" role of the first TM.
-        let cpipe = pkt
+        self.tm1_route(now, pipe, pkt);
+    }
+
+    /// Route one packet through TM1 into a central queue. Split out of
+    /// [`AdcpSwitch::on_ingress_out`] because migrations re-enter it when
+    /// held packets are released.
+    fn tm1_route(&mut self, now: SimTime, pipe: usize, mut pkt: Packet) {
+        // Partition criterion: the program's `SetCentralPipe` value
+        // (pre-modulo) is the logical partition key, else the flow hash.
+        // This is the "reshuffle by ranges or hashes" role of the first TM.
+        let key = pkt
             .meta
             .central_pipe
-            .map(|c| c as usize % self.central.len())
-            .unwrap_or_else(|| {
-                (adcp_lang::fold_hash([pkt.meta.flow.0]) % self.central.len() as u64) as usize
-            });
+            .map(u64::from)
+            .unwrap_or_else(|| adcp_lang::fold_hash([pkt.meta.flow.0]));
+        let cpipe = if self.part.is_none() {
+            (key % self.central.len() as u64) as usize
+        } else {
+            // Epoch-versioned map routing. Decide first with a shared
+            // borrow, then apply (holds and first-touch copies need
+            // `&mut self`).
+            let (bucket, hold, first_touch, owner, epoch) = {
+                let rt = self.part.as_ref().expect("checked");
+                let bucket = rt.map.bucket_of(key);
+                let (hold, first_touch) = match &rt.mig {
+                    None => (false, false),
+                    Some(mig) => match mig.strategy {
+                        // Drain: the moving shard is unavailable until
+                        // commit.
+                        MigrationStrategy::Drain => {
+                            (mig.fence_prev.binary_search(&bucket).is_ok(), false)
+                        }
+                        // Incremental: unavailable only while old-epoch
+                        // packets could still update moving cells; after
+                        // that, first touch copies the bucket.
+                        MigrationStrategy::Incremental => {
+                            let dirty = mig.dirty.binary_search(&bucket).is_ok();
+                            (mig.fence_left > 0 && dirty, mig.fence_left == 0 && dirty)
+                        }
+                    },
+                };
+                (
+                    bucket,
+                    hold,
+                    first_touch,
+                    rt.map.owner_of_bucket(bucket) as usize,
+                    rt.map.epoch,
+                )
+            };
+            if hold {
+                self.mig_stats.held_pkts += 1;
+                let rt = self.part.as_mut().expect("checked");
+                let mig = rt.mig.as_mut().expect("hold implies migration");
+                mig.held.push((pipe, pkt));
+                return;
+            }
+            if first_touch {
+                self.first_touch_copy(now, bucket);
+            }
+            let rt = self.part.as_mut().expect("checked");
+            rt.bucket_pkts[bucket as usize] += 1;
+            rt.inflight[bucket as usize] += 1;
+            pkt.meta.part_bucket = Some(bucket);
+            pkt.meta.map_epoch = Some(epoch);
+            owner
+        };
         if !self.central[cpipe].queues.queue(pipe).has_room(&pkt) {
             self.counters.tm1_queue_drops += 1;
+            self.account_tm1_unenqueue(&pkt);
             self.drop_packet(now, pkt.meta.id);
             return;
         }
         if !self.pool1.try_alloc(&mut pkt) {
             self.counters.tm1_drops += 1;
+            self.account_tm1_unenqueue(&pkt);
             self.drop_packet(now, pkt.meta.id);
             return;
         }
@@ -775,6 +1222,137 @@ impl AdcpSwitch {
         self.metrics
             .set_gauge(self.mh.tm1_buffer_gauge, self.pool1.used());
         self.schedule_pull_central(now, cpipe);
+    }
+
+    /// Undo the in-flight stamp of a packet that was counted for a bucket
+    /// but then dropped at TM1 admission (queue/buffer exhaustion).
+    fn account_tm1_unenqueue(&mut self, pkt: &Packet) {
+        let Some(rt) = &mut self.part else { return };
+        if let (Some(b), Some(e)) = (pkt.meta.part_bucket, pkt.meta.map_epoch) {
+            if e == rt.map.epoch {
+                rt.inflight[b as usize] -= 1;
+            }
+        }
+    }
+
+    /// Incremental copy-on-first-touch: remove `bucket` from the redirect
+    /// table, move its cells, and charge the copy window to the new
+    /// owner's pipe schedule (the triggering packet, and anything behind
+    /// it, waits out the copy in-queue — per-key order is preserved).
+    fn first_touch_copy(&mut self, now: SimTime, bucket: u32) {
+        let Some(rt) = &mut self.part else { return };
+        let Some(mig) = &mut rt.mig else { return };
+        let Ok(i) = mig.dirty.binary_search(&bucket) else {
+            return;
+        };
+        mig.dirty.remove(i);
+        let map = &rt.map;
+        let mut moves = Vec::new();
+        mig.moving_cells.retain(|&(r, c, from, to)| {
+            if map.bucket_of(c as u64) == bucket {
+                moves.push((r, c, from, to));
+                false
+            } else {
+                true
+            }
+        });
+        let owner = map.owner_of_bucket(bucket) as usize;
+        self.mig_stats.redirected_pkts += 1;
+        self.mig_stats.moved_keys += moves.len() as u64;
+        self.apply_moves(&moves);
+        let cost = self.copy_cost(moves.len());
+        self.central[owner].next_slot = self.central[owner].next_slot.max(now) + cost;
+    }
+
+    /// Drain-strategy commit: fence drained and copy window elapsed — move
+    /// all cells, install the next map (epoch + 1), release held packets.
+    fn on_migrate_commit(&mut self, now: SimTime) {
+        let Some(rt) = &mut self.part else { return };
+        let Some(mut mig) = rt.mig.take() else { return };
+        debug_assert_eq!(mig.strategy, MigrationStrategy::Drain);
+        debug_assert_eq!(mig.fence_left, 0);
+        let next = mig.next_pending.take().expect("drain holds the next map");
+        let b = next.num_buckets() as usize;
+        // Everything still queued was stamped under the previous epoch.
+        rt.inflight_old += rt.inflight.iter().sum::<u64>();
+        rt.inflight = vec![0; b];
+        rt.bucket_pkts = vec![0; b];
+        rt.map = next;
+        let moves = std::mem::take(&mut mig.moving_cells);
+        self.apply_moves(&moves);
+        self.mig_stats.moved_keys += moves.len() as u64;
+        self.mig_stats.migrations += 1;
+        self.mig_stats.paused_ns += now.saturating_since(mig.begun).as_ps() / 1000;
+        // Release inline, in arrival order, before any later event can
+        // route — preserves per-key FIFO through the pause.
+        for (pipe, pkt) in mig.held {
+            self.tm1_route(now, pipe, pkt);
+        }
+    }
+
+    /// Partition accounting at the moment a central pipe dequeues a packet
+    /// (the packet's register updates happen in this same event, so "the
+    /// old owner has applied it" and "dequeued" coincide). Decrements the
+    /// in-flight fence, checks the epoch-consistent owner, and — for
+    /// incremental migrations — ends the hold window when the fence
+    /// drains.
+    fn account_central_dequeue(&mut self, now: SimTime, cpipe: usize, pkt: &Packet) {
+        let period_ps = self.period.as_ps();
+        let Some(rt) = &mut self.part else { return };
+        let (Some(bucket), Some(epoch)) = (pkt.meta.part_bucket, pkt.meta.map_epoch) else {
+            return;
+        };
+        let mut commit_at = None;
+        let mut released = None;
+        if epoch == rt.map.epoch {
+            rt.inflight[bucket as usize] -= 1;
+            if rt.map.owner_of_bucket(bucket) as usize != cpipe {
+                self.mig_stats.misroutes += 1;
+            }
+            if let Some(mig) = &mut rt.mig {
+                if mig.strategy == MigrationStrategy::Drain
+                    && mig.fence_left > 0
+                    && mig.fence_prev.binary_search(&bucket).is_ok()
+                {
+                    mig.fence_left -= 1;
+                    if mig.fence_left == 0 {
+                        let cost =
+                            Duration(mig.moving_cells.len() as u64 * CELL_COPY_CYCLES * period_ps);
+                        commit_at = Some(now + cost);
+                    }
+                }
+            }
+        } else {
+            rt.inflight_old -= 1;
+            if let Some(mig) = &mut rt.mig {
+                // Old-epoch packet during an incremental migration: the
+                // previous map decodes its stamp.
+                if mig.prev.owner_of_bucket(bucket) as usize != cpipe {
+                    self.mig_stats.misroutes += 1;
+                }
+                if mig.fence_left > 0 && mig.fence_prev.binary_search(&bucket).is_ok() {
+                    mig.fence_left -= 1;
+                    if mig.fence_left == 0 {
+                        // Fence drained: the hold window ends here.
+                        if let Some(start) = mig.pause_started.take() {
+                            self.mig_stats.paused_ns += now.saturating_since(start).as_ps() / 1000;
+                        }
+                        released = Some(std::mem::take(&mut mig.held));
+                    }
+                }
+            }
+            // With no migration active the previous map is gone; stragglers
+            // of non-moving buckets route to the same owner under either
+            // map, so there is nothing left to check.
+        }
+        if let Some(at) = commit_at {
+            self.events.push(at, Ev::MigrateCommit);
+        }
+        if let Some(held) = released {
+            for (pipe, pkt) in held {
+                self.tm1_route(now, pipe, pkt);
+            }
+        }
     }
 
     fn schedule_pull_central(&mut self, now: SimTime, cpipe: usize) {
@@ -814,6 +1392,9 @@ impl AdcpSwitch {
             return;
         };
         self.pool1.release(&mut pkt);
+        // Fence/epoch accounting must happen exactly when the old owner
+        // consumes the packet (its register updates land in this event).
+        self.account_central_dequeue(now, cpipe, &pkt);
         self.metrics
             .record_span(self.mh.tm1_residency, pkt.meta.tm_enqueued, now);
         pkt.meta.tm_enqueued = now; // central-stage entry, for its span

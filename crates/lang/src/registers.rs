@@ -129,6 +129,41 @@ impl RegisterFile {
         self.cells.iter_mut().for_each(|c| *c = 0);
     }
 
+    /// Control-plane state migration: take one cell's value and zero the
+    /// cell (the source side of a shard move). Unlike [`RegisterFile::rmw`]
+    /// this is not a data-plane operation, so it does not count toward
+    /// `ops`. Out-of-range indices extract 0.
+    pub fn extract(&mut self, idx: usize) -> u64 {
+        match self.cells.get_mut(idx) {
+            Some(c) => std::mem::take(c),
+            None => 0,
+        }
+    }
+
+    /// Control-plane state migration: set one cell to a previously
+    /// extracted value (the destination side of a shard move). Masked to
+    /// the cell width; does not count toward `ops`. Out-of-range indices
+    /// are ignored.
+    pub fn restore(&mut self, idx: usize, value: u64) {
+        let masked = self.mask(value);
+        if let Some(c) = self.cells.get_mut(idx) {
+            *c = masked;
+        }
+    }
+
+    /// Control-plane state migration: extract every cell selected by
+    /// `select`, returning `(index, value)` pairs for the nonzero ones.
+    /// Selected cells are zeroed; does not count toward `ops`.
+    pub fn drain(&mut self, mut select: impl FnMut(usize) -> bool) -> Vec<(usize, u64)> {
+        let mut out = Vec::new();
+        for (i, c) in self.cells.iter_mut().enumerate() {
+            if select(i) && *c != 0 {
+                out.push((i, std::mem::take(c)));
+            }
+        }
+        out
+    }
+
     /// Snapshot of all cells (control-plane readout).
     pub fn snapshot(&self) -> &[u64] {
         &self.cells
@@ -192,6 +227,40 @@ mod tests {
         }
         f.clear();
         assert!(f.snapshot().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn extract_restore_round_trip() {
+        let mut src = file(8, 32);
+        let mut dst = file(8, 32);
+        src.rmw(2, RegAluOp::Write, 7);
+        src.rmw(5, RegAluOp::Write, 11);
+        let ops_before = src.ops;
+        let moved = src.drain(|i| i % 2 == 1);
+        assert_eq!(moved, vec![(5, 11)]);
+        assert_eq!(src.peek(5), 0, "drained cell is zeroed at the source");
+        assert_eq!(src.peek(2), 7, "unselected cell untouched");
+        for (i, v) in moved {
+            dst.restore(i, v);
+        }
+        assert_eq!(dst.peek(5), 11);
+        let v = src.extract(2);
+        assert_eq!(v, 7);
+        assert_eq!(src.peek(2), 0);
+        dst.restore(2, v);
+        assert_eq!(dst.peek(2), 7);
+        assert_eq!(src.ops, ops_before, "migration is not a data-plane op");
+        assert_eq!(dst.ops, 0, "restore is not a data-plane op");
+        // Out-of-range moves are benign, like the data-plane accessors.
+        assert_eq!(src.extract(99), 0);
+        dst.restore(99, 5);
+    }
+
+    #[test]
+    fn restore_masks_to_cell_width() {
+        let mut f = file(2, 8);
+        f.restore(0, 0x1FF);
+        assert_eq!(f.peek(0), 0xFF);
     }
 
     #[test]

@@ -160,6 +160,14 @@ pub enum TableError {
         /// High bound of the conflicting installed interval.
         hi: u64,
     },
+    /// A control-plane call addressed a pipeline the target does not have
+    /// (e.g. `install_central_at` beyond the central-pipe count).
+    NoSuchPipe {
+        /// The requested pipeline index.
+        pipe: usize,
+        /// How many pipelines of that kind exist.
+        have: usize,
+    },
 }
 
 /// Runtime storage for one table in one pipeline.

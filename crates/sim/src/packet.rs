@@ -125,6 +125,16 @@ pub struct PacketMeta {
     /// Time the packet was admitted to the traffic manager it currently sits
     /// in (or last sat in). Used for TM-residency stage spans.
     pub tm_enqueued: SimTime,
+    /// Switch-internal (ADCP): the partition-map bucket TM1 routed this
+    /// packet under. Drives the in-flight fence of the live-migration
+    /// protocol. `None` until TM1 routes the packet, or when no partition
+    /// map is installed.
+    pub part_bucket: Option<u32>,
+    /// Switch-internal (ADCP): the partition-map epoch in force when TM1
+    /// routed this packet. Epoch-tagging is what guarantees no packet ever
+    /// observes a half-applied map: a central pipe can always tell whether
+    /// a dequeued packet was routed under the previous map.
+    pub map_epoch: Option<u64>,
 }
 
 impl PacketMeta {
@@ -146,6 +156,8 @@ impl PacketMeta {
             fcs: None,
             buf_cells: None,
             tm_enqueued: SimTime::ZERO,
+            part_bucket: None,
+            map_epoch: None,
         }
     }
 }

@@ -111,7 +111,11 @@ fn main() {
     }
     let out = adcp.take_delivered();
     let counted: u64 = (0..adcp.num_central())
-        .map(|c| adcp.central_register(c, adcp::lang::RegId(0)).peek(7))
+        .map(|c| {
+            adcp.central_register(c, adcp::lang::RegId(0))
+                .unwrap()
+                .peek(7)
+        })
         .sum();
     println!(
         "  delivered on {} at {} (per-dst counter now {counted})\n",

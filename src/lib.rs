@@ -11,6 +11,8 @@
 //! * [`rmt`] — the baseline RMT switch model (paper Fig. 1).
 //! * [`core`] — the ADCP switch model (paper Fig. 4): dual traffic
 //!   managers, global partitioned area, array MAUs, port demultiplexing.
+//! * [`ctrl`] — the control plane for the global partitioned area: load
+//!   observation, repartition planning, live state migration.
 //! * [`workloads`] — coflow/zipf/gradient/shuffle/BSP generators.
 //! * [`apps`] — the Table 1 applications on both architectures.
 //! * [`analytic`] — the paper's Tables 2/3 arithmetic and §4 feasibility
@@ -27,6 +29,7 @@
 pub use adcp_analytic as analytic;
 pub use adcp_apps as apps;
 pub use adcp_core as core;
+pub use adcp_ctrl as ctrl;
 pub use adcp_lang as lang;
 pub use adcp_rmt as rmt;
 pub use adcp_sim as sim;
