@@ -175,6 +175,15 @@ impl AnySwitch {
             AnySwitch::Adcp(s) => s.metrics_json(),
         }
     }
+
+    /// Export the journey tracer (sampled hops, drop forensics, control
+    /// instants) as JSON. `{"enabled": false}` when tracing is off.
+    pub fn trace_json(&self) -> serde::Value {
+        match self {
+            AnySwitch::Rmt(s) => s.trace_json(),
+            AnySwitch::Adcp(s) => s.trace_json(),
+        }
+    }
 }
 
 /// The result of running one app variant.
@@ -212,6 +221,9 @@ pub struct AppReport {
     /// Per-stage metrics block exported by the switch's metrics registry
     /// (counters, gauges, span histograms, queue-depth series by scope).
     pub metrics: serde::Value,
+    /// Journey-tracer block (sampled hops, drop forensics, control
+    /// instants); `{"enabled": false}` when tracing was off for the run.
+    pub trace: serde::Value,
     /// Free-form observations (compiler notes, feature restrictions).
     pub notes: Vec<String>,
 }
@@ -227,6 +239,7 @@ impl AppReport {
         notes: Vec<String>,
     ) -> Self {
         let metrics = sw.metrics_json();
+        let trace = sw.trace_json();
         let (injected, delivered, drops, recirc) = sw.flow_counts();
         let (mat_lookups, mat_hits, deparse_allocs) = sw.mat_stats();
         let elapsed = Duration(makespan.as_ps().max(1));
@@ -250,6 +263,7 @@ impl AppReport {
             deparse_allocs,
             latency: sw.latency(),
             metrics,
+            trace,
             notes,
         }
     }

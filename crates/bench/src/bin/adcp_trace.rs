@@ -1,9 +1,11 @@
 //! `adcp-trace` — run one application and dump its per-stage breakdown.
 //!
 //! Usage: `cargo run --release -p adcp-bench --bin adcp-trace --
-//!         [--app NAME] [--target adcp|rmt-pinned|rmt-recirc]
+//!         [--app NAME|table1] [--target adcp|rmt-pinned|rmt-recirc]
 //!         [--quick] [--json] [--validate]
-//!         [--migrate drain|incremental|off]`
+//!         [--migrate drain|incremental|off]
+//!         [--sample N] [--chrome OUT.json] [--journeys [PKT]]
+//!         [--forensics]`
 //!        `adcp-trace --diff A.json B.json`
 //!
 //! Default output is a per-stage table of every counter, gauge, span
@@ -12,6 +14,28 @@
 //! checks the exported metrics block against
 //! `schemas/metrics.schema.json` and exits non-zero on any violation —
 //! CI runs this on a quick regenerator.
+//!
+//! The journey-tracer consumers (any of them force-enables tracing for
+//! the run; `--sample N` keeps hop spans for packet ids where
+//! `fnv(id) % N == 0`, default 1 = every packet):
+//!
+//! * `--chrome OUT.json` writes a Chrome trace-event document loadable in
+//!   Perfetto / `chrome://tracing` — one track per pipe/TM, journey spans
+//!   as duration events, drops and control-plane actions as instants.
+//!   The document is validated against `schemas/chrome_trace.schema.json`
+//!   before it is written.
+//! * `--journeys [PKT]` pretty-prints reconstructed packet walks (all
+//!   sampled packets, or just `PKT`).
+//! * `--forensics` groups every recorded drop by site+reason with the
+//!   queue state at the moment of death and cross-checks the per-reason
+//!   totals against the metrics registry's drop counters, exiting
+//!   non-zero on any mismatch. Drops are captured at every sampling
+//!   rate, so the check is exact even under `--sample 64`.
+//!
+//! `--app table1` is a pseudo-app: every application of the paper's
+//! Table 1, each run on both the ADCP and the RMT baseline — the
+//! configuration under which the forensics invariant is asserted across
+//! the whole matrix.
 //!
 //! `--migrate` sets the control-plane policy for apps that carry one
 //! (currently `partmigrate`): pick the migration strategy or turn the
@@ -22,9 +46,10 @@
 //! present on only one side — the quickest way to see what a code or
 //! config change did to the per-stage picture.
 
-use adcp_apps::driver::TargetKind;
+use adcp_apps::driver::{AppReport, TargetKind};
+use adcp_bench::journey::{chrome_trace, forensics, format_journeys, ChromeRun};
 use adcp_bench::report::{print_json, print_table};
-use adcp_bench::schema::{load_metrics_schema, validate};
+use adcp_bench::schema::{load_chrome_trace_schema, load_metrics_schema, validate};
 use adcp_bench::trace::{
     diff_metrics, flatten, metrics_block, parse_target, run_one_with, APP_NAMES,
 };
@@ -82,6 +107,80 @@ fn diff_main(path_a: &str, path_b: &str) -> ! {
     std::process::exit(0);
 }
 
+/// `--journeys` takes an optional packet id: present when the next token
+/// parses as one, absent when the flag is last or followed by a flag.
+fn journeys_arg() -> Option<Option<u64>> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--journeys")?;
+    Some(args.get(i + 1).and_then(|v| v.parse::<u64>().ok()))
+}
+
+fn print_forensics(name: &str, report: &AppReport) -> bool {
+    let Some(f) = forensics(&report.trace, &report.metrics) else {
+        eprintln!(
+            "{name}: forensics skipped — tracing or metrics disabled \
+             (is ADCP_METRICS=off set?)"
+        );
+        return false;
+    };
+    let check_cells: Vec<Vec<String>> = f
+        .checks
+        .iter()
+        .map(|c| {
+            vec![
+                c.reason.clone(),
+                if c.tm == 0 {
+                    "-".into()
+                } else {
+                    format!("tm{}", c.tm)
+                },
+                c.forensic.to_string(),
+                c.counter.to_string(),
+                c.counter_name.clone(),
+                if c.ok { "ok".into() } else { "MISMATCH".into() },
+            ]
+        })
+        .collect();
+    print_table(
+        &format!("{name}: drop forensics vs metrics registry"),
+        &[
+            "reason",
+            "tm",
+            "forensic",
+            "counter",
+            "counter name",
+            "check",
+        ],
+        &check_cells,
+    );
+    if !f.rows.is_empty() {
+        let site_cells: Vec<Vec<String>> = f
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.site.clone(),
+                    r.reason.clone(),
+                    r.queue
+                        .map(|q| format!("q{q}"))
+                        .unwrap_or_else(|| "-".into()),
+                    r.count.to_string(),
+                    r.detail.clone(),
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("{name}: drops by site (queue state at death)"),
+            &["site", "reason", "queue", "count", "state at death"],
+            &site_cells,
+        );
+    }
+    for m in &f.mismatches {
+        eprintln!("{name}: FORENSICS MISMATCH: {m}");
+    }
+    f.ok()
+}
+
 fn main() {
     if let Some(a) = arg_value("--diff") {
         let args: Vec<String> = std::env::args().collect();
@@ -112,37 +211,133 @@ fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
     let json = std::env::args().any(|a| a == "--json");
     let do_validate = std::env::args().any(|a| a == "--validate");
-
-    let report = run_one_with(&app, target, quick, migrate).unwrap_or_else(|| {
-        eprintln!(
-            "unknown --app {app:?} (want one of: {})",
-            APP_NAMES.join(", ")
-        );
-        std::process::exit(2);
+    let chrome = arg_value("--chrome");
+    let journeys = journeys_arg();
+    let do_forensics = std::env::args().any(|a| a == "--forensics");
+    let sample = arg_value("--sample").map(|s| {
+        s.parse::<u64>()
+            .ok()
+            .filter(|&n| n >= 1)
+            .unwrap_or_else(|| {
+                eprintln!("--sample wants an integer N >= 1, got {s:?}");
+                std::process::exit(2);
+            })
     });
+
+    // Any journey consumer force-enables tracing for the run (the env
+    // override both switch models read at construction).
+    if sample.is_some() || chrome.is_some() || journeys.is_some() || do_forensics {
+        std::env::set_var("ADCP_TRACE", sample.unwrap_or(1).to_string());
+    }
+
+    let runs: Vec<(String, AppReport)> = if app == "table1" {
+        let mut v = Vec::new();
+        for &a in APP_NAMES {
+            for kind in [TargetKind::Adcp, TargetKind::RmtPinned] {
+                let r = run_one_with(a, kind, quick, migrate).expect("known app");
+                v.push((format!("{a} on {}", kind.label()), r));
+            }
+        }
+        v
+    } else {
+        let report = run_one_with(&app, target, quick, migrate).unwrap_or_else(|| {
+            eprintln!(
+                "unknown --app {app:?} (want table1 or one of: {})",
+                APP_NAMES.join(", ")
+            );
+            std::process::exit(2);
+        });
+        vec![(format!("{app} on {}", target.label()), report)]
+    };
 
     if do_validate {
         let schema = load_metrics_schema().unwrap_or_else(|e| {
             eprintln!("cannot load metrics schema: {e}");
             std::process::exit(2);
         });
-        match validate(&report.metrics, &schema) {
-            Ok(()) => println!("metrics block conforms to schemas/metrics.schema.json"),
-            Err(errors) => {
-                eprintln!("metrics block violates schemas/metrics.schema.json:");
-                for e in &errors {
-                    eprintln!("  {e}");
+        for (name, report) in &runs {
+            match validate(&report.metrics, &schema) {
+                Ok(()) => println!("{name}: metrics block conforms to schemas/metrics.schema.json"),
+                Err(errors) => {
+                    eprintln!("{name}: metrics block violates schemas/metrics.schema.json:");
+                    for e in &errors {
+                        eprintln!("  {e}");
+                    }
+                    std::process::exit(1);
                 }
-                std::process::exit(1);
             }
         }
     }
 
+    if let Some(path) = &chrome {
+        let chrome_runs: Vec<ChromeRun> = runs
+            .iter()
+            .map(|(name, r)| ChromeRun {
+                name: name.clone(),
+                trace: r.trace.clone(),
+            })
+            .collect();
+        let doc = chrome_trace(&chrome_runs);
+        let schema = load_chrome_trace_schema().unwrap_or_else(|e| {
+            eprintln!("cannot load chrome trace schema: {e}");
+            std::process::exit(2);
+        });
+        if let Err(errors) = validate(&doc, &schema) {
+            eprintln!("chrome export violates schemas/chrome_trace.schema.json:");
+            for e in &errors {
+                eprintln!("  {e}");
+            }
+            std::process::exit(1);
+        }
+        let n_events = doc
+            .get("traceEvents")
+            .and_then(serde::Value::as_array)
+            .map_or(0, |a| a.len());
+        let text = serde_json::to_string_pretty(&doc).expect("chrome doc serializes");
+        std::fs::write(path, text).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!(
+            "wrote {n_events} trace events to {path} (schema-valid; load in \
+             https://ui.perfetto.dev or chrome://tracing)"
+        );
+    }
+
+    if let Some(pkt) = journeys {
+        for (name, report) in &runs {
+            println!("── journeys: {name}");
+            print!("{}", format_journeys(&report.trace, pkt, 8));
+        }
+    }
+
+    if do_forensics {
+        let mut all_ok = true;
+        for (name, report) in &runs {
+            all_ok &= print_forensics(name, report);
+        }
+        if !all_ok {
+            eprintln!("forensic drop counts disagree with the metrics registry");
+            std::process::exit(1);
+        }
+        println!(
+            "forensics: every recorded drop reason matches its registry counter \
+             across {} run(s)",
+            runs.len()
+        );
+    }
+
     if json {
-        print_json("adcp_trace", std::slice::from_ref(&report));
+        let reports: Vec<AppReport> = runs.iter().map(|(_, r)| r.clone()).collect();
+        print_json("adcp_trace", &reports);
         return;
     }
 
+    if chrome.is_some() || journeys.is_some() || do_forensics {
+        return; // journey consumers replace the default metrics table
+    }
+
+    let (_, report) = &runs[0];
     let rows = flatten(&report.metrics);
     let cells: Vec<Vec<String>> = rows
         .iter()

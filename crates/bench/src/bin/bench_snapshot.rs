@@ -11,13 +11,17 @@
 //! clobbers the day's recorded trajectory point.
 //!
 //! `--overhead` instead self-profiles the observability layer: the suite
-//! is timed with the metrics registry off, then on, and the per-point and
-//! aggregate instrumentation overhead is written to
-//! `BENCH_<date>_obs.json` (target: < 5 % aggregate). The separate file
-//! name keeps it from clobbering the day's throughput trajectory point.
+//! is timed with each knob off, then on — the metrics registry
+//! (`ADCP_METRICS`) and the journey tracer at the production sampling
+//! rate (`ADCP_TRACE=64`) — and the per-point and aggregate
+//! instrumentation overhead is written to `BENCH_<date>_obs.json`
+//! (target: < 5 % aggregate per knob). The separate file name keeps it
+//! from clobbering the day's throughput trajectory point.
 
 use adcp_bench::report::{eng, print_json, print_table, want_json, write_json_file};
-use adcp_bench::snapshot::{measure_overhead, run_suite, today_utc, OverheadRow, SnapshotRow};
+use adcp_bench::snapshot::{
+    measure_overhead, measure_trace_overhead, run_suite, today_utc, OverheadRow, SnapshotRow,
+};
 use std::path::{Path, PathBuf};
 
 fn arg_value(name: &str) -> Option<String> {
@@ -27,8 +31,13 @@ fn arg_value(name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+/// The journey-tracer sampling rate the overhead budget is stated at.
+const TRACE_OVERHEAD_SAMPLE: u64 = 64;
+
 fn overhead_main(quick: bool, reps: u32, out_dir: &Path) {
-    let (rows, aggregate_pct) = measure_overhead(quick, reps);
+    let (metrics_rows, metrics_pct) = measure_overhead(quick, reps);
+    let (trace_rows, trace_pct) = measure_trace_overhead(quick, reps, TRACE_OVERHEAD_SAMPLE);
+    let rows: Vec<OverheadRow> = metrics_rows.into_iter().chain(trace_rows).collect();
     let date = today_utc();
     let path = (!quick).then(|| out_dir.join(format!("BENCH_{date}_obs.json")));
     if let Some(path) = &path {
@@ -45,18 +54,19 @@ fn overhead_main(quick: bool, reps: u32, out_dir: &Path) {
             vec![
                 r.app.clone(),
                 r.target.clone(),
-                format!("{:.2}", r.wall_ms_metrics_off),
-                format!("{:.2}", r.wall_ms_metrics_on),
+                r.knob.clone(),
+                format!("{:.2}", r.wall_ms_off),
+                format!("{:.2}", r.wall_ms_on),
                 format!("{:+.2}%", r.overhead_pct),
             ]
         })
         .collect();
     print_table(
-        &format!("bench_snapshot {date} — instrumentation overhead (metrics off vs on)"),
-        &["app", "target", "off_ms", "on_ms", "overhead"],
+        &format!("bench_snapshot {date} — instrumentation overhead (knob off vs on)"),
+        &["app", "target", "knob", "off_ms", "on_ms", "overhead"],
         &cells,
     );
-    println!("\naggregate overhead: {aggregate_pct:+.2}% (target < 5%)");
+    println!("\naggregate overhead: metrics {metrics_pct:+.2}%, trace(sample={TRACE_OVERHEAD_SAMPLE}) {trace_pct:+.2}% (target < 5% each)");
     match &path {
         Some(p) => println!("wrote {}", p.display()),
         None => println!("(quick run: overhead file not written)"),

@@ -21,6 +21,9 @@
 //! `CONFORMANCE_BUG=swap-add-max` arms the test-only sabotage hook (the
 //! ADCP target's register Adds and Maxes are swapped) to prove the harness
 //! catches and shrinks a real semantic bug.
+//! `CONFORMANCE_BUG=lose-drop-forensics` instead loses every other drop's
+//! journey-tracer forensic record on the ADCP target, which the
+//! forensics↔counter cross-check must flag.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -30,6 +33,7 @@ use adcp_bench::conformance::{replay, run, BugHook, CaseError, RunConfig};
 fn parse_bug() -> BugHook {
     match std::env::var("CONFORMANCE_BUG").as_deref() {
         Ok("swap-add-max") => BugHook::SwapAddMax,
+        Ok("lose-drop-forensics") => BugHook::LoseDropForensics,
         Ok(other) if !other.is_empty() => {
             eprintln!("conformance: unknown CONFORMANCE_BUG {other:?}, ignoring");
             BugHook::None

@@ -99,11 +99,8 @@ fn main() {
         // packets; the default program walk shows the egress-pinned path.
         sw.inject(PortId(1), pkt(1, 3), SimTime::ZERO);
         sw.run_until_idle();
-        print!("packet walk ({strategy:?}):");
-        for site in sw.tracer.path_of(1) {
-            print!(" -> {site}");
-        }
-        println!("\n");
+        println!("packet walk ({strategy:?}):");
+        println!("{}", sw.tracer.format_journey(1));
     }
 
     println!("== Fig. 4 — the ADCP architecture (16x800G, 1:2 demux, 4 central pipes) ==\n");
@@ -129,11 +126,8 @@ fn main() {
     .unwrap();
     sw.inject(PortId(1), pkt(1, 3), SimTime::ZERO);
     sw.run_until_idle();
-    print!("packet walk:");
-    for site in sw.tracer.path_of(1) {
-        print!(" -> {site}");
-    }
-    println!();
+    println!("packet walk:");
+    print!("{}", sw.tracer.format_journey(1));
     println!(
         "\nreading: same program, three physical realizations — the central\n\
          'count' table lands in the egress pipelines (pinned), on a second\n\

@@ -890,6 +890,11 @@ pub enum BugHook {
     /// Swap `RegAluOp::Add` and `RegAluOp::Max` in every register op of the
     /// program given to the ADCP target.
     SwapAddMax,
+    /// Silently lose every other drop's forensic record on the ADCP
+    /// target while the switch's drop counters keep counting — the
+    /// "drops without recording" bug the journey tracer's forensics↔
+    /// counter cross-check exists to catch.
+    LoseDropForensics,
 }
 
 fn swap_add_max_ops(ops: &mut [ActionOp]) {
@@ -942,6 +947,23 @@ fn mirrored(
         )),
         None => Err(format!(
             "{name}: metrics registry has no {scope}.{metric} counter"
+        )),
+    }
+}
+
+/// Cross-check the journey tracer's forensic drop aggregation against the
+/// metrics registry, through the same exporter/cross-check path the
+/// `adcp-trace --forensics` CLI uses. Drop forensics are exact at any
+/// sampling rate, so this holds whenever both the tracer and the registry
+/// are on; when either is disabled (`ADCP_TRACE=off` / `ADCP_METRICS=off`)
+/// there is nothing to check and the run proceeds.
+fn forensics_check(name: &str, trace: &serde::Value, metrics: &serde::Value) -> Result<(), String> {
+    match crate::journey::forensics(trace, metrics) {
+        None => Ok(()),
+        Some(f) if f.ok() => Ok(()),
+        Some(f) => Err(format!(
+            "{name}: drop forensics disagree with the metrics registry: {}",
+            f.mismatches.join("; ")
         )),
     }
 }
@@ -1039,9 +1061,17 @@ fn run_adcp(
         apply_bug(case.program.clone(), bug),
         target,
         CompileOptions::default(),
-        AdcpConfig::default(),
+        AdcpConfig {
+            // Journey tracing on (sample=1 unless ADCP_TRACE overrides):
+            // every run doubles as a forensics↔counter cross-check lane.
+            trace: true,
+            ..Default::default()
+        },
     )
     .map_err(|e| CaseError::Skip(format!("adcp compile: {e:?}")))?;
+    if bug == BugHook::LoseDropForensics {
+        sw.tracer.set_drop_forensics_loss(true);
+    }
     for (name, entry) in &case.installs {
         sw.install_all(name, entry.clone())
             .map_err(|e| CaseError::Mismatch(format!("adcp install into {name}: {e:?}")))?;
@@ -1158,6 +1188,7 @@ fn run_adcp(
     let mat_hits = mirrored("adcp", m, "mat", "hits", c.mat_hits).map_err(CaseError::Mismatch)?;
     mirrored("adcp", m, "tx", "packets", c.delivered).map_err(CaseError::Mismatch)?;
     mirrored("adcp", m, "drops", "filtered", c.filtered).map_err(CaseError::Mismatch)?;
+    forensics_check("adcp", &sw.trace_json(), &m.to_json()).map_err(CaseError::Mismatch)?;
     finish_outcome(
         "adcp",
         (
@@ -1199,7 +1230,11 @@ fn run_rmt(
         CompileOptions {
             rmt_central: strategy,
         },
-        RmtConfig::default(),
+        RmtConfig {
+            // Same forensics lane as `run_adcp`.
+            trace: true,
+            ..Default::default()
+        },
     )
     .map_err(|e| CaseError::Skip(format!("{name} compile: {e:?}")))?;
     for (tname, entry) in &case.installs {
@@ -1257,6 +1292,7 @@ fn run_rmt(
     let mat_hits = mirrored(name, m, "mat", "hits", c.mat_hits).map_err(CaseError::Mismatch)?;
     mirrored(name, m, "tx", "packets", c.delivered).map_err(CaseError::Mismatch)?;
     mirrored(name, m, "drops", "filtered", c.filtered).map_err(CaseError::Mismatch)?;
+    forensics_check(name, &sw.trace_json(), &m.to_json()).map_err(CaseError::Mismatch)?;
     finish_outcome(
         name,
         (
@@ -1941,5 +1977,51 @@ mod tests {
         ));
         assert!(!final_err.is_empty());
         assert!(shrunk.max_packets <= spec.max_packets);
+    }
+
+    #[test]
+    fn forensics_catches_lost_drop_records() {
+        // A target that drops packets without recording them must not pass:
+        // arm the forensic-loss sabotage and run under a fault schedule
+        // (corrupted frames guarantee drops), expecting the journey
+        // tracer's forensics↔counter cross-check to flag the skew. The
+        // check is skipped when the registry or tracer is env-disabled, so
+        // a hostile environment can only make this test vacuous, not red —
+        // guard against that by requiring both to be on.
+        let m = MetricsRegistry::from_env();
+        let t = adcp_sim::trace::JourneyTracer::from_env(true, 8);
+        if !m.enabled() || !t.is_enabled() {
+            eprintln!("metrics/trace disabled via env; skipping");
+            return;
+        }
+        let cfg = tiny_cfg(0xF04E_51C5, 12, BugHook::LoseDropForensics);
+        let mut caught = None;
+        for i in 0..12 {
+            let spec = CaseSpec {
+                fault: Some(soak_knobs()),
+                ..case_spec(&cfg, i)
+            };
+            match run_spec(&spec, BugHook::LoseDropForensics) {
+                Err(CaseError::Mismatch(e)) => {
+                    caught = Some(e);
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        let err = caught.expect("lost drop forensics must surface within a few fault cases");
+        assert!(
+            err.contains("drop forensics disagree"),
+            "wrong failure: {err}"
+        );
+        // And the same specs are clean without the sabotage.
+        let spec = CaseSpec {
+            fault: Some(soak_knobs()),
+            ..case_spec(&cfg, 0)
+        };
+        assert!(!matches!(
+            run_spec(&spec, BugHook::None),
+            Err(CaseError::Mismatch(_))
+        ));
     }
 }

@@ -19,6 +19,10 @@
 //!   program/workload generation, three-way RMT↔ADCP↔reference
 //!   equivalence, fault-injection soak, and failure shrinking behind the
 //!   `conformance` binary.
+//! * [`journey`] — journey-tracer consumers: Chrome-trace/Perfetto export,
+//!   drop forensics cross-checked against the metrics registry, and
+//!   packet-walk printing (behind `adcp-trace --chrome/--forensics/
+//!   --journeys`).
 //! * [`par`] — order-preserving scoped-thread map; every sweep above runs
 //!   its config points through it.
 //! * [`report`] — console tables and `--json` output.
@@ -40,6 +44,7 @@ pub mod exp_load;
 pub mod exp_migrate;
 pub mod exp_sched;
 pub mod exp_tables;
+pub mod journey;
 pub mod par;
 pub mod report;
 pub mod schema;

@@ -111,11 +111,11 @@ fn check(value: &Value, schema: &Value, path: &str, errors: &mut Vec<String>) {
     }
 }
 
-/// Load the checked-in metrics schema from `schemas/metrics.schema.json`,
-/// looked up relative to the workspace root (walks up from the current
-/// directory until the file is found, so both `cargo run` and CI work).
-pub fn load_metrics_schema() -> Result<Value, String> {
-    let rel = std::path::Path::new("schemas/metrics.schema.json");
+/// Load a checked-in schema by workspace-relative path (walks up from the
+/// current directory until the file is found, so both `cargo run` and CI
+/// work).
+pub fn load_schema(rel: &str) -> Result<Value, String> {
+    let rel = std::path::Path::new(rel);
     let mut dir = std::env::current_dir().map_err(|e| e.to_string())?;
     loop {
         let candidate = dir.join(rel);
@@ -128,6 +128,18 @@ pub fn load_metrics_schema() -> Result<Value, String> {
             return Err(format!("{} not found above current dir", rel.display()));
         }
     }
+}
+
+/// The checked-in metrics schema (`schemas/metrics.schema.json`).
+pub fn load_metrics_schema() -> Result<Value, String> {
+    load_schema("schemas/metrics.schema.json")
+}
+
+/// The checked-in Chrome trace-event schema
+/// (`schemas/chrome_trace.schema.json`), which `adcp-trace --chrome`
+/// output is validated against before it is written.
+pub fn load_chrome_trace_schema() -> Result<Value, String> {
+    load_schema("schemas/chrome_trace.schema.json")
 }
 
 #[cfg(test)]

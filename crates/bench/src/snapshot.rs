@@ -153,39 +153,39 @@ pub fn run_suite(quick: bool, reps: u32) -> Vec<SnapshotRow> {
 }
 
 /// One app × target instrumentation-overhead measurement: the same job
-/// timed with the metrics registry disabled and enabled.
+/// timed with one observability knob disabled and enabled.
 #[derive(Debug, Clone, Serialize)]
 pub struct OverheadRow {
     /// Application name.
     pub app: String,
     /// Target label.
     pub target: String,
-    /// Best wall-clock with `ADCP_METRICS=off`, milliseconds.
-    pub wall_ms_metrics_off: f64,
-    /// Best wall-clock with metrics enabled, milliseconds.
-    pub wall_ms_metrics_on: f64,
+    /// Which knob was toggled: `"metrics"` or `"trace(sample=N)"`.
+    pub knob: String,
+    /// Best wall-clock with the knob off, milliseconds.
+    pub wall_ms_off: f64,
+    /// Best wall-clock with the knob on, milliseconds.
+    pub wall_ms_on: f64,
     /// Overhead of instrumentation, percent (negative = within noise).
     pub overhead_pct: f64,
 }
 
-/// Self-profiling hook: time the suite twice — metrics registry off, then
-/// on — and report the per-point and aggregate instrumentation overhead.
-/// The target for the observability layer is **< 5 % aggregate**.
-///
-/// The registry reads `ADCP_METRICS` at switch construction, so this sets
-/// the variable process-wide before each pass (and restores the caller's
-/// value after); call it from the main thread before any other suite runs.
-pub fn measure_overhead(quick: bool, reps: u32) -> (Vec<OverheadRow>, f64) {
-    let saved = std::env::var("ADCP_METRICS").ok();
-    std::env::set_var("ADCP_METRICS", "off");
-    let off = run_suite(quick, reps);
-    std::env::set_var("ADCP_METRICS", "on");
-    let on = run_suite(quick, reps);
+/// Time the suite with `var` set to `value`, restoring the caller's value
+/// after. Both observability knobs (`ADCP_METRICS`, `ADCP_TRACE`) are read
+/// at switch construction, so the variable must be set process-wide before
+/// the pass; call only from the main thread.
+fn suite_with_env(var: &str, value: &str, quick: bool, reps: u32) -> Vec<SnapshotRow> {
+    let saved = std::env::var(var).ok();
+    std::env::set_var(var, value);
+    let rows = run_suite(quick, reps);
     match saved {
-        Some(v) => std::env::set_var("ADCP_METRICS", v),
-        None => std::env::remove_var("ADCP_METRICS"),
+        Some(v) => std::env::set_var(var, v),
+        None => std::env::remove_var(var),
     }
+    rows
+}
 
+fn diff_rows(knob: &str, off: &[SnapshotRow], on: &[SnapshotRow]) -> (Vec<OverheadRow>, f64) {
     let rows: Vec<OverheadRow> = off
         .iter()
         .zip(on.iter())
@@ -194,15 +194,34 @@ pub fn measure_overhead(quick: bool, reps: u32) -> (Vec<OverheadRow>, f64) {
             OverheadRow {
                 app: o.app.clone(),
                 target: o.target.clone(),
-                wall_ms_metrics_off: o.wall_ms,
-                wall_ms_metrics_on: n.wall_ms,
+                knob: knob.to_string(),
+                wall_ms_off: o.wall_ms,
+                wall_ms_on: n.wall_ms,
                 overhead_pct: (n.wall_ms / o.wall_ms - 1.0) * 100.0,
             }
         })
         .collect();
-    let total_off: f64 = rows.iter().map(|r| r.wall_ms_metrics_off).sum();
-    let total_on: f64 = rows.iter().map(|r| r.wall_ms_metrics_on).sum();
+    let total_off: f64 = rows.iter().map(|r| r.wall_ms_off).sum();
+    let total_on: f64 = rows.iter().map(|r| r.wall_ms_on).sum();
     (rows, (total_on / total_off - 1.0) * 100.0)
+}
+
+/// Self-profiling hook: time the suite twice — metrics registry off, then
+/// on — and report the per-point and aggregate instrumentation overhead.
+/// The target for the observability layer is **< 5 % aggregate**.
+pub fn measure_overhead(quick: bool, reps: u32) -> (Vec<OverheadRow>, f64) {
+    let off = suite_with_env("ADCP_METRICS", "off", quick, reps);
+    let on = suite_with_env("ADCP_METRICS", "on", quick, reps);
+    diff_rows("metrics", &off, &on)
+}
+
+/// Same self-profiling for the journey tracer: the suite timed with
+/// `ADCP_TRACE=off` and then `ADCP_TRACE=<sample>`. Same **< 5 %
+/// aggregate** target at the default production sampling rate (64).
+pub fn measure_trace_overhead(quick: bool, reps: u32, sample: u64) -> (Vec<OverheadRow>, f64) {
+    let off = suite_with_env("ADCP_TRACE", "off", quick, reps);
+    let on = suite_with_env("ADCP_TRACE", &sample.to_string(), quick, reps);
+    diff_rows(&format!("trace(sample={sample})"), &off, &on)
 }
 
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).

@@ -37,7 +37,7 @@ use adcp_sim::queue::BufferPool;
 use adcp_sim::sched::ScheduledQueues;
 use adcp_sim::stats::{LatencyHist, Meter};
 use adcp_sim::time::{Duration, SimTime};
-use adcp_sim::trace::{Site, Tracer};
+use adcp_sim::trace::{CtrlEvent, DropReason, HopCtx, JourneyTracer, Site};
 use std::sync::Arc;
 
 /// Retained points per queue-depth/buffer-occupancy time series.
@@ -451,8 +451,9 @@ pub struct AdcpSwitch {
     pub out_meter: Meter,
     /// End-to-end latency (created -> last bit out).
     pub latency: LatencyHist,
-    /// Packet-walk trace.
-    pub tracer: Tracer,
+    /// Packet-journey flight recorder (sampled hop spans, always-on drop
+    /// forensics, control-plane instants).
+    pub tracer: JourneyTracer,
     /// Per-stage metrics registry (spans, queue depths, drop classes).
     metrics: MetricsRegistry,
     mh: MetricHandles,
@@ -529,11 +530,7 @@ impl AdcpSwitch {
         let pool1 = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
         let pool2 = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
         let period = target.pipe_freq().period();
-        let tracer = if cfg.trace {
-            Tracer::new(65_536)
-        } else {
-            Tracer::disabled()
-        };
+        let tracer = JourneyTracer::from_env(cfg.trace, 65_536);
         let demux_rr = vec![0; target.ports as usize];
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
@@ -760,6 +757,7 @@ impl AdcpSwitch {
             return Err(MigrateError::Busy);
         }
         next.epoch = rt.map.epoch + 1;
+        let new_epoch = next.epoch;
         let fence_prev = rt.map.moved_buckets(&next);
         let fence_left: u64 = fence_prev.iter().map(|&b| rt.inflight[b as usize]).sum();
         let moving_cells: Vec<(RegId, usize, u32, u32)> = central_regs
@@ -817,6 +815,24 @@ impl AdcpSwitch {
                 });
             }
         }
+        // Control-plane instants on the `ctrl` track. For the incremental
+        // strategy the new map (and its epoch) takes effect immediately;
+        // drain bumps the epoch only at commit time.
+        let label = match strategy {
+            MigrationStrategy::Drain => "drain",
+            MigrationStrategy::Incremental => "incremental",
+        };
+        self.tracer.record_ctrl(
+            now,
+            CtrlEvent::MigrationBegin {
+                strategy: label,
+                epoch: new_epoch,
+            },
+        );
+        if strategy == MigrationStrategy::Incremental {
+            self.tracer
+                .record_ctrl(now, CtrlEvent::EpochBump { epoch: new_epoch });
+        }
         Ok(())
     }
 
@@ -841,6 +857,13 @@ impl AdcpSwitch {
         self.apply_moves(&moves);
         self.mig_stats.moved_keys += moves.len() as u64;
         self.mig_stats.migrations += 1;
+        self.tracer.record_ctrl(
+            self.events.now(),
+            CtrlEvent::MigrationFinalize {
+                epoch: self.partition_epoch(),
+                moved_keys: moves.len() as u64,
+            },
+        );
         // Finalize is a control-plane call outside the event loop, so the
         // run loop's end-of-run sync has already happened: re-mirror here
         // or the ctrl scope would under-report the completed migration.
@@ -999,6 +1022,12 @@ impl AdcpSwitch {
         &self.metrics
     }
 
+    /// Export the journey tracer's state (sampled hops, drop forensics,
+    /// control-plane instants) as JSON. See [`JourneyTracer::to_json`].
+    pub fn trace_json(&self) -> serde::Value {
+        self.tracer.to_json()
+    }
+
     /// Copy the per-table lookup/hit totals into [`AdcpCounters`] so a
     /// counters snapshot taken at quiescence is complete. Totals are
     /// monotone, so re-assigning on every call is idempotent.
@@ -1082,12 +1111,18 @@ impl AdcpSwitch {
             // Corrupted on the wire: discard at the MAC, before the packet
             // can reach a parser, table, or register.
             self.counters.fcs_drops += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Rx(PortId(port)),
+                DropReason::FcsBad,
+                HopCtx::NONE,
+            );
             return;
         }
         let done = self.rx[port as usize].receive(&mut pkt, now);
         self.tracer
-            .record(done, pkt.meta.id, Site::Rx(PortId(port)));
+            .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
         // 1:m demultiplex (§3.3).
         let m = self.target.demux_factor as usize;
         let lane = match self.cfg.demux {
@@ -1104,7 +1139,9 @@ impl AdcpSwitch {
 
     /// Parse, run ingress region, occupy a slot, deparse.
     fn on_ingress_enter(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
-        let Some((mut phv, out_extracted, consumed, depth)) = self.parse(now, &pkt) else {
+        let Some((mut phv, out_extracted, consumed, depth)) =
+            self.parse(now, &pkt, Site::IngressPipe(pipe))
+        else {
             return;
         };
         phv.intr.ingress_port = pkt.meta.ingress_port;
@@ -1113,25 +1150,35 @@ impl AdcpSwitch {
         let entry = parse_done.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        self.tracer
-            .record(entry, pkt.meta.id, Site::IngressPipe(pipe));
         p.state.run(&self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
         let pkt = self.writeback(pkt, &mut phv, &out_extracted, consumed);
         let stages = self.placement.ingress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::IngressPipe(pipe),
+            entry,
+            exit,
+            HopCtx::NONE,
+        );
         self.events.push(exit, Ev::IngressOut { pipe, pkt });
     }
 
     /// TM1: application-defined partitioning into central pipelines.
     fn on_ingress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
-        self.tracer.record(now, pkt.meta.id, Site::Tm1);
         // Stage span: RX handoff -> ingress pipeline exit (parse included).
         self.metrics
             .record_span(self.mh.ingress_span, pkt.meta.arrived, now);
         if pkt.meta.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm1,
+                DropReason::Filtered,
+                HopCtx::NONE,
+            );
             return;
         }
         self.tm1_route(now, pipe, pkt);
@@ -1203,16 +1250,45 @@ impl AdcpSwitch {
         if !self.central[cpipe].queues.queue(pipe).has_room(&pkt) {
             self.counters.tm1_queue_drops += 1;
             self.account_tm1_unenqueue(&pkt);
-            self.drop_packet(now, pkt.meta.id);
+            let ctx = HopCtx {
+                queue_depth: Some(self.central[cpipe].queues.len() as u32),
+                buffer_cells: Some(self.pool1.used()),
+                epoch: pkt.meta.map_epoch,
+            };
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm1,
+                DropReason::QueueTail {
+                    tm: 1,
+                    queue: cpipe as u32,
+                },
+                ctx,
+            );
             return;
         }
         if !self.pool1.try_alloc(&mut pkt) {
             self.counters.tm1_drops += 1;
             self.account_tm1_unenqueue(&pkt);
-            self.drop_packet(now, pkt.meta.id);
+            let ctx = HopCtx {
+                queue_depth: Some(self.central[cpipe].queues.len() as u32),
+                buffer_cells: Some(self.pool1.used()),
+                epoch: pkt.meta.map_epoch,
+            };
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm1,
+                DropReason::BufferExhausted { tm: 1 },
+                ctx,
+            );
             return;
         }
         pkt.meta.tm_enqueued = now;
+        // Enqueue-time context, carried in the metadata so the journey
+        // tracer can attach it to the TM1-residency hop at dequeue.
+        pkt.meta.tm_q_depth = Some(self.central[cpipe].queues.len() as u32 + 1);
+        pkt.meta.tm_buf_used = Some(self.pool1.used());
         let ok = self.central[cpipe].queues.enqueue(pipe, pkt).is_ok();
         debug_assert!(ok);
         let depth = self.central[cpipe].queues.len() as u64;
@@ -1283,6 +1359,15 @@ impl AdcpSwitch {
         self.mig_stats.moved_keys += moves.len() as u64;
         self.mig_stats.migrations += 1;
         self.mig_stats.paused_ns += now.saturating_since(mig.begun).as_ps() / 1000;
+        let epoch = self.partition_epoch();
+        self.tracer.record_ctrl(
+            now,
+            CtrlEvent::MigrationCommit {
+                epoch,
+                moved_keys: moves.len() as u64,
+            },
+        );
+        self.tracer.record_ctrl(now, CtrlEvent::EpochBump { epoch });
         // Release inline, in arrival order, before any later event can
         // route — preserves per-key FIFO through the pause.
         for (pipe, pkt) in mig.held {
@@ -1397,11 +1482,26 @@ impl AdcpSwitch {
         self.account_central_dequeue(now, cpipe, &pkt);
         self.metrics
             .record_span(self.mh.tm1_residency, pkt.meta.tm_enqueued, now);
+        // TM1-residency hop: enqueue -> dequeue, with the queue/buffer
+        // state observed at enqueue and the routing epoch.
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::Tm1,
+            pkt.meta.tm_enqueued,
+            now,
+            HopCtx {
+                queue_depth: pkt.meta.tm_q_depth.take(),
+                buffer_cells: pkt.meta.tm_buf_used.take(),
+                epoch: pkt.meta.map_epoch,
+            },
+        );
         pkt.meta.tm_enqueued = now; // central-stage entry, for its span
         self.metrics
             .sample(self.mh.tm1_buffer, now, self.pool1.used());
         // Parse + run the central region (the global partitioned area).
-        let Some((mut phv, extracted, consumed, _)) = self.parse(now, &pkt) else {
+        let Some((mut phv, extracted, consumed, _)) =
+            self.parse(now, &pkt, Site::CentralPipe(cpipe))
+        else {
             return;
         };
         phv.intr.ingress_port = pkt.meta.ingress_port;
@@ -1412,13 +1512,22 @@ impl AdcpSwitch {
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        self.tracer
-            .record(entry, pkt.meta.id, Site::CentralPipe(cpipe));
         p.state.run(&self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
+        let epoch = pkt.meta.map_epoch;
         let pkt = self.writeback(pkt, &mut phv, &extracted, consumed);
         let stages = self.placement.central.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::CentralPipe(cpipe),
+            entry,
+            exit,
+            HopCtx {
+                epoch,
+                ..HopCtx::NONE
+            },
+        );
         self.events.push(exit, Ev::CentralOut { cpipe, pkt });
         if !self.central[cpipe].queues.is_empty() {
             let next = self.central[cpipe].next_slot;
@@ -1428,7 +1537,6 @@ impl AdcpSwitch {
 
     /// TM2: classic scheduler; any egress port reachable, multicast native.
     fn on_central_out(&mut self, now: SimTime, _cpipe: usize, mut pkt: Packet) {
-        self.tracer.record(now, pkt.meta.id, Site::Tm2);
         // Stage span: central pipeline entry -> exit.
         self.metrics
             .record_span(self.mh.central_span, pkt.meta.tm_enqueued, now);
@@ -1437,11 +1545,23 @@ impl AdcpSwitch {
         match std::mem::take(&mut pkt.meta.egress) {
             EgressSpec::Unset | EgressSpec::Recirculate => {
                 self.counters.no_decision += 1;
-                self.drop_packet(now, pkt.meta.id);
+                self.drop_packet(
+                    now,
+                    pkt.meta.id,
+                    Site::Tm2,
+                    DropReason::NoDecision,
+                    HopCtx::NONE,
+                );
             }
             EgressSpec::Drop => {
                 self.counters.filtered += 1;
-                self.drop_packet(now, pkt.meta.id);
+                self.drop_packet(
+                    now,
+                    pkt.meta.id,
+                    Site::Tm2,
+                    DropReason::Filtered,
+                    HopCtx::NONE,
+                );
             }
             EgressSpec::Unicast(p) => {
                 pkt.meta.egress = EgressSpec::Unicast(p);
@@ -1450,7 +1570,13 @@ impl AdcpSwitch {
             EgressSpec::Multicast(ports) => {
                 if ports.is_empty() {
                     self.counters.no_decision += 1;
-                    self.drop_packet(now, pkt.meta.id);
+                    self.drop_packet(
+                        now,
+                        pkt.meta.id,
+                        Site::Tm2,
+                        DropReason::NoDecision,
+                        HopCtx::NONE,
+                    );
                     return;
                 }
                 self.counters.mcast_copies += ports.len() as u64 - 1;
@@ -1469,7 +1595,13 @@ impl AdcpSwitch {
     fn tm2_admit_one(&mut self, now: SimTime, port: PortId, mut pkt: Packet) {
         if port.0 as usize >= self.tx.len() {
             self.counters.bad_port += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm2,
+                DropReason::BadPort,
+                HopCtx::NONE,
+            );
             return;
         }
         // The m:1 mux at TX must preserve ordering (§3.3's symmetry with
@@ -1487,15 +1619,42 @@ impl AdcpSwitch {
         let epipe = port.0 as usize * m + lane;
         if !self.egress[epipe].queues.queue(0).has_room(&pkt) {
             self.counters.tm2_queue_drops += 1;
-            self.drop_packet(now, pkt.meta.id);
+            let ctx = HopCtx {
+                queue_depth: Some(self.egress[epipe].queues.len() as u32),
+                buffer_cells: Some(self.pool2.used()),
+                epoch: pkt.meta.map_epoch,
+            };
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm2,
+                DropReason::QueueTail {
+                    tm: 2,
+                    queue: epipe as u32,
+                },
+                ctx,
+            );
             return;
         }
         if !self.pool2.try_alloc(&mut pkt) {
             self.counters.tm2_drops += 1;
-            self.drop_packet(now, pkt.meta.id);
+            let ctx = HopCtx {
+                queue_depth: Some(self.egress[epipe].queues.len() as u32),
+                buffer_cells: Some(self.pool2.used()),
+                epoch: pkt.meta.map_epoch,
+            };
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm2,
+                DropReason::BufferExhausted { tm: 2 },
+                ctx,
+            );
             return;
         }
         pkt.meta.tm_enqueued = now;
+        pkt.meta.tm_q_depth = Some(self.egress[epipe].queues.len() as u32 + 1);
+        pkt.meta.tm_buf_used = Some(self.pool2.used());
         let ok = self.egress[epipe].queues.enqueue(0, pkt).is_ok();
         debug_assert!(ok);
         let depth = self.egress[epipe].queues.len() as u64;
@@ -1541,10 +1700,24 @@ impl AdcpSwitch {
         self.pool2.release(&mut pkt);
         self.metrics
             .record_span(self.mh.tm2_residency, pkt.meta.tm_enqueued, now);
+        // TM2-residency hop with enqueue-time queue/buffer context.
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::Tm2,
+            pkt.meta.tm_enqueued,
+            now,
+            HopCtx {
+                queue_depth: pkt.meta.tm_q_depth.take(),
+                buffer_cells: pkt.meta.tm_buf_used.take(),
+                epoch: pkt.meta.map_epoch,
+            },
+        );
         pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
         self.metrics
             .sample(self.mh.tm2_buffer, now, self.pool2.used());
-        let Some((mut phv, extracted, consumed, _)) = self.parse(now, &pkt) else {
+        let Some((mut phv, extracted, consumed, _)) =
+            self.parse(now, &pkt, Site::EgressPipe(epipe))
+        else {
             return;
         };
         phv.intr.ingress_port = pkt.meta.ingress_port;
@@ -1553,13 +1726,18 @@ impl AdcpSwitch {
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        self.tracer
-            .record(entry, pkt.meta.id, Site::EgressPipe(epipe));
         p.state.run(&self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
         let pkt = self.writeback(pkt, &mut phv, &extracted, consumed);
         let stages = self.placement.egress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::EgressPipe(epipe),
+            entry,
+            exit,
+            HopCtx::NONE,
+        );
         self.events.push(exit, Ev::EgressOut { epipe, pkt });
         if !self.egress[epipe].queues.is_empty() {
             let next = self.egress[epipe].next_slot;
@@ -1567,15 +1745,27 @@ impl AdcpSwitch {
         }
     }
 
-    fn on_egress_out(&mut self, now: SimTime, _epipe: usize, mut pkt: Packet) {
+    fn on_egress_out(&mut self, now: SimTime, epipe: usize, mut pkt: Packet) {
         if pkt.meta.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::EgressPipe(epipe),
+                DropReason::Filtered,
+                HopCtx::NONE,
+            );
             return;
         }
         let EgressSpec::Unicast(port) = pkt.meta.egress else {
             self.counters.no_decision += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::EgressPipe(epipe),
+                DropReason::NoDecision,
+                HopCtx::NONE,
+            );
             return;
         };
         // Stage span: egress pipeline entry -> exit.
@@ -1584,7 +1774,8 @@ impl AdcpSwitch {
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
         self.metrics
             .record_span(self.mh.tx_latency, pkt.meta.created, done);
-        self.tracer.record(done, pkt.meta.id, Site::Tx(port));
+        self.tracer
+            .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
         self.counters.delivered += 1;
         self.in_flight -= 1;
         self.out_meter
@@ -1604,12 +1795,14 @@ impl AdcpSwitch {
         });
     }
 
-    /// Parse a packet, accounting failures. Returns the PHV, extraction
+    /// Parse a packet, accounting failures (attributed to the pipeline
+    /// `site` whose parser rejected it). Returns the PHV, extraction
     /// order, header byte count, and parse depth.
     fn parse(
         &mut self,
         now: SimTime,
         pkt: &Packet,
+        site: Site,
     ) -> Option<(Phv, Vec<adcp_lang::HeaderId>, usize, u32)> {
         match self
             .program
@@ -1625,7 +1818,7 @@ impl AdcpSwitch {
             }
             Err(_) => {
                 self.counters.parse_errors += 1;
-                self.drop_packet(now, pkt.meta.id);
+                self.drop_packet(now, pkt.meta.id, site, DropReason::ParseError, HopCtx::NONE);
                 None
             }
         }
@@ -1651,8 +1844,13 @@ impl AdcpSwitch {
         pkt
     }
 
-    fn drop_packet(&mut self, now: SimTime, id: u64) {
+    /// Account one dropped packet: decrement in-flight and hand the typed
+    /// reason (plus queue state at the moment of death) to the journey
+    /// tracer's forensics. Every ad-hoc drop counter increment is paired
+    /// 1:1 with a call here carrying the matching reason — that pairing is
+    /// what the forensics↔counter cross-check asserts.
+    fn drop_packet(&mut self, now: SimTime, id: u64, site: Site, reason: DropReason, ctx: HopCtx) {
         self.in_flight -= 1;
-        self.tracer.record(now, id, Site::Dropped);
+        self.tracer.record_drop(now, id, site, reason, ctx);
     }
 }

@@ -12,6 +12,12 @@
 //! pure functions from `(map, loads)` to a candidate map, so they can be
 //! unit-tested and reused by experiments that want a precomputed plan
 //! (equal final balance across strategies) rather than a closed loop.
+//!
+//! Every actuation the controller drives also lands on the journey
+//! tracer's control-plane track (`adcp_sim::trace::CtrlEvent`: migration
+//! begin / epoch bump / commit / finalize, with strategy and moved-key
+//! counts), so a rebalance can be laid over the per-packet journeys it
+//! fenced — `adcp-trace --chrome` renders both on one timeline.
 
 use adcp_core::{AdcpSwitch, MigrateError, MigrationStrategy, PartitionMap, PartitionScheme};
 use adcp_sim::time::SimTime;

@@ -37,7 +37,7 @@ use adcp_sim::queue::BufferPool;
 use adcp_sim::sched::ScheduledQueues;
 use adcp_sim::stats::{LatencyHist, Meter};
 use adcp_sim::time::{Duration, SimTime};
-use adcp_sim::trace::{Site, Tracer};
+use adcp_sim::trace::{DropReason, HopCtx, JourneyTracer, Site};
 use std::sync::Arc;
 
 /// Retained points per queue-depth/buffer-occupancy time series.
@@ -271,8 +271,9 @@ pub struct RmtSwitch {
     pub out_meter: Meter,
     /// End-to-end latency (created -> last bit out).
     pub latency: LatencyHist,
-    /// Packet-walk trace.
-    pub tracer: Tracer,
+    /// Sampled packet-journey flight recorder with always-on drop
+    /// forensics (see [`JourneyTracer`]).
+    pub tracer: JourneyTracer,
     /// Per-stage metrics registry (spans, queue depths, drop classes).
     metrics: MetricsRegistry,
     mh: MetricHandles,
@@ -328,11 +329,7 @@ impl RmtSwitch {
             .collect();
         let pool = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
         let period = target.pipe_freq().period();
-        let tracer = if cfg.trace {
-            Tracer::new(65_536)
-        } else {
-            Tracer::disabled()
-        };
+        let tracer = JourneyTracer::from_env(cfg.trace, 65_536);
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
         Ok(RmtSwitch {
@@ -533,6 +530,12 @@ impl RmtSwitch {
         &self.metrics
     }
 
+    /// Export the journey tracer's state (sampled hops, drop forensics) as
+    /// JSON. See [`JourneyTracer::to_json`].
+    pub fn trace_json(&self) -> serde::Value {
+        self.tracer.to_json()
+    }
+
     /// Copy the per-table lookup/hit totals into [`SwitchCounters`] so a
     /// counters snapshot taken at quiescence is complete. Totals are
     /// monotone, so re-assigning on every call is idempotent.
@@ -606,12 +609,18 @@ impl RmtSwitch {
             // Corrupted on the wire: discard at the MAC, before the packet
             // can reach a parser, table, or register.
             self.counters.fcs_drops += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Rx(PortId(port)),
+                DropReason::FcsBad,
+                HopCtx::NONE,
+            );
             return;
         }
         let done = self.rx[port as usize].receive(&mut pkt, now);
         self.tracer
-            .record(done, pkt.meta.id, Site::Rx(PortId(port)));
+            .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
         let pipe = self.pipe_of_port(PortId(port));
         self.events
             .push(done, Ev::IngressEnter { pipe, pkt, pass: 0 });
@@ -625,7 +634,13 @@ impl RmtSwitch {
             .parse(&self.program.headers, &self.layout, &pkt.data);
         let Ok(out) = parsed else {
             self.counters.parse_errors += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::IngressPipe(pipe),
+                DropReason::ParseError,
+                HopCtx::NONE,
+            );
             return;
         };
         let mut phv = out.phv;
@@ -639,8 +654,6 @@ impl RmtSwitch {
         let entry = parse_done.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        self.tracer
-            .record(entry, pkt.meta.id, Site::IngressPipe(pipe));
 
         // Run the region at entry (stage traversal is a fixed latency; the
         // state mutation order equals the slot order).
@@ -672,6 +685,13 @@ impl RmtSwitch {
         pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
 
         let exit = entry + Duration(depth as u64 * self.period.as_ps());
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::IngressPipe(pipe),
+            entry,
+            exit,
+            HopCtx::NONE,
+        );
         self.events.push(exit, Ev::IngressOut { pipe, pkt, pass });
     }
 
@@ -694,7 +714,8 @@ impl RmtSwitch {
             pkt.meta.recirculate = false;
             pkt.meta.recirc_count += 1;
             self.counters.recirc_passes += 1;
-            self.tracer.record(now, pkt.meta.id, Site::Recirculated);
+            self.tracer
+                .record_hop(pkt.meta.id, Site::Recirculated, now, now, HopCtx::NONE);
             let at = now + self.cfg.recirc_latency;
             self.events.push(
                 at,
@@ -710,17 +731,28 @@ impl RmtSwitch {
     }
 
     fn tm_admit(&mut self, now: SimTime, mut pkt: Packet) {
-        self.tracer.record(now, pkt.meta.id, Site::Tm1);
         // Move the decision out rather than cloning it (a Multicast spec
         // owns a port list).
         match std::mem::take(&mut pkt.meta.egress) {
             EgressSpec::Unset | EgressSpec::Recirculate => {
                 self.counters.no_decision += 1;
-                self.drop_packet(now, pkt.meta.id);
+                self.drop_packet(
+                    now,
+                    pkt.meta.id,
+                    Site::Tm1,
+                    DropReason::NoDecision,
+                    HopCtx::NONE,
+                );
             }
             EgressSpec::Drop => {
                 self.counters.filtered += 1;
-                self.drop_packet(now, pkt.meta.id);
+                self.drop_packet(
+                    now,
+                    pkt.meta.id,
+                    Site::Tm1,
+                    DropReason::Filtered,
+                    HopCtx::NONE,
+                );
             }
             EgressSpec::Unicast(p) => {
                 pkt.meta.egress = EgressSpec::Unicast(p);
@@ -729,7 +761,13 @@ impl RmtSwitch {
             EgressSpec::Multicast(ports) => {
                 if ports.is_empty() {
                     self.counters.no_decision += 1;
-                    self.drop_packet(now, pkt.meta.id);
+                    self.drop_packet(
+                        now,
+                        pkt.meta.id,
+                        Site::Tm1,
+                        DropReason::NoDecision,
+                        HopCtx::NONE,
+                    );
                     return;
                 }
                 // The TM replicates; each copy is accounted separately and
@@ -749,22 +787,55 @@ impl RmtSwitch {
     fn tm_admit_one(&mut self, now: SimTime, port: PortId, mut pkt: Packet) {
         if port.0 as usize >= self.tx.len() {
             self.counters.bad_port += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm1,
+                DropReason::BadPort,
+                HopCtx::NONE,
+            );
             return;
         }
         let pipe = self.pipe_of_port(port);
         let local = (port.0 % self.target.ports_per_pipe) as usize;
         if !self.egress[pipe].queues.queue(local).has_room(&pkt) {
             self.counters.queue_drops += 1;
-            self.drop_packet(now, pkt.meta.id);
+            let ctx = HopCtx {
+                queue_depth: Some(self.egress[pipe].queues.len() as u32),
+                buffer_cells: Some(self.pool.used()),
+                epoch: None,
+            };
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm1,
+                DropReason::QueueTail {
+                    tm: 1,
+                    queue: port.0 as u32,
+                },
+                ctx,
+            );
             return;
         }
         if !self.pool.try_alloc(&mut pkt) {
             self.counters.tm_drops += 1;
-            self.drop_packet(now, pkt.meta.id);
+            let ctx = HopCtx {
+                queue_depth: Some(self.egress[pipe].queues.len() as u32),
+                buffer_cells: Some(self.pool.used()),
+                epoch: None,
+            };
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::Tm1,
+                DropReason::BufferExhausted { tm: 1 },
+                ctx,
+            );
             return;
         }
         pkt.meta.tm_enqueued = now;
+        pkt.meta.tm_q_depth = Some(self.egress[pipe].queues.len() as u32 + 1);
+        pkt.meta.tm_buf_used = Some(self.pool.used());
         let accepted = self.egress[pipe].queues.enqueue(local, pkt).is_ok();
         debug_assert!(accepted, "room was checked above");
         let depth = self.egress[pipe].queues.len() as u64;
@@ -830,6 +901,19 @@ impl RmtSwitch {
         self.pool.release(&mut pkt);
         self.metrics
             .record_span(self.mh.tm_residency, pkt.meta.tm_enqueued, now);
+        // TM-residency hop with enqueue-time queue/buffer context. The RMT
+        // baseline has a single TM, mapped onto the journey model's TM1.
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::Tm1,
+            pkt.meta.tm_enqueued,
+            now,
+            HopCtx {
+                queue_depth: pkt.meta.tm_q_depth.take(),
+                buffer_cells: pkt.meta.tm_buf_used.take(),
+                epoch: None,
+            },
+        );
         pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
         self.metrics
             .sample(self.mh.tm_buffer, now, self.pool.used());
@@ -839,8 +923,13 @@ impl RmtSwitch {
         p.busy_cycles += 1;
         let depth = (self.placement.central.depth() + self.placement.egress.depth()).max(1);
         let exit = entry + Duration(depth as u64 * self.period.as_ps());
-        self.tracer
-            .record(entry, pkt.meta.id, Site::EgressPipe(pipe));
+        self.tracer.record_hop(
+            pkt.meta.id,
+            Site::EgressPipe(pipe),
+            entry,
+            exit,
+            HopCtx::NONE,
+        );
         self.events.push(exit, Ev::EgressOut { pipe, pkt });
         if !self.egress[pipe].queues.is_empty() {
             let next = self.egress[pipe].next_slot;
@@ -856,7 +945,13 @@ impl RmtSwitch {
             .parse(&self.program.headers, &self.layout, &pkt.data);
         let Ok(out) = parsed else {
             self.counters.parse_errors += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::EgressPipe(pipe),
+                DropReason::ParseError,
+                HopCtx::NONE,
+            );
             return;
         };
         let mut phv: Phv = out.phv;
@@ -879,7 +974,13 @@ impl RmtSwitch {
             .run(&self.program, &self.layout, &mut phv);
         if phv.intr.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::EgressPipe(pipe),
+                DropReason::Filtered,
+                HopCtx::NONE,
+            );
             return;
         }
         let payload = &pkt.data[out.consumed.min(pkt.data.len())..];
@@ -896,7 +997,13 @@ impl RmtSwitch {
 
         let Some(port) = dest else {
             self.counters.no_decision += 1;
-            self.drop_packet(now, pkt.meta.id);
+            self.drop_packet(
+                now,
+                pkt.meta.id,
+                Site::EgressPipe(pipe),
+                DropReason::NoDecision,
+                HopCtx::NONE,
+            );
             return;
         };
         pkt.meta.egress = EgressSpec::Unicast(port);
@@ -908,7 +1015,8 @@ impl RmtSwitch {
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
         self.metrics
             .record_span(self.mh.tx_latency, pkt.meta.created, done);
-        self.tracer.record(done, pkt.meta.id, Site::Tx(port));
+        self.tracer
+            .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
         self.counters.delivered += 1;
         self.in_flight -= 1;
         self.out_meter
@@ -928,8 +1036,13 @@ impl RmtSwitch {
         });
     }
 
-    fn drop_packet(&mut self, now: SimTime, id: u64) {
+    /// Account one dropped packet: decrement in-flight and hand the typed
+    /// reason (plus queue state at the moment of death) to the journey
+    /// tracer's forensics. Every ad-hoc drop counter increment is paired
+    /// 1:1 with a call here carrying the matching reason — that pairing is
+    /// what the forensics↔counter cross-check asserts.
+    fn drop_packet(&mut self, now: SimTime, id: u64, site: Site, reason: DropReason, ctx: HopCtx) {
         self.in_flight -= 1;
-        self.tracer.record(now, id, Site::Dropped);
+        self.tracer.record_drop(now, id, site, reason, ctx);
     }
 }

@@ -14,7 +14,8 @@
 //! * [`stats`] — counters, throughput meters, latency histograms.
 //! * [`metrics`] — per-stage metrics registry (counters, gauges, span
 //!   histograms, queue-depth series) with uniform JSON export.
-//! * [`trace`] — bounded event tracing for packet walks.
+//! * [`trace`] — sampled packet-journey flight recorder with always-on
+//!   drop forensics and control-plane instants.
 //! * [`rng`] — deterministic, forkable randomness.
 //!
 //! Everything is synchronous, allocation-light, and deterministic given a
@@ -50,4 +51,4 @@ pub use sched::{Policy, ScheduledQueues};
 pub use shaper::TokenBucket;
 pub use stats::{Counter, LatencyHist, LatencySummary, Meter};
 pub use time::{Clock, ClockId, ClockSet, Duration, Freq, SimTime};
-pub use trace::{Site, TraceEvent, Tracer};
+pub use trace::{CtrlEvent, DropReason, Hop, HopCtx, JourneyTracer, Site};

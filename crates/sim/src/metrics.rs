@@ -325,8 +325,17 @@ impl MetricsRegistry {
     }
 
     /// Record the span between two simulation points into a histogram.
+    ///
+    /// `to` must not precede `from`: debug builds assert (also enforced in
+    /// [`LatencyHist::record_span`]), release builds saturate to zero —
+    /// checked here as well so a disabled registry still catches the
+    /// mis-ordered pair in debug runs.
     #[inline]
     pub fn record_span(&mut self, id: HistId, from: SimTime, to: SimTime) {
+        debug_assert!(
+            to >= from,
+            "record_span: to ({to}) precedes from ({from}); span would underflow"
+        );
         if self.enabled {
             self.hists[id.0].value.record_span(from, to);
         }

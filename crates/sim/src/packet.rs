@@ -125,6 +125,14 @@ pub struct PacketMeta {
     /// Time the packet was admitted to the traffic manager it currently sits
     /// in (or last sat in). Used for TM-residency stage spans.
     pub tm_enqueued: SimTime,
+    /// Queue depth (packets across the TM's queues, this one included)
+    /// observed when the packet was admitted. Carried so the journey
+    /// tracer can attach enqueue-time context to the TM-residency hop it
+    /// records at dequeue. `None` while not TM-resident.
+    pub tm_q_depth: Option<u32>,
+    /// Buffer-pool occupancy (cells, this packet's included) observed when
+    /// the packet was admitted to the traffic manager.
+    pub tm_buf_used: Option<u64>,
     /// Switch-internal (ADCP): the partition-map bucket TM1 routed this
     /// packet under. Drives the in-flight fence of the live-migration
     /// protocol. `None` until TM1 routes the packet, or when no partition
@@ -156,6 +164,8 @@ impl PacketMeta {
             fcs: None,
             buf_cells: None,
             tm_enqueued: SimTime::ZERO,
+            tm_q_depth: None,
+            tm_buf_used: None,
             part_bucket: None,
             map_epoch: None,
         }

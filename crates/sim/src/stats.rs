@@ -187,7 +187,15 @@ impl LatencyHist {
     }
 
     /// Record the time between two simulation points.
+    ///
+    /// `to` must not precede `from`: debug builds assert, release builds
+    /// saturate the span to zero — either way a mis-ordered timestamp pair
+    /// can never underflow into a garbage bucket.
     pub fn record_span(&mut self, from: SimTime, to: SimTime) {
+        debug_assert!(
+            to >= from,
+            "record_span: to ({to}) precedes from ({from}); span would underflow"
+        );
         self.record(to.saturating_since(from));
     }
 
@@ -422,6 +430,19 @@ mod tests {
         assert_eq!(h.overflow_count(), 1);
         // The clamped sample still lands in the last bucket.
         assert_eq!(*h.counts.last().unwrap(), 1);
+    }
+
+    #[test]
+    #[cfg_attr(debug_assertions, should_panic(expected = "record_span"))]
+    fn reversed_span_asserts_in_debug_and_saturates_in_release() {
+        let mut h = LatencyHist::new();
+        // A mis-ordered timestamp pair: debug builds trip the assert
+        // (caught here), release builds saturate to a zero-width span
+        // instead of underflowing into the top bucket.
+        h.record_span(SimTime(100), SimTime(40));
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max_ps(), 0);
+        assert_eq!(h.overflow_count(), 0);
     }
 
     #[test]

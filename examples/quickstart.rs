@@ -105,10 +105,7 @@ fn main() {
     .unwrap();
     adcp.inject(PortId(3), pkt(1, 7), SimTime::ZERO);
     adcp.run_until_idle();
-    println!("  packet 1 walk:");
-    for site in adcp.tracer.path_of(1) {
-        println!("    -> {site}");
-    }
+    print!("{}", adcp.tracer.format_journey(1));
     let out = adcp.take_delivered();
     let counted: u64 = (0..adcp.num_central())
         .map(|c| {
@@ -149,10 +146,7 @@ fn main() {
     .unwrap();
     rmt.inject(PortId(3), pkt(2, 7), SimTime::ZERO);
     rmt.run_until_idle();
-    println!("  packet 2 walk:");
-    for site in rmt.tracer.path_of(2) {
-        println!("    -> {site}");
-    }
+    print!("{}", rmt.tracer.format_journey(2));
     let out = rmt.take_delivered();
     println!("  delivered on {} at {}", out[0].port, out[0].time);
     println!("\nNext: cargo run -p adcp-bench --bin table1 -- --quick");
