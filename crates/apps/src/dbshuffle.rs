@@ -39,6 +39,9 @@ pub struct DbShuffleCfg {
     pub coordinator_port: u16,
     /// RNG seed.
     pub seed: u64,
+    /// Central-pipeline worker threads (ADCP only; output is
+    /// byte-identical for any value).
+    pub central_workers: usize,
 }
 
 impl Default for DbShuffleCfg {
@@ -54,6 +57,7 @@ impl Default for DbShuffleCfg {
             },
             coordinator_port: 15,
             seed: 3,
+            central_workers: 1,
         }
     }
 }
@@ -226,6 +230,7 @@ fn read_key_value(data: &[u8]) -> (u64, u64) {
 /// Run one shuffle variant end to end; verify per-key totals and routing.
 pub fn run(kind: TargetKind, cfg: &DbShuffleCfg) -> AppReport {
     let (mut sw, notes, central_pipes) = build_switch(kind, cfg);
+    sw.set_central_workers(cfg.central_workers);
 
     // Control plane: route entries. ADCP multicasts each reducer's rows to
     // {reducer, coordinator}; RMT unicasts (pinning makes the coordinator
@@ -370,6 +375,7 @@ mod tests {
             },
             coordinator_port: 15,
             seed: 21,
+            central_workers: 1,
         }
     }
 

@@ -7,11 +7,10 @@
 
 use adcp_core::AdcpSwitch;
 use adcp_rmt::RmtSwitch;
-use adcp_sim::packet::{Packet, PacketMeta, PortId};
+use adcp_sim::packet::{FrameBuf, Packet, PacketMeta, PortId};
 use adcp_sim::stats::{LatencySummary, Meter};
 use adcp_sim::time::{Duration, SimTime};
 use serde::Serialize;
-use std::sync::Arc;
 
 /// Which architecture (and, for RMT, which central-table lowering) an app
 /// variant targets.
@@ -43,8 +42,8 @@ pub struct DeliveredPkt {
     pub port: PortId,
     /// Last-bit time.
     pub time: SimTime,
-    /// Final frame bytes (shared with the switch's delivery record).
-    pub data: Arc<[u8]>,
+    /// Final frame bytes (moved from the switch's delivery record).
+    pub data: FrameBuf,
     /// Final metadata.
     pub meta: PacketMeta,
 }
@@ -71,6 +70,15 @@ impl AnySwitch {
         match self {
             AnySwitch::Rmt(s) => s.run_until_idle(),
             AnySwitch::Adcp(s) => s.run_until_idle(),
+        }
+    }
+
+    /// Set the central-pipeline worker count. ADCP only — the RMT targets
+    /// have no central pipelines, so this is a no-op there. Output is
+    /// byte-identical for any value.
+    pub fn set_central_workers(&mut self, n: usize) {
+        if let AnySwitch::Adcp(s) = self {
+            s.set_central_workers(n);
         }
     }
 

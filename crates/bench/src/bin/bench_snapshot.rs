@@ -3,12 +3,22 @@
 //! `BENCH_<date>.json` (see EXPERIMENTS.md for the format).
 //!
 //! Usage: `cargo run --release -p adcp-bench --bin bench_snapshot
-//!         [--quick] [--json] [--reps N] [--out DIR]`
+//!         [--quick] [--json] [--repeat N] [--out DIR]
+//!         [--check BASELINE.json] [--write-baseline PATH]`
 //!
 //! `--json` prints rows to stdout instead of (in addition to) the file;
-//! `--reps` sets best-of-N wall-clock repetitions (default 3). `--quick`
-//! shrinks the workloads and skips the file write, so a sanity run never
-//! clobbers the day's recorded trajectory point.
+//! `--repeat` sets the number of timed wall-clock repetitions per point
+//! (default 5; `--reps` is accepted as an alias). Each point first runs
+//! once untimed as warmup, the reported time is the median repetition, and
+//! every row carries the min-to-max spread so noisy points are visible.
+//! `--quick` shrinks the workloads and skips the file write, so a sanity
+//! run never clobbers the day's recorded trajectory point.
+//!
+//! `--check BASELINE.json` compares the measured rows against a previous
+//! snapshot (same workload scale — check a `--quick` run against a
+//! `--quick` baseline) and exits nonzero if any app x target falls more
+//! than 25% below it: the CI perf-regression guard. `--write-baseline
+//! PATH` records the rows for that purpose regardless of `--quick`.
 //!
 //! `--overhead` instead self-profiles the observability layer: the suite
 //! is timed with each knob off, then on — the metrics registry
@@ -20,7 +30,8 @@
 
 use adcp_bench::report::{eng, print_json, print_table, want_json, write_json_file};
 use adcp_bench::snapshot::{
-    measure_overhead, measure_trace_overhead, run_suite, today_utc, OverheadRow, SnapshotRow,
+    check_against_baseline, measure_overhead, measure_trace_overhead, run_suite, today_utc,
+    OverheadRow, SnapshotRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -75,9 +86,10 @@ fn overhead_main(quick: bool, reps: u32, out_dir: &Path) {
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
-    let reps: u32 = arg_value("--reps")
-        .map(|v| v.parse().expect("--reps takes a number"))
-        .unwrap_or(3);
+    let reps: u32 = arg_value("--repeat")
+        .or_else(|| arg_value("--reps"))
+        .map(|v| v.parse().expect("--repeat takes a number"))
+        .unwrap_or(5);
     let out_dir = arg_value("--out").map(PathBuf::from).unwrap_or_default();
     if std::env::args().any(|a| a == "--overhead") {
         overhead_main(quick, reps, &out_dir);
@@ -86,6 +98,52 @@ fn main() {
 
     let rows = run_suite(quick, reps);
     let date = today_utc();
+    if let Some(path) = arg_value("--write-baseline") {
+        write_json_file(Path::new(&path), "bench_snapshot", &date, &rows)
+            .expect("write baseline file");
+        println!("wrote baseline {path}");
+    }
+    if let Some(baseline) = arg_value("--check") {
+        let text = std::fs::read_to_string(&baseline)
+            .unwrap_or_else(|e| panic!("read baseline {baseline}: {e}"));
+        let checks = check_against_baseline(&rows, &text, 25.0).expect("baseline check");
+        let cells: Vec<Vec<String>> = checks
+            .iter()
+            .map(|c| {
+                vec![
+                    c.app.clone(),
+                    c.target.clone(),
+                    eng(c.baseline_pkts_per_sec),
+                    eng(c.current_pkts_per_sec),
+                    format!("{:+.1}%", c.delta_pct),
+                    if c.regressed {
+                        "REGRESSED".into()
+                    } else {
+                        "ok".into()
+                    },
+                ]
+            })
+            .collect();
+        print_table(
+            &format!("bench_snapshot — regression check vs {baseline} (threshold -25%)"),
+            &["app", "target", "baseline", "current", "delta", "status"],
+            &cells,
+        );
+        let regressed: Vec<&str> = checks
+            .iter()
+            .filter(|c| c.regressed)
+            .map(|c| c.app.as_str())
+            .collect();
+        if !regressed.is_empty() {
+            eprintln!(
+                "perf regression: {} row(s) > 25% below baseline",
+                regressed.len()
+            );
+            std::process::exit(1);
+        }
+        println!("\nno row more than 25% below baseline");
+        return;
+    }
     // Quick runs are sanity checks, not trajectory points: never let one
     // overwrite the day's full `BENCH_<date>.json`.
     let path = (!quick).then(|| out_dir.join(format!("BENCH_{date}.json")));
@@ -107,6 +165,7 @@ fn main() {
                 r.delivered.to_string(),
                 format!("{:.2}", r.wall_ms),
                 eng(r.sim_pkts_per_wall_sec),
+                format!("{:.0}%", r.spread_pct),
                 r.correct.to_string(),
             ]
         })
@@ -120,6 +179,7 @@ fn main() {
             "out",
             "wall_ms",
             "sim_pkts/s",
+            "spread",
             "correct",
         ],
         &cells,

@@ -24,10 +24,16 @@ pub struct SnapshotRow {
     pub injected: u64,
     /// Packets delivered by the switch.
     pub delivered: u64,
-    /// Best wall-clock time over the measurement repetitions, milliseconds.
+    /// Median wall-clock time over the measurement repetitions (after one
+    /// untimed warmup), milliseconds.
     pub wall_ms: f64,
-    /// Simulated packets (injected) processed per wall-clock second.
+    /// Simulated packets (injected) processed per wall-clock second, from
+    /// the median repetition.
     pub sim_pkts_per_wall_sec: f64,
+    /// Measurement spread: `(max - min) / median` over the timed
+    /// repetitions, percent. Large values flag a noisy point whose
+    /// `wall_ms` deserves suspicion.
+    pub spread_pct: f64,
     /// Whether the app verified its own output during the measured run.
     pub correct: bool,
 }
@@ -47,6 +53,7 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
             model_size: 64,
             width: 16,
             seed: 1,
+            central_workers: 1,
         }
     } else {
         paramserv::ParamServerCfg::default()
@@ -121,25 +128,27 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     jobs
 }
 
-/// Run the fixed suite. `reps` wall-clock repetitions per point (best-of);
-/// the apps run in parallel across points but each point's repetitions are
-/// timed individually on its worker thread.
+/// Run the fixed suite. Each point runs once untimed (warmup: page in
+/// code, fault the allocator, settle caches) and then `reps` timed
+/// repetitions; the reported wall time is the **median** repetition and the
+/// row carries the min-to-max spread so noisy points are visible in the
+/// recorded trajectory. The apps run in parallel across points but each
+/// point's repetitions are timed individually on its worker thread.
 pub fn run_suite(quick: bool, reps: u32) -> Vec<SnapshotRow> {
     let reps = reps.max(1);
     crate::par::par_map(suite_jobs(quick), move |(app, _kind, job)| {
-        let mut best_ns = u128::MAX;
-        let mut report = None;
-        for _ in 0..reps {
-            let t0 = Instant::now();
-            let r = job();
-            let ns = t0.elapsed().as_nanos();
-            if ns < best_ns {
-                best_ns = ns;
-                report = Some(r);
-            }
-        }
-        let report = report.expect("at least one rep ran");
-        let wall_s = best_ns as f64 / 1e9;
+        let report = job(); // warmup, untimed
+        let mut times_ns: Vec<u128> = (0..reps)
+            .map(|_| {
+                let t0 = Instant::now();
+                job();
+                t0.elapsed().as_nanos()
+            })
+            .collect();
+        times_ns.sort_unstable();
+        let median_ns = times_ns[times_ns.len() / 2];
+        let spread = (times_ns[times_ns.len() - 1] - times_ns[0]) as f64 / median_ns as f64;
+        let wall_s = median_ns as f64 / 1e9;
         SnapshotRow {
             app: app.to_string(),
             target: report.target.clone(),
@@ -147,6 +156,7 @@ pub fn run_suite(quick: bool, reps: u32) -> Vec<SnapshotRow> {
             delivered: report.delivered,
             wall_ms: wall_s * 1e3,
             sim_pkts_per_wall_sec: report.injected as f64 / wall_s,
+            spread_pct: spread * 100.0,
             correct: report.correct,
         }
     })
@@ -162,9 +172,9 @@ pub struct OverheadRow {
     pub target: String,
     /// Which knob was toggled: `"metrics"` or `"trace(sample=N)"`.
     pub knob: String,
-    /// Best wall-clock with the knob off, milliseconds.
+    /// Median wall-clock with the knob off, milliseconds.
     pub wall_ms_off: f64,
-    /// Best wall-clock with the knob on, milliseconds.
+    /// Median wall-clock with the knob on, milliseconds.
     pub wall_ms_on: f64,
     /// Overhead of instrumentation, percent (negative = within noise).
     pub overhead_pct: f64,
@@ -222,6 +232,73 @@ pub fn measure_trace_overhead(quick: bool, reps: u32, sample: u64) -> (Vec<Overh
     let off = suite_with_env("ADCP_TRACE", "off", quick, reps);
     let on = suite_with_env("ADCP_TRACE", &sample.to_string(), quick, reps);
     diff_rows(&format!("trace(sample={sample})"), &off, &on)
+}
+/// Outcome of comparing one measured row against the checked-in baseline.
+#[derive(Debug, Clone, Serialize)]
+pub struct CheckRow {
+    /// Application name.
+    pub app: String,
+    /// Target label.
+    pub target: String,
+    /// Baseline throughput, simulated packets per wall-second.
+    pub baseline_pkts_per_sec: f64,
+    /// Measured throughput this run.
+    pub current_pkts_per_sec: f64,
+    /// Relative change, percent (positive = faster than baseline).
+    pub delta_pct: f64,
+    /// Whether the row breached the regression threshold.
+    pub regressed: bool,
+}
+
+/// Compare measured rows against a `bench_snapshot` baseline document
+/// (the JSON written by `--write-baseline` / the daily `BENCH_<date>.json`).
+/// A row regresses when its throughput falls more than `threshold_pct`
+/// below the baseline's row for the same app × target. Rows present on
+/// only one side are ignored — adding an app must not fail the guard —
+/// but a baseline with no overlap at all is an error (wrong file).
+pub fn check_against_baseline(
+    rows: &[SnapshotRow],
+    baseline_text: &str,
+    threshold_pct: f64,
+) -> Result<Vec<CheckRow>, String> {
+    let doc = serde_json::from_str(baseline_text).map_err(|e| format!("baseline parse: {e:?}"))?;
+    let base_rows = doc
+        .get("rows")
+        .and_then(|r| r.as_array())
+        .ok_or("baseline has no rows array")?;
+    let mut baseline: Vec<(String, String, f64)> = Vec::new();
+    for r in base_rows {
+        let (Some(app), Some(target), Some(pps)) = (
+            r.get("app").and_then(|v| v.as_str()),
+            r.get("target").and_then(|v| v.as_str()),
+            r.get("sim_pkts_per_wall_sec").and_then(|v| v.as_f64()),
+        ) else {
+            return Err("baseline row missing app/target/sim_pkts_per_wall_sec".into());
+        };
+        baseline.push((app.to_string(), target.to_string(), pps));
+    }
+    let mut out = Vec::new();
+    for row in rows {
+        let Some((_, _, base)) = baseline
+            .iter()
+            .find(|(a, t, _)| *a == row.app && *t == row.target)
+        else {
+            continue;
+        };
+        let delta_pct = (row.sim_pkts_per_wall_sec - base) / base * 100.0;
+        out.push(CheckRow {
+            app: row.app.clone(),
+            target: row.target.clone(),
+            baseline_pkts_per_sec: *base,
+            current_pkts_per_sec: row.sim_pkts_per_wall_sec,
+            delta_pct,
+            regressed: delta_pct < -threshold_pct,
+        });
+    }
+    if out.is_empty() {
+        return Err("baseline shares no app x target rows with this run".into());
+    }
+    Ok(out)
 }
 
 /// Today's UTC date as `YYYY-MM-DD` (civil-from-days, Hinnant's algorithm).

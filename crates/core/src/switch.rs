@@ -26,12 +26,12 @@ use crate::partition::{MigrateError, MigrationStrategy, PartitionMap};
 use adcp_lang::phv::Phv;
 use adcp_lang::target::TargetModel;
 use adcp_lang::{
-    compile, deparse, ActionOp, CompileError, CompileOptions, Entry, Placement, Program, RegId,
-    Region, RegionState, RegisterFile, TableError,
+    compile, deparse_into, ActionOp, CompileError, CompileOptions, Entry, Placement, Program,
+    RegId, Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
 use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
-use adcp_sim::packet::{EgressSpec, Packet, PortId};
+use adcp_sim::packet::{EgressSpec, FrameBuf, Packet, PacketStore, PortId};
 use adcp_sim::port::{RxPort, TxPort};
 use adcp_sim::queue::BufferPool;
 use adcp_sim::sched::ScheduledQueues;
@@ -89,6 +89,10 @@ struct MetricHandles {
     ctrl_held_pkts: CounterId,
     ctrl_misroutes: CounterId,
     ctrl_epoch: GaugeId,
+    /// Per-region pipeline occupancy (total busy cycles, busiest pipe),
+    /// in ingress/central/egress order. Pre-registered so the end-of-run
+    /// mirror is handle writes, not name lookups.
+    busy: [(CounterId, GaugeId); 3],
 }
 
 fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
@@ -141,6 +145,20 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
         ctrl_held_pkts: m.counter(ctrl, "held_pkts"),
         ctrl_misroutes: m.counter(ctrl, "misroutes"),
         ctrl_epoch: m.gauge(ctrl, "epoch"),
+        busy: [
+            (
+                m.counter(ingress, "busy_cycles"),
+                m.gauge(ingress, "busy_cycles_max_pipe"),
+            ),
+            (
+                m.counter(central, "busy_cycles"),
+                m.gauge(central, "busy_cycles_max_pipe"),
+            ),
+            (
+                m.counter(egress, "busy_cycles"),
+                m.gauge(egress, "busy_cycles_max_pipe"),
+            ),
+        ],
     }
 }
 
@@ -210,6 +228,16 @@ pub struct AdcpConfig {
     /// approximation. Applications that want exact merges mark unused
     /// inputs ended and terminate streams with end-of-stream records.
     pub merge_patience: Duration,
+    /// Worker threads for central-pipeline execution (§3.1: central pipes
+    /// are architecturally independent between TM1 and TM2). `1` keeps the
+    /// fully serial event loop; `>1` runs the compute-heavy part of
+    /// same-timestamp central pulls (parse + MAU region) on scoped worker
+    /// threads, with all observable effects (event pushes, counters,
+    /// metrics, drops) replayed on the coordinator in the exact serial
+    /// order — output is byte-identical for any worker count. The serial
+    /// path is used automatically while a migration is in flight or the
+    /// journey tracer is retaining hops.
+    pub central_workers: usize,
 }
 
 impl Default for AdcpConfig {
@@ -222,6 +250,7 @@ impl Default for AdcpConfig {
             trace: false,
             port_speeds: Vec::new(),
             merge_patience: Duration::from_us(2),
+            central_workers: 1,
         }
     }
 }
@@ -296,9 +325,9 @@ pub struct Delivered {
     pub port: PortId,
     /// Time its last bit left.
     pub time: SimTime,
-    /// Final frame contents (shared with the in-switch packet — taking
+    /// Final frame contents (moved from the in-switch packet — taking
     /// delivery does not copy the payload).
-    pub data: Arc<[u8]>,
+    pub data: FrameBuf,
     /// Final metadata.
     pub meta: adcp_sim::packet::PacketMeta,
 }
@@ -327,6 +356,68 @@ struct EgressPipe {
     state: RegionState,
     queues: ScheduledQueues,
     pull_scheduled: bool,
+}
+
+/// Outcome of the serial head of a central pull (see
+/// [`AdcpSwitch::pull_central_prologue`]).
+enum CentralStage {
+    /// Nothing to do (queue empty).
+    Idle,
+    /// Re-arm the pull at this time — deferred so the sharded path can
+    /// replay every event push in serial order during the epilogue.
+    Reschedule(SimTime),
+    /// A packet dequeued and accounted, ready for parse + region compute.
+    Work(Packet),
+}
+
+/// Result of the shardable compute stage of a central pull: the parsed and
+/// region-processed PHV plus everything the serial epilogue needs to
+/// deparse, trace, and schedule.
+struct CentralRun {
+    phv: Phv,
+    extracted: Vec<adcp_lang::HeaderId>,
+    consumed: usize,
+    depth: u32,
+    entry: SimTime,
+}
+
+/// The compute-heavy middle of a central pull: parse, PHV intrinsics
+/// setup, pipeline-slot bump, and the central MAU region. Touches only the
+/// one pipe's state (plus shared read-only program/layout), so a sharded
+/// batch can run it for distinct pipes on worker threads; the serial path
+/// calls it inline with the switch's recycled scratch PHV.
+fn central_compute(
+    program: &Program,
+    layout: &adcp_lang::PhvLayout,
+    period: Duration,
+    now: SimTime,
+    pipe: &mut CentralPipe,
+    pkt: &mut Packet,
+    scratch: (Phv, Vec<adcp_lang::HeaderId>),
+) -> Result<CentralRun, ()> {
+    let (sphv, sext) = scratch;
+    let Ok(out) = program
+        .parser
+        .parse_reusing(&program.headers, layout, &pkt.data, sphv, sext)
+    else {
+        return Err(());
+    };
+    let mut phv = out.phv;
+    phv.intr.ingress_port = pkt.meta.ingress_port;
+    // Move (not clone) the forwarding decision into the PHV; writeback
+    // moves it back.
+    phv.intr.egress = std::mem::take(&mut pkt.meta.egress);
+    let entry = now.max(pipe.next_slot);
+    pipe.next_slot = entry + period;
+    pipe.busy_cycles += 1;
+    pipe.state.run(program, layout, &mut phv);
+    Ok(CentralRun {
+        phv,
+        extracted: out.extracted,
+        consumed: out.consumed,
+        depth: out.depth,
+        entry,
+    })
 }
 
 enum Ev {
@@ -440,9 +531,23 @@ pub struct AdcpSwitch {
     ingress: Vec<IngressPipe>,
     central: Vec<CentralPipe>,
     egress: Vec<EgressPipe>,
+    /// One shared copy of the ingress-region match tables. Every ingress
+    /// pipeline runs against it (tables are installed identically into all
+    /// pipes, so duplicating the entries per pipe only multiplied install
+    /// cost and memory); register state stays per-pipe in `IngressPipe`.
+    ing_tables: RegionState,
+    /// Shared egress-region match tables (same reasoning).
+    eg_tables: RegionState,
     pool1: BufferPool,
     pool2: BufferPool,
     events: EventQueue<Ev>,
+    /// Reusable same-timestamp dispatch batch for `run_until_idle`.
+    batch: Vec<Ev>,
+    /// Recycling arena for deparse frame buffers.
+    store: PacketStore,
+    /// Recycled parse scratch (PHV + extraction list): parse-to-writeback
+    /// is straight-line within one handler, so a single slot suffices.
+    scratch: Option<(Phv, Vec<adcp_lang::HeaderId>)>,
     period: Duration,
     demux_rr: Vec<u16>,
     /// Drop/flow accounting.
@@ -535,6 +640,8 @@ impl AdcpSwitch {
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
         let central_regs = central_registers(&program);
+        let ing_tables = RegionState::new(&program, Region::Ingress);
+        let eg_tables = RegionState::new(&program, Region::Egress);
         Ok(AdcpSwitch {
             target,
             program: Arc::new(program),
@@ -546,9 +653,14 @@ impl AdcpSwitch {
             ingress,
             central,
             egress,
+            ing_tables,
+            eg_tables,
             pool1,
             pool2,
             events: EventQueue::new(),
+            batch: Vec::new(),
+            store: PacketStore::new(),
+            scratch: None,
             period,
             demux_rr,
             counters: AdcpCounters::default(),
@@ -594,9 +706,9 @@ impl AdcpSwitch {
     pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
         let AdcpSwitch {
             program,
-            ingress,
+            ing_tables,
             central,
-            egress,
+            eg_tables,
             ..
         } = self;
         let gi = program
@@ -605,21 +717,17 @@ impl AdcpSwitch {
             .position(|t| t.name == table)
             .unwrap_or_else(|| panic!("no table named {table}"));
         match program.tables[gi].region {
-            Region::Ingress => {
-                for p in ingress.iter_mut() {
-                    p.state.install(program, gi, entry.clone())?;
-                }
-            }
+            // Ingress/egress tables are installed identically everywhere, so
+            // one shared copy serves every pipe — a control-plane install is
+            // O(1) in the pipe count instead of cloning the entry per pipe.
+            Region::Ingress => ing_tables.install(program, gi, entry)?,
             Region::Central => {
+                // Central tables stay per-pipe: §3.1 partitions this state.
                 for p in central.iter_mut() {
                     p.state.install(program, gi, entry.clone())?;
                 }
             }
-            Region::Egress => {
-                for p in egress.iter_mut() {
-                    p.state.install(program, gi, entry.clone())?;
-                }
-            }
+            Region::Egress => eg_tables.install(program, gi, entry)?,
         }
         Ok(())
     }
@@ -713,6 +821,13 @@ impl AdcpSwitch {
     /// incremental awaiting `finalize_migration`).
     pub fn migration_active(&self) -> bool {
         self.part.as_ref().is_some_and(|rt| rt.mig.is_some())
+    }
+
+    /// Set the central-pipeline worker count (see
+    /// [`AdcpConfig::central_workers`]). Output is byte-identical for any
+    /// value; `>1` parallelizes the central compute stage.
+    pub fn set_central_workers(&mut self, n: usize) {
+        self.cfg.central_workers = n.max(1);
     }
 
     /// Migration totals (also mirrored into the `ctrl` metrics scope).
@@ -914,10 +1029,22 @@ impl AdcpSwitch {
     /// the last event and the last bit serialized out a TX port.
     pub fn run_until_idle(&mut self) -> SimTime {
         let mut last = self.events.now();
-        while let Some((t, ev)) = self.events.pop() {
-            self.handle(t, ev);
+        // Batched dispatch: drain every event sharing the minimal timestamp
+        // in one calendar-queue operation, then dispatch from a reusable
+        // buffer. Handlers that push more work at the same timestamp get a
+        // later seq, so those land in the *next* batch — the dispatch order
+        // is identical to the one-event-at-a-time loop.
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut run: Vec<Ev> = Vec::new();
+        loop {
+            batch.clear();
+            let Some(t) = self.events.pop_batch(&mut batch) else {
+                break;
+            };
+            self.dispatch_batch(t, &mut batch, &mut run);
             last = t;
         }
+        self.batch = batch;
         self.refresh_mat_counters();
         self.sync_metrics();
         last.max(self.last_delivery)
@@ -928,14 +1055,45 @@ impl AdcpSwitch {
     /// with live traffic. Returns the time of the last handled event.
     pub fn run_until(&mut self, t: SimTime) -> SimTime {
         let mut last = self.events.now();
+        let mut batch = std::mem::take(&mut self.batch);
+        let mut run: Vec<Ev> = Vec::new();
         while self.events.peek_time().is_some_and(|pt| pt <= t) {
-            let (time, ev) = self.events.pop().expect("peeked");
-            self.handle(time, ev);
-            last = time;
+            batch.clear();
+            let Some(bt) = self.events.pop_batch(&mut batch) else {
+                break;
+            };
+            self.dispatch_batch(bt, &mut batch, &mut run);
+            last = bt;
         }
+        self.batch = batch;
         self.refresh_mat_counters();
         self.sync_metrics();
         last
+    }
+
+    /// Dispatch one same-timestamp batch. With central workers enabled,
+    /// runs of consecutive central events (`PullCentral` interleaved with
+    /// `CentralOut`, the steady-state cadence of a loaded switch) are
+    /// buffered and executed as one sharded barrier; any other event kind
+    /// flushes the buffer first so relative order is untouched. Sharding
+    /// applies only when it cannot change observable behavior: never while
+    /// a migration's fences are in flight (commit/hold release must
+    /// interleave exactly), and never while the journey tracer retains
+    /// hops (its ring is a single flat insertion-ordered log).
+    fn dispatch_batch(&mut self, t: SimTime, batch: &mut Vec<Ev>, run: &mut Vec<Ev>) {
+        let shard =
+            self.cfg.central_workers > 1 && !self.tracer.hops_on() && !self.migration_active();
+        for ev in batch.drain(..) {
+            if shard {
+                if matches!(ev, Ev::PullCentral { .. } | Ev::CentralOut { .. }) {
+                    run.push(ev);
+                    continue;
+                }
+                self.flush_central_run(t, run);
+            }
+            self.handle(t, ev);
+        }
+        self.flush_central_run(t, run);
     }
 
     /// Mirror the ad-hoc [`AdcpCounters`] and per-pipe busy cycles into the
@@ -973,10 +1131,10 @@ impl AdcpSwitch {
         m.set_gauge(mh.ctrl_epoch, epoch);
         // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
         // every report on 64-port targets): total busy cycles plus the
-        // busiest pipe, per region.
-        let stages: [(&str, u64, u64); 3] = [
+        // busiest pipe, per region, via the pre-registered handles.
+        let stages: [(usize, u64, u64); 3] = [
             (
-                "ingress",
+                0,
                 self.ingress.iter().map(|p| p.busy_cycles).sum(),
                 self.ingress
                     .iter()
@@ -985,7 +1143,7 @@ impl AdcpSwitch {
                     .unwrap_or(0),
             ),
             (
-                "central",
+                1,
                 self.central.iter().map(|p| p.busy_cycles).sum(),
                 self.central
                     .iter()
@@ -994,16 +1152,14 @@ impl AdcpSwitch {
                     .unwrap_or(0),
             ),
             (
-                "egress",
+                2,
                 self.egress.iter().map(|p| p.busy_cycles).sum(),
                 self.egress.iter().map(|p| p.busy_cycles).max().unwrap_or(0),
             ),
         ];
-        for (name, total, max) in stages {
-            let scope = self.metrics.scope(name);
-            let id = self.metrics.counter(scope, "busy_cycles");
+        for (region, total, max) in stages {
+            let (id, g) = mh.busy[region];
             self.metrics.set_counter(id, total);
-            let g = self.metrics.gauge(scope, "busy_cycles_max_pipe");
             self.metrics.set_gauge(g, max);
         }
     }
@@ -1121,8 +1277,10 @@ impl AdcpSwitch {
             return;
         }
         let done = self.rx[port as usize].receive(&mut pkt, now);
-        self.tracer
-            .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
+        if self.tracer.hops_on() {
+            self.tracer
+                .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
+        }
         // 1:m demultiplex (§3.3).
         let m = self.target.demux_factor as usize;
         let lane = match self.cfg.demux {
@@ -1150,26 +1308,31 @@ impl AdcpSwitch {
         let entry = parse_done.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        p.state.run(&self.program, &self.layout, &mut phv);
+        p.state
+            .run_with_tables(&self.ing_tables, &self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
-        let pkt = self.writeback(pkt, &mut phv, &out_extracted, consumed);
+        let pkt = self.writeback(pkt, phv, out_extracted, consumed);
         let stages = self.placement.ingress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::IngressPipe(pipe),
-            entry,
-            exit,
-            HopCtx::NONE,
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::IngressPipe(pipe),
+                entry,
+                exit,
+                HopCtx::NONE,
+            );
+        }
         self.events.push(exit, Ev::IngressOut { pipe, pkt });
     }
 
     /// TM1: application-defined partitioning into central pipelines.
     fn on_ingress_out(&mut self, now: SimTime, pipe: usize, pkt: Packet) {
         // Stage span: RX handoff -> ingress pipeline exit (parse included).
-        self.metrics
-            .record_span(self.mh.ingress_span, pkt.meta.arrived, now);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.ingress_span, pkt.meta.arrived, now);
+        }
         if pkt.meta.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
             self.drop_packet(
@@ -1287,16 +1450,22 @@ impl AdcpSwitch {
         pkt.meta.tm_enqueued = now;
         // Enqueue-time context, carried in the metadata so the journey
         // tracer can attach it to the TM1-residency hop at dequeue.
-        pkt.meta.tm_q_depth = Some(self.central[cpipe].queues.len() as u32 + 1);
-        pkt.meta.tm_buf_used = Some(self.pool1.used());
+        // `ScheduledQueues::len` walks every queue, so only pay for it when
+        // a knob will consume the value.
+        if self.tracer.hops_on() {
+            pkt.meta.tm_q_depth = Some(self.central[cpipe].queues.len() as u32 + 1);
+            pkt.meta.tm_buf_used = Some(self.pool1.used());
+        }
         let ok = self.central[cpipe].queues.enqueue(pipe, pkt).is_ok();
         debug_assert!(ok);
-        let depth = self.central[cpipe].queues.len() as u64;
-        self.metrics.sample(self.mh.tm1_queue_depth, now, depth);
-        self.metrics
-            .sample(self.mh.tm1_buffer, now, self.pool1.used());
-        self.metrics
-            .set_gauge(self.mh.tm1_buffer_gauge, self.pool1.used());
+        if self.metrics.enabled() {
+            let depth = self.central[cpipe].queues.len() as u64;
+            self.metrics.sample(self.mh.tm1_queue_depth, now, depth);
+            self.metrics
+                .sample(self.mh.tm1_buffer, now, self.pool1.used());
+            self.metrics
+                .set_gauge(self.mh.tm1_buffer_gauge, self.pool1.used());
+        }
         self.schedule_pull_central(now, cpipe);
     }
 
@@ -1449,11 +1618,37 @@ impl AdcpSwitch {
     }
 
     fn on_pull_central(&mut self, now: SimTime, cpipe: usize) {
+        match self.pull_central_prologue(now, cpipe) {
+            CentralStage::Idle => {}
+            CentralStage::Reschedule(at) => self.schedule_pull_central(at, cpipe),
+            CentralStage::Work(mut pkt) => {
+                let scratch = self
+                    .scratch
+                    .take()
+                    .unwrap_or_else(|| (Phv::empty(), Vec::new()));
+                let res = central_compute(
+                    &self.program,
+                    &self.layout,
+                    self.period,
+                    now,
+                    &mut self.central[cpipe],
+                    &mut pkt,
+                    scratch,
+                );
+                self.finish_central(now, cpipe, pkt, res);
+            }
+        }
+    }
+
+    /// Serial head of a central pull: everything up to (and including) the
+    /// TM1 dequeue, pool release, fence accounting, and TM1-residency
+    /// observability. Never pushes events — deferred scheduling comes back
+    /// as [`CentralStage::Reschedule`] so a sharded batch can replay all
+    /// pushes in exact serial order during the epilogue.
+    fn pull_central_prologue(&mut self, now: SimTime, cpipe: usize) -> CentralStage {
         self.central[cpipe].pull_scheduled = false;
         if now < self.central[cpipe].next_slot {
-            let at = self.central[cpipe].next_slot;
-            self.schedule_pull_central(at, cpipe);
-            return;
+            return CentralStage::Reschedule(self.central[cpipe].next_slot);
         }
         // Exact-merge gating (§3.1): under MergeOrder, wait (bounded) for
         // every un-ended input queue to have a head before departing the
@@ -1465,69 +1660,92 @@ impl AdcpSwitch {
         {
             let since = *self.central[cpipe].merge_wait_since.get_or_insert(now);
             if now.saturating_since(since) < self.cfg.merge_patience {
-                let at = now + self.period;
-                self.schedule_pull_central(at, cpipe);
-                return;
+                return CentralStage::Reschedule(now + self.period);
             }
             // Patience exhausted: fall through to the streaming
             // approximation so the switch can never deadlock.
         }
         self.central[cpipe].merge_wait_since = None;
         let Some((_, mut pkt)) = self.central[cpipe].queues.dequeue() else {
-            return;
+            return CentralStage::Idle;
         };
         self.pool1.release(&mut pkt);
         // Fence/epoch accounting must happen exactly when the old owner
         // consumes the packet (its register updates land in this event).
         self.account_central_dequeue(now, cpipe, &pkt);
-        self.metrics
-            .record_span(self.mh.tm1_residency, pkt.meta.tm_enqueued, now);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.tm1_residency, pkt.meta.tm_enqueued, now);
+            self.metrics
+                .sample(self.mh.tm1_buffer, now, self.pool1.used());
+        }
         // TM1-residency hop: enqueue -> dequeue, with the queue/buffer
         // state observed at enqueue and the routing epoch.
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::Tm1,
-            pkt.meta.tm_enqueued,
-            now,
-            HopCtx {
-                queue_depth: pkt.meta.tm_q_depth.take(),
-                buffer_cells: pkt.meta.tm_buf_used.take(),
-                epoch: pkt.meta.map_epoch,
-            },
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::Tm1,
+                pkt.meta.tm_enqueued,
+                now,
+                HopCtx {
+                    queue_depth: pkt.meta.tm_q_depth.take(),
+                    buffer_cells: pkt.meta.tm_buf_used.take(),
+                    epoch: pkt.meta.map_epoch,
+                },
+            );
+        }
         pkt.meta.tm_enqueued = now; // central-stage entry, for its span
-        self.metrics
-            .sample(self.mh.tm1_buffer, now, self.pool1.used());
-        // Parse + run the central region (the global partitioned area).
-        let Some((mut phv, extracted, consumed, _)) =
-            self.parse(now, &pkt, Site::CentralPipe(cpipe))
-        else {
-            return;
+        CentralStage::Work(pkt)
+    }
+
+    /// Serial tail of a central pull: observability, writeback into the
+    /// arena, the CentralOut push, and the next pull. Runs on the
+    /// coordinator thread in event order whether the compute stage ran
+    /// inline or on a worker.
+    fn finish_central(
+        &mut self,
+        now: SimTime,
+        cpipe: usize,
+        pkt: Packet,
+        res: Result<CentralRun, ()>,
+    ) {
+        let run = match res {
+            Ok(run) => run,
+            Err(()) => {
+                self.counters.parse_errors += 1;
+                self.drop_packet(
+                    now,
+                    pkt.meta.id,
+                    Site::CentralPipe(cpipe),
+                    DropReason::ParseError,
+                    HopCtx::NONE,
+                );
+                return;
+            }
         };
-        phv.intr.ingress_port = pkt.meta.ingress_port;
-        // Move (not clone) the forwarding decision into the PHV; writeback
-        // moves it back.
-        phv.intr.egress = std::mem::take(&mut pkt.meta.egress);
-        let p = &mut self.central[cpipe];
-        let entry = now.max(p.next_slot);
-        p.next_slot = entry + self.period;
-        p.busy_cycles += 1;
-        p.state.run(&self.program, &self.layout, &mut phv);
+        if self.metrics.enabled() {
+            self.metrics.record(
+                self.mh.parse_span,
+                Duration(run.depth as u64 * self.period.as_ps()),
+            );
+        }
         self.counters.deparse_allocs += 1;
         let epoch = pkt.meta.map_epoch;
-        let pkt = self.writeback(pkt, &mut phv, &extracted, consumed);
+        let pkt = self.writeback(pkt, run.phv, run.extracted, run.consumed);
         let stages = self.placement.central.depth().max(1) as u64;
-        let exit = entry + Duration(stages * self.period.as_ps());
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::CentralPipe(cpipe),
-            entry,
-            exit,
-            HopCtx {
-                epoch,
-                ..HopCtx::NONE
-            },
-        );
+        let exit = run.entry + Duration(stages * self.period.as_ps());
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::CentralPipe(cpipe),
+                run.entry,
+                exit,
+                HopCtx {
+                    epoch,
+                    ..HopCtx::NONE
+                },
+            );
+        }
         self.events.push(exit, Ev::CentralOut { cpipe, pkt });
         if !self.central[cpipe].queues.is_empty() {
             let next = self.central[cpipe].next_slot;
@@ -1535,11 +1753,125 @@ impl AdcpSwitch {
         }
     }
 
+    /// Sharded execution of a buffered run of same-timestamp central
+    /// events — `PullCentral` pulls interleaved with `CentralOut` exits
+    /// (§3.1: central pipes are independent between TM1 and TM2). Three
+    /// stages. (1) Serial prologues for every pull, in pull order: the
+    /// prologue touches only TM1-side state (central input queues, pool1,
+    /// fence accounting, TM1 metrics) and never pushes events, while the
+    /// `CentralOut` handler touches only TM2-side state (egress queues,
+    /// pool2, delivery counters) — disjoint, so hoisting the prologues
+    /// above intervening exits is unobservable. (2) Parallel parse +
+    /// MAU-region compute partitioned by pipe; each worker owns disjoint
+    /// [`CentralPipe`] state. (3) Serial replay of the run in its original
+    /// event order — `CentralOut` events through the ordinary handler,
+    /// pull epilogues in place of their pulls — so every event push,
+    /// counter, metric, and drop lands in the exact sequence the serial
+    /// loop would have produced. `(time, seq)` assignment, and therefore
+    /// the entire simulation, is byte-identical for any worker count.
+    fn central_run_sharded(&mut self, now: SimTime, run: &mut Vec<Ev>) {
+        let mut staged: Vec<Option<(usize, CentralStage)>> = run.iter().map(|_| None).collect();
+        for (i, ev) in run.iter().enumerate() {
+            if let Ev::PullCentral { cpipe } = *ev {
+                staged[i] = Some((cpipe, self.pull_central_prologue(now, cpipe)));
+            }
+        }
+        let workers = self.cfg.central_workers.max(1);
+        let program = &self.program;
+        let layout = &self.layout;
+        let period = self.period;
+        // Disjoint &mut access: each pipe appears at most once per run
+        // (`pull_scheduled` guarantees one outstanding pull per pipe).
+        let mut pipe_refs: Vec<Option<&mut CentralPipe>> =
+            self.central.iter_mut().map(Some).collect();
+        let mut buckets: Vec<Vec<(usize, &mut CentralPipe, Packet)>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (i, slot) in staged.iter_mut().enumerate() {
+            let Some((cpipe, st)) = slot else { continue };
+            if matches!(st, CentralStage::Work(_)) {
+                let CentralStage::Work(pkt) = std::mem::replace(st, CentralStage::Idle) else {
+                    unreachable!()
+                };
+                let pr = pipe_refs[*cpipe]
+                    .take()
+                    .expect("one outstanding pull per central pipe");
+                buckets[*cpipe % workers].push((i, pr, pkt));
+            }
+        }
+        let mut done: Vec<Option<(Packet, Result<CentralRun, ()>)>> =
+            run.iter().map(|_| None).collect();
+        std::thread::scope(|s| {
+            let handles: Vec<_> = buckets
+                .into_iter()
+                .filter(|b| !b.is_empty())
+                .map(|bucket| {
+                    s.spawn(move || {
+                        bucket
+                            .into_iter()
+                            .map(|(i, pipe, mut pkt)| {
+                                let res = central_compute(
+                                    program,
+                                    layout,
+                                    period,
+                                    now,
+                                    pipe,
+                                    &mut pkt,
+                                    (Phv::empty(), Vec::new()),
+                                );
+                                (i, pkt, res)
+                            })
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                for (i, pkt, res) in h.join().expect("central worker panicked") {
+                    done[i] = Some((pkt, res));
+                }
+            }
+        });
+        for (i, ev) in run.drain(..).enumerate() {
+            match ev {
+                Ev::PullCentral { cpipe } => match staged[i].take() {
+                    Some((_, CentralStage::Reschedule(at))) => {
+                        self.schedule_pull_central(at, cpipe)
+                    }
+                    Some((_, CentralStage::Idle)) => {
+                        if let Some((pkt, res)) = done[i].take() {
+                            self.finish_central(now, cpipe, pkt, res);
+                        }
+                    }
+                    _ => unreachable!("pull staged exactly once"),
+                },
+                other => self.handle(now, other),
+            }
+        }
+    }
+
+    /// Drain the buffered central run: fewer than two pulls means there is
+    /// nothing to overlap, so every event goes through the ordinary serial
+    /// handler; otherwise the run executes as one sharded barrier.
+    fn flush_central_run(&mut self, now: SimTime, run: &mut Vec<Ev>) {
+        let n_pulls = run
+            .iter()
+            .filter(|e| matches!(e, Ev::PullCentral { .. }))
+            .count();
+        if n_pulls < 2 {
+            for ev in run.drain(..) {
+                self.handle(now, ev);
+            }
+            return;
+        }
+        self.central_run_sharded(now, run);
+    }
+
     /// TM2: classic scheduler; any egress port reachable, multicast native.
     fn on_central_out(&mut self, now: SimTime, _cpipe: usize, mut pkt: Packet) {
         // Stage span: central pipeline entry -> exit.
-        self.metrics
-            .record_span(self.mh.central_span, pkt.meta.tm_enqueued, now);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.central_span, pkt.meta.tm_enqueued, now);
+        }
         // Move the decision out rather than cloning it (a Multicast spec
         // owns a port list).
         match std::mem::take(&mut pkt.meta.egress) {
@@ -1581,8 +1913,9 @@ impl AdcpSwitch {
                 }
                 self.counters.mcast_copies += ports.len() as u64 - 1;
                 self.in_flight += ports.len() as u64 - 1;
-                // Each copy shares the frame bytes: cloning a Packet bumps
-                // the payload refcount instead of copying the buffer.
+                // Share the frame bytes once, then each copy bumps the
+                // payload refcount instead of copying the buffer.
+                pkt.data.make_shared();
                 for p in ports {
                     let mut copy = pkt.clone();
                     copy.meta.egress = EgressSpec::Unicast(p);
@@ -1653,16 +1986,20 @@ impl AdcpSwitch {
             return;
         }
         pkt.meta.tm_enqueued = now;
-        pkt.meta.tm_q_depth = Some(self.egress[epipe].queues.len() as u32 + 1);
-        pkt.meta.tm_buf_used = Some(self.pool2.used());
+        if self.tracer.hops_on() {
+            pkt.meta.tm_q_depth = Some(self.egress[epipe].queues.len() as u32 + 1);
+            pkt.meta.tm_buf_used = Some(self.pool2.used());
+        }
         let ok = self.egress[epipe].queues.enqueue(0, pkt).is_ok();
         debug_assert!(ok);
-        let depth = self.egress[epipe].queues.len() as u64;
-        self.metrics.sample(self.mh.tm2_queue_depth, now, depth);
-        self.metrics
-            .sample(self.mh.tm2_buffer, now, self.pool2.used());
-        self.metrics
-            .set_gauge(self.mh.tm2_buffer_gauge, self.pool2.used());
+        if self.metrics.enabled() {
+            let depth = self.egress[epipe].queues.len() as u64;
+            self.metrics.sample(self.mh.tm2_queue_depth, now, depth);
+            self.metrics
+                .sample(self.mh.tm2_buffer, now, self.pool2.used());
+            self.metrics
+                .set_gauge(self.mh.tm2_buffer_gauge, self.pool2.used());
+        }
         self.schedule_pull_egress(now, epipe);
     }
 
@@ -1698,23 +2035,27 @@ impl AdcpSwitch {
             return;
         };
         self.pool2.release(&mut pkt);
-        self.metrics
-            .record_span(self.mh.tm2_residency, pkt.meta.tm_enqueued, now);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.tm2_residency, pkt.meta.tm_enqueued, now);
+            self.metrics
+                .sample(self.mh.tm2_buffer, now, self.pool2.used());
+        }
         // TM2-residency hop with enqueue-time queue/buffer context.
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::Tm2,
-            pkt.meta.tm_enqueued,
-            now,
-            HopCtx {
-                queue_depth: pkt.meta.tm_q_depth.take(),
-                buffer_cells: pkt.meta.tm_buf_used.take(),
-                epoch: pkt.meta.map_epoch,
-            },
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::Tm2,
+                pkt.meta.tm_enqueued,
+                now,
+                HopCtx {
+                    queue_depth: pkt.meta.tm_q_depth.take(),
+                    buffer_cells: pkt.meta.tm_buf_used.take(),
+                    epoch: pkt.meta.map_epoch,
+                },
+            );
+        }
         pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
-        self.metrics
-            .sample(self.mh.tm2_buffer, now, self.pool2.used());
         let Some((mut phv, extracted, consumed, _)) =
             self.parse(now, &pkt, Site::EgressPipe(epipe))
         else {
@@ -1726,18 +2067,21 @@ impl AdcpSwitch {
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
-        p.state.run(&self.program, &self.layout, &mut phv);
+        p.state
+            .run_with_tables(&self.eg_tables, &self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
-        let pkt = self.writeback(pkt, &mut phv, &extracted, consumed);
+        let pkt = self.writeback(pkt, phv, extracted, consumed);
         let stages = self.placement.egress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::EgressPipe(epipe),
-            entry,
-            exit,
-            HopCtx::NONE,
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::EgressPipe(epipe),
+                entry,
+                exit,
+                HopCtx::NONE,
+            );
+        }
         self.events.push(exit, Ev::EgressOut { epipe, pkt });
         if !self.egress[epipe].queues.is_empty() {
             let next = self.egress[epipe].next_slot;
@@ -1769,13 +2113,17 @@ impl AdcpSwitch {
             return;
         };
         // Stage span: egress pipeline entry -> exit.
-        self.metrics
-            .record_span(self.mh.egress_span, pkt.meta.tm_enqueued, now);
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
-        self.metrics
-            .record_span(self.mh.tx_latency, pkt.meta.created, done);
-        self.tracer
-            .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.egress_span, pkt.meta.tm_enqueued, now);
+            self.metrics
+                .record_span(self.mh.tx_latency, pkt.meta.created, done);
+        }
+        if self.tracer.hops_on() {
+            self.tracer
+                .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
+        }
         self.counters.delivered += 1;
         self.in_flight -= 1;
         self.out_meter
@@ -1804,16 +2152,24 @@ impl AdcpSwitch {
         pkt: &Packet,
         site: Site,
     ) -> Option<(Phv, Vec<adcp_lang::HeaderId>, usize, u32)> {
-        match self
-            .program
-            .parser
-            .parse(&self.program.headers, &self.layout, &pkt.data)
-        {
+        let (sphv, sext) = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| (Phv::empty(), Vec::new()));
+        match self.program.parser.parse_reusing(
+            &self.program.headers,
+            &self.layout,
+            &pkt.data,
+            sphv,
+            sext,
+        ) {
             Ok(o) => {
-                self.metrics.record(
-                    self.mh.parse_span,
-                    Duration(o.depth as u64 * self.period.as_ps()),
-                );
+                if self.metrics.enabled() {
+                    self.metrics.record(
+                        self.mh.parse_span,
+                        Duration(o.depth as u64 * self.period.as_ps()),
+                    );
+                }
                 Some((o.phv, o.extracted, o.consumed, o.depth))
             }
             Err(_) => {
@@ -1825,22 +2181,36 @@ impl AdcpSwitch {
     }
 
     /// Deparse the PHV into the packet and move intrinsics into metadata.
+    /// The rebuilt frame goes into a buffer recycled through the arena; the
+    /// packet's previous buffer (when exclusively owned) returns to it.
     fn writeback(
-        &self,
+        &mut self,
         mut pkt: Packet,
-        phv: &mut Phv,
-        extracted: &[adcp_lang::HeaderId],
+        mut phv: Phv,
+        extracted: Vec<adcp_lang::HeaderId>,
         consumed: usize,
     ) -> Packet {
+        let mut buf = self.store.take();
         let payload = &pkt.data[consumed.min(pkt.data.len())..];
-        let data = deparse(&self.program.headers, &self.layout, phv, extracted, payload);
-        pkt.data = data.into();
+        deparse_into(
+            &mut buf,
+            &self.program.headers,
+            &self.layout,
+            &phv,
+            &extracted,
+            payload,
+        );
+        let old = std::mem::replace(&mut pkt.data, FrameBuf::Owned(buf));
+        if let FrameBuf::Owned(v) = old {
+            self.store.recycle(v);
+        }
         pkt.meta.egress = std::mem::take(&mut phv.intr.egress);
         pkt.meta.central_pipe = phv.intr.central_pipe.or(pkt.meta.central_pipe);
         if let Some(k) = phv.intr.sort_key {
             pkt.meta.sort_key = Some(k);
         }
         pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
+        self.scratch = Some((phv, extracted));
         pkt
     }
 

@@ -121,67 +121,111 @@ impl RegionState {
     /// Run one PHV through every table of this region, in program order.
     /// Stops early if an action drops the packet.
     pub fn run(&mut self, program: &Program, layout: &PhvLayout, phv: &mut Phv) {
-        self.stats.packets += 1;
-        let reg_ops_before: u64 = self.registers.iter().map(|r| r.ops).sum();
-        for (gi, rt) in &mut self.tables {
-            if phv.intr.egress == EgressSpec::Drop {
-                break;
+        let RegionState {
+            tables,
+            registers,
+            stats,
+            ..
+        } = self;
+        run_tables(tables, registers, stats, program, layout, phv);
+    }
+
+    /// Like [`RegionState::run`], but the match tables come from `tables`
+    /// (typically one shared, control-plane-owned copy) while the register
+    /// files and stats are this pipeline's own. Stateless regions (ingress
+    /// and egress match tables are installed identically into every
+    /// pipeline) can then share one table copy instead of duplicating
+    /// every entry per pipe; register state — the part the paper's Fig. 2
+    /// argument is about — stays strictly per-pipeline.
+    pub fn run_with_tables(
+        &mut self,
+        tables: &RegionState,
+        program: &Program,
+        layout: &PhvLayout,
+        phv: &mut Phv,
+    ) {
+        run_tables(
+            &tables.tables,
+            &mut self.registers,
+            &mut self.stats,
+            program,
+            layout,
+            phv,
+        );
+    }
+}
+
+/// Shared body of [`RegionState::run`]/[`RegionState::run_with_tables`]:
+/// tables and mutable state are passed separately so the tables may belong
+/// to a different (shared) `RegionState` than the registers.
+fn run_tables(
+    tables: &[(usize, TableRuntime)],
+    registers: &mut [RegisterFile],
+    stats: &mut RegionRunStats,
+    program: &Program,
+    layout: &PhvLayout,
+    phv: &mut Phv,
+) {
+    stats.packets += 1;
+    let reg_ops_before: u64 = registers.iter().map(|r| r.ops).sum();
+    for (gi, rt) in tables {
+        if phv.intr.egress == EgressSpec::Drop {
+            break;
+        }
+        let def = &program.tables[*gi];
+        stats.tables_executed += 1;
+        match def.key {
+            None => {
+                // Unconditional action stage.
+                let action = &def.actions[def.default_action];
+                exec_action(
+                    action,
+                    &def.default_params,
+                    0,
+                    layout,
+                    phv,
+                    registers,
+                    &program.mcast_groups,
+                );
             }
-            let def = &program.tables[*gi];
-            self.stats.tables_executed += 1;
-            match def.key {
-                None => {
-                    // Unconditional action stage.
-                    let action = &def.actions[def.default_action];
+            Some(k) => {
+                let lanes = layout
+                    .array_dims_of(k.field)
+                    .map(|(_, c)| c as usize)
+                    .unwrap_or(1);
+                for lane in 0..lanes {
+                    let key = phv.get_elem(layout, k.field, lane);
+                    stats.lookups += 1;
+                    // `lookup` takes `&self`, so the entry's action and
+                    // params are borrowed in place — no per-lookup
+                    // allocation — while the registers (a disjoint
+                    // borrow) stay mutable.
+                    let (ai, params): (usize, &[u64]) = match rt.lookup(key) {
+                        Some(e) => {
+                            stats.hits += 1;
+                            (e.action, &e.params)
+                        }
+                        None => (def.default_action, &def.default_params),
+                    };
+                    let action = &def.actions[ai];
                     exec_action(
                         action,
-                        &def.default_params,
-                        0,
+                        params,
+                        lane,
                         layout,
                         phv,
-                        &mut self.registers,
+                        registers,
                         &program.mcast_groups,
                     );
-                }
-                Some(k) => {
-                    let lanes = layout
-                        .array_dims_of(k.field)
-                        .map(|(_, c)| c as usize)
-                        .unwrap_or(1);
-                    for lane in 0..lanes {
-                        let key = phv.get_elem(layout, k.field, lane);
-                        self.stats.lookups += 1;
-                        // `lookup` takes `&self`, so the entry's action and
-                        // params are borrowed in place — no per-lookup
-                        // allocation — while the registers (a disjoint
-                        // field) stay mutably borrowable.
-                        let (ai, params): (usize, &[u64]) = match rt.lookup(key) {
-                            Some(e) => {
-                                self.stats.hits += 1;
-                                (e.action, &e.params)
-                            }
-                            None => (def.default_action, &def.default_params),
-                        };
-                        let action = &def.actions[ai];
-                        exec_action(
-                            action,
-                            params,
-                            lane,
-                            layout,
-                            phv,
-                            &mut self.registers,
-                            &program.mcast_groups,
-                        );
-                        if phv.intr.egress == EgressSpec::Drop {
-                            break;
-                        }
+                    if phv.intr.egress == EgressSpec::Drop {
+                        break;
                     }
                 }
             }
         }
-        let reg_ops_after: u64 = self.registers.iter().map(|r| r.ops).sum();
-        self.stats.reg_ops += reg_ops_after - reg_ops_before;
     }
+    let reg_ops_after: u64 = registers.iter().map(|r| r.ops).sum();
+    stats.reg_ops += reg_ops_after - reg_ops_before;
 }
 
 /// Element index a field access uses in a given lane.

@@ -42,7 +42,9 @@ pub use compile::{
 pub use describe::{describe_placement, describe_program};
 pub use exec::{RegionRunStats, RegionState};
 pub use header::{deposit_bits, extract_bits, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId};
-pub use parser::{deparse, ParseError, ParseOutcome, ParserSpec, ParserState, StateId, Transition};
+pub use parser::{
+    deparse, deparse_into, ParseError, ParseOutcome, ParserSpec, ParserState, StateId, Transition,
+};
 pub use phv::{Intrinsics, Phv, PhvLayout};
 pub use program::{Program, ProgramBuilder, TmSpec, ValidateError};
 pub use registers::{RegAluOp, RegId, RegisterDef, RegisterFile};

@@ -100,11 +100,27 @@ pub fn deparse(
     extracted: &[HeaderId],
     payload: &[u8],
 ) -> Vec<u8> {
+    let mut out = Vec::new();
+    deparse_into(&mut out, headers, layout, phv, extracted, payload);
+    out
+}
+
+/// [`deparse`] into a caller-supplied buffer (cleared first), so hot paths
+/// can recycle frame buffers instead of allocating one per traversal.
+pub fn deparse_into(
+    out: &mut Vec<u8>,
+    headers: &[HeaderDef],
+    layout: &PhvLayout,
+    phv: &Phv,
+    extracted: &[HeaderId],
+    payload: &[u8],
+) {
     let hdr_bytes: usize = extracted
         .iter()
         .map(|h| headers[h.0 as usize].total_bytes() as usize)
         .sum();
-    let mut out = vec![0u8; hdr_bytes];
+    out.clear();
+    out.resize(hdr_bytes, 0);
     let mut base = 0u32;
     for h in extracted {
         let hdr = &headers[h.0 as usize];
@@ -113,14 +129,13 @@ pub fn deparse(
             for e in 0..f.count {
                 let off = base + hdr.bit_offset(fid, e);
                 let v = phv.get_elem(layout, crate::header::FieldRef::new(*h, fid), e as usize);
-                let ok = crate::header::deposit_bits(&mut out, off, f.bits, v);
+                let ok = crate::header::deposit_bits(out, off, f.bits, v);
                 debug_assert!(ok, "deparse buffer sized from the same headers");
             }
         }
         base += hdr.total_bits();
     }
     out.extend_from_slice(payload);
-    out
 }
 
 impl ParserSpec {
@@ -147,11 +162,26 @@ impl ParserSpec {
         layout: &PhvLayout,
         data: &[u8],
     ) -> Result<ParseOutcome, ParseError> {
-        let mut phv = layout.instantiate();
+        self.parse_reusing(headers, layout, data, Phv::empty(), Vec::new())
+    }
+
+    /// [`ParserSpec::parse`], but recycling a scratch PHV and extraction
+    /// list from a previous outcome — hot paths avoid the per-traversal
+    /// field-vector allocations. The scratch values are reshaped to the
+    /// layout's zero state first, so any previous contents are irrelevant.
+    pub fn parse_reusing(
+        &self,
+        headers: &[HeaderDef],
+        layout: &PhvLayout,
+        data: &[u8],
+        mut phv: Phv,
+        mut extracted: Vec<HeaderId>,
+    ) -> Result<ParseOutcome, ParseError> {
+        layout.reinstantiate(&mut phv);
+        extracted.clear();
         let mut offset = 0usize;
         let mut state = StateId(0);
         let mut depth = 0u32;
-        let mut extracted = Vec::new();
         loop {
             depth += 1;
             if depth > self.states.len() as u32 {

@@ -105,6 +105,26 @@ impl PhvLayout {
             intr: Intrinsics::default(),
         }
     }
+
+    /// Reshape a recycled [`Phv`] to this layout in place — the zero-state
+    /// of [`PhvLayout::instantiate`] without its per-field allocations.
+    /// Hot parse paths cycle one scratch PHV per pipeline this way.
+    pub fn reinstantiate(&self, phv: &mut Phv) {
+        phv.scalars.clear();
+        phv.scalars.resize(self.scalar_widths.len(), 0);
+        phv.arrays.truncate(self.array_dims.len());
+        for (i, &(_, c)) in self.array_dims.iter().enumerate() {
+            if i < phv.arrays.len() {
+                phv.arrays[i].clear();
+                phv.arrays[i].resize(c as usize, 0);
+            } else {
+                phv.arrays.push(vec![0u64; c as usize]);
+            }
+        }
+        phv.valid.clear();
+        phv.valid.resize(self.headers, false);
+        phv.intr = Intrinsics::default();
+    }
 }
 
 /// Intrinsic (target-independent) per-packet metadata computed by the
@@ -138,6 +158,18 @@ pub struct Phv {
 }
 
 impl Phv {
+    /// An empty shell with no field storage; shape it with
+    /// [`PhvLayout::reinstantiate`] before use. Exists so recycling pools
+    /// have a cheap starting value.
+    pub fn empty() -> Phv {
+        Phv {
+            scalars: Vec::new(),
+            arrays: Vec::new(),
+            valid: Vec::new(),
+            intr: Intrinsics::default(),
+        }
+    }
+
     /// Read a scalar field (element 0 of arrays).
     pub fn get(&self, layout: &PhvLayout, f: FieldRef) -> u64 {
         match layout.slots[&f] {

@@ -26,12 +26,12 @@ use adcp_lang::phv::Phv;
 use adcp_lang::target::TargetModel;
 use adcp_lang::PhvLayout;
 use adcp_lang::{
-    compile, deparse, CentralImpl, CompileError, CompileOptions, Entry, Placement, Program, RegId,
-    Region, RegionState, RegisterFile, TableError,
+    compile, deparse_into, CentralImpl, CompileError, CompileOptions, Entry, Placement, Program,
+    RegId, Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
 use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
-use adcp_sim::packet::{EgressSpec, Packet, PortId};
+use adcp_sim::packet::{EgressSpec, FrameBuf, Packet, PacketStore, PortId};
 use adcp_sim::port::{RxPort, TxPort};
 use adcp_sim::queue::BufferPool;
 use adcp_sim::sched::ScheduledQueues;
@@ -70,6 +70,10 @@ struct MetricHandles {
     drops_bad_port: CounterId,
     tx_pkts: CounterId,
     tx_latency: HistId,
+    /// Per-region pipeline occupancy (total busy cycles, busiest pipe),
+    /// in ingress/egress order. Pre-registered so the end-of-run mirror is
+    /// handle writes, not name lookups.
+    busy: [(CounterId, GaugeId); 2],
 }
 
 fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
@@ -107,6 +111,16 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
         drops_bad_port: m.counter(drops, "bad_port"),
         tx_pkts: m.counter(tx, "packets"),
         tx_latency: m.hist(tx, "latency_ps"),
+        busy: [
+            (
+                m.counter(ingress, "busy_cycles"),
+                m.gauge(ingress, "busy_cycles_max_pipe"),
+            ),
+            (
+                m.counter(egress, "busy_cycles"),
+                m.gauge(egress, "busy_cycles_max_pipe"),
+            ),
+        ],
     }
 }
 
@@ -209,9 +223,9 @@ pub struct Delivered {
     pub port: PortId,
     /// Time its last bit left.
     pub time: SimTime,
-    /// Final frame contents (post-deparse; shared with the in-switch
+    /// Final frame contents (post-deparse; moved from the in-switch
     /// packet — taking delivery does not copy the payload).
-    pub data: Arc<[u8]>,
+    pub data: FrameBuf,
     /// Final metadata.
     pub meta: adcp_sim::packet::PacketMeta,
 }
@@ -262,8 +276,22 @@ pub struct RmtSwitch {
     tx: Vec<TxPort>,
     ingress: Vec<IngressPipe>,
     egress: Vec<EgressPipe>,
+    /// Shared match-table copies, one per region. Tables are installed
+    /// identically into every pipeline (`install_all` is the only install
+    /// path), so pipes run against a single copy; register state — the
+    /// shared-nothing part the paper's Fig. 2 argument depends on — stays
+    /// per-pipe in `IngressPipe`/`EgressPipe`.
+    ing_tables: RegionState,
+    central_tables: RegionState,
+    eg_tables: RegionState,
     pool: BufferPool,
     events: EventQueue<Ev>,
+    /// Reusable same-timestamp dispatch batch for `run_until_idle`.
+    batch: Vec<Ev>,
+    /// Recycling arena for deparse frame buffers.
+    store: PacketStore,
+    /// Recycled PHV + extracted-header scratch for the parse hot path.
+    scratch: Option<(Phv, Vec<adcp_lang::HeaderId>)>,
     period: Duration,
     /// Drop/flow accounting.
     pub counters: SwitchCounters,
@@ -332,6 +360,9 @@ impl RmtSwitch {
         let tracer = JourneyTracer::from_env(cfg.trace, 65_536);
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
+        let ing_tables = RegionState::new(&program, Region::Ingress);
+        let central_tables = RegionState::new(&program, Region::Central);
+        let eg_tables = RegionState::new(&program, Region::Egress);
         Ok(RmtSwitch {
             target,
             program: Arc::new(program),
@@ -342,8 +373,14 @@ impl RmtSwitch {
             tx,
             ingress,
             egress,
+            ing_tables,
+            central_tables,
+            eg_tables,
             pool,
             events: EventQueue::new(),
+            batch: Vec::new(),
+            store: PacketStore::new(),
+            scratch: None,
             period,
             counters: SwitchCounters::default(),
             out_meter: Meter::default(),
@@ -385,8 +422,9 @@ impl RmtSwitch {
     pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
         let RmtSwitch {
             program,
-            ingress,
-            egress,
+            ing_tables,
+            central_tables,
+            eg_tables,
             ..
         } = self;
         let gi = program
@@ -394,25 +432,14 @@ impl RmtSwitch {
             .iter()
             .position(|t| t.name == table)
             .unwrap_or_else(|| panic!("no table named {table}"));
+        // One shared copy per region serves every pipe (the same entries
+        // went everywhere before), making installs O(1) in the pipe count.
+        // The central copy serves both lowerings: recirculation passes in
+        // the ingress pipes and `CentralImpl::EgressPinned` egress runs.
         match program.tables[gi].region {
-            Region::Ingress => {
-                for p in ingress.iter_mut() {
-                    p.state.install(program, gi, entry.clone())?;
-                }
-            }
-            Region::Central => {
-                for p in ingress.iter_mut() {
-                    p.central.install(program, gi, entry.clone())?;
-                }
-                for p in egress.iter_mut() {
-                    p.central.install(program, gi, entry.clone())?;
-                }
-            }
-            Region::Egress => {
-                for p in egress.iter_mut() {
-                    p.state.install(program, gi, entry.clone())?;
-                }
-            }
+            Region::Ingress => ing_tables.install(program, gi, entry)?,
+            Region::Central => central_tables.install(program, gi, entry)?,
+            Region::Egress => eg_tables.install(program, gi, entry)?,
         }
         Ok(())
     }
@@ -457,10 +484,23 @@ impl RmtSwitch {
     /// the last event and the last bit serialized out a TX port.
     pub fn run_until_idle(&mut self) -> SimTime {
         let mut last = self.events.now();
-        while let Some((t, ev)) = self.events.pop() {
-            self.handle(t, ev);
+        // Batched dispatch: drain every event sharing the minimal timestamp
+        // in one calendar-queue operation, then dispatch from a reusable
+        // buffer. Handlers that push more work at the same timestamp get a
+        // later seq, so those land in the *next* batch — the dispatch order
+        // is identical to the one-event-at-a-time loop.
+        let mut batch = std::mem::take(&mut self.batch);
+        loop {
+            batch.clear();
+            let Some(t) = self.events.pop_batch(&mut batch) else {
+                break;
+            };
+            for ev in batch.drain(..) {
+                self.handle(t, ev);
+            }
             last = t;
         }
+        self.batch = batch;
         self.refresh_mat_counters();
         self.sync_metrics();
         last.max(self.last_delivery)
@@ -491,9 +531,9 @@ impl RmtSwitch {
         // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
         // every report on 64-port targets): total busy cycles plus the
         // busiest pipe, per region.
-        let stages: [(&str, u64, u64); 2] = [
+        let stages: [(usize, u64, u64); 2] = [
             (
-                "ingress",
+                0,
                 self.ingress.iter().map(|p| p.busy_cycles).sum(),
                 self.ingress
                     .iter()
@@ -502,16 +542,14 @@ impl RmtSwitch {
                     .unwrap_or(0),
             ),
             (
-                "egress",
+                1,
                 self.egress.iter().map(|p| p.busy_cycles).sum(),
                 self.egress.iter().map(|p| p.busy_cycles).max().unwrap_or(0),
             ),
         ];
-        for (name, total, max) in stages {
-            let scope = self.metrics.scope(name);
-            let id = self.metrics.counter(scope, "busy_cycles");
+        for (region, total, max) in stages {
+            let (id, g) = mh.busy[region];
             self.metrics.set_counter(id, total);
-            let g = self.metrics.gauge(scope, "busy_cycles_max_pipe");
             self.metrics.set_gauge(g, max);
         }
     }
@@ -619,8 +657,10 @@ impl RmtSwitch {
             return;
         }
         let done = self.rx[port as usize].receive(&mut pkt, now);
-        self.tracer
-            .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
+        if self.tracer.hops_on() {
+            self.tracer
+                .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
+        }
         let pipe = self.pipe_of_port(PortId(port));
         self.events
             .push(done, Ev::IngressEnter { pipe, pkt, pass: 0 });
@@ -628,10 +668,17 @@ impl RmtSwitch {
 
     /// Parse and run the pass's region, then occupy a pipeline slot.
     fn on_ingress_enter(&mut self, now: SimTime, pipe: usize, pkt: Packet, pass: u8) {
-        let parsed = self
-            .program
-            .parser
-            .parse(&self.program.headers, &self.layout, &pkt.data);
+        let (sphv, sext) = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| (Phv::empty(), Vec::new()));
+        let parsed = self.program.parser.parse_reusing(
+            &self.program.headers,
+            &self.layout,
+            &pkt.data,
+            sphv,
+            sext,
+        );
         let Ok(out) = parsed else {
             self.counters.parse_errors += 1;
             self.drop_packet(
@@ -647,7 +694,9 @@ impl RmtSwitch {
         phv.intr.ingress_port = pkt.meta.ingress_port;
         // Parse latency scales with structural depth, not port speed (§3.3).
         let parse_cost = Duration(out.depth as u64 * self.period.as_ps());
-        self.metrics.record(self.mh.parse_span, parse_cost);
+        if self.metrics.enabled() {
+            self.metrics.record(self.mh.parse_span, parse_cost);
+        }
         let parse_done = now + parse_cost;
 
         let p = &mut self.ingress[pipe];
@@ -657,16 +706,27 @@ impl RmtSwitch {
 
         // Run the region at entry (stage traversal is a fixed latency; the
         // state mutation order equals the slot order).
-        let (state, depth) = if pass == 0 {
-            (&mut p.state, self.placement.ingress.depth().max(1))
+        let (state, tables, depth) = if pass == 0 {
+            (
+                &mut p.state,
+                &self.ing_tables,
+                self.placement.ingress.depth().max(1),
+            )
         } else {
-            (&mut p.central, self.placement.central.depth().max(1))
+            (
+                &mut p.central,
+                &self.central_tables,
+                self.placement.central.depth().max(1),
+            )
         };
-        state.run(&self.program, &self.layout, &mut phv);
+        state.run_with_tables(tables, &self.program, &self.layout, &mut phv);
 
-        // Deparse: the pipeline's modifications become the packet.
+        // Deparse: the pipeline's modifications become the packet. The
+        // rebuilt frame reuses a buffer recycled through the arena.
+        let mut buf = self.store.take();
         let payload = &pkt.data[out.consumed.min(pkt.data.len())..];
-        let data = deparse(
+        deparse_into(
+            &mut buf,
             &self.program.headers,
             &self.layout,
             &phv,
@@ -674,7 +734,9 @@ impl RmtSwitch {
             payload,
         );
         let mut pkt = pkt;
-        pkt.data = data.into();
+        if let FrameBuf::Owned(v) = std::mem::replace(&mut pkt.data, FrameBuf::Owned(buf)) {
+            self.store.recycle(v);
+        }
         self.counters.deparse_allocs += 1;
         pkt.meta.egress = std::mem::take(&mut phv.intr.egress);
         pkt.meta.recirculate = phv.intr.recirculate;
@@ -683,20 +745,23 @@ impl RmtSwitch {
             pkt.meta.sort_key = Some(k);
         }
         pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
+        self.scratch = Some((phv, out.extracted));
 
         let exit = entry + Duration(depth as u64 * self.period.as_ps());
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::IngressPipe(pipe),
-            entry,
-            exit,
-            HopCtx::NONE,
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::IngressPipe(pipe),
+                entry,
+                exit,
+                HopCtx::NONE,
+            );
+        }
         self.events.push(exit, Ev::IngressOut { pipe, pkt, pass });
     }
 
     fn on_ingress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet, pass: u8) {
-        if pass == 0 {
+        if pass == 0 && self.metrics.enabled() {
             // Stage span: RX handoff -> first ingress pass exit (parse
             // included; recirculation passes are counted separately).
             self.metrics
@@ -714,8 +779,10 @@ impl RmtSwitch {
             pkt.meta.recirculate = false;
             pkt.meta.recirc_count += 1;
             self.counters.recirc_passes += 1;
-            self.tracer
-                .record_hop(pkt.meta.id, Site::Recirculated, now, now, HopCtx::NONE);
+            if self.tracer.hops_on() {
+                self.tracer
+                    .record_hop(pkt.meta.id, Site::Recirculated, now, now, HopCtx::NONE);
+            }
             let at = now + self.cfg.recirc_latency;
             self.events.push(
                 at,
@@ -771,10 +838,11 @@ impl RmtSwitch {
                     return;
                 }
                 // The TM replicates; each copy is accounted separately and
-                // shares the frame bytes (a Packet clone bumps the payload
-                // refcount instead of copying the buffer).
+                // shares the frame bytes (made refcounted once here, so a
+                // Packet clone bumps the refcount instead of copying).
                 self.counters.mcast_copies += ports.len() as u64 - 1;
                 self.in_flight += ports.len() as u64 - 1;
+                pkt.data.make_shared();
                 for p in ports {
                     let mut copy = pkt.clone();
                     copy.meta.egress = EgressSpec::Unicast(p);
@@ -834,16 +902,22 @@ impl RmtSwitch {
             return;
         }
         pkt.meta.tm_enqueued = now;
-        pkt.meta.tm_q_depth = Some(self.egress[pipe].queues.len() as u32 + 1);
-        pkt.meta.tm_buf_used = Some(self.pool.used());
+        // `ScheduledQueues::len` walks every queue, so only pay for it when
+        // a knob will consume the value.
+        if self.tracer.hops_on() {
+            pkt.meta.tm_q_depth = Some(self.egress[pipe].queues.len() as u32 + 1);
+            pkt.meta.tm_buf_used = Some(self.pool.used());
+        }
         let accepted = self.egress[pipe].queues.enqueue(local, pkt).is_ok();
         debug_assert!(accepted, "room was checked above");
-        let depth = self.egress[pipe].queues.len() as u64;
-        self.metrics.sample(self.mh.tm_queue_depth, now, depth);
-        self.metrics
-            .sample(self.mh.tm_buffer, now, self.pool.used());
-        self.metrics
-            .set_gauge(self.mh.tm_buffer_gauge, self.pool.used());
+        if self.metrics.enabled() {
+            let depth = self.egress[pipe].queues.len() as u64;
+            self.metrics.sample(self.mh.tm_queue_depth, now, depth);
+            self.metrics
+                .sample(self.mh.tm_buffer, now, self.pool.used());
+            self.metrics
+                .set_gauge(self.mh.tm_buffer_gauge, self.pool.used());
+        }
         self.schedule_pull(now, pipe);
     }
 
@@ -899,37 +973,43 @@ impl RmtSwitch {
             return;
         };
         self.pool.release(&mut pkt);
-        self.metrics
-            .record_span(self.mh.tm_residency, pkt.meta.tm_enqueued, now);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.tm_residency, pkt.meta.tm_enqueued, now);
+            self.metrics
+                .sample(self.mh.tm_buffer, now, self.pool.used());
+        }
         // TM-residency hop with enqueue-time queue/buffer context. The RMT
         // baseline has a single TM, mapped onto the journey model's TM1.
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::Tm1,
-            pkt.meta.tm_enqueued,
-            now,
-            HopCtx {
-                queue_depth: pkt.meta.tm_q_depth.take(),
-                buffer_cells: pkt.meta.tm_buf_used.take(),
-                epoch: None,
-            },
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::Tm1,
+                pkt.meta.tm_enqueued,
+                now,
+                HopCtx {
+                    queue_depth: pkt.meta.tm_q_depth.take(),
+                    buffer_cells: pkt.meta.tm_buf_used.take(),
+                    epoch: None,
+                },
+            );
+        }
         pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
-        self.metrics
-            .sample(self.mh.tm_buffer, now, self.pool.used());
         let p = &mut self.egress[pipe];
         let entry = now.max(p.next_slot);
         p.next_slot = entry + self.period;
         p.busy_cycles += 1;
         let depth = (self.placement.central.depth() + self.placement.egress.depth()).max(1);
         let exit = entry + Duration(depth as u64 * self.period.as_ps());
-        self.tracer.record_hop(
-            pkt.meta.id,
-            Site::EgressPipe(pipe),
-            entry,
-            exit,
-            HopCtx::NONE,
-        );
+        if self.tracer.hops_on() {
+            self.tracer.record_hop(
+                pkt.meta.id,
+                Site::EgressPipe(pipe),
+                entry,
+                exit,
+                HopCtx::NONE,
+            );
+        }
         self.events.push(exit, Ev::EgressOut { pipe, pkt });
         if !self.egress[pipe].queues.is_empty() {
             let next = self.egress[pipe].next_slot;
@@ -939,10 +1019,17 @@ impl RmtSwitch {
 
     fn on_egress_out(&mut self, now: SimTime, pipe: usize, mut pkt: Packet) {
         // Egress parse + region execution.
-        let parsed = self
-            .program
-            .parser
-            .parse(&self.program.headers, &self.layout, &pkt.data);
+        let (sphv, sext) = self
+            .scratch
+            .take()
+            .unwrap_or_else(|| (Phv::empty(), Vec::new()));
+        let parsed = self.program.parser.parse_reusing(
+            &self.program.headers,
+            &self.layout,
+            &pkt.data,
+            sphv,
+            sext,
+        );
         let Ok(out) = parsed else {
             self.counters.parse_errors += 1;
             self.drop_packet(
@@ -965,13 +1052,19 @@ impl RmtSwitch {
         phv.intr.egress = std::mem::take(&mut pkt.meta.egress);
         // Egress-pinned central tables run first (Fig. 2 lowering).
         if self.placement.central_impl == CentralImpl::EgressPinned {
-            self.egress[pipe]
-                .central
-                .run(&self.program, &self.layout, &mut phv);
+            self.egress[pipe].central.run_with_tables(
+                &self.central_tables,
+                &self.program,
+                &self.layout,
+                &mut phv,
+            );
         }
-        self.egress[pipe]
-            .state
-            .run(&self.program, &self.layout, &mut phv);
+        self.egress[pipe].state.run_with_tables(
+            &self.eg_tables,
+            &self.program,
+            &self.layout,
+            &mut phv,
+        );
         if phv.intr.egress == EgressSpec::Drop {
             self.counters.filtered += 1;
             self.drop_packet(
@@ -983,17 +1076,22 @@ impl RmtSwitch {
             );
             return;
         }
+        let mut buf = self.store.take();
         let payload = &pkt.data[out.consumed.min(pkt.data.len())..];
-        let data = deparse(
+        deparse_into(
+            &mut buf,
             &self.program.headers,
             &self.layout,
             &phv,
             &out.extracted,
             payload,
         );
-        pkt.data = data.into();
+        if let FrameBuf::Owned(v) = std::mem::replace(&mut pkt.data, FrameBuf::Owned(buf)) {
+            self.store.recycle(v);
+        }
         self.counters.deparse_allocs += 1;
         pkt.meta.elements = pkt.meta.elements.max(phv.intr.elements);
+        self.scratch = Some((phv, out.extracted));
 
         let Some(port) = dest else {
             self.counters.no_decision += 1;
@@ -1010,13 +1108,17 @@ impl RmtSwitch {
         // Egress pinning invariant: the port belongs to this pipeline.
         debug_assert_eq!(self.pipe_of_port(port), pipe, "egress pinning violated");
         // Stage span: egress pipeline entry -> exit.
-        self.metrics
-            .record_span(self.mh.egress_span, pkt.meta.tm_enqueued, now);
         let done = self.tx[port.0 as usize].transmit(&pkt, now);
-        self.metrics
-            .record_span(self.mh.tx_latency, pkt.meta.created, done);
-        self.tracer
-            .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
+        if self.metrics.enabled() {
+            self.metrics
+                .record_span(self.mh.egress_span, pkt.meta.tm_enqueued, now);
+            self.metrics
+                .record_span(self.mh.tx_latency, pkt.meta.created, done);
+        }
+        if self.tracer.hops_on() {
+            self.tracer
+                .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
+        }
         self.counters.delivered += 1;
         self.in_flight -= 1;
         self.out_meter

@@ -5,21 +5,120 @@
 //! queue orders events by `(time, sequence)` so that simultaneous events
 //! fire in insertion order — which, combined with [`crate::rng::SimRng`],
 //! makes whole runs reproducible bit-for-bit.
+//!
+//! # Calendar-queue scheduler
+//!
+//! The implementation is a calendar queue (Brown 1988) tuned for the event
+//! mass a switch simulation produces: almost everything is scheduled within
+//! a few pipeline periods or one packet serialization time of `now`, with a
+//! thin tail of far-future timers (merge-order patience, control-plane
+//! ticks). Three tiers:
+//!
+//! * **Ring buckets** — the near horizon is divided into `DAYS` "days" of
+//!   `1 << DAY_SHIFT` picoseconds each; the day of a timestamp is a shift,
+//!   and each day maps to one ring slot, so a push into the window is an
+//!   O(1) `Vec::push`. A two-level occupancy bitmap (one bit per slot plus
+//!   a summary word with one bit per bitmap word) finds the next non-empty
+//!   day in O(1) — two `trailing_zeros` — and an empty ring skips even
+//!   that via a ring-resident event count.
+//! * **Current-day drain** — entering a day moves its bucket (plus any
+//!   overflow events that matured into it) into a reusable deque, sorted
+//!   once, ascending, by `(time, seq)`: a pop is `pop_front`. Pushes that
+//!   land in the open day carry the largest `seq` yet issued, so they are
+//!   usually a plain `push_back` (an insert only when an event later in
+//!   the day is already pending); past times clamp to `now` and `seq`
+//!   grows monotonically, so FIFO order is preserved exactly.
+//! * **Overflow heap** — events beyond the ring window go to a binary heap
+//!   keyed by `(time, seq)`. They are merged into the drain when their day
+//!   opens. Only far-future outliers pay the O(log n) heap cost.
+//!
+//! Unlike the original `BinaryHeap` + slab design, nothing here retains a
+//! slot per popped event: drained buckets are empty `Vec`s that recycle
+//! their capacity, so retained storage is bounded by the maximum number of
+//! *simultaneously pending* events, not by the total ever scheduled (see
+//! `million_event_run_keeps_storage_bounded`).
 
 use crate::time::SimTime;
-use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BinaryHeap, VecDeque};
 
-#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
-struct Key(SimTime, u64);
+/// log2 of the width of one calendar day, in picoseconds. 2^16 ps ≈ 65.5 ns
+/// is about one MTU serialization time at 100 Gb/s, so a day typically
+/// holds a batch of pipeline events worth sorting together.
+const DAY_SHIFT: u32 = 16;
+/// Number of ring days (power of two). Window = DAYS << DAY_SHIFT ≈ 268 µs,
+/// wide enough that workload injection schedules laid out at line rate stay
+/// in the ring instead of spilling to the overflow heap.
+const DAYS: u64 = 4096;
+const DAY_MASK: u64 = DAYS - 1;
+const WORDS: usize = (DAYS / 64) as usize;
+// The two-level occupancy bitmap keeps one summary bit per word, so the
+// summary must itself fit one word.
+const _: () = assert!(WORDS == 64);
+
+#[inline]
+fn day_of(t: SimTime) -> u64 {
+    t.0 >> DAY_SHIFT
+}
+
+/// A far-future event parked in the overflow heap. Ordered by `(time, seq)`
+/// inverted, so the `BinaryHeap` max is the earliest event; `seq` is
+/// unique, which makes the ordering total without requiring `E: Ord`.
+#[derive(Debug)]
+struct Far<E> {
+    t: SimTime,
+    seq: u64,
+    ev: E,
+}
+
+impl<E> PartialEq for Far<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.seq == other.seq
+    }
+}
+impl<E> Eq for Far<E> {}
+impl<E> PartialOrd for Far<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Far<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (other.t, other.seq).cmp(&(self.t, self.seq))
+    }
+}
 
 /// A time-ordered event queue with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Reverse<(Key, usize)>>,
-    /// Slab of payloads; index stored in the heap keeps `E: Ord` unneeded.
-    slots: Vec<Option<E>>,
-    free: Vec<usize>,
+    /// Ring of day buckets; slot `d & DAY_MASK` holds day `d`'s events,
+    /// unsorted. A slot only ever holds events of a single absolute day:
+    /// pushes beyond the window go to `overflow`, and a day's slot cannot
+    /// be reused until the drain has moved past that day.
+    ring: Vec<Vec<(SimTime, u64, E)>>,
+    /// Occupancy bitmap over ring slots.
+    occ: [u64; WORDS],
+    /// Summary bitmap: bit `w` set iff `occ[w] != 0`. Makes the next-day
+    /// scan O(1) instead of a walk over all words.
+    occ_sum: u64,
+    /// Events currently stored in ring buckets (excludes `drain` and
+    /// `overflow`); lets an empty ring skip the bitmap scan entirely.
+    ring_len: usize,
+    /// The day currently being drained.
+    cur_day: u64,
+    /// Events of `cur_day`, sorted ascending by `(time, seq)`; the next
+    /// event to fire is `drain.front()`. A deque so that the common push
+    /// into the open day — a fresh event with the largest `(time, seq)` so
+    /// far — is an O(1) `push_back` rather than a front-of-buffer memmove.
+    drain: VecDeque<(SimTime, u64, E)>,
+    /// Events beyond the ring window, earliest on top.
+    overflow: BinaryHeap<Far<E>>,
+    /// Pending-event count across all tiers.
+    len: usize,
+    /// High-water mark of `len`; budgets how much bucket capacity the ring
+    /// may retain.
+    hwm: usize,
+    /// Total capacity currently retained across ring buckets.
+    ring_cap: usize,
     seq: u64,
     now: SimTime,
     /// Total events ever scheduled.
@@ -36,9 +135,16 @@ impl<E> EventQueue<E> {
     /// Empty queue at t = 0.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
-            slots: Vec::new(),
-            free: Vec::new(),
+            ring: (0..DAYS).map(|_| Vec::new()).collect(),
+            occ: [0; WORDS],
+            occ_sum: 0,
+            ring_len: 0,
+            cur_day: 0,
+            drain: VecDeque::new(),
+            overflow: BinaryHeap::new(),
+            len: 0,
+            hwm: 0,
+            ring_cap: 0,
             seq: 0,
             now: SimTime::ZERO,
             scheduled: 0,
@@ -54,51 +160,274 @@ impl<E> EventQueue<E> {
     /// (a resource that frees up "already" fires immediately).
     pub fn push(&mut self, t: SimTime, ev: E) {
         let t = t.max(self.now);
-        let idx = match self.free.pop() {
-            Some(i) => {
-                self.slots[i] = Some(ev);
-                i
-            }
-            None => {
-                self.slots.push(Some(ev));
-                self.slots.len() - 1
-            }
-        };
-        self.heap.push(Reverse((Key(t, self.seq), idx)));
+        let seq = self.seq;
         self.seq += 1;
         self.scheduled += 1;
+        self.len += 1;
+        self.hwm = self.hwm.max(self.len);
+        let d = day_of(t);
+        if d == self.cur_day {
+            // The open day. `seq` is the largest ever issued, so unless an
+            // event *later in the day* is already pending this is a plain
+            // append; otherwise insert at the (ascending) sorted position.
+            match self.drain.back() {
+                Some(&(bt, bs, _)) if (bt, bs) > (t, seq) => {
+                    let at = self
+                        .drain
+                        .partition_point(|&(et, es, _)| (et, es) < (t, seq));
+                    self.drain.insert(at, (t, seq, ev));
+                }
+                _ => self.drain.push_back((t, seq, ev)),
+            }
+        } else if d.wrapping_sub(self.cur_day) < DAYS {
+            let slot = (d & DAY_MASK) as usize;
+            let before = self.ring[slot].capacity();
+            self.ring[slot].push((t, seq, ev));
+            self.ring_cap += self.ring[slot].capacity() - before;
+            self.ring_len += 1;
+            self.occ[slot / 64] |= 1 << (slot % 64);
+            self.occ_sum |= 1 << (slot / 64);
+        } else {
+            self.overflow.push(Far { t, seq, ev });
+        }
+    }
+
+    /// Absolute day of the next non-empty ring slot at or after `cur_day`,
+    /// if any. O(1): a masked probe of the starting word, then the summary
+    /// bitmap picks the next occupied word in one `trailing_zeros`.
+    fn next_ring_day(&self) -> Option<u64> {
+        if self.ring_len == 0 {
+            return None;
+        }
+        let start = (self.cur_day & DAY_MASK) as usize;
+        let w0 = start / 64;
+        let head = self.occ[w0] & (!0u64 << (start % 64));
+        let slot = if head != 0 {
+            w0 * 64 + head.trailing_zeros() as usize
+        } else {
+            // Rotate the summary so bit k maps to word (w0 + 1 + k) % 64;
+            // the search order then matches the ring's wrap-around order,
+            // ending back at w0 itself (whose remaining bits are all below
+            // `start`, i.e. logically a full window ahead).
+            let rot = self.occ_sum.rotate_right((w0 as u32 + 1) % 64);
+            debug_assert!(rot != 0, "ring_len > 0 but no occupied word");
+            let w = (w0 + 1 + rot.trailing_zeros() as usize) % WORDS;
+            w * 64 + self.occ[w].trailing_zeros() as usize
+        };
+        let off = (slot as u64).wrapping_sub(self.cur_day) & DAY_MASK;
+        Some(self.cur_day + off)
+    }
+
+    /// Open the next day that has events, filling `drain`. Returns `false`
+    /// when the queue is empty.
+    fn refill(&mut self) -> bool {
+        self.drain.clear();
+        if self.len == 0 {
+            return false;
+        }
+        let ring_day = self.next_ring_day();
+        let over_day = self.overflow.peek().map(|f| day_of(f.t));
+        let d = match (ring_day, over_day) {
+            (Some(r), Some(o)) => r.min(o),
+            (Some(r), None) => r,
+            (None, Some(o)) => o,
+            (None, None) => unreachable!("len > 0 but no events found"),
+        };
+        self.cur_day = d;
+        let slot = (d & DAY_MASK) as usize;
+        if self.occ[slot / 64] & (1 << (slot % 64)) != 0 {
+            // Move the bucket's events out. The emptied bucket keeps its
+            // capacity for reuse when the ring wraps around — unless the
+            // ring's total retained capacity has outgrown the pending-event
+            // high-water mark, in which case it is released. This is what
+            // keeps long runs' retained storage proportional to peak
+            // concurrency rather than to the slot count times per-slot
+            // bursts (the old slab leaked a slot per event ever scheduled).
+            let mut bucket = std::mem::take(&mut self.ring[slot]);
+            self.ring_len -= bucket.len();
+            self.drain.extend(bucket.drain(..));
+            if self.ring_cap > 8 * self.hwm.max(64) {
+                self.ring_cap -= bucket.capacity();
+                bucket = Vec::new();
+            }
+            self.ring[slot] = bucket;
+            self.occ[slot / 64] &= !(1 << (slot % 64));
+            if self.occ[slot / 64] == 0 {
+                self.occ_sum &= !(1 << (slot / 64));
+            }
+        }
+        while let Some(top) = self.overflow.peek() {
+            if day_of(top.t) != d {
+                break;
+            }
+            let Far { t, seq, ev } = self.overflow.pop().unwrap();
+            self.drain.push_back((t, seq, ev));
+        }
+        self.drain
+            .make_contiguous()
+            .sort_unstable_by_key(|e| (e.0, e.1));
+        true
     }
 
     /// Pop the next event, advancing `now` to its time.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let Reverse((Key(t, _), idx)) = self.heap.pop()?;
+        if self.drain.is_empty() && !self.refill() {
+            return None;
+        }
+        let (t, _, ev) = self.drain.pop_front().expect("refill produced events");
         self.now = t;
-        let ev = self.slots[idx]
-            .take()
-            .expect("slot holds a scheduled event");
-        self.free.push(idx);
+        self.len -= 1;
         Some((t, ev))
+    }
+
+    /// Pop every event sharing the next (minimal) timestamp into `batch`,
+    /// advancing `now` to that time. The batch is cleared first; events
+    /// appear in FIFO `seq` order. Handlers may push new events while the
+    /// batch is being consumed — a push at the same timestamp gets a larger
+    /// `seq`, lands after the current batch, and is returned by the *next*
+    /// call, which is exactly the order the one-at-a-time loop produces.
+    pub fn pop_batch(&mut self, batch: &mut Vec<E>) -> Option<SimTime> {
+        batch.clear();
+        if self.drain.is_empty() && !self.refill() {
+            return None;
+        }
+        let t = self.drain.front().expect("refill produced events").0;
+        self.now = t;
+        // The drain is ascending, so the run of events at `t` is the head,
+        // already in FIFO `seq` order.
+        let k = self.drain.partition_point(|&(et, _, _)| et <= t);
+        batch.extend(self.drain.drain(..k).map(|(_, _, ev)| ev));
+        self.len -= batch.len();
+        Some(t)
     }
 
     /// Time of the next pending event.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|Reverse((Key(t, _), _))| *t)
+        if let Some(&(t, _, _)) = self.drain.front() {
+            return Some(t);
+        }
+        if self.len == 0 {
+            return None;
+        }
+        let over_t = self.overflow.peek().map(|f| f.t);
+        match self.next_ring_day() {
+            None => over_t,
+            Some(d) => {
+                let slot = (d & DAY_MASK) as usize;
+                let ring_min = self.ring[slot]
+                    .iter()
+                    .map(|&(t, _, _)| t)
+                    .min()
+                    .expect("occupied slot is non-empty");
+                match over_t {
+                    Some(ot) if ot < ring_min => Some(ot),
+                    _ => Some(ring_min),
+                }
+            }
+        }
     }
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True when no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Total event-storage capacity currently retained (ring buckets, the
+    /// drain buffer, and the overflow heap). Bounded by the high-water mark
+    /// of *concurrently pending* events — not by `scheduled` — which the
+    /// slab regression test asserts.
+    pub fn storage_capacity(&self) -> usize {
+        self.ring.iter().map(|b| b.capacity()).sum::<usize>()
+            + self.drain.capacity()
+            + self.overflow.capacity()
+    }
+}
+
+/// The original `BinaryHeap` + slab implementation, kept as a test oracle:
+/// the calendar queue must reproduce its `(time, seq)` pop sequence
+/// bit-for-bit (see `calendar_queue_matches_heap_oracle`).
+#[cfg(test)]
+pub mod oracle {
+    use crate::time::SimTime;
+    use std::cmp::Reverse;
+    use std::collections::BinaryHeap;
+
+    #[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+    struct Key(SimTime, u64);
+
+    /// Reference queue: `BinaryHeap` keyed by `(time, seq)` over a slab.
+    #[derive(Debug)]
+    pub struct HeapQueue<E> {
+        heap: BinaryHeap<Reverse<(Key, usize)>>,
+        slots: Vec<Option<E>>,
+        free: Vec<usize>,
+        seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> Default for HeapQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> HeapQueue<E> {
+        /// An empty oracle queue.
+        pub fn new() -> Self {
+            HeapQueue {
+                heap: BinaryHeap::new(),
+                slots: Vec::new(),
+                free: Vec::new(),
+                seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// Schedule `ev` at `t` (clamped to now), FIFO among ties.
+        pub fn push(&mut self, t: SimTime, ev: E) {
+            let t = t.max(self.now);
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.slots[i] = Some(ev);
+                    i
+                }
+                None => {
+                    self.slots.push(Some(ev));
+                    self.slots.len() - 1
+                }
+            };
+            self.heap.push(Reverse((Key(t, self.seq), idx)));
+            self.seq += 1;
+        }
+
+        /// Pop the earliest `(time, seq)` event.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let Reverse((Key(t, _), idx)) = self.heap.pop()?;
+            self.now = t;
+            let ev = self.slots[idx]
+                .take()
+                .expect("slot holds a scheduled event");
+            self.free.push(idx);
+            Some((t, ev))
+        }
+
+        /// Slab footprint: one slot per event ever scheduled (the leak the
+        /// calendar queue designs away).
+        pub fn slab_len(&self) -> usize {
+            self.slots.len()
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::rng::SimRng;
 
     #[test]
     fn pops_in_time_order() {
@@ -134,7 +463,7 @@ mod tests {
     }
 
     #[test]
-    fn slot_reuse_keeps_payloads_straight() {
+    fn interleaved_push_pop_keeps_payloads_straight() {
         let mut q = EventQueue::new();
         q.push(SimTime(1), "x");
         q.pop();
@@ -153,5 +482,169 @@ mod tests {
         assert_eq!(q.peek_time(), None);
         q.push(SimTime(7), 0);
         assert_eq!(q.peek_time(), Some(SimTime(7)));
+    }
+
+    #[test]
+    fn peek_time_across_tiers() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        // Far-future event (overflow tier).
+        q.push(SimTime(500_000_000_000), 9);
+        assert_eq!(q.peek_time(), Some(SimTime(500_000_000_000)));
+        // Nearer event in a ring bucket beats it.
+        q.push(SimTime(40_000), 1);
+        assert_eq!(q.peek_time(), Some(SimTime(40_000)));
+        // Same-day event in the open drain beats both.
+        q.push(SimTime(3), 0);
+        assert_eq!(q.peek_time(), Some(SimTime(3)));
+        assert_eq!(q.pop().unwrap(), (SimTime(3), 0));
+        assert_eq!(q.pop().unwrap(), (SimTime(40_000), 1));
+        assert_eq!(q.pop().unwrap(), (SimTime(500_000_000_000), 9));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn far_future_and_window_wrap() {
+        let mut q = EventQueue::new();
+        let window = DAYS << DAY_SHIFT;
+        // One event far past the ring window, one just inside, one now.
+        q.push(SimTime(window * 3 + 17), "far");
+        q.push(SimTime(window - 1), "edge");
+        q.push(SimTime(0), "now");
+        assert_eq!(q.pop().unwrap().1, "now");
+        assert_eq!(q.pop().unwrap().1, "edge");
+        // After advancing, pushing within the new window lands in the ring.
+        q.push(SimTime(window + 5), "next");
+        assert_eq!(q.pop().unwrap().1, "next");
+        assert_eq!(q.pop().unwrap().1, "far");
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn pop_batch_matches_single_pop_order() {
+        let mut a = EventQueue::new();
+        let mut b = EventQueue::new();
+        let mut rng = SimRng::seed_from(11);
+        for i in 0..500u32 {
+            let t = SimTime(rng.range(0..50u64) * 1000);
+            a.push(t, i);
+            b.push(t, i);
+        }
+        let mut singles = Vec::new();
+        while let Some((t, e)) = a.pop() {
+            singles.push((t, e));
+        }
+        let mut batched = Vec::new();
+        let mut batch = Vec::new();
+        while let Some(t) = b.pop_batch(&mut batch) {
+            for e in batch.drain(..) {
+                batched.push((t, e));
+            }
+        }
+        assert_eq!(singles, batched);
+    }
+
+    #[test]
+    fn pop_batch_only_drains_one_timestamp() {
+        let mut q = EventQueue::new();
+        q.push(SimTime(10), 1);
+        q.push(SimTime(10), 2);
+        q.push(SimTime(20), 3);
+        let mut batch = Vec::new();
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime(10)));
+        assert_eq!(batch, vec![1, 2]);
+        // A same-time push made while consuming the batch fires in the
+        // next batch — the same order the one-at-a-time loop yields.
+        q.push(SimTime(10), 4);
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime(10)));
+        assert_eq!(batch, vec![4]);
+        assert_eq!(q.pop_batch(&mut batch), Some(SimTime(20)));
+        assert_eq!(batch, vec![3]);
+        assert_eq!(q.pop_batch(&mut batch), None);
+    }
+
+    /// Satellite: scheduler equivalence. The calendar queue must produce
+    /// exactly the oracle heap's `(time, seq)` pop sequence for seeded
+    /// random schedules, including same-timestamp bursts and far-future
+    /// outliers, under interleaved push/pop.
+    #[test]
+    fn calendar_queue_matches_heap_oracle() {
+        for seed in [1u64, 7, 42, 99, 2026] {
+            let mut rng = SimRng::seed_from(seed);
+            let mut cal: EventQueue<u32> = EventQueue::new();
+            let mut ora: oracle::HeapQueue<u32> = oracle::HeapQueue::new();
+            let mut id = 0u32;
+            let mut base = 0u64;
+            for _round in 0..200 {
+                // A burst of pushes around the current time...
+                for _ in 0..rng.range(1..20) {
+                    let t = match rng.range(0..10) {
+                        // same-timestamp burst
+                        0..=3 => SimTime(base),
+                        // near horizon (a few days out)
+                        4..=7 => SimTime(base + rng.range(0..100_000u64)),
+                        // window edge
+                        8 => SimTime(base + (DAYS << DAY_SHIFT) - rng.range(0..3u64)),
+                        // far-future outlier, well past the ring window
+                        _ => SimTime(base + (DAYS << DAY_SHIFT) * rng.range(1..5u64) + 13),
+                    };
+                    cal.push(t, id);
+                    ora.push(t, id);
+                    id += 1;
+                }
+                // ...then a few interleaved pops.
+                for _ in 0..rng.range(0..15) {
+                    let c = cal.pop();
+                    let o = ora.pop();
+                    assert_eq!(c, o, "seed {seed}: pop diverged");
+                    if let Some((t, _)) = c {
+                        base = t.0;
+                    } else {
+                        break;
+                    }
+                }
+            }
+            // Drain both to the end.
+            loop {
+                let c = cal.pop();
+                let o = ora.pop();
+                assert_eq!(c, o, "seed {seed}: drain diverged");
+                if c.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Satellite: the slab-growth pathology regression. The old design
+    /// retained one slab slot per event *ever scheduled*; the calendar
+    /// queue must keep retained storage proportional to the high-water
+    /// mark of pending events across a 10⁶-event run.
+    #[test]
+    fn million_event_run_keeps_storage_bounded() {
+        const TOTAL: u64 = 1_000_000;
+        const OUTSTANDING: usize = 1024;
+        let mut q: EventQueue<u64> = EventQueue::new();
+        let mut rng = SimRng::seed_from(3);
+        let mut pushed = 0u64;
+        while pushed < TOTAL || !q.is_empty() {
+            while pushed < TOTAL && q.len() < OUTSTANDING {
+                let t = q.now().0 + rng.range(0..200_000u64);
+                q.push(SimTime(t), pushed);
+                pushed += 1;
+            }
+            for _ in 0..rng.range(1..OUTSTANDING as u64) {
+                if q.pop().is_none() {
+                    break;
+                }
+            }
+        }
+        assert_eq!(q.scheduled, TOTAL);
+        // Retained capacity must track the pending high-water mark (with
+        // slack for per-bucket rounding), not the million-event total.
+        let cap = q.storage_capacity();
+        assert!(
+            cap < 64 * OUTSTANDING,
+            "storage capacity {cap} grew far past the {OUTSTANDING}-event high-water mark"
+        );
     }
 }

@@ -185,23 +185,158 @@ pub fn frame_check(data: &[u8]) -> u64 {
     h
 }
 
+/// Frame bytes of one packet: either an exclusively-owned buffer or a
+/// shared immutable one.
+///
+/// The hot path — deparse writeback at the end of every pipeline traversal
+/// — wants an *owned* `Vec<u8>` it can recycle through a [`PacketStore`]
+/// instead of allocating a fresh `Arc<[u8]>` (allocation + full copy) per
+/// traversal. The multicast path wants *shared* bytes so replicating a
+/// packet to `n` ports bumps a refcount `n` times instead of copying the
+/// frame `n` times. This enum gives each path its shape: buffers start
+/// `Owned`, [`FrameBuf::make_shared`] converts once before a fan-out, and
+/// clones of a `Shared` buffer stay cheap.
+#[derive(Debug, Clone)]
+pub enum FrameBuf {
+    /// Exclusively owned, mutable in place, recyclable.
+    Owned(Vec<u8>),
+    /// Refcounted immutable bytes (multicast copies, long-lived captures).
+    Shared(Arc<[u8]>),
+}
+
+impl FrameBuf {
+    /// Convert to the shared representation in place (idempotent; one
+    /// allocation + copy when currently owned) so that subsequent clones
+    /// are refcount bumps.
+    pub fn make_shared(&mut self) {
+        if let FrameBuf::Owned(v) = self {
+            *self = FrameBuf::Shared(std::mem::take(v).into());
+        }
+    }
+
+    /// Extract the bytes as an `Arc<[u8]>`, copying only if still owned.
+    pub fn into_arc(self) -> Arc<[u8]> {
+        match self {
+            FrameBuf::Owned(v) => v.into(),
+            FrameBuf::Shared(a) => a,
+        }
+    }
+
+    /// Take the owned buffer out for recycling, if this frame is the
+    /// exclusive owner of its bytes.
+    pub fn take_owned(&mut self) -> Option<Vec<u8>> {
+        match self {
+            FrameBuf::Owned(v) => Some(std::mem::take(v)),
+            FrameBuf::Shared(_) => None,
+        }
+    }
+}
+
+impl std::ops::Deref for FrameBuf {
+    type Target = [u8];
+    #[inline]
+    fn deref(&self) -> &[u8] {
+        match self {
+            FrameBuf::Owned(v) => v,
+            FrameBuf::Shared(a) => a,
+        }
+    }
+}
+
+impl From<Vec<u8>> for FrameBuf {
+    fn from(v: Vec<u8>) -> Self {
+        FrameBuf::Owned(v)
+    }
+}
+
+impl From<Arc<[u8]>> for FrameBuf {
+    fn from(a: Arc<[u8]>) -> Self {
+        FrameBuf::Shared(a)
+    }
+}
+
+impl From<&[u8]> for FrameBuf {
+    fn from(s: &[u8]) -> Self {
+        FrameBuf::Owned(s.to_vec())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for FrameBuf {
+    fn from(a: [u8; N]) -> Self {
+        FrameBuf::Owned(a.to_vec())
+    }
+}
+
+/// Recycling arena for frame buffers.
+///
+/// Each switch owns one; the deparser takes a cleared buffer from the free
+/// list instead of allocating, and writeback/delivery paths return the
+/// packet's previous owned buffer to it. Under steady load the free list
+/// reaches the in-flight high-water mark and the per-traversal allocation
+/// rate drops to zero (the `deparse_allocs` counter keeps reporting
+/// *logical* rebuilds, which is what the conformance goldens pin).
+#[derive(Debug, Default)]
+pub struct PacketStore {
+    free: Vec<Vec<u8>>,
+    /// Buffers handed out (logical rebuilds served by the arena).
+    pub taken: u64,
+    /// Hand-outs served from the free list rather than a fresh allocation.
+    pub recycled: u64,
+}
+
+/// Free-list depth cap: past this the arena stops hoarding. Generous
+/// relative to realistic in-flight packet counts; it only bounds pathology.
+const STORE_MAX_FREE: usize = 4096;
+
+impl PacketStore {
+    /// Fresh empty arena.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Get an empty buffer, reusing a recycled one when available.
+    pub fn take(&mut self) -> Vec<u8> {
+        self.taken += 1;
+        match self.free.pop() {
+            Some(buf) => {
+                self.recycled += 1;
+                buf
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Return a buffer to the free list (cleared, capacity kept).
+    pub fn recycle(&mut self, mut buf: Vec<u8>) {
+        if self.free.len() < STORE_MAX_FREE && buf.capacity() > 0 {
+            buf.clear();
+            self.free.push(buf);
+        }
+    }
+
+    /// Buffers currently parked in the free list.
+    pub fn free_len(&self) -> usize {
+        self.free.len()
+    }
+}
+
 /// A simulated packet: bytes plus metadata.
 ///
-/// The payload is a shared immutable buffer (`Arc<[u8]>`): cloning a packet
-/// — the hot multicast/TM2 replication path — only bumps a refcount instead
-/// of copying bytes. Mutation (deparse writeback, fault corruption) builds a
-/// fresh buffer and swaps it in.
+/// The payload is a [`FrameBuf`]: owned along the straight-line pipeline
+/// path (so deparse writeback can recycle buffers through a
+/// [`PacketStore`]), converted to shared refcounted bytes once when a
+/// multicast fan-out is about to clone it.
 #[derive(Debug, Clone)]
 pub struct Packet {
-    /// Frame contents (headers followed by payload). Cheap to clone.
-    pub data: Arc<[u8]>,
+    /// Frame contents (headers followed by payload).
+    pub data: FrameBuf,
     /// Simulation bookkeeping.
     pub meta: PacketMeta,
 }
 
 impl Packet {
     /// Build a packet from raw bytes.
-    pub fn new(id: u64, flow: FlowId, data: impl Into<Arc<[u8]>>) -> Self {
+    pub fn new(id: u64, flow: FlowId, data: impl Into<FrameBuf>) -> Self {
         Packet {
             data: data.into(),
             meta: PacketMeta::new(id, flow),

@@ -411,6 +411,15 @@ impl JourneyTracer {
         self.enabled && sample_hash(pkt).is_multiple_of(self.sample)
     }
 
+    /// Can hop-span recording retain anything at all? Hot paths branch on
+    /// this before computing per-hop context (queue depths, buffer
+    /// occupancy), making a disabled tracer cost one predictable branch
+    /// per call site instead of the context computation.
+    #[inline]
+    pub fn hops_on(&self) -> bool {
+        self.enabled && self.capacity > 0
+    }
+
     /// Record one hop span for a packet (kept only if sampled).
     pub fn record_hop(&mut self, pkt: u64, site: Site, enter: SimTime, exit: SimTime, ctx: HopCtx) {
         if !self.samples(pkt) || self.capacity == 0 {
@@ -820,7 +829,9 @@ mod tests {
         assert!(kept.len() < 1000, "sampling must actually thin the ring");
         assert_eq!(t.traced_packets(), kept);
         // Drops of unsampled packets still reach the forensics stores.
-        let unsampled = (0..1000u64).find(|id| !sample_hash(*id).is_multiple_of(n)).unwrap();
+        let unsampled = (0..1000u64)
+            .find(|id| !sample_hash(*id).is_multiple_of(n))
+            .unwrap();
         t.record_drop(
             SimTime(7),
             unsampled,
