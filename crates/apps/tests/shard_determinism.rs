@@ -68,6 +68,39 @@ fn dbshuffle_identical_across_worker_counts() {
     }
 }
 
+/// The fabric extension of the same contract: six switches, each its own
+/// event loop with sharded central pulls, lockstep-coupled by links. The
+/// complete serialized `FabricReport` — per-device counters, per-link
+/// stats, and digests over every delivered frame and every central
+/// register cell fabric-wide — must be byte-identical for any worker
+/// count, per seed.
+#[test]
+fn fabric_report_identical_across_worker_counts() {
+    for seed in [5u64, 21] {
+        let mut reports = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let cfg = adcp_fabric::FabricConfig {
+                switch: adcp_core::AdcpConfig {
+                    central_workers: workers,
+                    ..Default::default()
+                },
+                ..Default::default()
+            };
+            let (demo, report) = adcp_fabric::run_demo_with_report(seed, 400, cfg);
+            assert!(demo.correct, "fabric seed {seed} workers {workers}");
+            reports.push(json(&report));
+        }
+        assert_eq!(
+            reports[0], reports[1],
+            "fabric seed {seed}: 1 vs 2 workers diverged"
+        );
+        assert_eq!(
+            reports[0], reports[2],
+            "fabric seed {seed}: 1 vs 4 workers diverged"
+        );
+    }
+}
+
 /// The hard case: live repartitioning interleaves with sharded execution.
 /// The switch must serialize exactly while fences are in flight and may
 /// shard in between — the whole run, including migration protocol stats

@@ -1,7 +1,7 @@
 //! E-C1 — the differential conformance harness (see `EXPERIMENTS.md`).
 //!
 //! ```text
-//! conformance [--cases N] [--seed S] [--quick] [--migrate] [--out DIR]
+//! conformance [--cases N] [--seed S] [--quick] [--migrate] [--fabric] [--out DIR]
 //! conformance --replay PATH
 //! ```
 //!
@@ -18,12 +18,21 @@
 //! byte-identical to the never-migrated reference. The fault phase then
 //! repeats the migration under drop/corrupt/delay faults.
 //!
+//! `--fabric` runs every case on a 2-spine × 4-leaf fabric of ADCP switches
+//! as well: the program's global partitioned area is split across the
+//! leaves by key range, and delivered frames, filtered counts, and the
+//! merged register state must agree with the one-big-switch reference
+//! bit-for-bit (see `EXPERIMENTS.md` E-F1).
+//!
 //! `CONFORMANCE_BUG=swap-add-max` arms the test-only sabotage hook (the
 //! ADCP target's register Adds and Maxes are swapped) to prove the harness
 //! catches and shrinks a real semantic bug.
 //! `CONFORMANCE_BUG=lose-drop-forensics` instead loses every other drop's
 //! journey-tracer forensic record on the ADCP target, which the
 //! forensics↔counter cross-check must flag.
+//! `CONFORMANCE_BUG=misroute-boundary-key` (with `--fabric`) makes the
+//! fabric steer every key at an ownership boundary to the wrong leaf (an
+//! off-by-one range split), which the register merge/leak checks must flag.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -34,6 +43,7 @@ fn parse_bug() -> BugHook {
     match std::env::var("CONFORMANCE_BUG").as_deref() {
         Ok("swap-add-max") => BugHook::SwapAddMax,
         Ok("lose-drop-forensics") => BugHook::LoseDropForensics,
+        Ok("misroute-boundary-key") => BugHook::MisrouteBoundaryKey,
         Ok(other) if !other.is_empty() => {
             eprintln!("conformance: unknown CONFORMANCE_BUG {other:?}, ignoring");
             BugHook::None
@@ -63,11 +73,12 @@ fn main() -> ExitCode {
             }
             "--quick" => cfg.quick = true,
             "--migrate" => cfg.migrate = true,
+            "--fabric" => cfg.fabric = true,
             "--out" => cfg.out_dir = PathBuf::from(value("--out")),
             "--replay" => replay_path = Some(PathBuf::from(value("--replay"))),
             other => {
                 eprintln!("conformance: unknown argument {other:?}");
-                eprintln!("usage: conformance [--cases N] [--seed S] [--quick] [--migrate] [--out DIR] [--replay PATH]");
+                eprintln!("usage: conformance [--cases N] [--seed S] [--quick] [--migrate] [--fabric] [--out DIR] [--replay PATH]");
                 return ExitCode::FAILURE;
             }
         }

@@ -37,6 +37,18 @@
 //! owns it to, and no packet may be dequeued at a stale-epoch pipe. RMT
 //! targets are skipped in migrate mode (they have no partitioned area).
 //!
+//! The `--fabric` mode stretches the same differential check across a
+//! *leaf–spine fabric*: generation is constrained to the partitioned-area
+//! convention (steer on `idx`, register cells indexed by `idx` only, two
+//! scratch header fields for the placement pass), and each case additionally
+//! runs on a 2-spine × 4-leaf [`Fabric`] of ADCP switches whose global
+//! partitioned area is split across the leaves by key range. Delivered
+//! frames, filtered counts, FCS rejections, and the *merged* final register
+//! state must agree with the one-big-switch reference bit-for-bit, no cell
+//! may leak onto a non-owner leaf, and packet conservation must hold
+//! fabric-wide (MAT lookup counts are excluded: transit hops look tables up
+//! by design). RMT targets are skipped in fabric mode.
+//!
 //! On a mismatch the failing [`CaseSpec`] is *shrunk* (fewer packets, fewer
 //! entries, fewer tables, narrower arrays, no faults) while the failure
 //! reproduces, and the minimal spec is written to a replayable
@@ -48,9 +60,10 @@
 use std::path::{Path, PathBuf};
 
 use adcp_core::{AdcpConfig, AdcpSwitch, MigrationStrategy, PartitionMap};
+use adcp_fabric::{plan_owners, Fabric, FabricConfig, FabricError};
 use adcp_lang::{
-    deparse, ActionDef, ActionOp, BinOp, CompileOptions, Entry, FieldDef, FieldId, FieldRef,
-    HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
+    deparse, ActionDef, ActionOp, BinOp, CompileOptions, Entry, FabricSpec, FieldDef, FieldId,
+    FieldRef, HeaderDef, HeaderId, KeySpec, MatchKind, MatchValue, Operand, ParserSpec, Program,
     ProgramBuilder, RegAluOp, RegId, Region, RegionState, RegisterDef, RmtCentralStrategy,
     TableDef, TargetModel,
 };
@@ -71,6 +84,11 @@ const GAP_NS: u64 = 10_000;
 /// Ports the workload draws from (all < the smallest target's port count,
 /// and all in RMT pipe 0 so recirculated state stays on one pipe).
 const WORKLOAD_PORTS: u16 = 8;
+/// Fabric shape for `--fabric` cases: 4 leaves × 2 spines × 2 host ports
+/// per leaf = exactly [`WORKLOAD_PORTS`] logical host ports.
+const FABRIC_LEAVES: u32 = 4;
+const FABRIC_SPINES: u32 = 2;
+const FABRIC_HOSTS_PER_LEAF: u32 = 2;
 
 // ---------------------------------------------------------------------------
 // Case specification (the shrink surface)
@@ -133,6 +151,9 @@ pub struct CaseSpec {
     pub fault: Option<FaultKnobs>,
     /// Mid-workload live repartitioning; `None` = no migration.
     pub migrate: Option<MigrateKnobs>,
+    /// Also run the case on a leaf–spine fabric and require agreement with
+    /// the one-big-switch reference. Mutually exclusive with `migrate`.
+    pub fabric: bool,
 }
 
 /// Why a case did not produce a verdict.
@@ -219,7 +240,10 @@ fn gen_regop(rng: &mut SimRng) -> RegAluOp {
 /// A random stateless op. Drop/MarkDrop/IfEq are only legal in ingress
 /// match tables (they run before the route table asserts the forwarding
 /// decision, so a drop consistently short-circuits on every target).
-fn gen_stateless_op(rng: &mut SimRng, f: &Fields, allow_drop: bool) -> ActionOp {
+/// `keep_steer` (fabric mode, pre-egress regions) redirects the `idx`
+/// rewrite onto `val`: the placement pass steers on `idx`, so nothing may
+/// rewrite it before the forwarding decision is made.
+fn gen_stateless_op(rng: &mut SimRng, f: &Fields, allow_drop: bool, keep_steer: bool) -> ActionOp {
     if allow_drop && rng.chance(0.15) {
         return if rng.chance(0.5) {
             ActionOp::Drop
@@ -238,12 +262,15 @@ fn gen_stateless_op(rng: &mut SimRng, f: &Fields, allow_drop: bool) -> ActionOp 
             a: Operand::Field(f.val),
             b: gen_operand(rng, f),
         },
-        2 => ActionOp::Bin {
-            dst: f.idx,
-            op: gen_binop(rng),
-            a: Operand::Field(f.idx),
-            b: Operand::Const(rng.range(0u64..16)),
-        },
+        2 => {
+            let dst = if keep_steer { f.val } else { f.idx };
+            ActionOp::Bin {
+                dst,
+                op: gen_binop(rng),
+                a: Operand::Field(dst),
+                b: Operand::Const(rng.range(0u64..16)),
+            }
+        }
         3 => ActionOp::Hash {
             dst: f.val,
             fields: vec![f.key, f.op],
@@ -264,12 +291,12 @@ fn gen_stateless_op(rng: &mut SimRng, f: &Fields, allow_drop: bool) -> ActionOp 
     }
 }
 
-/// A random stateful op over `reg` (central region only). In migrate mode
-/// the index is always `idx` — the partitioned-area convention that cell
-/// `c` belongs to partition key `c`, which is what lets a migration know
-/// which cells move.
-fn gen_register_op(rng: &mut SimRng, f: &Fields, reg: RegId, migrate_mode: bool) -> ActionOp {
-    let index = if migrate_mode || rng.chance(0.7) {
+/// A random stateful op over `reg` (central region only). In migrate and
+/// fabric modes the index is always `idx` — the partitioned-area convention
+/// that cell `c` belongs to partition key `c`, which is what lets a
+/// migration (or the fabric's key-range split) know where cells live.
+fn gen_register_op(rng: &mut SimRng, f: &Fields, reg: RegId, partitioned: bool) -> ActionOp {
+    let index = if partitioned || rng.chance(0.7) {
         Operand::Field(f.idx)
     } else {
         Operand::Const(rng.range(0u64..REG_CELLS as u64))
@@ -400,16 +427,22 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
         .filter(|w| *w <= spec.max_array.max(1))
         .collect();
     let arr_width = widths[rng.index(widths.len())];
-    let header = HeaderDef::new(
-        "h",
-        vec![
-            FieldDef::scalar("op", 8),
-            FieldDef::scalar("key", key_bits),
-            FieldDef::scalar("idx", 16),
-            FieldDef::scalar("val", 32),
-            FieldDef::array("arr", 32, arr_width),
-        ],
-    );
+    // Fabric cases carry two extra scratch fields the placement pass owns:
+    // the hop phase and the composite steering key. The workload leaves them
+    // zero and the fabric clears them again before delivery, so frames stay
+    // byte-comparable with the non-fabric targets.
+    let mut field_defs = vec![
+        FieldDef::scalar("op", 8),
+        FieldDef::scalar("key", key_bits),
+        FieldDef::scalar("idx", 16),
+        FieldDef::scalar("val", 32),
+        FieldDef::array("arr", 32, arr_width),
+    ];
+    if spec.fabric {
+        field_defs.push(FieldDef::scalar("fphase", 8));
+        field_defs.push(FieldDef::scalar("fgk", 16));
+    }
+    let header = HeaderDef::new("h", field_defs);
     let fr = |i: u16| FieldRef::new(HeaderId(0), FieldId(i));
     let fields = Fields {
         op: fr(0),
@@ -419,13 +452,14 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
         arr: fr(4),
     };
 
-    // -- Shape draws. Migrate mode forbids the array table: array ops span
-    //    `[base, base+w)` cells, which breaks the cell-per-partition-key
-    //    convention a migration relies on to know which cells move.
-    let migrate_mode = spec.migrate.is_some();
+    // -- Shape draws. Migrate and fabric modes forbid the array table:
+    //    array ops span `[base, base+w)` cells, which breaks the
+    //    cell-per-partition-key convention a migration (or a cross-leaf
+    //    key-range split) relies on to know where cells live.
+    let partitioned = spec.migrate.is_some() || spec.fabric;
     let n_ingress = rng.range(1usize..=(spec.max_tables.clamp(1, 3) as usize));
     let n_state = rng.range(1usize..=2);
-    let use_array_table = arr_width > 1 && rng.chance(0.7) && !migrate_mode;
+    let use_array_table = arr_width > 1 && rng.chance(0.7) && !partitioned;
     let use_egress_table = rng.chance(0.6);
 
     let mut b = ProgramBuilder::new("conformance");
@@ -445,7 +479,7 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
             .map(|a| {
                 let n_ops = rng.range(1usize..=3);
                 let ops = (0..n_ops)
-                    .map(|_| gen_stateless_op(&mut rng, &fields, true))
+                    .map(|_| gen_stateless_op(&mut rng, &fields, true, spec.fabric))
                     .collect();
                 ActionDef::new(format!("i{t}a{a}"), ops)
             })
@@ -486,7 +520,7 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
     //    spreads across pipes and a live map change has something to move.
     //    Either way egress is port 0. (The recirculating twin appends
     //    `Recirculate` here.)
-    let route_ops = if migrate_mode {
+    let route_ops = if partitioned {
         vec![
             ActionOp::Bin {
                 dst: fields.idx,
@@ -542,7 +576,7 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
             .map(|a| {
                 let n_ops = rng.range(1usize..=2);
                 let ops = (0..n_ops)
-                    .map(|_| gen_register_op(&mut rng, &fields, reg, migrate_mode))
+                    .map(|_| gen_register_op(&mut rng, &fields, reg, partitioned))
                     .collect();
                 ActionDef::new(format!("s{t}a{a}"), ops)
             })
@@ -619,7 +653,7 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
     if use_egress_table {
         let n_ops = rng.range(1usize..=2);
         let ops = (0..n_ops)
-            .map(|_| gen_stateless_op(&mut rng, &fields, false))
+            .map(|_| gen_stateless_op(&mut rng, &fields, false, false))
             .collect();
         b.table(TableDef {
             name: "etbl".into(),
@@ -657,7 +691,11 @@ fn gen_case(spec: &CaseSpec) -> GenCase {
         };
         dep(&mut buf, 0, 0, 8, rng.range(0u64..4));
         dep(&mut buf, 1, 0, key_bits, key);
-        dep(&mut buf, 2, 0, 16, rng.range(0u64..80));
+        // Fabric cases keep `idx` inside the steering key space: the
+        // composite key is computed from the raw field at the first hop,
+        // before the route table's mask runs.
+        let idx_cap = if spec.fabric { REG_CELLS as u64 } else { 80 };
+        dep(&mut buf, 2, 0, 16, rng.range(0u64..idx_cap));
         dep(&mut buf, 3, 0, 32, rng.u64() & 0xFFFF_FFFF);
         for e in 0..arr_width {
             dep(&mut buf, 4, e, 32, rng.u64() & 0xFFFF_FFFF);
@@ -895,6 +933,11 @@ pub enum BugHook {
     /// "drops without recording" bug the journey tracer's forensics↔
     /// counter cross-check exists to catch.
     LoseDropForensics,
+    /// Shift every ownership boundary by one key in the map the *fabric*
+    /// steers by (the merge/leak checks keep the true map) — the classic
+    /// off-by-one range-split bug. Only fabric cases can see it; the
+    /// register merge and leak checks must flag it.
+    MisrouteBoundaryKey,
 }
 
 fn swap_add_max_ops(ops: &mut [ActionOp]) {
@@ -1315,8 +1358,199 @@ fn run_rmt(
     .map_err(CaseError::Mismatch)
 }
 
-/// Diff two outcomes; `Err` pinpoints the first disagreement.
-fn compare(name: &str, reference: &Outcome, got: &Outcome) -> Result<(), String> {
+/// Seeded per-key load profile → leaf ownership for a fabric case, through
+/// the same LPT planner the §3.1 control plane uses: key ranges split
+/// unevenly but deterministically per seed.
+fn fabric_owners(seed: u64) -> Vec<u32> {
+    let mut rng = SimRng::seed_from(seed ^ 0xFAB5_EED5);
+    let loads: Vec<u64> = (0..REG_CELLS).map(|_| rng.range(1u64..100)).collect();
+    plan_owners(REG_CELLS as u64, FABRIC_LEAVES, &loads)
+}
+
+/// The `MisrouteBoundaryKey` sabotage: every key whose owner differs from
+/// its predecessor's keeps the predecessor's owner instead — the range
+/// split's off-by-one, applied at every boundary. Falls back to flipping
+/// key 0 on a single-owner map.
+fn misrouted(owners: &[u32]) -> Vec<u32> {
+    let mut bad = owners.to_vec();
+    let mut moved = false;
+    for i in 1..bad.len() {
+        if owners[i] != owners[i - 1] {
+            bad[i] = owners[i - 1];
+            moved = true;
+        }
+    }
+    if !moved {
+        bad[0] = (bad[0] + 1) % FABRIC_LEAVES;
+    }
+    bad
+}
+
+/// Run the case on the leaf–spine fabric: the one logical program is split
+/// across [`FABRIC_LEAVES`] leaves by key range on `idx` (spines forward
+/// between them), the workload enters at the leaf owning each logical host
+/// port, and the outcome is assembled fabric-wide — delivered host frames,
+/// summed filtered/FCS counts, and the per-cell register merge across the
+/// owner leaves. Under [`BugHook::MisrouteBoundaryKey`] the fabric *steers*
+/// by a perturbed ownership map while the merge and leak checks keep the
+/// true one, so the sabotage must surface as a register mismatch or leak.
+fn run_fabric(
+    case: &GenCase,
+    prepared: &[PreparedPacket],
+    spec: &CaseSpec,
+    bug: BugHook,
+) -> Result<Outcome, CaseError> {
+    let fr = |i: u16| FieldRef::new(HeaderId(0), FieldId(i));
+    let owners = fabric_owners(spec.seed);
+    let steer_owners = if bug == BugHook::MisrouteBoundaryKey {
+        misrouted(&owners)
+    } else {
+        owners.clone()
+    };
+    let fspec = FabricSpec {
+        n_leaves: FABRIC_LEAVES,
+        n_spines: FABRIC_SPINES,
+        hosts_per_leaf: FABRIC_HOSTS_PER_LEAF,
+        phase_field: fr(5),
+        gk_field: fr(6),
+        steer_field: fr(2),
+        key_space: REG_CELLS as u64,
+        owners: steer_owners,
+        delivery_port: 0,
+    };
+    let program = apply_bug(case.program.clone(), bug);
+    let mut fabric =
+        Fabric::new(&program, fspec, FabricConfig::default()).map_err(|e| match e {
+            // A placement rejection means the fabric-mode generator constraints
+            // slipped — a harness bug, not a skip.
+            FabricError::Place(p) => {
+                CaseError::Mismatch(format!("fabric: placement rejected: {p:?}"))
+            }
+            FabricError::Compile(c) => CaseError::Skip(format!("fabric compile: {c:?}")),
+            FabricError::Install {
+                device,
+                table,
+                error,
+            } => CaseError::Mismatch(format!("fabric: install of {table} on {device}: {error:?}")),
+        })?;
+    for (name, entry) in &case.installs {
+        fabric
+            .install_all(name, entry.clone())
+            .map_err(|e| CaseError::Mismatch(format!("fabric install into {name}: {e:?}")))?;
+    }
+    for p in prepared {
+        if !p.link_dropped {
+            fabric.inject(p.port as u32, p.pkt.clone(), p.at);
+        }
+    }
+    fabric.run_until_idle();
+    fabric.check_conservation();
+
+    // Per-device sanity, plus the fabric-wide sums the comparison uses.
+    let (mut filtered, mut fcs_drops, mut lookups, mut hits, mut total_drops) = (0, 0, 0, 0, 0);
+    let n_leaves = fabric.n_leaves();
+    for i in 0..n_leaves + fabric.n_spines() {
+        let (name, sw) = if i < n_leaves {
+            (format!("leaf{i}"), fabric.leaf(i))
+        } else {
+            (format!("spine{}", i - n_leaves), fabric.spine(i - n_leaves))
+        };
+        let c = &sw.counters;
+        if c.parse_errors != 0 {
+            return Err(CaseError::Mismatch(format!(
+                "fabric {name}: {} unexpected parse errors",
+                c.parse_errors
+            )));
+        }
+        if c.no_decision != 0 || c.bad_port != 0 {
+            return Err(CaseError::Mismatch(format!(
+                "fabric {name}: forwarding fell through (no_decision={}, bad_port={})",
+                c.no_decision, c.bad_port
+            )));
+        }
+        if c.tm1_drops + c.tm1_queue_drops + c.tm2_drops + c.tm2_queue_drops != 0 {
+            return Err(CaseError::Mismatch(format!(
+                "fabric {name}: unexpected TM/queue drops"
+            )));
+        }
+        if c.mcast_copies != 0 {
+            return Err(CaseError::Mismatch(format!(
+                "fabric {name}: {} unexpected multicast copies",
+                c.mcast_copies
+            )));
+        }
+        filtered += c.filtered;
+        fcs_drops += c.fcs_drops;
+        lookups += c.mat_lookups;
+        hits += c.mat_hits;
+        total_drops += c.total_drops();
+    }
+    // Host-level conservation: every transit crossing adds one delivery on
+    // the sender and one injection on the receiver, so the per-hop terms
+    // cancel and the host-port identity holds fabric-wide.
+    if fabric.host_injected() != fabric.host_delivered() + total_drops {
+        return Err(CaseError::Mismatch(format!(
+            "fabric: conservation violated: host_injected={} != host_delivered={} + drops={}",
+            fabric.host_injected(),
+            fabric.host_delivered(),
+            total_drops
+        )));
+    }
+
+    // Register state: no cell may hold a nonzero value on a non-owner leaf
+    // (by the *true* map), and the comparison value is the per-cell merge
+    // read from each cell's true owner.
+    for reg in &case.state_regs {
+        if let Some((leaf, cell, v)) = fabric
+            .register_leaks_with(&owners, *reg, REG_CELLS as usize)
+            .first()
+        {
+            return Err(CaseError::Mismatch(format!(
+                "fabric: register {reg:?} cell {cell} has value {v} on non-owner leaf{leaf}"
+            )));
+        }
+    }
+    let regs = case
+        .state_regs
+        .iter()
+        .map(|r| fabric.merged_register_with(&owners, *r, REG_CELLS as usize))
+        .collect();
+
+    let mut delivered = Vec::new();
+    for d in fabric.take_delivered() {
+        let pkt = Packet {
+            data: d.data.clone(),
+            meta: d.meta.clone(),
+        };
+        if !pkt.fcs_ok() {
+            return Err(CaseError::Mismatch(format!(
+                "fabric: delivered packet {} was not re-sealed",
+                d.meta.id
+            )));
+        }
+        delivered.push((d.meta.id, d.port.0, d.data.to_vec()));
+    }
+    delivered.sort_by_key(|(id, _, _)| *id);
+    if delivered.len() as u64 != fabric.host_delivered() {
+        return Err(CaseError::Mismatch(
+            "fabric: delivered count disagrees with counter".into(),
+        ));
+    }
+    Ok(Outcome {
+        delivered,
+        filtered,
+        fcs_drops,
+        lookups,
+        hits,
+        regs,
+    })
+}
+
+/// Diff two outcomes; `Err` pinpoints the first disagreement. `check_mat`
+/// is off for the fabric target: transit hops perform extra (inert) table
+/// lookups on every device, so lookup/hit counts legitimately differ from
+/// the one-big-switch targets.
+fn compare(name: &str, reference: &Outcome, got: &Outcome, check_mat: bool) -> Result<(), String> {
     if got.filtered != reference.filtered {
         return Err(format!(
             "{name}: filtered {} != reference {}",
@@ -1329,7 +1563,7 @@ fn compare(name: &str, reference: &Outcome, got: &Outcome) -> Result<(), String>
             got.fcs_drops, reference.fcs_drops
         ));
     }
-    if got.lookups != reference.lookups || got.hits != reference.hits {
+    if check_mat && (got.lookups != reference.lookups || got.hits != reference.hits) {
         return Err(format!(
             "{name}: mat lookups/hits {}/{} != reference {}/{}",
             got.lookups, got.hits, reference.lookups, reference.hits
@@ -1370,6 +1604,11 @@ fn compare(name: &str, reference: &Outcome, got: &Outcome) -> Result<(), String>
 /// Run one spec end to end: generate, execute on all four targets, compare,
 /// and (under faults) check the degradation invariants.
 pub fn run_spec(spec: &CaseSpec, bug: BugHook) -> Result<(), CaseError> {
+    if spec.fabric && spec.migrate.is_some() {
+        return Err(CaseError::Skip(
+            "fabric and migrate modes are mutually exclusive".into(),
+        ));
+    }
     let case = gen_case(spec);
     let errs = case.program.validate();
     if !errs.is_empty() {
@@ -1420,29 +1659,58 @@ pub fn run_spec(spec: &CaseSpec, bug: BugHook) -> Result<(), CaseError> {
                 step: None,
             }),
         )?;
-        compare("adcp-partitioned", &reference, &base).map_err(CaseError::Mismatch)?;
+        compare("adcp-partitioned", &reference, &base, true).map_err(CaseError::Mismatch)?;
         for strategy in strategies(mk.strategy_sel) {
             let plan = MigratePlan {
                 initial: &initial,
                 step: Some((&next, strategy, at)),
             };
             let got = run_adcp(&case, &prepared, bug, Some(&plan))?;
-            compare(&format!("adcp-migrate-{strategy:?}"), &reference, &got)
-                .map_err(CaseError::Mismatch)?;
+            compare(
+                &format!("adcp-migrate-{strategy:?}"),
+                &reference,
+                &got,
+                true,
+            )
+            .map_err(CaseError::Mismatch)?;
         }
         return Ok(());
     }
 
+    if spec.fabric {
+        // Fabric mode: the partitioned route spreads state across central
+        // pipes, so the single-big-switch ADCP run carries a uniform
+        // partition map (never migrated); the fabric must then agree with
+        // the same reference — minus the MAT counters that transit hops
+        // inflate by design. RMT targets are skipped (no partitioned area
+        // to split, and the scratch fields are meaningless to them).
+        let n_pipes = u32::from(TargetModel::adcp_reference().central_pipes);
+        let initial = PartitionMap::uniform(REG_CELLS, n_pipes);
+        let single = run_adcp(
+            &case,
+            &prepared,
+            bug,
+            Some(&MigratePlan {
+                initial: &initial,
+                step: None,
+            }),
+        )?;
+        compare("adcp-partitioned", &reference, &single, true).map_err(CaseError::Mismatch)?;
+        let fab = run_fabric(&case, &prepared, spec, bug)?;
+        compare("fabric", &reference, &fab, false).map_err(CaseError::Mismatch)?;
+        return Ok(());
+    }
+
     let adcp = run_adcp(&case, &prepared, bug, None)?;
-    compare("adcp", &reference, &adcp).map_err(CaseError::Mismatch)?;
+    compare("adcp", &reference, &adcp, true).map_err(CaseError::Mismatch)?;
     if case.has_array_actions {
         // §3.2 separation: scalar MAUs must refuse array action ops.
         assert_rmt_rejects(&case)?;
     } else {
         let pinned = run_rmt(&case, &prepared, SwitchTarget::RmtPinned)?;
-        compare("rmt-pinned", &reference, &pinned).map_err(CaseError::Mismatch)?;
+        compare("rmt-pinned", &reference, &pinned, true).map_err(CaseError::Mismatch)?;
         let recirc = run_rmt(&case, &prepared, SwitchTarget::RmtRecirc)?;
-        compare("rmt-recirc", &reference, &recirc).map_err(CaseError::Mismatch)?;
+        compare("rmt-recirc", &reference, &recirc, true).map_err(CaseError::Mismatch)?;
     }
     Ok(())
 }
@@ -1630,6 +1898,8 @@ pub fn spec_from_value(v: &serde_json::Value) -> Result<CaseSpec, String> {
         max_tables: field("max_tables")? as u32,
         fault,
         migrate,
+        // Absent in pre-fabric artifacts: default to the one-switch mode.
+        fabric: v.get("fabric").and_then(|x| x.as_bool()).unwrap_or(false),
     })
 }
 
@@ -1684,6 +1954,10 @@ pub struct RunConfig {
     /// Soak the §3.1 control plane: every case runs partitioned, with a
     /// seeded mid-workload repartitioning under both strategies.
     pub migrate: bool,
+    /// Soak the leaf–spine fabric: every case also runs split across a
+    /// 2-spine × 4-leaf fabric and must agree with the one-big-switch
+    /// reference. Mutually exclusive with `migrate` (fabric wins).
+    pub fabric: bool,
     /// Where failure artifacts are written.
     pub out_dir: PathBuf,
 }
@@ -1696,6 +1970,7 @@ impl Default for RunConfig {
             quick: false,
             bug: BugHook::None,
             migrate: false,
+            fabric: false,
             out_dir: PathBuf::from("."),
         }
     }
@@ -1751,10 +2026,11 @@ fn case_spec(cfg: &RunConfig, i: u32) -> CaseSpec {
         max_array: 8,
         max_tables: 3,
         fault: None,
-        migrate: cfg.migrate.then(|| MigrateKnobs {
+        migrate: (cfg.migrate && !cfg.fabric).then(|| MigrateKnobs {
             strategy_sel: 2,
             at_pm: 250 + (i % 3) * 250,
         }),
+        fabric: cfg.fabric,
     }
 }
 
@@ -1847,6 +2123,7 @@ mod tests {
             quick: true,
             bug,
             migrate: false,
+            fabric: false,
             out_dir: std::env::temp_dir().join("conformance-unit"),
         }
     }
@@ -1911,10 +2188,21 @@ mod tests {
                 strategy_sel: 2,
                 at_pm: 500,
             }),
+            fabric: false,
         };
         let text = serde_json::to_string(&spec_to_value(&spec)).unwrap();
         let back = spec_from_value(&serde_json::from_str(&text).unwrap()).unwrap();
         assert_eq!(back, spec);
+        let fab = CaseSpec {
+            migrate: None,
+            fabric: true,
+            ..spec
+        };
+        let text = serde_json::to_string(&spec_to_value(&fab)).unwrap();
+        assert_eq!(
+            spec_from_value(&serde_json::from_str(&text).unwrap()).unwrap(),
+            fab
+        );
         let clean = CaseSpec {
             fault: None,
             migrate: None,
@@ -1950,6 +2238,70 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn fabric_cases_pass_clean_and_under_faults() {
+        let cfg = RunConfig {
+            fabric: true,
+            ..tiny_cfg(0xFAB_C0DE, 4, BugHook::None)
+        };
+        for i in 0..4 {
+            let spec = case_spec(&cfg, i);
+            assert!(spec.fabric && spec.migrate.is_none());
+            if let Err(CaseError::Mismatch(e)) = run_spec(&spec, BugHook::None) {
+                panic!("fabric case {i} (seed {:#x}) mismatched: {e}", spec.seed);
+            }
+            let fault_spec = CaseSpec {
+                fault: Some(soak_knobs()),
+                ..spec
+            };
+            if let Err(CaseError::Mismatch(e)) = run_spec(&fault_spec, BugHook::None) {
+                panic!(
+                    "fabric case {i} (seed {:#x}) fault phase mismatched: {e}",
+                    spec.seed
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fabric_mode_catches_misrouted_boundary_keys() {
+        // Mis-steering a single boundary key must surface as a register
+        // mismatch or a leak onto a non-owner leaf, and the shrinker must
+        // keep a fabric spec that still reproduces it. A workload only
+        // trips the bug when some packet's `idx` hits the flipped key, so
+        // scan a few cases.
+        let cfg = RunConfig {
+            fabric: true,
+            ..tiny_cfg(0xFAB_BAD5EED, 24, BugHook::MisrouteBoundaryKey)
+        };
+        let mut caught = None;
+        for i in 0..24 {
+            let spec = case_spec(&cfg, i);
+            if let Err(CaseError::Mismatch(e)) = run_spec(&spec, BugHook::MisrouteBoundaryKey) {
+                caught = Some((spec, e));
+                break;
+            }
+        }
+        let (spec, err) = caught.expect("misrouted boundary key must surface within a few cases");
+        assert!(
+            err.contains("fabric"),
+            "sabotage must be flagged on the fabric target: {err}"
+        );
+        let (shrunk, final_err) = shrink(&spec, BugHook::MisrouteBoundaryKey, err);
+        assert!(shrunk.fabric, "shrinking must preserve the fabric mode");
+        assert!(matches!(
+            run_spec(&shrunk, BugHook::MisrouteBoundaryKey),
+            Err(CaseError::Mismatch(_))
+        ));
+        assert!(!final_err.is_empty());
+        assert!(shrunk.max_packets <= spec.max_packets);
+        // The identical spec is clean without the sabotage.
+        assert!(!matches!(
+            run_spec(&shrunk, BugHook::None),
+            Err(CaseError::Mismatch(_))
+        ));
     }
 
     #[test]

@@ -38,10 +38,30 @@ pub struct SnapshotRow {
     pub correct: bool,
 }
 
+/// The slice of a run the snapshot suite actually measures — lets the
+/// suite mix Table 1 app reports with fabric demo reports.
+struct Measured {
+    target: String,
+    injected: u64,
+    delivered: u64,
+    correct: bool,
+}
+
+impl From<AppReport> for Measured {
+    fn from(r: AppReport) -> Self {
+        Measured {
+            target: r.target,
+            injected: r.injected,
+            delivered: r.delivered,
+            correct: r.correct,
+        }
+    }
+}
+
 type Job = (
     &'static str,
     TargetKind,
-    Box<dyn Fn() -> AppReport + Send + Sync>,
+    Box<dyn Fn() -> Measured + Send + Sync>,
 );
 
 fn suite_jobs(quick: bool) -> Vec<Job> {
@@ -60,7 +80,11 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     };
     for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
         let ps = ps.clone();
-        jobs.push(("paramserv", k, Box::new(move || paramserv::run(k, &ps))));
+        jobs.push((
+            "paramserv",
+            k,
+            Box::new(move || paramserv::run(k, &ps).into()),
+        ));
     }
 
     let mut db = dbshuffle::DbShuffleCfg::default();
@@ -69,7 +93,11 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     }
     for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
         let db = db.clone();
-        jobs.push(("dbshuffle", k, Box::new(move || dbshuffle::run(k, &db))));
+        jobs.push((
+            "dbshuffle",
+            k,
+            Box::new(move || dbshuffle::run(k, &db).into()),
+        ));
     }
 
     let mut gm = graphmine::GraphMineCfg::default();
@@ -79,7 +107,11 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     }
     for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
         let gm = gm.clone();
-        jobs.push(("graphmine", k, Box::new(move || graphmine::run(k, &gm))));
+        jobs.push((
+            "graphmine",
+            k,
+            Box::new(move || graphmine::run(k, &gm).into()),
+        ));
     }
 
     // Group communication has no central state; its RMT lowering is pinned.
@@ -89,7 +121,11 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     }
     for k in [TargetKind::Adcp, TargetKind::RmtPinned] {
         let gc = gc.clone();
-        jobs.push(("groupcomm", k, Box::new(move || groupcomm::run(k, &gc))));
+        jobs.push((
+            "groupcomm",
+            k,
+            Box::new(move || groupcomm::run(k, &gc).into()),
+        ));
     }
 
     let mut nl = netlock::NetLockCfg::default();
@@ -98,7 +134,7 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     }
     for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
         let nl = nl.clone();
-        jobs.push(("netlock", k, Box::new(move || netlock::run(k, &nl))));
+        jobs.push(("netlock", k, Box::new(move || netlock::run(k, &nl).into())));
     }
 
     let mut kv = kvcache::KvCacheCfg::default();
@@ -107,7 +143,11 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
     }
     for k in [TargetKind::Adcp, TargetKind::RmtPinned] {
         let kv = kv.clone();
-        jobs.push(("kvcache", k, Box::new(move || kvcache::run(k, &kv).report)));
+        jobs.push((
+            "kvcache",
+            k,
+            Box::new(move || kvcache::run(k, &kv).report.into()),
+        ));
     }
 
     // Live repartitioning: the ADCP run includes a mid-workload migration
@@ -122,9 +162,28 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
         jobs.push((
             "partmigrate",
             k,
-            Box::new(move || migrate::run(k, &pm).report),
+            Box::new(move || migrate::run(k, &pm).report.into()),
         ));
     }
+
+    // The leaf–spine fabric demo: six event loops coupled by modeled
+    // links, the placement pass, and cross-switch steering. Tracks how
+    // fast the simulator moves packets through a whole topology rather
+    // than one device.
+    let fab_pkts = if quick { 400 } else { 4_000 };
+    jobs.push((
+        "fabric",
+        TargetKind::Adcp,
+        Box::new(move || {
+            let r = adcp_fabric::run_demo(7, fab_pkts, adcp_fabric::FabricConfig::default());
+            Measured {
+                target: "fabric/2x4".into(),
+                injected: r.injected,
+                delivered: r.delivered,
+                correct: r.correct,
+            }
+        }),
+    ));
     jobs
 }
 
@@ -327,14 +386,19 @@ mod tests {
     #[test]
     fn quick_suite_measures_every_point() {
         let rows = run_suite(true, 1);
-        assert_eq!(rows.len(), 14);
+        assert_eq!(rows.len(), 15);
         for r in &rows {
             assert!(r.wall_ms > 0.0, "{}/{} wall time", r.app, r.target);
             assert!(r.sim_pkts_per_wall_sec > 0.0, "{}/{} rate", r.app, r.target);
             assert!(r.injected > 0);
         }
-        // Both architectures appear for every app.
+        // Both architectures appear for every app, plus the fabric point.
         assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 7);
+        let fab = rows
+            .iter()
+            .find(|r| r.target == "fabric/2x4")
+            .expect("fabric row present");
+        assert!(fab.correct, "fabric demo must verify during measurement");
     }
 
     #[test]

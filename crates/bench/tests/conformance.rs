@@ -17,6 +17,7 @@ fn quick_cfg(name: &str, seed: u64, cases: u32, bug: BugHook) -> RunConfig {
         quick: true,
         bug,
         migrate: false,
+        fabric: false,
         out_dir: out_dir(name),
     }
 }

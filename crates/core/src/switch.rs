@@ -1208,6 +1208,13 @@ impl AdcpSwitch {
         std::mem::take(&mut self.delivered)
     }
 
+    /// Time of the switch's next pending event, if any. A fabric driving
+    /// loop advances every member switch to the global minimum of these
+    /// before exchanging link traffic (see the `adcp-fabric` crate).
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
+    }
+
     /// Packets currently inside the switch.
     pub fn in_flight(&self) -> u64 {
         self.in_flight

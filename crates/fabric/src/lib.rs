@@ -1,0 +1,834 @@
+//! # adcp-fabric — a leaf–spine network of ADCP switches
+//!
+//! Every experiment below this crate runs **one** switch in isolation; the
+//! paper's ambition (and ROADMAP item 2) is a network. This crate wires
+//! [`adcp_core::AdcpSwitch`] instances into a leaf–spine fabric:
+//!
+//! * **Topology** — `n_leaves` leaf switches host the endpoints (ports
+//!   `0..hosts_per_leaf` per leaf) and connect to every one of `n_spines`
+//!   spine switches; the spines are stateless gk-range routers.
+//! * **Links** — [`adcp_sim::Link`]: store-and-forward serialization at the
+//!   link rate plus strictly positive propagation latency, with FCS-sealed
+//!   frames re-verified by the receiving switch's RX stage.
+//! * **Placement** — [`adcp_lang::fabric::place`] splits one logical
+//!   program's global partitioned area across the leaves by steer-key
+//!   range; ownership comes from the same `adcp-ctrl` planners that
+//!   balance central pipelines inside a single switch ([`plan_owners`]).
+//! * **Driving loop** — each member switch keeps its own calendar queue;
+//!   [`Fabric::run_until_idle`] repeatedly advances every switch to the
+//!   *global* minimum next-event time, then exchanges link traffic. A
+//!   frame handed to a peer always arrives strictly later than the time
+//!   already simulated (positive link latency), so no switch ever receives
+//!   an event in its past and the interleaving is deterministic.
+//!
+//! The conformance harness (`adcp-bench`) runs every seeded random program
+//! on this fabric *and* on a single big switch and requires bit-identical
+//! delivered frames, counters, and merged register state.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+use adcp_core::{AdcpConfig, AdcpSwitch, Delivered, PartitionMap};
+use adcp_ctrl::plan_scale_to;
+use adcp_lang::compile::{CompileError, CompileOptions};
+use adcp_lang::fabric::{place, FabricSpec, PlaceError};
+use adcp_lang::registers::RegId;
+use adcp_lang::table::{Entry, TableError};
+use adcp_lang::{fold_hash, Program, TargetModel};
+use adcp_sim::time::{Duration, SimTime};
+use adcp_sim::{FlowId, Link, LinkSpeed, Packet, PortId, SimRng};
+
+pub use adcp_lang::fabric as placement;
+
+/// Knobs for a fabric instance.
+#[derive(Debug, Clone)]
+pub struct FabricConfig {
+    /// Rate of every inter-switch link.
+    pub link_speed: LinkSpeed,
+    /// Propagation latency of every inter-switch link (must be > 0).
+    pub link_latency: Duration,
+    /// Per-switch configuration (buffering, demux, `central_workers`, …).
+    pub switch: AdcpConfig,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            link_speed: LinkSpeed::gbps(400),
+            link_latency: Duration::from_ns(200),
+            switch: AdcpConfig::default(),
+        }
+    }
+}
+
+/// Why a fabric could not be built.
+#[derive(Debug)]
+pub enum FabricError {
+    /// The placement pass rejected the program or the fabric shape.
+    Place(PlaceError),
+    /// A per-device program did not compile for its target.
+    Compile(CompileError),
+    /// A synthesized steering entry failed to install.
+    Install {
+        /// Device it failed on (`leaf N` / `spine N`).
+        device: String,
+        /// Table the entry targeted.
+        table: String,
+        /// The underlying error.
+        error: TableError,
+    },
+}
+
+impl From<PlaceError> for FabricError {
+    fn from(e: PlaceError) -> Self {
+        FabricError::Place(e)
+    }
+}
+
+impl From<CompileError> for FabricError {
+    fn from(e: CompileError) -> Self {
+        FabricError::Compile(e)
+    }
+}
+
+/// Deterministic per-switch counter summary (serialized in reports).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct SwitchReport {
+    /// Device name (`leaf0`, `spine1`, …).
+    pub device: String,
+    /// Frames offered to RX ports.
+    pub injected: u64,
+    /// Frames fully serialized out of TX ports.
+    pub delivered: u64,
+    /// Every typed drop, summed.
+    pub drops: u64,
+    /// FCS verification failures.
+    pub fcs_drops: u64,
+    /// Frames dropped by an explicit program decision.
+    pub filtered: u64,
+    /// Frames that reached egress with no forwarding decision.
+    pub no_decision: u64,
+    /// MAT lookups (lanes count individually).
+    pub mat_lookups: u64,
+    /// MAT lookups that hit.
+    pub mat_hits: u64,
+}
+
+/// One direction of one cable, for reports.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct LinkReport {
+    /// `leafN->spineM` or `spineM->leafN`.
+    pub name: String,
+    /// Frames carried.
+    pub frames: u64,
+    /// Wire bytes carried.
+    pub wire_bytes: u64,
+}
+
+/// Everything observable about a finished fabric run, in a deterministic
+/// serialization order (the shard-determinism tests compare these byte for
+/// byte across `central_workers` settings).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct FabricReport {
+    /// Frames injected at host ports.
+    pub host_injected: u64,
+    /// Frames delivered to host ports.
+    pub host_delivered: u64,
+    /// Frames that crossed an inter-switch link.
+    pub forwarded: u64,
+    /// Per-leaf counters.
+    pub leaves: Vec<SwitchReport>,
+    /// Per-spine counters.
+    pub spines: Vec<SwitchReport>,
+    /// Per-link traffic.
+    pub links: Vec<LinkReport>,
+    /// Order-sensitive digest of every host-delivered frame
+    /// (port, time, id, payload bytes).
+    pub delivered_digest: u64,
+    /// Digest of every central register cell on every leaf.
+    pub register_digest: u64,
+}
+
+/// A leaf–spine fabric of ADCP switches running one placed program.
+pub struct Fabric {
+    spec: FabricSpec,
+    leaves: Vec<AdcpSwitch>,
+    spines: Vec<AdcpSwitch>,
+    /// `up[l][s]`: leaf `l` → spine `s`. `down[s][l]`: spine `s` → leaf `l`.
+    up: Vec<Vec<Link>>,
+    down: Vec<Vec<Link>>,
+    host_injected: u64,
+    host_delivered: u64,
+    forwarded: u64,
+    delivered: Vec<Delivered>,
+}
+
+impl Fabric {
+    /// Build the fabric: place `program` onto `spec`, instantiate one ADCP
+    /// switch per leaf and spine (leaf ports = host slots + uplinks; spine
+    /// port `l` faces leaf `l`), connect every leaf–spine pair with a pair
+    /// of directed links, and install the synthesized steering entries.
+    ///
+    /// The *original* program's entries still need to be installed with
+    /// [`Fabric::install_all`], verbatim, exactly as on a single switch.
+    pub fn new(
+        program: &Program,
+        spec: FabricSpec,
+        cfg: FabricConfig,
+    ) -> Result<Self, FabricError> {
+        let placed = place(program, &spec)?;
+        let leaf_target = TargetModel {
+            ports: spec.leaf_ports() as u16,
+            name: "adcp-leaf".into(),
+            ..TargetModel::adcp_reference()
+        };
+        let spine_target = TargetModel {
+            ports: spec.n_leaves as u16,
+            name: "adcp-spine".into(),
+            ..TargetModel::adcp_reference()
+        };
+        let mut leaves = Vec::new();
+        for (l, installs) in placed.leaf_installs.iter().enumerate() {
+            let mut sw = AdcpSwitch::new(
+                placed.leaf_program.clone(),
+                leaf_target.clone(),
+                CompileOptions::default(),
+                cfg.switch.clone(),
+            )?;
+            for (table, entry) in installs {
+                sw.install_all(table, entry.clone())
+                    .map_err(|error| FabricError::Install {
+                        device: format!("leaf{l}"),
+                        table: table.clone(),
+                        error,
+                    })?;
+            }
+            leaves.push(sw);
+        }
+        let mut spines = Vec::new();
+        for s in 0..spec.n_spines {
+            let mut sw = AdcpSwitch::new(
+                placed.spine_program.clone(),
+                spine_target.clone(),
+                CompileOptions::default(),
+                cfg.switch.clone(),
+            )?;
+            for (table, entry) in &placed.spine_installs {
+                sw.install_all(table, entry.clone())
+                    .map_err(|error| FabricError::Install {
+                        device: format!("spine{s}"),
+                        table: table.clone(),
+                        error,
+                    })?;
+            }
+            spines.push(sw);
+        }
+        let up = (0..spec.n_leaves)
+            .map(|_| {
+                (0..spec.n_spines)
+                    .map(|_| Link::new(cfg.link_speed, cfg.link_latency))
+                    .collect()
+            })
+            .collect();
+        let down = (0..spec.n_spines)
+            .map(|_| {
+                (0..spec.n_leaves)
+                    .map(|_| Link::new(cfg.link_speed, cfg.link_latency))
+                    .collect()
+            })
+            .collect();
+        Ok(Fabric {
+            spec,
+            leaves,
+            spines,
+            up,
+            down,
+            host_injected: 0,
+            host_delivered: 0,
+            forwarded: 0,
+            delivered: Vec::new(),
+        })
+    }
+
+    /// The fabric shape and ownership this instance was built with.
+    pub fn spec(&self) -> &FabricSpec {
+        &self.spec
+    }
+
+    /// Leaf switch `l`.
+    pub fn leaf(&self, l: usize) -> &AdcpSwitch {
+        &self.leaves[l]
+    }
+
+    /// Spine switch `s`.
+    pub fn spine(&self, s: usize) -> &AdcpSwitch {
+        &self.spines[s]
+    }
+
+    /// Mutable leaf access (control-plane experiments).
+    pub fn leaf_mut(&mut self, l: usize) -> &mut AdcpSwitch {
+        &mut self.leaves[l]
+    }
+
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.leaves.len()
+    }
+
+    /// Number of spines.
+    pub fn n_spines(&self) -> usize {
+        self.spines.len()
+    }
+
+    /// Frames injected at host ports so far.
+    pub fn host_injected(&self) -> u64 {
+        self.host_injected
+    }
+
+    /// Frames delivered to host ports so far.
+    pub fn host_delivered(&self) -> u64 {
+        self.host_delivered
+    }
+
+    /// Frames that crossed an inter-switch link so far.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Install an entry of the *original* program on every leaf — the
+    /// fabric analogue of one-big-switch [`AdcpSwitch::install_all`].
+    pub fn install_all(&mut self, table: &str, entry: Entry) -> Result<(), TableError> {
+        for sw in &mut self.leaves {
+            sw.install_all(table, entry.clone())?;
+        }
+        Ok(())
+    }
+
+    /// Offer a packet to a logical host port at `t` (logical port `p` is
+    /// slot `p / n_leaves` on leaf `p % n_leaves`).
+    pub fn inject(&mut self, logical_port: u32, pkt: Packet, t: SimTime) {
+        assert!(
+            logical_port < self.spec.logical_ports(),
+            "logical port {logical_port} out of range"
+        );
+        let leaf = self.spec.leaf_of(logical_port) as usize;
+        let slot = self.spec.slot_of(logical_port);
+        self.host_injected += 1;
+        self.leaves[leaf].inject(PortId(slot as u16), pkt, t);
+    }
+
+    /// Rebuild a delivered frame as a fresh packet for the next hop,
+    /// preserving identity and creation time. A sealed frame is resealed
+    /// over its current bytes (the transmitting switch already did this;
+    /// repeating it keeps the call safe for unsealed sources too).
+    fn relay(d: Delivered) -> Packet {
+        let sealed = d.meta.fcs.is_some();
+        let mut p = Packet::new(d.meta.id, d.meta.flow, d.data);
+        p.meta.created = d.meta.created;
+        p.meta.coflow = d.meta.coflow;
+        p.meta.goodput_bytes = d.meta.goodput_bytes;
+        if sealed {
+            p.reseal();
+        }
+        p
+    }
+
+    /// Drain every switch's deliveries: host-slot frames are recorded
+    /// (remapped to logical ports); uplink/downlink frames cross their
+    /// link and are injected into the peer switch at the link's arrival
+    /// time — strictly after the time the fabric has simulated up to.
+    fn exchange(&mut self) {
+        for l in 0..self.leaves.len() {
+            for d in self.leaves[l].take_delivered() {
+                let port = d.port.0 as u32;
+                if port < self.spec.hosts_per_leaf {
+                    let logical = self.spec.logical_of(l as u32, port);
+                    self.host_delivered += 1;
+                    self.delivered.push(Delivered {
+                        port: PortId(logical as u16),
+                        time: d.time,
+                        data: d.data,
+                        meta: d.meta,
+                    });
+                } else {
+                    let s = (port - self.spec.hosts_per_leaf) as usize;
+                    let tx_done = d.time;
+                    let pkt = Self::relay(d);
+                    let arrive = self.up[l][s].transfer(&pkt, tx_done);
+                    self.forwarded += 1;
+                    self.spines[s].inject(PortId(l as u16), pkt, arrive);
+                }
+            }
+        }
+        for s in 0..self.spines.len() {
+            for d in self.spines[s].take_delivered() {
+                let leaf = d.port.0 as usize;
+                let tx_done = d.time;
+                let pkt = Self::relay(d);
+                let arrive = self.down[s][leaf].transfer(&pkt, tx_done);
+                self.forwarded += 1;
+                let uplink = self.spec.uplink_port(s as u32) as u16;
+                self.leaves[leaf].inject(PortId(uplink), pkt, arrive);
+            }
+        }
+    }
+
+    /// Next pending event time across the whole fabric.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.leaves
+            .iter()
+            .chain(self.spines.iter())
+            .filter_map(|s| s.next_event_time())
+            .min()
+    }
+
+    /// Run the fabric to quiescence. Lockstep rounds: advance every switch
+    /// holding an event at the global minimum next-event time, then
+    /// exchange link traffic; repeat until no switch has pending work.
+    /// Returns the later of the last event and the last host delivery.
+    pub fn run_until_idle(&mut self) -> SimTime {
+        let mut last = SimTime::ZERO;
+        while let Some(t) = self.next_event_time() {
+            for sw in self.leaves.iter_mut().chain(self.spines.iter_mut()) {
+                if sw.next_event_time() == Some(t) {
+                    last = last.max(sw.run_until(t));
+                }
+            }
+            self.exchange();
+        }
+        last
+    }
+
+    /// Take every host-delivered frame harvested so far, in deterministic
+    /// harvest order, with `port` remapped to the logical host port.
+    pub fn take_delivered(&mut self) -> Vec<Delivered> {
+        std::mem::take(&mut self.delivered)
+    }
+
+    /// Panic unless flow accounting balances: per switch (the usual
+    /// single-switch identity) and fabric-wide — every frame injected at a
+    /// host port was either delivered to a host port or shows up in some
+    /// switch's typed drop counters. Links never drop.
+    pub fn check_conservation(&self) {
+        for sw in self.leaves.iter().chain(self.spines.iter()) {
+            sw.check_conservation();
+        }
+        let drops: u64 = self
+            .leaves
+            .iter()
+            .chain(self.spines.iter())
+            .map(|s| s.counters.total_drops())
+            .sum();
+        assert_eq!(
+            self.host_injected,
+            self.host_delivered + drops,
+            "fabric conservation: injected {} != delivered {} + drops {}",
+            self.host_injected,
+            self.host_delivered,
+            drops
+        );
+    }
+
+    /// The value of central register cell `cell` according to its owner
+    /// leaf (`owners[cell]`), reading the central pipeline the cell's
+    /// steer key maps onto (`cell % central_pipes` — the same modulo the
+    /// data plane applies to `SetCentralPipe`).
+    fn owner_cell(&self, owners: &[u32], reg: RegId, cell: usize) -> u64 {
+        let leaf = &self.leaves[owners[cell] as usize];
+        let cpipe = cell % leaf.num_central();
+        leaf.central_register(cpipe, reg)
+            .map(|r| r.peek(cell as u64))
+            .unwrap_or(0)
+    }
+
+    /// Merge the partitioned register back into one logical array: cell
+    /// `c` is read from leaf `owners[c]`. Pass the *true* ownership here —
+    /// the conformance harness steers by a possibly-sabotaged copy.
+    pub fn merged_register_with(&self, owners: &[u32], reg: RegId, cells: usize) -> Vec<u64> {
+        (0..cells)
+            .map(|c| self.owner_cell(owners, reg, c))
+            .collect()
+    }
+
+    /// [`Fabric::merged_register_with`] using the spec's own ownership.
+    pub fn merged_register(&self, reg: RegId, cells: usize) -> Vec<u64> {
+        self.merged_register_with(&self.spec.owners.clone(), reg, cells)
+    }
+
+    /// Non-zero register cells living on a leaf that does **not** own
+    /// them: `(leaf, cell, value)` triples. Any entry here means a packet
+    /// mutated state on the wrong device — the loud, deterministic symptom
+    /// of mis-steering.
+    pub fn register_leaks_with(
+        &self,
+        owners: &[u32],
+        reg: RegId,
+        cells: usize,
+    ) -> Vec<(usize, usize, u64)> {
+        let mut leaks = Vec::new();
+        for (l, leaf) in self.leaves.iter().enumerate() {
+            for (c, &owner) in owners.iter().enumerate().take(cells) {
+                if owner as usize == l {
+                    continue;
+                }
+                let cpipe = c % leaf.num_central();
+                let v = leaf
+                    .central_register(cpipe, reg)
+                    .map(|r| r.peek(c as u64))
+                    .unwrap_or(0);
+                if v != 0 {
+                    leaks.push((l, c, v));
+                }
+            }
+        }
+        leaks
+    }
+
+    /// [`Fabric::register_leaks_with`] using the spec's own ownership.
+    pub fn register_leaks(&self, reg: RegId, cells: usize) -> Vec<(usize, usize, u64)> {
+        self.register_leaks_with(&self.spec.owners.clone(), reg, cells)
+    }
+
+    fn switch_report(device: String, sw: &AdcpSwitch) -> SwitchReport {
+        let c = &sw.counters;
+        SwitchReport {
+            device,
+            injected: c.injected,
+            delivered: c.delivered,
+            drops: c.total_drops(),
+            fcs_drops: c.fcs_drops,
+            filtered: c.filtered,
+            no_decision: c.no_decision,
+            mat_lookups: c.mat_lookups,
+            mat_hits: c.mat_hits,
+        }
+    }
+
+    /// Deterministic end-of-run report (see [`FabricReport`]). Does not
+    /// drain the delivered list — call before [`Fabric::take_delivered`]
+    /// when both are needed.
+    pub fn report(&self) -> FabricReport {
+        let leaves = self
+            .leaves
+            .iter()
+            .enumerate()
+            .map(|(l, sw)| Self::switch_report(format!("leaf{l}"), sw))
+            .collect();
+        let spines = self
+            .spines
+            .iter()
+            .enumerate()
+            .map(|(s, sw)| Self::switch_report(format!("spine{s}"), sw))
+            .collect();
+        let mut links = Vec::new();
+        for (l, row) in self.up.iter().enumerate() {
+            for (s, link) in row.iter().enumerate() {
+                links.push(LinkReport {
+                    name: format!("leaf{l}->spine{s}"),
+                    frames: link.frames,
+                    wire_bytes: link.wire_bytes,
+                });
+            }
+        }
+        for (s, row) in self.down.iter().enumerate() {
+            for (l, link) in row.iter().enumerate() {
+                links.push(LinkReport {
+                    name: format!("spine{s}->leaf{l}"),
+                    frames: link.frames,
+                    wire_bytes: link.wire_bytes,
+                });
+            }
+        }
+        let delivered_digest = fold_hash(self.delivered.iter().flat_map(|d| {
+            [d.port.0 as u64, d.time.0, d.meta.id]
+                .into_iter()
+                .chain(d.data.iter().map(|b| *b as u64))
+        }));
+        let mut reg_words = Vec::new();
+        for leaf in &self.leaves {
+            for cpipe in 0..leaf.num_central() {
+                for r in 0..leaf.program().registers.len() {
+                    if let Some(file) = leaf.central_register(cpipe, RegId(r as u16)) {
+                        reg_words.extend_from_slice(file.snapshot());
+                    }
+                }
+            }
+        }
+        let register_digest = fold_hash(reg_words);
+        FabricReport {
+            host_injected: self.host_injected,
+            host_delivered: self.host_delivered,
+            forwarded: self.forwarded,
+            leaves,
+            spines,
+            links,
+            delivered_digest,
+            register_digest,
+        }
+    }
+}
+
+/// Plan cross-switch state ownership with the `adcp-ctrl` planners:
+/// longest-processing-time-first packing of per-key loads onto `n_leaves`
+/// devices (the same [`plan_scale_to`] that balances central pipelines
+/// inside one switch).
+pub fn plan_owners(key_space: u64, n_leaves: u32, loads: &[u64]) -> Vec<u32> {
+    assert_eq!(loads.len() as u64, key_space, "one load per steer key");
+    let seedmap = PartitionMap::uniform(key_space as u32, n_leaves);
+    let planned = plan_scale_to(&seedmap, loads, n_leaves);
+    (0..key_space as u32)
+        .map(|b| planned.owner_of_bucket(b))
+        .collect()
+}
+
+// ---------------- demo: fabric-wide partitioned counter ----------------
+
+/// Steer-key space of the demo program (matches the conformance harness).
+pub const DEMO_CELLS: usize = 64;
+
+/// What [`run_demo`] measured.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DemoReport {
+    /// Frames injected at host ports.
+    pub injected: u64,
+    /// Frames delivered to host ports.
+    pub delivered: u64,
+    /// Frames that crossed an inter-switch link.
+    pub forwarded: u64,
+    /// Quiescence time of the run.
+    pub quiesce_ns: u64,
+    /// Merged registers matched the host-side oracle, every frame was
+    /// delivered, and no state leaked onto a non-owner leaf.
+    pub correct: bool,
+}
+
+mod demo {
+    use super::*;
+    use adcp_lang::action::{ActionDef, ActionOp, BinOp, Operand};
+    use adcp_lang::header::{FieldDef, FieldRef, HeaderDef};
+    use adcp_lang::parser::ParserSpec;
+    use adcp_lang::program::ProgramBuilder;
+    use adcp_lang::registers::{RegAluOp, RegisterDef};
+    use adcp_lang::table::{Region, TableDef};
+    use adcp_lang::{deposit_bits, FieldId, HeaderId};
+
+    pub(super) fn fr(f: u16) -> FieldRef {
+        FieldRef::new(HeaderId(0), FieldId(f))
+    }
+
+    /// The demo's logical one-big-switch program: a partitioned counter.
+    /// Header: op:8 key:32 idx:16 val:32 fphase:8 fgk:16 (14 bytes).
+    /// Ingress routes by `idx` (central pipe) and targets logical port 0;
+    /// the central region accumulates `val` into register cell `idx`.
+    pub(super) fn program() -> Program {
+        let mut b = ProgramBuilder::new("fab-counter");
+        let h = b.header(HeaderDef::new(
+            "ctr",
+            vec![
+                FieldDef::scalar("op", 8),
+                FieldDef::scalar("key", 32),
+                FieldDef::scalar("idx", 16),
+                FieldDef::scalar("val", 32),
+                FieldDef::scalar("fphase", 8),
+                FieldDef::scalar("fgk", 16),
+            ],
+        ));
+        b.parser(ParserSpec::single(h));
+        let reg = b.register(RegisterDef::new("cnt", DEMO_CELLS as u32, 64));
+        b.table(TableDef {
+            name: "route".into(),
+            region: Region::Ingress,
+            key: None,
+            actions: vec![ActionDef::new(
+                "steer",
+                vec![
+                    ActionOp::Bin {
+                        dst: fr(2),
+                        op: BinOp::And,
+                        a: Operand::Field(fr(2)),
+                        b: Operand::Const(DEMO_CELLS as u64 - 1),
+                    },
+                    ActionOp::SetCentralPipe(Operand::Field(fr(2))),
+                    ActionOp::SetEgress(Operand::Const(0)),
+                ],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.table(TableDef {
+            name: "count".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new(
+                "bump",
+                vec![ActionOp::RegRmw {
+                    reg,
+                    index: Operand::Field(fr(2)),
+                    op: RegAluOp::Add,
+                    value: Operand::Field(fr(3)),
+                    fetch: None,
+                }],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.build()
+    }
+
+    pub(super) fn frame(key: u64, idx: u64, val: u64) -> Vec<u8> {
+        let mut buf = vec![0u8; 14];
+        deposit_bits(&mut buf, 0, 8, 1);
+        deposit_bits(&mut buf, 8, 32, key);
+        deposit_bits(&mut buf, 40, 16, idx);
+        deposit_bits(&mut buf, 56, 32, val);
+        // fphase / fgk stay 0: the wire format of the one-big-switch run.
+        buf
+    }
+}
+
+/// Build the standard 2-spine × 4-leaf demo fabric (2 hosts per leaf)
+/// around the partitioned-counter program, with ownership planned from
+/// seeded per-key loads. Returns the fabric and its logical program.
+pub fn demo_fabric(seed: u64, cfg: FabricConfig) -> (Fabric, Program) {
+    let program = demo::program();
+    let mut rng = SimRng::seed_from(seed ^ 0xFAB0_0001);
+    let loads: Vec<u64> = (0..DEMO_CELLS).map(|_| rng.range(1u64..100)).collect();
+    let owners = plan_owners(DEMO_CELLS as u64, 4, &loads);
+    let spec = FabricSpec {
+        n_leaves: 4,
+        n_spines: 2,
+        hosts_per_leaf: 2,
+        phase_field: demo::fr(4),
+        gk_field: demo::fr(5),
+        steer_field: demo::fr(2),
+        key_space: DEMO_CELLS as u64,
+        owners,
+        delivery_port: 0,
+    };
+    let fabric = Fabric::new(&program, spec, cfg).expect("demo program must place");
+    (fabric, program)
+}
+
+/// Run the partitioned-counter demo: `packets` frames with seeded random
+/// (key, idx, val) from round-robin host ports, verified against a
+/// host-side oracle (merged registers, full delivery, no state leaks).
+pub fn run_demo(seed: u64, packets: u64, cfg: FabricConfig) -> DemoReport {
+    run_demo_with_report(seed, packets, cfg).0
+}
+
+/// [`run_demo`] plus the full serializable [`FabricReport`] — the
+/// byte-comparison surface for determinism tests: per-device counters,
+/// per-link stats, and digests over every delivered frame and every
+/// central register cell in the fabric.
+pub fn run_demo_with_report(
+    seed: u64,
+    packets: u64,
+    cfg: FabricConfig,
+) -> (DemoReport, FabricReport) {
+    let (mut fabric, _program) = demo_fabric(seed, cfg);
+    let mut rng = SimRng::seed_from(seed ^ 0xFAB0_0002);
+    let mut expected = vec![0u64; DEMO_CELLS];
+    let ports = fabric.spec().logical_ports() as u64;
+    for i in 0..packets {
+        let key = rng.range(0u64..1 << 32);
+        let idx = rng.range(0u64..DEMO_CELLS as u64);
+        let val = rng.range(1u64..1000);
+        expected[idx as usize] += val;
+        let pkt = Packet::new(i, FlowId(1000 + i), demo::frame(key, idx, val)).seal();
+        fabric.inject((i % ports) as u32, pkt, SimTime::from_ns(1 + i * 600));
+    }
+    let quiesce = fabric.run_until_idle();
+    fabric.check_conservation();
+    let merged = fabric.merged_register(RegId(0), DEMO_CELLS);
+    let leaks = fabric.register_leaks(RegId(0), DEMO_CELLS);
+    let correct = merged == expected && fabric.host_delivered() == packets && leaks.is_empty();
+    let demo = DemoReport {
+        injected: fabric.host_injected(),
+        delivered: fabric.host_delivered(),
+        forwarded: fabric.forwarded(),
+        quiesce_ns: quiesce.0 / 1_000,
+        correct,
+    };
+    let report = fabric.report();
+    (demo, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_counter_agrees_with_oracle() {
+        let r = run_demo(7, 200, FabricConfig::default());
+        assert!(r.correct, "demo run diverged: {r:?}");
+        assert_eq!(r.injected, 200);
+        assert_eq!(r.delivered, 200);
+        assert!(r.forwarded > 0, "a 4-leaf fabric must forward something");
+    }
+
+    #[test]
+    fn demo_is_deterministic_per_seed() {
+        let a = run_demo(11, 120, FabricConfig::default());
+        let b = run_demo(11, 120, FabricConfig::default());
+        assert_eq!(format!("{a:?}"), format!("{b:?}"));
+        let c = run_demo(12, 120, FabricConfig::default());
+        assert!(c.correct);
+    }
+
+    #[test]
+    fn delivered_frames_carry_reference_wire_bytes() {
+        // phase/gk scratch fields must be cleared on delivery: every
+        // delivered frame ends with the two scratch fields zeroed.
+        let (mut fabric, _) = demo_fabric(3, FabricConfig::default());
+        let mut rng = SimRng::seed_from(99);
+        for i in 0..40u64 {
+            let idx = rng.range(0u64..DEMO_CELLS as u64);
+            let pkt = Packet::new(i, FlowId(1), demo::frame(7, idx, 5)).seal();
+            fabric.inject((i % 8) as u32, pkt, SimTime::from_ns(1 + i * 600));
+        }
+        fabric.run_until_idle();
+        let out = fabric.take_delivered();
+        assert_eq!(out.len(), 40);
+        for d in &out {
+            assert_eq!(d.port, PortId(0), "demo delivers on logical port 0");
+            // fphase is byte 11, fgk bytes 12..14 of the 14-byte header.
+            assert_eq!(&d.data[11..14], &[0, 0, 0], "scratch fields leaked");
+        }
+    }
+
+    #[test]
+    fn zero_latency_links_rejected() {
+        let (program, spec) = {
+            let (f, p) = demo_fabric(1, FabricConfig::default());
+            (p, f.spec().clone())
+        };
+        let cfg = FabricConfig {
+            link_latency: Duration::from_ns(0),
+            ..FabricConfig::default()
+        };
+        let r = std::panic::catch_unwind(|| Fabric::new(&program, spec, cfg));
+        assert!(r.is_err(), "zero link latency must be rejected");
+    }
+
+    #[test]
+    fn planned_owners_use_every_leaf() {
+        let mut rng = SimRng::seed_from(5);
+        let loads: Vec<u64> = (0..64).map(|_| rng.range(0u64..50)).collect();
+        let owners = plan_owners(64, 4, &loads);
+        assert_eq!(owners.len(), 64);
+        for l in 0..4 {
+            assert!(owners.contains(&l), "leaf {l} owns nothing");
+        }
+        // LPT packing: per-leaf load within 2x of the mean.
+        let mut per = [0u64; 4];
+        for (k, &o) in owners.iter().enumerate() {
+            per[o as usize] += loads[k];
+        }
+        let total: u64 = loads.iter().sum();
+        for p in per {
+            assert!(p <= total / 2, "grossly unbalanced: {per:?}");
+        }
+    }
+}

@@ -1,0 +1,998 @@
+//! One-big-switch placement onto a leaf–spine fabric.
+//!
+//! SNAP compiles a single logical stateful program into per-device
+//! configurations; LOADER replicates state across data-plane devices. This
+//! module does the ADCP version of that step: it takes **one** program whose
+//! central region owns a partitioned register area, and splits that area
+//! across the leaves of a leaf–spine fabric by *steer-key range* — the same
+//! key-range partitioning the `adcp-ctrl` planners use to balance central
+//! pipelines inside a single switch, lifted one level up the topology.
+//!
+//! ## How the transform works
+//!
+//! The logical program is rewritten into a **leaf program** (identical text
+//! on every leaf; only installed entries differ) and a **spine program**
+//! (stateless gk-range routing). Two scratch header fields that the original
+//! program must never touch carry the placement state on the wire:
+//!
+//! * `phase_field` — where the packet is in its fabric journey:
+//!   0 = fresh from a host, 1 = running the original program on the owner
+//!   leaf, 2 = in transit to the owner leaf, 3 = in transit to the delivery
+//!   leaf, 4 = delivering to the host.
+//! * `gk_field` — the *gated key* `(phase << log2(key_space)) | steer_key`,
+//!   recomputed at every hop so one range-match table can dispatch on the
+//!   (phase, key) pair at once.
+//!
+//! Every original action body is wrapped in a one-level
+//! [`ActionOp::IfEq`] predicate on the phase field: ingress and central
+//! tables only act when `phase == 1` (owner leaf), egress tables only when
+//! `phase == 4` (delivery leaf). Table *entries* install verbatim on every
+//! leaf — lookups still happen everywhere (MAT counters differ from the
+//! one-big-switch run; nothing else does), but a matched action is inert
+//! unless the packet is in the right phase on the right device. Since the
+//! original program runs its ingress + central half exactly once (owner
+//! leaf) and its egress half exactly once (delivery leaf), delivered frames
+//! and register state match the one-big-switch reference bit for bit; the
+//! final egress step clears both scratch fields so even the wire bytes
+//! agree.
+//!
+//! Synthesized tables (names are reserved; a program that already uses them
+//! is rejected):
+//!
+//! | table              | region  | place | role |
+//! |--------------------|---------|-------|------|
+//! | `fab_compute`      | ingress | first | recompute `gk` from (phase, key) |
+//! | `fab_steer`        | ingress | second| range-match `gk`: run here / forward to owner or delivery leaf |
+//! | `fab_exit_compute` | central | after originals | recompute `gk` |
+//! | `fab_exit`         | central | last  | owner leaf hand-off: deliver locally or forward to the delivery leaf |
+//! | `fab_finish`       | egress  | last  | clear the scratch fields on delivery |
+//!
+//! The spine program is `fab_compute` plus a `spine_route` range table that
+//! forwards phase-2 traffic to the owner leaf of its key range and phase-3
+//! traffic to the delivery leaf. It is stateless and ingress-only, so it
+//! compiles for RMT targets too — spines need none of ADCP's central area.
+//!
+//! A packet whose steer key falls outside `key_space` (only possible if a
+//! host injects one; corrupted frames die at FCS verification before
+//! parsing) misses every synthesized range and is dropped loudly as
+//! `no_decision` — never silently mis-placed.
+
+use crate::action::{ActionDef, ActionOp, BinOp, Operand};
+use crate::header::FieldRef;
+use crate::program::Program;
+use crate::table::{Entry, KeySpec, MatchKind, MatchValue, Region, TableDef};
+
+/// Phase values carried in `phase_field`.
+pub mod phase {
+    /// Fresh from a host; not yet steered.
+    pub const FRESH: u64 = 0;
+    /// On the owner leaf: the original ingress/central program runs.
+    pub const RUN: u64 = 1;
+    /// In transit to the owner leaf.
+    pub const TO_OWNER: u64 = 2;
+    /// In transit to the delivery leaf.
+    pub const TO_EGRESS: u64 = 3;
+    /// On the delivery leaf: the original egress program runs.
+    pub const DELIVER: u64 = 4;
+}
+
+/// Reserved names of the synthesized leaf/spine tables.
+pub const RESERVED_TABLES: [&str; 6] = [
+    "fab_compute",
+    "fab_steer",
+    "fab_exit_compute",
+    "fab_exit",
+    "fab_finish",
+    "spine_route",
+];
+
+/// A leaf–spine fabric and how one logical program maps onto it.
+#[derive(Debug, Clone)]
+pub struct FabricSpec {
+    /// Number of leaf switches (≥ 2; hosts and state live here).
+    pub n_leaves: u32,
+    /// Number of spine switches (≥ 1; stateless gk routers).
+    pub n_spines: u32,
+    /// Host-facing ports per leaf. Leaf ports `0..hosts_per_leaf` are host
+    /// slots; ports `hosts_per_leaf..hosts_per_leaf + n_spines` are uplinks
+    /// (uplink `s` connects to spine `s`). Spine port `l` connects to
+    /// leaf `l`.
+    pub hosts_per_leaf: u32,
+    /// Scalar field carrying the fabric phase (≥ 3 bits; must be unused by
+    /// the original program).
+    pub phase_field: FieldRef,
+    /// Scalar field carrying the gated key (≥ `log2(key_space) + 3` bits;
+    /// must be unused by the original program).
+    pub gk_field: FieldRef,
+    /// Scalar field the state is partitioned on. Every register index in
+    /// the original program must be exactly `Operand::Field(steer_field)`,
+    /// and ingress/central tables must not write it — that is what makes
+    /// "owner of the steer key" the same thing as "owner of the state the
+    /// packet touches".
+    pub steer_field: FieldRef,
+    /// Size of the steer-key space (power of two ≥ 2); workload steer keys
+    /// must be `< key_space`.
+    pub key_space: u64,
+    /// Owner leaf per steer key (`owners.len() == key_space`, each
+    /// `< n_leaves`). Produce this with the `adcp-ctrl` planners.
+    pub owners: Vec<u32>,
+    /// Logical host port all frames are delivered to (the fabric maps
+    /// logical port `p` to leaf `p % n_leaves`, slot `p / n_leaves`).
+    pub delivery_port: u32,
+}
+
+impl FabricSpec {
+    /// Leaf that hosts logical port `p`.
+    pub fn leaf_of(&self, p: u32) -> u32 {
+        p % self.n_leaves
+    }
+
+    /// Host-slot port on [`Self::leaf_of`] for logical port `p`.
+    pub fn slot_of(&self, p: u32) -> u32 {
+        p / self.n_leaves
+    }
+
+    /// Logical port for a (leaf, host slot) pair.
+    pub fn logical_of(&self, leaf: u32, slot: u32) -> u32 {
+        slot * self.n_leaves + leaf
+    }
+
+    /// Leaf-local port of the uplink to `spine`.
+    pub fn uplink_port(&self, spine: u32) -> u32 {
+        self.hosts_per_leaf + spine
+    }
+
+    /// Which spine carries traffic destined for `leaf` (deterministic
+    /// spread so both spines see work).
+    pub fn spine_for(&self, leaf: u32) -> u32 {
+        leaf % self.n_spines
+    }
+
+    /// Ports per leaf switch (host slots + uplinks).
+    pub fn leaf_ports(&self) -> u32 {
+        self.hosts_per_leaf + self.n_spines
+    }
+
+    /// Number of logical host ports across the fabric.
+    pub fn logical_ports(&self) -> u32 {
+        self.n_leaves * self.hosts_per_leaf
+    }
+
+    /// log2 of the key space.
+    pub fn key_bits(&self) -> u32 {
+        self.key_space.trailing_zeros()
+    }
+
+    /// Maximal runs of equal ownership: `(first_key, last_key, owner)`,
+    /// covering the whole key space in order. Each run becomes one
+    /// range-table entry.
+    pub fn ownership_runs(&self) -> Vec<(u64, u64, u32)> {
+        let mut runs = Vec::new();
+        let mut start = 0u64;
+        for k in 1..self.owners.len() {
+            if self.owners[k] != self.owners[start as usize] {
+                runs.push((start, k as u64 - 1, self.owners[start as usize]));
+                start = k as u64;
+            }
+        }
+        if !self.owners.is_empty() {
+            runs.push((
+                start,
+                self.owners.len() as u64 - 1,
+                self.owners[start as usize],
+            ));
+        }
+        runs
+    }
+}
+
+/// Why a program cannot be placed on a fabric.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PlaceError {
+    /// The fabric shape itself is unusable (counts, key space, owners,
+    /// delivery port).
+    Topology(String),
+    /// A scratch/steer field is missing, an array, or too narrow.
+    BadField {
+        /// Which role the field was to play.
+        role: &'static str,
+        /// The offending reference.
+        field: FieldRef,
+        /// What is wrong with it.
+        why: String,
+    },
+    /// An original table touches a field the placement owns (writes
+    /// phase/gk anywhere, or writes the steer field before egress), or is
+    /// keyed on / reads a scratch field.
+    FieldConflict {
+        /// Table name.
+        table: String,
+        /// What it did.
+        why: String,
+    },
+    /// An original action uses an op the fabric cannot split (array ops,
+    /// multicast, recirculation, registers outside the central region, or a
+    /// register index that is not the steer field).
+    ForbiddenOp {
+        /// Table name.
+        table: String,
+        /// What it did.
+        why: String,
+    },
+    /// An original table uses one of the [`RESERVED_TABLES`] names.
+    NameCollision {
+        /// The colliding name.
+        table: String,
+    },
+}
+
+/// The result of [`place`]: per-device programs plus the entries to install
+/// in the synthesized tables.
+#[derive(Debug, Clone)]
+pub struct FabricPlacement {
+    /// The rewritten program every leaf runs (identical text on all
+    /// leaves). The *original* program's entries must also be installed on
+    /// every leaf, verbatim.
+    pub leaf_program: Program,
+    /// The stateless routing program every spine runs.
+    pub spine_program: Program,
+    /// Synthesized-table entries per leaf: `leaf_installs[l]` is a list of
+    /// `(table_name, entry)` for leaf `l`.
+    pub leaf_installs: Vec<Vec<(String, Entry)>>,
+    /// Synthesized-table entries every spine installs.
+    pub spine_installs: Vec<(String, Entry)>,
+}
+
+/// Walk an op list recursively (into `IfEq` bodies).
+fn scan_ops<'a>(ops: &'a [ActionOp], f: &mut impl FnMut(&'a ActionOp)) {
+    for op in ops {
+        f(op);
+        if let ActionOp::IfEq { then, .. } = op {
+            scan_ops(then, f);
+        }
+    }
+}
+
+fn field_bits(p: &Program, f: FieldRef) -> Option<u8> {
+    let h = p.headers.get(f.header.0 as usize)?;
+    let fd = h.fields.get(f.field.0 as usize)?;
+    if fd.count > 1 {
+        return None; // array fields cannot carry scalars
+    }
+    Some(fd.bits)
+}
+
+fn check_scalar_field(
+    p: &Program,
+    f: FieldRef,
+    role: &'static str,
+    min_bits: u32,
+) -> Result<u8, PlaceError> {
+    match field_bits(p, f) {
+        None => Err(PlaceError::BadField {
+            role,
+            field: f,
+            why: "missing or an array field".into(),
+        }),
+        Some(b) if (b as u32) < min_bits => Err(PlaceError::BadField {
+            role,
+            field: f,
+            why: format!("{b} bits, need at least {min_bits}"),
+        }),
+        Some(b) => Ok(b),
+    }
+}
+
+fn validate(p: &Program, spec: &FabricSpec) -> Result<(u8, u8), PlaceError> {
+    if spec.n_leaves < 2 || spec.n_spines < 1 || spec.hosts_per_leaf < 1 {
+        return Err(PlaceError::Topology(format!(
+            "need ≥ 2 leaves, ≥ 1 spine, ≥ 1 host/leaf (got {}/{}/{})",
+            spec.n_leaves, spec.n_spines, spec.hosts_per_leaf
+        )));
+    }
+    if spec.key_space < 2 || !spec.key_space.is_power_of_two() {
+        return Err(PlaceError::Topology(format!(
+            "key_space must be a power of two ≥ 2, got {}",
+            spec.key_space
+        )));
+    }
+    if spec.owners.len() as u64 != spec.key_space {
+        return Err(PlaceError::Topology(format!(
+            "owners covers {} keys, key_space is {}",
+            spec.owners.len(),
+            spec.key_space
+        )));
+    }
+    if let Some(o) = spec.owners.iter().find(|o| **o >= spec.n_leaves) {
+        return Err(PlaceError::Topology(format!(
+            "owner leaf {o} out of range (n_leaves = {})",
+            spec.n_leaves
+        )));
+    }
+    if spec.delivery_port >= spec.logical_ports() {
+        return Err(PlaceError::Topology(format!(
+            "delivery_port {} out of range ({} logical ports)",
+            spec.delivery_port,
+            spec.logical_ports()
+        )));
+    }
+
+    let phase_bits = check_scalar_field(p, spec.phase_field, "phase_field", 3)?;
+    let gk_bits = check_scalar_field(p, spec.gk_field, "gk_field", spec.key_bits() + 3)?;
+    check_scalar_field(p, spec.steer_field, "steer_field", 1)?;
+
+    for t in &p.tables {
+        if RESERVED_TABLES.contains(&t.name.as_str()) {
+            return Err(PlaceError::NameCollision {
+                table: t.name.clone(),
+            });
+        }
+        if let Some(k) = t.key {
+            if k.field == spec.phase_field || k.field == spec.gk_field {
+                return Err(PlaceError::FieldConflict {
+                    table: t.name.clone(),
+                    why: "keyed on a fabric scratch field".into(),
+                });
+            }
+        }
+        for a in &t.actions {
+            for f in a.writes() {
+                if f == spec.phase_field || f == spec.gk_field {
+                    return Err(PlaceError::FieldConflict {
+                        table: t.name.clone(),
+                        why: format!("action `{}` writes a fabric scratch field", a.name),
+                    });
+                }
+            }
+            for f in a.reads() {
+                if f == spec.phase_field || f == spec.gk_field {
+                    return Err(PlaceError::FieldConflict {
+                        table: t.name.clone(),
+                        why: format!("action `{}` reads a fabric scratch field", a.name),
+                    });
+                }
+            }
+            let mut err: Option<PlaceError> = None;
+            scan_ops(&a.ops, &mut |op| {
+                if err.is_some() {
+                    return;
+                }
+                let forbid = |why: String| PlaceError::ForbiddenOp {
+                    table: t.name.clone(),
+                    why,
+                };
+                // Writes to the steer field before egress would let the
+                // program move a packet's state key *after* steering
+                // decided where its state lives. One idiom is exempt: the
+                // self-mask `steer &= m` with `m` covering the whole key
+                // space, which is the identity on every in-range key (the
+                // range-check idiom the single-switch programs already
+                // use). Anything else is rejected.
+                let is_identity_mask = matches!(
+                    op,
+                    ActionOp::Bin {
+                        dst,
+                        op: BinOp::And,
+                        a: Operand::Field(af),
+                        b: Operand::Const(m),
+                    } if *dst == spec.steer_field
+                        && *af == spec.steer_field
+                        && m & (spec.key_space - 1) == spec.key_space - 1
+                );
+                if t.region != Region::Egress && !is_identity_mask {
+                    let writes_steer = match op {
+                        ActionOp::Set { dst, .. }
+                        | ActionOp::Bin { dst, .. }
+                        | ActionOp::Hash { dst, .. }
+                        | ActionOp::RegRead { dst, .. } => *dst == spec.steer_field,
+                        ActionOp::RegRmw { fetch: Some(f), .. } => *f == spec.steer_field,
+                        _ => false,
+                    };
+                    if writes_steer {
+                        err = Some(PlaceError::FieldConflict {
+                            table: t.name.clone(),
+                            why: format!(
+                                "action `{}` writes the steer field before egress",
+                                a.name
+                            ),
+                        });
+                        return;
+                    }
+                }
+                match op {
+                    ActionOp::RegArray { .. } | ActionOp::ArrayReduce { .. } => {
+                        err = Some(forbid("array-wide ops cannot be split by key".into()));
+                    }
+                    ActionOp::SetMulticast(_) => {
+                        err = Some(forbid("multicast replication is per-switch".into()));
+                    }
+                    ActionOp::Recirculate => {
+                        err = Some(forbid("recirculation is per-switch".into()));
+                    }
+                    ActionOp::RegRead { index, .. } | ActionOp::RegRmw { index, .. } => {
+                        if t.region != Region::Central {
+                            err = Some(forbid("register state outside the central region".into()));
+                        } else if *index != Operand::Field(spec.steer_field) {
+                            err = Some(forbid("register index is not the steer field".into()));
+                        }
+                    }
+                    _ => {}
+                }
+            });
+            if let Some(e) = err {
+                return Err(e);
+            }
+        }
+    }
+    Ok((phase_bits, gk_bits))
+}
+
+/// Wrap an op list in a phase predicate (empty lists stay empty — a nop is
+/// a nop in any phase).
+fn gate(ops: Vec<ActionOp>, phase_field: FieldRef, active: u64) -> Vec<ActionOp> {
+    if ops.is_empty() {
+        ops
+    } else {
+        vec![ActionOp::IfEq {
+            a: Operand::Field(phase_field),
+            b: Operand::Const(active),
+            then: ops,
+        }]
+    }
+}
+
+/// Split one logical program across a leaf–spine fabric.
+///
+/// Validates that the program is splittable (see [`PlaceError`]) and
+/// returns the rewritten leaf/spine programs plus the per-device entries
+/// for the synthesized steering tables. The *original* program's entries
+/// are not touched: install them verbatim on every leaf, exactly as on the
+/// one-big-switch reference.
+pub fn place(program: &Program, spec: &FabricSpec) -> Result<FabricPlacement, PlaceError> {
+    let (phase_bits, gk_bits) = validate(program, spec)?;
+    let kb = spec.key_bits() as u64;
+    let pf = spec.phase_field;
+    let gk = spec.gk_field;
+
+    // gk = (phase << kb) | steer_key, recomputed wherever the phase may
+    // just have changed.
+    let compute_ops = vec![
+        ActionOp::Bin {
+            dst: gk,
+            op: BinOp::Shl,
+            a: Operand::Field(pf),
+            b: Operand::Const(kb),
+        },
+        ActionOp::Bin {
+            dst: gk,
+            op: BinOp::Or,
+            a: Operand::Field(gk),
+            b: Operand::Field(spec.steer_field),
+        },
+    ];
+    let compute_table = |name: &str, region: Region| TableDef {
+        name: name.into(),
+        region,
+        key: None,
+        actions: vec![ActionDef::new("fab_gk", compute_ops.clone())],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    };
+    let range_key = KeySpec {
+        field: gk,
+        kind: MatchKind::Range,
+        bits: gk_bits,
+    };
+    let range_size = spec.key_space as u32 + 8;
+
+    // fab_steer actions: 0 = run here (set phase), 1 = forward (set phase +
+    // egress port), 2 = nop (miss ⇒ invalid key ⇒ loud no_decision drop).
+    let fab_steer = TableDef {
+        name: "fab_steer".into(),
+        region: Region::Ingress,
+        key: Some(range_key),
+        actions: vec![
+            ActionDef::new(
+                "fab_run",
+                vec![ActionOp::Set {
+                    dst: pf,
+                    src: Operand::Param(0),
+                }],
+            ),
+            ActionDef::new(
+                "fab_fwd",
+                vec![
+                    ActionOp::Set {
+                        dst: pf,
+                        src: Operand::Param(0),
+                    },
+                    ActionOp::SetEgress(Operand::Param(1)),
+                ],
+            ),
+            ActionDef::nop(),
+        ],
+        default_action: 2,
+        default_params: vec![],
+        size: range_size,
+    };
+    // fab_exit action: set phase + egress (deliver locally or forward).
+    let fab_exit = TableDef {
+        name: "fab_exit".into(),
+        region: Region::Central,
+        key: Some(range_key),
+        actions: vec![
+            ActionDef::new(
+                "fab_set",
+                vec![
+                    ActionOp::Set {
+                        dst: pf,
+                        src: Operand::Param(0),
+                    },
+                    ActionOp::SetEgress(Operand::Param(1)),
+                ],
+            ),
+            ActionDef::nop(),
+        ],
+        default_action: 1,
+        default_params: vec![],
+        size: range_size,
+    };
+    // fab_finish: on delivery, restore the scratch fields to the 0 the
+    // reference run carries, so wire bytes match bit for bit.
+    let fab_finish = TableDef {
+        name: "fab_finish".into(),
+        region: Region::Egress,
+        key: Some(KeySpec {
+            field: pf,
+            kind: MatchKind::Exact,
+            bits: phase_bits,
+        }),
+        actions: vec![
+            ActionDef::new(
+                "fab_clear",
+                vec![
+                    ActionOp::Set {
+                        dst: pf,
+                        src: Operand::Const(0),
+                    },
+                    ActionOp::Set {
+                        dst: gk,
+                        src: Operand::Const(0),
+                    },
+                ],
+            ),
+            ActionDef::nop(),
+        ],
+        default_action: 1,
+        default_params: vec![],
+        size: 2,
+    };
+
+    // The leaf program: synthesized ingress tables first, originals (with
+    // every action phase-gated) in their original order, synthesized
+    // central/egress tables last. `region_tables` filters by list order, so
+    // a single flat list gives each region the order in the table above.
+    let mut leaf = program.clone();
+    leaf.name = format!("{}@leaf", program.name);
+    let mut tables = vec![compute_table("fab_compute", Region::Ingress), fab_steer];
+    for t in &program.tables {
+        let active = match t.region {
+            Region::Ingress | Region::Central => phase::RUN,
+            Region::Egress => phase::DELIVER,
+        };
+        let mut t = t.clone();
+        for a in &mut t.actions {
+            a.ops = gate(std::mem::take(&mut a.ops), pf, active);
+        }
+        tables.push(t);
+    }
+    tables.push(compute_table("fab_exit_compute", Region::Central));
+    tables.push(fab_exit);
+    tables.push(fab_finish);
+    leaf.tables = tables;
+
+    // The spine program: recompute gk, then route on it. Stateless and
+    // ingress-only — compiles for RMT spines just as well.
+    let spine = Program {
+        name: format!("{}@spine", program.name),
+        headers: program.headers.clone(),
+        parser: program.parser.clone(),
+        tables: vec![
+            compute_table("fab_compute", Region::Ingress),
+            TableDef {
+                name: "spine_route".into(),
+                region: Region::Ingress,
+                key: Some(range_key),
+                actions: vec![
+                    ActionDef::new("sp_fwd", vec![ActionOp::SetEgress(Operand::Param(0))]),
+                    ActionDef::nop(),
+                ],
+                default_action: 1,
+                default_params: vec![],
+                size: range_size,
+            },
+        ],
+        registers: vec![],
+        mcast_groups: vec![],
+        tm1: program.tm1,
+        tm2: program.tm2,
+    };
+
+    let runs = spec.ownership_runs();
+    let dleaf = spec.leaf_of(spec.delivery_port);
+    let dslot = spec.slot_of(spec.delivery_port) as u64;
+    let gkr = |ph: u64, lo: u64, hi: u64| MatchValue::Range {
+        lo: (ph << kb) | lo,
+        hi: (ph << kb) | hi,
+    };
+    let all = spec.key_space - 1;
+
+    let mut leaf_installs: Vec<Vec<(String, Entry)>> = Vec::new();
+    for l in 0..spec.n_leaves {
+        let mut ins = Vec::new();
+        // Phase 0: fresh packets either run here or head for the owner.
+        for &(lo, hi, owner) in &runs {
+            let e = if owner == l {
+                Entry {
+                    value: gkr(phase::FRESH, lo, hi),
+                    action: 0, // fab_run
+                    params: vec![phase::RUN],
+                }
+            } else {
+                Entry {
+                    value: gkr(phase::FRESH, lo, hi),
+                    action: 1, // fab_fwd
+                    params: vec![
+                        phase::TO_OWNER,
+                        spec.uplink_port(spec.spine_for(owner)) as u64,
+                    ],
+                }
+            };
+            ins.push(("fab_steer".to_string(), e));
+        }
+        // Phase 2: a packet arriving in TO_OWNER runs wherever it lands —
+        // if steering sent it to the wrong leaf, state lands on the wrong
+        // device and the conformance register-leak check screams.
+        ins.push((
+            "fab_steer".to_string(),
+            Entry {
+                value: gkr(phase::TO_OWNER, 0, all),
+                action: 0,
+                params: vec![phase::RUN],
+            },
+        ));
+        // Phase 3: only the delivery leaf accepts hand-off traffic; on any
+        // other leaf the range is absent and the packet drops loudly.
+        if l == dleaf {
+            ins.push((
+                "fab_steer".to_string(),
+                Entry {
+                    value: gkr(phase::TO_EGRESS, 0, all),
+                    action: 1,
+                    params: vec![phase::DELIVER, dslot],
+                },
+            ));
+        }
+        // fab_exit, phase 1: after the original program ran here, deliver
+        // locally or hand off toward the delivery leaf.
+        let exit = if l == dleaf {
+            Entry {
+                value: gkr(phase::RUN, 0, all),
+                action: 0,
+                params: vec![phase::DELIVER, dslot],
+            }
+        } else {
+            Entry {
+                value: gkr(phase::RUN, 0, all),
+                action: 0,
+                params: vec![
+                    phase::TO_EGRESS,
+                    spec.uplink_port(spec.spine_for(dleaf)) as u64,
+                ],
+            }
+        };
+        ins.push(("fab_exit".to_string(), exit));
+        // fab_exit, phase 4: re-assert the host slot on the delivery leaf
+        // (the ingress decision already points there; this is defensive).
+        if l == dleaf {
+            ins.push((
+                "fab_exit".to_string(),
+                Entry {
+                    value: gkr(phase::DELIVER, 0, all),
+                    action: 0,
+                    params: vec![phase::DELIVER, dslot],
+                },
+            ));
+        }
+        // fab_finish: clear scratch fields on every delivering frame.
+        ins.push((
+            "fab_finish".to_string(),
+            Entry {
+                value: MatchValue::Exact(phase::DELIVER),
+                action: 0,
+                params: vec![],
+            },
+        ));
+        leaf_installs.push(ins);
+    }
+
+    let mut spine_installs = Vec::new();
+    for &(lo, hi, owner) in &runs {
+        spine_installs.push((
+            "spine_route".to_string(),
+            Entry {
+                value: gkr(phase::TO_OWNER, lo, hi),
+                action: 0,
+                params: vec![owner as u64],
+            },
+        ));
+    }
+    spine_installs.push((
+        "spine_route".to_string(),
+        Entry {
+            value: gkr(phase::TO_EGRESS, 0, all),
+            action: 0,
+            params: vec![dleaf as u64],
+        },
+    ));
+
+    Ok(FabricPlacement {
+        leaf_program: leaf,
+        spine_program: spine,
+        leaf_installs,
+        spine_installs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile::{compile, CompileOptions};
+    use crate::header::{FieldDef, FieldId, HeaderDef, HeaderId};
+    use crate::parser::ParserSpec;
+    use crate::program::ProgramBuilder;
+    use crate::registers::{RegAluOp, RegisterDef};
+    use crate::target::TargetModel;
+
+    fn fr(f: u16) -> FieldRef {
+        FieldRef::new(HeaderId(0), FieldId(f))
+    }
+
+    /// A miniature of the conformance generator's fabric-mode programs:
+    /// scalar header with op/key/idx/val + scratch fields, a central
+    /// counter keyed on nothing, register indexed by idx.
+    fn logical() -> Program {
+        let mut b = ProgramBuilder::new("toy");
+        let h = b.header(HeaderDef::new(
+            "hdr",
+            vec![
+                FieldDef::scalar("op", 8),
+                FieldDef::scalar("key", 32),
+                FieldDef::scalar("idx", 16),
+                FieldDef::scalar("val", 32),
+                FieldDef::scalar("fphase", 8),
+                FieldDef::scalar("fgk", 16),
+            ],
+        ));
+        b.parser(ParserSpec::single(h));
+        let reg = b.register(RegisterDef::new("cnt", 64, 32));
+        b.table(TableDef {
+            name: "route".into(),
+            region: Region::Ingress,
+            key: None,
+            actions: vec![ActionDef::new(
+                "to0",
+                vec![ActionOp::SetEgress(Operand::Const(0))],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.table(TableDef {
+            name: "count".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new(
+                "bump",
+                vec![ActionOp::RegRmw {
+                    reg,
+                    index: Operand::Field(fr(2)),
+                    op: RegAluOp::Add,
+                    value: Operand::Field(fr(3)),
+                    fetch: None,
+                }],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.build()
+    }
+
+    fn spec() -> FabricSpec {
+        FabricSpec {
+            n_leaves: 4,
+            n_spines: 2,
+            hosts_per_leaf: 2,
+            phase_field: fr(4),
+            gk_field: fr(5),
+            steer_field: fr(2),
+            key_space: 64,
+            owners: (0..64).map(|k| (k / 16) as u32).collect(),
+            delivery_port: 0,
+        }
+    }
+
+    #[test]
+    fn placement_programs_validate() {
+        let placed = place(&logical(), &spec()).unwrap();
+        assert!(placed.leaf_program.validate().is_empty());
+        assert!(placed.spine_program.validate().is_empty());
+        assert_eq!(placed.leaf_installs.len(), 4);
+        // Synthesized ingress tables come first, central/egress last.
+        let names: Vec<&str> = placed
+            .leaf_program
+            .tables
+            .iter()
+            .map(|t| t.name.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            [
+                "fab_compute",
+                "fab_steer",
+                "route",
+                "count",
+                "fab_exit_compute",
+                "fab_exit",
+                "fab_finish"
+            ]
+        );
+        // Originals got phase-gated.
+        let route = &placed.leaf_program.tables[2];
+        assert!(matches!(
+            route.actions[0].ops[0],
+            ActionOp::IfEq {
+                b: Operand::Const(phase::RUN),
+                ..
+            }
+        ));
+        let count = &placed.leaf_program.tables[3];
+        assert!(matches!(
+            count.actions[0].ops[0],
+            ActionOp::IfEq {
+                b: Operand::Const(phase::RUN),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn ownership_runs_cover_key_space() {
+        let s = spec();
+        let runs = s.ownership_runs();
+        assert_eq!(runs.len(), 4);
+        assert_eq!(runs[0], (0, 15, 0));
+        assert_eq!(runs[3], (48, 63, 3));
+        // Each leaf runs its own range locally, forwards the rest.
+        let placed = place(&logical(), &s).unwrap();
+        let steer0: Vec<&Entry> = placed.leaf_installs[0]
+            .iter()
+            .filter(|(n, _)| n == "fab_steer")
+            .map(|(_, e)| e)
+            .collect();
+        // 4 phase-0 runs + 1 phase-2 catch-all + phase-3 (leaf 0 delivers).
+        assert_eq!(steer0.len(), 6);
+        let own = steer0
+            .iter()
+            .filter(|e| e.action == 0 && e.params == vec![phase::RUN])
+            .count();
+        assert_eq!(own, 2, "own range (phase 0) + TO_OWNER catch-all");
+    }
+
+    #[test]
+    fn spine_program_is_stateless_and_compiles_on_rmt() {
+        let placed = place(&logical(), &spec()).unwrap();
+        assert!(placed.spine_program.registers.is_empty());
+        assert!(!placed.spine_program.uses_central());
+        // Spines need no ADCP central area: an RMT spine works too.
+        compile(
+            &placed.spine_program,
+            &TargetModel::rmt_640g(),
+            CompileOptions::default(),
+        )
+        .expect("spine program must compile for RMT");
+        compile(
+            &placed.spine_program,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .expect("spine program must compile for ADCP");
+    }
+
+    #[test]
+    fn scratch_field_writes_rejected() {
+        let mut p = logical();
+        p.tables[0].actions[0].ops.push(ActionOp::Set {
+            dst: fr(5),
+            src: Operand::Const(1),
+        });
+        assert!(matches!(
+            place(&p, &spec()),
+            Err(PlaceError::FieldConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn steer_mask_allowed_but_rewrite_rejected() {
+        // The range-check idiom `idx &= key_space-1` is the identity on
+        // every in-range key and must place fine…
+        let mut p = logical();
+        p.tables[0].actions[0].ops.insert(
+            0,
+            ActionOp::Bin {
+                dst: fr(2),
+                op: BinOp::And,
+                a: Operand::Field(fr(2)),
+                b: Operand::Const(63),
+            },
+        );
+        assert!(place(&p, &spec()).is_ok());
+        // …but an arbitrary steer rewrite before egress cannot.
+        let mut p = logical();
+        p.tables[0].actions[0].ops.insert(
+            0,
+            ActionOp::Set {
+                dst: fr(2),
+                src: Operand::Const(1),
+            },
+        );
+        assert!(matches!(
+            place(&p, &spec()),
+            Err(PlaceError::FieldConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn non_steer_register_index_rejected() {
+        let mut p = logical();
+        p.tables[1].actions[0].ops = vec![ActionOp::RegRmw {
+            reg: crate::registers::RegId(0),
+            index: Operand::Const(3),
+            op: RegAluOp::Add,
+            value: Operand::Const(1),
+            fetch: None,
+        }];
+        assert!(matches!(
+            place(&p, &spec()),
+            Err(PlaceError::ForbiddenOp { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_owners_rejected() {
+        let mut s = spec();
+        s.owners.pop();
+        assert!(matches!(
+            place(&logical(), &s),
+            Err(PlaceError::Topology(_))
+        ));
+        let mut s = spec();
+        s.owners[0] = 9;
+        assert!(matches!(
+            place(&logical(), &s),
+            Err(PlaceError::Topology(_))
+        ));
+    }
+
+    #[test]
+    fn reserved_name_rejected() {
+        let mut p = logical();
+        p.tables[0].name = "fab_steer".into();
+        assert!(matches!(
+            place(&p, &spec()),
+            Err(PlaceError::NameCollision { .. })
+        ));
+    }
+}

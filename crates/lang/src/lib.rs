@@ -11,6 +11,8 @@
 //!   primitives (including wide register ops), stateful register files.
 //! * [`program`] — complete programs + validation + a fluent builder.
 //! * [`target`] — per-architecture resource models (Table 2/3 presets).
+//! * [`fabric`] — one-big-switch → leaf–spine placement: phase-gated
+//!   program splitting with key-range state ownership (SNAP/LOADER-style).
 //! * [`compile`] — placement onto targets. Array tables replicate on RMT
 //!   (Fig. 3) and share interconnected MAU memory on ADCP (Fig. 6);
 //!   central tables lower to egress-pinning or recirculation on RMT
@@ -25,6 +27,7 @@ pub mod action;
 pub mod compile;
 pub mod describe;
 pub mod exec;
+pub mod fabric;
 pub mod header;
 pub mod parser;
 pub mod phv;
@@ -41,6 +44,7 @@ pub use compile::{
 };
 pub use describe::{describe_placement, describe_program};
 pub use exec::{RegionRunStats, RegionState};
+pub use fabric::{place, FabricPlacement, FabricSpec, PlaceError};
 pub use header::{deposit_bits, extract_bits, FieldDef, FieldId, FieldRef, HeaderDef, HeaderId};
 pub use parser::{
     deparse, deparse_into, ParseError, ParseOutcome, ParserSpec, ParserState, StateId, Transition,

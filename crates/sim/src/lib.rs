@@ -7,6 +7,8 @@
 //!   domains (the currency of the paper's Tables 2 and 3).
 //! * [`packet`] — packets, flows, coflows, and forwarding specs.
 //! * [`port`] — RX/TX link models with exact serialization timing.
+//! * [`link`] — inter-switch cables (store-and-forward serialization plus
+//!   propagation latency) for multi-switch fabrics.
 //! * [`queue`] — bounded queues and shared-memory buffer pools.
 //! * [`sched`] — FIFO / strict-priority / DRR / order-preserving-merge
 //!   schedulers (the last is the §3.1 "expanded TM semantics").
@@ -27,6 +29,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod link;
 pub mod metrics;
 pub mod packet;
 pub mod port;
@@ -40,6 +43,7 @@ pub mod trace;
 
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
+pub use link::Link;
 pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry, ScopeId, SeriesId, TimeSeries};
 pub use packet::{
     synthetic_packet, CoflowId, EgressSpec, FlowId, Packet, PacketMeta, PortId, MIN_WIRE_BYTES,

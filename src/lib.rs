@@ -13,6 +13,8 @@
 //!   managers, global partitioned area, array MAUs, port demultiplexing.
 //! * [`ctrl`] — the control plane for the global partitioned area: load
 //!   observation, repartition planning, live state migration.
+//! * [`fabric`] — leaf–spine fabric of ADCP switches: modeled links, the
+//!   one-big-switch placement pass, cross-switch state ownership.
 //! * [`workloads`] — coflow/zipf/gradient/shuffle/BSP generators.
 //! * [`apps`] — the Table 1 applications on both architectures.
 //! * [`analytic`] — the paper's Tables 2/3 arithmetic and §4 feasibility
@@ -30,6 +32,7 @@ pub use adcp_analytic as analytic;
 pub use adcp_apps as apps;
 pub use adcp_core as core;
 pub use adcp_ctrl as ctrl;
+pub use adcp_fabric as fabric;
 pub use adcp_lang as lang;
 pub use adcp_rmt as rmt;
 pub use adcp_sim as sim;
