@@ -73,6 +73,14 @@ impl AnySwitch {
         }
     }
 
+    /// Run every event scheduled at or before `t`, then stop.
+    pub fn run_until(&mut self, t: SimTime) -> SimTime {
+        match self {
+            AnySwitch::Rmt(s) => s.run_until(t),
+            AnySwitch::Adcp(s) => s.run_until(t),
+        }
+    }
+
     /// Set the central-pipeline worker count. ADCP only — the RMT targets
     /// have no central pipelines, so this is a no-op there. Output is
     /// byte-identical for any value.

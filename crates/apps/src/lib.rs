@@ -12,8 +12,10 @@
 //! * [`kvcache`] — key/value cache with array lookups (exercises Fig. 3).
 //! * [`netlock`] — in-network ticket-lock service (the coordination class
 //!   of §1), with a packet-record mutual-exclusion proof.
-//! * [`flowlet`] — HULA-style flowlet load balancing: the *per-flow*
-//!   control case that classic RMT handles natively (§1's own example).
+//! * [`flowlet`] — load-driven flowlet forwarding (HULA-style): per-flow
+//!   state plus shared per-uplink load estimates fed by decay probes.
+//! * [`ddos`] — per-source DDoS detection with threshold promotion /
+//!   demotion and a mid-attack live reshard of the hot key range.
 //!
 //! [`driver`] holds the shared switch abstraction and the [`driver::
 //! AppReport`] all apps produce.
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod dbshuffle;
+pub mod ddos;
 pub mod driver;
 pub mod flowlet;
 pub mod graphmine;

@@ -9,7 +9,7 @@
 //! the complete `AppReport` to JSON and compare the bytes across worker
 //! counts 1, 2, and 4 for the three central-state-heavy apps.
 
-use adcp_apps::{dbshuffle, migrate, paramserv, TargetKind};
+use adcp_apps::{dbshuffle, ddos, flowlet, migrate, paramserv, TargetKind};
 use serde::Serialize;
 
 fn json<T: Serialize>(v: &T) -> String {
@@ -64,6 +64,85 @@ fn dbshuffle_identical_across_worker_counts() {
         assert_eq!(
             reports[0], reports[2],
             "dbshuffle seed {seed}: 1 vs 4 workers diverged"
+        );
+    }
+}
+
+/// The TE workload: shared per-uplink load estimates mean same-replica
+/// central pulls race when sharded — the full report (per-uplink loads,
+/// repick counts, latency, metrics) must not depend on the worker count.
+#[test]
+fn flowlet_ldf_identical_across_worker_counts() {
+    for seed in [4u64, 19] {
+        let mut outcomes = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let cfg = flowlet::LdfCfg {
+                seed,
+                central_workers: workers,
+                ..Default::default()
+            };
+            let out = flowlet::run(TargetKind::Adcp, &cfg);
+            assert!(
+                out.report.correct,
+                "flowlet-ldf seed {seed} workers {workers}"
+            );
+            let fingerprint = format!(
+                "{}|{}|{}|{:?}",
+                json(&out.report),
+                out.repicks,
+                out.wraps,
+                out.per_uplink,
+            );
+            outcomes.push(fingerprint);
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "flowlet-ldf seed {seed}: 1 vs 2 workers diverged"
+        );
+        assert_eq!(
+            outcomes[0], outcomes[2],
+            "flowlet-ldf seed {seed}: 1 vs 4 workers diverged"
+        );
+    }
+}
+
+/// The security workload, with the live mid-attack reshard on: sharded
+/// execution interleaves with the migration fences, and the whole
+/// outcome — drops, promotion/demotion counts, migration stats, final
+/// epoch, skew figures — must not depend on the worker count.
+#[test]
+fn ddos_identical_across_worker_counts() {
+    for seed in [11u64, 27] {
+        let mut outcomes = Vec::new();
+        for workers in [1usize, 2, 4] {
+            let cfg = ddos::DdosCfg {
+                seed,
+                central_workers: workers,
+                ..Default::default()
+            };
+            let out = ddos::run(TargetKind::Adcp, &cfg);
+            assert!(out.report.correct, "ddos seed {seed} workers {workers}");
+            let fingerprint = format!(
+                "{}|{}|{}|{}|{}|{:?}|{}|{}|{}",
+                json(&out.report),
+                out.promotions,
+                out.demotions,
+                out.predicted_drops,
+                out.rebalances,
+                out.stats,
+                out.final_epoch,
+                out.skew_before,
+                out.skew_after,
+            );
+            outcomes.push(fingerprint);
+        }
+        assert_eq!(
+            outcomes[0], outcomes[1],
+            "ddos seed {seed}: 1 vs 2 workers diverged"
+        );
+        assert_eq!(
+            outcomes[0], outcomes[2],
+            "ddos seed {seed}: 1 vs 4 workers diverged"
         );
     }
 }

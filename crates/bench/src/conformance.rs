@@ -230,7 +230,8 @@ fn gen_binop(rng: &mut SimRng) -> BinOp {
         BinOp::Max,
         BinOp::Shl,
         BinOp::Shr,
-    ][rng.index(9)]
+        BinOp::Ge,
+    ][rng.index(10)]
 }
 
 fn gen_regop(rng: &mut SimRng) -> RegAluOp {
@@ -896,7 +897,7 @@ fn run_reference(case: &GenCase, prepared: &[PreparedPacket]) -> Result<Outcome,
         regs: case
             .state_regs
             .iter()
-            .map(|r| cen.register(*r).snapshot().to_vec())
+            .map(|r| cen.register(*r).snapshot())
             .collect(),
     })
 }
@@ -1160,7 +1161,7 @@ fn run_adcp(
             }
             case.state_regs
                 .iter()
-                .map(|r| sw.central_register(0, *r).unwrap().snapshot().to_vec())
+                .map(|r| sw.central_register(0, *r).unwrap().snapshot())
                 .collect()
         }
         Some(p) => {
@@ -1311,7 +1312,7 @@ fn run_rmt(
     let regs = case
         .state_regs
         .iter()
-        .map(|r| sw.central_register(0, *r).snapshot().to_vec())
+        .map(|r| sw.central_register(0, *r).snapshot())
         .collect();
     let delivered_raw = sw
         .take_delivered()

@@ -1,0 +1,206 @@
+//! E-TS1 — stateful TE/security workloads at flow-table scale (see
+//! `EXPERIMENTS.md`).
+//!
+//! Two applications from the BEBA/OPP exemplar family — load-driven
+//! flowlet forwarding (`flowlet-ldf`) and per-source DDoS detection with
+//! live hot-range isolation (`ddos`) — run on the ADCP and on both RMT
+//! lowerings. Quick mode keeps the unit-test scale; full mode drives a
+//! **million live flows** per app per target, the scale the paged
+//! register files, the O(1) Zipf sampler, and `ctrl`'s range
+//! repartitioning exist for. Every row verifies against the app's exact
+//! host reference (same fates, same ports, per seed); the ADCP `ddos`
+//! row additionally shows the mid-attack `ctrl` reshard of the hot key
+//! range completing with zero misroutes.
+
+use adcp_apps::{ddos, flowlet, TargetKind};
+use serde::Serialize;
+
+/// One app × target point of the E-TS1 sweep.
+#[derive(Debug, Clone, Serialize)]
+pub struct TseRow {
+    /// Application name (`flowlet-ldf` or `ddos`).
+    pub app: String,
+    /// Architecture variant.
+    pub target: String,
+    /// Live flows (distinct benign sources) the workload draws from.
+    pub flows: u64,
+    /// Packets injected.
+    pub injected: u64,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Drops (for `ddos`, mitigation: packets the promoted entries ate).
+    pub drops: u64,
+    /// Recirculation passes (RMT recirc lowering only).
+    pub recirc_passes: u64,
+    /// Did the run match its host reference exactly?
+    pub correct: bool,
+    /// `flowlet-ldf`: flowlet-gap uplink re-picks the reference confirmed.
+    pub repicks: u64,
+    /// `ddos`: 0→1 threshold promotions.
+    pub promotions: u64,
+    /// `ddos`: 1→0 hysteresis demotions during cooldown.
+    pub demotions: u64,
+    /// `ddos` on ADCP: security-controller reshards that completed.
+    pub rebalances: u64,
+    /// `ddos` on ADCP: register cells the live migrations moved.
+    pub moved_keys: u64,
+    /// `ddos` on ADCP: packets serviced by a wrong owner mid-migration
+    /// (the invariant is that this stays **zero**).
+    pub misroutes: u64,
+    /// `ddos` on ADCP: peak pipe-load skew before the controller reacted.
+    pub skew_before: f64,
+    /// `ddos` on ADCP: pipe-load skew after the last reshard settled.
+    pub skew_after: f64,
+    /// Delivered-packet p99 latency, ns.
+    pub p99_ns: f64,
+}
+
+const TARGETS: [TargetKind; 3] = [
+    TargetKind::Adcp,
+    TargetKind::RmtPinned,
+    TargetKind::RmtRecirc,
+];
+
+fn flowlet_cfg(quick: bool) -> flowlet::LdfCfg {
+    if quick {
+        flowlet::LdfCfg::default()
+    } else {
+        flowlet::LdfCfg {
+            flows: 1_000_000,
+            pkts: 60_000,
+            ..Default::default()
+        }
+    }
+}
+
+fn ddos_cfg(quick: bool) -> ddos::DdosCfg {
+    if quick {
+        ddos::DdosCfg::default()
+    } else {
+        ddos::DdosCfg {
+            flows: 1_000_000,
+            attackers: 32,
+            pkts: 60_000,
+            cool_pkts: 20_000,
+            window_pkts: 2_000,
+            ..Default::default()
+        }
+    }
+}
+
+/// Run the E-TS1 sweep: both apps on all three targets.
+pub fn exp_tse(quick: bool) -> Vec<TseRow> {
+    exp_tse_impl(quick, true)
+}
+
+fn exp_tse_impl(quick: bool, parallel: bool) -> Vec<TseRow> {
+    let mut points: Vec<(&str, TargetKind)> = Vec::new();
+    for kind in TARGETS {
+        points.push(("flowlet-ldf", kind));
+    }
+    for kind in TARGETS {
+        points.push(("ddos", kind));
+    }
+    crate::par::map_points(parallel, points, |(app, kind)| match app {
+        "flowlet-ldf" => {
+            let cfg = flowlet_cfg(quick);
+            let o = flowlet::run(kind, &cfg);
+            TseRow {
+                app: app.into(),
+                target: kind.label().into(),
+                flows: cfg.flows,
+                injected: o.report.injected,
+                delivered: o.report.delivered,
+                drops: o.report.drops,
+                recirc_passes: o.report.recirc_passes,
+                correct: o.report.correct,
+                repicks: o.repicks,
+                promotions: 0,
+                demotions: 0,
+                rebalances: 0,
+                moved_keys: 0,
+                misroutes: 0,
+                skew_before: 0.0,
+                skew_after: 0.0,
+                p99_ns: o.report.latency.p99_ns,
+            }
+        }
+        _ => {
+            let cfg = ddos_cfg(quick);
+            let o = ddos::run(kind, &cfg);
+            TseRow {
+                app: app.into(),
+                target: kind.label().into(),
+                flows: cfg.flows,
+                injected: o.report.injected,
+                delivered: o.report.delivered,
+                drops: o.report.drops,
+                recirc_passes: o.report.recirc_passes,
+                correct: o.report.correct,
+                repicks: 0,
+                promotions: o.promotions,
+                demotions: o.demotions,
+                rebalances: o.rebalances as u64,
+                moved_keys: o.stats.moved_keys,
+                misroutes: o.stats.misroutes,
+                skew_before: o.skew_before,
+                skew_after: o.skew_after,
+                p99_ns: o.report.latency.p99_ns,
+            }
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tse_sweep_par_matches_seq() {
+        let par = serde_json::to_string(&exp_tse_impl(true, true)).unwrap();
+        let seq = serde_json::to_string(&exp_tse_impl(true, false)).unwrap();
+        assert_eq!(par, seq, "tse rows must not depend on scheduling");
+    }
+
+    #[test]
+    fn tse_quick_shapes() {
+        let rows = exp_tse(true);
+        assert_eq!(rows.len(), 6);
+        for r in &rows {
+            assert!(
+                r.correct,
+                "{}/{} diverged from its reference",
+                r.app, r.target
+            );
+            assert!(r.injected > 0 && r.delivered > 0, "{}/{}", r.app, r.target);
+        }
+        // The TE app re-picks uplinks on flowlet gaps on every target.
+        for r in rows.iter().filter(|r| r.app == "flowlet-ldf") {
+            assert!(r.repicks > 0, "{}: no flowlet re-picks", r.target);
+        }
+        // The attack ramp promotes entries everywhere; mitigation drops.
+        for r in rows.iter().filter(|r| r.app == "ddos") {
+            assert!(r.promotions > 0 && r.demotions > 0, "{}", r.target);
+            assert!(r.drops > 0, "{}: mitigation never fired", r.target);
+        }
+        // The ADCP point runs the security controller: a mid-attack
+        // reshard completes, moves state, and misroutes nothing.
+        let d = rows
+            .iter()
+            .find(|r| r.app == "ddos" && r.target == "adcp")
+            .unwrap();
+        assert!(d.rebalances >= 1, "controller never resharded");
+        assert!(d.moved_keys > 0);
+        assert_eq!(d.misroutes, 0, "live reshard must not misroute");
+        // The recirc lowering pays its tax on both apps.
+        for r in rows.iter().filter(|r| r.target == "rmt/recirc") {
+            assert!(
+                r.recirc_passes >= r.injected,
+                "{}: {} passes / {} injected",
+                r.app,
+                r.recirc_passes,
+                r.injected
+            );
+        }
+    }
+}

@@ -15,6 +15,9 @@
 //! * [`exp_faults`] — aggregation completion vs per-link loss.
 //! * [`exp_load`] — offered load vs latency on both architectures (the
 //!   honest cost of the central hop).
+//! * [`exp_tse`] — E-TS1: the stateful TE/security workloads (load-driven
+//!   flowlet forwarding, DDoS detection with live hot-range isolation) at
+//!   up to a million live flows per target.
 //! * [`conformance`] — the E-C1 differential conformance harness: random
 //!   program/workload generation, three-way RMT↔ADCP↔reference
 //!   equivalence, fault-injection soak, and failure shrinking behind the
@@ -44,6 +47,7 @@ pub mod exp_load;
 pub mod exp_migrate;
 pub mod exp_sched;
 pub mod exp_tables;
+pub mod exp_tse;
 pub mod journey;
 pub mod par;
 pub mod report;

@@ -9,7 +9,9 @@
 //! PRs accumulate a comparable perf history.
 
 use adcp_apps::driver::{AppReport, TargetKind};
-use adcp_apps::{dbshuffle, graphmine, groupcomm, kvcache, migrate, netlock, paramserv};
+use adcp_apps::{
+    dbshuffle, ddos, flowlet, graphmine, groupcomm, kvcache, migrate, netlock, paramserv,
+};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -166,6 +168,56 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
         ));
     }
 
+    // The TE/security workloads (ROADMAP item 4). Full mode runs a
+    // million live flows — the scale the paged register files and the
+    // O(1) Zipf sampler exist for; quick keeps the same programs at
+    // sanity size.
+    let fl = if quick {
+        flowlet::LdfCfg {
+            flows: 256,
+            pkts: 1_500,
+            ..Default::default()
+        }
+    } else {
+        flowlet::LdfCfg {
+            flows: 1_000_000,
+            pkts: 40_000,
+            ..Default::default()
+        }
+    };
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let fl = fl.clone();
+        jobs.push((
+            "flowlet-ldf",
+            k,
+            Box::new(move || flowlet::run(k, &fl).report.into()),
+        ));
+    }
+
+    let dd = if quick {
+        ddos::DdosCfg {
+            flows: 4_000,
+            attackers: 4,
+            pkts: 2_000,
+            cool_pkts: 1_000,
+            window_pkts: 200,
+            ..Default::default()
+        }
+    } else {
+        ddos::DdosCfg {
+            flows: 1_000_000,
+            attackers: 32,
+            pkts: 40_000,
+            cool_pkts: 10_000,
+            window_pkts: 2_000,
+            ..Default::default()
+        }
+    };
+    for k in [TargetKind::Adcp, TargetKind::RmtRecirc] {
+        let dd = dd.clone();
+        jobs.push(("ddos", k, Box::new(move || ddos::run(k, &dd).report.into())));
+    }
+
     // The leaf–spine fabric demo: six event loops coupled by modeled
     // links, the placement pass, and cross-switch steering. Tracks how
     // fast the simulator moves packets through a whole topology rather
@@ -189,24 +241,52 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
 
 /// Run the fixed suite. Each point runs once untimed (warmup: page in
 /// code, fault the allocator, settle caches) and then `reps` timed
-/// repetitions; the reported wall time is the **median** repetition and the
-/// row carries the min-to-max spread so noisy points are visible in the
-/// recorded trajectory. The apps run in parallel across points but each
-/// point's repetitions are timed individually on its worker thread.
+/// repetitions; the reported wall time is the **median of the fastest
+/// third** of the sorted repetitions and the row carries that core's
+/// min-to-max spread so noisy points are visible in the recorded
+/// trajectory. Timing noise on a busy host is one-sided — scheduling,
+/// page faults, and frequency drift only ever *add* time — so the fastest
+/// repetitions are the closest estimate of the true cost; the raw
+/// min-to-max spread used to exceed 30% on sub-millisecond quick points
+/// and made the CI `--check` guard vacuous. Quick mode also floors the
+/// repetition count at 15 so the kept core holds several samples, and
+/// keeps sampling (up to a hard cap) while the core's spread is still
+/// above the 15% noise flag — host noise is bursty, and a fixed rep
+/// count can land entirely inside one burst. The points are timed
+/// **sequentially**: concurrent points contend for cores and that
+/// contention showed up directly as spread, which is exactly the noise
+/// this suite exists to keep out of the recorded trajectory.
 pub fn run_suite(quick: bool, reps: u32) -> Vec<SnapshotRow> {
-    let reps = reps.max(1);
-    crate::par::par_map(suite_jobs(quick), move |(app, _kind, job)| {
+    let min_reps = if quick { reps.max(15) } else { reps.max(1) };
+    // Quick points run in milliseconds, so re-sampling a noisy one is
+    // cheap; full points run for seconds, so they get their fixed count.
+    let cap_reps = if quick { min_reps.max(180) } else { min_reps };
+    crate::par::seq_map(suite_jobs(quick), move |(app, _kind, job)| {
         let report = job(); // warmup, untimed
-        let mut times_ns: Vec<u128> = (0..reps)
+        let mut times_ns: Vec<u128> = (0..min_reps)
             .map(|_| {
                 let t0 = Instant::now();
                 job();
                 t0.elapsed().as_nanos()
             })
             .collect();
-        times_ns.sort_unstable();
-        let median_ns = times_ns[times_ns.len() / 2];
-        let spread = (times_ns[times_ns.len() - 1] - times_ns[0]) as f64 / median_ns as f64;
+        let (median_ns, spread) = loop {
+            times_ns.sort_unstable();
+            // Keep at least two samples (when available) so the spread
+            // flag never degenerates to a vacuous 0% on low-rep runs.
+            let core_len = (times_ns.len() / 3).max(2).min(times_ns.len());
+            let core = &times_ns[..core_len];
+            let median_ns = core[core.len() / 2];
+            let spread = (core[core.len() - 1] - core[0]) as f64 / median_ns as f64;
+            if spread <= 0.15 || times_ns.len() >= cap_reps as usize {
+                break (median_ns, spread);
+            }
+            for _ in 0..5 {
+                let t0 = Instant::now();
+                job();
+                times_ns.push(t0.elapsed().as_nanos());
+            }
+        };
         let wall_s = median_ns as f64 / 1e9;
         SnapshotRow {
             app: app.to_string(),
@@ -386,14 +466,14 @@ mod tests {
     #[test]
     fn quick_suite_measures_every_point() {
         let rows = run_suite(true, 1);
-        assert_eq!(rows.len(), 15);
+        assert_eq!(rows.len(), 19);
         for r in &rows {
             assert!(r.wall_ms > 0.0, "{}/{} wall time", r.app, r.target);
             assert!(r.sim_pkts_per_wall_sec > 0.0, "{}/{} rate", r.app, r.target);
             assert!(r.injected > 0);
         }
         // Both architectures appear for every app, plus the fabric point.
-        assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 7);
+        assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 9);
         let fab = rows
             .iter()
             .find(|r| r.target == "fabric/2x4")

@@ -6,7 +6,9 @@
 //! `adcp_sim::metrics`; this module is presentation plus app dispatch.
 
 use adcp_apps::driver::{AppReport, TargetKind};
-use adcp_apps::{dbshuffle, flowlet, graphmine, groupcomm, kvcache, migrate, netlock, paramserv};
+use adcp_apps::{
+    dbshuffle, ddos, flowlet, graphmine, groupcomm, kvcache, migrate, netlock, paramserv,
+};
 use serde::Value;
 
 /// Application names `adcp-trace --app` accepts, in menu order.
@@ -17,7 +19,8 @@ pub const APP_NAMES: &[&str] = &[
     "groupcomm",
     "netlock",
     "kvcache",
-    "flowlet",
+    "flowlet-ldf",
+    "ddos",
     "partmigrate",
 ];
 
@@ -100,13 +103,24 @@ pub fn run_one_with(
             }
             kvcache::run(kind, &cfg).report
         }
-        "flowlet" => {
-            let mut cfg = flowlet::FlowletCfg::default();
+        "flowlet-ldf" => {
+            let mut cfg = flowlet::LdfCfg::default();
             if quick {
-                cfg.flows = 16;
-                cfg.pkts_per_flow = 8;
+                cfg.flows = 256;
+                cfg.pkts = 1_500;
             }
-            flowlet::run(kind, &cfg)
+            flowlet::run(kind, &cfg).report
+        }
+        "ddos" => {
+            let mut cfg = ddos::DdosCfg::default();
+            if quick {
+                cfg.flows = 4_000;
+                cfg.attackers = 4;
+                cfg.pkts = 2_000;
+                cfg.cool_pkts = 1_000;
+                cfg.window_pkts = 200;
+            }
+            ddos::run(kind, &cfg).report
         }
         "partmigrate" => {
             let mut cfg = migrate::MigrateCfg::default();

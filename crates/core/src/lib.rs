@@ -548,12 +548,7 @@ mod tests {
             }
             sw.run_until_idle();
             let regs: Vec<Vec<u64>> = (0..sw.num_central())
-                .map(|c| {
-                    sw.central_register(c, RegId(0))
-                        .unwrap()
-                        .snapshot()
-                        .to_vec()
-                })
+                .map(|c| sw.central_register(c, RegId(0)).unwrap().snapshot())
                 .collect();
             let frames: Vec<(u64, Vec<u8>)> = sw
                 .take_delivered()

@@ -549,7 +549,7 @@ impl Fabric {
             for cpipe in 0..leaf.num_central() {
                 for r in 0..leaf.program().registers.len() {
                     if let Some(file) = leaf.central_register(cpipe, RegId(r as u16)) {
-                        reg_words.extend_from_slice(file.snapshot());
+                        reg_words.extend(file.snapshot());
                     }
                 }
             }

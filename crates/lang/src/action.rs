@@ -43,6 +43,8 @@ pub enum BinOp {
     Shl,
     /// Right shift (by `b & 63`).
     Shr,
+    /// Greater-or-equal comparison: 1 when `a >= b`, else 0.
+    Ge,
 }
 
 impl BinOp {
@@ -58,6 +60,7 @@ impl BinOp {
             BinOp::Max => a.max(b),
             BinOp::Shl => a.wrapping_shl((b & 63) as u32),
             BinOp::Shr => a.wrapping_shr((b & 63) as u32),
+            BinOp::Ge => (a >= b) as u64,
         }
     }
 }
@@ -376,6 +379,10 @@ mod tests {
         assert_eq!(BinOp::Shl.eval(1, 64), 1, "shift masked to 6 bits");
         assert_eq!(BinOp::And.eval(0b1100, 0b1010), 0b1000);
         assert_eq!(BinOp::Or.eval(0b1100, 0b1010), 0b1110);
+        assert_eq!(BinOp::Ge.eval(5, 5), 1);
+        assert_eq!(BinOp::Ge.eval(6, 5), 1);
+        assert_eq!(BinOp::Ge.eval(4, 5), 0);
+        assert_eq!(BinOp::Ge.eval(u64::MAX, 0), 1, "comparison is unsigned");
     }
 
     #[test]

@@ -395,28 +395,73 @@ fn place_region(
                 slots_available: target.maus_per_stage,
             });
         }
-        if cost.reg_bits > target.stage_reg_bits {
-            return Err(CompileError::RegisterOverflow {
-                table: def.name.clone(),
-                needed: cost.reg_bits,
-                budget: target.stage_reg_bits,
-            });
-        }
+        // Cascone-style relaxed state layout ("Relaxing state-access
+        // constraints"): a register file bigger than one stage's stateful
+        // budget is not an automatic error. On the ADCP's central region
+        // the cells are partitioned across the central pipes — the TM
+        // already steers each key to its owning pipe, so each pipe holds
+        // only `1/central_pipes` of the cells. Whatever remains may span
+        // several *consecutive* stages, buying capacity with pipeline
+        // depth and a documented per-packet RMW hazard window (the read
+        // in the first spanned stage and the write in the last are not
+        // atomic w.r.t. packets in flight between them). RMT replicates
+        // register state per pipe, so it gets no partition discount:
+        // million-flow exact state overflows there unless the program
+        // folds its key space.
+        let (stage_reg, span) = if cost.reg_bits > target.stage_reg_bits {
+            let partitioned =
+                region == Region::Central && target.has_central() && target.central_pipes > 1;
+            let resident = if partitioned {
+                cost.reg_bits.div_ceil(target.central_pipes as u64)
+            } else {
+                cost.reg_bits
+            };
+            let span = resident.div_ceil(target.stage_reg_bits).max(1);
+            if span > stage_budget as u64 {
+                return Err(CompileError::RegisterOverflow {
+                    table: def.name.clone(),
+                    needed: resident,
+                    budget: target.stage_reg_bits * stage_budget as u64,
+                });
+            }
+            if partitioned {
+                notes.push(format!(
+                    "table {}: {} register bits partitioned across {} central pipes \
+                     ({resident} bits resident per pipe)",
+                    def.name, cost.reg_bits, target.central_pipes
+                ));
+            }
+            if span > 1 {
+                notes.push(format!(
+                    "table {}: register state spans {span} consecutive stages \
+                     ({resident} bits vs {} per stage); per-packet RMW is non-atomic \
+                     across the span — relaxed state-access hazard window of {} \
+                     extra stage(s)",
+                    def.name,
+                    target.stage_reg_bits,
+                    span - 1
+                ));
+            }
+            (resident.div_ceil(span), span as usize)
+        } else {
+            (cost.reg_bits, 1)
+        };
 
         // Earliest stage: strictly after every same-region table this one
         // depends on.
         let earliest = dependency_floor(program, region, gi, def, &placed_stage);
 
-        // First stage from `earliest` with room.
+        // First stage from `earliest` with room (for a spanning table: with
+        // register room in every stage of the span).
         let mut chosen = None;
         for s in earliest.. {
-            if s >= stage_budget as usize {
+            if s + span > stage_budget as usize {
                 return Err(CompileError::OutOfStages {
                     region,
                     budget: stage_budget,
                 });
             }
-            while plan.stages.len() <= s {
+            while plan.stages.len() < s + span {
                 plan.stages.push(StagePlan::default());
             }
             let st = &plan.stages[s];
@@ -426,7 +471,8 @@ fn place_region(
             // chip-wide pool is checked once at the end of compilation.
             let mem_ok = target.pooled_table_memory
                 || st.mem_bits_used + cost.mem_bits <= target.stage_mem_bits();
-            let reg_ok = st.reg_bits_used + cost.reg_bits <= target.stage_reg_bits;
+            let reg_ok = (s..s + span)
+                .all(|i| plan.stages[i].reg_bits_used + stage_reg <= target.stage_reg_bits);
             if slots_ok && mem_ok && reg_ok {
                 chosen = Some(s);
                 break;
@@ -436,7 +482,6 @@ fn place_region(
         let st = &mut plan.stages[s];
         st.mau_slots_used += cost.mau_slots;
         st.mem_bits_used += cost.mem_bits;
-        st.reg_bits_used += cost.reg_bits;
         st.tables.push(PlacedTable {
             table: gi,
             name: def.name.clone(),
@@ -446,7 +491,12 @@ fn place_region(
             mem_bits: cost.mem_bits,
             reg_bits: cost.reg_bits,
         });
-        placed_stage.insert(gi, s);
+        for i in s..s + span {
+            plan.stages[i].reg_bits_used += stage_reg;
+        }
+        // A spanning table's result is only coherent after its last stage,
+        // so dependents schedule past the whole span.
+        placed_stage.insert(gi, s + span - 1);
     }
     Ok(plan)
 }
@@ -471,10 +521,13 @@ fn table_cost(
     // The width that matters for resources is the wider of the key's array
     // width and any array the actions operate on.
     let width = width.max(program.action_array_width(def));
-    let reg_bits: u64 = def
-        .actions
+    // A register is provisioned once no matter how many ops (or actions)
+    // touch it — dedupe before summing.
+    let mut regs: Vec<_> = def.actions.iter().flat_map(|a| a.registers()).collect();
+    regs.sort_unstable_by_key(|r| r.0);
+    regs.dedup();
+    let reg_bits: u64 = regs
         .iter()
-        .flat_map(|a| a.registers())
         .map(|r| program.registers[r.0 as usize].total_bits())
         .sum();
 
@@ -968,6 +1021,124 @@ mod tests {
             .find(|t| t.name == "kv_lookup")
             .unwrap();
         assert_eq!(kv.mem_bits, kv_adcp.mem_bits * 8);
+    }
+
+    /// Program with a central per-flow register of `entries` 32-bit cells,
+    /// indexed by a packet field (the million-flow state shape).
+    fn stateful_program(entries: u32) -> Program {
+        let mut b = ProgramBuilder::new("stateful");
+        let h = b.header(HeaderDef::new(
+            "m",
+            vec![FieldDef::scalar("dst", 16), FieldDef::scalar("key", 32)],
+        ));
+        b.parser(ParserSpec::single(h));
+        let r = b.register(RegisterDef::new("flows", entries, 32));
+        b.table(TableDef {
+            name: "route".into(),
+            region: Region::Ingress,
+            key: None,
+            actions: vec![ActionDef::new(
+                "fwd",
+                vec![ActionOp::SetEgress(Operand::Const(0))],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.table(TableDef {
+            name: "flow_state".into(),
+            region: Region::Central,
+            key: None,
+            actions: vec![ActionDef::new(
+                "touch",
+                vec![ActionOp::RegRmw {
+                    reg: r,
+                    index: Operand::Field(fr(0, 1)),
+                    op: RegAluOp::Add,
+                    value: Operand::Const(1),
+                    fetch: None,
+                }],
+            )],
+            default_action: 0,
+            default_params: vec![],
+            size: 1,
+        });
+        b.build()
+    }
+
+    #[test]
+    fn million_flow_register_partitions_and_spans_on_adcp() {
+        // 10⁶ × 32 b = 32 Mbit of exact per-flow state. The ADCP partitions
+        // it across 4 central pipes (8 Mbit resident each), which still
+        // exceeds the 4 Mibit stage budget — so it spans 2 consecutive
+        // central stages, paying depth plus a recorded RMW hazard window.
+        let p = stateful_program(1_000_000);
+        let pl = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(pl.central_impl, CentralImpl::Native);
+        assert_eq!(pl.central.depth(), 2, "8 Mbit / 4 Mibit per stage");
+        assert_eq!(pl.region_cycles(Region::Central), 2, "depth is charged");
+        assert!(pl
+            .notes
+            .iter()
+            .any(|n| n.contains("partitioned across 4 central pipes")));
+        assert!(pl
+            .notes
+            .iter()
+            .any(|n| n.contains("spans 2 consecutive stages")));
+    }
+
+    #[test]
+    fn million_flow_register_overflows_rmt() {
+        // RMT gets no partition discount (per-pipe-replicated state): the
+        // full 32 Mbit would span 16 > 10 stages — a structural overflow.
+        let p = stateful_program(1_000_000);
+        match compile(&p, &TargetModel::rmt_12t(), CompileOptions::default()) {
+            Err(CompileError::RegisterOverflow { needed, budget, .. }) => {
+                assert_eq!(needed, 32_000_000);
+                assert_eq!(budget, 10 * 2 * 1024 * 1024, "whole-region capacity");
+            }
+            other => panic!("expected RegisterOverflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn folded_register_spans_on_rmt() {
+        // A hash-folded 2^18-slot table (8 Mibit) does fit RMT — across 4
+        // consecutive stages with the hazard note. This is the honest RMT
+        // fallback: collisions + spanning instead of exact state.
+        let p = stateful_program(1 << 18);
+        let pl = compile(&p, &TargetModel::rmt_12t(), CompileOptions::default()).unwrap();
+        assert_eq!(pl.central.depth(), 4, "8 Mibit / 2 Mibit per stage");
+        assert!(pl
+            .notes
+            .iter()
+            .any(|n| n.contains("spans 4 consecutive stages")));
+        assert!(
+            !pl.notes.iter().any(|n| n.contains("partitioned across")),
+            "no partition discount off the ADCP central region"
+        );
+    }
+
+    #[test]
+    fn small_registers_place_exactly_as_before() {
+        // The relaxed path only engages past one stage's budget: small
+        // registers keep the legacy single-stage accounting and no notes.
+        let p = stateful_program(4096);
+        let pl = compile(
+            &p,
+            &TargetModel::adcp_reference(),
+            CompileOptions::default(),
+        )
+        .unwrap();
+        assert_eq!(pl.central.depth(), 1);
+        assert_eq!(pl.central.stages[0].reg_bits_used, 4096 * 32);
+        assert!(!pl.notes.iter().any(|n| n.contains("spans")));
+        assert!(!pl.notes.iter().any(|n| n.contains("partitioned")));
     }
 
     #[test]

@@ -42,11 +42,21 @@ impl RegisterDef {
     }
 }
 
+/// Cells per lazily-allocated page. 4096 × 8 B = 32 KiB per resident page.
+const PAGE_CELLS: usize = 4096;
+
 /// Runtime instance of a register array (one per pipeline that hosts it —
 /// pipelines are shared-nothing, which is exactly the Fig. 2 limitation).
+///
+/// Storage is paged and lazy: every `RegionState` of every pipeline
+/// instantiates every program register, so a dense `Vec<u64>` would cost
+/// `cells × 8 B × pipelines × regions` up front — ~80 MB per instance at
+/// the 10⁷-flow scale. Pages materialize on first write; untouched cells
+/// read as zero, which is also their architectural reset value.
 #[derive(Debug, Clone)]
 pub struct RegisterFile {
-    cells: Vec<u64>,
+    pages: Vec<Option<Box<[u64; PAGE_CELLS]>>>,
+    len: usize,
     bits: u8,
     /// Total single-cell read-modify-write operations performed.
     pub ops: u64,
@@ -66,10 +76,13 @@ pub enum RegAluOp {
 }
 
 impl RegisterFile {
-    /// Zero-initialized instance of a definition.
+    /// Zero-initialized instance of a definition. Allocates only the page
+    /// table (one pointer-sized slot per 4096 cells); no cell storage.
     pub fn new(def: &RegisterDef) -> Self {
+        let len = def.entries as usize;
         RegisterFile {
-            cells: vec![0; def.entries as usize],
+            pages: vec![None; len.div_ceil(PAGE_CELLS)],
+            len,
             bits: def.bits,
             ops: 0,
         }
@@ -77,12 +90,21 @@ impl RegisterFile {
 
     /// Number of cells.
     pub fn len(&self) -> usize {
-        self.cells.len()
+        self.len
     }
 
     /// True when the file has no cells (cannot happen via `RegisterDef`).
     pub fn is_empty(&self) -> bool {
-        self.cells.is_empty()
+        self.len == 0
+    }
+
+    /// Bytes of cell storage currently resident (allocated pages plus the
+    /// page table). Lets tests assert the lazy layout holds: a fresh
+    /// 10⁷-cell file costs ~20 KB of page table, not 80 MB of cells.
+    pub fn resident_bytes(&self) -> usize {
+        let pages = self.pages.iter().filter(|p| p.is_some()).count();
+        pages * PAGE_CELLS * std::mem::size_of::<u64>()
+            + self.pages.capacity() * std::mem::size_of::<Option<Box<[u64; PAGE_CELLS]>>>()
     }
 
     fn mask(&self, v: u64) -> u64 {
@@ -93,40 +115,62 @@ impl RegisterFile {
         }
     }
 
+    fn get(&self, idx: usize) -> u64 {
+        if idx >= self.len {
+            return 0;
+        }
+        match &self.pages[idx / PAGE_CELLS] {
+            Some(p) => p[idx % PAGE_CELLS],
+            None => 0,
+        }
+    }
+
+    fn cell_mut(&mut self, idx: usize) -> &mut u64 {
+        let page = self.pages[idx / PAGE_CELLS].get_or_insert_with(|| Box::new([0; PAGE_CELLS]));
+        &mut page[idx % PAGE_CELLS]
+    }
+
     /// Read a cell. Out-of-range indices read as 0 (and are counted as an
     /// op — hardware would wrap; we saturate to a benign value and let the
     /// program validator reject static out-of-range indices).
     pub fn read(&mut self, idx: u64) -> u64 {
         self.ops += 1;
-        self.cells.get(idx as usize).copied().unwrap_or(0)
+        self.get(idx as usize)
     }
 
     /// Read without counting an op (stats/tests).
     pub fn peek(&self, idx: u64) -> u64 {
-        self.cells.get(idx as usize).copied().unwrap_or(0)
+        self.get(idx as usize)
     }
 
     /// Perform a read-modify-write; returns the value the cell held
     /// *before* the operation (fetch-op semantics).
     pub fn rmw(&mut self, idx: u64, op: RegAluOp, value: u64) -> u64 {
         self.ops += 1;
-        if idx as usize >= self.cells.len() {
+        if idx as usize >= self.len {
             return 0;
         }
-        let old = self.cells[idx as usize];
+        let mask = if self.bits >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << self.bits) - 1
+        };
+        let c = self.cell_mut(idx as usize);
+        let old = *c;
         let v = match op {
             RegAluOp::Write => value,
             RegAluOp::Add => old.wrapping_add(value),
             RegAluOp::Max => old.max(value),
             RegAluOp::Min => old.min(value),
         };
-        self.cells[idx as usize] = self.mask(v);
+        *c = v & mask;
         old
     }
 
     /// Reset every cell to zero (control-plane operation between epochs).
+    /// Drops all resident pages, returning the file to its fresh footprint.
     pub fn clear(&mut self) {
-        self.cells.iter_mut().for_each(|c| *c = 0);
+        self.pages.iter_mut().for_each(|p| *p = None);
     }
 
     /// Control-plane state migration: take one cell's value and zero the
@@ -134,8 +178,11 @@ impl RegisterFile {
     /// this is not a data-plane operation, so it does not count toward
     /// `ops`. Out-of-range indices extract 0.
     pub fn extract(&mut self, idx: usize) -> u64 {
-        match self.cells.get_mut(idx) {
-            Some(c) => std::mem::take(c),
+        if idx >= self.len {
+            return 0;
+        }
+        match &mut self.pages[idx / PAGE_CELLS] {
+            Some(p) => std::mem::take(&mut p[idx % PAGE_CELLS]),
             None => 0,
         }
     }
@@ -143,30 +190,62 @@ impl RegisterFile {
     /// Control-plane state migration: set one cell to a previously
     /// extracted value (the destination side of a shard move). Masked to
     /// the cell width; does not count toward `ops`. Out-of-range indices
-    /// are ignored.
+    /// are ignored. Restoring zero into an unallocated page stays lazy.
     pub fn restore(&mut self, idx: usize, value: u64) {
         let masked = self.mask(value);
-        if let Some(c) = self.cells.get_mut(idx) {
-            *c = masked;
+        if idx >= self.len {
+            return;
         }
+        if masked == 0 && self.pages[idx / PAGE_CELLS].is_none() {
+            return;
+        }
+        *self.cell_mut(idx) = masked;
     }
 
     /// Control-plane state migration: extract every cell selected by
     /// `select`, returning `(index, value)` pairs for the nonzero ones.
-    /// Selected cells are zeroed; does not count toward `ops`.
+    /// Selected cells are zeroed; does not count toward `ops`. Only
+    /// resident pages are visited, so the cost is O(occupied), not O(cells).
     pub fn drain(&mut self, mut select: impl FnMut(usize) -> bool) -> Vec<(usize, u64)> {
         let mut out = Vec::new();
-        for (i, c) in self.cells.iter_mut().enumerate() {
-            if select(i) && *c != 0 {
-                out.push((i, std::mem::take(c)));
+        for (pi, page) in self.pages.iter_mut().enumerate() {
+            let Some(p) = page else { continue };
+            let base = pi * PAGE_CELLS;
+            for (o, c) in p.iter_mut().enumerate() {
+                if *c != 0 && select(base + o) {
+                    out.push((base + o, std::mem::take(c)));
+                }
             }
         }
         out
     }
 
-    /// Snapshot of all cells (control-plane readout).
-    pub fn snapshot(&self) -> &[u64] {
-        &self.cells
+    /// Snapshot of all cells (control-plane readout). Materializes a dense
+    /// vector — intended for small registers and test assertions, not for
+    /// million-cell files on the hot path.
+    pub fn snapshot(&self) -> Vec<u64> {
+        let mut out = vec![0u64; self.len];
+        for (pi, page) in self.pages.iter().enumerate() {
+            let Some(p) = page else { continue };
+            let base = pi * PAGE_CELLS;
+            let n = PAGE_CELLS.min(self.len - base);
+            out[base..base + n].copy_from_slice(&p[..n]);
+        }
+        out
+    }
+
+    /// Iterate the nonzero cells as `(index, value)` pairs, visiting only
+    /// resident pages (control-plane readout at scale).
+    pub fn iter_nonzero(&self) -> impl Iterator<Item = (usize, u64)> + '_ {
+        self.pages.iter().enumerate().flat_map(move |(pi, page)| {
+            let base = pi * PAGE_CELLS;
+            page.iter().flat_map(move |p| {
+                p.iter()
+                    .enumerate()
+                    .filter(|(_, c)| **c != 0)
+                    .map(move |(o, c)| (base + o, *c))
+            })
+        })
     }
 }
 
@@ -270,5 +349,78 @@ mod tests {
         assert_eq!(f.peek(0), u64::MAX);
         f.rmw(0, RegAluOp::Add, 1);
         assert_eq!(f.peek(0), 0, "wraps at 64 bits");
+    }
+
+    #[test]
+    fn ten_million_cells_allocate_lazily() {
+        // A fresh 10⁷-cell file must cost page-table bytes (~20 KB), not
+        // dense cell storage (80 MB) — the property that makes million-flow
+        // register state affordable across every pipeline's RegionState.
+        let mut f = file(10_000_000, 32);
+        assert_eq!(f.len(), 10_000_000);
+        let fresh = f.resident_bytes();
+        assert!(
+            fresh < 64 * 1024,
+            "fresh footprint {fresh} B, want < 64 KiB"
+        );
+        // Touch a handful of scattered cells: one 32 KiB page each.
+        for idx in [0u64, 5_000_000, 9_999_999] {
+            f.rmw(idx, RegAluOp::Add, idx + 1);
+        }
+        assert_eq!(f.peek(5_000_000), 5_000_001);
+        assert_eq!(f.peek(5_000_001), 0, "neighbors in a fresh page read 0");
+        let touched = f.resident_bytes();
+        assert!(
+            touched < fresh + 4 * 32 * 1024,
+            "3 touched pages cost {touched} B"
+        );
+        // clear() returns to the lazy footprint.
+        f.clear();
+        assert_eq!(f.resident_bytes(), fresh);
+        assert_eq!(f.peek(5_000_000), 0);
+    }
+
+    #[test]
+    fn paged_drain_and_snapshot_cross_page_boundaries() {
+        let mut f = file(10_000, 32);
+        // Straddle the page boundary at 4096.
+        for idx in [4095u64, 4096, 8191, 8192, 9999] {
+            f.rmw(idx, RegAluOp::Write, idx);
+        }
+        let snap = f.snapshot();
+        assert_eq!(snap.len(), 10_000);
+        assert_eq!(snap[4095], 4095);
+        assert_eq!(snap[4096], 4096);
+        assert_eq!(snap[9999], 9999);
+        assert_eq!(snap.iter().filter(|&&c| c != 0).count(), 5);
+        let nz: Vec<_> = f.iter_nonzero().collect();
+        assert_eq!(
+            nz,
+            vec![
+                (4095, 4095),
+                (4096, 4096),
+                (8191, 8191),
+                (8192, 8192),
+                (9999, 9999)
+            ]
+        );
+        let moved = f.drain(|i| i >= 4096);
+        assert_eq!(
+            moved,
+            vec![(4096, 4096), (8191, 8191), (8192, 8192), (9999, 9999)]
+        );
+        assert_eq!(f.peek(4095), 4095, "unselected cell untouched");
+        assert_eq!(f.iter_nonzero().count(), 1);
+    }
+
+    #[test]
+    fn restore_zero_stays_lazy() {
+        let mut f = file(1_000_000, 32);
+        let fresh = f.resident_bytes();
+        f.restore(999_999, 0);
+        assert_eq!(f.resident_bytes(), fresh, "restoring 0 allocates nothing");
+        f.restore(999_999, 42);
+        assert_eq!(f.peek(999_999), 42);
+        assert!(f.resident_bytes() > fresh);
     }
 }

@@ -506,6 +506,28 @@ impl RmtSwitch {
         last.max(self.last_delivery)
     }
 
+    /// Run every event scheduled at or before `t`, then stop — lets a
+    /// driver interleave chunked injection (or observation) with live
+    /// traffic. Returns the time of the last handled event.
+    pub fn run_until(&mut self, t: SimTime) -> SimTime {
+        let mut last = self.events.now();
+        let mut batch = std::mem::take(&mut self.batch);
+        while self.events.peek_time().is_some_and(|pt| pt <= t) {
+            batch.clear();
+            let Some(bt) = self.events.pop_batch(&mut batch) else {
+                break;
+            };
+            for ev in batch.drain(..) {
+                self.handle(bt, ev);
+            }
+            last = bt;
+        }
+        self.batch = batch;
+        self.refresh_mat_counters();
+        self.sync_metrics();
+        last
+    }
+
     /// Mirror the ad-hoc [`SwitchCounters`] and per-pipe busy cycles into
     /// the metrics registry, so the JSON export is the one complete metrics
     /// path. Values are monotone totals; re-assigning is idempotent.

@@ -13,6 +13,8 @@
 //! * [`shuffle`] — database filter–aggregate–reshuffle row streams.
 //! * [`graph`] — BSP graph-pattern-mining supersteps (grow-then-collapse).
 //! * [`arrival`] — CBR and Poisson arrival processes.
+//! * [`traffic`] — million-flow TE/security mixes: heavy-tailed benign
+//!   traffic, bursty arrivals, and an adversarial attack ramp.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -24,11 +26,13 @@ pub mod graph;
 pub mod keys;
 pub mod shuffle;
 pub mod size;
+pub mod traffic;
 
 pub use arrival::Arrivals;
 pub use coflow::{CoflowSpec, CoflowTracker, FlowSpec};
 pub use gradient::{GradientChunk, GradientWorkload};
 pub use graph::{BspJob, BspWorkload, StepMessage};
-pub use keys::{UniformKeys, ZipfKeys};
+pub use keys::{UniformKeys, ZipfCdf, ZipfKeys};
 pub use shuffle::{Row, ShuffleWorkload};
 pub use size::SizeDist;
+pub use traffic::{AttackRamp, FlowEvent, TrafficCfg, TrafficGen};

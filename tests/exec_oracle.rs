@@ -88,7 +88,7 @@ fn run_interpreter(steps: &[Step]) -> Vec<u64> {
         phv.set(&layout, fr(2), *val as u64);
         st.run(&program, &layout, &mut phv);
     }
-    st.register(RegId(0)).snapshot().to_vec()
+    st.register(RegId(0)).snapshot()
 }
 
 fn run_oracle(steps: &[Step]) -> Vec<u64> {
@@ -121,6 +121,83 @@ fn interpreter_matches_oracle() {
             })
             .collect();
         assert_eq!(run_interpreter(&steps), run_oracle(&steps));
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ge through the interpreter: a threshold counter built from `Bin Ge` +
+// `IfEq` must agree with the plain-Rust comparison on random and boundary
+// values (equal, off-by-one, u32::MAX).
+// ---------------------------------------------------------------------------
+
+fn run_ge_interpreter(thr: u32, vals: &[u32]) -> (Vec<u64>, u64) {
+    // Program: header {val:32, flag:8}; a keyless central table computing
+    // flag = (val >= thr) and bumping reg[0] only when the flag is set.
+    let mut b = ProgramBuilder::new("ge-oracle");
+    let h = b.header(HeaderDef::new(
+        "m",
+        vec![FieldDef::scalar("val", 32), FieldDef::scalar("flag", 8)],
+    ));
+    b.parser(ParserSpec::single(h));
+    let reg = b.register(adcp::lang::RegisterDef::new("hits", 1, 32));
+    b.table(TableDef {
+        name: "thresh".into(),
+        region: Region::Central,
+        key: None,
+        actions: vec![ActionDef::new(
+            "thresh",
+            vec![
+                ActionOp::Bin {
+                    dst: fr(1),
+                    op: adcp::lang::BinOp::Ge,
+                    a: Operand::Field(fr(0)),
+                    b: Operand::Const(thr as u64),
+                },
+                ActionOp::IfEq {
+                    a: Operand::Field(fr(1)),
+                    b: Operand::Const(1),
+                    then: vec![ActionOp::RegRmw {
+                        reg,
+                        index: Operand::Const(0),
+                        op: RegAluOp::Add,
+                        value: Operand::Const(1),
+                        fetch: None,
+                    }],
+                },
+            ],
+        )],
+        default_action: 0,
+        default_params: vec![],
+        size: 1,
+    });
+    let program = b.build();
+    let layout = program.layout();
+    let mut st = RegionState::new(&program, Region::Central);
+    let mut flags = Vec::with_capacity(vals.len());
+    for v in vals {
+        let mut phv = layout.instantiate();
+        phv.set(&layout, fr(0), *v as u64);
+        st.run(&program, &layout, &mut phv);
+        flags.push(phv.get(&layout, fr(1)));
+    }
+    (flags, st.register(RegId(0)).peek(0))
+}
+
+#[test]
+fn ge_interpreter_matches_oracle() {
+    let mut rng = SimRng::seed_from(0x6E01);
+    for _ in 0..32 {
+        let thr = rng.range(0u32..=u32::MAX);
+        let mut vals: Vec<u32> = (0..rng.range(0usize..100))
+            .map(|_| rng.range(0u32..=u32::MAX))
+            .collect();
+        // Boundary cases: exactly at, just under, just over, extremes.
+        vals.extend([thr, thr.wrapping_sub(1), thr.wrapping_add(1), 0, u32::MAX]);
+        let (flags, hits) = run_ge_interpreter(thr, &vals);
+        let want_flags: Vec<u64> = vals.iter().map(|v| (*v >= thr) as u64).collect();
+        let want_hits: u64 = want_flags.iter().sum();
+        assert_eq!(flags, want_flags, "Ge flags diverge at thr={thr}");
+        assert_eq!(hits, want_hits, "predicated counter diverges at thr={thr}");
     }
 }
 
@@ -208,7 +285,7 @@ fn run_array_interpreter(w: u16, steps: &[ArrayStep]) -> (Vec<u64>, Vec<Vec<u64>
                 .collect(),
         );
     }
-    (st.register(RegId(0)).snapshot().to_vec(), readbacks)
+    (st.register(RegId(0)).snapshot(), readbacks)
 }
 
 /// Plain-Rust model of `RegArray` + readback: element `i` targets cell

@@ -104,7 +104,7 @@ fn adcp_rejects_corrupted_frames_before_state() {
     assert_eq!(sw.counters.parse_errors, 0, "never reached the parser");
     for pipe in 0..4 {
         assert_eq!(
-            register_sum(sw.central_register(pipe, reg).unwrap().snapshot()),
+            register_sum(&sw.central_register(pipe, reg).unwrap().snapshot()),
             0,
             "corrupted frame mutated central pipe {pipe}"
         );
@@ -117,7 +117,7 @@ fn adcp_rejects_corrupted_frames_before_state() {
     assert_eq!(sw.counters.fcs_drops, 1, "no new fcs drops");
     assert_eq!(sw.counters.delivered, 1);
     let total: u64 = (0..4)
-        .map(|p| register_sum(sw.central_register(p, reg).unwrap().snapshot()))
+        .map(|p| register_sum(&sw.central_register(p, reg).unwrap().snapshot()))
         .sum();
     assert_eq!(total, 0x55);
     let out = sw.take_delivered();
@@ -152,7 +152,7 @@ fn rmt_rejects_corrupted_frames_before_state() {
     assert_eq!(sw.counters.parse_errors, 0, "never reached the parser");
     for pipe in 0..4 {
         assert_eq!(
-            register_sum(sw.central_register(pipe, reg).snapshot()),
+            register_sum(&sw.central_register(pipe, reg).snapshot()),
             0,
             "corrupted frame mutated central state on pipe {pipe}"
         );
@@ -164,7 +164,7 @@ fn rmt_rejects_corrupted_frames_before_state() {
     assert_eq!(sw.counters.fcs_drops, 1, "no new fcs drops");
     assert_eq!(sw.counters.delivered, 1);
     let total: u64 = (0..4)
-        .map(|p| register_sum(sw.central_register(p, reg).snapshot()))
+        .map(|p| register_sum(&sw.central_register(p, reg).snapshot()))
         .sum();
     assert_eq!(total, 0x55);
     let out = sw.take_delivered();
