@@ -1,0 +1,328 @@
+//! Rotating, schema-validated observability streams.
+//!
+//! A long-running daemon cannot accumulate observability in memory or in
+//! one ever-growing file; it emits **rotating generations** and deletes
+//! the oldest, so disk use is bounded by `keep` regardless of uptime.
+//! Each snapshot generation writes two files into the stream directory:
+//!
+//! * `metrics-<seq>.json` — the switch's full metrics-registry export,
+//!   validated against `schemas/metrics.schema.json` **before** it
+//!   touches disk (a malformed snapshot is a bug, not a log line).
+//! * `trace-<seq>.json` — a Chrome trace-event timeline of the slices,
+//!   SLO verdicts, counter deltas, and control-plane actions since the
+//!   previous snapshot, validated against
+//!   `schemas/chrome_trace.schema.json`. Load it in `about:tracing` /
+//!   Perfetto.
+//!
+//! Counter deltas are computed stream-side: the stream remembers the
+//! previous snapshot's flattened `scope/name` counters and emits one
+//! Chrome `ph:"C"` counter event carrying only the counters that moved —
+//! the compact diff a dashboard tails, while the full snapshot stays
+//! available for state reconstruction.
+
+use adcp_sim::schema::{load_chrome_trace_schema, load_metrics_schema, validate};
+use adcp_sim::time::SimTime;
+use serde::{Map, Value};
+use std::collections::{BTreeMap, VecDeque};
+use std::path::{Path, PathBuf};
+
+/// Where and how much to stream.
+#[derive(Debug, Clone)]
+pub struct StreamCfg {
+    /// Directory for the rotating files (created if absent).
+    pub dir: PathBuf,
+    /// Generations to retain per stream; older files are deleted.
+    pub keep: usize,
+}
+
+/// One scalar argument on a trace event.
+pub type Arg = (&'static str, u64);
+
+/// Accumulates Chrome trace events between snapshots.
+///
+/// Timestamps are microseconds of **simulation** time (the daemon's whole
+/// observable output is wall-clock-free); `pid` 1 is the daemon, `tid` 1
+/// the serving loop, `tid` 2 the control plane.
+#[derive(Debug, Default)]
+pub struct TraceBuilder {
+    events: Vec<Value>,
+}
+
+fn us(t: SimTime) -> f64 {
+    t.as_ps() as f64 / 1e6
+}
+
+fn event(name: &str, cat: &str, ph: &str, ts: f64, tid: u64, args: &[Arg]) -> Value {
+    let mut m = Map::new();
+    m.insert("name".into(), Value::String(name.into()));
+    m.insert("cat".into(), Value::String(cat.into()));
+    m.insert("ph".into(), Value::String(ph.into()));
+    m.insert("ts".into(), Value::F64(ts));
+    m.insert("pid".into(), Value::U64(1));
+    m.insert("tid".into(), Value::U64(tid));
+    if !args.is_empty() {
+        let mut a = Map::new();
+        for &(k, v) in args {
+            a.insert(k.into(), Value::U64(v));
+        }
+        m.insert("args".into(), Value::Object(a));
+    }
+    Value::Object(m)
+}
+
+impl TraceBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        TraceBuilder::default()
+    }
+
+    /// Events accumulated so far.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// True when nothing has been recorded since the last build.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// A completed time slice (`ph:"X"` span on the serving track).
+    pub fn slice(&mut self, name: &str, start: SimTime, end: SimTime, args: &[Arg]) {
+        let mut ev = event(name, "slice", "X", us(start), 1, args);
+        if let Value::Object(m) = &mut ev {
+            m.insert("dur".into(), Value::F64(us(end) - us(start)));
+        }
+        self.events.push(ev);
+    }
+
+    /// A control-plane action (`ph:"i"` instant on the control track).
+    pub fn instant(&mut self, name: &str, at: SimTime, args: &[Arg]) {
+        let mut ev = event(name, "ctrl", "i", us(at), 2, args);
+        if let Value::Object(m) = &mut ev {
+            m.insert("s".into(), Value::String("p".into()));
+        }
+        self.events.push(ev);
+    }
+
+    /// A counter sample (`ph:"C"`), e.g. the per-snapshot metric deltas.
+    pub fn counter(&mut self, name: &str, at: SimTime, args: &[Arg]) {
+        self.events
+            .push(event(name, "metrics", "C", us(at), 1, args));
+    }
+
+    /// Drain into a complete Chrome trace document.
+    pub fn build(&mut self) -> Value {
+        let mut root = Map::new();
+        root.insert(
+            "traceEvents".into(),
+            Value::Array(std::mem::take(&mut self.events)),
+        );
+        root.insert("displayTimeUnit".into(), Value::String("ms".into()));
+        Value::Object(root)
+    }
+}
+
+/// Flatten a metrics export into `scope/name -> value` counters.
+fn flatten_counters(metrics: &Value) -> BTreeMap<String, u64> {
+    let mut flat = BTreeMap::new();
+    let Some(Value::Object(scopes)) = metrics.get("scopes") else {
+        return flat;
+    };
+    for (scope, block) in scopes.iter() {
+        if let Some(Value::Object(counters)) = block.get("counters") {
+            for (name, v) in counters.iter() {
+                if let Some(n) = v.as_u64() {
+                    flat.insert(format!("{scope}/{name}"), n);
+                }
+            }
+        }
+    }
+    flat
+}
+
+/// The rotating writer. One instance per daemon.
+#[derive(Debug)]
+pub struct MetricsStream {
+    cfg: StreamCfg,
+    seq: u64,
+    metrics_files: VecDeque<PathBuf>,
+    trace_files: VecDeque<PathBuf>,
+    prev: BTreeMap<String, u64>,
+    metrics_schema: Value,
+    chrome_schema: Value,
+    /// Snapshots validated and written over the stream's lifetime.
+    pub written: u64,
+}
+
+impl MetricsStream {
+    /// Open (and create) the stream directory and load both schemas.
+    pub fn new(cfg: StreamCfg) -> Result<Self, String> {
+        assert!(cfg.keep > 0, "must retain at least one generation");
+        std::fs::create_dir_all(&cfg.dir)
+            .map_err(|e| format!("create {}: {e}", cfg.dir.display()))?;
+        Ok(MetricsStream {
+            cfg,
+            seq: 0,
+            metrics_files: VecDeque::new(),
+            trace_files: VecDeque::new(),
+            prev: BTreeMap::new(),
+            metrics_schema: load_metrics_schema()?,
+            chrome_schema: load_chrome_trace_schema()?,
+            written: 0,
+        })
+    }
+
+    /// The stream directory.
+    pub fn dir(&self) -> &Path {
+        &self.cfg.dir
+    }
+
+    /// Validate and write one generation: the full metrics snapshot and
+    /// the accumulated trace (the builder is drained; the counter-delta
+    /// event is appended to it first). Rotates both streams to `keep`
+    /// generations. Returns the sequence number written.
+    pub fn snapshot(
+        &mut self,
+        at: SimTime,
+        metrics: &Value,
+        trace: &mut TraceBuilder,
+    ) -> Result<u64, String> {
+        validate(metrics, &self.metrics_schema)
+            .map_err(|e| format!("metrics snapshot invalid: {}", e.join("; ")))?;
+
+        // Delta event: only the counters that moved since last snapshot.
+        let flat = flatten_counters(metrics);
+        let moved: Vec<(String, u64)> = flat
+            .iter()
+            .filter(|(k, v)| self.prev.get(*k) != Some(v))
+            .map(|(k, v)| (k.clone(), *v))
+            .collect();
+        if !moved.is_empty() {
+            // Args are built inline (TraceBuilder::counter takes &'static
+            // names; delta keys are dynamic).
+            let mut a = Map::new();
+            for (k, v) in &moved {
+                a.insert(k.clone(), Value::U64(*v));
+            }
+            let mut ev = event("counter-deltas", "metrics", "C", us(at), 1, &[]);
+            if let Value::Object(m) = &mut ev {
+                m.insert("args".into(), Value::Object(a));
+            }
+            trace.events.push(ev);
+        }
+        self.prev = flat;
+
+        let doc = trace.build();
+        validate(&doc, &self.chrome_schema)
+            .map_err(|e| format!("chrome trace invalid: {}", e.join("; ")))?;
+
+        let seq = self.seq;
+        let mpath = self.cfg.dir.join(format!("metrics-{seq:06}.json"));
+        let tpath = self.cfg.dir.join(format!("trace-{seq:06}.json"));
+        let mtxt = serde_json::to_string_pretty(metrics).map_err(|e| e.to_string())?;
+        let ttxt = serde_json::to_string_pretty(&doc).map_err(|e| e.to_string())?;
+        std::fs::write(&mpath, mtxt).map_err(|e| format!("write {}: {e}", mpath.display()))?;
+        std::fs::write(&tpath, ttxt).map_err(|e| format!("write {}: {e}", tpath.display()))?;
+        self.metrics_files.push_back(mpath);
+        self.trace_files.push_back(tpath);
+        for files in [&mut self.metrics_files, &mut self.trace_files] {
+            while files.len() > self.cfg.keep {
+                let old = files.pop_front().expect("non-empty");
+                let _ = std::fs::remove_file(old);
+            }
+        }
+        self.seq += 1;
+        self.written += 1;
+        Ok(seq)
+    }
+
+    /// Paths currently on disk (oldest first), metrics then trace.
+    pub fn live_files(&self) -> (Vec<PathBuf>, Vec<PathBuf>) {
+        (
+            self.metrics_files.iter().cloned().collect(),
+            self.trace_files.iter().cloned().collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adcp_sim::metrics::MetricsRegistry;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("adcpd-stream-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    fn registry_json(bump: u64) -> Value {
+        let mut m = MetricsRegistry::new_enabled();
+        let s = m.scope("tx");
+        let c = m.counter(s, "packets");
+        m.add(c, bump);
+        m.to_json()
+    }
+
+    #[test]
+    fn snapshots_rotate_and_stay_schema_valid() {
+        let dir = tmpdir("rotate");
+        let mut st = MetricsStream::new(StreamCfg {
+            dir: dir.clone(),
+            keep: 3,
+        })
+        .unwrap();
+        let mut tb = TraceBuilder::new();
+        for i in 0..7u64 {
+            tb.slice(
+                "slice",
+                SimTime(i * 1_000_000),
+                SimTime((i + 1) * 1_000_000),
+                &[("delivered", i * 10)],
+            );
+            st.snapshot(
+                SimTime((i + 1) * 1_000_000),
+                &registry_json(i * 10),
+                &mut tb,
+            )
+            .unwrap();
+        }
+        let (m, t) = st.live_files();
+        assert_eq!(m.len(), 3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(st.written, 7);
+        // Oldest generations are gone; newest exist and re-validate.
+        assert!(!dir.join("metrics-000000.json").exists());
+        let schema = load_metrics_schema().unwrap();
+        for p in &m {
+            let v = serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+            validate(&v, &schema).unwrap();
+        }
+        let chrome = load_chrome_trace_schema().unwrap();
+        for p in &t {
+            let v = serde_json::from_str(&std::fs::read_to_string(p).unwrap()).unwrap();
+            validate(&v, &chrome).unwrap();
+            assert!(v.get("traceEvents").is_some());
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn counter_deltas_only_report_movement() {
+        let dir = tmpdir("delta");
+        let mut st = MetricsStream::new(StreamCfg {
+            dir: dir.clone(),
+            keep: 2,
+        })
+        .unwrap();
+        let mut tb = TraceBuilder::new();
+        st.snapshot(SimTime(1), &registry_json(5), &mut tb).unwrap();
+        // Unchanged snapshot: no delta event in the next trace file.
+        st.snapshot(SimTime(2), &registry_json(5), &mut tb).unwrap();
+        let (_, traces) = st.live_files();
+        let last = std::fs::read_to_string(traces.last().unwrap()).unwrap();
+        let v = serde_json::from_str(&last).unwrap();
+        assert_eq!(v.get("traceEvents").unwrap().as_array().unwrap().len(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -230,13 +230,29 @@ fn main() {
         std::env::set_var("ADCP_TRACE", sample.unwrap_or(1).to_string());
     }
 
+    // SIGINT/SIGTERM finish the app run in progress, then fall through to
+    // the consumers below with whatever completed — a partial table1 sweep
+    // still validates, exports, and prints its forensics.
+    adcp_bench::shutdown::install();
+
     let runs: Vec<(String, AppReport)> = if app == "table1" {
         let mut v = Vec::new();
-        for &a in APP_NAMES {
+        'sweep: for &a in APP_NAMES {
             for kind in [TargetKind::Adcp, TargetKind::RmtPinned] {
+                if adcp_bench::shutdown::requested() {
+                    eprintln!(
+                        "adcp-trace: interrupted by signal — flushing the {} completed run(s)",
+                        v.len()
+                    );
+                    break 'sweep;
+                }
                 let r = run_one_with(a, kind, quick, migrate).expect("known app");
                 v.push((format!("{a} on {}", kind.label()), r));
             }
+        }
+        if v.is_empty() {
+            eprintln!("adcp-trace: no runs completed before the signal");
+            std::process::exit(130);
         }
         v
     } else {

@@ -84,6 +84,9 @@ fn main() -> ExitCode {
         }
     }
     cfg.bug = parse_bug();
+    // SIGINT/SIGTERM stop the run at the next case boundary; the partial
+    // report (every case actually attempted) is still printed below.
+    adcp_bench::shutdown::install();
 
     if let Some(path) = replay_path {
         return match replay(&path, cfg.bug) {
@@ -108,6 +111,11 @@ fn main() -> ExitCode {
         "conformance: {} cases, {} passed, {} failed, {} compile-skips, {} fault-soaked",
         report.cases, report.passed, report.failed, report.skipped_compile, report.fault_cases
     );
+    if report.interrupted {
+        eprintln!(
+            "conformance: interrupted by signal — partial report above covers every case attempted"
+        );
+    }
     for f in &report.failures {
         eprintln!(
             "  case {} (seed {:#x}, {} phase): {} -> {}",

@@ -2010,6 +2010,10 @@ pub struct Report {
     pub skipped_compile: u64,
     /// Fault-phase runs executed (passed clean first).
     pub fault_cases: u64,
+    /// True when a shutdown signal stopped the run at a case boundary;
+    /// `cases` then reflects the cases actually attempted, and the report
+    /// is a valid partial result for them.
+    pub interrupted: bool,
     /// Every failure, post-shrink.
     pub failures: Vec<FailureRecord>,
 }
@@ -2056,9 +2060,16 @@ pub fn run(cfg: &RunConfig) -> Report {
         failed: 0,
         skipped_compile: 0,
         fault_cases: 0,
+        interrupted: false,
         failures: Vec::new(),
     };
     for i in 0..cfg.cases {
+        // Graceful exit: finish the case in progress, never start another.
+        if crate::shutdown::requested() {
+            report.interrupted = true;
+            report.cases = i;
+            break;
+        }
         let clean_spec = case_spec(cfg, i);
         let mut phases = vec![("clean", clean_spec)];
         match run_spec(&clean_spec, cfg.bug) {

@@ -256,40 +256,10 @@ impl Forensics {
     }
 }
 
-/// The counter each drop reason mirrors, as `(reason, tm) -> [(scope,
-/// name)]` candidates — the first scope present in the metrics block wins
-/// (ADCP scopes its TMs `tm1`/`tm2`; the RMT baseline's single TM is
-/// scoped `tm` and mapped onto tm 1).
-fn counter_candidates(reason: &str, tm: u64) -> &'static [(&'static str, &'static str)] {
-    match (reason, tm) {
-        ("fcs_bad", _) => &[("mac", "fcs_drops")],
-        ("parse_error", _) => &[("parser", "errors")],
-        ("filtered", _) => &[("drops", "filtered")],
-        ("no_decision", _) => &[("drops", "no_decision")],
-        ("bad_port", _) => &[("drops", "bad_port")],
-        ("queue_tail", 1) => &[("tm1", "queue_drops"), ("tm", "queue_drops")],
-        ("queue_tail", 2) => &[("tm2", "queue_drops")],
-        ("buffer_exhausted", 1) => &[("tm1", "buffer_drops"), ("tm", "buffer_drops")],
-        ("buffer_exhausted", 2) => &[("tm2", "buffer_drops")],
-        _ => &[],
-    }
-}
-
-/// Every `(reason, tm)` the cross-check must consider even when the
-/// forensic side recorded nothing — a counter that moved without a
-/// matching forensic record is exactly the failure mode to catch.
-const ALL_REASONS: &[(&str, u64)] = &[
-    ("fcs_bad", 0),
-    ("parse_error", 0),
-    ("filtered", 0),
-    ("no_decision", 0),
-    ("bad_port", 0),
-    ("queue_tail", 1),
-    ("queue_tail", 2),
-    ("buffer_exhausted", 1),
-    ("buffer_exhausted", 2),
-    ("migration_fence", 0),
-];
+// The reason → counter mapping moved into the substrate
+// (`adcp_sim::trace`) so the serving daemon's native zero-drift check and
+// this JSON-level report share one source of truth.
+use adcp_sim::trace::{drop_counter_candidates as counter_candidates, DROP_CHECK_REASONS};
 
 fn counter_lookup(metrics: &Value, scope: &str, name: &str) -> Option<u64> {
     metrics
@@ -374,7 +344,7 @@ pub fn forensics(trace: &Value, metrics: &Value) -> Option<Forensics> {
 
     let mut checks = Vec::new();
     let mut mismatches = Vec::new();
-    for &(reason, tm) in ALL_REASONS {
+    for &(reason, tm) in DROP_CHECK_REASONS {
         let forensic = totals.remove(&(reason.to_string(), tm)).unwrap_or(0);
         if reason == "migration_fence" {
             // The migration protocol holds fenced packets; it never drops

@@ -18,6 +18,9 @@
 //! * [`exp_tse`] — E-TS1: the stateful TE/security workloads (load-driven
 //!   flowlet forwarding, DDoS detection with live hot-range isolation) at
 //!   up to a million live flows per target.
+//! * [`exp_soak`] — E-D1: the `adcpd` serving-daemon soak matrix — both
+//!   serving apps × central workers 1/2/4 through the fault choreography,
+//!   graded on invariant health and byte-identity across worker counts.
 //! * [`conformance`] — the E-C1 differential conformance harness: random
 //!   program/workload generation, three-way RMT↔ADCP↔reference
 //!   equivalence, fault-injection soak, and failure shrinking behind the
@@ -35,6 +38,10 @@
 //!   `adcp-trace` binary.
 //! * [`schema`] — the JSON-Schema-subset validator behind
 //!   `adcp-trace --validate` and `schemas/*.schema.json`.
+//! * [`shutdown`] — SIGINT/SIGTERM latch (re-exported from `adcp-sim`)
+//!   behind the graceful-exit paths of `adcp-trace --app table1`,
+//!   `conformance`, and `exp_soak`: long sweeps stop at the next case
+//!   boundary and still flush a partial report.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -46,6 +53,7 @@ pub mod exp_figs;
 pub mod exp_load;
 pub mod exp_migrate;
 pub mod exp_sched;
+pub mod exp_soak;
 pub mod exp_tables;
 pub mod exp_tse;
 pub mod journey;
@@ -54,3 +62,5 @@ pub mod report;
 pub mod schema;
 pub mod snapshot;
 pub mod trace;
+
+pub use adcp_sim::shutdown;

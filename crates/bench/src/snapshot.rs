@@ -236,6 +236,28 @@ fn suite_jobs(quick: bool) -> Vec<Job> {
             }
         }),
     ));
+
+    // The serving daemon in steady state: open-loop diurnal+burst traffic,
+    // per-slice SLO scoring, and the closed autoscaling loop all running —
+    // how fast the simulator serves when the control plane is live.
+    let daemon_slices = if quick { 64 } else { 256 };
+    jobs.push((
+        "adcpd",
+        TargetKind::Adcp,
+        Box::new(move || {
+            let mut cfg = adcpd::daemon::DaemonCfg::soak_quick(7);
+            cfg.slices = daemon_slices;
+            let r = adcpd::daemon::Daemon::new(cfg)
+                .expect("daemon builds")
+                .run();
+            Measured {
+                target: "daemon/serving".into(),
+                injected: r.injected,
+                delivered: r.delivered,
+                correct: r.healthy,
+            }
+        }),
+    ));
     jobs
 }
 
@@ -466,19 +488,25 @@ mod tests {
     #[test]
     fn quick_suite_measures_every_point() {
         let rows = run_suite(true, 1);
-        assert_eq!(rows.len(), 19);
+        assert_eq!(rows.len(), 20);
         for r in &rows {
             assert!(r.wall_ms > 0.0, "{}/{} wall time", r.app, r.target);
             assert!(r.sim_pkts_per_wall_sec > 0.0, "{}/{} rate", r.app, r.target);
             assert!(r.injected > 0);
         }
-        // Both architectures appear for every app, plus the fabric point.
+        // Both architectures appear for every app, plus the fabric and
+        // serving-daemon points.
         assert_eq!(rows.iter().filter(|r| r.target == "adcp").count(), 9);
         let fab = rows
             .iter()
             .find(|r| r.target == "fabric/2x4")
             .expect("fabric row present");
         assert!(fab.correct, "fabric demo must verify during measurement");
+        let daemon = rows
+            .iter()
+            .find(|r| r.target == "daemon/serving")
+            .expect("daemon row present");
+        assert!(daemon.correct, "daemon must report healthy books");
     }
 
     #[test]

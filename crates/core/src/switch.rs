@@ -494,8 +494,15 @@ struct MigrationState {
     /// (the redirect table), sorted.
     dirty: Vec<u32>,
     /// Packets held at TM1 (with their ingress pipe) until the shard is
-    /// consistent again. Released inline, in arrival order.
+    /// consistent again. Released in arrival order.
     held: Vec<(usize, Packet)>,
+    /// Incremental only: the fence drained during the current central
+    /// pull's prologue — release `held` once that pull's register updates
+    /// have been applied (`finish_central`), never before. Releasing in
+    /// the prologue would let the first released packet copy-on-first-
+    /// touch the moving cells *under* the final fence packet's pending
+    /// RMW, stranding its increment on the old owner.
+    release_at_exec: bool,
     /// Incremental only: when the current hold window started.
     pause_started: Option<SimTime>,
 }
@@ -825,9 +832,35 @@ impl AdcpSwitch {
 
     /// Set the central-pipeline worker count (see
     /// [`AdcpConfig::central_workers`]). Output is byte-identical for any
-    /// value; `>1` parallelizes the central compute stage.
+    /// value; `>1` parallelizes the central compute stage. Safe to call at
+    /// runtime between events — the serving daemon retunes it whenever the
+    /// autoscaler grows or shrinks the active pipe set, so the execution
+    /// engine's parallelism follows the data plane's.
     pub fn set_central_workers(&mut self, n: usize) {
         self.cfg.central_workers = n.max(1);
+    }
+
+    /// Current central-pipeline worker count.
+    pub fn central_workers(&self) -> usize {
+        self.cfg.central_workers
+    }
+
+    /// Distinct central pipes owning at least one partition bucket under
+    /// the map in force — the autoscaler's "active" pipe count. Falls back
+    /// to the physical pipe count when no map is installed (every pipe is
+    /// addressable then).
+    pub fn active_central_pipes(&self) -> usize {
+        match self.partition_map() {
+            Some(map) => {
+                let mut owners: Vec<u32> = (0..map.num_buckets())
+                    .map(|b| map.owner_of_bucket(b))
+                    .collect();
+                owners.sort_unstable();
+                owners.dedup();
+                owners.len()
+            }
+            None => self.num_central(),
+        }
     }
 
     /// Migration totals (also mirrored into the `ctrl` metrics scope).
@@ -897,6 +930,7 @@ impl AdcpSwitch {
                     moving_cells,
                     dirty: Vec::new(),
                     held: Vec::new(),
+                    release_at_exec: false,
                     pause_started: None,
                 });
                 if fence_left == 0 {
@@ -926,6 +960,7 @@ impl AdcpSwitch {
                     moving_cells,
                     dirty,
                     held: Vec::new(),
+                    release_at_exec: false,
                     pause_started: (fence_left > 0).then_some(now),
                 });
             }
@@ -972,6 +1007,12 @@ impl AdcpSwitch {
         self.apply_moves(&moves);
         self.mig_stats.moved_keys += moves.len() as u64;
         self.mig_stats.migrations += 1;
+        // Defensive: a pending release is normally drained by the event
+        // loop before control-plane code can run, but never strand a held
+        // packet — the cells just moved, so plain routing is consistent.
+        for (pipe, pkt) in std::mem::take(&mut mig.held) {
+            self.tm1_route(self.events.now(), pipe, pkt);
+        }
         self.tracer.record_ctrl(
             self.events.now(),
             CtrlEvent::MigrationFinalize {
@@ -1564,7 +1605,6 @@ impl AdcpSwitch {
             return;
         };
         let mut commit_at = None;
-        let mut released = None;
         if epoch == rt.map.epoch {
             rt.inflight[bucket as usize] -= 1;
             if rt.map.owner_of_bucket(bucket) as usize != cpipe {
@@ -1594,11 +1634,15 @@ impl AdcpSwitch {
                 if mig.fence_left > 0 && mig.fence_prev.binary_search(&bucket).is_ok() {
                     mig.fence_left -= 1;
                     if mig.fence_left == 0 {
-                        // Fence drained: the hold window ends here.
+                        // Fence drained: the hold window ends with this
+                        // packet — but its register updates are still
+                        // pending in this event, so the actual release
+                        // (and any first-touch copy it triggers) waits
+                        // for `finish_central`.
                         if let Some(start) = mig.pause_started.take() {
                             self.mig_stats.paused_ns += now.saturating_since(start).as_ps() / 1000;
                         }
-                        released = Some(std::mem::take(&mut mig.held));
+                        mig.release_at_exec = true;
                     }
                 }
             }
@@ -1609,10 +1653,23 @@ impl AdcpSwitch {
         if let Some(at) = commit_at {
             self.events.push(at, Ev::MigrateCommit);
         }
-        if let Some(held) = released {
-            for (pipe, pkt) in held {
-                self.tm1_route(now, pipe, pkt);
+    }
+
+    /// Release packets held for an incremental migration whose fence
+    /// drained during the current pull's prologue. Runs from
+    /// [`AdcpSwitch::finish_central`] — after the draining packet's
+    /// register updates have landed, before any later event can route —
+    /// so first-touch copies see complete state and per-key FIFO holds.
+    fn release_held_if_drained(&mut self, now: SimTime) {
+        let held = match self.part.as_mut().and_then(|rt| rt.mig.as_mut()) {
+            Some(mig) if mig.release_at_exec => {
+                mig.release_at_exec = false;
+                std::mem::take(&mut mig.held)
             }
+            _ => return,
+        };
+        for (pipe, pkt) in held {
+            self.tm1_route(now, pipe, pkt);
         }
     }
 
@@ -1716,6 +1773,9 @@ impl AdcpSwitch {
         pkt: Packet,
         res: Result<CentralRun, ()>,
     ) {
+        // The pull's register updates (if any) are in: safe to release
+        // packets held behind the in-flight fence this pull drained.
+        self.release_held_if_drained(now);
         let run = match res {
             Ok(run) => run,
             Err(()) => {

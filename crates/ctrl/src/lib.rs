@@ -89,6 +89,17 @@ impl Default for SkewPolicy {
     }
 }
 
+/// Why the controller actuated a migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RebalanceKind {
+    /// Same pipe count, load skew crossed the policy threshold.
+    Skew,
+    /// SLO burn rate demanded another central pipe.
+    ScaleUp,
+    /// Sustained headroom allowed retiring a central pipe.
+    ScaleDown,
+}
+
 /// Record of one rebalance decision the controller actuated.
 #[derive(Debug, Clone, Serialize)]
 pub struct RebalanceEvent {
@@ -102,12 +113,25 @@ pub struct RebalanceEvent {
     pub moved_buckets: usize,
     /// Strategy used.
     pub strategy: MigrationStrategy,
+    /// What triggered the move.
+    pub kind: RebalanceKind,
+    /// Distinct central pipes owning buckets once the new map is in force.
+    pub pipes: u32,
 }
 
 fn owners_of(map: &PartitionMap) -> Vec<u32> {
     match map.scheme() {
         PartitionScheme::Hash { owners } | PartitionScheme::Range { owners, .. } => owners.clone(),
     }
+}
+
+/// Number of distinct central pipes that own at least one bucket — the
+/// "active" pipe count the autoscaler grows and shrinks.
+pub fn active_pipes(map: &PartitionMap) -> u32 {
+    let mut owners = owners_of(map);
+    owners.sort_unstable();
+    owners.dedup();
+    owners.len() as u32
 }
 
 fn with_owners(map: &PartitionMap, owners: Vec<u32>) -> PartitionMap {
@@ -231,36 +255,134 @@ pub fn merge_range_buckets(map: &PartitionMap, bucket: u32) -> Option<PartitionM
     Some(PartitionMap::from_ranges(bounds, owners))
 }
 
+/// SLO-aware autoscaling policy: when to grow or shrink the set of
+/// active central pipes in response to the observed burn rate.
+///
+/// Hysteresis comes from three sides: distinct up/down thresholds, a
+/// cooldown between scale actions, and the migration fence itself (no new
+/// plan while one is in flight), so a noisy burn signal cannot thrash the
+/// partition map.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct ScalePolicy {
+    /// Never shrink below this many active pipes.
+    pub min_pipes: u32,
+    /// Never grow beyond this many (additionally clamped to the switch's
+    /// physical central pipe count).
+    pub max_pipes: u32,
+    /// Scale up when the SLO burn rate reaches this fraction.
+    pub burn_up: f64,
+    /// Scale down when the burn rate is at or below this fraction.
+    pub burn_down: f64,
+    /// Serving ticks that must pass after a scale action before the next
+    /// one is considered.
+    pub cooldown_ticks: u64,
+    /// How state follows a scale migration.
+    pub strategy: MigrationStrategy,
+}
+
+impl Default for ScalePolicy {
+    fn default() -> Self {
+        ScalePolicy {
+            min_pipes: 1,
+            max_pipes: 4,
+            burn_up: 0.5,
+            burn_down: 0.05,
+            cooldown_ticks: 8,
+            strategy: MigrationStrategy::Incremental,
+        }
+    }
+}
+
+/// What the serving layer observed about its SLO over the sliding window,
+/// fed into [`Controller::tick_serving`] each slice.
+#[derive(Debug, Clone, Copy)]
+pub struct SloSignal {
+    /// Fraction of recent window slices that violated the latency SLO,
+    /// in `[0, 1]` — the burn rate of the error budget.
+    pub burn_rate: f64,
+    /// True once the window holds enough slices to trust the burn rate.
+    pub window_full: bool,
+}
+
+/// Retained [`RebalanceEvent`] cap: hours-long soaks must hold
+/// steady-state memory, so the in-controller log keeps the most recent
+/// decisions and [`Controller::events_total`] keeps the exact count.
+pub const EVENT_LOG_CAP: usize = 1_024;
+
 /// Closed-loop controller: observe, plan, actuate.
 ///
 /// Call [`Controller::tick`] between traffic batches (e.g. after every
 /// `run_until`). Each tick does one of three things: finalizes an
 /// in-flight incremental migration, starts a rebalance when the policy's
-/// skew threshold is crossed, or nothing.
+/// skew threshold is crossed, or nothing. A serving loop calls
+/// [`Controller::tick_serving`] instead, which adds the SLO-driven
+/// scale-up/scale-down decision in front of the skew check.
 #[derive(Debug, Clone)]
 pub struct Controller {
     /// Trigger policy.
     pub policy: SkewPolicy,
+    /// Autoscaling policy for [`Controller::tick_serving`].
+    pub scale: ScalePolicy,
     events: Vec<RebalanceEvent>,
+    events_total: u64,
+    ticks: u64,
+    last_scale_tick: Option<u64>,
 }
 
 impl Controller {
-    /// Controller with the given policy.
+    /// Controller with the given skew policy and default scale policy.
     pub fn new(policy: SkewPolicy) -> Self {
+        Self::with_scale(policy, ScalePolicy::default())
+    }
+
+    /// Controller with explicit skew and scale policies.
+    pub fn with_scale(policy: SkewPolicy, scale: ScalePolicy) -> Self {
         Controller {
             policy,
+            scale,
             events: Vec::new(),
+            events_total: 0,
+            ticks: 0,
+            last_scale_tick: None,
         }
     }
 
-    /// Rebalances actuated so far, in order.
+    /// The most recent rebalances actuated (capped at [`EVENT_LOG_CAP`]),
+    /// in order.
     pub fn events(&self) -> &[RebalanceEvent] {
         &self.events
+    }
+
+    /// Exact number of rebalances actuated over the controller's lifetime,
+    /// unaffected by the event-log cap.
+    pub fn events_total(&self) -> u64 {
+        self.events_total
+    }
+
+    fn push_event(&mut self, ev: RebalanceEvent) {
+        if self.events.len() == EVENT_LOG_CAP {
+            self.events.remove(0);
+        }
+        self.events.push(ev);
+        self.events_total += 1;
     }
 
     /// One control-loop iteration against a live switch. Returns the
     /// event if this tick *started* a migration.
     pub fn tick(&mut self, sw: &mut AdcpSwitch, now: SimTime) -> Option<RebalanceEvent> {
+        self.skew_tick(sw, now, None)
+    }
+
+    /// The skew check behind [`Controller::tick`]. `within_pipes` limits
+    /// the pipes a rebalance may spread onto; `None` allows every
+    /// physical central pipe. The serving loop passes the active set so a
+    /// skew fix cannot silently undo an SLO-driven scale-down.
+    fn skew_tick(
+        &mut self,
+        sw: &mut AdcpSwitch,
+        now: SimTime,
+        within_pipes: Option<u32>,
+    ) -> Option<RebalanceEvent> {
         if sw.migration_active() {
             // Drain migrations self-commit; incremental ones stay open
             // until finalized. Busy/InProgress just mean "not yet".
@@ -279,7 +401,8 @@ impl Controller {
             return None;
         }
         let map = sw.partition_map()?;
-        let next = plan_rebalance(map, &snap.bucket_pkts, sw.num_central() as u32)?;
+        let n_pipes = within_pipes.unwrap_or(sw.num_central() as u32);
+        let next = plan_rebalance(map, &snap.bucket_pkts, n_pipes)?;
         let moved = map.moved_buckets(&next).len();
         let ev = RebalanceEvent {
             at_ns: now.as_ps() / 1000,
@@ -287,10 +410,12 @@ impl Controller {
             skew,
             moved_buckets: moved,
             strategy: self.policy.strategy,
+            kind: RebalanceKind::Skew,
+            pipes: active_pipes(&next),
         };
         match sw.begin_migration(next, self.policy.strategy) {
             Ok(()) => {
-                self.events.push(ev.clone());
+                self.push_event(ev.clone());
                 Some(ev)
             }
             // Old-epoch packets still in flight: retry on a later tick.
@@ -300,6 +425,88 @@ impl Controller {
                 None
             }
         }
+    }
+
+    /// One serving-loop iteration: the SLO-driven autoscaler in front of
+    /// the skew rebalancer.
+    ///
+    /// Decision order each tick:
+    ///
+    /// 1. **In-flight migration** → try to finalize, decide nothing. This
+    ///    is the scale-down safety story: a shrink can never start while
+    ///    packets are fenced behind a previous map change, because
+    ///    planning only happens on a quiescent partition map.
+    /// 2. **Burn rate ≥ `burn_up`** and below the pipe ceiling, cooldown
+    ///    elapsed → repack onto one more pipe ([`plan_scale_to`]).
+    /// 3. **Burn rate ≤ `burn_down`** and above the floor, cooldown
+    ///    elapsed → repack onto one fewer pipe.
+    /// 4. Otherwise fall through to the plain skew check of
+    ///    [`Controller::tick`].
+    ///
+    /// Scale decisions are driven by the SLO signal, not by load volume,
+    /// so they are *not* gated on `SkewPolicy::min_samples`; the window
+    /// must simply be full enough to trust (`SloSignal::window_full`).
+    pub fn tick_serving(
+        &mut self,
+        sw: &mut AdcpSwitch,
+        now: SimTime,
+        slo: &SloSignal,
+    ) -> Option<RebalanceEvent> {
+        self.ticks += 1;
+        if sw.migration_active() {
+            match sw.finalize_migration() {
+                Ok(()) | Err(MigrateError::InProgress) | Err(MigrateError::Busy) => {}
+                Err(e) => debug_assert!(false, "unexpected finalize error: {e}"),
+            }
+            return None;
+        }
+        let cooled = self
+            .last_scale_tick
+            .is_none_or(|t| self.ticks - t >= self.scale.cooldown_ticks);
+        if slo.window_full && cooled {
+            let map = sw.partition_map()?;
+            let active = active_pipes(map);
+            let ceiling = self.scale.max_pipes.min(sw.num_central() as u32);
+            let target = if slo.burn_rate >= self.scale.burn_up && active < ceiling {
+                Some((active + 1, RebalanceKind::ScaleUp))
+            } else if slo.burn_rate <= self.scale.burn_down && active > self.scale.min_pipes {
+                Some((active - 1, RebalanceKind::ScaleDown))
+            } else {
+                None
+            };
+            if let Some((pipes, kind)) = target {
+                let snap = LoadSnapshot::from_switch(sw)?;
+                let next = plan_scale_to(map, &snap.bucket_pkts, pipes);
+                let ev = RebalanceEvent {
+                    at_ns: now.as_ps() / 1000,
+                    to_epoch: map.epoch + 1,
+                    skew: snap.skew(),
+                    moved_buckets: map.moved_buckets(&next).len(),
+                    strategy: self.scale.strategy,
+                    kind,
+                    pipes,
+                };
+                return match sw.begin_migration(next, self.scale.strategy) {
+                    Ok(()) => {
+                        self.last_scale_tick = Some(self.ticks);
+                        self.push_event(ev.clone());
+                        Some(ev)
+                    }
+                    // Old-epoch packets still draining: retry next slice.
+                    Err(MigrateError::Busy) => None,
+                    Err(e) => {
+                        debug_assert!(false, "unexpected begin error: {e}");
+                        None
+                    }
+                };
+            }
+        }
+        // No scale action: let the skew rebalancer look at the same tick,
+        // constrained to the pipes that are currently active (owner sets
+        // are kept contiguous by `plan_scale_to`, so `max_owner + 1` is
+        // exactly the active set).
+        let within = sw.partition_map().map(|m| m.max_owner() + 1);
+        self.skew_tick(sw, now, within)
     }
 }
 
@@ -441,6 +648,134 @@ mod tests {
         let hash = PartitionMap::uniform(4, 2);
         assert!(split_range_bucket(&hash, 0, 1).is_none());
         assert!(merge_range_buckets(&hash, 0).is_none());
+    }
+
+    #[test]
+    fn serving_autoscaler_scales_up_then_down() {
+        let mut sw = counting_switch();
+        sw.install_partition_map(PartitionMap::uniform(64, 1))
+            .unwrap();
+        let mut ctl = Controller::with_scale(
+            SkewPolicy::default(),
+            ScalePolicy {
+                min_pipes: 1,
+                max_pipes: 4,
+                burn_up: 0.5,
+                burn_down: 0.05,
+                cooldown_ticks: 2,
+                strategy: MigrationStrategy::Incremental,
+            },
+        );
+        // A little traffic so the load snapshot has something to pack on.
+        let mut t = 0u64;
+        for i in 0..32u64 {
+            sw.inject(PortId((i % 4) as u16), pkt(i, (i % 16) as u16), SimTime(t));
+            t += 20_000;
+        }
+        sw.run_until_idle();
+
+        let hot = SloSignal {
+            burn_rate: 1.0,
+            window_full: true,
+        };
+        let ev = ctl
+            .tick_serving(&mut sw, SimTime(t), &hot)
+            .expect("burning SLO must scale up");
+        assert_eq!(ev.kind, RebalanceKind::ScaleUp);
+        assert_eq!(ev.pipes, 2);
+        // Within the cooldown no further scale action fires, even hot.
+        assert!(ctl.tick_serving(&mut sw, SimTime(t), &hot).is_none());
+        sw.run_until_idle();
+        // Let the incremental migration finalize (first call finalizes,
+        // then the cooldown expires tick by tick). A burn rate between the
+        // two thresholds asks for no scale action either way.
+        let steady = SloSignal {
+            burn_rate: 0.2,
+            window_full: true,
+        };
+        for _ in 0..3 {
+            assert!(ctl.tick_serving(&mut sw, SimTime(t), &steady).is_none());
+            sw.run_until_idle();
+        }
+        assert!(!sw.migration_active());
+        assert_eq!(active_pipes(sw.partition_map().unwrap()), 2);
+
+        let idle = SloSignal {
+            burn_rate: 0.0,
+            window_full: true,
+        };
+        let ev = ctl
+            .tick_serving(&mut sw, SimTime(t), &idle)
+            .expect("sustained headroom must scale down");
+        assert_eq!(ev.kind, RebalanceKind::ScaleDown);
+        assert_eq!(ev.pipes, 1);
+        assert_eq!(ctl.events_total(), 2);
+        assert_eq!(sw.migration_stats().misroutes, 0);
+    }
+
+    #[test]
+    fn serving_respects_floor_ceiling_and_fences() {
+        let mut sw = counting_switch();
+        sw.install_partition_map(PartitionMap::uniform(64, 1))
+            .unwrap();
+        let mut ctl = Controller::with_scale(
+            SkewPolicy::default(),
+            ScalePolicy {
+                min_pipes: 1,
+                max_pipes: 1, // floor == ceiling: no scale action possible
+                burn_up: 0.5,
+                burn_down: 0.05,
+                cooldown_ticks: 0,
+                strategy: MigrationStrategy::Drain,
+            },
+        );
+        let hot = SloSignal {
+            burn_rate: 1.0,
+            window_full: true,
+        };
+        let idle = SloSignal {
+            burn_rate: 0.0,
+            window_full: true,
+        };
+        assert!(ctl.tick_serving(&mut sw, SimTime::ZERO, &hot).is_none());
+        assert!(ctl.tick_serving(&mut sw, SimTime::ZERO, &idle).is_none());
+        assert_eq!(ctl.events_total(), 0);
+
+        // An un-full window never drives a scale decision.
+        ctl.scale.max_pipes = 4;
+        let blind = SloSignal {
+            burn_rate: 1.0,
+            window_full: false,
+        };
+        assert!(ctl.tick_serving(&mut sw, SimTime::ZERO, &blind).is_none());
+
+        // While a migration is in flight, a tick only tries to finalize —
+        // scale-down safety around the fence.
+        let ev = ctl.tick_serving(&mut sw, SimTime::ZERO, &hot).unwrap();
+        assert_eq!(ev.kind, RebalanceKind::ScaleUp);
+        if sw.migration_active() {
+            assert!(ctl.tick_serving(&mut sw, SimTime::ZERO, &idle).is_none());
+        }
+    }
+
+    #[test]
+    fn event_log_is_bounded_with_exact_total() {
+        let mut ctl = Controller::new(SkewPolicy::default());
+        for i in 0..(EVENT_LOG_CAP as u64 + 100) {
+            ctl.push_event(RebalanceEvent {
+                at_ns: i,
+                to_epoch: i,
+                skew: 1.0,
+                moved_buckets: 0,
+                strategy: MigrationStrategy::Drain,
+                kind: RebalanceKind::Skew,
+                pipes: 1,
+            });
+        }
+        assert_eq!(ctl.events().len(), EVENT_LOG_CAP);
+        assert_eq!(ctl.events_total(), EVENT_LOG_CAP as u64 + 100);
+        // Oldest entries were evicted: the log starts at event 100.
+        assert_eq!(ctl.events()[0].at_ns, 100);
     }
 
     #[test]

@@ -19,13 +19,19 @@
 //! * [`trace`] — sampled packet-journey flight recorder with always-on
 //!   drop forensics and control-plane instants.
 //! * [`rng`] — deterministic, forkable randomness.
+//! * [`shutdown`] — cooperative SIGINT/SIGTERM shutdown flag for the
+//!   long-running binaries (`adcpd`, `adcp-trace`, `conformance`).
 //!
 //! Everything is synchronous, allocation-light, and deterministic given a
 //! seed; the models that build on it are CPU-bound state machines, so there
 //! is deliberately no async runtime here.
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the `shutdown` module registers POSIX
+// signal handlers through one audited `unsafe extern` block (std links
+// libc but exposes no safe wrapper, and the build environment is offline
+// so no signal-handling crate can be added). Everything else stays safe.
+#![deny(unsafe_code)]
 
 pub mod event;
 pub mod fault;
@@ -36,7 +42,9 @@ pub mod port;
 pub mod queue;
 pub mod rng;
 pub mod sched;
+pub mod schema;
 pub mod shaper;
+pub mod shutdown;
 pub mod stats;
 pub mod time;
 pub mod trace;

@@ -362,6 +362,17 @@ impl MetricsRegistry {
             .map(|c| c.value)
     }
 
+    /// Total `(t, v)` points currently retained across every registered
+    /// series — the only part of the registry whose size could depend on
+    /// run length. Counters, gauges and histograms are fixed-size at
+    /// registration, and every series self-decimates at its cap, so this
+    /// number (and hence the registry's footprint) must hold steady over
+    /// an arbitrarily long soak; the memory-bound regression test pins
+    /// that down.
+    pub fn retained_series_points(&self) -> usize {
+        self.series.iter().map(|s| s.value.points().len()).sum()
+    }
+
     /// Shared access to a histogram by scope and name (slow path).
     pub fn hist_ref(&self, scope: &str, name: &str) -> Option<&LatencyHist> {
         let si = self.scopes.iter().position(|s| s == scope)?;

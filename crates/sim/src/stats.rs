@@ -282,6 +282,26 @@ impl LatencyHist {
             Some(i) => Self::bucket_high(i).min(self.max),
         }
     }
+
+    /// Fold another histogram into this one. Because both sides share the
+    /// same fixed bucket layout the merge is exact: percentiles of the
+    /// merged histogram equal percentiles over the union of the two sample
+    /// streams (to within the usual one-bucket resolution). This is what
+    /// makes sliding-window SLO tracking cheap — keep one histogram per
+    /// time slice and merge the window's slices on demand.
+    pub fn merge(&mut self, other: &LatencyHist) {
+        debug_assert_eq!(self.counts.len(), other.counts.len());
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.total += other.total;
+        if other.total > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.sum += other.sum;
+        self.overflow += other.overflow;
+    }
 }
 
 /// A compact summary row suitable for JSON output from the regenerators.
@@ -317,6 +337,47 @@ impl From<&LatencyHist> for LatencySummary {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn merge_equals_union_of_streams() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        let mut union = LatencyHist::new();
+        for i in 0..5_000u64 {
+            let d = Duration(1 + i * 37 % 900_000);
+            if i % 3 == 0 {
+                a.record(d);
+            } else {
+                b.record(d);
+            }
+            union.record(d);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), union.count());
+        assert_eq!(a.min_ps(), union.min_ps());
+        assert_eq!(a.max_ps(), union.max_ps());
+        assert_eq!(a.mean_ps(), union.mean_ps());
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.percentile_ps(q), union.percentile_ps(q), "q={q}");
+        }
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = LatencyHist::new();
+        a.record(Duration(123));
+        a.record(Duration(456));
+        let before = (a.count(), a.min_ps(), a.max_ps(), a.percentile_ps(0.5));
+        a.merge(&LatencyHist::new());
+        assert_eq!(
+            before,
+            (a.count(), a.min_ps(), a.max_ps(), a.percentile_ps(0.5))
+        );
+        let mut empty = LatencyHist::new();
+        empty.merge(&a);
+        assert_eq!(empty.count(), a.count());
+        assert_eq!(empty.min_ps(), a.min_ps());
+    }
 
     #[test]
     fn counter_basics() {

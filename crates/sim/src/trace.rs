@@ -545,7 +545,8 @@ impl JourneyTracer {
 
     /// Exact drop totals aggregated per `(reason label, tm)` — what the
     /// forensics report cross-checks against the metrics registry (the
-    /// registry counts per reason and TM, not per queue or site).
+    /// registry counts per reason and TM, not per queue or site). See
+    /// [`drop_counter_candidates`] for the counter each pair mirrors.
     pub fn drop_totals_by_reason(&self) -> BTreeMap<(&'static str, u8), u64> {
         let mut out: BTreeMap<(&'static str, u8), u64> = BTreeMap::new();
         for (&(_, reason), &n) in &self.drop_counts {
@@ -739,6 +740,46 @@ fn ctx_json(o: &mut Map, ctx: &HopCtx) {
         o.insert("epoch".into(), Value::U64(e));
     }
 }
+
+/// The registry counter each forensic drop reason mirrors, as `(reason,
+/// tm) -> [(scope, name)]` candidates — the first scope present in a
+/// metrics block wins (ADCP scopes its TMs `tm1`/`tm2`; the RMT
+/// baseline's single TM is scoped `tm` and mapped onto tm 1). This is the
+/// single source of truth for the forensics ≡ registry cross-check; the
+/// bench harness (JSON-level forensics report) and the serving daemon
+/// (native zero-drift soak check) both consume it.
+pub fn drop_counter_candidates(reason: &str, tm: u64) -> &'static [(&'static str, &'static str)] {
+    match (reason, tm) {
+        ("fcs_bad", _) => &[("mac", "fcs_drops")],
+        ("parse_error", _) => &[("parser", "errors")],
+        ("filtered", _) => &[("drops", "filtered")],
+        ("no_decision", _) => &[("drops", "no_decision")],
+        ("bad_port", _) => &[("drops", "bad_port")],
+        ("queue_tail", 1) => &[("tm1", "queue_drops"), ("tm", "queue_drops")],
+        ("queue_tail", 2) => &[("tm2", "queue_drops")],
+        ("buffer_exhausted", 1) => &[("tm1", "buffer_drops"), ("tm", "buffer_drops")],
+        ("buffer_exhausted", 2) => &[("tm2", "buffer_drops")],
+        _ => &[],
+    }
+}
+
+/// Every `(reason, tm)` a forensics ≡ registry cross-check must consider
+/// even when the forensic side recorded nothing — a counter that moved
+/// without a matching forensic record is exactly the failure mode to
+/// catch. (`migration_fence` has no mirrored counter; it must stay absent
+/// on both sides.)
+pub const DROP_CHECK_REASONS: &[(&str, u64)] = &[
+    ("fcs_bad", 0),
+    ("parse_error", 0),
+    ("filtered", 0),
+    ("no_decision", 0),
+    ("bad_port", 0),
+    ("queue_tail", 1),
+    ("queue_tail", 2),
+    ("buffer_exhausted", 1),
+    ("buffer_exhausted", 2),
+    ("migration_fence", 0),
+];
 
 #[cfg(test)]
 mod tests {

@@ -1,0 +1,187 @@
+//! Property tests for the open-loop serving arrival processes (`adcpd`'s
+//! traffic substrate): the diurnal rate must follow the configured
+//! profile, burst episodes must be a pure function of the seed, and the
+//! offered load must be independent of how (or how fast) a consumer
+//! drains the source — open-loop by construction.
+
+use adcp_sim::rng::SimRng;
+use adcp_sim::time::{Duration, SimTime};
+use adcp_workloads::arrival::{DiurnalCfg, MmppCfg, OpenLoopSource};
+
+fn diurnal(base_pps: f64, amplitude: f64) -> DiurnalCfg {
+    DiurnalCfg {
+        base_pps,
+        amplitude,
+        period: Duration::from_us(200),
+        phase: 0.0,
+    }
+}
+
+fn bursty() -> MmppCfg {
+    MmppCfg {
+        burst_factor: 5.0,
+        mean_quiet: Duration::from_us(40),
+        mean_burst: Duration::from_us(8),
+    }
+}
+
+/// Expected arrival count in `[a, b)` under the diurnal profile, by
+/// numerically integrating the instantaneous rate.
+fn expected_count(cfg: &DiurnalCfg, a: SimTime, b: SimTime) -> f64 {
+    let steps = 1_000u64;
+    let span = b.as_ps() - a.as_ps();
+    let dt = span as f64 / steps as f64;
+    (0..steps)
+        .map(|i| {
+            let t = SimTime(a.as_ps() + (i as f64 * dt) as u64);
+            cfg.rate_at(t) * dt / 1e12
+        })
+        .sum()
+}
+
+#[test]
+fn diurnal_rate_follows_configured_profile() {
+    // Split 6 periods into 8 phase bins each; every bin's arrival count
+    // must track the integrated profile within tolerance. Peak and trough
+    // bins differ by ~3x at amplitude 0.7, so this catches a flat (or
+    // phase-shifted) generator, not just a wrong mean.
+    for seed in [3u64, 17, 91] {
+        let cfg = diurnal(2e8, 0.7);
+        let mut src = OpenLoopSource::new(cfg, None, seed);
+        let periods = 6u64;
+        let bins_per_period = 8u64;
+        let bin = Duration(cfg.period.as_ps() / bins_per_period);
+        let horizon = SimTime(cfg.period.as_ps() * periods);
+        let mut times = Vec::new();
+        src.arrivals_until(horizon, &mut times);
+
+        let nbins = (periods * bins_per_period) as usize;
+        let mut counts = vec![0u64; nbins];
+        for t in &times {
+            counts[(t.as_ps() / bin.as_ps()) as usize] += 1;
+        }
+        for (i, &got) in counts.iter().enumerate() {
+            let a = SimTime(i as u64 * bin.as_ps());
+            let b = SimTime((i as u64 + 1) * bin.as_ps());
+            let want = expected_count(&cfg, a, b);
+            // ~5000 arrivals per bin at the trough: 10% tolerance is
+            // ~7 standard deviations, tight enough to pin the shape.
+            assert!(
+                (got as f64 - want).abs() / want < 0.10,
+                "seed {seed} bin {i}: got {got}, expected ~{want:.0}"
+            );
+        }
+    }
+}
+
+#[test]
+fn burst_episodes_are_seed_deterministic() {
+    let horizon = SimTime::from_ms(20);
+    let sched_a = bursty().schedule(1234, horizon);
+    let sched_b = bursty().schedule(1234, horizon);
+    assert_eq!(sched_a, sched_b, "same seed must give the same episodes");
+    let sched_c = bursty().schedule(1235, horizon);
+    assert_ne!(sched_a, sched_c, "different seeds must diverge");
+
+    // The full arrival sequence is equally a pure function of the seed.
+    let mut src_a = OpenLoopSource::new(diurnal(5e8, 0.3), Some(bursty()), 77);
+    let mut src_b = OpenLoopSource::new(diurnal(5e8, 0.3), Some(bursty()), 77);
+    assert_eq!(src_a.take(10_000), src_b.take(10_000));
+
+    // Episode lengths follow the configured means (law of large numbers
+    // over ~hundreds of episodes).
+    let long = SimTime::from_ms(50);
+    let sched = bursty().schedule(9, long);
+    let mut burst_total = 0u64;
+    let mut burst_n = 0u64;
+    for w in sched.windows(2) {
+        let ((start, entered_burst), (end, _)) = (w[0], w[1]);
+        if entered_burst {
+            burst_total += end.as_ps() - start.as_ps();
+            burst_n += 1;
+        }
+    }
+    assert!(burst_n > 200, "expected many episodes, got {burst_n}");
+    let mean = burst_total as f64 / burst_n as f64;
+    let want = bursty().mean_burst.as_ps() as f64;
+    assert!(
+        (mean - want).abs() / want < 0.15,
+        "mean burst {mean:.0} ps vs configured {want:.0} ps"
+    );
+}
+
+#[test]
+fn offered_load_is_independent_of_service_time() {
+    // Three consumers with radically different "service" behaviour: one
+    // drains in bulk, one pulls a packet at a time with busywork (a slow
+    // server), one drains in erratically sized windows (a server whose
+    // batch size depends on load). All must observe the identical arrival
+    // sequence: the source has no feedback channel.
+    let cfg = diurnal(3e8, 0.5);
+    let n = 20_000;
+
+    let mut bulk = OpenLoopSource::new(cfg, Some(bursty()), 55);
+    let reference = bulk.take(n);
+
+    let mut slow = OpenLoopSource::new(cfg, Some(bursty()), 55);
+    let mut service_rng = SimRng::seed_from(999);
+    let mut observed = Vec::with_capacity(n);
+    for _ in 0..n {
+        observed.push(slow.next());
+        // Simulated per-packet service work of random length; consumes a
+        // *different* RNG and must not perturb the arrival stream.
+        for _ in 0..service_rng.range(0..4u32) {
+            std::hint::black_box(service_rng.u64());
+        }
+    }
+    assert_eq!(observed, reference, "slow server perturbed arrivals");
+
+    let mut windowed = OpenLoopSource::new(cfg, Some(bursty()), 55);
+    let mut got = Vec::new();
+    let mut window_rng = SimRng::seed_from(4242);
+    let mut t = SimTime::ZERO;
+    while got.len() < n {
+        t += Duration::from_us(window_rng.range(1..40u64));
+        windowed.arrivals_until(t, &mut got);
+    }
+    assert_eq!(
+        &got[..n],
+        &reference[..],
+        "windowed drain perturbed arrivals"
+    );
+}
+
+#[test]
+fn bursts_raise_dispersion_above_poisson() {
+    // An MMPP is over-dispersed relative to a plain (diurnal) Poisson
+    // process: the variance-to-mean ratio of per-window counts must be
+    // materially above 1 with the burst overlay and near 1 without it.
+    let flat = DiurnalCfg {
+        base_pps: 5e8,
+        amplitude: 0.0,
+        period: Duration::from_us(200),
+        phase: 0.0,
+    };
+    let window = Duration::from_us(10);
+    let horizon = SimTime::from_ms(20);
+    let dispersion = |mmpp: Option<MmppCfg>| {
+        let mut src = OpenLoopSource::new(flat, mmpp, 31);
+        let mut times = Vec::new();
+        src.arrivals_until(horizon, &mut times);
+        let nwin = (horizon.as_ps() / window.as_ps()) as usize;
+        let mut counts = vec![0f64; nwin];
+        for t in &times {
+            counts[(t.as_ps() / window.as_ps()) as usize] += 1.0;
+        }
+        let mean = counts.iter().sum::<f64>() / nwin as f64;
+        let var = counts.iter().map(|c| (c - mean) * (c - mean)).sum::<f64>() / nwin as f64;
+        var / mean
+    };
+    let plain = dispersion(None);
+    let burst = dispersion(Some(bursty()));
+    assert!(plain < 2.0, "plain Poisson dispersion {plain:.2}");
+    assert!(
+        burst > 3.0 * plain,
+        "burst overlay dispersion {burst:.2} vs plain {plain:.2}"
+    );
+}
