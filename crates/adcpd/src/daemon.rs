@@ -44,6 +44,7 @@ use adcp_sim::packet::PortId;
 use adcp_sim::rng::SimRng;
 use adcp_sim::shutdown;
 use adcp_sim::stats::LatencyHist;
+use adcp_sim::telemetry::{Collector, CollectorCfg};
 use adcp_sim::time::{Duration, SimTime, TimeSlicer};
 use adcp_sim::trace::{drop_counter_candidates, JourneyTracer, DROP_CHECK_REASONS};
 use adcp_workloads::arrival::{DiurnalCfg, MmppCfg, OpenLoopSource};
@@ -135,6 +136,11 @@ pub struct DaemonCfg {
     pub stream: Option<StreamCfg>,
     /// Slices between stream snapshots.
     pub stream_every: u64,
+    /// Stamp INT telemetry on the datapath and stream the collector's
+    /// report per snapshot. Off by default: INT-on serializes central
+    /// execution (the stamps observe per-pull TM state), so the soak's
+    /// sharded-execution coverage keeps it opt-in.
+    pub int: bool,
 }
 
 impl DaemonCfg {
@@ -208,6 +214,7 @@ impl DaemonCfg {
             ],
             stream: None,
             stream_every: 16,
+            int: false,
         }
     }
 
@@ -250,6 +257,31 @@ pub struct DropLine {
     pub tm: u64,
     /// Exact occurrences.
     pub count: u64,
+}
+
+/// INT telemetry outcome over the whole run (present only when
+/// [`DaemonCfg::int`] was on).
+#[derive(Debug, Clone, Serialize)]
+pub struct TelemetrySummary {
+    /// Postcards the collector ingested (exactly the datapath's count —
+    /// a mismatch is drift).
+    pub postcards: u64,
+    /// Deduplicated per-hop stamps behind those postcards.
+    pub stamps: u64,
+    /// Stamps lost to the per-packet stack bound.
+    pub truncated: u64,
+    /// Distinct packets with telemetry.
+    pub pkts: u64,
+    /// Sample-level microbursts the collector detected.
+    pub microbursts: u64,
+    /// Slices whose max observed TM depth stood burst-factor above the
+    /// slice-granularity EWMA baseline.
+    pub microburst_slices: u64,
+    /// Per-flow path-digest flips.
+    pub path_changes: u64,
+    /// Microburst slices that coincided with SLO burn — the correlated
+    /// alert an operator pages on.
+    pub alerts: u64,
 }
 
 /// SLO outcome over the whole run.
@@ -315,6 +347,8 @@ pub struct SoakReport {
     pub final_epoch: u64,
     /// Latency outcome.
     pub slo: SloSummary,
+    /// INT telemetry summary (`null` when stamping was off).
+    pub telemetry: Option<TelemetrySummary>,
     /// Observability snapshots written.
     pub snapshots_written: u64,
     /// Forensics ≡ registry mismatches (must be empty).
@@ -358,6 +392,11 @@ pub struct Daemon {
     stream: Option<MetricsStream>,
     trace: TraceBuilder,
     collector: PortId,
+    telemetry: Collector,
+    burst_cfg: CollectorCfg,
+    burst_ewma: Option<f64>,
+    microburst_slices: u64,
+    telemetry_alerts: u64,
     next_id: u64,
     arrivals_buf: Vec<SimTime>,
     // Run accounting (all sim-derived, hence worker-independent).
@@ -389,6 +428,7 @@ impl Daemon {
             AdcpConfig {
                 queue_depth: cfg.queue_depth,
                 central_workers: cfg.workers.max(1),
+                int: cfg.int,
                 ..AdcpConfig::default()
             },
         )
@@ -430,6 +470,11 @@ impl Daemon {
             faults,
             stream,
             trace: TraceBuilder::new(),
+            telemetry: Collector::default(),
+            burst_cfg: CollectorCfg::default(),
+            burst_ewma: None,
+            microburst_slices: 0,
+            telemetry_alerts: 0,
             next_id: 0,
             arrivals_buf: Vec::new(),
             arrivals: 0,
@@ -518,6 +563,48 @@ impl Daemon {
         }
         let verdict = self.slo.push_slice(h);
         let signal = self.slo.signal();
+        if self.cfg.int {
+            // Stream the collector's input per slice, and run a
+            // slice-granularity microburst detector (EWMA over the max
+            // observed TM depth, the collector's own thresholds) so a
+            // burst can be correlated with the same slice's SLO verdict.
+            let cards = self.sw.take_postcards();
+            let mut slice_depth = 0u32;
+            for pc in &cards {
+                for s in &pc.stack.stamps {
+                    if let Some(d) = s.ctx.queue_depth {
+                        slice_depth = slice_depth.max(d);
+                    }
+                }
+                self.telemetry.ingest(pc);
+            }
+            let burst = self.burst_ewma.is_some_and(|base| {
+                slice_depth >= self.burst_cfg.min_burst_depth
+                    && slice_depth as f64 >= self.burst_cfg.burst_factor * base
+            });
+            let a = self.burst_cfg.ewma_alpha;
+            self.burst_ewma = Some(match self.burst_ewma {
+                None => slice_depth as f64,
+                Some(base) => a * slice_depth as f64 + (1.0 - a) * base,
+            });
+            if burst {
+                self.microburst_slices += 1;
+                if verdict.violated || signal.burn_rate > 0.0 {
+                    // The page-worthy alert: a queue standing far above
+                    // its baseline in the same window the SLO burns.
+                    self.telemetry_alerts += 1;
+                    self.trace.instant(
+                        "microburst-slo-alert",
+                        slice.end,
+                        &[
+                            ("depth", slice_depth as u64),
+                            ("burn_pct", (signal.burn_rate * 100.0) as u64),
+                            ("violated", verdict.violated as u64),
+                        ],
+                    );
+                }
+            }
+        }
         if let Some(ev) = self.ctl.tick_serving(&mut self.sw, slice.end, &signal) {
             let name = match ev.kind {
                 RebalanceKind::ScaleUp => {
@@ -570,9 +657,13 @@ impl Daemon {
     }
 
     fn snapshot(&mut self, at: SimTime) {
+        if self.stream.is_none() {
+            return;
+        }
+        let telemetry = self.cfg.int.then(|| self.telemetry.report());
+        let metrics = self.sw.metrics_json();
         if let Some(st) = &mut self.stream {
-            let metrics = self.sw.metrics_json();
-            st.snapshot(at, &metrics, &mut self.trace)
+            st.snapshot(at, &metrics, &mut self.trace, telemetry.as_ref())
                 .expect("stream snapshot validates and writes");
         }
     }
@@ -613,9 +704,51 @@ impl Daemon {
         if tail.count() > 0 {
             self.slo.push_slice(tail);
         }
+        let telemetry = if self.cfg.int {
+            // Tail postcards from the drain, then the exact drop totals.
+            for pc in self.sw.take_postcards() {
+                self.telemetry.ingest(&pc);
+            }
+            let device = self.sw.device();
+            self.telemetry
+                .ingest_drops(device, &self.sw.tracer.to_json());
+            let (stamps, postcards, truncated) = self.telemetry.totals();
+            let (bursts, _) = self.telemetry.microbursts();
+            let (changes, _) = self.telemetry.path_changes();
+            Some(TelemetrySummary {
+                postcards,
+                stamps,
+                truncated,
+                pkts: self.telemetry.pkts() as u64,
+                microbursts: bursts.len() as u64,
+                microburst_slices: self.microburst_slices,
+                path_changes: changes.len() as u64,
+                alerts: self.telemetry_alerts,
+            })
+        } else {
+            None
+        };
 
         // ---- the books ----
         let mut drift = self.drift_check();
+        if let Some(t) = &telemetry {
+            // Collector ≡ datapath: every postcard the switch emitted must
+            // have reached the collector, and the deduplicated stamp count
+            // can never exceed what the datapath stamped.
+            let (dp_stamps, dp_postcards, dp_truncated) = self.sw.int_totals();
+            if t.postcards != dp_postcards {
+                drift.push(format!(
+                    "collector ingested {} postcards but datapath emitted {}",
+                    t.postcards, dp_postcards
+                ));
+            }
+            if t.stamps > dp_stamps || t.truncated > dp_truncated {
+                drift.push(format!(
+                    "collector stamps {}/truncated {} exceed datapath {}/{}",
+                    t.stamps, t.truncated, dp_stamps, dp_truncated
+                ));
+            }
+        }
         if self.sw.migration_active() {
             drift.push("migration still in flight after drain".into());
         }
@@ -692,6 +825,7 @@ impl Daemon {
                 violations: self.slo.violations_total(),
                 final_burn_rate: self.slo.burn_rate(),
             },
+            telemetry,
             snapshots_written: 0, // patched below (borrow order)
             drift,
             oracle,

@@ -27,6 +27,7 @@ struct Cli {
     out: Option<PathBuf>,
     json: bool,
     slices: Option<u64>,
+    int: bool,
 }
 
 #[derive(PartialEq)]
@@ -45,6 +46,7 @@ fn parse_args() -> Result<Cli, String> {
         out: None,
         json: false,
         slices: None,
+        int: false,
     };
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -72,6 +74,7 @@ fn parse_args() -> Result<Cli, String> {
             }
             "--out" => cli.out = Some(PathBuf::from(grab("--out")?)),
             "--json" => cli.json = true,
+            "--int" => cli.int = true,
             "--slices" => {
                 cli.slices = Some(
                     grab("--slices")?
@@ -105,6 +108,9 @@ FLAGS:
                        report is byte-identical across worker counts)
     --app NAME         shardcount | shardmax (default shardcount)
     --out DIR          stream rotating metrics-/trace-*.json into DIR
+    --int              stamp INT telemetry and stream telemetry-*.json
+                       reports (microbursts, path changes, flow paths);
+                       correlated microburst/SLO alerts land in the trace
     --json             print the report as JSON instead of a summary
     --slices N         override the slice budget (u64::MAX-like = forever)
     -h, --help         this text
@@ -146,6 +152,19 @@ fn human_summary(r: &SoakReport) {
         "  migration     {} migrations, {} keys moved, {} misroutes",
         r.migrations, r.moved_keys, r.misroutes
     );
+    if let Some(t) = &r.telemetry {
+        println!(
+            "  telemetry     {} postcards / {} stamps over {} pkts; {} microbursts \
+             ({} burst slices), {} path changes, {} SLO alerts",
+            t.postcards,
+            t.stamps,
+            t.pkts,
+            t.microbursts,
+            t.microburst_slices,
+            t.path_changes,
+            t.alerts
+        );
+    }
     if r.snapshots_written > 0 {
         println!("  stream        {} snapshots written", r.snapshots_written);
     }
@@ -188,6 +207,7 @@ fn main() -> ExitCode {
     if let Some(dir) = cli.out {
         cfg.stream = Some(StreamCfg { dir, keep: 8 });
     }
+    cfg.int = cli.int;
     let daemon = match Daemon::new(cfg) {
         Ok(d) => d,
         Err(e) => {

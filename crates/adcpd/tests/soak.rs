@@ -92,6 +92,61 @@ fn stream_files_rotate_and_validate() {
 }
 
 #[test]
+fn int_soak_streams_telemetry_and_stays_worker_independent() {
+    if !adcp_sim::int::IntKnob::from_env(true).on() {
+        return; // ADCP_INT forced off in this environment.
+    }
+    let dir = std::env::temp_dir().join(format!("adcpd-soak-int-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mk = |stream: Option<StreamCfg>, workers: usize| {
+        let mut cfg = DaemonCfg::soak_quick(7).with_workers(workers);
+        cfg.int = true;
+        cfg.stream = stream;
+        cfg.stream_every = 64;
+        cfg
+    };
+    let r = run(mk(
+        Some(StreamCfg {
+            dir: dir.clone(),
+            keep: 4,
+        }),
+        1,
+    ));
+    assert!(r.healthy, "drift: {:?} oracle: {:?}", r.drift, r.oracle);
+    let t = r.telemetry.as_ref().expect("int on => telemetry summary");
+    assert!(t.postcards > 0, "{}", r.to_json());
+    assert!(t.stamps > t.postcards, "multi-hop stamps per postcard");
+    assert_eq!(t.pkts as u64, t.postcards, "one postcard per delivered pkt");
+    // Streamed telemetry generations exist and validate.
+    let yschema = adcp_sim::schema::load_telemetry_schema().unwrap();
+    let mut telemetry_files = 0;
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        if name.starts_with("telemetry-") {
+            let doc = serde_json::from_str(&std::fs::read_to_string(&path).unwrap()).unwrap();
+            validate(&doc, &yschema).unwrap_or_else(|e| panic!("{name}: {e:?}"));
+            telemetry_files += 1;
+        }
+    }
+    assert!(telemetry_files > 0, "no telemetry generations written");
+    let _ = std::fs::remove_dir_all(&dir);
+    // Worker threads stay unobservable with stamping on (INT serializes
+    // central execution, so the stamped depths are deterministic too).
+    let dir2 = dir.with_file_name(format!("adcpd-soak-int-w4-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir2);
+    let r2 = run(mk(
+        Some(StreamCfg {
+            dir: dir2.clone(),
+            keep: 4,
+        }),
+        4,
+    ));
+    let _ = std::fs::remove_dir_all(&dir2);
+    assert_eq!(r.to_json(), r2.to_json(), "workers=4 diverged under INT");
+}
+
+#[test]
 fn partial_run_drains_gracefully_with_balanced_books() {
     let mut d = Daemon::new(DaemonCfg::soak_quick(3)).unwrap();
     // Stop mid-choreography, inside the first fault window's aftermath.

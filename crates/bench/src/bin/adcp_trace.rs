@@ -6,6 +6,7 @@
 //!         [--migrate drain|incremental|off]
 //!         [--sample N] [--chrome OUT.json] [--journeys [PKT]]
 //!         [--forensics]`
+//!        `adcp-trace --fabric --chrome OUT.json [--quick]`
 //!        `adcp-trace --diff A.json B.json`
 //!
 //! Default output is a per-stage table of every counter, gauge, span
@@ -37,6 +38,12 @@
 //! configuration under which the forensics invariant is asserted across
 //! the whole matrix.
 //!
+//! `--fabric --chrome OUT.json` runs the 2-spine × 4-leaf demo fabric
+//! with tracing and INT stamping on and writes ONE Chrome trace for the
+//! whole topology: `pid` = device, flow events (`ph:s`/`ph:f`, bound by
+//! packet id) for every inter-switch link crossing, and the INT
+//! collector's microburst / path-change anomalies overlaid per device.
+//!
 //! `--migrate` sets the control-plane policy for apps that carry one
 //! (currently `partmigrate`): pick the migration strategy or turn the
 //! controller off entirely.
@@ -47,9 +54,12 @@
 //! config change did to the per-stage picture.
 
 use adcp_apps::driver::{AppReport, TargetKind};
-use adcp_bench::journey::{chrome_trace, forensics, format_journeys, ChromeRun};
+use adcp_bench::journey::{
+    chrome_trace, fabric_chrome_trace, forensics, format_journeys, ChromeRun, FabricChromeDevice,
+};
 use adcp_bench::report::{print_json, print_table};
 use adcp_bench::schema::{load_chrome_trace_schema, load_metrics_schema, validate};
+use adcp_bench::telemetry::{Collector, CollectorCfg};
 use adcp_bench::trace::{
     diff_metrics, flatten, metrics_block, parse_target, run_one_with, APP_NAMES,
 };
@@ -103,6 +113,96 @@ fn diff_main(path_a: &str, path_b: &str) -> ! {
         &format!("adcp-trace --diff {path_a} {path_b}"),
         &["stage", "metric", "a", "b", "delta"],
         &cells,
+    );
+    std::process::exit(0);
+}
+
+/// `--fabric --chrome OUT.json`: run the 2-spine × 4-leaf demo fabric
+/// with journey tracing and INT stamping on every device, then write ONE
+/// Chrome trace for the whole fabric — `pid` = device (leaves then
+/// spines), journey spans on each device's tracks, `ph:s`/`ph:f` flow
+/// events for every inter-switch link crossing (bound by packet id), and
+/// the INT collector's microburst / path-change instants overlaid on a
+/// per-device `telemetry` track.
+fn fabric_main(chrome: Option<&str>, quick: bool) -> ! {
+    let Some(path) = chrome else {
+        eprintln!("--fabric needs --chrome OUT.json (it is a trace exporter)");
+        std::process::exit(2);
+    };
+    let packets = if quick { 400 } else { 4000 };
+    let mut cfg = adcp_fabric::FabricConfig::default();
+    cfg.switch.trace = true;
+    cfg.switch.int = true;
+    let (demo, mut fabric) = adcp_fabric::run_demo_keep(7, packets, cfg);
+    if !demo.correct {
+        eprintln!("fabric demo run diverged from its oracle: {demo:?}");
+        std::process::exit(1);
+    }
+
+    let mut coll = Collector::new(CollectorCfg::default());
+    for d in 0..fabric.n_devices() {
+        coll.set_device_name(d, fabric.device_name(d));
+    }
+    for pc in fabric.drain_postcards() {
+        coll.ingest(&pc);
+    }
+    for d in 0..fabric.n_devices() {
+        coll.ingest_drops(d, &fabric.device_trace_json(d));
+    }
+
+    let devices: Vec<FabricChromeDevice> = (0..fabric.n_devices())
+        .map(|d| FabricChromeDevice {
+            device: d,
+            name: fabric.device_name(d),
+            trace: fabric.device_trace_json(d),
+        })
+        .collect();
+    let overlay = coll.chrome_overlay_events(950);
+    let doc = fabric_chrome_trace(&devices, fabric.crossings(), overlay);
+    let schema = load_chrome_trace_schema().unwrap_or_else(|e| {
+        eprintln!("cannot load chrome trace schema: {e}");
+        std::process::exit(2);
+    });
+    if let Err(errors) = validate(&doc, &schema) {
+        eprintln!("fabric chrome export violates schemas/chrome_trace.schema.json:");
+        for e in &errors {
+            eprintln!("  {e}");
+        }
+        std::process::exit(1);
+    }
+    let n_events = doc
+        .get("traceEvents")
+        .and_then(serde::Value::as_array)
+        .map_or(0, |a| a.len());
+    let text = serde_json::to_string_pretty(&doc).expect("chrome doc serializes");
+    std::fs::write(path, text).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    });
+    let (stamps, postcards, truncated) = fabric.int_totals();
+    let (bursts, _) = coll.microbursts();
+    let (changes, _) = coll.path_changes();
+    println!(
+        "fabric: {} devices, {}/{} pkts delivered, {} link crossings{}",
+        fabric.n_devices(),
+        demo.delivered,
+        demo.injected,
+        fabric.crossings().len(),
+        if fabric.crossings_truncated() > 0 {
+            " (truncated)"
+        } else {
+            ""
+        }
+    );
+    println!(
+        "int: {stamps} stamps / {postcards} postcards / {truncated} truncated; \
+         collector saw {} microbursts, {} path changes",
+        bursts.len(),
+        changes.len()
+    );
+    println!(
+        "wrote {n_events} trace events to {path} (schema-valid; load in \
+         https://ui.perfetto.dev or chrome://tracing)"
     );
     std::process::exit(0);
 }
@@ -193,6 +293,11 @@ fn main() {
                 std::process::exit(2);
             });
         diff_main(&a, &b);
+    }
+    if std::env::args().any(|a| a == "--fabric") {
+        let chrome = arg_value("--chrome");
+        let quick = std::env::args().any(|a| a == "--quick");
+        fabric_main(chrome.as_deref(), quick);
     }
     let app = arg_value("--app").unwrap_or_else(|| "paramserv".into());
     let target = match arg_value("--target") {

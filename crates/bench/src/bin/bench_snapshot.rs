@@ -22,16 +22,18 @@
 //!
 //! `--overhead` instead self-profiles the observability layer: the suite
 //! is timed with each knob off, then on — the metrics registry
-//! (`ADCP_METRICS`) and the journey tracer at the production sampling
-//! rate (`ADCP_TRACE=64`) — and the per-point and aggregate
-//! instrumentation overhead is written to `BENCH_<date>_obs.json`
-//! (target: < 5 % aggregate per knob). The separate file name keeps it
-//! from clobbering the day's throughput trajectory point.
+//! (`ADCP_METRICS`), the journey tracer at the production sampling rate
+//! (`ADCP_TRACE=64`), and INT stamping at every packet (`ADCP_INT=on`) —
+//! and the per-point and aggregate instrumentation overhead is written
+//! to `BENCH_<date>_obs.json` (target: < 5 % aggregate per knob; the
+//! off leg doubles as the zero-cost proof for each knob). The separate
+//! file name keeps it from clobbering the day's throughput trajectory
+//! point.
 
 use adcp_bench::report::{eng, print_json, print_table, want_json, write_json_file};
 use adcp_bench::snapshot::{
-    check_against_baseline, measure_overhead, measure_trace_overhead, run_suite, today_utc,
-    OverheadRow, SnapshotRow,
+    check_against_baseline, measure_int_overhead, measure_overhead, measure_trace_overhead,
+    run_suite, today_utc, OverheadRow, SnapshotRow,
 };
 use std::path::{Path, PathBuf};
 
@@ -48,7 +50,12 @@ const TRACE_OVERHEAD_SAMPLE: u64 = 64;
 fn overhead_main(quick: bool, reps: u32, out_dir: &Path) {
     let (metrics_rows, metrics_pct) = measure_overhead(quick, reps);
     let (trace_rows, trace_pct) = measure_trace_overhead(quick, reps, TRACE_OVERHEAD_SAMPLE);
-    let rows: Vec<OverheadRow> = metrics_rows.into_iter().chain(trace_rows).collect();
+    let (int_rows, int_pct) = measure_int_overhead(quick, reps);
+    let rows: Vec<OverheadRow> = metrics_rows
+        .into_iter()
+        .chain(trace_rows)
+        .chain(int_rows)
+        .collect();
     let date = today_utc();
     let path = (!quick).then(|| out_dir.join(format!("BENCH_{date}_obs.json")));
     if let Some(path) = &path {
@@ -77,7 +84,11 @@ fn overhead_main(quick: bool, reps: u32, out_dir: &Path) {
         &["app", "target", "knob", "off_ms", "on_ms", "overhead"],
         &cells,
     );
-    println!("\naggregate overhead: metrics {metrics_pct:+.2}%, trace(sample={TRACE_OVERHEAD_SAMPLE}) {trace_pct:+.2}% (target < 5% each)");
+    println!(
+        "\naggregate overhead: metrics {metrics_pct:+.2}%, \
+         trace(sample={TRACE_OVERHEAD_SAMPLE}) {trace_pct:+.2}%, \
+         int {int_pct:+.2}% (target < 5% each)"
+    );
     match &path {
         Some(p) => println!("wrote {}", p.display()),
         None => println!("(quick run: overhead file not written)"),

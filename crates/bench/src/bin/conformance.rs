@@ -33,6 +33,9 @@
 //! `CONFORMANCE_BUG=misroute-boundary-key` (with `--fabric`) makes the
 //! fabric steer every key at an ownership boundary to the wrong leaf (an
 //! off-by-one range split), which the register merge/leak checks must flag.
+//! `CONFORMANCE_BUG=lie-int-stamp` makes the ADCP target's INT stamps
+//! report one more than the observed TM queue depth while the journey
+//! tracer keeps the truth, which the INT honesty check must flag.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -44,6 +47,7 @@ fn parse_bug() -> BugHook {
         Ok("swap-add-max") => BugHook::SwapAddMax,
         Ok("lose-drop-forensics") => BugHook::LoseDropForensics,
         Ok("misroute-boundary-key") => BugHook::MisrouteBoundaryKey,
+        Ok("lie-int-stamp") => BugHook::LieIntStamp,
         Ok(other) if !other.is_empty() => {
             eprintln!("conformance: unknown CONFORMANCE_BUG {other:?}, ignoring");
             BugHook::None

@@ -939,6 +939,11 @@ pub enum BugHook {
     /// off-by-one range-split bug. Only fabric cases can see it; the
     /// register merge and leak checks must flag it.
     MisrouteBoundaryKey,
+    /// Make the ADCP target's INT stamps lie about TM queue depth (report
+    /// one more than observed) while the journey tracer keeps the truth —
+    /// the "telemetry that flatters the datapath" bug the INT honesty
+    /// check exists to catch.
+    LieIntStamp,
 }
 
 fn swap_add_max_ops(ops: &mut [ActionOp]) {
@@ -1010,6 +1015,105 @@ fn forensics_check(name: &str, trace: &serde::Value, metrics: &serde::Value) -> 
             f.mismatches.join("; ")
         )),
     }
+}
+
+/// The INT honesty keystone: every hop chain and queue depth the datapath
+/// stamped into a postcard must match the journey tracer's ground truth
+/// byte-for-byte, and the collector's deduplicated drain must agree with
+/// the datapath's own `int/*` totals.
+///
+/// The final (longest) stack per packet is split into consecutive
+/// per-device segments; each segment must equal — site, enter, exit, and
+/// hop context, all compared exactly — that device's non-drop journey for
+/// the packet. `journey_of` returns `None` for a device the harness does
+/// not know (an error: a stamp is lying about where it came from) and an
+/// empty journey when the tracer did not retain the packet (sampled out
+/// or ring-evicted — skipped, not failed). Truncated stacks are skipped
+/// too: the chain cannot be reconstructed once hops were shed.
+fn int_honesty_check(
+    name: &str,
+    postcards: &[adcp_sim::int::Postcard],
+    raw: (u64, u64, u64),
+    journey_of: &mut dyn FnMut(u16, u64) -> Option<Vec<adcp_sim::trace::Hop>>,
+) -> Result<(), String> {
+    use adcp_sim::trace::Site;
+
+    // The collector must account for exactly the postcards the datapath
+    // emitted, and can never have seen more stamps or truncations than the
+    // datapath recorded (fewer is legal: stamps on packets that were later
+    // filtered or dropped never reach a postcard).
+    let mut collector = crate::telemetry::Collector::default();
+    for pc in postcards {
+        collector.ingest(pc);
+    }
+    let (c_stamps, c_postcards, c_trunc) = collector.totals();
+    let (r_stamps, r_postcards, r_trunc) = raw;
+    if c_postcards != r_postcards {
+        return Err(format!(
+            "{name}: collector drained {c_postcards} postcards but the datapath counted {r_postcards}"
+        ));
+    }
+    if c_stamps > r_stamps || c_trunc > r_trunc {
+        return Err(format!(
+            "{name}: collector saw {c_stamps} stamps / {c_trunc} truncations, more than the \
+             datapath recorded ({r_stamps} / {r_trunc})"
+        ));
+    }
+
+    // Longest stack per packet = the full end-to-end chain (shorter ones
+    // are transit-hop prefixes of it).
+    let mut best: std::collections::BTreeMap<u64, &adcp_sim::int::Postcard> = Default::default();
+    for pc in postcards {
+        let cur = best.entry(pc.pkt).or_insert(pc);
+        if pc.stack.stamps.len() > cur.stack.stamps.len() {
+            *cur = pc;
+        }
+    }
+    for (pkt, pc) in best {
+        if pc.stack.truncated > 0 {
+            continue;
+        }
+        let stamps = &pc.stack.stamps;
+        let mut i = 0;
+        while i < stamps.len() {
+            let device = stamps[i].device;
+            let mut j = i;
+            while j < stamps.len() && stamps[j].device == device {
+                j += 1;
+            }
+            let seg = &stamps[i..j];
+            let Some(journey) = journey_of(device, pkt) else {
+                return Err(format!(
+                    "{name}: pkt {pkt} carries a stamp from unknown device {device}"
+                ));
+            };
+            let hops: Vec<_> = journey.iter().filter(|h| h.site != Site::Dropped).collect();
+            let retained = hops.first().is_some_and(|h| matches!(h.site, Site::Rx(_)));
+            if retained {
+                if hops.len() != seg.len() {
+                    return Err(format!(
+                        "{name}: pkt {pkt} device {device}: INT reports {} hops but the \
+                         tracer recorded {}",
+                        seg.len(),
+                        hops.len()
+                    ));
+                }
+                for (s, h) in seg.iter().zip(&hops) {
+                    if s.site != h.site || s.enter != h.enter || s.exit != h.exit || s.ctx != h.ctx
+                    {
+                        return Err(format!(
+                            "{name}: pkt {pkt} device {device}: INT stamp at {} \
+                             (enter={}, exit={}, ctx={:?}) != tracer hop at {} \
+                             (enter={}, exit={}, ctx={:?})",
+                            s.site, s.enter.0, s.exit.0, s.ctx, h.site, h.enter.0, h.exit.0, h.ctx
+                        ));
+                    }
+                }
+            }
+            i = j;
+        }
+    }
+    Ok(())
 }
 
 /// Gather the common post-run checks and outcome from either switch's
@@ -1109,12 +1213,18 @@ fn run_adcp(
             // Journey tracing on (sample=1 unless ADCP_TRACE overrides):
             // every run doubles as a forensics↔counter cross-check lane.
             trace: true,
+            // INT stamping on (unless ADCP_INT overrides): every run also
+            // doubles as an INT↔tracer honesty cross-check lane.
+            int: true,
             ..Default::default()
         },
     )
     .map_err(|e| CaseError::Skip(format!("adcp compile: {e:?}")))?;
     if bug == BugHook::LoseDropForensics {
         sw.tracer.set_drop_forensics_loss(true);
+    }
+    if bug == BugHook::LieIntStamp {
+        sw.set_int_lie_queue_depth(true);
     }
     for (name, entry) in &case.installs {
         sw.install_all(name, entry.clone())
@@ -1220,6 +1330,7 @@ fn run_adcp(
             (d.meta.id, d.port.0, d.data.to_vec(), pkt.fcs_ok())
         })
         .collect();
+    let postcards = sw.take_postcards();
     let c = &sw.counters;
     // Cross-target metric equality flows through the registry export: read
     // the mirrored counters back (checking them against the raw ones) and
@@ -1233,6 +1344,29 @@ fn run_adcp(
     mirrored("adcp", m, "tx", "packets", c.delivered).map_err(CaseError::Mismatch)?;
     mirrored("adcp", m, "drops", "filtered", c.filtered).map_err(CaseError::Mismatch)?;
     forensics_check("adcp", &sw.trace_json(), &m.to_json()).map_err(CaseError::Mismatch)?;
+    if sw.int_knob().on() {
+        let (int_stamps, int_postcards, int_truncated) = sw.int_totals();
+        mirrored("adcp", m, "int", "stamps", int_stamps).map_err(CaseError::Mismatch)?;
+        mirrored("adcp", m, "int", "postcards", int_postcards).map_err(CaseError::Mismatch)?;
+        mirrored("adcp", m, "int", "stack_truncated", int_truncated)
+            .map_err(CaseError::Mismatch)?;
+        mirrored(
+            "adcp",
+            m,
+            "int",
+            "path_changes",
+            sw.int_flow_table().total_path_changes(),
+        )
+        .map_err(CaseError::Mismatch)?;
+        let device = sw.device();
+        int_honesty_check(
+            "adcp",
+            &postcards,
+            (int_stamps, int_postcards, int_truncated),
+            &mut |d, pkt| (d == device).then(|| sw.tracer.journey_of(pkt)),
+        )
+        .map_err(CaseError::Mismatch)?;
+    }
     finish_outcome(
         "adcp",
         (
@@ -1275,8 +1409,9 @@ fn run_rmt(
             rmt_central: strategy,
         },
         RmtConfig {
-            // Same forensics lane as `run_adcp`.
+            // Same forensics + INT honesty lanes as `run_adcp`.
             trace: true,
+            int: true,
             ..Default::default()
         },
     )
@@ -1325,6 +1460,7 @@ fn run_rmt(
             (d.meta.id, d.port.0, d.data.to_vec(), pkt.fcs_ok())
         })
         .collect();
+    let postcards = sw.take_postcards();
     let c = &sw.counters;
     // Same mirrored-read discipline as `run_adcp`: the values compared
     // across targets come from the metrics export, not the raw counters.
@@ -1337,6 +1473,20 @@ fn run_rmt(
     mirrored(name, m, "tx", "packets", c.delivered).map_err(CaseError::Mismatch)?;
     mirrored(name, m, "drops", "filtered", c.filtered).map_err(CaseError::Mismatch)?;
     forensics_check(name, &sw.trace_json(), &m.to_json()).map_err(CaseError::Mismatch)?;
+    if sw.int_knob().on() {
+        let (int_stamps, int_postcards, int_truncated) = sw.int_totals();
+        mirrored(name, m, "int", "stamps", int_stamps).map_err(CaseError::Mismatch)?;
+        mirrored(name, m, "int", "postcards", int_postcards).map_err(CaseError::Mismatch)?;
+        mirrored(name, m, "int", "stack_truncated", int_truncated).map_err(CaseError::Mismatch)?;
+        let device = sw.device();
+        int_honesty_check(
+            name,
+            &postcards,
+            (int_stamps, int_postcards, int_truncated),
+            &mut |d, pkt| (d == device).then(|| sw.tracer.journey_of(pkt)),
+        )
+        .map_err(CaseError::Mismatch)?;
+    }
     finish_outcome(
         name,
         (
@@ -1420,20 +1570,28 @@ fn run_fabric(
         delivery_port: 0,
     };
     let program = apply_bug(case.program.clone(), bug);
-    let mut fabric =
-        Fabric::new(&program, fspec, FabricConfig::default()).map_err(|e| match e {
-            // A placement rejection means the fabric-mode generator constraints
-            // slipped — a harness bug, not a skip.
-            FabricError::Place(p) => {
-                CaseError::Mismatch(format!("fabric: placement rejected: {p:?}"))
-            }
-            FabricError::Compile(c) => CaseError::Skip(format!("fabric compile: {c:?}")),
-            FabricError::Install {
-                device,
-                table,
-                error,
-            } => CaseError::Mismatch(format!("fabric: install of {table} on {device}: {error:?}")),
-        })?;
+    let fabric_cfg = FabricConfig {
+        // Same forensics + INT honesty lanes as the single-switch targets,
+        // on every device: the stamp stack rides the links, so the fabric
+        // case is where multi-device chains get checked.
+        switch: AdcpConfig {
+            trace: true,
+            int: true,
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let mut fabric = Fabric::new(&program, fspec, fabric_cfg).map_err(|e| match e {
+        // A placement rejection means the fabric-mode generator constraints
+        // slipped — a harness bug, not a skip.
+        FabricError::Place(p) => CaseError::Mismatch(format!("fabric: placement rejected: {p:?}")),
+        FabricError::Compile(c) => CaseError::Skip(format!("fabric compile: {c:?}")),
+        FabricError::Install {
+            device,
+            table,
+            error,
+        } => CaseError::Mismatch(format!("fabric: install of {table} on {device}: {error:?}")),
+    })?;
     for (name, entry) in &case.installs {
         fabric
             .install_all(name, entry.clone())
@@ -1485,6 +1643,32 @@ fn run_fabric(
         lookups += c.mat_lookups;
         hits += c.mat_hits;
         total_drops += c.total_drops();
+        if sw.int_knob().on() {
+            let (int_stamps, int_postcards, int_truncated) = sw.int_totals();
+            let m = sw.metrics();
+            let dev = format!("fabric {name}");
+            mirrored(&dev, m, "int", "stamps", int_stamps).map_err(CaseError::Mismatch)?;
+            mirrored(&dev, m, "int", "postcards", int_postcards).map_err(CaseError::Mismatch)?;
+            mirrored(&dev, m, "int", "stack_truncated", int_truncated)
+                .map_err(CaseError::Mismatch)?;
+        }
+    }
+    // INT honesty, fabric-wide: postcards from every device's TX, hop
+    // chains split per device and compared against that device's tracer.
+    if fabric.leaf(0).int_knob().on() {
+        let postcards = fabric.drain_postcards();
+        let n_spines = fabric.n_spines();
+        int_honesty_check("fabric", &postcards, fabric.int_totals(), &mut |d, pkt| {
+            let d = d as usize;
+            if d < n_leaves {
+                Some(fabric.leaf(d).tracer.journey_of(pkt))
+            } else if d < n_leaves + n_spines {
+                Some(fabric.spine(d - n_leaves).tracer.journey_of(pkt))
+            } else {
+                None
+            }
+        })
+        .map_err(CaseError::Mismatch)?;
     }
     // Host-level conservation: every transit crossing adds one delivery on
     // the sender and one injection on the receiver, so the per-hop terms
@@ -2385,6 +2569,56 @@ mod tests {
         };
         assert!(!matches!(
             run_spec(&spec, BugHook::None),
+            Err(CaseError::Mismatch(_))
+        ));
+    }
+
+    #[test]
+    fn int_honesty_catches_a_lying_stamp() {
+        // A datapath whose INT stamps flatter the TM queue depth must not
+        // pass: arm the lying-stamp sabotage, expecting the INT↔tracer
+        // honesty check to flag the skew, then shrink the witness and
+        // prove the failure artifact replays. The check is skipped when
+        // the tracer, the registry, or INT itself is env-disabled, so a
+        // hostile environment can only make this test vacuous, not red —
+        // guard against that by requiring all three to be on.
+        let m = MetricsRegistry::from_env();
+        let t = adcp_sim::trace::JourneyTracer::from_env(true, 8);
+        let k = adcp_sim::int::IntKnob::from_env(true);
+        if !m.enabled() || !t.is_enabled() || !k.on() {
+            eprintln!("metrics/trace/int disabled via env; skipping");
+            return;
+        }
+        let cfg = tiny_cfg(0x11E_57A4, 8, BugHook::LieIntStamp);
+        let mut caught = None;
+        for i in 0..8 {
+            let spec = case_spec(&cfg, i);
+            match run_spec(&spec, BugHook::LieIntStamp) {
+                Err(CaseError::Mismatch(e)) => {
+                    caught = Some((spec, e));
+                    break;
+                }
+                _ => continue,
+            }
+        }
+        let (spec, err) = caught.expect("a lying INT stamp must surface within a few cases");
+        assert!(err.contains("INT stamp"), "wrong failure: {err}");
+        // The shrunk witness still fails, for the same reason class.
+        let (shrunk, final_err) = shrink(&spec, BugHook::LieIntStamp, err);
+        assert!(final_err.contains("INT stamp"), "{final_err}");
+        assert!(matches!(
+            run_spec(&shrunk, BugHook::LieIntStamp),
+            Err(CaseError::Mismatch(_))
+        ));
+        // The artifact replays to the same verdict through the file.
+        let dir = std::env::temp_dir().join(format!("adcp_int_lie_{}", std::process::id()));
+        let name = write_artifact(&dir, &spec, &shrunk, &final_err).expect("artifact writes");
+        let verdict = replay(&dir.join(&name), BugHook::LieIntStamp);
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(verdict, Err(CaseError::Mismatch(_))));
+        // And the same spec is clean without the sabotage.
+        assert!(!matches!(
+            run_spec(&shrunk, BugHook::None),
             Err(CaseError::Mismatch(_))
         ));
     }

@@ -91,19 +91,29 @@ const PS_PER_US: f64 = 1e6;
 pub fn chrome_trace(runs: &[ChromeRun]) -> Value {
     let mut events: Vec<Value> = Vec::new();
     for (pid, run) in runs.iter().enumerate() {
-        let pid = pid as u64;
+        push_run_events(&mut events, pid as u64, &run.name, &run.trace);
+    }
+    let mut root = Map::new();
+    root.insert("traceEvents".into(), Value::Array(events));
+    root.insert("displayTimeUnit".into(), Value::String("ns".into()));
+    Value::Object(root)
+}
+
+/// Emit one process's worth of events (metadata, hop spans, drop and
+/// control instants) for a trace block, under the given `pid`.
+fn push_run_events(events: &mut Vec<Value>, pid: u64, name: &str, trace: &Value) {
+    {
         let mut meta = event_base("M", "process_name", "__metadata", pid, 0, 0.0);
         let mut args = Map::new();
-        args.insert("name".into(), Value::String(run.name.clone()));
+        args.insert("name".into(), Value::String(name.into()));
         meta.insert("args".into(), Value::Object(args));
         events.push(Value::Object(meta));
-        if run.trace.get("enabled").and_then(Value::as_bool) != Some(true) {
-            continue;
+        if trace.get("enabled").and_then(Value::as_bool) != Some(true) {
+            return;
         }
         let mut tracks: BTreeMap<u64, String> = BTreeMap::new();
         let empty = Vec::new();
-        let hops = run
-            .trace
+        let hops = trace
             .get("hops")
             .and_then(Value::as_array)
             .unwrap_or(&empty);
@@ -136,8 +146,7 @@ pub fn chrome_trace(runs: &[ChromeRun]) -> Value {
             ev.insert("args".into(), Value::Object(args));
             events.push(Value::Object(ev));
         }
-        let drops = run
-            .trace
+        let drops = trace
             .get("drops")
             .and_then(Value::as_array)
             .unwrap_or(&empty);
@@ -166,8 +175,7 @@ pub fn chrome_trace(runs: &[ChromeRun]) -> Value {
             ev.insert("args".into(), Value::Object(args));
             events.push(Value::Object(ev));
         }
-        let ctrl = run
-            .trace
+        let ctrl = trace
             .get("ctrl")
             .and_then(Value::as_array)
             .unwrap_or(&empty);
@@ -196,6 +204,64 @@ pub fn chrome_trace(runs: &[ChromeRun]) -> Value {
             events.push(Value::Object(meta));
         }
     }
+}
+
+/// One device of a fabric run for the unified Chrome export.
+pub struct FabricChromeDevice {
+    /// Fabric device id (leaf `l` = `l`, spine `s` = `n_leaves + s`).
+    pub device: u16,
+    /// Display name (`"leaf0"`, `"spine1"`, ...).
+    pub name: String,
+    /// That switch's `trace_json()` block.
+    pub trace: Value,
+}
+
+/// Convert one fabric run into a single Chrome trace-event document:
+/// `pid` = fabric device id (process per leaf and spine), every device's
+/// journey spans/drops/ctrl instants on its own tracks, inter-switch
+/// link crossings as `ph:"s"`/`ph:"f"` flow events bound by packet id
+/// (start on the transmitter's `tx` track, finish on the receiver's `rx`
+/// track), and any collector overlay instants appended as-is.
+pub fn fabric_chrome_trace(
+    devices: &[FabricChromeDevice],
+    crossings: &[adcp_fabric::Crossing],
+    overlay: Vec<Value>,
+) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for d in devices {
+        push_run_events(&mut events, d.device as u64, &d.name, &d.trace);
+    }
+    const TX_TID: u64 = 700;
+    const RX_TID: u64 = 0;
+    for c in crossings {
+        let name = format!("pkt {}", c.pkt);
+        let mut s = event_base(
+            "s",
+            &name,
+            "link",
+            c.from_device as u64,
+            TX_TID,
+            c.depart.0 as f64 / PS_PER_US,
+        );
+        s.insert("id".into(), Value::U64(c.pkt));
+        let mut args = Map::new();
+        args.insert("flow".into(), Value::U64(c.flow));
+        args.insert("to_device".into(), Value::U64(c.to_device as u64));
+        s.insert("args".into(), Value::Object(args));
+        events.push(Value::Object(s));
+        let mut f = event_base(
+            "f",
+            &name,
+            "link",
+            c.to_device as u64,
+            RX_TID,
+            c.arrive.0 as f64 / PS_PER_US,
+        );
+        f.insert("id".into(), Value::U64(c.pkt));
+        f.insert("bp".into(), Value::String("e".into()));
+        events.push(Value::Object(f));
+    }
+    events.extend(overlay);
     let mut root = Map::new();
     root.insert("traceEvents".into(), Value::Array(events));
     root.insert("displayTimeUnit".into(), Value::String("ns".into()));
@@ -631,6 +697,68 @@ mod tests {
         assert!(names.contains(&"tm1"));
         assert!(names.contains(&"ctrl"));
         assert!(names.contains(&"rx"));
+    }
+
+    #[test]
+    fn fabric_chrome_export_binds_crossings_and_validates() {
+        let devices = vec![
+            FabricChromeDevice {
+                device: 0,
+                name: "leaf0".into(),
+                trace: sample_trace(),
+            },
+            FabricChromeDevice {
+                device: 4,
+                name: "spine0".into(),
+                trace: sample_trace(),
+            },
+        ];
+        let crossings = vec![adcp_fabric::Crossing {
+            pkt: 1,
+            flow: 1001,
+            from_device: 0,
+            to_device: 4,
+            depart: SimTime(2_000),
+            arrive: SimTime(204_000),
+        }];
+        let overlay = vec![{
+            let mut o = Map::new();
+            o.insert(
+                "name".into(),
+                Value::String("microburst: tm1 depth 9".into()),
+            );
+            o.insert("cat".into(), Value::String("telemetry".into()));
+            o.insert("ph".into(), Value::String("i".into()));
+            o.insert("ts".into(), Value::F64(0.5));
+            o.insert("pid".into(), Value::U64(4));
+            o.insert("tid".into(), Value::U64(950));
+            o.insert("s".into(), Value::String("p".into()));
+            Value::Object(o)
+        }];
+        let doc = fabric_chrome_trace(&devices, &crossings, overlay);
+        let schema = crate::schema::load_chrome_trace_schema().unwrap();
+        crate::schema::validate(&doc, &schema).expect("fabric doc conforms to the chrome schema");
+        let events = doc.get("traceEvents").and_then(Value::as_array).unwrap();
+        let ph = |e: &Value, want: &str| e.get("ph").and_then(Value::as_str) == Some(want);
+        let start = events.iter().find(|e| ph(e, "s")).expect("flow start");
+        let finish = events.iter().find(|e| ph(e, "f")).expect("flow finish");
+        // Start leaves the transmitter's tx track; finish lands on the
+        // receiver's rx track; the Chrome viewer binds them by id.
+        assert_eq!(start.get("pid").and_then(Value::as_u64), Some(0));
+        assert_eq!(finish.get("pid").and_then(Value::as_u64), Some(4));
+        assert_eq!(start.get("id"), finish.get("id"));
+        assert_eq!(finish.get("bp").and_then(Value::as_str), Some("e"));
+        // Both devices' journey spans and the overlay instant survive.
+        let names: Vec<&str> = events
+            .iter()
+            .filter(|e| ph(e, "M"))
+            .filter_map(|e| e.get("args")?.get("name")?.as_str())
+            .collect();
+        assert!(names.contains(&"leaf0"));
+        assert!(names.contains(&"spine0"));
+        assert!(events
+            .iter()
+            .any(|e| e.get("cat").and_then(Value::as_str) == Some("telemetry")));
     }
 
     #[test]

@@ -34,6 +34,10 @@
 //! * [`report`] — console tables and `--json` output.
 //! * [`snapshot`] — the `bench_snapshot` throughput suite behind
 //!   `BENCH_<date>.json` perf-trajectory files.
+//! * [`telemetry`] — the INT collector: drain datapath postcards into
+//!   per-flow paths and per-queue depth series, detect microbursts (EWMA
+//!   threshold), path changes (digest flips) and drop hotspots, and emit
+//!   schema-validated reports plus Chrome-trace overlays.
 //! * [`trace`] — app dispatch and per-stage flattening for the
 //!   `adcp-trace` binary.
 //! * [`schema`] — the JSON-Schema-subset validator behind
@@ -61,6 +65,7 @@ pub mod par;
 pub mod report;
 pub mod schema;
 pub mod snapshot;
+pub mod telemetry;
 pub mod trace;
 
 pub use adcp_sim::shutdown;

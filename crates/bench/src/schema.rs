@@ -6,4 +6,6 @@
 //! re-exports it to keep the harness-side call sites
 //! (`adcp-trace --validate`, conformance) stable.
 
-pub use adcp_sim::schema::{load_chrome_trace_schema, load_metrics_schema, load_schema, validate};
+pub use adcp_sim::schema::{
+    load_chrome_trace_schema, load_metrics_schema, load_schema, load_telemetry_schema, validate,
+};

@@ -394,6 +394,16 @@ pub fn measure_trace_overhead(quick: bool, reps: u32, sample: u64) -> (Vec<Overh
     let on = suite_with_env("ADCP_TRACE", &sample.to_string(), quick, reps);
     diff_rows(&format!("trace(sample={sample})"), &off, &on)
 }
+
+/// Same self-profiling for INT stamping: the suite timed with
+/// `ADCP_INT=off` (the knob must be zero-cost on the datapath) and then
+/// `ADCP_INT=on` (stamp every packet). Same **< 5 % aggregate** target —
+/// stamping is a per-hop append into a pre-sized stack, not an alloc.
+pub fn measure_int_overhead(quick: bool, reps: u32) -> (Vec<OverheadRow>, f64) {
+    let off = suite_with_env("ADCP_INT", "off", quick, reps);
+    let on = suite_with_env("ADCP_INT", "on", quick, reps);
+    diff_rows("int", &off, &on)
+}
 /// Outcome of comparing one measured row against the checked-in baseline.
 #[derive(Debug, Clone, Serialize)]
 pub struct CheckRow {

@@ -1,0 +1,9 @@
+//! The INT collector behind the telemetry experiments.
+//!
+//! The collector itself moved into the substrate ([`adcp_sim::telemetry`])
+//! so the serving daemon can stream per-slice telemetry without depending
+//! on the bench harness (which depends on `adcpd` for the soak matrix);
+//! this module re-exports it to keep the harness-side call sites (the INT
+//! honesty conformance, the fabric trace overlay) stable.
+
+pub use adcp_sim::telemetry::{Collector, CollectorCfg, DropHotspot, Microburst, PathChange};

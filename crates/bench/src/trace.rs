@@ -430,6 +430,34 @@ mod tests {
     }
 
     #[test]
+    fn diff_calls_out_the_int_scope_instead_of_silently_skipping_it() {
+        // An export from a build that stamps INT gains a whole `int/*`
+        // scope. Diffing it against a pre-INT export must say so
+        // explicitly in both directions — not skip the one-sided scope.
+        let pre: Value =
+            serde_json::from_str(r#"{"scopes": {"tx": {"counters": {"packets": 10}}}}"#).unwrap();
+        let post: Value = serde_json::from_str(
+            r#"{"scopes": {
+                "tx": {"counters": {"packets": 10}},
+                "int": {"counters": {"stamps": 120, "postcards": 40, "truncated": 0}}
+            }}"#,
+        )
+        .unwrap();
+        let added = diff_metrics(&pre, &post);
+        assert_eq!(added.len(), 1, "only the int scope differs: {added:?}");
+        assert_eq!(
+            (added[0].scope.as_str(), added[0].delta.as_str()),
+            ("int", "scope added")
+        );
+        let removed = diff_metrics(&post, &pre);
+        assert_eq!(removed.len(), 1);
+        assert_eq!(
+            (removed[0].scope.as_str(), removed[0].delta.as_str()),
+            ("int", "scope removed")
+        );
+    }
+
+    #[test]
     fn metrics_block_unwraps_reports() {
         let raw: Value = serde_json::from_str(r#"{"scopes": {}}"#).unwrap();
         assert!(metrics_block(&raw).is_some());

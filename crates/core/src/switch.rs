@@ -30,6 +30,9 @@ use adcp_lang::{
     RegId, Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
+use adcp_sim::int::{
+    IntFlowCell, IntFlowTable, IntKnob, IntStack, IntStamp, Postcard, POSTCARDS_CAP,
+};
 use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
 use adcp_sim::packet::{EgressSpec, FrameBuf, Packet, PacketStore, PortId};
 use adcp_sim::port::{RxPort, TxPort};
@@ -48,6 +51,10 @@ const SERIES_CAP: usize = 512;
 /// spread over first touches — so the exp_migrate comparison is apples to
 /// apples.
 const CELL_COPY_CYCLES: u64 = 8;
+
+/// Slots in the central-register-resident per-flow INT aggregation table
+/// (flows hash onto slots; collisions merge, as real register state would).
+const INT_FLOW_CELLS: usize = 1024;
 
 /// Pre-registered handles into the per-stage [`MetricsRegistry`]. Handles
 /// are plain indices, so per-event recording is array math — no string
@@ -89,6 +96,12 @@ struct MetricHandles {
     ctrl_held_pkts: CounterId,
     ctrl_misroutes: CounterId,
     ctrl_epoch: GaugeId,
+    int_stamps: CounterId,
+    int_postcards: CounterId,
+    int_truncated: CounterId,
+    int_postcards_dropped: CounterId,
+    int_path_changes: CounterId,
+    int_flows: GaugeId,
     /// Per-region pipeline occupancy (total busy cycles, busiest pipe),
     /// in ingress/central/egress order. Pre-registered so the end-of-run
     /// mirror is handle writes, not name lookups.
@@ -109,6 +122,7 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
     let drops = m.scope("drops");
     let tx = m.scope("tx");
     let ctrl = m.scope("ctrl");
+    let int = m.scope("int");
     MetricHandles {
         rx_pkts: m.counter(rx, "packets"),
         mac_fcs_drops: m.counter(mac, "fcs_drops"),
@@ -145,6 +159,12 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
         ctrl_held_pkts: m.counter(ctrl, "held_pkts"),
         ctrl_misroutes: m.counter(ctrl, "misroutes"),
         ctrl_epoch: m.gauge(ctrl, "epoch"),
+        int_stamps: m.counter(int, "stamps"),
+        int_postcards: m.counter(int, "postcards"),
+        int_truncated: m.counter(int, "stack_truncated"),
+        int_postcards_dropped: m.counter(int, "postcards_dropped"),
+        int_path_changes: m.counter(int, "path_changes"),
+        int_flows: m.gauge(int, "active_flow_cells"),
         busy: [
             (
                 m.counter(ingress, "busy_cycles"),
@@ -218,6 +238,15 @@ pub struct AdcpConfig {
     pub demux: DemuxPolicy,
     /// Retain a packet-walk trace.
     pub trace: bool,
+    /// Stamp in-band telemetry ([`adcp_sim::int`]) onto transiting
+    /// packets. Like `trace`, this is the config default — the `ADCP_INT`
+    /// environment variable overrides it (`off` disables, `on` enables at
+    /// rate 1, a number `N` enables with 1-in-`N` sampling).
+    pub int: bool,
+    /// Device id written into every INT stamp this switch produces. A
+    /// standalone switch is device 0; a fabric assigns leaf `l` = `l` and
+    /// spine `s` = `n_leaves + s`.
+    pub device: u16,
     /// Per-port speed overrides (port, speed) — models hosts with slower
     /// NICs than the switch's native port rate (the Table 1 group-
     /// communication scenario).
@@ -248,6 +277,8 @@ impl Default for AdcpConfig {
             queue_depth: 512,
             demux: DemuxPolicy::default(),
             trace: false,
+            int: false,
+            device: 0,
             port_speeds: Vec::new(),
             merge_patience: Duration::from_us(2),
             central_workers: 1,
@@ -360,6 +391,9 @@ struct EgressPipe {
 
 /// Outcome of the serial head of a central pull (see
 /// [`AdcpSwitch::pull_central_prologue`]).
+// `Work(Packet)` lives only across one central pull; boxing it would cost
+// a heap round-trip per central event on the hot path.
+#[allow(clippy::large_enum_variant)]
 enum CentralStage {
     /// Nothing to do (queue empty).
     Idle,
@@ -566,6 +600,24 @@ pub struct AdcpSwitch {
     /// Packet-journey flight recorder (sampled hop spans, always-on drop
     /// forensics, control-plane instants).
     pub tracer: JourneyTracer,
+    /// In-band telemetry knob (resolved from `ADCP_INT` / `cfg.int`).
+    int: IntKnob,
+    /// Postcards emitted at TX for sampled packets, awaiting a collector
+    /// ([`AdcpSwitch::take_postcards`]).
+    postcards: Vec<Postcard>,
+    /// Central-register-resident per-flow INT aggregation (§3.1: the
+    /// stateful summary the central pipes hold in register state).
+    int_flows: IntFlowTable,
+    /// Stamps successfully written into packet header regions.
+    int_stamps: u64,
+    /// Postcards emitted at TX.
+    int_postcards: u64,
+    /// Stamps that found the header region full.
+    int_truncated: u64,
+    /// Postcards shed because the sink FIFO was full ([`POSTCARDS_CAP`]).
+    int_postcards_dropped: u64,
+    /// Sabotage hook: report TM queue depths one higher than observed.
+    int_lie_queue_depth: bool,
     /// Per-stage metrics registry (spans, queue depths, drop classes).
     metrics: MetricsRegistry,
     mh: MetricHandles,
@@ -643,6 +695,7 @@ impl AdcpSwitch {
         let pool2 = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
         let period = target.pipe_freq().period();
         let tracer = JourneyTracer::from_env(cfg.trace, 65_536);
+        let int = IntKnob::from_env(cfg.int);
         let demux_rr = vec![0; target.ports as usize];
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
@@ -674,6 +727,14 @@ impl AdcpSwitch {
             out_meter: Meter::default(),
             latency: LatencyHist::new(),
             tracer,
+            int,
+            postcards: Vec::new(),
+            int_flows: IntFlowTable::new(INT_FLOW_CELLS),
+            int_stamps: 0,
+            int_postcards: 0,
+            int_truncated: 0,
+            int_postcards_dropped: 0,
+            int_lie_queue_depth: false,
             metrics,
             mh,
             delivered: Vec::new(),
@@ -1119,11 +1180,15 @@ impl AdcpSwitch {
     /// flushes the buffer first so relative order is untouched. Sharding
     /// applies only when it cannot change observable behavior: never while
     /// a migration's fences are in flight (commit/hold release must
-    /// interleave exactly), and never while the journey tracer retains
-    /// hops (its ring is a single flat insertion-ordered log).
+    /// interleave exactly), never while the journey tracer retains
+    /// hops (its ring is a single flat insertion-ordered log), and never
+    /// while INT stamping is on (stamps and postcards must land in exact
+    /// serial order for the honesty conformance check).
     fn dispatch_batch(&mut self, t: SimTime, batch: &mut Vec<Ev>, run: &mut Vec<Ev>) {
-        let shard =
-            self.cfg.central_workers > 1 && !self.tracer.hops_on() && !self.migration_active();
+        let shard = self.cfg.central_workers > 1
+            && !self.tracer.hops_on()
+            && !self.int.on()
+            && !self.migration_active();
         for ev in batch.drain(..) {
             if shard {
                 if matches!(ev, Ev::PullCentral { .. } | Ev::CentralOut { .. }) {
@@ -1170,6 +1235,12 @@ impl AdcpSwitch {
         m.set_counter(mh.ctrl_misroutes, mig.misroutes);
         let epoch = self.part.as_ref().map_or(0, |rt| rt.map.epoch);
         m.set_gauge(mh.ctrl_epoch, epoch);
+        m.set_counter(mh.int_stamps, self.int_stamps);
+        m.set_counter(mh.int_postcards, self.int_postcards);
+        m.set_counter(mh.int_truncated, self.int_truncated);
+        m.set_counter(mh.int_postcards_dropped, self.int_postcards_dropped);
+        m.set_counter(mh.int_path_changes, self.int_flows.total_path_changes());
+        m.set_gauge(mh.int_flows, self.int_flows.active_cells());
         // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
         // every report on 64-port targets): total busy cycles plus the
         // busiest pipe, per region, via the pre-registered handles.
@@ -1223,6 +1294,94 @@ impl AdcpSwitch {
     /// control-plane instants) as JSON. See [`JourneyTracer::to_json`].
     pub fn trace_json(&self) -> serde::Value {
         self.tracer.to_json()
+    }
+
+    /// The in-band telemetry knob in force (resolved from `ADCP_INT` at
+    /// construction, falling back to [`AdcpConfig::int`]).
+    pub fn int_knob(&self) -> IntKnob {
+        self.int
+    }
+
+    /// Device id this switch writes into its INT stamps.
+    pub fn device(&self) -> u16 {
+        self.cfg.device
+    }
+
+    /// Drain the postcards emitted since the last call (sink exports of
+    /// sampled packets' INT stacks at TX).
+    pub fn take_postcards(&mut self) -> Vec<Postcard> {
+        std::mem::take(&mut self.postcards)
+    }
+
+    /// The central-register-resident per-flow INT aggregation cell for
+    /// `flow`.
+    pub fn int_flow_cell(&self, flow: u64) -> IntFlowCell {
+        *self.int_flows.cell(flow)
+    }
+
+    /// The whole per-flow INT aggregation table.
+    pub fn int_flow_table(&self) -> &IntFlowTable {
+        &self.int_flows
+    }
+
+    /// INT totals: (stamps written, postcards emitted, stamps truncated).
+    pub fn int_totals(&self) -> (u64, u64, u64) {
+        (self.int_stamps, self.int_postcards, self.int_truncated)
+    }
+
+    /// Postcards shed because the sink FIFO was full — nonzero only when
+    /// nothing drained [`AdcpSwitch::take_postcards`] for
+    /// [`POSTCARDS_CAP`] sampled transmissions.
+    pub fn int_postcards_dropped(&self) -> u64 {
+        self.int_postcards_dropped
+    }
+
+    /// Sabotage hook for the conformance harness: when set, every INT
+    /// stamp reports a TM queue depth one higher than actually observed —
+    /// a plausible-but-lying datapath the honesty check must catch.
+    #[doc(hidden)]
+    pub fn set_int_lie_queue_depth(&mut self, lie: bool) {
+        self.int_lie_queue_depth = lie;
+    }
+
+    /// Append one INT stamp to a sampled packet's bounded header region.
+    /// `ctx` must be the same value handed to the journey tracer for this
+    /// hop — the honesty conformance check compares the two byte for byte.
+    fn int_stamp(
+        &mut self,
+        pkt: &mut Packet,
+        site: Site,
+        enter: SimTime,
+        exit: SimTime,
+        ctx: HopCtx,
+    ) {
+        if !self.int.samples(pkt.meta.id) {
+            return;
+        }
+        let ctx = if self.int_lie_queue_depth {
+            HopCtx {
+                queue_depth: ctx.queue_depth.map(|d| d + 1),
+                ..ctx
+            }
+        } else {
+            ctx
+        };
+        let stack = pkt
+            .meta
+            .int
+            .get_or_insert_with(|| Box::new(IntStack::with_typical_capacity()));
+        let stamp = IntStamp {
+            device: self.cfg.device,
+            site,
+            enter,
+            exit,
+            ctx,
+        };
+        if stack.push(stamp) {
+            self.int_stamps += 1;
+        } else {
+            self.int_truncated += 1;
+        }
     }
 
     /// Copy the per-table lookup/hit totals into [`AdcpCounters`] so a
@@ -1329,6 +1488,7 @@ impl AdcpSwitch {
             self.tracer
                 .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
         }
+        self.int_stamp(&mut pkt, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
         // 1:m demultiplex (§3.3).
         let m = self.target.demux_factor as usize;
         let lane = match self.cfg.demux {
@@ -1359,7 +1519,7 @@ impl AdcpSwitch {
         p.state
             .run_with_tables(&self.ing_tables, &self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
-        let pkt = self.writeback(pkt, phv, out_extracted, consumed);
+        let mut pkt = self.writeback(pkt, phv, out_extracted, consumed);
         let stages = self.placement.ingress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
         if self.tracer.hops_on() {
@@ -1371,6 +1531,7 @@ impl AdcpSwitch {
                 HopCtx::NONE,
             );
         }
+        self.int_stamp(&mut pkt, Site::IngressPipe(pipe), entry, exit, HopCtx::NONE);
         self.events.push(exit, Ev::IngressOut { pipe, pkt });
     }
 
@@ -1500,7 +1661,7 @@ impl AdcpSwitch {
         // tracer can attach it to the TM1-residency hop at dequeue.
         // `ScheduledQueues::len` walks every queue, so only pay for it when
         // a knob will consume the value.
-        if self.tracer.hops_on() {
+        if self.tracer.hops_on() || self.int.samples(pkt.meta.id) {
             pkt.meta.tm_q_depth = Some(self.central[cpipe].queues.len() as u32 + 1);
             pkt.meta.tm_buf_used = Some(self.pool1.used());
         }
@@ -1744,19 +1905,21 @@ impl AdcpSwitch {
                 .sample(self.mh.tm1_buffer, now, self.pool1.used());
         }
         // TM1-residency hop: enqueue -> dequeue, with the queue/buffer
-        // state observed at enqueue and the routing epoch.
-        if self.tracer.hops_on() {
-            self.tracer.record_hop(
-                pkt.meta.id,
-                Site::Tm1,
-                pkt.meta.tm_enqueued,
-                now,
-                HopCtx {
-                    queue_depth: pkt.meta.tm_q_depth.take(),
-                    buffer_cells: pkt.meta.tm_buf_used.take(),
-                    epoch: pkt.meta.map_epoch,
-                },
-            );
+        // state observed at enqueue and the routing epoch. The context is
+        // computed once and handed to both the tracer and the INT stamp —
+        // the honesty check requires the two views to agree exactly.
+        if self.tracer.hops_on() || self.int.on() {
+            let enq = pkt.meta.tm_enqueued;
+            let ctx = HopCtx {
+                queue_depth: pkt.meta.tm_q_depth.take(),
+                buffer_cells: pkt.meta.tm_buf_used.take(),
+                epoch: pkt.meta.map_epoch,
+            };
+            if self.tracer.hops_on() {
+                self.tracer
+                    .record_hop(pkt.meta.id, Site::Tm1, enq, now, ctx);
+            }
+            self.int_stamp(&mut pkt, Site::Tm1, enq, now, ctx);
         }
         pkt.meta.tm_enqueued = now; // central-stage entry, for its span
         CentralStage::Work(pkt)
@@ -1798,21 +1961,18 @@ impl AdcpSwitch {
         }
         self.counters.deparse_allocs += 1;
         let epoch = pkt.meta.map_epoch;
-        let pkt = self.writeback(pkt, run.phv, run.extracted, run.consumed);
+        let mut pkt = self.writeback(pkt, run.phv, run.extracted, run.consumed);
         let stages = self.placement.central.depth().max(1) as u64;
         let exit = run.entry + Duration(stages * self.period.as_ps());
+        let ctx = HopCtx {
+            epoch,
+            ..HopCtx::NONE
+        };
         if self.tracer.hops_on() {
-            self.tracer.record_hop(
-                pkt.meta.id,
-                Site::CentralPipe(cpipe),
-                run.entry,
-                exit,
-                HopCtx {
-                    epoch,
-                    ..HopCtx::NONE
-                },
-            );
+            self.tracer
+                .record_hop(pkt.meta.id, Site::CentralPipe(cpipe), run.entry, exit, ctx);
         }
+        self.int_stamp(&mut pkt, Site::CentralPipe(cpipe), run.entry, exit, ctx);
         self.events.push(exit, Ev::CentralOut { cpipe, pkt });
         if !self.central[cpipe].queues.is_empty() {
             let next = self.central[cpipe].next_slot;
@@ -2053,7 +2213,7 @@ impl AdcpSwitch {
             return;
         }
         pkt.meta.tm_enqueued = now;
-        if self.tracer.hops_on() {
+        if self.tracer.hops_on() || self.int.samples(pkt.meta.id) {
             pkt.meta.tm_q_depth = Some(self.egress[epipe].queues.len() as u32 + 1);
             pkt.meta.tm_buf_used = Some(self.pool2.used());
         }
@@ -2108,19 +2268,20 @@ impl AdcpSwitch {
             self.metrics
                 .sample(self.mh.tm2_buffer, now, self.pool2.used());
         }
-        // TM2-residency hop with enqueue-time queue/buffer context.
-        if self.tracer.hops_on() {
-            self.tracer.record_hop(
-                pkt.meta.id,
-                Site::Tm2,
-                pkt.meta.tm_enqueued,
-                now,
-                HopCtx {
-                    queue_depth: pkt.meta.tm_q_depth.take(),
-                    buffer_cells: pkt.meta.tm_buf_used.take(),
-                    epoch: pkt.meta.map_epoch,
-                },
-            );
+        // TM2-residency hop with enqueue-time queue/buffer context (one
+        // computation, shared by the tracer and the INT stamp).
+        if self.tracer.hops_on() || self.int.on() {
+            let enq = pkt.meta.tm_enqueued;
+            let ctx = HopCtx {
+                queue_depth: pkt.meta.tm_q_depth.take(),
+                buffer_cells: pkt.meta.tm_buf_used.take(),
+                epoch: pkt.meta.map_epoch,
+            };
+            if self.tracer.hops_on() {
+                self.tracer
+                    .record_hop(pkt.meta.id, Site::Tm2, enq, now, ctx);
+            }
+            self.int_stamp(&mut pkt, Site::Tm2, enq, now, ctx);
         }
         pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
         let Some((mut phv, extracted, consumed, _)) =
@@ -2137,7 +2298,7 @@ impl AdcpSwitch {
         p.state
             .run_with_tables(&self.eg_tables, &self.program, &self.layout, &mut phv);
         self.counters.deparse_allocs += 1;
-        let pkt = self.writeback(pkt, phv, extracted, consumed);
+        let mut pkt = self.writeback(pkt, phv, extracted, consumed);
         let stages = self.placement.egress.depth().max(1) as u64;
         let exit = entry + Duration(stages * self.period.as_ps());
         if self.tracer.hops_on() {
@@ -2149,6 +2310,7 @@ impl AdcpSwitch {
                 HopCtx::NONE,
             );
         }
+        self.int_stamp(&mut pkt, Site::EgressPipe(epipe), entry, exit, HopCtx::NONE);
         self.events.push(exit, Ev::EgressOut { epipe, pkt });
         if !self.egress[epipe].queues.is_empty() {
             let next = self.egress[epipe].next_slot;
@@ -2190,6 +2352,36 @@ impl AdcpSwitch {
         if self.tracer.hops_on() {
             self.tracer
                 .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
+        }
+        self.int_stamp(&mut pkt, Site::Tx(port), now, done, HopCtx::NONE);
+        if self.int.samples(pkt.meta.id) {
+            // Sink export: fold the completed stack into the per-flow
+            // aggregation cell and emit a postcard for the collector. The
+            // stack stays on the packet — in a fabric it rides the frame
+            // to the next device, which keeps appending (INT-XD style:
+            // every device postcards, the last carries the full chain).
+            // The sink FIFO is bounded: an undrained collector sheds
+            // postcards (counted), and the shed path skips the stack
+            // clone entirely so a full FIFO costs no allocation.
+            const EMPTY: &IntStack = &IntStack {
+                stamps: Vec::new(),
+                truncated: 0,
+            };
+            let stack = pkt.meta.int.as_deref().unwrap_or(EMPTY);
+            self.int_flows.fold(pkt.meta.flow.0, stack);
+            if self.postcards.len() < POSTCARDS_CAP {
+                self.postcards.push(Postcard {
+                    device: self.cfg.device,
+                    pkt: pkt.meta.id,
+                    flow: pkt.meta.flow.0,
+                    port: port.0,
+                    time: done,
+                    stack: stack.clone(),
+                });
+                self.int_postcards += 1;
+            } else {
+                self.int_postcards_dropped += 1;
+            }
         }
         self.counters.delivered += 1;
         self.in_flight -= 1;

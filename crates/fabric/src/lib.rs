@@ -35,6 +35,7 @@ use adcp_lang::fabric::{place, FabricSpec, PlaceError};
 use adcp_lang::registers::RegId;
 use adcp_lang::table::{Entry, TableError};
 use adcp_lang::{fold_hash, Program, TargetModel};
+use adcp_sim::int::Postcard;
 use adcp_sim::time::{Duration, SimTime};
 use adcp_sim::{FlowId, Link, LinkSpeed, Packet, PortId, SimRng};
 
@@ -114,6 +115,29 @@ pub struct SwitchReport {
     pub mat_hits: u64,
 }
 
+/// Retained link-crossing records per fabric run (bounded; the count of
+/// crossings past the cap is kept so nothing truncates silently).
+const CROSSINGS_CAP: usize = 65_536;
+
+/// One frame crossing an inter-switch link — the raw material for
+/// Chrome-trace flow events and collector path edges. Recorded only while
+/// the journey tracer or INT stamping is active (zero cost otherwise).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Crossing {
+    /// Packet id.
+    pub pkt: u64,
+    /// Flow id.
+    pub flow: u64,
+    /// Transmitting device (leaf `l` = `l`, spine `s` = `n_leaves + s`).
+    pub from_device: u16,
+    /// Receiving device.
+    pub to_device: u16,
+    /// Last bit out of the transmitting switch.
+    pub depart: SimTime,
+    /// First instant the receiving switch may see the frame.
+    pub arrive: SimTime,
+}
+
 /// One direction of one cable, for reports.
 #[derive(Debug, Clone, serde::Serialize)]
 pub struct LinkReport {
@@ -161,6 +185,10 @@ pub struct Fabric {
     host_delivered: u64,
     forwarded: u64,
     delivered: Vec<Delivered>,
+    /// Record link crossings (true while tracing or INT stamping is on).
+    record_crossings: bool,
+    crossings: Vec<Crossing>,
+    crossings_truncated: u64,
 }
 
 impl Fabric {
@@ -189,11 +217,15 @@ impl Fabric {
         };
         let mut leaves = Vec::new();
         for (l, installs) in placed.leaf_installs.iter().enumerate() {
+            // Fabric-unique INT device ids: leaf `l` = `l`,
+            // spine `s` = `n_leaves + s`.
+            let mut swcfg = cfg.switch.clone();
+            swcfg.device = l as u16;
             let mut sw = AdcpSwitch::new(
                 placed.leaf_program.clone(),
                 leaf_target.clone(),
                 CompileOptions::default(),
-                cfg.switch.clone(),
+                swcfg,
             )?;
             for (table, entry) in installs {
                 sw.install_all(table, entry.clone())
@@ -207,11 +239,13 @@ impl Fabric {
         }
         let mut spines = Vec::new();
         for s in 0..spec.n_spines {
+            let mut swcfg = cfg.switch.clone();
+            swcfg.device = (spec.n_leaves + s) as u16;
             let mut sw = AdcpSwitch::new(
                 placed.spine_program.clone(),
                 spine_target.clone(),
                 CompileOptions::default(),
-                cfg.switch.clone(),
+                swcfg,
             )?;
             for (table, entry) in &placed.spine_installs {
                 sw.install_all(table, entry.clone())
@@ -237,6 +271,12 @@ impl Fabric {
                     .collect()
             })
             .collect();
+        // Crossings feed Chrome-trace flow events and collector path
+        // edges; both consumers are driven by the (env-resolved) tracer
+        // and INT knobs, so record only when one of them is live.
+        let record_crossings = leaves
+            .iter()
+            .any(|sw| sw.tracer.hops_on() || sw.int_knob().on());
         Ok(Fabric {
             spec,
             leaves,
@@ -247,6 +287,9 @@ impl Fabric {
             host_delivered: 0,
             forwarded: 0,
             delivered: Vec::new(),
+            record_crossings,
+            crossings: Vec::new(),
+            crossings_truncated: 0,
         })
     }
 
@@ -327,6 +370,9 @@ impl Fabric {
         p.meta.created = d.meta.created;
         p.meta.coflow = d.meta.coflow;
         p.meta.goodput_bytes = d.meta.goodput_bytes;
+        // The INT header region rides the frame across the link, so the
+        // next device appends to the same stack (the end-to-end chain).
+        p.meta.int = d.meta.int;
         if sealed {
             p.reseal();
         }
@@ -356,6 +402,16 @@ impl Fabric {
                     let pkt = Self::relay(d);
                     let arrive = self.up[l][s].transfer(&pkt, tx_done);
                     self.forwarded += 1;
+                    if self.record_crossings {
+                        self.record_crossing(Crossing {
+                            pkt: pkt.meta.id,
+                            flow: pkt.meta.flow.0,
+                            from_device: l as u16,
+                            to_device: (self.spec.n_leaves as usize + s) as u16,
+                            depart: tx_done,
+                            arrive,
+                        });
+                    }
                     self.spines[s].inject(PortId(l as u16), pkt, arrive);
                 }
             }
@@ -367,10 +423,99 @@ impl Fabric {
                 let pkt = Self::relay(d);
                 let arrive = self.down[s][leaf].transfer(&pkt, tx_done);
                 self.forwarded += 1;
+                if self.record_crossings {
+                    self.record_crossing(Crossing {
+                        pkt: pkt.meta.id,
+                        flow: pkt.meta.flow.0,
+                        from_device: (self.spec.n_leaves as usize + s) as u16,
+                        to_device: leaf as u16,
+                        depart: tx_done,
+                        arrive,
+                    });
+                }
                 let uplink = self.spec.uplink_port(s as u32) as u16;
                 self.leaves[leaf].inject(PortId(uplink), pkt, arrive);
             }
         }
+    }
+
+    /// Record one link crossing, bounded at [`CROSSINGS_CAP`].
+    fn record_crossing(&mut self, c: Crossing) {
+        if self.crossings.len() < CROSSINGS_CAP {
+            self.crossings.push(c);
+        } else {
+            self.crossings_truncated += 1;
+        }
+    }
+
+    /// Link crossings recorded so far (empty unless the journey tracer or
+    /// INT stamping was active when the fabric was built).
+    pub fn crossings(&self) -> &[Crossing] {
+        &self.crossings
+    }
+
+    /// Crossings that did not fit the bounded record.
+    pub fn crossings_truncated(&self) -> u64 {
+        self.crossings_truncated
+    }
+
+    /// The INT device id of leaf `l`.
+    pub fn device_of_leaf(&self, l: usize) -> u16 {
+        l as u16
+    }
+
+    /// The INT device id of spine `s`.
+    pub fn device_of_spine(&self, s: usize) -> u16 {
+        (self.spec.n_leaves as usize + s) as u16
+    }
+
+    /// Human name of an INT device id (`leaf0`, `spine1`, …).
+    /// Total device count: leaves first, then spines.
+    pub fn n_devices(&self) -> u16 {
+        (self.leaves.len() + self.spines.len()) as u16
+    }
+
+    /// The journey-trace JSON of one device — per-device input for the
+    /// fabric-wide Chrome export (empty unless the switch config traced).
+    pub fn device_trace_json(&self, device: u16) -> serde::Value {
+        let n = self.spec.n_leaves as usize;
+        let d = device as usize;
+        if d < n {
+            self.leaves[d].trace_json()
+        } else {
+            self.spines[d - n].trace_json()
+        }
+    }
+
+    /// Human-readable name of a device id (`leaf3`, `spine0`, ...).
+    pub fn device_name(&self, device: u16) -> String {
+        let n = self.spec.n_leaves as usize;
+        if (device as usize) < n {
+            format!("leaf{device}")
+        } else {
+            format!("spine{}", device as usize - n)
+        }
+    }
+
+    /// Drain every device's INT postcards, in device-id order (leaves then
+    /// spines). Each postcard already names its device.
+    pub fn drain_postcards(&mut self) -> Vec<Postcard> {
+        let mut out = Vec::new();
+        for sw in self.leaves.iter_mut().chain(self.spines.iter_mut()) {
+            out.append(&mut sw.take_postcards());
+        }
+        out
+    }
+
+    /// Fabric-wide INT totals: (stamps, postcards, truncated), summed over
+    /// every device.
+    pub fn int_totals(&self) -> (u64, u64, u64) {
+        let mut t = (0, 0, 0);
+        for sw in self.leaves.iter().chain(self.spines.iter()) {
+            let (s, p, tr) = sw.int_totals();
+            t = (t.0 + s, t.1 + p, t.2 + tr);
+        }
+        t
     }
 
     /// Next pending event time across the whole fabric.
@@ -727,6 +872,15 @@ pub fn run_demo_with_report(
     packets: u64,
     cfg: FabricConfig,
 ) -> (DemoReport, FabricReport) {
+    let (demo, fabric) = run_demo_keep(seed, packets, cfg);
+    let report = fabric.report();
+    (demo, report)
+}
+
+/// [`run_demo`] but hands back the still-warm [`Fabric`] so observability
+/// consumers can drain what a run left behind: per-device journey traces,
+/// link [`Crossing`]s, and INT postcards (when the switch config stamps).
+pub fn run_demo_keep(seed: u64, packets: u64, cfg: FabricConfig) -> (DemoReport, Fabric) {
     let (mut fabric, _program) = demo_fabric(seed, cfg);
     let mut rng = SimRng::seed_from(seed ^ 0xFAB0_0002);
     let mut expected = vec![0u64; DEMO_CELLS];
@@ -751,8 +905,7 @@ pub fn run_demo_with_report(
         quiesce_ns: quiesce.0 / 1_000,
         correct,
     };
-    let report = fabric.report();
-    (demo, report)
+    (demo, fabric)
 }
 
 #[cfg(test)]

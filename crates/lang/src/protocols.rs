@@ -68,6 +68,43 @@ pub fn udp() -> HeaderDef {
     )
 }
 
+/// Metadata words per INT hop stamp (see [`int_hop`] for the layout).
+pub const INT_HOP_FIELDS: usize = 6;
+
+/// The INT shim a stamping switch would prepend to the app payload: how
+/// many hop records follow, and how many further hops found the region
+/// full (a real shim's remaining-hop-count reaching zero). The simulator
+/// carries the equivalent state in packet metadata (`meta.int`) so that
+/// delivered frames stay byte-identical across targets — this header pins
+/// the canonical wire layout that state corresponds to.
+pub fn int_shim() -> HeaderDef {
+    HeaderDef::new(
+        "int_shim",
+        vec![
+            FieldDef::scalar("hop_count", 8),
+            FieldDef::scalar("truncated", 16),
+        ],
+    )
+}
+
+/// One INT hop record: stamping device, site code (which RX port /
+/// pipeline / TM inside it), enter/exit timestamps in picoseconds, and
+/// the TM queue depth and buffer occupancy observed at the hop. One of
+/// these per hop follows the [`int_shim`], up to the region bound.
+pub fn int_hop() -> HeaderDef {
+    HeaderDef::new(
+        "int_hop",
+        vec![
+            FieldDef::scalar("device", 16),
+            FieldDef::scalar("site", 64),
+            FieldDef::scalar("enter_ps", 64),
+            FieldDef::scalar("exit_ps", 64),
+            FieldDef::scalar("queue_depth", 32),
+            FieldDef::scalar("buffer_cells", 64),
+        ],
+    )
+}
+
 /// Handles to the framing headers registered by [`standard_framing`].
 #[derive(Debug, Clone, Copy)]
 pub struct Framing {
@@ -268,6 +305,22 @@ mod tests {
             &frame[out.consumed..],
         );
         assert_eq!(rebuilt, frame);
+    }
+
+    #[test]
+    fn int_headers_pin_the_wire_layout() {
+        let shim = int_shim();
+        assert_eq!(shim.fields.len(), 2);
+        assert_eq!(shim.total_bits(), 24);
+        let hop = int_hop();
+        assert_eq!(hop.fields.len(), INT_HOP_FIELDS);
+        // device 16 + site 64 + two 64-bit timestamps + qdepth 32 + cells 64.
+        assert_eq!(hop.total_bits(), 16 + 64 + 64 + 64 + 32 + 64);
+        // A full 32-hop region is shim + 32 hop records: bounded, and small
+        // enough to ride a jumbo frame (the bound INT_MAX_HOPS enforces).
+        let region_bytes = (shim.total_bits() + 32 * hop.total_bits()) / 8;
+        assert_eq!(region_bytes, 3 + 32 * 38);
+        assert!(region_bytes < 1280);
     }
 
     #[test]

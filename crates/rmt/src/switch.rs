@@ -30,6 +30,7 @@ use adcp_lang::{
     RegId, Region, RegionState, RegisterFile, TableError,
 };
 use adcp_sim::event::EventQueue;
+use adcp_sim::int::{IntKnob, IntStack, IntStamp, Postcard, POSTCARDS_CAP};
 use adcp_sim::metrics::{CounterId, GaugeId, HistId, MetricsRegistry, SeriesId};
 use adcp_sim::packet::{EgressSpec, FrameBuf, Packet, PacketStore, PortId};
 use adcp_sim::port::{RxPort, TxPort};
@@ -70,6 +71,10 @@ struct MetricHandles {
     drops_bad_port: CounterId,
     tx_pkts: CounterId,
     tx_latency: HistId,
+    int_stamps: CounterId,
+    int_postcards: CounterId,
+    int_truncated: CounterId,
+    int_postcards_dropped: CounterId,
     /// Per-region pipeline occupancy (total busy cycles, busiest pipe),
     /// in ingress/egress order. Pre-registered so the end-of-run mirror is
     /// handle writes, not name lookups.
@@ -88,6 +93,7 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
     let mat = m.scope("mat");
     let drops = m.scope("drops");
     let tx = m.scope("tx");
+    let int = m.scope("int");
     MetricHandles {
         rx_pkts: m.counter(rx, "packets"),
         mac_fcs_drops: m.counter(mac, "fcs_drops"),
@@ -111,6 +117,10 @@ fn register_metrics(m: &mut MetricsRegistry) -> MetricHandles {
         drops_bad_port: m.counter(drops, "bad_port"),
         tx_pkts: m.counter(tx, "packets"),
         tx_latency: m.hist(tx, "latency_ps"),
+        int_stamps: m.counter(int, "stamps"),
+        int_postcards: m.counter(int, "postcards"),
+        int_truncated: m.counter(int, "stack_truncated"),
+        int_postcards_dropped: m.counter(int, "postcards_dropped"),
         busy: [
             (
                 m.counter(ingress, "busy_cycles"),
@@ -137,6 +147,12 @@ pub struct RmtConfig {
     pub recirc_latency: Duration,
     /// Retain a packet-walk trace (costs memory; used by tests/examples).
     pub trace: bool,
+    /// Stamp in-band telemetry ([`adcp_sim::int`]) onto transiting
+    /// packets. The `ADCP_INT` environment variable overrides it (`off`
+    /// disables, `on` enables at rate 1, a number `N` samples 1-in-`N`).
+    pub int: bool,
+    /// Device id written into every INT stamp this switch produces.
+    pub device: u16,
     /// Per-port speed overrides (port, speed) — models hosts with slower
     /// NICs than the switch's native port rate.
     pub port_speeds: Vec<(u16, adcp_sim::port::LinkSpeed)>,
@@ -150,6 +166,8 @@ impl Default for RmtConfig {
             queue_depth: 512,
             recirc_latency: Duration::from_ns(400),
             trace: false,
+            int: false,
+            device: 0,
             port_speeds: Vec::new(),
         }
     }
@@ -302,6 +320,20 @@ pub struct RmtSwitch {
     /// Sampled packet-journey flight recorder with always-on drop
     /// forensics (see [`JourneyTracer`]).
     pub tracer: JourneyTracer,
+    /// In-band telemetry knob (resolved from `ADCP_INT` / `cfg.int`).
+    int: IntKnob,
+    /// Postcards emitted at TX for sampled packets, awaiting a collector.
+    postcards: Vec<Postcard>,
+    /// Stamps successfully written into packet header regions.
+    int_stamps: u64,
+    /// Postcards emitted at TX.
+    int_postcards: u64,
+    /// Stamps that found the header region full.
+    int_truncated: u64,
+    /// Postcards shed because the sink FIFO was full ([`POSTCARDS_CAP`]).
+    int_postcards_dropped: u64,
+    /// Sabotage hook: report TM queue depths one higher than observed.
+    int_lie_queue_depth: bool,
     /// Per-stage metrics registry (spans, queue depths, drop classes).
     metrics: MetricsRegistry,
     mh: MetricHandles,
@@ -358,6 +390,7 @@ impl RmtSwitch {
         let pool = BufferPool::new(cfg.tm_cells, cfg.cell_bytes);
         let period = target.pipe_freq().period();
         let tracer = JourneyTracer::from_env(cfg.trace, 65_536);
+        let int = IntKnob::from_env(cfg.int);
         let mut metrics = MetricsRegistry::from_env();
         let mh = register_metrics(&mut metrics);
         let ing_tables = RegionState::new(&program, Region::Ingress);
@@ -386,6 +419,13 @@ impl RmtSwitch {
             out_meter: Meter::default(),
             latency: LatencyHist::new(),
             tracer,
+            int,
+            postcards: Vec::new(),
+            int_stamps: 0,
+            int_postcards: 0,
+            int_truncated: 0,
+            int_postcards_dropped: 0,
+            int_lie_queue_depth: false,
             metrics,
             mh,
             delivered: Vec::new(),
@@ -550,6 +590,10 @@ impl RmtSwitch {
         m.set_counter(mh.drops_bad_port, c.bad_port);
         m.set_counter(mh.tx_pkts, c.delivered);
         m.set_gauge(mh.tm_buffer_gauge, self.pool.used());
+        m.set_counter(mh.int_stamps, self.int_stamps);
+        m.set_counter(mh.int_postcards, self.int_postcards);
+        m.set_counter(mh.int_truncated, self.int_truncated);
+        m.set_counter(mh.int_postcards_dropped, self.int_postcards_dropped);
         // Pipeline occupancy, aggregated (per-pipe cardinality would bloat
         // every report on 64-port targets): total busy cycles plus the
         // busiest pipe, per region.
@@ -594,6 +638,82 @@ impl RmtSwitch {
     /// JSON. See [`JourneyTracer::to_json`].
     pub fn trace_json(&self) -> serde::Value {
         self.tracer.to_json()
+    }
+
+    /// The in-band telemetry knob in force (resolved from `ADCP_INT` at
+    /// construction, falling back to [`RmtConfig::int`]).
+    pub fn int_knob(&self) -> IntKnob {
+        self.int
+    }
+
+    /// Device id this switch writes into its INT stamps.
+    pub fn device(&self) -> u16 {
+        self.cfg.device
+    }
+
+    /// Drain the postcards emitted since the last call (sink exports of
+    /// sampled packets' INT stacks at TX).
+    pub fn take_postcards(&mut self) -> Vec<Postcard> {
+        std::mem::take(&mut self.postcards)
+    }
+
+    /// INT totals: (stamps written, postcards emitted, stamps truncated).
+    pub fn int_totals(&self) -> (u64, u64, u64) {
+        (self.int_stamps, self.int_postcards, self.int_truncated)
+    }
+
+    /// Postcards shed because the sink FIFO was full (nothing drained
+    /// [`RmtSwitch::take_postcards`] for [`POSTCARDS_CAP`] sampled
+    /// transmissions).
+    pub fn int_postcards_dropped(&self) -> u64 {
+        self.int_postcards_dropped
+    }
+
+    /// Sabotage hook for the conformance harness: when set, every INT
+    /// stamp reports a TM queue depth one higher than actually observed.
+    #[doc(hidden)]
+    pub fn set_int_lie_queue_depth(&mut self, lie: bool) {
+        self.int_lie_queue_depth = lie;
+    }
+
+    /// Append one INT stamp to a sampled packet's bounded header region.
+    /// `ctx` must be the same value handed to the journey tracer for this
+    /// hop — the honesty conformance check compares the two byte for byte.
+    fn int_stamp(
+        &mut self,
+        pkt: &mut Packet,
+        site: Site,
+        enter: SimTime,
+        exit: SimTime,
+        ctx: HopCtx,
+    ) {
+        if !self.int.samples(pkt.meta.id) {
+            return;
+        }
+        let ctx = if self.int_lie_queue_depth {
+            HopCtx {
+                queue_depth: ctx.queue_depth.map(|d| d + 1),
+                ..ctx
+            }
+        } else {
+            ctx
+        };
+        let stack = pkt
+            .meta
+            .int
+            .get_or_insert_with(|| Box::new(IntStack::with_typical_capacity()));
+        let stamp = IntStamp {
+            device: self.cfg.device,
+            site,
+            enter,
+            exit,
+            ctx,
+        };
+        if stack.push(stamp) {
+            self.int_stamps += 1;
+        } else {
+            self.int_truncated += 1;
+        }
     }
 
     /// Copy the per-table lookup/hit totals into [`SwitchCounters`] so a
@@ -683,6 +803,7 @@ impl RmtSwitch {
             self.tracer
                 .record_hop(pkt.meta.id, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
         }
+        self.int_stamp(&mut pkt, Site::Rx(PortId(port)), now, done, HopCtx::NONE);
         let pipe = self.pipe_of_port(PortId(port));
         self.events
             .push(done, Ev::IngressEnter { pipe, pkt, pass: 0 });
@@ -779,6 +900,7 @@ impl RmtSwitch {
                 HopCtx::NONE,
             );
         }
+        self.int_stamp(&mut pkt, Site::IngressPipe(pipe), entry, exit, HopCtx::NONE);
         self.events.push(exit, Ev::IngressOut { pipe, pkt, pass });
     }
 
@@ -805,6 +927,7 @@ impl RmtSwitch {
                 self.tracer
                     .record_hop(pkt.meta.id, Site::Recirculated, now, now, HopCtx::NONE);
             }
+            self.int_stamp(&mut pkt, Site::Recirculated, now, now, HopCtx::NONE);
             let at = now + self.cfg.recirc_latency;
             self.events.push(
                 at,
@@ -926,7 +1049,7 @@ impl RmtSwitch {
         pkt.meta.tm_enqueued = now;
         // `ScheduledQueues::len` walks every queue, so only pay for it when
         // a knob will consume the value.
-        if self.tracer.hops_on() {
+        if self.tracer.hops_on() || self.int.samples(pkt.meta.id) {
             pkt.meta.tm_q_depth = Some(self.egress[pipe].queues.len() as u32 + 1);
             pkt.meta.tm_buf_used = Some(self.pool.used());
         }
@@ -1003,18 +1126,19 @@ impl RmtSwitch {
         }
         // TM-residency hop with enqueue-time queue/buffer context. The RMT
         // baseline has a single TM, mapped onto the journey model's TM1.
-        if self.tracer.hops_on() {
-            self.tracer.record_hop(
-                pkt.meta.id,
-                Site::Tm1,
-                pkt.meta.tm_enqueued,
-                now,
-                HopCtx {
-                    queue_depth: pkt.meta.tm_q_depth.take(),
-                    buffer_cells: pkt.meta.tm_buf_used.take(),
-                    epoch: None,
-                },
-            );
+        // One context computation feeds both the tracer and the INT stamp.
+        if self.tracer.hops_on() || self.int.on() {
+            let enq = pkt.meta.tm_enqueued;
+            let ctx = HopCtx {
+                queue_depth: pkt.meta.tm_q_depth.take(),
+                buffer_cells: pkt.meta.tm_buf_used.take(),
+                epoch: None,
+            };
+            if self.tracer.hops_on() {
+                self.tracer
+                    .record_hop(pkt.meta.id, Site::Tm1, enq, now, ctx);
+            }
+            self.int_stamp(&mut pkt, Site::Tm1, enq, now, ctx);
         }
         pkt.meta.tm_enqueued = now; // egress-stage entry, for its span
         let p = &mut self.egress[pipe];
@@ -1032,6 +1156,7 @@ impl RmtSwitch {
                 HopCtx::NONE,
             );
         }
+        self.int_stamp(&mut pkt, Site::EgressPipe(pipe), entry, exit, HopCtx::NONE);
         self.events.push(exit, Ev::EgressOut { pipe, pkt });
         if !self.egress[pipe].queues.is_empty() {
             let next = self.egress[pipe].next_slot;
@@ -1140,6 +1265,26 @@ impl RmtSwitch {
         if self.tracer.hops_on() {
             self.tracer
                 .record_hop(pkt.meta.id, Site::Tx(port), now, done, HopCtx::NONE);
+        }
+        self.int_stamp(&mut pkt, Site::Tx(port), now, done, HopCtx::NONE);
+        if self.int.samples(pkt.meta.id) {
+            // Sink export: emit the accumulated stack for the collector.
+            // Bounded FIFO: an undrained collector sheds postcards
+            // (counted) and the shed path skips the stack clone.
+            if self.postcards.len() < POSTCARDS_CAP {
+                let stack = pkt.meta.int.as_deref().cloned().unwrap_or_default();
+                self.postcards.push(Postcard {
+                    device: self.cfg.device,
+                    pkt: pkt.meta.id,
+                    flow: pkt.meta.flow.0,
+                    port: port.0,
+                    time: done,
+                    stack,
+                });
+                self.int_postcards += 1;
+            } else {
+                self.int_postcards_dropped += 1;
+            }
         }
         self.counters.delivered += 1;
         self.in_flight -= 1;

@@ -18,6 +18,12 @@
 //!   histograms, queue-depth series) with uniform JSON export.
 //! * [`trace`] — sampled packet-journey flight recorder with always-on
 //!   drop forensics and control-plane instants.
+//! * [`int`] — in-band network telemetry: per-hop stamps the datapath
+//!   writes onto transiting packets, postcards for collectors, and the
+//!   per-flow aggregation cells ADCP keeps in central register state.
+//! * [`telemetry`] — the INT collector: drain postcards into per-flow
+//!   paths and per-queue depth series, detect microbursts, path changes
+//!   and drop hotspots, and emit schema-validated reports.
 //! * [`rng`] — deterministic, forkable randomness.
 //! * [`shutdown`] — cooperative SIGINT/SIGTERM shutdown flag for the
 //!   long-running binaries (`adcpd`, `adcp-trace`, `conformance`).
@@ -35,6 +41,7 @@
 
 pub mod event;
 pub mod fault;
+pub mod int;
 pub mod link;
 pub mod metrics;
 pub mod packet;
@@ -46,11 +53,13 @@ pub mod schema;
 pub mod shaper;
 pub mod shutdown;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
 pub use event::EventQueue;
 pub use fault::{FaultConfig, FaultInjector, FaultOutcome};
+pub use int::{IntFlowTable, IntKnob, IntStack, IntStamp, Postcard, INT_MAX_HOPS};
 pub use link::Link;
 pub use metrics::{CounterId, GaugeId, HistId, MetricsRegistry, ScopeId, SeriesId, TimeSeries};
 pub use packet::{

@@ -143,6 +143,12 @@ pub struct PacketMeta {
     /// observes a half-applied map: a central pipe can always tell whether
     /// a dequeued packet was routed under the previous map.
     pub map_epoch: Option<u64>,
+    /// In-band telemetry header region: the bounded stack of per-hop
+    /// stamps the datapath has written onto this packet so far. `None`
+    /// (8 bytes, no allocation) for unstamped packets — see
+    /// [`crate::int`] for why the stack rides metadata rather than frame
+    /// bytes.
+    pub int: Option<Box<crate::int::IntStack>>,
 }
 
 impl PacketMeta {
@@ -168,6 +174,7 @@ impl PacketMeta {
             tm_buf_used: None,
             part_bucket: None,
             map_epoch: None,
+            int: None,
         }
     }
 }

@@ -149,6 +149,13 @@ pub fn load_chrome_trace_schema() -> Result<Value, String> {
     load_schema("schemas/chrome_trace.schema.json")
 }
 
+/// The checked-in INT telemetry schema (`schemas/telemetry.schema.json`),
+/// which the collector's report and the daemon's streamed telemetry
+/// snapshots are validated against before they are written.
+pub fn load_telemetry_schema() -> Result<Value, String> {
+    load_schema("schemas/telemetry.schema.json")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
